@@ -1,0 +1,43 @@
+//! E5/E6 — degree of fair concurrency measurement cost (one full frozen
+//! meeting run to quiescence).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sscc_hypergraph::generators;
+use sscc_metrics::{build_sim, AlgoKind, Boot, PolicyKind};
+use std::sync::Arc;
+
+fn degree_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("degree_quiescence");
+    g.sample_size(10);
+    let topologies = [
+        ("fig2", Arc::new(generators::fig2())),
+        ("ring6x2", Arc::new(generators::ring(6, 2))),
+        ("path4x3", Arc::new(generators::path(4, 3))),
+    ];
+    for (name, h) in &topologies {
+        for algo in [AlgoKind::Cc2, AlgoKind::Cc3] {
+            g.bench_function(format!("{}/{name}", algo.label()), |b| {
+                b.iter_batched(
+                    || {
+                        build_sim(
+                            algo,
+                            Arc::clone(h),
+                            3,
+                            PolicyKind::InfiniteMeetings,
+                            Boot::Clean,
+                        )
+                    },
+                    |mut sim| {
+                        sim.run(60_000);
+                        sim.live_meeting_count()
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, degree_runs);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Engine throughput: composed guard evaluation + atomic step rate for each
+//! algorithm as the system grows (rings of pair committees).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sscc_bench::{drive, rings};
+use sscc_metrics::{build_sim, AlgoKind, Boot, PolicyKind};
+use std::sync::Arc;
+
+fn engine_steps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_steps_200");
+    g.sample_size(10);
+    for (name, h) in rings(&[6, 12, 24]) {
+        for algo in [AlgoKind::Cc1, AlgoKind::Cc2, AlgoKind::Cc3] {
+            g.bench_function(format!("{}/{name}", algo.label()), |b| {
+                b.iter_batched(
+                    || {
+                        build_sim(
+                            algo,
+                            Arc::clone(&h),
+                            7,
+                            PolicyKind::Eager { max_disc: 1 },
+                            Boot::Clean,
+                        )
+                    },
+                    |mut sim| drive(&mut sim, 200),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, engine_steps);
+criterion_main!(benches);

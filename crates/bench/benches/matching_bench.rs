@@ -1,0 +1,36 @@
+//! Analysis-side combinatorics: maximal-matching enumeration, `minMM`
+//! branch and bound, and the full `AMM` fairness-set computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sscc_hypergraph::{generators, matching, FairnessAnalysis};
+use std::hint::black_box;
+
+fn matching_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching");
+    let topologies = [
+        ("fig1", generators::fig1()),
+        ("fig3", generators::fig3()),
+        ("ring8x2", generators::ring(8, 2)),
+        ("grid3x3", generators::grid_pairs(3, 3)),
+    ];
+    for (name, h) in &topologies {
+        g.bench_function(format!("enumerate_mm/{name}"), |b| {
+            b.iter(|| black_box(matching::enumerate_maximal_matchings(h).len()))
+        });
+        g.bench_function(format!("min_mm/{name}"), |b| {
+            b.iter(|| black_box(matching::min_maximal_matching_size(h)))
+        });
+        g.bench_function(format!("sampled_min/{name}"), |b| {
+            b.iter(|| black_box(matching::sampled_min_maximal(h, 64, 3)))
+        });
+    }
+    for (name, h) in [("fig2", generators::fig2()), ("fig1", generators::fig1())] {
+        g.bench_function(format!("fairness_analysis/{name}"), |b| {
+            b.iter(|| black_box(FairnessAnalysis::compute(&h)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, matching_ops);
+criterion_main!(benches);

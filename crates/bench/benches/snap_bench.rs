@@ -1,0 +1,55 @@
+//! E9 — snap-stabilization: time from an arbitrary configuration to the
+//! first *correct* post-fault meeting (which, being snap, is simply the
+//! first post-fault meeting).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sscc_hypergraph::generators;
+use sscc_metrics::{build_sim, AlgoKind, AnySim, Boot, PolicyKind};
+use std::sync::Arc;
+
+fn first_meeting_after_fault(sim: &mut AnySim, budget: u64) -> u64 {
+    for _ in 0..budget {
+        if sim.ledger().convened_count() > 0 {
+            assert!(sim.monitor().clean(), "snap violated");
+            return sim.steps();
+        }
+        if !sim.step() {
+            break;
+        }
+    }
+    panic!("no meeting within budget");
+}
+
+fn snap_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snap_first_meeting");
+    g.sample_size(10);
+    let topologies = [
+        ("fig1", Arc::new(generators::fig1())),
+        ("ring6x2", Arc::new(generators::ring(6, 2))),
+    ];
+    for (name, h) in &topologies {
+        for algo in [AlgoKind::Cc1, AlgoKind::Cc2] {
+            g.bench_function(format!("{}/{name}", algo.label()), |b| {
+                let mut fault = 0u64;
+                b.iter_batched(
+                    || {
+                        fault += 1;
+                        build_sim(
+                            algo,
+                            Arc::clone(h),
+                            fault,
+                            PolicyKind::Eager { max_disc: 1 },
+                            Boot::Arbitrary(fault),
+                        )
+                    },
+                    |mut sim| first_meeting_after_fault(&mut sim, 50_000),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, snap_recovery);
+criterion_main!(benches);

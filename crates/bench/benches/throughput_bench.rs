@@ -1,0 +1,33 @@
+//! E11 — steady-state meeting throughput per algorithm and topology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sscc_metrics::{measure_throughput, AlgoKind, PolicyKind};
+use std::hint::black_box;
+
+fn throughput_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("throughput_10k_steps");
+    g.sample_size(10);
+    for (name, h) in sscc_bench::bench_corpus() {
+        // Keep the bench matrix small: the three figures + the dining ring.
+        if !matches!(name.as_str(), "fig1" | "fig2" | "ring6x2") {
+            continue;
+        }
+        for algo in [AlgoKind::Cc1, AlgoKind::Cc2, AlgoKind::Cc3] {
+            g.bench_function(format!("{}/{name}", algo.label()), |b| {
+                b.iter(|| {
+                    black_box(measure_throughput(
+                        &h,
+                        algo,
+                        9,
+                        PolicyKind::Eager { max_disc: 2 },
+                        10_000,
+                    ))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, throughput_runs);
+criterion_main!(benches);

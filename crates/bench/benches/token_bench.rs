@@ -1,0 +1,61 @@
+//! E10 — token substrate: stabilization cost of the Dijkstra-tour ring and
+//! the leader election from arbitrary states.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sscc_hypergraph::generators;
+use sscc_runtime::prelude::*;
+use sscc_token::{LeaderElect, TokenRing};
+use std::sync::Arc;
+
+fn token_stabilization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("token_stabilize");
+    g.sample_size(10);
+    for k in [6usize, 12, 24] {
+        let h = Arc::new(generators::ring(k, 2));
+        g.bench_function(format!("dijkstra_ring{k}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut w = World::new(Arc::clone(&h), TokenRing::new(&h));
+                    strike(&mut w, 42);
+                    w
+                },
+                |mut w| {
+                    let ring = TokenRing::new(&h);
+                    let mut d = Synchronous;
+                    let mut steps = 0u64;
+                    while ring.privileged_position_count(&h, w.states()) > 1 {
+                        w.step(&mut d, &());
+                        steps += 1;
+                        assert!(steps < 1_000_000, "did not stabilize");
+                    }
+                    steps
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn leader_election(c: &mut Criterion) {
+    let mut g = c.benchmark_group("leader_elect");
+    g.sample_size(10);
+    for k in [6usize, 12, 24] {
+        let h = Arc::new(generators::ring(k, 2));
+        g.bench_function(format!("minid_ring{k}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut w = World::new(Arc::clone(&h), LeaderElect);
+                    strike(&mut w, 42);
+                    w
+                },
+                |mut w| w.run_to_quiescence(&mut Synchronous, &(), 1_000_000),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, token_stabilization, leader_election);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E7 — waiting-time measurement (Theorem 6 shape): one CC2 run per ring
+//! size with the waiting statistics extracted.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sscc_hypergraph::generators;
+use sscc_metrics::{measure_waiting, AlgoKind};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn waiting_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("waiting_cc2");
+    g.sample_size(10);
+    for k in [4usize, 8, 12] {
+        let h = Arc::new(generators::ring(k, 2));
+        g.bench_function(format!("ring{k}x2"), |b| {
+            b.iter(|| {
+                black_box(measure_waiting(&h, AlgoKind::Cc2, 5, 2, 20_000))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, waiting_runs);
+criterion_main!(benches);

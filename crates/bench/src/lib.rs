@@ -1,0 +1,47 @@
+//! # sscc-bench
+//!
+//! Shared scenario definitions for the Criterion benches and the
+//! `experiments` binary that regenerates every table in EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run -p sscc-bench --release --bin experiments          # all tables
+//! cargo run -p sscc-bench --release --bin experiments e5 e7    # a subset
+//! cargo bench -p sscc-bench                                    # benches
+//! ```
+
+#![warn(missing_docs)]
+
+use sscc_hypergraph::generators::{self, Named};
+use sscc_hypergraph::Hypergraph;
+use std::sync::Arc;
+
+/// The bench corpus: small enough that every Criterion sample finishes
+/// quickly, varied enough to exercise the interesting regimes.
+pub fn bench_corpus() -> Vec<(String, Arc<Hypergraph>)> {
+    generators::corpus()
+        .into_iter()
+        .map(|Named { name, h }| (name, Arc::new(h)))
+        .collect()
+}
+
+/// Ring-of-pairs family used by the scaling benches (dining philosophers).
+pub fn rings(sizes: &[usize]) -> Vec<(String, Arc<Hypergraph>)> {
+    sizes
+        .iter()
+        .map(|&k| (format!("ring{k}x2"), Arc::new(generators::ring(k, 2))))
+        .collect()
+}
+
+/// Steps a simulation a fixed number of times (bench routine body).
+/// Returns the number of steps actually executed (stops early on
+/// quiescence).
+pub fn drive(sim: &mut sscc_metrics::AnySim, steps: u64) -> u64 {
+    let mut done = 0;
+    for _ in 0..steps {
+        if !sim.step() {
+            break;
+        }
+        done += 1;
+    }
+    done
+}

@@ -1,0 +1,47 @@
+//! The committee-algorithm abstraction `CC1`/`CC2`/`CC3` share, as consumed
+//! by the composition `CC ∘ TC` (paper Remark 1).
+//!
+//! A committee algorithm is *almost* a [`sscc_runtime::prelude::GuardedAlgorithm`],
+//! except that it imports two things from the token substrate: the predicate
+//! `Token(p)` (a `bool` input to guards/statements) and the statement
+//! `ReleaseToken_p` (a `bool` output: "emit a release"). The composition in
+//! [`crate::compose`] wires those to a [`sscc_token::TokenLayer`].
+
+use crate::oracle::RequestEnv;
+use crate::status::{ActionClass, CommitteeView};
+use sscc_hypergraph::Hypergraph;
+use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, ProcessState};
+
+/// A committee coordination local algorithm with token inputs/outputs.
+pub trait CommitteeAlgorithm {
+    /// Per-process state.
+    type State: ProcessState + ArbitraryState + CommitteeView;
+
+    /// Number of actions in code order.
+    fn action_count(&self) -> usize;
+
+    /// Paper label of action `a` (e.g. `"Step21"`).
+    fn action_name(&self, a: ActionId) -> String;
+
+    /// Semantic class of action `a` (for ledgers/monitors).
+    fn action_class(&self, a: ActionId) -> ActionClass;
+
+    /// Clean-boot state.
+    fn initial_state(&self, h: &Hypergraph, me: usize) -> Self::State;
+
+    /// The priority enabled action given `Token(p) = token`.
+    fn priority_action<E: RequestEnv + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Self::State, E>,
+        token: bool,
+    ) -> Option<ActionId>;
+
+    /// Execute `a`; returns the next state and whether `ReleaseToken_p` was
+    /// emitted.
+    fn execute<E: RequestEnv + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Self::State, E>,
+        a: ActionId,
+        token: bool,
+    ) -> (Self::State, bool);
+}

@@ -1,0 +1,735 @@
+//! Algorithm `CC2` (paper §5, Algorithm 2): snap-stabilizing 2-phase
+//! committee coordination with **Professor Fairness** — and, through a
+//! pluggable committee [`Selector`], Algorithm `CC3` (§5.4) with
+//! **Committee Fairness**.
+//!
+//! Action list in code order (priority = position, *later is higher*):
+//!
+//! ```text
+//! Lock    :: Locked(p) ≠ L_p                       -> L := Locked(p)
+//! Step11  :: TokenHolderToEdge(p)                  -> P := selected committee
+//! Step12  :: JoinTokenHolder(p)                    -> P := token holder's pick
+//! Step13  :: MaxToFreeEdge(p)                      -> P := ε ∈ FreeEdges_p
+//! Step14  :: JoinLocalMax(p)                       -> P := P_max(FreeNodes_p)
+//! Token   :: Token(p) ≠ T_p                        -> T := Token(p)
+//! Step2   :: Ready(p) ∧ S_p = looking              -> S := waiting
+//! Step3   :: Meeting(p) ∧ S_p = waiting            -> 〈Essential〉; S := done
+//! Step4   :: LeaveMeeting(p) ∧ RequestOut(p)       -> S := looking; P := ⊥;
+//!                                                     T := false; release if token
+//! Stab    :: ¬Correct(p)                           -> S := looking; P := ⊥
+//! ```
+//!
+//! Fairness mechanics: the token is released **only** when its holder leaves
+//! a meeting (Step4) — never because it is "useless". The holder pins a
+//! committee (`Step11`) and *sticks* with it; its members are `Locked`
+//! (announced through `L`) so other professors route around them
+//! (`FreeEdges` excludes locked/token processes), preserving as much
+//! concurrency as fairness allows (§5.1, Figure 4).
+
+use crate::algo::CommitteeAlgorithm;
+use crate::choice::{EdgeChoice, MinSizeFirst};
+use crate::oracle::RequestEnv;
+use crate::predicates;
+use crate::status::{ActionClass, CommitteeView, Status};
+use sscc_hypergraph::{EdgeId, Hypergraph};
+use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx};
+
+/// Per-process CC2/CC3 state: `S_p`, `P_p`, `T_p`, `L_p` (+ the CC3
+/// selection cursor, inert under CC2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cc2State {
+    /// Status `S_p ∈ {looking, waiting, done}` (never `idle`, §5).
+    pub s: Status,
+    /// Edge pointer `P_p ∈ E_p ∪ {⊥}`.
+    pub p: Option<EdgeId>,
+    /// Announced token bit `T_p`.
+    pub t: bool,
+    /// Lock bit `L_p` (member of a token-pinned committee).
+    pub l: bool,
+    /// CC3 round-robin cursor into `E_p` (always 0 under CC2).
+    pub cursor: u16,
+}
+
+impl Cc2State {
+    /// The clean looking state.
+    pub fn looking() -> Self {
+        Cc2State { s: Status::Looking, p: None, t: false, l: false, cursor: 0 }
+    }
+}
+
+impl CommitteeView for Cc2State {
+    fn status(&self) -> Status {
+        self.s
+    }
+    fn pointer(&self) -> Option<EdgeId> {
+        self.p
+    }
+    fn t_bit(&self) -> bool {
+        self.t
+    }
+    fn l_bit(&self) -> bool {
+        self.l
+    }
+}
+
+/// Action indices, in code order.
+pub mod action {
+    use sscc_runtime::prelude::ActionId;
+    /// `Lock`: refresh the lock bit.
+    pub const LOCK: ActionId = 0;
+    /// `Step11`: token holder pins a committee.
+    pub const STEP11: ActionId = 1;
+    /// `Step12`: follow the token holder's pinned committee.
+    pub const STEP12: ActionId = 2;
+    /// `Step13`: local max points to a free committee.
+    pub const STEP13: ActionId = 3;
+    /// `Step14`: follow the local max.
+    pub const STEP14: ActionId = 4;
+    /// `Token`: announce token possession.
+    pub const TOKEN: ActionId = 5;
+    /// `Step2`: committee agreed — become waiting.
+    pub const STEP2: ActionId = 6;
+    /// `Step3`: essential discussion — become done.
+    pub const STEP3: ActionId = 7;
+    /// `Step4`: voluntarily leave (and release the token).
+    pub const STEP4: ActionId = 8;
+    /// `Stab`: correct a corrupted state.
+    pub const STAB: ActionId = 9;
+    /// Total number of actions.
+    pub const COUNT: usize = 10;
+}
+
+/// How the token holder chooses the committee it pins — the only difference
+/// between CC2 (smallest incident committee, Theorems 4–6) and CC3
+/// (sequential round-robin over `E_p`, Theorems 7–8).
+pub trait Selector {
+    /// The committee the token holder at `me` should pin.
+    fn target(&self, h: &Hypergraph, me: usize, st: &Cc2State) -> EdgeId;
+    /// Is the current pointer already an acceptable pin? (Guard of Step11
+    /// is `¬acceptable`.)
+    fn acceptable(&self, h: &Hypergraph, me: usize, st: &Cc2State) -> bool;
+    /// New cursor value when `me` leaves a meeting and releases the token.
+    fn advance(&self, h: &Hypergraph, me: usize, cursor: u16) -> u16;
+}
+
+/// CC2's selector: a smallest incident committee (`MinEdges_p`); any
+/// already-pinned smallest committee is kept (the paper's `P_p ∉ MinEdges_p`
+/// guard).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinEdgeSelector<Ch = MinSizeFirst> {
+    choice: Ch,
+}
+
+impl<Ch: EdgeChoice> Selector for MinEdgeSelector<Ch> {
+    fn target(&self, h: &Hypergraph, me: usize, _st: &Cc2State) -> EdgeId {
+        let min_edges = h.min_edges(me);
+        self.choice.choose(h, me, &min_edges)
+    }
+    fn acceptable(&self, h: &Hypergraph, me: usize, st: &Cc2State) -> bool {
+        match st.p {
+            Some(e) => h.min_edges(me).contains(&e),
+            None => false,
+        }
+    }
+    fn advance(&self, _h: &Hypergraph, _me: usize, cursor: u16) -> u16 {
+        cursor
+    }
+}
+
+/// CC3's selector: `E_p[cursor]`, advancing the cursor cyclically at every
+/// token release so that each of `p`'s committees is pinned infinitely often
+/// (§5.4 — this is what upgrades Professor Fairness to Committee Fairness).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundRobinSelector;
+
+impl Selector for RoundRobinSelector {
+    fn target(&self, h: &Hypergraph, me: usize, st: &Cc2State) -> EdgeId {
+        let inc = h.incident(me);
+        inc[st.cursor as usize % inc.len()]
+    }
+    fn acceptable(&self, h: &Hypergraph, me: usize, st: &Cc2State) -> bool {
+        st.p == Some(self.target(h, me, st))
+    }
+    fn advance(&self, h: &Hypergraph, me: usize, cursor: u16) -> u16 {
+        (cursor + 1) % h.incident(me).len() as u16
+    }
+}
+
+/// Algorithm CC2 (or CC3, depending on the selector), parameterized by the
+/// committee-choice strategy used for *free* committees (Step13).
+#[derive(Clone, Debug, Default)]
+pub struct Cc2<Sel = MinEdgeSelector, Ch = MinSizeFirst> {
+    selector: Sel,
+    choice: Ch,
+}
+
+/// Algorithm CC3 = CC2 with the round-robin selector.
+pub type Cc3<Ch = MinSizeFirst> = Cc2<RoundRobinSelector, Ch>;
+
+impl Cc2<MinEdgeSelector, MinSizeFirst> {
+    /// CC2 with its default selectors.
+    pub fn new() -> Self {
+        Cc2::default()
+    }
+}
+
+impl Cc3<MinSizeFirst> {
+    /// CC3 (committee fairness) with the default free-committee choice.
+    pub fn new_cc3() -> Self {
+        Cc2 { selector: RoundRobinSelector, choice: MinSizeFirst }
+    }
+}
+
+impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
+    /// CC2/CC3 with explicit strategies.
+    pub fn with_strategies(selector: Sel, choice: Ch) -> Self {
+        Cc2 { selector, choice }
+    }
+
+    /// `FreeEdges_p = {ε ∈ E_p | ∀q ∈ ε : (S_q = looking ∧ ¬L_q ∧ ¬T_q)}`.
+    pub fn free_edges<E: ?Sized>(ctx: &Ctx<'_, Cc2State, E>) -> Vec<EdgeId> {
+        ctx.h()
+            .incident(ctx.me())
+            .iter()
+            .copied()
+            .filter(|&e| {
+                ctx.h().members(e).iter().all(|&q| {
+                    let s = ctx.state_of(q);
+                    s.s == Status::Looking && !s.l && !s.t
+                })
+            })
+            .collect()
+    }
+
+    /// `TPointingEdges_p = {ε ∈ E_p | ∃q ∈ ε : (P_q = ε ∧ T_q ∧ S_q = looking)}`.
+    pub fn t_pointing_edges<E: ?Sized>(ctx: &Ctx<'_, Cc2State, E>) -> Vec<EdgeId> {
+        ctx.h()
+            .incident(ctx.me())
+            .iter()
+            .copied()
+            .filter(|&e| {
+                ctx.h().members(e).iter().any(|&q| {
+                    let s = ctx.state_of(q);
+                    s.p == Some(e) && s.t && s.s == Status::Looking
+                })
+            })
+            .collect()
+    }
+
+    /// `Locked(p) ≡ TPointingEdges_p ≠ ∅`.
+    pub fn locked<E: ?Sized>(ctx: &Ctx<'_, Cc2State, E>) -> bool {
+        !Self::t_pointing_edges(ctx).is_empty()
+    }
+
+    /// The committee pinned by the highest-identifier announced token holder
+    /// visible to `p` — the well-defined refinement of the paper's
+    /// `P_max(TPointingNodes_p)` statement (see DESIGN.md: with multiple
+    /// transient tokens, the max member of a t-pointing edge need not be the
+    /// holder, so we follow the max *witness* instead).
+    fn followed_edge<E: ?Sized>(ctx: &Ctx<'_, Cc2State, E>) -> Option<EdgeId> {
+        let mut best: Option<(sscc_hypergraph::ProcessId, EdgeId)> = None;
+        for &e in &Self::t_pointing_edges(ctx) {
+            for &q in ctx.h().members(e) {
+                let s = ctx.state_of(q);
+                if s.p == Some(e) && s.t && s.s == Status::Looking {
+                    let id = ctx.h().id(q);
+                    if best.is_none_or(|(b, _)| id > b) {
+                        best = Some((id, e));
+                    }
+                }
+            }
+        }
+        best.map(|(_, e)| e)
+    }
+
+    /// The free nodes and the local maximum among them.
+    fn max_free_node<E: ?Sized>(ctx: &Ctx<'_, Cc2State, E>) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for &e in &Self::free_edges(ctx) {
+            for &q in ctx.h().members(e) {
+                if best.is_none_or(|b| ctx.h().id(q) > ctx.h().id(b)) {
+                    best = Some(q);
+                }
+            }
+        }
+        best
+    }
+
+    /// `LocalMax(p) ≡ p = max(FreeNodes_p)`.
+    pub fn local_max<E: ?Sized>(ctx: &Ctx<'_, Cc2State, E>) -> bool {
+        Self::max_free_node(ctx) == Some(ctx.me())
+    }
+
+    /// `LeaveMeeting(p) ≡ ∃ε : P_p = ε ∧ S_p = done ∧
+    ///  ∀q ∈ ε : (P_q = ε ⇒ S_q ≠ waiting)`.
+    pub fn leave_meeting<E: ?Sized>(ctx: &Ctx<'_, Cc2State, E>) -> bool {
+        let st = ctx.my_state();
+        if st.s != Status::Done {
+            return false;
+        }
+        let Some(e) = st.p else { return false };
+        if !ctx.h().is_member(ctx.me(), e) {
+            return false;
+        }
+        ctx.h()
+            .members(e)
+            .iter()
+            .all(|&q| ctx.state_of(q).p != Some(e) || ctx.state_of(q).s != Status::Waiting)
+    }
+
+    /// `Correct(p)` (Lemma 8's closure predicate).
+    pub fn correct<E: ?Sized>(ctx: &Ctx<'_, Cc2State, E>) -> bool {
+        let st = ctx.my_state();
+        let wait_ok = st.s != Status::Waiting
+            || predicates::ready(ctx)
+            || predicates::meeting(ctx);
+        let done_ok = st.s != Status::Done
+            || predicates::meeting(ctx)
+            || Self::leave_meeting(ctx);
+        wait_ok && done_ok
+    }
+
+    /// `MaxToFreeEdge(p)` (guard of Step13).
+    fn max_to_free_edge<E: ?Sized>(&self, ctx: &Ctx<'_, Cc2State, E>, token: bool) -> bool {
+        if token || Self::locked(ctx) {
+            return false;
+        }
+        let free = Self::free_edges(ctx);
+        !free.is_empty()
+            && Self::local_max(ctx)
+            && !predicates::ready(ctx)
+            && !ctx.my_state().p.is_some_and(|e| free.contains(&e))
+    }
+
+    /// `JoinLocalMax(p)` (guard of Step14).
+    fn join_local_max<E: ?Sized>(&self, ctx: &Ctx<'_, Cc2State, E>, token: bool) -> bool {
+        if token || Self::locked(ctx) {
+            return false;
+        }
+        let free = Self::free_edges(ctx);
+        if free.is_empty() || Self::local_max(ctx) || predicates::ready(ctx) {
+            return false;
+        }
+        let Some(mx) = Self::max_free_node(ctx) else { return false };
+        match ctx.state_of(mx).p {
+            Some(e) => free.contains(&e) && ctx.my_state().p != Some(e),
+            None => false,
+        }
+    }
+
+    /// `TokenHolderToEdge(p)` (guard of Step11).
+    fn token_holder_to_edge<E: ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Cc2State, E>,
+        token: bool,
+    ) -> bool {
+        token
+            && ctx.my_state().s == Status::Looking
+            && !predicates::ready(ctx)
+            && !self.selector.acceptable(ctx.h(), ctx.me(), ctx.my_state())
+    }
+
+    /// `JoinTokenHolder(p)` (guard of Step12).
+    fn join_token_holder<E: ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Cc2State, E>,
+        token: bool,
+    ) -> bool {
+        if token || ctx.my_state().s != Status::Looking || predicates::ready(ctx) {
+            return false;
+        }
+        let tpe = Self::t_pointing_edges(ctx);
+        !tpe.is_empty() && !ctx.my_state().p.is_some_and(|e| tpe.contains(&e))
+    }
+
+    fn guard<E: RequestEnv + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Cc2State, E>,
+        token: bool,
+        a: ActionId,
+    ) -> bool {
+        use action::*;
+        let st = ctx.my_state();
+        match a {
+            LOCK => Self::locked(ctx) != st.l,
+            STEP11 => self.token_holder_to_edge(ctx, token),
+            STEP12 => self.join_token_holder(ctx, token),
+            STEP13 => self.max_to_free_edge(ctx, token),
+            STEP14 => self.join_local_max(ctx, token),
+            TOKEN => token != st.t,
+            STEP2 => predicates::ready(ctx) && st.s == Status::Looking,
+            STEP3 => predicates::meeting(ctx) && st.s == Status::Waiting,
+            STEP4 => Self::leave_meeting(ctx) && ctx.env().request_out(ctx.me()),
+            STAB => !Self::correct(ctx),
+            _ => unreachable!("unknown CC2 action {a}"),
+        }
+    }
+}
+
+impl<Sel: Selector, Ch: EdgeChoice> CommitteeAlgorithm for Cc2<Sel, Ch> {
+    type State = Cc2State;
+
+    fn action_count(&self) -> usize {
+        action::COUNT
+    }
+
+    fn action_name(&self, a: ActionId) -> String {
+        use action::*;
+        match a {
+            LOCK => "Lock",
+            STEP11 => "Step11",
+            STEP12 => "Step12",
+            STEP13 => "Step13",
+            STEP14 => "Step14",
+            TOKEN => "Token",
+            STEP2 => "Step2",
+            STEP3 => "Step3",
+            STEP4 => "Step4",
+            STAB => "Stab",
+            _ => unreachable!("unknown CC2 action {a}"),
+        }
+        .to_string()
+    }
+
+    fn action_class(&self, a: ActionId) -> ActionClass {
+        use action::*;
+        match a {
+            LOCK => ActionClass::Lock,
+            STEP11 | STEP12 | STEP13 | STEP14 => ActionClass::Point,
+            TOKEN => ActionClass::Token,
+            STEP2 => ActionClass::Wait,
+            STEP3 => ActionClass::Essential,
+            STEP4 => ActionClass::Leave,
+            STAB => ActionClass::Stabilize,
+            _ => unreachable!("unknown CC2 action {a}"),
+        }
+    }
+
+    fn initial_state(&self, _h: &Hypergraph, _me: usize) -> Cc2State {
+        Cc2State::looking()
+    }
+
+    fn priority_action<E: RequestEnv + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Cc2State, E>,
+        token: bool,
+    ) -> Option<ActionId> {
+        (0..action::COUNT).rev().find(|&a| self.guard(ctx, token, a))
+    }
+
+    fn execute<E: RequestEnv + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Cc2State, E>,
+        a: ActionId,
+        token: bool,
+    ) -> (Cc2State, bool) {
+        use action::*;
+        debug_assert!(self.guard(ctx, token, a), "executing a disabled action");
+        let mut st = *ctx.my_state();
+        let mut release = false;
+        match a {
+            LOCK => {
+                st.l = Self::locked(ctx);
+            }
+            STEP11 => {
+                st.p = Some(self.selector.target(ctx.h(), ctx.me(), &st));
+            }
+            STEP12 => {
+                st.p = Self::followed_edge(ctx);
+                debug_assert!(st.p.is_some(), "guard: TPointingEdges non-empty");
+            }
+            STEP13 => {
+                let free = Self::free_edges(ctx);
+                st.p = Some(self.choice.choose(ctx.h(), ctx.me(), &free));
+            }
+            STEP14 => {
+                let mx = Self::max_free_node(ctx).expect("guard: free nodes exist");
+                st.p = ctx.state_of(mx).p;
+            }
+            TOKEN => {
+                st.t = token;
+            }
+            STEP2 => {
+                st.s = Status::Waiting;
+            }
+            STEP3 => {
+                // 〈EssentialDiscussion〉 — observed via ActionClass::Essential.
+                st.s = Status::Done;
+            }
+            STEP4 => {
+                st.s = Status::Looking;
+                st.p = None;
+                st.t = false;
+                release = token;
+                if release {
+                    st.cursor = self.selector.advance(ctx.h(), ctx.me(), st.cursor);
+                }
+            }
+            STAB => {
+                st.s = Status::Looking;
+                st.p = None;
+            }
+            _ => unreachable!("unknown CC2 action {a}"),
+        }
+        (st, release)
+    }
+}
+
+impl ArbitraryState for Cc2State {
+    fn arbitrary(rng: &mut rand::rngs::StdRng, h: &Hypergraph, me: usize) -> Self {
+        use rand::Rng as _;
+        let s = match rng.random_range(0..3) {
+            0 => Status::Looking,
+            1 => Status::Waiting,
+            _ => Status::Done,
+        };
+        let inc = h.incident(me);
+        let p = if rng.random_bool(0.3) {
+            None
+        } else {
+            Some(inc[rng.random_range(0..inc.len())])
+        };
+        Cc2State {
+            s,
+            p,
+            t: rng.random_bool(0.5),
+            l: rng.random_bool(0.5),
+            cursor: rng.random_range(0..inc.len()) as u16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::action::*;
+    use super::*;
+    use crate::oracle::RequestFlags;
+    use sscc_hypergraph::generators;
+
+    type S = Cc2State;
+
+    fn st(s: Status, p: Option<u32>, t: bool, l: bool) -> S {
+        S { s, p: p.map(EdgeId), t, l, cursor: 0 }
+    }
+
+    /// Figure 4 configuration: e0={1,2,5,8}, e1={3,4,5}, e2={6,7,9},
+    /// e3={8,9}. Meeting {3,4,5} held (waiting); professor 1 holds the
+    /// token, pins e0; 1,2,8 point e0; members of e0 locked.
+    fn fig4_states(h: &Hypergraph) -> Vec<S> {
+        let mut states = vec![S::looking(); h.n()];
+        let d = |raw: u32| h.dense_of(raw);
+        states[d(1)] = st(Status::Looking, Some(0), true, true);
+        states[d(2)] = st(Status::Looking, Some(0), false, true);
+        states[d(8)] = st(Status::Looking, Some(0), false, true);
+        states[d(5)] = st(Status::Waiting, Some(1), false, true);
+        states[d(3)] = st(Status::Waiting, Some(1), false, false);
+        states[d(4)] = st(Status::Waiting, Some(1), false, false);
+        // 6, 7, 9 looking, unlocked, pointer ⊥ (default).
+        states
+    }
+
+    #[test]
+    fn fig4_professor9_selects_6_7_9_via_step13() {
+        // The paper's Figure 4 punchline: thanks to L_8, professor 9 knows
+        // not to prioritize {8,9} and picks {6,7,9} by Step13.
+        let h = generators::fig4();
+        let states = fig4_states(&h);
+        let env = RequestFlags::new(h.n());
+        let cc = Cc2::new();
+        let p9 = h.dense_of(9);
+        let ctx = Ctx::new(&h, p9, &states, &env);
+        assert!(!Cc2::<MinEdgeSelector, MinSizeFirst>::locked(&ctx));
+        assert_eq!(
+            Cc2::<MinEdgeSelector, MinSizeFirst>::free_edges(&ctx),
+            vec![EdgeId(2)],
+            "{{8,9}} is not free (8 is locked); {{6,7,9}} is"
+        );
+        assert_eq!(cc.priority_action(&ctx, false), Some(STEP13));
+        let (next, _) = cc.execute(&ctx, STEP13, false);
+        assert_eq!(next.p, Some(EdgeId(2)), "9 selects {{6,7,9}}");
+    }
+
+    #[test]
+    fn fig4_locked_members_stick_with_pinned_committee() {
+        let h = generators::fig4();
+        let states = fig4_states(&h);
+        let env = RequestFlags::new(h.n());
+        let cc = Cc2::new();
+        // 2 points the pinned committee already: every pointer action is
+        // disabled (it must wait for e0 to convene).
+        let p2 = h.dense_of(2);
+        let ctx = Ctx::new(&h, p2, &states, &env);
+        assert!(Cc2::<MinEdgeSelector, MinSizeFirst>::locked(&ctx));
+        assert_eq!(cc.priority_action(&ctx, false), None, "2 sticks");
+        // The token holder 1 also sticks (its pin is acceptable).
+        let p1 = h.dense_of(1);
+        let ctx = Ctx::new(&h, p1, &states, &env);
+        assert_eq!(cc.priority_action(&ctx, true), None, "1 waits for e0");
+    }
+
+    #[test]
+    fn fig4_unpointed_locked_member_joins_token_holder() {
+        // Erase 8's pointer: Step12 re-points it at the pinned committee.
+        let h = generators::fig4();
+        let mut states = fig4_states(&h);
+        let p8 = h.dense_of(8);
+        states[p8].p = None;
+        let env = RequestFlags::new(h.n());
+        let cc = Cc2::new();
+        let ctx = Ctx::new(&h, p8, &states, &env);
+        assert_eq!(cc.priority_action(&ctx, false), Some(STEP12));
+        let (next, _) = cc.execute(&ctx, STEP12, false);
+        assert_eq!(next.p, Some(EdgeId(0)), "8 follows the token holder");
+    }
+
+    #[test]
+    fn lock_bit_tracks_locked_predicate() {
+        let h = generators::fig4();
+        let mut states = fig4_states(&h);
+        // 6 should not be locked; force its bit and watch Lock fix it.
+        let p6 = h.dense_of(6);
+        states[p6].l = true;
+        let env = RequestFlags::new(h.n());
+        let cc = Cc2::new();
+        let ctx = Ctx::new(&h, p6, &states, &env);
+        assert_eq!(cc.priority_action(&ctx, false), Some(LOCK));
+        let (next, _) = cc.execute(&ctx, LOCK, false);
+        assert!(!next.l);
+    }
+
+    #[test]
+    fn token_holder_pins_min_edge() {
+        // All looking on fig1; the token holder 1 pins its smallest
+        // committee {1,2} (not the 4-member one).
+        let h = generators::fig1();
+        let states = vec![S::looking(); h.n()];
+        let env = RequestFlags::new(h.n());
+        let cc = Cc2::new();
+        let p1 = h.dense_of(1);
+        let ctx = Ctx::new(&h, p1, &states, &env);
+        // Token priority: announce first (Token > Step11 in priority).
+        assert_eq!(cc.priority_action(&ctx, true), Some(TOKEN));
+        let mut states = states;
+        states[p1].t = true;
+        let ctx = Ctx::new(&h, p1, &states, &env);
+        assert_eq!(cc.priority_action(&ctx, true), Some(STEP11));
+        let (next, _) = cc.execute(&ctx, STEP11, true);
+        assert_eq!(next.p, Some(EdgeId(0)), "pins {{1,2}}, the min edge");
+    }
+
+    #[test]
+    fn cc3_round_robin_cursor_advances_on_release() {
+        let h = generators::fig1();
+        let cc = Cc3::new_cc3();
+        let p2 = h.dense_of(2); // committees e0, e1, e2
+        let mut state = S::looking();
+        // Pin target cycles through E_2 as the cursor advances.
+        let seq: Vec<EdgeId> = (0..4)
+            .map(|i| {
+                state.cursor = i;
+                RoundRobinSelector.target(&h, p2, &state)
+            })
+            .collect();
+        assert_eq!(seq, vec![EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(0)]);
+
+        // Leaving a meeting with the token advances the cursor.
+        let mut states = vec![S::looking(); h.n()];
+        states[p2] = st(Status::Done, Some(0), true, false);
+        states[h.dense_of(1)] = st(Status::Done, Some(0), false, false);
+        let mut env = RequestFlags::new(h.n());
+        env.set_out(p2, true);
+        let ctx = Ctx::new(&h, p2, &states, &env);
+        assert_eq!(cc.priority_action(&ctx, true), Some(STEP4));
+        let (next, release) = cc.execute(&ctx, STEP4, true);
+        assert!(release);
+        assert_eq!(next.cursor, 1, "cursor moved to the next committee");
+        assert_eq!(next.s, Status::Looking);
+    }
+
+    #[test]
+    fn stab_fixes_corrupted_waiting() {
+        let h = generators::fig1();
+        let mut states = vec![S::looking(); h.n()];
+        states[0] = st(Status::Waiting, None, false, false);
+        let env = RequestFlags::new(h.n());
+        let cc = Cc2::new();
+        let ctx = Ctx::new(&h, 0, &states, &env);
+        assert!(!Cc2::<MinEdgeSelector, MinSizeFirst>::correct(&ctx));
+        assert_eq!(cc.priority_action(&ctx, false), Some(STAB));
+        let (next, _) = cc.execute(&ctx, STAB, false);
+        assert_eq!((next.s, next.p), (Status::Looking, None));
+    }
+
+    #[test]
+    fn leave_meeting_allows_departure_after_peers_left() {
+        // CC2's LeaveMeeting tolerates peers having already left (P_q ≠ ε):
+        // done + nobody waiting on ε suffices.
+        let h = generators::fig1();
+        let mut states = vec![S::looking(); h.n()];
+        let (p3, p6) = (h.dense_of(3), h.dense_of(6));
+        states[p3] = st(Status::Done, Some(3), false, false); // e3 = {3,6}
+        states[p6] = S::looking(); // 6 already left
+        let mut env = RequestFlags::new(h.n());
+        env.set_out(p3, true);
+        let cc = Cc2::new();
+        let ctx = Ctx::new(&h, p3, &states, &env);
+        assert!(Cc2::<MinEdgeSelector, MinSizeFirst>::leave_meeting(&ctx));
+        assert_eq!(cc.priority_action(&ctx, false), Some(STEP4));
+    }
+
+    #[test]
+    fn done_member_blocked_while_peer_waits() {
+        let h = generators::fig1();
+        let mut states = vec![S::looking(); h.n()];
+        let (p3, p6) = (h.dense_of(3), h.dense_of(6));
+        states[p3] = st(Status::Done, Some(3), false, false);
+        states[p6] = st(Status::Waiting, Some(3), false, false);
+        let mut env = RequestFlags::new(h.n());
+        env.set_out(p3, true);
+        let cc = Cc2::new();
+        let ctx = Ctx::new(&h, p3, &states, &env);
+        assert!(!Cc2::<MinEdgeSelector, MinSizeFirst>::leave_meeting(&ctx));
+        assert!(predicates::meeting(&ctx), "still a live meeting");
+        assert_eq!(cc.priority_action(&ctx, false), None);
+    }
+
+    #[test]
+    fn remark4_step_guards_mutually_exclusive() {
+        use rand::SeedableRng as _;
+        let h = generators::fig4();
+        let cc = Cc2::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for _ in 0..500 {
+            let states: Vec<S> =
+                (0..h.n()).map(|p| S::arbitrary(&mut rng, &h, p)).collect();
+            let mut env = RequestFlags::new(h.n());
+            for p in 0..h.n() {
+                env.set_out(p, true);
+            }
+            for p in 0..h.n() {
+                let ctx = Ctx::new(&h, p, &states, &env);
+                for token in [false, true] {
+                    let steps = [STEP11, STEP12, STEP13, STEP14, STEP2, STEP3, STEP4];
+                    let on: Vec<ActionId> =
+                        steps.iter().copied().filter(|&a| cc.guard(&ctx, token, a)).collect();
+                    assert!(on.len() <= 1, "Remark 4 violated at p{p}: {on:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn free_edges_exclude_token_and_locked_members() {
+        let h = generators::fig4();
+        let mut states = vec![S::looking(); h.n()];
+        states[h.dense_of(8)].t = true; // announced token at 8
+        let env = RequestFlags::new(h.n());
+        let p9 = h.dense_of(9);
+        let ctx: Ctx<'_, S, RequestFlags> = Ctx::new(&h, p9, &states, &env);
+        assert_eq!(
+            Cc2::<MinEdgeSelector, MinSizeFirst>::free_edges(&ctx),
+            vec![EdgeId(2)],
+            "{{8,9}} excluded because T_8"
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Liveness trackers: Progress (§2.3) and the two fairness notions
+//! (Definitions 3 and 4), measured over finite runs.
+//!
+//! Liveness cannot be *violated* by a finite prefix, so unlike the safety
+//! monitors in [`crate::spec`] these trackers report *evidence*: how long
+//! has each professor/committee been owed service, and what the worst gaps
+//! were. Experiment code turns the evidence into bounded-horizon verdicts
+//! ("no gap exceeded H steps"), with H chosen from the paper's waiting-time
+//! analysis (Theorem 6).
+
+use crate::meetings::MeetingLedger;
+use crate::predicates;
+use crate::status::CommitteeView;
+use sscc_hypergraph::{EdgeId, Hypergraph};
+
+/// Per-professor fairness evidence (Definition 3).
+#[derive(Clone, Debug, Default)]
+pub struct ProfessorFairness {
+    /// Largest observed gap (in steps) between successive participations,
+    /// per professor; includes the leading gap from step 0.
+    pub max_gap: Vec<u64>,
+    /// Current open gap per professor (censored at run end).
+    pub open_gap: Vec<u64>,
+    /// Participations per professor.
+    pub count: Vec<u64>,
+}
+
+/// Tracks professor and committee service gaps over a run.
+#[derive(Clone, Debug)]
+pub struct FairnessTracker {
+    last_prof: Vec<u64>,
+    max_prof_gap: Vec<u64>,
+    prof_count: Vec<u64>,
+    last_edge: Vec<u64>,
+    max_edge_gap: Vec<u64>,
+    edge_count: Vec<u64>,
+    now: u64,
+}
+
+impl FairnessTracker {
+    /// Tracker for `h`.
+    pub fn new(h: &Hypergraph) -> Self {
+        FairnessTracker {
+            last_prof: vec![0; h.n()],
+            max_prof_gap: vec![0; h.n()],
+            prof_count: vec![0; h.n()],
+            last_edge: vec![0; h.m()],
+            max_edge_gap: vec![0; h.m()],
+            edge_count: vec![0; h.m()],
+            now: 0,
+        }
+    }
+
+    /// Observe the convene events of one step (pass the committees that
+    /// convened and the step index).
+    pub fn observe(&mut self, h: &Hypergraph, convened: &[EdgeId], step: u64) {
+        self.now = step;
+        for &e in convened {
+            let gap = step - self.last_edge[e.index()];
+            self.max_edge_gap[e.index()] = self.max_edge_gap[e.index()].max(gap);
+            self.last_edge[e.index()] = step;
+            self.edge_count[e.index()] += 1;
+            for &q in h.members(e) {
+                let gap = step - self.last_prof[q];
+                self.max_prof_gap[q] = self.max_prof_gap[q].max(gap);
+                self.last_prof[q] = step;
+                self.prof_count[q] += 1;
+            }
+        }
+    }
+
+    /// Professor-fairness evidence, censored gaps included.
+    pub fn professors(&self) -> ProfessorFairness {
+        ProfessorFairness {
+            max_gap: self
+                .max_prof_gap
+                .iter()
+                .zip(&self.last_prof)
+                .map(|(&m, &l)| m.max(self.now - l))
+                .collect(),
+            open_gap: self.last_prof.iter().map(|&l| self.now - l).collect(),
+            count: self.prof_count.clone(),
+        }
+    }
+
+    /// Worst committee convene gap (Definition 4 evidence), censored.
+    pub fn worst_committee_gap(&self) -> u64 {
+        self.max_edge_gap
+            .iter()
+            .zip(&self.last_edge)
+            .map(|(&m, &l)| m.max(self.now - l))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Convene counts per committee.
+    pub fn committee_counts(&self) -> &[u64] {
+        &self.edge_count
+    }
+}
+
+/// Progress watchdog (§2.3): flags any committee whose members have *all*
+/// been continuously in the waiting state (and the committee not meeting)
+/// for longer than `horizon` steps — operational evidence against the
+/// Progress property. For CC1, Definition 2 makes this a *violation* even
+/// when some members are busy elsewhere only if all are waiting; for CC2,
+/// locked committees may legitimately wait up to the token's service time,
+/// so pick `horizon` accordingly (Theorem 6).
+#[derive(Clone, Debug)]
+pub struct ProgressWatchdog {
+    streak: Vec<u64>,
+    horizon: u64,
+    alarms: Vec<(EdgeId, u64)>,
+}
+
+impl ProgressWatchdog {
+    /// Watchdog with the given alarm horizon.
+    pub fn new(h: &Hypergraph, horizon: u64) -> Self {
+        ProgressWatchdog { streak: vec![0; h.m()], horizon, alarms: Vec::new() }
+    }
+
+    /// Observe the post-step configuration.
+    pub fn observe<S: CommitteeView>(&mut self, h: &Hypergraph, post: &[S], step: u64) {
+        for e in h.edge_ids() {
+            let all_waiting = h
+                .members(e)
+                .iter()
+                .all(|&q| post[q].status().is_waiting_state());
+            let meets = predicates::edge_meets(h, post, e);
+            if all_waiting && !meets {
+                self.streak[e.index()] += 1;
+                if self.streak[e.index()] == self.horizon {
+                    self.alarms.push((e, step));
+                }
+            } else {
+                self.streak[e.index()] = 0;
+            }
+        }
+    }
+
+    /// Committees that exceeded the horizon, with the step it happened.
+    pub fn alarms(&self) -> &[(EdgeId, u64)] {
+        &self.alarms
+    }
+}
+
+/// Convenience: evaluate a finished run's ledger against a bounded-horizon
+/// professor-fairness verdict (max participation gap in steps).
+pub fn max_participation_gap(ledger: &MeetingLedger, n: usize, end_step: u64) -> Vec<u64> {
+    let mut last = vec![0u64; n];
+    let mut max_gap = vec![0u64; n];
+    let mut instances: Vec<_> = ledger
+        .post_initial_instances()
+        .filter_map(|m| m.convened_step.map(|s| (s, m)))
+        .collect();
+    instances.sort_by_key(|&(s, _)| s);
+    for (s, m) in instances {
+        for &q in &m.participants {
+            max_gap[q] = max_gap[q].max(s - last[q]);
+            last[q] = s;
+        }
+    }
+    for q in 0..n {
+        max_gap[q] = max_gap[q].max(end_step - last[q]);
+    }
+    max_gap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{Cc1Sim, Cc2Sim};
+    use sscc_hypergraph::generators;
+    use std::sync::Arc;
+
+    #[test]
+    fn tracker_gaps_accumulate() {
+        let h = generators::fig2();
+        let mut t = FairnessTracker::new(&h);
+        t.observe(&h, &[EdgeId(0)], 10); // {1,2}
+        t.observe(&h, &[EdgeId(2)], 25); // {3,4}
+        t.observe(&h, &[EdgeId(0)], 40);
+        let pf = t.professors();
+        let d = |raw: u32| h.dense_of(raw);
+        assert_eq!(pf.count[d(1)], 2);
+        assert_eq!(pf.max_gap[d(1)], 30, "10 then 40: gap 30");
+        assert_eq!(pf.count[d(5)], 0);
+        assert_eq!(pf.max_gap[d(5)], 40, "censored full-run gap");
+        assert_eq!(t.committee_counts()[0], 2);
+    }
+
+    #[test]
+    fn watchdog_fires_on_sustained_waiting() {
+        use crate::cc1::Cc1State;
+        use crate::status::Status;
+        let h = generators::fig2();
+        let mut w = ProgressWatchdog::new(&h, 3);
+        let mut cfg = vec![Cc1State::idle(); h.n()];
+        cfg[h.dense_of(3)] = Cc1State { s: Status::Looking, p: None, t: false };
+        cfg[h.dense_of(4)] = Cc1State { s: Status::Looking, p: None, t: false };
+        for step in 0..5 {
+            w.observe(&h, &cfg, step);
+        }
+        assert_eq!(w.alarms().len(), 1);
+        assert_eq!(w.alarms()[0].0, EdgeId(2), "{{3,4}} starves");
+    }
+
+    #[test]
+    fn watchdog_resets_when_meeting_happens() {
+        use crate::cc1::Cc1State;
+        use crate::status::Status;
+        let h = generators::fig2();
+        let mut w = ProgressWatchdog::new(&h, 3);
+        let looking = |e| Cc1State { s: Status::Looking, p: e, t: false };
+        let mut cfg = vec![Cc1State::idle(); h.n()];
+        cfg[h.dense_of(3)] = looking(None);
+        cfg[h.dense_of(4)] = looking(None);
+        w.observe(&h, &cfg, 0);
+        w.observe(&h, &cfg, 1);
+        // The committee meets: streak resets.
+        cfg[h.dense_of(3)] = Cc1State { s: Status::Waiting, p: Some(EdgeId(2)), t: false };
+        cfg[h.dense_of(4)] = Cc1State { s: Status::Waiting, p: Some(EdgeId(2)), t: false };
+        w.observe(&h, &cfg, 2);
+        w.observe(&h, &cfg, 3);
+        w.observe(&h, &cfg, 4);
+        assert!(w.alarms().is_empty());
+    }
+
+    #[test]
+    fn cc2_has_no_watchdog_alarms_with_generous_horizon() {
+        let h = Arc::new(generators::ring(5, 2));
+        let mut sim = Cc2Sim::standard(Arc::clone(&h), 9, 1);
+        let mut w = ProgressWatchdog::new(&h, 5_000);
+        for step in 0..20_000u64 {
+            if !sim.step() {
+                break;
+            }
+            let post = sim.cc_states();
+            w.observe(&h, &post, step);
+        }
+        assert!(w.alarms().is_empty(), "{:?}", w.alarms());
+    }
+
+    #[test]
+    fn ledger_gap_summary_matches_fairness() {
+        let h = Arc::new(generators::fig2());
+        let mut sim = Cc1Sim::standard(Arc::clone(&h), 3, 1);
+        sim.run(10_000);
+        let gaps = max_participation_gap(sim.ledger(), h.n(), sim.steps());
+        assert_eq!(gaps.len(), h.n());
+        // Everyone who participated has a finite, sub-run gap.
+        for (p, &g) in gaps.iter().enumerate() {
+            if sim.ledger().participations()[p] > 1 {
+                assert!(g < sim.steps(), "p{p}");
+            }
+        }
+    }
+}

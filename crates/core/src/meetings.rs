@@ -1,0 +1,294 @@
+//! The meeting ledger: reconstructing meeting lifecycles from executions.
+//!
+//! §4.2 defines the analysis vocabulary this module implements: a committee
+//! `ε` **meets** in `γ` iff every member points at it with status
+//! waiting/done; `ε` **convenes** in `γ_i` iff it meets in `γ_i` but not in
+//! `γ_{i-1}`; it **terminates** symmetrically; a member **leaves** by
+//! executing Step4. The ledger turns a step sequence into
+//! [`MeetingInstance`] records that the specification monitors and the
+//! fairness/concurrency metrics consume.
+
+use crate::predicates::edge_meets;
+use crate::status::{ActionClass, CommitteeView};
+use sscc_hypergraph::{EdgeId, Hypergraph};
+use std::collections::BTreeSet;
+
+/// One meeting of one committee, from convening to termination.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MeetingInstance {
+    /// Which committee met.
+    pub edge: EdgeId,
+    /// Step at which it convened; `None` if it already met in the initial
+    /// configuration (a meeting "started during the faults", §2.5 — exempt
+    /// from the snap-stabilization guarantees).
+    pub convened_step: Option<u64>,
+    /// Completed rounds when it convened (0 for pre-existing).
+    pub convened_round: u64,
+    /// Step at which it terminated; `None` while live.
+    pub terminated_step: Option<u64>,
+    /// Members (dense indices).
+    pub participants: Vec<usize>,
+    /// Members that executed their essential discussion during this meeting.
+    pub essential: BTreeSet<usize>,
+    /// Members that executed Step4 (unilateral leave) at termination.
+    pub left_by: Vec<usize>,
+}
+
+impl MeetingInstance {
+    /// Is this meeting still running?
+    pub fn live(&self) -> bool {
+        self.terminated_step.is_none()
+    }
+
+    /// Did the meeting convene after the computation started (i.e. is it
+    /// covered by the snap-stabilization guarantee)?
+    pub fn post_initial(&self) -> bool {
+        self.convened_step.is_some()
+    }
+}
+
+/// Lifecycle notifications produced by [`MeetingLedger::observe`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LedgerEvent {
+    /// Instance `idx` convened this step.
+    Convened(usize),
+    /// Instance `idx` terminated this step.
+    Terminated(usize),
+}
+
+/// Accumulates meeting instances over a computation.
+#[derive(Clone, Debug)]
+pub struct MeetingLedger {
+    instances: Vec<MeetingInstance>,
+    /// `live[e]` = index into `instances` of the live meeting of edge `e`.
+    live: Vec<Option<usize>>,
+    /// Per-process participation counter (meetings convened with them in).
+    participations: Vec<u64>,
+    /// Last step at which each process participated in a convene.
+    last_participation: Vec<Option<u64>>,
+}
+
+impl MeetingLedger {
+    /// Start a ledger on the initial configuration: committees already
+    /// meeting become pre-existing instances (`convened_step = None`).
+    pub fn new<S: CommitteeView>(h: &Hypergraph, initial: &[S]) -> Self {
+        let mut ledger = MeetingLedger {
+            instances: Vec::new(),
+            live: vec![None; h.m()],
+            participations: vec![0; h.n()],
+            last_participation: vec![None; h.n()],
+        };
+        for e in h.edge_ids() {
+            if edge_meets(h, initial, e) {
+                ledger.live[e.index()] = Some(ledger.instances.len());
+                ledger.instances.push(MeetingInstance {
+                    edge: e,
+                    convened_step: None,
+                    convened_round: 0,
+                    terminated_step: None,
+                    participants: h.members(e).to_vec(),
+                    essential: BTreeSet::new(),
+                    left_by: Vec::new(),
+                });
+            }
+        }
+        ledger
+    }
+
+    /// Observe one step: `pre`/`post` configurations, the step index, the
+    /// completed-round count, and the committee-layer actions executed
+    /// (process, class, pre-step pointer of that process).
+    pub fn observe<S: CommitteeView>(
+        &mut self,
+        h: &Hypergraph,
+        pre: &[S],
+        post: &[S],
+        step: u64,
+        round: u64,
+        executed: &[(usize, ActionClass)],
+    ) -> Vec<LedgerEvent> {
+        let mut events = Vec::new();
+        // Essential discussions and leaves are attributed to the live
+        // meeting of the edge the process pointed at in `pre`.
+        for &(p, class) in executed {
+            match class {
+                ActionClass::Essential => {
+                    if let Some(e) = pre[p].pointer() {
+                        if let Some(idx) = self.live[e.index()] {
+                            self.instances[idx].essential.insert(p);
+                        }
+                    }
+                }
+                ActionClass::Leave => {
+                    if let Some(e) = pre[p].pointer() {
+                        if let Some(idx) = self.live[e.index()] {
+                            self.instances[idx].left_by.push(p);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Convene / terminate detection.
+        for e in h.edge_ids() {
+            let was = self.live[e.index()].is_some();
+            debug_assert_eq!(
+                was,
+                edge_meets(h, pre, e),
+                "ledger live-set is in sync with the configuration"
+            );
+            let now = edge_meets(h, post, e);
+            if !was && now {
+                let idx = self.instances.len();
+                self.live[e.index()] = Some(idx);
+                self.instances.push(MeetingInstance {
+                    edge: e,
+                    convened_step: Some(step),
+                    convened_round: round,
+                    terminated_step: None,
+                    participants: h.members(e).to_vec(),
+                    essential: BTreeSet::new(),
+                    left_by: Vec::new(),
+                });
+                for &q in h.members(e) {
+                    self.participations[q] += 1;
+                    self.last_participation[q] = Some(step);
+                }
+                events.push(LedgerEvent::Convened(idx));
+            } else if was && !now {
+                let idx = self.live[e.index()].take().expect("was live");
+                self.instances[idx].terminated_step = Some(step);
+                events.push(LedgerEvent::Terminated(idx));
+            }
+        }
+        events
+    }
+
+    /// All recorded instances, in creation order.
+    pub fn instances(&self) -> &[MeetingInstance] {
+        &self.instances
+    }
+
+    /// The live instance of edge `e`, if any.
+    pub fn live_instance(&self, e: EdgeId) -> Option<&MeetingInstance> {
+        self.live[e.index()].map(|i| &self.instances[i])
+    }
+
+    /// Committees currently meeting.
+    pub fn live_edges(&self) -> Vec<EdgeId> {
+        self.live
+            .iter()
+            .enumerate()
+            .filter_map(|(e, idx)| idx.map(|_| EdgeId(e as u32)))
+            .collect()
+    }
+
+    /// Meetings convened after step 0 (covered by snap-stabilization).
+    pub fn post_initial_instances(&self) -> impl Iterator<Item = &MeetingInstance> {
+        self.instances.iter().filter(|m| m.post_initial())
+    }
+
+    /// How many meetings each process participated in (post-initial
+    /// convenes only).
+    pub fn participations(&self) -> &[u64] {
+        &self.participations
+    }
+
+    /// Last step at which `p` joined a convening meeting.
+    pub fn last_participation(&self, p: usize) -> Option<u64> {
+        self.last_participation[p]
+    }
+
+    /// Total number of post-initial convenes.
+    pub fn convened_count(&self) -> usize {
+        self.post_initial_instances().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc1::Cc1State;
+    use crate::status::Status;
+    use sscc_hypergraph::generators;
+
+    fn s(status: Status, p: Option<u32>) -> Cc1State {
+        Cc1State { s: status, p: p.map(EdgeId), t: false }
+    }
+
+    #[test]
+    fn preexisting_meetings_are_flagged() {
+        let h = generators::fig2();
+        let mut init = vec![Cc1State::idle(); h.n()];
+        init[h.dense_of(3)] = s(Status::Done, Some(2));
+        init[h.dense_of(4)] = s(Status::Waiting, Some(2));
+        let ledger = MeetingLedger::new(&h, &init);
+        assert_eq!(ledger.instances().len(), 1);
+        assert!(!ledger.instances()[0].post_initial());
+        assert!(ledger.instances()[0].live());
+        assert_eq!(ledger.live_edges(), vec![EdgeId(2)]);
+    }
+
+    #[test]
+    fn convene_terminate_lifecycle() {
+        let h = generators::fig2();
+        let idle = vec![Cc1State::idle(); h.n()];
+        let mut ledger = MeetingLedger::new(&h, &idle);
+
+        // Step 5: {3,4} convenes (both waiting, pointing e2).
+        let mut met = idle.clone();
+        met[h.dense_of(3)] = s(Status::Waiting, Some(2));
+        met[h.dense_of(4)] = s(Status::Waiting, Some(2));
+        let ev = ledger.observe(&h, &idle, &met, 5, 1, &[]);
+        assert_eq!(ev, vec![LedgerEvent::Convened(0)]);
+        let m = &ledger.instances()[0];
+        assert_eq!(m.convened_step, Some(5));
+        assert_eq!(m.convened_round, 1);
+        assert!(m.post_initial());
+
+        // Step 6: both do essential discussion.
+        let mut done = met.clone();
+        done[h.dense_of(3)].s = Status::Done;
+        done[h.dense_of(4)].s = Status::Done;
+        let ev = ledger.observe(
+            &h,
+            &met,
+            &done,
+            6,
+            1,
+            &[
+                (h.dense_of(3), ActionClass::Essential),
+                (h.dense_of(4), ActionClass::Essential),
+            ],
+        );
+        assert!(ev.is_empty(), "still meets: no lifecycle event");
+        assert_eq!(ledger.instances()[0].essential.len(), 2);
+
+        // Step 9: professor 3 leaves; the meeting terminates.
+        let mut after = done.clone();
+        after[h.dense_of(3)] = Cc1State::idle();
+        let ev =
+            ledger.observe(&h, &done, &after, 9, 2, &[(h.dense_of(3), ActionClass::Leave)]);
+        assert_eq!(ev, vec![LedgerEvent::Terminated(0)]);
+        let m = &ledger.instances()[0];
+        assert_eq!(m.terminated_step, Some(9));
+        assert_eq!(m.left_by, vec![h.dense_of(3)]);
+        assert!(ledger.live_edges().is_empty());
+    }
+
+    #[test]
+    fn participations_count_convenes() {
+        let h = generators::fig2();
+        let idle = vec![Cc1State::idle(); h.n()];
+        let mut ledger = MeetingLedger::new(&h, &idle);
+        let mut met = idle.clone();
+        met[h.dense_of(3)] = s(Status::Waiting, Some(2));
+        met[h.dense_of(4)] = s(Status::Waiting, Some(2));
+        ledger.observe(&h, &idle, &met, 1, 0, &[]);
+        assert_eq!(ledger.participations()[h.dense_of(3)], 1);
+        assert_eq!(ledger.participations()[h.dense_of(4)], 1);
+        assert_eq!(ledger.participations()[h.dense_of(1)], 0);
+        assert_eq!(ledger.last_participation(h.dense_of(3)), Some(1));
+        assert_eq!(ledger.convened_count(), 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! The `RequestIn` / `RequestOut` environment predicates (§2.3, §4.1).
+//!
+//! These are *inputs from the system*: a professor autonomously decides to
+//! wait for a meeting (`RequestIn`) and to stop discussing (`RequestOut`).
+//! The paper constrains them with liveness contracts rather than code:
+//!
+//! * once a meeting involving `p` meets — or `p` is stuck in a terminated
+//!   meeting (`LeaveMeeting(p)`) — `RequestOut(p)` eventually holds and then
+//!   stays true until `p` leaves;
+//! * for the fair algorithms (§5), professors request infinitely often, so
+//!   `RequestIn` is identically true;
+//! * Definitions 2 and 5 use the *infinite meeting* artefact: participants
+//!   of live meetings never request out.
+//!
+//! The predicates are realized as [`RequestFlags`] (the immutable view the
+//! engine reads during a step) updated between steps by an [`OraclePolicy`]
+//! (the mutable decision logic, fed the post-step statuses).
+
+use crate::status::Status;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// The environment interface the algorithms read during guard evaluation.
+pub trait RequestEnv {
+    /// `RequestIn(p)`: does the professor want to join a meeting?
+    fn request_in(&self, p: usize) -> bool;
+    /// `RequestOut(p)`: does the professor want to stop discussing?
+    fn request_out(&self, p: usize) -> bool;
+}
+
+/// Materialized predicate values for one step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestFlags {
+    r_in: Vec<bool>,
+    r_out: Vec<bool>,
+}
+
+impl RequestFlags {
+    /// Flags for `n` processes, initially all-in / none-out.
+    pub fn new(n: usize) -> Self {
+        RequestFlags { r_in: vec![true; n], r_out: vec![false; n] }
+    }
+
+    /// Set `RequestIn(p)`.
+    pub fn set_in(&mut self, p: usize, v: bool) {
+        self.r_in[p] = v;
+    }
+
+    /// Set `RequestOut(p)`.
+    pub fn set_out(&mut self, p: usize, v: bool) {
+        self.r_out[p] = v;
+    }
+}
+
+impl RequestEnv for RequestFlags {
+    fn request_in(&self, p: usize) -> bool {
+        self.r_in[p]
+    }
+    fn request_out(&self, p: usize) -> bool {
+        self.r_out[p]
+    }
+}
+
+/// Minimal view of the post-step configuration a policy needs: per-process
+/// status and whether the process is in a (live) meeting.
+#[derive(Clone, Debug)]
+pub struct PolicyView {
+    /// Status of each process.
+    pub status: Vec<Status>,
+    /// `Meeting(p)` of each process (all members of some pointed committee
+    /// are waiting/done).
+    pub in_meeting: Vec<bool>,
+}
+
+/// Decision logic advancing the request predicates between steps.
+///
+/// Contract honored by every provided policy: `RequestOut(p)`, once raised
+/// while `p` is done, stays raised until `p` leaves (the policies recompute
+/// from "time since done", which only resets on leaving).
+pub trait OraclePolicy {
+    /// Recompute `flags` for the next step from the post-step `view`.
+    fn update(&mut self, flags: &mut RequestFlags, view: &PolicyView);
+
+    /// Upper bound on the number of environment ticks that may pass — with
+    /// all process statuses frozen — before this policy's flags stop
+    /// changing forever. The simulator uses it to tell "the system is
+    /// waiting on the environment" (e.g. a finished meeting whose members'
+    /// `RequestOut` has not fired yet) apart from true quiescence.
+    fn quiescence_horizon(&self) -> u64 {
+        1
+    }
+}
+
+/// Everyone always requests in; a professor requests out after sitting
+/// `max_disc` steps in the `done` status (the paper's `maxDisc`: the
+/// maximum voluntary-discussion length). `max_disc = 0` leaves as soon as
+/// allowed. The §5 algorithms assume exactly this environment.
+#[derive(Clone, Debug)]
+pub struct EagerPolicy {
+    max_disc: u64,
+    done_since: Vec<Option<u64>>,
+    now: u64,
+}
+
+impl EagerPolicy {
+    /// Policy for `n` processes with voluntary-discussion length `max_disc`.
+    pub fn new(n: usize, max_disc: u64) -> Self {
+        EagerPolicy { max_disc, done_since: vec![None; n], now: 0 }
+    }
+}
+
+impl OraclePolicy for EagerPolicy {
+    fn update(&mut self, flags: &mut RequestFlags, view: &PolicyView) {
+        self.now += 1;
+        for p in 0..view.status.len() {
+            flags.set_in(p, true);
+            match view.status[p] {
+                Status::Done => {
+                    let since = *self.done_since[p].get_or_insert(self.now);
+                    flags.set_out(p, self.now - since >= self.max_disc);
+                }
+                _ => {
+                    self.done_since[p] = None;
+                    flags.set_out(p, false);
+                }
+            }
+        }
+    }
+
+    fn quiescence_horizon(&self) -> u64 {
+        self.max_disc + 2
+    }
+}
+
+/// The infinite-meeting artefact of Definitions 2 and 5: participants of a
+/// live meeting never request out; a professor stuck in a *terminated*
+/// meeting (done but not meeting) requests out, as the paper stipulates, so
+/// that fault debris gets cleaned up.
+#[derive(Clone, Debug, Default)]
+pub struct InfiniteMeetingPolicy;
+
+impl OraclePolicy for InfiniteMeetingPolicy {
+    fn update(&mut self, flags: &mut RequestFlags, view: &PolicyView) {
+        for p in 0..view.status.len() {
+            flags.set_in(p, true);
+            flags.set_out(p, view.status[p] == Status::Done && !view.in_meeting[p]);
+        }
+    }
+}
+
+/// Randomized environment: idle professors start requesting with probability
+/// `p_in` per step; done professors request out after a per-sojourn random
+/// delay in `out_delay`. Deterministic per seed.
+#[derive(Clone, Debug)]
+pub struct StochasticPolicy {
+    rng: StdRng,
+    p_in: f64,
+    out_lo: u64,
+    out_hi: u64,
+    wants_in: Vec<bool>,
+    done_since: Vec<Option<(u64, u64)>>, // (entered, sampled delay)
+    now: u64,
+}
+
+impl StochasticPolicy {
+    /// Policy for `n` processes.
+    pub fn new(n: usize, seed: u64, p_in: f64, out_delay: std::ops::Range<u64>) -> Self {
+        assert!((0.0..=1.0).contains(&p_in));
+        assert!(out_delay.start < out_delay.end);
+        StochasticPolicy {
+            rng: StdRng::seed_from_u64(seed),
+            p_in,
+            out_lo: out_delay.start,
+            out_hi: out_delay.end,
+            wants_in: vec![false; n],
+            done_since: vec![None; n],
+            now: 0,
+        }
+    }
+}
+
+impl OraclePolicy for StochasticPolicy {
+    fn update(&mut self, flags: &mut RequestFlags, view: &PolicyView) {
+        self.now += 1;
+        for p in 0..view.status.len() {
+            match view.status[p] {
+                Status::Idle => {
+                    if !self.wants_in[p] && self.rng.random_bool(self.p_in) {
+                        self.wants_in[p] = true;
+                    }
+                    self.done_since[p] = None;
+                    flags.set_out(p, false);
+                }
+                Status::Done => {
+                    let (entered, delay) = *self.done_since[p].get_or_insert((
+                        self.now,
+                        self.rng.random_range(self.out_lo..self.out_hi),
+                    ));
+                    flags.set_out(p, self.now - entered >= delay);
+                }
+                _ => {
+                    // Looking/waiting: the in-request has been consumed.
+                    self.wants_in[p] = false;
+                    self.done_since[p] = None;
+                    flags.set_out(p, false);
+                }
+            }
+            flags.set_in(p, self.wants_in[p]);
+        }
+    }
+
+    fn quiescence_horizon(&self) -> u64 {
+        self.out_hi + 2
+    }
+}
+
+/// Fully scripted environment for walkthroughs (e.g. Figure 3, where
+/// professor 4 never requests): fixed `RequestIn` mask, `RequestOut` raised
+/// `out_after` steps into `done` like [`EagerPolicy`].
+#[derive(Clone, Debug)]
+pub struct ScriptedPolicy {
+    in_mask: Vec<bool>,
+    eager: EagerPolicy,
+}
+
+impl ScriptedPolicy {
+    /// `in_mask[p]` = does professor `p` ever request in; `max_disc` as in
+    /// [`EagerPolicy`].
+    pub fn new(in_mask: Vec<bool>, max_disc: u64) -> Self {
+        let n = in_mask.len();
+        ScriptedPolicy { in_mask, eager: EagerPolicy::new(n, max_disc) }
+    }
+}
+
+impl OraclePolicy for ScriptedPolicy {
+    fn update(&mut self, flags: &mut RequestFlags, view: &PolicyView) {
+        self.eager.update(flags, view);
+        for (p, &m) in self.in_mask.iter().enumerate() {
+            flags.set_in(p, m);
+        }
+    }
+
+    fn quiescence_horizon(&self) -> u64 {
+        self.eager.quiescence_horizon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(status: Vec<Status>, in_meeting: Vec<bool>) -> PolicyView {
+        PolicyView { status, in_meeting }
+    }
+
+    #[test]
+    fn eager_raises_out_after_max_disc() {
+        let mut pol = EagerPolicy::new(1, 2);
+        let mut f = RequestFlags::new(1);
+        let v = view(vec![Status::Done], vec![true]);
+        pol.update(&mut f, &v);
+        assert!(!f.request_out(0), "0 steps done");
+        pol.update(&mut f, &v);
+        assert!(!f.request_out(0), "1 step done");
+        pol.update(&mut f, &v);
+        assert!(f.request_out(0), "2 steps done: voluntary discussion over");
+        // Stays raised until the professor leaves.
+        pol.update(&mut f, &v);
+        assert!(f.request_out(0));
+        pol.update(&mut f, &view(vec![Status::Idle], vec![false]));
+        assert!(!f.request_out(0), "reset on leaving");
+    }
+
+    #[test]
+    fn eager_zero_disc_is_immediate() {
+        let mut pol = EagerPolicy::new(1, 0);
+        let mut f = RequestFlags::new(1);
+        pol.update(&mut f, &view(vec![Status::Done], vec![true]));
+        assert!(f.request_out(0));
+    }
+
+    #[test]
+    fn infinite_meetings_never_release_live_participants() {
+        let mut pol = InfiniteMeetingPolicy;
+        let mut f = RequestFlags::new(2);
+        let v = view(vec![Status::Done, Status::Done], vec![true, false]);
+        pol.update(&mut f, &v);
+        assert!(!f.request_out(0), "live meeting: stay forever");
+        assert!(f.request_out(1), "terminated-meeting debris: leave");
+    }
+
+    #[test]
+    fn stochastic_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut pol = StochasticPolicy::new(3, seed, 0.5, 1..4);
+            let mut f = RequestFlags::new(3);
+            let mut outs = Vec::new();
+            for _ in 0..20 {
+                pol.update(
+                    &mut f,
+                    &view(
+                        vec![Status::Idle, Status::Done, Status::Looking],
+                        vec![false, true, false],
+                    ),
+                );
+                outs.push((f.request_in(0), f.request_out(1)));
+            }
+            outs
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn stochastic_in_request_sticks_until_consumed() {
+        let mut pol = StochasticPolicy::new(1, 1, 1.0, 1..2);
+        let mut f = RequestFlags::new(1);
+        pol.update(&mut f, &view(vec![Status::Idle], vec![false]));
+        assert!(f.request_in(0), "p_in = 1.0 requests immediately");
+        pol.update(&mut f, &view(vec![Status::Idle], vec![false]));
+        assert!(f.request_in(0), "request persists while idle");
+        pol.update(&mut f, &view(vec![Status::Looking], vec![false]));
+        assert!(!f.request_in(0), "consumed once looking");
+    }
+
+    #[test]
+    fn scripted_mask_overrides_in() {
+        let mut pol = ScriptedPolicy::new(vec![true, false], 0);
+        let mut f = RequestFlags::new(2);
+        pol.update(&mut f, &view(vec![Status::Idle, Status::Idle], vec![false, false]));
+        assert!(f.request_in(0));
+        assert!(!f.request_in(1), "professor 1 never requests (Fig 3's #4)");
+    }
+}

@@ -1,0 +1,61 @@
+//! Predicates shared verbatim by CC1 and CC2 (they quantify only over
+//! statuses and pointers, which both state types expose via
+//! [`CommitteeView`]).
+
+use crate::status::{CommitteeView, Status};
+use sscc_hypergraph::{EdgeId, Hypergraph};
+use sscc_runtime::prelude::Ctx;
+
+/// `Ready(p) ≡ ∃ε ∈ E_p : ∀q ∈ ε : (P_q = ε ∧ S_q ∈ {looking, waiting})`.
+pub fn ready<S: CommitteeView, E: ?Sized>(ctx: &Ctx<'_, S, E>) -> bool {
+    ctx.h().incident(ctx.me()).iter().any(|&e| all_members(ctx, e, is_ready_member))
+}
+
+/// `Meeting(p) ≡ ∃ε ∈ E_p : ∀q ∈ ε : (P_q = ε ∧ S_q ∈ {waiting, done})`.
+pub fn meeting<S: CommitteeView, E: ?Sized>(ctx: &Ctx<'_, S, E>) -> bool {
+    ctx.h().incident(ctx.me()).iter().any(|&e| all_members(ctx, e, is_meeting_member))
+}
+
+fn is_ready_member(s: &dyn CommitteeView, e: EdgeId) -> bool {
+    s.pointer() == Some(e) && matches!(s.status(), Status::Looking | Status::Waiting)
+}
+
+fn is_meeting_member(s: &dyn CommitteeView, e: EdgeId) -> bool {
+    s.pointer() == Some(e) && matches!(s.status(), Status::Waiting | Status::Done)
+}
+
+fn all_members<S: CommitteeView, E: ?Sized>(
+    ctx: &Ctx<'_, S, E>,
+    e: EdgeId,
+    pred: fn(&dyn CommitteeView, EdgeId) -> bool,
+) -> bool {
+    ctx.h()
+        .members(e)
+        .iter()
+        .all(|&q| pred(ctx.state_of(q) as &dyn CommitteeView, e))
+}
+
+/// Global (non-local) form of "committee `e` meets" — the analysis-side
+/// mirror of `Meeting`, evaluated over a full configuration by the ledger
+/// and monitors (§4.2: a committee *meets* iff every member points to it
+/// with status waiting/done).
+pub fn edge_meets<S: CommitteeView>(h: &Hypergraph, states: &[S], e: EdgeId) -> bool {
+    h.members(e).iter().all(|&q| {
+        let s = &states[q];
+        s.pointer() == Some(e) && matches!(s.status(), Status::Waiting | Status::Done)
+    })
+}
+
+/// All committees currently meeting in a configuration.
+pub fn meeting_edges<S: CommitteeView>(h: &Hypergraph, states: &[S]) -> Vec<EdgeId> {
+    h.edge_ids().filter(|&e| edge_meets(h, states, e)).collect()
+}
+
+/// Is process `p` *participating* in a meeting (member of a meeting
+/// committee it points to)?
+pub fn participates<S: CommitteeView>(h: &Hypergraph, states: &[S], p: usize) -> bool {
+    match states[p].pointer() {
+        Some(e) => h.is_member(p, e) && edge_meets(h, states, e),
+        None => false,
+    }
+}

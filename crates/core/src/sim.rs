@@ -1,0 +1,464 @@
+//! One-call simulation facade: topology + algorithm + daemon + environment
+//! policy (+ optional fault injection) → executed computation with ledger,
+//! specification verdicts, rounds and traces.
+//!
+//! This is the entry point examples, integration tests, the metrics harness
+//! and the benches all share.
+
+use crate::algo::CommitteeAlgorithm;
+use crate::compose::Composed;
+use crate::meetings::MeetingLedger;
+use crate::oracle::{OraclePolicy, PolicyView, RequestFlags};
+use crate::predicates;
+use crate::spec::SpecMonitor;
+use crate::status::{ActionClass, CommitteeView, Status};
+use sscc_hypergraph::Hypergraph;
+use sscc_runtime::prelude::*;
+use sscc_token::TokenLayer;
+use std::sync::Arc;
+
+/// Why a bounded run stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// A terminal configuration was reached (no action enabled).
+    Terminal,
+    /// The step budget ran out first.
+    Budget,
+}
+
+/// A running composed simulation with full observability.
+pub struct Sim<C: CommitteeAlgorithm, TL: TokenLayer> {
+    world: World<Composed<C, TL>>,
+    daemon: Box<dyn Daemon>,
+    policy: Box<dyn OraclePolicy>,
+    flags: RequestFlags,
+    rounds: RoundTracker,
+    ledger: MeetingLedger,
+    monitor: SpecMonitor,
+    trace: Option<Trace>,
+}
+
+impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
+    /// Clean boot: designated initial states (idle/looking professors, one
+    /// token in place).
+    pub fn new(
+        h: Arc<Hypergraph>,
+        cc: C,
+        tl: TL,
+        daemon: Box<dyn Daemon>,
+        policy: Box<dyn OraclePolicy>,
+    ) -> Self {
+        let world = World::new(h, Composed::new(cc, tl));
+        Self::wrap(world, daemon, policy)
+    }
+
+    /// Adversarial boot: every variable of every process (committee layer
+    /// *and* token substrate) is sampled from its full domain — the paper's
+    /// "arbitrary initial configuration" after transient faults (§2.5).
+    pub fn arbitrary(
+        h: Arc<Hypergraph>,
+        cc: C,
+        tl: TL,
+        daemon: Box<dyn Daemon>,
+        policy: Box<dyn OraclePolicy>,
+        fault_seed: u64,
+    ) -> Self {
+        let mut world = World::new(h, Composed::new(cc, tl));
+        strike(&mut world, fault_seed);
+        Self::wrap(world, daemon, policy)
+    }
+
+    fn wrap(
+        world: World<Composed<C, TL>>,
+        daemon: Box<dyn Daemon>,
+        mut policy: Box<dyn OraclePolicy>,
+    ) -> Self {
+        let n = world.h().n();
+        let initial_cc: Vec<C::State> =
+            world.states().iter().map(|s| s.cc.clone()).collect();
+        let ledger = MeetingLedger::new(world.h(), &initial_cc);
+        // Prime the environment: the request predicates have values in γ0
+        // already (e.g. a professor that never requests must not request in
+        // the very first step either).
+        let mut flags = RequestFlags::new(n);
+        let view = PolicyView {
+            status: initial_cc.iter().map(|s| s.status()).collect(),
+            in_meeting: (0..n)
+                .map(|p| predicates::participates(world.h(), &initial_cc, p))
+                .collect(),
+        };
+        policy.update(&mut flags, &view);
+        Sim {
+            world,
+            daemon,
+            policy,
+            flags,
+            rounds: RoundTracker::new(),
+            ledger,
+            monitor: SpecMonitor::new(),
+            trace: None,
+        }
+    }
+
+    /// Record a full action trace (off by default; memory grows with run
+    /// length).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Trace::new());
+    }
+
+    /// Committee-layer states of the current configuration.
+    pub fn cc_states(&self) -> Vec<C::State> {
+        self.world.states().iter().map(|s| s.cc.clone()).collect()
+    }
+
+    /// The topology.
+    pub fn h(&self) -> &Hypergraph {
+        self.world.h()
+    }
+
+    /// The underlying world (composed states, step counter).
+    pub fn world(&self) -> &World<Composed<C, TL>> {
+        &self.world
+    }
+
+    /// Mutable access to the world, for experiment-specific surgery
+    /// (engineered configurations, partial faults). Call
+    /// [`Sim::reset_observers`] afterwards so the ledger baseline matches
+    /// the new configuration.
+    pub fn world_mut(&mut self) -> &mut World<Composed<C, TL>> {
+        &mut self.world
+    }
+
+    /// Rebuild ledger, monitor and round tracking from the *current*
+    /// configuration — required after mutating states through
+    /// [`Sim::world_mut`] (the mutated configuration becomes the "initial"
+    /// one in the snap-stabilization sense).
+    pub fn reset_observers(&mut self) {
+        let initial_cc: Vec<C::State> =
+            self.world.states().iter().map(|s| s.cc.clone()).collect();
+        self.ledger = MeetingLedger::new(self.world.h(), &initial_cc);
+        self.monitor = SpecMonitor::new();
+        self.rounds = RoundTracker::new();
+    }
+
+    /// Overwrite the committee-layer state of process `p`, keeping its
+    /// substrate state (engineered-configuration convenience).
+    pub fn set_cc_state(&mut self, p: usize, cc: C::State) {
+        let mut s = self.world.state(p).clone();
+        s.cc = cc;
+        self.world.set_state(p, s);
+    }
+
+    /// The meeting ledger.
+    pub fn ledger(&self) -> &MeetingLedger {
+        &self.ledger
+    }
+
+    /// The specification monitor.
+    pub fn monitor(&self) -> &SpecMonitor {
+        &self.monitor
+    }
+
+    /// Completed rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.rounds()
+    }
+
+    /// Steps executed.
+    pub fn steps(&self) -> u64 {
+        self.world.steps()
+    }
+
+    /// The recorded trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Current request flags (the environment as the algorithms see it).
+    pub fn flags(&self) -> &RequestFlags {
+        &self.flags
+    }
+
+    /// Override the environment flags (walkthrough scripting).
+    pub fn flags_mut(&mut self) -> &mut RequestFlags {
+        &mut self.flags
+    }
+
+    /// Execute one step. Returns `false` on a *stably* terminal
+    /// configuration: no action is enabled and advancing the environment
+    /// (which evolves independently of the processes — `RequestOut` comes
+    /// from the application, §2.3) does not re-enable anyone.
+    pub fn step(&mut self) -> bool {
+        let pre = self.cc_states();
+        let out = self.world.step(&mut *self.daemon, &self.flags);
+        self.rounds.begin_step(&out.enabled);
+        if out.terminal() {
+            // Let the environment tick: e.g. a meeting of all-done members
+            // whose RequestOut has not been raised yet leaves the system
+            // momentarily disabled, not deadlocked. The policy's declared
+            // horizon bounds how long flags may still evolve with statuses
+            // frozen; past it the configuration is truly quiescent.
+            let view = PolicyView {
+                status: pre.iter().map(|s| s.status()).collect(),
+                in_meeting: (0..pre.len())
+                    .map(|p| predicates::participates(self.world.h(), &pre, p))
+                    .collect(),
+            };
+            for _ in 0..self.policy.quiescence_horizon() {
+                self.policy.update(&mut self.flags, &view);
+                if !self.world.enabled(&self.flags).is_empty() {
+                    return true;
+                }
+            }
+            return false;
+        }
+        let executed_procs: Vec<usize> = out.executed.iter().map(|&(p, _)| p).collect();
+        self.rounds.record_executed(&executed_procs);
+        let step_idx = self.world.steps() - 1;
+
+        let post = self.cc_states();
+        let executed_cc: Vec<(usize, ActionClass)> = out
+            .executed
+            .iter()
+            .filter_map(|&(p, a)| {
+                Composed::<C, TL>::committee_action(a)
+                    .map(|i| (p, self.world.algo().cc.action_class(i)))
+            })
+            .collect();
+        let events = self.ledger.observe(
+            self.world.h(),
+            &pre,
+            &post,
+            step_idx,
+            self.rounds.rounds(),
+            &executed_cc,
+        );
+        self.monitor
+            .observe(self.world.h(), &post, step_idx, &self.ledger, &events);
+
+        let view = PolicyView {
+            status: post.iter().map(|s| s.status()).collect(),
+            in_meeting: (0..post.len())
+                .map(|p| predicates::participates(self.world.h(), &post, p))
+                .collect(),
+        };
+        self.policy.update(&mut self.flags, &view);
+
+        if let Some(t) = &mut self.trace {
+            t.record(step_idx, self.rounds.rounds(), &out.executed);
+        }
+        true
+    }
+
+    /// Run until terminal or `budget` steps.
+    pub fn run(&mut self, budget: u64) -> StopReason {
+        for _ in 0..budget {
+            if !self.step() {
+                return StopReason::Terminal;
+            }
+        }
+        StopReason::Budget
+    }
+
+    /// Run until `pred(self)` holds (checked after each step), terminal, or
+    /// budget exhaustion. Returns the steps taken and whether `pred` held.
+    pub fn run_until(
+        &mut self,
+        budget: u64,
+        mut pred: impl FnMut(&Self) -> bool,
+    ) -> (u64, bool) {
+        let start = self.steps();
+        loop {
+            if pred(self) {
+                return (self.steps() - start, true);
+            }
+            if self.steps() - start >= budget || !self.step() {
+                return (self.steps() - start, pred(self));
+            }
+        }
+    }
+
+    /// Statuses of all professors (reporting convenience).
+    pub fn statuses(&self) -> Vec<Status> {
+        self.world.states().iter().map(|s| s.cc.status()).collect()
+    }
+
+    /// Committees currently meeting.
+    pub fn live_meetings(&self) -> Vec<sscc_hypergraph::EdgeId> {
+        self.ledger.live_edges()
+    }
+}
+
+/// The default daemon of the experiment suite: a distributed random daemon
+/// with per-process activation probability ½, wrapped in weak-fairness
+/// enforcement (forced activation after `4n` steps of continuous
+/// enabledness) — the paper's *distributed weakly fair daemon*.
+pub fn default_daemon(seed: u64, n: usize) -> Box<dyn Daemon> {
+    Box::new(WeaklyFair::new(DistributedRandom::new(seed, 0.5), 4 * n))
+}
+
+/// Pre-composed simulation type for CC1 over the wave-token substrate.
+pub type Cc1Sim = Sim<crate::cc1::Cc1, sscc_token::WaveToken>;
+/// Pre-composed simulation type for CC2.
+pub type Cc2Sim = Sim<crate::cc2::Cc2, sscc_token::WaveToken>;
+/// Pre-composed simulation type for CC3.
+pub type Cc3Sim = Sim<crate::cc2::Cc3, sscc_token::WaveToken>;
+
+impl Cc1Sim {
+    /// CC1 ∘ TC with the default daemon and an eager environment.
+    pub fn standard(h: Arc<Hypergraph>, seed: u64, max_disc: u64) -> Self {
+        let n = h.n();
+        let ring = sscc_token::WaveToken::new(&h);
+        Sim::new(
+            h,
+            crate::cc1::Cc1::new(),
+            ring,
+            default_daemon(seed, n),
+            Box::new(crate::oracle::EagerPolicy::new(n, max_disc)),
+        )
+    }
+}
+
+impl Cc2Sim {
+    /// CC2 ∘ TC with the default daemon and an eager environment.
+    pub fn standard(h: Arc<Hypergraph>, seed: u64, max_disc: u64) -> Self {
+        let n = h.n();
+        let ring = sscc_token::WaveToken::new(&h);
+        Sim::new(
+            h,
+            crate::cc2::Cc2::new(),
+            ring,
+            default_daemon(seed, n),
+            Box::new(crate::oracle::EagerPolicy::new(n, max_disc)),
+        )
+    }
+}
+
+impl Cc3Sim {
+    /// CC3 ∘ TC with the default daemon and an eager environment.
+    pub fn standard(h: Arc<Hypergraph>, seed: u64, max_disc: u64) -> Self {
+        let n = h.n();
+        let ring = sscc_token::WaveToken::new(&h);
+        Sim::new(
+            h,
+            crate::cc2::Cc3::new_cc3(),
+            ring,
+            default_daemon(seed, n),
+            Box::new(crate::oracle::EagerPolicy::new(n, max_disc)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sscc_hypergraph::generators;
+
+    #[test]
+    fn cc1_convenes_meetings_on_fig2() {
+        let h = Arc::new(generators::fig2());
+        let mut sim = Cc1Sim::standard(Arc::clone(&h), 42, 1);
+        sim.run(4000);
+        assert!(sim.ledger().convened_count() >= 3, "meetings keep happening");
+        assert!(sim.monitor().clean(), "violations: {:?}", sim.monitor().violations());
+    }
+
+    #[test]
+    fn cc2_convenes_meetings_on_fig2() {
+        let h = Arc::new(generators::fig2());
+        let mut sim = Cc2Sim::standard(Arc::clone(&h), 42, 1);
+        sim.run(4000);
+        assert!(sim.ledger().convened_count() >= 3);
+        assert!(sim.monitor().clean(), "violations: {:?}", sim.monitor().violations());
+    }
+
+    #[test]
+    fn cc3_convenes_meetings_on_fig1() {
+        let h = Arc::new(generators::fig1());
+        let mut sim = Cc3Sim::standard(Arc::clone(&h), 7, 1);
+        sim.run(6000);
+        assert!(sim.ledger().convened_count() >= 3);
+        assert!(sim.monitor().clean(), "violations: {:?}", sim.monitor().violations());
+    }
+
+    #[test]
+    fn cc2_is_fair_on_ring() {
+        // Everybody meets repeatedly under CC2 (professor fairness).
+        let h = Arc::new(generators::ring(5, 2));
+        let mut sim = Cc2Sim::standard(Arc::clone(&h), 3, 1);
+        sim.run(30_000);
+        for p in 0..h.n() {
+            assert!(
+                sim.ledger().participations()[p] >= 2,
+                "p{p} starved: {:?}",
+                sim.ledger().participations()
+            );
+        }
+        assert!(sim.monitor().clean());
+    }
+
+    #[test]
+    fn snap_from_arbitrary_configurations_cc1() {
+        let h = Arc::new(generators::fig1());
+        for seed in 0..10 {
+            let n = h.n();
+            let ring = sscc_token::WaveToken::new(&h);
+            let mut sim = Sim::arbitrary(
+                Arc::clone(&h),
+                crate::cc1::Cc1::new(),
+                ring,
+                default_daemon(seed, n),
+                Box::new(crate::oracle::EagerPolicy::new(n, 1)),
+                seed,
+            );
+            sim.run(4000);
+            assert!(
+                sim.monitor().clean(),
+                "seed {seed}: {:?}",
+                sim.monitor().violations()
+            );
+            assert!(sim.ledger().convened_count() >= 1, "seed {seed}: progress");
+        }
+    }
+
+    #[test]
+    fn snap_from_arbitrary_configurations_cc2() {
+        let h = Arc::new(generators::fig1());
+        for seed in 0..10 {
+            let n = h.n();
+            let ring = sscc_token::WaveToken::new(&h);
+            let mut sim = Sim::arbitrary(
+                Arc::clone(&h),
+                crate::cc2::Cc2::new(),
+                ring,
+                default_daemon(seed, n),
+                Box::new(crate::oracle::EagerPolicy::new(n, 1)),
+                seed,
+            );
+            sim.run(6000);
+            assert!(
+                sim.monitor().clean(),
+                "seed {seed}: {:?}",
+                sim.monitor().violations()
+            );
+            assert!(sim.ledger().convened_count() >= 1, "seed {seed}: progress");
+        }
+    }
+
+    #[test]
+    fn trace_records_actions() {
+        let h = Arc::new(generators::fig2());
+        let mut sim = Cc1Sim::standard(Arc::clone(&h), 1, 1);
+        sim.enable_trace();
+        sim.run(50);
+        assert!(!sim.trace().unwrap().events().is_empty());
+    }
+
+    #[test]
+    fn run_until_predicate() {
+        let h = Arc::new(generators::fig2());
+        let mut sim = Cc1Sim::standard(Arc::clone(&h), 9, 1);
+        let (_, ok) = sim.run_until(5000, |s| s.ledger().convened_count() >= 1);
+        assert!(ok, "a first meeting convenes within the budget");
+    }
+}

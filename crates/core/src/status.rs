@@ -1,0 +1,84 @@
+//! Professor statuses and the uniform view the analysis layer takes of both
+//! algorithms' states.
+//!
+//! The problem statement (§2.3) knows three professor *states*: idle,
+//! waiting, meeting. The algorithms refine "waiting" into two *statuses*
+//! (`looking` — searching for a committee, and `waiting` — committed to one,
+//! §4.1 footnote 6) and represent "meeting" by `waiting`/`done` members of a
+//! fully-pointed committee. CC1 uses all four statuses; CC2/CC3 drop `idle`
+//! because professors are assumed to request infinitely often (§5).
+
+use sscc_hypergraph::EdgeId;
+
+/// The four statuses of Algorithm CC1; CC2/CC3 never use [`Status::Idle`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// Not requesting to meet.
+    Idle,
+    /// Requesting; searching for a committee (waiting state, phase 1).
+    Looking,
+    /// Requesting; committed to a committee (waiting state, phase 2).
+    Waiting,
+    /// In a meeting, essential discussion completed.
+    Done,
+}
+
+impl Status {
+    /// Is the professor in the problem's *waiting* state (looking|waiting)?
+    pub fn is_waiting_state(self) -> bool {
+        matches!(self, Status::Looking | Status::Waiting)
+    }
+}
+
+/// Uniform read-only view of a committee-algorithm state, implemented by
+/// both CC1 and CC2/CC3 states so monitors, ledgers and reports can treat
+/// them alike.
+pub trait CommitteeView {
+    /// Current status `S_p`.
+    fn status(&self) -> Status;
+    /// Edge pointer `P_p` (`None` is the paper's `⊥`).
+    fn pointer(&self) -> Option<EdgeId>;
+    /// The announced token bit `T_p` (the *variable*, not the `Token(p)`
+    /// predicate of the substrate).
+    fn t_bit(&self) -> bool;
+    /// The lock bit `L_p` (CC2/CC3 only; CC1 reports `false`).
+    fn l_bit(&self) -> bool {
+        false
+    }
+}
+
+/// Semantic classification of actions, shared by CC1/CC2/CC3 so that the
+/// meeting ledger and the 2-phase-discussion monitor need not know which
+/// algorithm produced a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ActionClass {
+    /// CC1 `Step1`: idle professor starts looking.
+    Request,
+    /// Pointer moves (`Step21/Step22`, `Step11..Step14`).
+    Point,
+    /// Token bookkeeping (`Token1/Token2`, `Token`).
+    Token,
+    /// Becoming `waiting` (`Step31`, `Step2`).
+    Wait,
+    /// Essential discussion + becoming `done` (`Step32`, `Step3`).
+    Essential,
+    /// Unilateral leave (`Step4`).
+    Leave,
+    /// Stabilization corrections (`Stab1/Stab2`, `Stab`).
+    Stabilize,
+    /// CC2 lock maintenance (`Lock`).
+    Lock,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiting_state_classification() {
+        assert!(!Status::Idle.is_waiting_state());
+        assert!(Status::Looking.is_waiting_state());
+        assert!(Status::Waiting.is_waiting_state());
+        assert!(!Status::Done.is_waiting_state());
+    }
+}

@@ -1,0 +1,68 @@
+//! Graphviz (DOT) export helpers, for documentation and debugging.
+//!
+//! Hypergraphs are rendered as bipartite "factor graphs": circles for
+//! professors, boxes for committees. The underlying communication network is
+//! rendered as a plain graph (the paper's Figure 1b view).
+
+use crate::hypergraph::Hypergraph;
+use std::fmt::Write as _;
+
+/// Bipartite factor-graph rendering of the hypergraph (Fig. 1a view).
+pub fn hypergraph_dot(h: &Hypergraph) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "graph H {{");
+    let _ = writeln!(s, "  node [shape=circle];");
+    for v in 0..h.n() {
+        let _ = writeln!(s, "  p{};", h.id(v).value());
+    }
+    for e in h.edge_ids() {
+        let _ = writeln!(s, "  e{} [shape=box, label=\"c{}\"];", e.0, e.0);
+        for &v in h.members(e) {
+            let _ = writeln!(s, "  p{} -- e{};", h.id(v).value(), e.0);
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Underlying communication network `G_H` (Fig. 1b view).
+pub fn network_dot(h: &Hypergraph) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "graph GH {{");
+    let _ = writeln!(s, "  node [shape=circle];");
+    for v in 0..h.n() {
+        for &u in h.neighbors(v) {
+            if v < u {
+                let _ = writeln!(s, "  p{} -- p{};", h.id(v).value(), h.id(u).value());
+            }
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn fig1_dot_mentions_everything() {
+        let h = generators::fig1();
+        let d = hypergraph_dot(&h);
+        for p in 1..=6 {
+            assert!(d.contains(&format!("p{p};")), "professor {p} missing");
+        }
+        for e in 0..5 {
+            assert!(d.contains(&format!("e{e} [")), "committee {e} missing");
+        }
+    }
+
+    #[test]
+    fn network_dot_counts_edges() {
+        let h = generators::fig1();
+        let d = network_dot(&h);
+        // Fig 1b lists exactly 10 undirected edges.
+        assert_eq!(d.matches(" -- ").count(), 10);
+    }
+}

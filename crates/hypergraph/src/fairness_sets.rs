@@ -1,0 +1,245 @@
+//! The fairness/concurrency analysis sets of paper §5.3–§5.4.
+//!
+//! When the CC2 token holder `p` has pinned a smallest incident committee `ε`
+//! that cannot convene because some members are in other meetings, the
+//! remaining non-meeting members of `ε` are blocked. The meetings then held
+//! form a maximal matching of the hypergraph *minus those blocked vertices*
+//! with the extra requirement that the unblocked members of `ε` are covered —
+//! the `Almost(ε, X)` sets. Theorem 4 lower-bounds the degree of fair
+//! concurrency by the minimum size over `MM ∪ AMM`, Theorem 5 bounds that by
+//! `minMM − MaxMin + 1`; Theorems 7/8 are the CC3 analogues with `AMM'` and
+//! `MaxHEdge`.
+
+use crate::hypergraph::Hypergraph;
+use crate::ids::EdgeId;
+use crate::matching::{enumerate_maximal_within, min_maximal_matching_size};
+
+/// Edges of `h` avoiding every vertex in `excluded` — the edge set of the
+/// induced subhypergraph `H_excluded` (paper: `H_Y` induced by `V \ Y`).
+pub fn edges_avoiding(h: &Hypergraph, excluded: &[usize]) -> Vec<EdgeId> {
+    h.edge_ids()
+        .filter(|&e| h.members(e).iter().all(|v| !excluded.contains(v)))
+        .collect()
+}
+
+/// `Almost(ε, X)`: maximal matchings `m` of `H_X` such that every member of
+/// `ε \ X` is incident to a hyperedge of `m` (paper §5.3).
+pub fn almost(h: &Hypergraph, eps: EdgeId, x: &[usize]) -> Vec<Vec<EdgeId>> {
+    let allowed = edges_avoiding(h, x);
+    let required: Vec<usize> = h
+        .members(eps)
+        .iter()
+        .copied()
+        .filter(|v| !x.contains(v))
+        .collect();
+    enumerate_maximal_within(h, &allowed)
+        .into_iter()
+        .filter(|m| {
+            required
+                .iter()
+                .all(|&q| m.iter().any(|&e| h.is_member(q, e)))
+        })
+        .collect()
+}
+
+/// Iterate the sets `y ∈ Y_{ε,p} = {y ⊆ ε | p ∈ y ∧ |y| < |ε|}` — every
+/// proper subset of `ε` containing `p`. Calls `f` with each `y` (as dense
+/// vertex indices).
+fn for_each_y(h: &Hypergraph, eps: EdgeId, p: usize, mut f: impl FnMut(&[usize])) {
+    let others: Vec<usize> = h.members(eps).iter().copied().filter(|&q| q != p).collect();
+    let k = others.len();
+    debug_assert!(k >= 1, "committees have >= 2 members");
+    // All subsets s of `others` except the full set (|y| = 1 + |s| < |ε|).
+    let full: u64 = (1u64 << k) - 1;
+    let mut y: Vec<usize> = Vec::with_capacity(k);
+    for mask in 0..full {
+        y.clear();
+        y.push(p);
+        for (i, &q) in others.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                y.push(q);
+            }
+        }
+        f(&y);
+    }
+}
+
+/// Which committee family `AMM` ranges over: the CC2 analysis uses only the
+/// *smallest* committees incident to each vertex (`E^min_p`, Theorem 4); the
+/// CC3 analysis uses all incident committees (`AMM'`, Theorem 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AmmFamily {
+    /// `AMM`: `ε` ranges over `E^min_p` (Theorem 4).
+    MinEdgesOnly,
+    /// `AMM'`: `ε` ranges over all of `E_p` (Theorem 7).
+    AllEdges,
+}
+
+/// Minimum matching size found in `AMM` (or `AMM'`), or `None` if the set is
+/// empty (e.g. a single-committee hypergraph, as the paper notes).
+pub fn min_amm_size(h: &Hypergraph, family: AmmFamily) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for p in 0..h.n() {
+        let eps_list: Vec<EdgeId> = match family {
+            AmmFamily::MinEdgesOnly => h.min_edges(p),
+            AmmFamily::AllEdges => h.incident(p).to_vec(),
+        };
+        for eps in eps_list {
+            for_each_y(h, eps, p, |y| {
+                for m in almost(h, eps, y) {
+                    best = Some(best.map_or(m.len(), |b: usize| b.min(m.len())));
+                }
+            });
+        }
+    }
+    best
+}
+
+/// Full concurrency analysis of a hypergraph: the exact quantities appearing
+/// in Theorems 4, 5, 7 and 8, computed by exhaustive enumeration. Intended
+/// for the analysis corpus (small/medium instances); see
+/// [`crate::matching::sampled_min_maximal`] for large ones.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FairnessAnalysis {
+    /// `minMM`: smallest maximal matching size.
+    pub min_mm: usize,
+    /// Smallest matching size in `AMM` (CC2 family), if `AMM` is non-empty.
+    pub min_amm: Option<usize>,
+    /// Smallest matching size in `AMM'` (CC3 family), if non-empty.
+    pub min_amm_prime: Option<usize>,
+    /// `MaxMin = max_p minE_p`.
+    pub max_min: usize,
+    /// `MaxHEdge = max_ε |ε|`.
+    pub max_hedge: usize,
+}
+
+impl FairnessAnalysis {
+    /// Compute every quantity by exhaustive enumeration.
+    pub fn compute(h: &Hypergraph) -> Self {
+        FairnessAnalysis {
+            min_mm: min_maximal_matching_size(h),
+            min_amm: min_amm_size(h, AmmFamily::MinEdgesOnly),
+            min_amm_prime: min_amm_size(h, AmmFamily::AllEdges),
+            max_min: h.max_min(),
+            max_hedge: h.max_hedge(),
+        }
+    }
+
+    /// `min_{MM ∪ AMM}`: Theorem 4's lower bound on the degree of fair
+    /// concurrency of CC2 ∘ TC.
+    pub fn thm4_bound(&self) -> usize {
+        match self.min_amm {
+            Some(a) => a.min(self.min_mm),
+            None => self.min_mm,
+        }
+    }
+
+    /// Theorem 5: `min_{MM ∪ AMM} >= minMM − MaxMin + 1` (saturating at 0
+    /// when the formula would go negative; the true degree is always >= 1,
+    /// the theorem's bound is simply vacuous there).
+    pub fn thm5_bound(&self) -> usize {
+        (self.min_mm + 1).saturating_sub(self.max_min)
+    }
+
+    /// `min_{MM ∪ AMM'}`: Theorem 7's lower bound for CC3 ∘ TC.
+    pub fn thm7_bound(&self) -> usize {
+        match self.min_amm_prime {
+            Some(a) => a.min(self.min_mm),
+            None => self.min_mm,
+        }
+    }
+
+    /// Theorem 8: `min_{MM ∪ AMM'} >= minMM − MaxHEdge + 1`.
+    pub fn thm8_bound(&self) -> usize {
+        (self.min_mm + 1).saturating_sub(self.max_hedge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2() -> Hypergraph {
+        Hypergraph::new(&[&[1, 2], &[1, 3, 5], &[3, 4]])
+    }
+
+    #[test]
+    fn edges_avoiding_vertices() {
+        let h = fig2();
+        let p1 = h.dense_of(1);
+        // Excluding vertex 1 removes e0 and e1, leaving e2 = {3,4}.
+        assert_eq!(edges_avoiding(&h, &[p1]), vec![EdgeId(2)]);
+        assert_eq!(edges_avoiding(&h, &[]).len(), 3);
+    }
+
+    #[test]
+    fn almost_fig2() {
+        let h = fig2();
+        // ε = e1 = {1,3,5}, X = {5} (dense). H_X keeps e0={1,2}, e2={3,4}.
+        // MM of that: {e0,e2} only. Required coverage: members {1,3} must be
+        // matched — 1 by e0, 3 by e2. So Almost = [{e0,e2}].
+        let x = vec![h.dense_of(5)];
+        let a = almost(&h, EdgeId(1), &x);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].len(), 2);
+    }
+
+    #[test]
+    fn almost_with_uncovered_member_is_empty() {
+        let h = fig2();
+        // ε = e2 = {3,4}, X = {3}: H_X keeps e0={1,2} only (e1, e2 touch 3).
+        // Required: member 4 must be covered, but no remaining edge touches 4.
+        let x = vec![h.dense_of(3)];
+        assert!(almost(&h, EdgeId(2), &x).is_empty());
+    }
+
+    #[test]
+    fn analysis_fig2() {
+        let h = fig2();
+        let a = FairnessAnalysis::compute(&h);
+        assert_eq!(a.min_mm, 1); // {e1} is maximal
+        // minE: p1=2 ({1,2}), p2=2, p3=2 ({3,4}), p4=2, p5=3 ({1,3,5}).
+        assert_eq!(a.max_min, 3);
+        assert_eq!(a.max_hedge, 3);
+        assert!(a.thm4_bound() >= a.thm5_bound());
+        assert!(a.thm7_bound() >= a.thm8_bound());
+    }
+
+    #[test]
+    fn single_committee_has_empty_amm() {
+        let h = Hypergraph::new(&[&[1, 2, 3]]);
+        let a = FairnessAnalysis::compute(&h);
+        // The paper notes AMM may be empty when there is only one hyperedge:
+        // any y leaves ε itself broken and the remaining members uncoverable.
+        assert_eq!(a.min_amm, None);
+        assert_eq!(a.min_mm, 1);
+        assert_eq!(a.thm4_bound(), 1);
+    }
+
+    #[test]
+    fn theorem5_holds_on_corpus() {
+        let corpus: Vec<Hypergraph> = vec![
+            Hypergraph::new(&[&[1, 2], &[1, 3, 5], &[3, 4]]),
+            Hypergraph::new(&[&[1, 2], &[1, 2, 3, 4], &[2, 4, 5], &[3, 6], &[4, 6]]),
+            Hypergraph::new(&[&[0, 1], &[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 0]]),
+            Hypergraph::new(&[&[1, 2, 3], &[3, 4, 5], &[5, 6, 1]]),
+        ];
+        for h in &corpus {
+            let a = FairnessAnalysis::compute(h);
+            assert!(
+                a.thm4_bound() >= a.thm5_bound(),
+                "Thm5 violated on {h:?}: thm4={} thm5={}",
+                a.thm4_bound(),
+                a.thm5_bound()
+            );
+            assert!(
+                a.thm7_bound() >= a.thm8_bound(),
+                "Thm8 violated on {h:?}"
+            );
+            // AMM' ⊇ AMM, so its minimum can only be lower or equal.
+            if let (Some(a2), Some(a3)) = (a.min_amm, a.min_amm_prime) {
+                assert!(a3 <= a2);
+            }
+        }
+    }
+}

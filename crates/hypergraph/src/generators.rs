@@ -1,0 +1,295 @@
+//! Topology generators: the paper's figure examples plus parametric families
+//! used throughout the experiment suite (rings/paths/stars of committees,
+//! complete pair hypergraphs, grids, random k-uniform hypergraphs).
+
+use crate::hypergraph::Hypergraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Figure 1(a): `V = {1..6}`, `E = {{1,2},{1,2,3,4},{2,4,5},{3,6},{4,6}}`.
+pub fn fig1() -> Hypergraph {
+    Hypergraph::new(&[&[1, 2], &[1, 2, 3, 4], &[2, 4, 5], &[3, 6], &[4, 6]])
+}
+
+/// Figure 2 (Theorem 1's impossibility gadget):
+/// `V = {1..5}`, `E = {{1,2},{1,3,5},{3,4}}`.
+pub fn fig2() -> Hypergraph {
+    Hypergraph::new(&[&[1, 2], &[1, 3, 5], &[3, 4]])
+}
+
+/// Figure 3's 10-professor example. The prose names committees
+/// `{1,2,3}, {9,10}, {7,8}, {5,6}, {6,7}, {6,9}, {8,9}`; professor 4 is
+/// drawn between 3 and 5 and stays idle throughout, so we connect him with
+/// `{3,4}` and `{4,5}` (any choice touching only 4's neighborhood preserves
+/// the example — 4 never looks, so committees containing 4 are never free).
+pub fn fig3() -> Hypergraph {
+    Hypergraph::new(&[
+        &[1, 2, 3],
+        &[3, 4],
+        &[4, 5],
+        &[5, 6],
+        &[6, 7],
+        &[7, 8],
+        &[8, 9],
+        &[9, 10],
+        &[6, 9],
+    ])
+}
+
+/// Figure 4's locking example: `V = {1..9}`,
+/// `E = {{1,2,5,8},{3,4,5},{6,7,9},{8,9}}`.
+pub fn fig4() -> Hypergraph {
+    Hypergraph::new(&[&[1, 2, 5, 8], &[3, 4, 5], &[6, 7, 9], &[8, 9]])
+}
+
+/// Ring of `k` committees of size `s`, adjacent committees sharing exactly
+/// one professor: `n = k(s-1)` professors. `ring(k, 2)` is the cycle `C_k`
+/// (the dining-philosophers conflict graph). Requires `k >= 3`, `s >= 2`.
+pub fn ring(k: usize, s: usize) -> Hypergraph {
+    assert!(k >= 3, "ring needs >= 3 committees (k=2 would duplicate edges)");
+    assert!(s >= 2, "committees need >= 2 members");
+    let n = k * (s - 1);
+    let committees: Vec<Vec<u32>> = (0..k)
+        .map(|i| (0..s).map(|j| ((i * (s - 1) + j) % n) as u32).collect())
+        .collect();
+    let refs: Vec<&[u32]> = committees.iter().map(|c| c.as_slice()).collect();
+    Hypergraph::new(&refs)
+}
+
+/// Path (open chain) of `k` committees of size `s`, adjacent committees
+/// sharing one professor: `n = k(s-1) + 1`.
+pub fn path(k: usize, s: usize) -> Hypergraph {
+    assert!(k >= 1 && s >= 2);
+    let committees: Vec<Vec<u32>> = (0..k)
+        .map(|i| (0..s).map(|j| (i * (s - 1) + j) as u32).collect())
+        .collect();
+    let refs: Vec<&[u32]> = committees.iter().map(|c| c.as_slice()).collect();
+    Hypergraph::new(&refs)
+}
+
+/// Star: `k` committees of size `s` all containing the hub professor `0`
+/// (ids `1..` are the spokes). All committees conflict, so at most one can
+/// meet — the paper notes maximal concurrency and fairness coexist here.
+pub fn star(k: usize, s: usize) -> Hypergraph {
+    assert!(k >= 1 && s >= 2);
+    let committees: Vec<Vec<u32>> = (0..k)
+        .map(|i| {
+            let mut c = vec![0u32];
+            c.extend((0..s - 1).map(|j| (1 + i * (s - 1) + j) as u32));
+            c
+        })
+        .collect();
+    let refs: Vec<&[u32]> = committees.iter().map(|c| c.as_slice()).collect();
+    Hypergraph::new(&refs)
+}
+
+/// Complete pair hypergraph on `n` professors: every 2-subset is a
+/// committee. Committee coordination degenerates to graph matching.
+pub fn complete_pairs(n: usize) -> Hypergraph {
+    assert!(n >= 2);
+    let mut committees = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            committees.push(vec![i as u32, j as u32]);
+        }
+    }
+    let refs: Vec<&[u32]> = committees.iter().map(|c| c.as_slice()).collect();
+    Hypergraph::new(&refs)
+}
+
+/// `rows × cols` grid of professors; committees are the grid edges
+/// (4-neighborhood). Requires `rows*cols >= 2`.
+pub fn grid_pairs(rows: usize, cols: usize) -> Hypergraph {
+    assert!(rows * cols >= 2 && rows >= 1 && cols >= 1);
+    let at = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut committees = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                committees.push(vec![at(r, c), at(r, c + 1)]);
+            }
+            if r + 1 < rows {
+                committees.push(vec![at(r, c), at(r + 1, c)]);
+            }
+        }
+    }
+    let refs: Vec<&[u32]> = committees.iter().map(|c| c.as_slice()).collect();
+    Hypergraph::new(&refs)
+}
+
+/// Random connected `k`-uniform hypergraph: `m` distinct committees of size
+/// `k` over `n` professors. Construction: a random Hamiltonian backbone of
+/// overlapping committees guarantees coverage and connectivity, then random
+/// committees are added up to `m`. Deterministic in `seed`.
+pub fn random_uniform(n: usize, m: usize, k: usize, seed: u64) -> Hypergraph {
+    assert!(k >= 2 && n >= k, "need n >= k >= 2");
+    let backbone = n.div_ceil(k - 1);
+    assert!(
+        m >= backbone,
+        "need m >= ceil(n/(k-1)) = {backbone} committees to cover {n} professors"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.shuffle(&mut rng);
+
+    let mut committees: Vec<Vec<u32>> = Vec::with_capacity(m);
+    // Backbone: windows of width k advancing by k-1 over the cyclic
+    // permutation — consecutive windows overlap in one professor.
+    let mut start = 0usize;
+    while committees.len() < backbone {
+        let c: Vec<u32> = (0..k).map(|j| perm[(start + j) % n]).collect();
+        committees.push(c);
+        start += k - 1;
+    }
+    // Fill with random distinct committees.
+    let mut tries = 0;
+    while committees.len() < m {
+        tries += 1;
+        assert!(tries < 100_000, "could not place {m} distinct committees");
+        let mut c: Vec<u32> = Vec::with_capacity(k);
+        while c.len() < k {
+            let v = rng.random_range(0..n) as u32;
+            if !c.contains(&v) {
+                c.push(v);
+            }
+        }
+        let mut sorted = c.clone();
+        sorted.sort_unstable();
+        let dup = committees.iter().any(|e| {
+            let mut s = e.clone();
+            s.sort_unstable();
+            s == sorted
+        });
+        if !dup {
+            committees.push(c);
+        }
+    }
+    let refs: Vec<&[u32]> = committees.iter().map(|c| c.as_slice()).collect();
+    Hypergraph::new(&refs)
+}
+
+/// A named topology, for experiment tables.
+#[derive(Clone, Debug)]
+pub struct Named {
+    /// Short label used in reports.
+    pub name: String,
+    /// The topology itself.
+    pub h: Hypergraph,
+}
+
+/// The standard analysis corpus used by the experiment suite (small enough
+/// for exact matching enumeration, §5.3).
+pub fn corpus() -> Vec<Named> {
+    let mk = |name: &str, h: Hypergraph| Named { name: name.to_string(), h };
+    vec![
+        mk("fig1", fig1()),
+        mk("fig2", fig2()),
+        mk("fig3", fig3()),
+        mk("fig4", fig4()),
+        mk("ring6x2", ring(6, 2)),
+        mk("ring5x3", ring(5, 3)),
+        mk("path6x2", path(6, 2)),
+        mk("path4x3", path(4, 3)),
+        mk("star5x3", star(5, 3)),
+        mk("k5pairs", complete_pairs(5)),
+        mk("grid3x3", grid_pairs(3, 3)),
+        mk("rand12", random_uniform(12, 8, 3, 7)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figures_build() {
+        assert_eq!(fig1().n(), 6);
+        assert_eq!(fig2().n(), 5);
+        assert_eq!(fig3().n(), 10);
+        assert_eq!(fig4().n(), 9);
+        assert_eq!(fig4().m(), 4);
+    }
+
+    #[test]
+    fn ring_shapes() {
+        let h = ring(6, 2);
+        assert_eq!(h.n(), 6);
+        assert_eq!(h.m(), 6);
+        for v in 0..h.n() {
+            assert_eq!(h.incident(v).len(), 2, "every cycle vertex is in 2 committees");
+        }
+        let h = ring(5, 3);
+        assert_eq!(h.n(), 10);
+        assert_eq!(h.m(), 5);
+    }
+
+    #[test]
+    fn path_shapes() {
+        let h = path(4, 3);
+        assert_eq!(h.n(), 9);
+        assert_eq!(h.m(), 4);
+        // Interior shared professors belong to 2 committees.
+        assert_eq!(h.incident(h.dense_of(2)).len(), 2);
+        assert_eq!(h.incident(h.dense_of(0)).len(), 1);
+    }
+
+    #[test]
+    fn star_conflicts_everywhere() {
+        let h = star(4, 3);
+        assert_eq!(h.n(), 1 + 4 * 2);
+        let hub = h.dense_of(0);
+        assert_eq!(h.incident(hub).len(), 4);
+        for a in h.edge_ids() {
+            for b in h.edge_ids() {
+                if a != b {
+                    assert!(h.conflicting(a, b), "all star committees conflict");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complete_pairs_shape() {
+        let h = complete_pairs(5);
+        assert_eq!(h.m(), 10);
+        assert_eq!(h.n(), 5);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let h = grid_pairs(3, 3);
+        assert_eq!(h.n(), 9);
+        assert_eq!(h.m(), 12);
+    }
+
+    #[test]
+    fn random_uniform_is_deterministic_and_valid() {
+        let a = random_uniform(12, 8, 3, 7);
+        let b = random_uniform(12, 8, 3, 7);
+        assert_eq!(a, b, "same seed, same topology");
+        assert_eq!(a.n(), 12);
+        assert_eq!(a.m(), 8);
+        for e in a.edge_ids() {
+            assert_eq!(a.edge_len(e), 3, "k-uniform");
+        }
+        let c = random_uniform(12, 8, 3, 8);
+        assert_ne!(a, c, "different seed, (almost surely) different topology");
+    }
+
+    #[test]
+    fn corpus_builds_and_names_are_unique() {
+        let c = corpus();
+        assert!(c.len() >= 10);
+        let mut names: Vec<&str> = c.iter().map(|x| x.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), c.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn ring_of_two_rejected() {
+        let _ = ring(2, 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Identifier newtypes for processes (professors) and hyperedges (committees).
+//!
+//! The paper (§2.1) assumes every process has a unique identifier drawn from a
+//! total order, and that a process can read the identifiers of its neighbors.
+//! [`ProcessId`] is that identifier. It is *not* an array index: topologies may
+//! use arbitrary (e.g. sparse) identifier values, exactly as the paper's
+//! examples do. Dense array indices are a representation detail of
+//! [`crate::Hypergraph`] and are plain `usize` values.
+
+use std::fmt;
+
+/// Unique, totally ordered identifier of a process (a professor).
+///
+/// Identifiers participate in the algorithms themselves: both CC1 and CC2
+/// break symmetry among looking processes by comparing identifiers
+/// (`LocalMax`, `max(Cands_p)`), so the `Ord` implementation here is part of
+/// the algorithm semantics, not just a convenience.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// Raw identifier value.
+    #[inline]
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(v: u32) -> Self {
+        ProcessId(v)
+    }
+}
+
+/// Identifier of a hyperedge (a committee).
+///
+/// Edge identifiers are dense: `EdgeId(k)` is the `k`-th edge of the
+/// [`crate::Hypergraph`] it belongs to. They are stable for the lifetime of
+/// the (immutable) hypergraph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Dense index of this edge within its hypergraph.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_ids_are_totally_ordered() {
+        let mut ids = vec![ProcessId(9), ProcessId(1), ProcessId(4)];
+        ids.sort();
+        assert_eq!(ids, vec![ProcessId(1), ProcessId(4), ProcessId(9)]);
+    }
+
+    #[test]
+    fn debug_formats_are_compact() {
+        assert_eq!(format!("{:?}", ProcessId(7)), "p7");
+        assert_eq!(format!("{:?}", EdgeId(3)), "e3");
+        assert_eq!(format!("{}", ProcessId(7)), "7");
+        assert_eq!(format!("{}", EdgeId(3)), "3");
+    }
+
+    #[test]
+    fn edge_id_round_trips_through_index() {
+        for k in [0usize, 1, 17, 1000] {
+            assert_eq!(EdgeId(k as u32).index(), k);
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Matchings in hypergraphs (paper §5.3).
+//!
+//! A *matching* is a set of pairwise non-conflicting hyperedges; a *maximal*
+//! matching has no strict matching superset. `minMM` — the size of the
+//! smallest maximal matching — lower-bounds the degree of fair concurrency
+//! (Theorem 4 via Theorem 5). Exact enumeration is exponential in `|E|`; we
+//! provide exact backtracking for the analysis corpus plus greedy/random
+//! estimators for larger instances.
+
+use crate::hypergraph::Hypergraph;
+use crate::ids::EdgeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Whether `edges` is a matching of `h` restricted to the `allowed` edge set
+/// (pass all edges for plain matchings): pairwise non-conflicting.
+pub fn is_matching(h: &Hypergraph, edges: &[EdgeId]) -> bool {
+    let mut used = vec![false; h.n()];
+    for &e in edges {
+        for &v in h.members(e) {
+            if used[v] {
+                return false;
+            }
+            used[v] = true;
+        }
+    }
+    true
+}
+
+/// Whether `edges` is a maximal matching *within* the sub-hypergraph whose
+/// edge set is `allowed` (callers pass every edge of `h` for plain
+/// maximality). Maximality: no edge of `allowed` can be added.
+pub fn is_maximal_within(h: &Hypergraph, edges: &[EdgeId], allowed: &[EdgeId]) -> bool {
+    if !is_matching(h, edges) {
+        return false;
+    }
+    let mut used = vec![false; h.n()];
+    for &e in edges {
+        for &v in h.members(e) {
+            used[v] = true;
+        }
+    }
+    for &cand in allowed {
+        if edges.contains(&cand) {
+            continue;
+        }
+        if h.members(cand).iter().all(|&v| !used[v]) {
+            return false; // cand could be added: not maximal
+        }
+    }
+    true
+}
+
+/// Whether `edges` is a maximal matching of `h` (paper §5.3).
+pub fn is_maximal_matching(h: &Hypergraph, edges: &[EdgeId]) -> bool {
+    let all: Vec<EdgeId> = h.edge_ids().collect();
+    is_maximal_within(h, edges, &all)
+}
+
+/// Exhaustively enumerate every maximal matching among the `allowed` edges
+/// (maximality relative to `allowed`). Backtracking over the edge list;
+/// exponential in `allowed.len()` — callers bound instance size.
+pub fn enumerate_maximal_within(h: &Hypergraph, allowed: &[EdgeId]) -> Vec<Vec<EdgeId>> {
+    let mut out = Vec::new();
+    let mut chosen: Vec<EdgeId> = Vec::new();
+    let mut used = vec![false; h.n()];
+    rec_enumerate(h, allowed, 0, &mut chosen, &mut used, &mut out);
+    out
+}
+
+fn rec_enumerate(
+    h: &Hypergraph,
+    allowed: &[EdgeId],
+    i: usize,
+    chosen: &mut Vec<EdgeId>,
+    used: &mut [bool],
+    out: &mut Vec<Vec<EdgeId>>,
+) {
+    if i == allowed.len() {
+        // `chosen` is a matching by construction; check maximality.
+        if allowed
+            .iter()
+            .all(|&e| chosen.contains(&e) || h.members(e).iter().any(|&v| used[v]))
+        {
+            out.push(chosen.clone());
+        }
+        return;
+    }
+    let e = allowed[i];
+    let free = h.members(e).iter().all(|&v| !used[v]);
+    if free {
+        for &v in h.members(e) {
+            used[v] = true;
+        }
+        chosen.push(e);
+        rec_enumerate(h, allowed, i + 1, chosen, used, out);
+        chosen.pop();
+        for &v in h.members(e) {
+            used[v] = false;
+        }
+    }
+    // Exclude e. (If e was addable and stays addable, the maximality check
+    // at the leaf rejects the branch.)
+    rec_enumerate(h, allowed, i + 1, chosen, used, out);
+}
+
+/// Enumerate all maximal matchings of `h`.
+pub fn enumerate_maximal_matchings(h: &Hypergraph) -> Vec<Vec<EdgeId>> {
+    let all: Vec<EdgeId> = h.edge_ids().collect();
+    enumerate_maximal_within(h, &all)
+}
+
+/// Size of the smallest maximal matching among `allowed` edges
+/// (branch-and-bound; `None` if `allowed` is empty — the empty matching is
+/// then the unique maximal matching, of size 0, which we report as Some(0)).
+pub fn min_maximal_within(h: &Hypergraph, allowed: &[EdgeId]) -> usize {
+    let mut best = allowed.len() + 1;
+    let mut chosen = 0usize;
+    let mut used = vec![false; h.n()];
+    rec_min(h, allowed, 0, &mut chosen, &mut used, &mut best);
+    if best == allowed.len() + 1 {
+        0 // only the empty matching (allowed itself empty)
+    } else {
+        best
+    }
+}
+
+fn rec_min(
+    h: &Hypergraph,
+    allowed: &[EdgeId],
+    i: usize,
+    chosen: &mut usize,
+    used: &mut [bool],
+    best: &mut usize,
+) {
+    if *chosen >= *best {
+        return; // can only grow
+    }
+    if i == allowed.len() {
+        // maximality check
+        let maximal = allowed
+            .iter()
+            .all(|&e| h.members(e).iter().any(|&v| used[v]));
+        if maximal {
+            *best = (*chosen).min(*best);
+        }
+        return;
+    }
+    let e = allowed[i];
+    let free = h.members(e).iter().all(|&v| !used[v]);
+    // Prefer the "exclude" branch first: small matchings exclude most edges,
+    // so good bounds are found early and prune the include branches.
+    rec_min(h, allowed, i + 1, chosen, used, best);
+    if free {
+        for &v in h.members(e) {
+            used[v] = true;
+        }
+        *chosen += 1;
+        rec_min(h, allowed, i + 1, chosen, used, best);
+        *chosen -= 1;
+        for &v in h.members(e) {
+            used[v] = false;
+        }
+    }
+}
+
+/// `minMM`: size of the smallest maximal matching of `h` (paper §5.3).
+pub fn min_maximal_matching_size(h: &Hypergraph) -> usize {
+    let all: Vec<EdgeId> = h.edge_ids().collect();
+    min_maximal_within(h, &all)
+}
+
+/// Maximum matching size (for context in reports; the paper notes that
+/// *maximum* concurrency is NP-hard and deliberately not the target).
+pub fn max_matching_size(h: &Hypergraph) -> usize {
+    let all: Vec<EdgeId> = h.edge_ids().collect();
+    let mut best = 0usize;
+    let mut chosen = 0usize;
+    let mut used = vec![false; h.n()];
+    rec_max(h, &all, 0, &mut chosen, &mut used, &mut best);
+    best
+}
+
+fn rec_max(
+    h: &Hypergraph,
+    allowed: &[EdgeId],
+    i: usize,
+    chosen: &mut usize,
+    used: &mut [bool],
+    best: &mut usize,
+) {
+    if *chosen + (allowed.len() - i) <= *best {
+        return;
+    }
+    if i == allowed.len() {
+        *best = (*chosen).max(*best);
+        return;
+    }
+    let e = allowed[i];
+    if h.members(e).iter().all(|&v| !used[v]) {
+        for &v in h.members(e) {
+            used[v] = true;
+        }
+        *chosen += 1;
+        rec_max(h, allowed, i + 1, chosen, used, best);
+        *chosen -= 1;
+        for &v in h.members(e) {
+            used[v] = false;
+        }
+    }
+    rec_max(h, allowed, i + 1, chosen, used, best);
+}
+
+/// Greedy maximal matching scanning `order`; always produces a maximal
+/// matching, used both as an estimator and inside sampled bounds.
+pub fn greedy_maximal(h: &Hypergraph, order: &[EdgeId]) -> Vec<EdgeId> {
+    let mut used = vec![false; h.n()];
+    let mut out = Vec::new();
+    for &e in order {
+        if h.members(e).iter().all(|&v| !used[v]) {
+            for &v in h.members(e) {
+                used[v] = true;
+            }
+            out.push(e);
+        }
+    }
+    out
+}
+
+/// Monte-Carlo upper estimate of `minMM`: the minimum size over `samples`
+/// random-order greedy maximal matchings. Exact `minMM <= estimate`; useful
+/// on instances too large for branch-and-bound.
+pub fn sampled_min_maximal(h: &Hypergraph, samples: usize, seed: u64) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<EdgeId> = h.edge_ids().collect();
+    let mut best = usize::MAX;
+    for _ in 0..samples.max(1) {
+        order.shuffle(&mut rng);
+        best = best.min(greedy_maximal(h, &order).len());
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> Hypergraph {
+        Hypergraph::new(&[&[1, 2], &[1, 2, 3, 4], &[2, 4, 5], &[3, 6], &[4, 6]])
+    }
+
+    fn fig2() -> Hypergraph {
+        // V = {1..5}, E = {{1,2},{1,3,5},{3,4}}.
+        Hypergraph::new(&[&[1, 2], &[1, 3, 5], &[3, 4]])
+    }
+
+    #[test]
+    fn matching_detection() {
+        let h = fig1();
+        assert!(is_matching(&h, &[EdgeId(0), EdgeId(3)])); // {1,2} + {3,6}
+        assert!(!is_matching(&h, &[EdgeId(0), EdgeId(1)])); // share 1,2
+        assert!(is_matching(&h, &[])); // empty is a matching
+    }
+
+    #[test]
+    fn maximality_detection() {
+        let h = fig1();
+        // {1,2},{3,6} leaves {2,4,5}? no: 2 used. {4,6}? 6 used. Remaining
+        // edge {2,4,5} blocked by 2; {1,2,3,4} blocked. Maximal.
+        assert!(is_maximal_matching(&h, &[EdgeId(0), EdgeId(3)]));
+        // {3,6} alone: {1,2} still addable -> not maximal.
+        assert!(!is_maximal_matching(&h, &[EdgeId(3)]));
+    }
+
+    #[test]
+    fn enumerate_fig2() {
+        let h = fig2();
+        let mms = enumerate_maximal_matchings(&h);
+        // Edges: e0={1,2}, e1={1,3,5}, e2={3,4}.
+        // Maximal matchings: {e0,e2}, {e1} (e1 blocks both others),
+        // and... {e0} alone? e2 addable -> no. {e2} alone? e0 addable -> no.
+        let mut sets: Vec<Vec<u32>> = mms
+            .iter()
+            .map(|m| {
+                let mut v: Vec<u32> = m.iter().map(|e| e.0).collect();
+                v.sort();
+                v
+            })
+            .collect();
+        sets.sort();
+        assert_eq!(sets, vec![vec![0, 2], vec![1]]);
+    }
+
+    #[test]
+    fn min_max_sizes_fig2() {
+        let h = fig2();
+        assert_eq!(min_maximal_matching_size(&h), 1); // {e1}
+        assert_eq!(max_matching_size(&h), 2); // {e0,e2}
+    }
+
+    #[test]
+    fn min_maximal_fig1() {
+        let h = fig1();
+        let mms = enumerate_maximal_matchings(&h);
+        let min_enum = mms.iter().map(Vec::len).min().unwrap();
+        assert_eq!(min_maximal_matching_size(&h), min_enum);
+        for m in &mms {
+            assert!(is_maximal_matching(&h, m));
+        }
+    }
+
+    #[test]
+    fn greedy_is_maximal() {
+        let h = fig1();
+        let order: Vec<EdgeId> = h.edge_ids().collect();
+        let g = greedy_maximal(&h, &order);
+        assert!(is_maximal_matching(&h, &g));
+    }
+
+    #[test]
+    fn sampled_bound_is_above_exact() {
+        let h = fig1();
+        let exact = min_maximal_matching_size(&h);
+        let est = sampled_min_maximal(&h, 64, 42);
+        assert!(est >= exact);
+        // With 64 samples on 5 edges the sampler should find the optimum.
+        assert_eq!(est, exact);
+    }
+
+    #[test]
+    fn ring_of_pairs_min_maximal() {
+        // Cycle C6 as six pair-committees: minMM of C6 = 2 (edges {0,1},{3,4}),
+        // maximum matching = 3.
+        let h = Hypergraph::new(&[
+            &[0, 1],
+            &[1, 2],
+            &[2, 3],
+            &[3, 4],
+            &[4, 5],
+            &[5, 0],
+        ]);
+        assert_eq!(min_maximal_matching_size(&h), 2);
+        assert_eq!(max_matching_size(&h), 3);
+    }
+
+    #[test]
+    fn maximal_within_subsets() {
+        let h = fig2();
+        // Restricted to {e0}: the only maximal matching is {e0}.
+        let ms = enumerate_maximal_within(&h, &[EdgeId(0)]);
+        assert_eq!(ms, vec![vec![EdgeId(0)]]);
+        // Restricted to {}: the empty matching is maximal.
+        let ms = enumerate_maximal_within(&h, &[]);
+        assert_eq!(ms, vec![Vec::<EdgeId>::new()]);
+        assert_eq!(min_maximal_within(&h, &[]), 0);
+    }
+}

@@ -1,0 +1,325 @@
+//! The underlying communication network `G_H` (paper §2.1, Fig. 1b) and the
+//! static structures the token substrate derives from it: BFS distances, a
+//! spanning tree, and the Euler tour of that tree.
+//!
+//! The tour is the backbone of the Dijkstra-style token circulation in
+//! `sscc-token`: consecutive tour positions always belong to *tree-adjacent*
+//! processes, so a token hop never requires reading a non-neighbor's state.
+
+use crate::hypergraph::Hypergraph;
+use std::collections::VecDeque;
+
+/// BFS distances (in hops of `G_H`) from `root` to every process.
+pub fn bfs_distances(h: &Hypergraph, root: usize) -> Vec<usize> {
+    let n = h.n();
+    assert!(root < n, "root out of range");
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[root] = 0;
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        for &u in h.neighbors(v) {
+            if dist[u] == usize::MAX {
+                dist[u] = dist[v] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `root`: max BFS distance to any process.
+pub fn eccentricity(h: &Hypergraph, root: usize) -> usize {
+    bfs_distances(h, root).into_iter().max().unwrap_or(0)
+}
+
+/// Diameter of `G_H` (max eccentricity). O(n·(n+m)); fine at our scales.
+pub fn diameter(h: &Hypergraph) -> usize {
+    (0..h.n()).map(|v| eccentricity(h, v)).max().unwrap_or(0)
+}
+
+/// A rooted spanning tree of the underlying communication network, built by
+/// BFS (children in ascending dense order, so the tree — and everything
+/// derived from it — is deterministic for a given topology and root).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanningTree {
+    root: usize,
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+}
+
+impl SpanningTree {
+    /// BFS spanning tree of `G_H` rooted at `root`.
+    pub fn bfs(h: &Hypergraph, root: usize) -> Self {
+        let n = h.n();
+        assert!(root < n, "root out of range");
+        let mut parent = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        seen[root] = true;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            for &u in h.neighbors(v) {
+                if !seen[u] {
+                    seen[u] = true;
+                    parent[u] = Some(v);
+                    children[v].push(u);
+                    queue.push_back(u);
+                }
+            }
+        }
+        debug_assert!(seen.iter().all(|&s| s), "hypergraph is validated connected");
+        SpanningTree { root, parent, children }
+    }
+
+    /// Root process (dense index).
+    #[inline]
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Tree parent of `v` (`None` for the root).
+    #[inline]
+    pub fn parent(&self, v: usize) -> Option<usize> {
+        self.parent[v]
+    }
+
+    /// Tree children of `v`, in ascending dense order.
+    #[inline]
+    pub fn children(&self, v: usize) -> &[usize] {
+        &self.children[v]
+    }
+
+    /// Number of processes spanned.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+}
+
+/// The Euler tour of a spanning tree, as a cyclic sequence of *positions*.
+///
+/// Position `i` is owned by process `order[i]`; consecutive positions
+/// (cyclically) are owned by tree-adjacent processes. For a tree on `n >= 2`
+/// vertices the tour has `2(n-1)` positions and visits every process at
+/// least once, which is exactly what the K-state token circulation needs:
+/// a token walking the tour performs a depth-first traversal of the network
+/// and hands the "privilege" to every process infinitely often.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EulerTour {
+    /// Owning process of each position.
+    order: Vec<usize>,
+    /// Positions owned by each process, ascending.
+    positions: Vec<Vec<usize>>,
+}
+
+impl EulerTour {
+    /// Euler tour of `tree` (iterative DFS; children in tree order).
+    pub fn of(tree: &SpanningTree) -> Self {
+        let n = tree.n();
+        assert!(n >= 2, "tour needs at least two processes");
+        let mut order = Vec::with_capacity(2 * (n - 1));
+        // Iterative DFS emitting `v` before each child subtree; the final
+        // return to the root is implicit (the tour is cyclic).
+        // Stack holds (vertex, next-child-index).
+        let mut stack: Vec<(usize, usize)> = vec![(tree.root(), 0)];
+        while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+            if *ci < tree.children(v).len() {
+                let c = tree.children(v)[*ci];
+                *ci += 1;
+                order.push(v);
+                stack.push((c, 0));
+            } else {
+                stack.pop();
+                if stack.is_empty() {
+                    break;
+                }
+                order.push(v);
+            }
+        }
+        // Leaves with no children emit on the way back only; fix the
+        // degenerate star-leaf case: a leaf appears exactly once, via the
+        // `order.push(v)` on pop. Sanity: length must be 2(n-1).
+        debug_assert_eq!(order.len(), 2 * (n - 1), "Euler tour length");
+        let mut positions = vec![Vec::new(); n];
+        for (i, &v) in order.iter().enumerate() {
+            positions[v].push(i);
+        }
+        debug_assert!(positions.iter().all(|p| !p.is_empty()), "tour covers all");
+        EulerTour { order, positions }
+    }
+
+    /// Tour of the BFS spanning tree of `h` rooted at the process with the
+    /// **maximum identifier** — the library's default static root (any root
+    /// satisfies Property 1; see DESIGN.md §2).
+    pub fn default_of(h: &Hypergraph) -> Self {
+        // ids are sorted ascending, so the max id is the last dense index.
+        Self::of(&SpanningTree::bfs(h, h.n() - 1))
+    }
+
+    /// Number of positions `L = 2(n-1)`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True iff the tour has no positions (never happens for valid input).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Owning process of position `i`.
+    #[inline]
+    pub fn owner(&self, i: usize) -> usize {
+        self.order[i]
+    }
+
+    /// Positions owned by process `v`, ascending.
+    #[inline]
+    pub fn positions(&self, v: usize) -> &[usize] {
+        &self.positions[v]
+    }
+
+    /// Cyclic predecessor position of `i`.
+    #[inline]
+    pub fn pred(&self, i: usize) -> usize {
+        if i == 0 {
+            self.len() - 1
+        } else {
+            i - 1
+        }
+    }
+
+    /// Cyclic successor position of `i`.
+    #[inline]
+    pub fn succ(&self, i: usize) -> usize {
+        if i + 1 == self.len() {
+            0
+        } else {
+            i + 1
+        }
+    }
+
+    /// Owner of position 0 — the root of the tree; by construction the tour
+    /// starts (and cyclically ends) there.
+    #[inline]
+    pub fn root(&self) -> usize {
+        self.order[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> Hypergraph {
+        Hypergraph::new(&[&[1, 2], &[1, 2, 3, 4], &[2, 4, 5], &[3, 6], &[4, 6]])
+    }
+
+    #[test]
+    fn bfs_distances_fig1() {
+        let h = fig1();
+        let d = bfs_distances(&h, h.dense_of(5));
+        // 5 neighbors 2 and 4; everything else is within 2 hops.
+        assert_eq!(d[h.dense_of(5)], 0);
+        assert_eq!(d[h.dense_of(2)], 1);
+        assert_eq!(d[h.dense_of(4)], 1);
+        assert_eq!(d[h.dense_of(1)], 2);
+        assert_eq!(d[h.dense_of(3)], 2);
+        assert_eq!(d[h.dense_of(6)], 2);
+    }
+
+    #[test]
+    fn diameter_fig1() {
+        assert_eq!(diameter(&fig1()), 2);
+    }
+
+    #[test]
+    fn spanning_tree_covers_all() {
+        let h = fig1();
+        let t = SpanningTree::bfs(&h, 0);
+        let mut reached = 1;
+        for v in 0..h.n() {
+            if let Some(p) = t.parent(v) {
+                assert!(h.are_neighbors(p, v), "tree edges are network edges");
+                reached += 1;
+            } else {
+                assert_eq!(v, t.root());
+            }
+        }
+        assert_eq!(reached, h.n());
+    }
+
+    #[test]
+    fn tree_children_are_consistent_with_parents() {
+        let h = fig1();
+        let t = SpanningTree::bfs(&h, 2);
+        for v in 0..h.n() {
+            for &c in t.children(v) {
+                assert_eq!(t.parent(c), Some(v));
+            }
+        }
+    }
+
+    #[test]
+    fn euler_tour_shape() {
+        let h = fig1();
+        let t = SpanningTree::bfs(&h, 0);
+        let tour = EulerTour::of(&t);
+        assert_eq!(tour.len(), 2 * (h.n() - 1));
+        // Every process owns at least one position.
+        for v in 0..h.n() {
+            assert!(!tour.positions(v).is_empty(), "process {v} missing from tour");
+        }
+        // Consecutive positions (cyclically) are tree-adjacent.
+        for i in 0..tour.len() {
+            let (a, b) = (tour.owner(i), tour.owner(tour.succ(i)));
+            assert!(
+                a == b || t.parent(a) == Some(b) || t.parent(b) == Some(a),
+                "tour hop {a}->{b} is not a tree edge"
+            );
+            assert_ne!(a, b, "tour never stays on the same process");
+        }
+    }
+
+    #[test]
+    fn euler_tour_path_graph() {
+        // Path 1-2-3: tree rooted at 1 is a path; tour = 1,2,3,2.
+        let h = Hypergraph::new(&[&[1, 2], &[2, 3]]);
+        let t = SpanningTree::bfs(&h, h.dense_of(1));
+        let tour = EulerTour::of(&t);
+        let raw: Vec<u32> = (0..tour.len()).map(|i| h.id(tour.owner(i)).value()).collect();
+        assert_eq!(raw, vec![1, 2, 3, 2]);
+    }
+
+    #[test]
+    fn euler_tour_star() {
+        // Star with center 9: committees {9,1},{9,2},{9,3}.
+        let h = Hypergraph::new(&[&[9, 1], &[9, 2], &[9, 3]]);
+        let c = h.dense_of(9);
+        let t = SpanningTree::bfs(&h, c);
+        let tour = EulerTour::of(&t);
+        assert_eq!(tour.len(), 6);
+        // Center owns every other position.
+        assert_eq!(tour.positions(c).len(), 3);
+    }
+
+    #[test]
+    fn default_tour_roots_at_max_id() {
+        let h = fig1();
+        let tour = EulerTour::default_of(&h);
+        assert_eq!(h.id(tour.root()).value(), 6);
+    }
+
+    #[test]
+    fn pred_succ_are_inverses() {
+        let h = fig1();
+        let tour = EulerTour::default_of(&h);
+        for i in 0..tour.len() {
+            assert_eq!(tour.succ(tour.pred(i)), i);
+            assert_eq!(tour.pred(tour.succ(i)), i);
+        }
+    }
+}

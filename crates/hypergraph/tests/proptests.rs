@@ -1,0 +1,174 @@
+//! Property-based tests for the hypergraph substrate: structural invariants
+//! of random topologies, matching combinatorics, and the Theorem 4/5/7/8
+//! bound relations.
+
+use proptest::prelude::*;
+use sscc_hypergraph::{
+    fairness_sets, generators, matching, network, AmmFamily, EulerTour, FairnessAnalysis,
+    Hypergraph, SpanningTree,
+};
+
+/// A random connected hypergraph through the generator (itself under test).
+fn arb_h() -> impl Strategy<Value = Hypergraph> {
+    (4usize..12, 2usize..4, 0u64..500).prop_map(|(n, k, seed)| {
+        let m = n.div_ceil(k - 1) + 2;
+        generators::random_uniform(n, m, k, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The neighbor relation is symmetric and irreflexive, and agrees with
+    /// shared-committee membership.
+    #[test]
+    fn neighbors_symmetric_and_from_committees(h in arb_h()) {
+        for v in 0..h.n() {
+            for &u in h.neighbors(v) {
+                prop_assert_ne!(u, v, "no self-neighbors");
+                prop_assert!(h.are_neighbors(u, v));
+                prop_assert!(h.are_neighbors(v, u));
+                prop_assert!(
+                    h.incident(v).iter().any(|&e| h.is_member(u, e)),
+                    "neighbors share a committee"
+                );
+            }
+        }
+    }
+
+    /// Incidence is the transpose of membership.
+    #[test]
+    fn incidence_matches_membership(h in arb_h()) {
+        for e in h.edge_ids() {
+            for &v in h.members(e) {
+                prop_assert!(h.incident(v).contains(&e));
+            }
+        }
+        for v in 0..h.n() {
+            for &e in h.incident(v) {
+                prop_assert!(h.is_member(v, e));
+            }
+        }
+    }
+
+    /// BFS distances satisfy the triangle property along edges and the
+    /// spanning tree realizes them exactly.
+    #[test]
+    fn bfs_tree_realizes_distances(h in arb_h(), root_sel in 0usize..100) {
+        let root = root_sel % h.n();
+        let dist = network::bfs_distances(&h, root);
+        for v in 0..h.n() {
+            for &u in h.neighbors(v) {
+                prop_assert!(dist[u] + 1 >= dist[v] && dist[v] + 1 >= dist[u]);
+            }
+        }
+        let tree = SpanningTree::bfs(&h, root);
+        for v in 0..h.n() {
+            match tree.parent(v) {
+                None => prop_assert_eq!(v, root),
+                Some(p) => {
+                    prop_assert!(h.are_neighbors(p, v));
+                    prop_assert_eq!(dist[p] + 1, dist[v]);
+                }
+            }
+        }
+    }
+
+    /// Euler tours are cyclic walks over tree edges covering every process.
+    #[test]
+    fn euler_tour_invariants(h in arb_h(), root_sel in 0usize..100) {
+        let root = root_sel % h.n();
+        let tree = SpanningTree::bfs(&h, root);
+        let tour = EulerTour::of(&tree);
+        prop_assert_eq!(tour.len(), 2 * (h.n() - 1));
+        let mut covered = vec![false; h.n()];
+        for i in 0..tour.len() {
+            covered[tour.owner(i)] = true;
+            let (a, b) = (tour.owner(i), tour.owner(tour.succ(i)));
+            prop_assert!(
+                tree.parent(a) == Some(b) || tree.parent(b) == Some(a),
+                "hop {a}-{b} not a tree edge"
+            );
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+        // Each process owns exactly (tree degree) positions: root owns
+        // deg positions, internal nodes deg, leaves 1 — totalling 2(n-1).
+        let total: usize = (0..h.n()).map(|v| tour.positions(v).len()).sum();
+        prop_assert_eq!(total, tour.len());
+    }
+
+    /// Greedy maximal matchings are maximal; enumeration contains them.
+    #[test]
+    fn greedy_results_are_maximal(h in arb_h(), seed in 0u64..1000) {
+        use rand::seq::SliceRandom as _;
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut order: Vec<_> = h.edge_ids().collect();
+        order.shuffle(&mut rng);
+        let g = matching::greedy_maximal(&h, &order);
+        prop_assert!(matching::is_maximal_matching(&h, &g));
+    }
+
+    /// `minMM` from branch-and-bound equals the enumeration minimum, and
+    /// the sampled estimator never under-shoots it.
+    #[test]
+    fn min_mm_consistency(h in arb_h()) {
+        let mms = matching::enumerate_maximal_matchings(&h);
+        prop_assert!(!mms.is_empty(), "a maximal matching always exists");
+        let exact = mms.iter().map(Vec::len).min().unwrap();
+        prop_assert_eq!(matching::min_maximal_matching_size(&h), exact);
+        prop_assert!(matching::sampled_min_maximal(&h, 32, 1) >= exact);
+        let max = mms.iter().map(Vec::len).max().unwrap();
+        prop_assert!(matching::max_matching_size(&h) >= max);
+    }
+
+    /// Theorem 5 and Theorem 8 bound relations hold on random topologies,
+    /// and AMM' ⊆-dominates AMM (its minimum is no larger).
+    #[test]
+    fn bound_relations(h in arb_h()) {
+        let a = FairnessAnalysis::compute(&h);
+        prop_assert!(a.thm4_bound() >= a.thm5_bound(), "{a:?}");
+        prop_assert!(a.thm7_bound() >= a.thm8_bound(), "{a:?}");
+        prop_assert!(a.thm7_bound() <= a.thm4_bound(), "AMM' ⊇ AMM: {a:?}");
+        prop_assert!(a.thm4_bound() <= a.min_mm, "bounds cannot exceed minMM");
+        if let (Some(x), Some(y)) = (a.min_amm, a.min_amm_prime) {
+            prop_assert!(y <= x);
+        }
+    }
+
+    /// `Almost(ε, X)` members are matchings of the reduced hypergraph that
+    /// cover every member of ε \ X.
+    #[test]
+    fn almost_members_are_covering_matchings(h in arb_h(), pick in 0usize..100) {
+        let p = pick % h.n();
+        let eps = h.incident(p)[0];
+        let x = vec![p];
+        for m in fairness_sets::almost(&h, eps, &x) {
+            prop_assert!(matching::is_matching(&h, &m));
+            for &e in &m {
+                prop_assert!(!h.members(e).contains(&p), "H_X avoids X");
+            }
+            for &q in h.members(eps) {
+                if q != p {
+                    prop_assert!(
+                        m.iter().any(|&e| h.is_member(q, e)),
+                        "member {q} of ε \\ X uncovered"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn amm_family_enum_is_exposed() {
+    // Sanity for the public API surface used by downstream crates.
+    let h = generators::fig2();
+    let a = fairness_sets::min_amm_size(&h, AmmFamily::MinEdgesOnly);
+    let b = fairness_sets::min_amm_size(&h, AmmFamily::AllEdges);
+    match (a, b) {
+        (Some(x), Some(y)) => assert!(y <= x),
+        (Some(_), None) => panic!("AMM' ⊇ AMM cannot be empty when AMM is not"),
+        _ => {}
+    }
+}

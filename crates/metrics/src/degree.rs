@@ -1,0 +1,179 @@
+//! Experiment E5/E6: the **degree of fair concurrency** (Definition 5,
+//! Theorems 4, 5, 7, 8).
+//!
+//! Protocol, straight from the paper: let every convened meeting last
+//! forever (the infinite-meeting environment); the system then reaches a
+//! quiescent state in which statuses no longer change (Lemmas 13–17). The
+//! degree of fair concurrency is the *minimum*, over computations, of the
+//! number of meetings held at quiescence. We approximate the minimum over
+//! all computations by the minimum over many seeded daemon schedules, and
+//! check it against the exact combinatorial bounds `min|MM ∪ AMM|`
+//! (Theorem 4 / 7) and `minMM − MaxMin + 1` (Theorem 5 / 8).
+
+use crate::runner::{build_sim, AlgoKind, Boot, PolicyKind};
+use crate::sweep::parallel_map;
+use sscc_core::sim::StopReason;
+use sscc_hypergraph::{FairnessAnalysis, Hypergraph};
+use std::sync::Arc;
+
+/// Configuration of a degree measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct DegreeConfig {
+    /// Step budget per run (quiescence must be reached inside it).
+    pub budget: u64,
+    /// Number of daemon seeds to sweep.
+    pub seeds: u64,
+}
+
+impl Default for DegreeConfig {
+    fn default() -> Self {
+        DegreeConfig { budget: 60_000, seeds: 32 }
+    }
+}
+
+/// Result of a degree measurement on one topology.
+#[derive(Clone, Debug)]
+pub struct DegreeOutcome {
+    /// Minimum meetings held at quiescence over all quiesced runs.
+    pub min_live: usize,
+    /// Maximum (for context: how much schedules matter).
+    pub max_live: usize,
+    /// Runs that actually quiesced within budget.
+    pub quiesced: usize,
+    /// Total runs.
+    pub runs: usize,
+}
+
+/// Measure the degree of fair concurrency of `algo` on `h`.
+///
+/// Uses clean boots (the theorems characterize post-stabilization quiescent
+/// states, Lemma 16; with frozen meetings a corrupted substrate would never
+/// finish stabilizing, so arbitrary boots measure a different quantity).
+pub fn measure_degree(h: &Arc<Hypergraph>, algo: AlgoKind, cfg: &DegreeConfig) -> DegreeOutcome {
+    assert!(algo.fair(), "degree of fair concurrency applies to CC2/CC3");
+    let results = parallel_map(0..cfg.seeds, |seed| {
+        let mut sim = build_sim(
+            algo,
+            Arc::clone(h),
+            seed,
+            PolicyKind::InfiniteMeetings,
+            Boot::Clean,
+        );
+        let stop = sim.run(cfg.budget);
+        (stop == StopReason::Terminal, sim.live_meeting_count())
+    });
+    let mut out = DegreeOutcome { min_live: usize::MAX, max_live: 0, quiesced: 0, runs: 0 };
+    for (quiesced, live) in results {
+        out.runs += 1;
+        if quiesced {
+            out.quiesced += 1;
+            out.min_live = out.min_live.min(live);
+            out.max_live = out.max_live.max(live);
+        }
+    }
+    if out.quiesced == 0 {
+        out.min_live = 0;
+    }
+    out
+}
+
+/// A degree measurement joined with the paper's bounds — one row of the
+/// E5/E6 tables.
+#[derive(Clone, Debug)]
+pub struct DegreeRow {
+    /// Topology label.
+    pub name: String,
+    /// Measured minimum meetings at quiescence.
+    pub measured_min: usize,
+    /// Measured maximum.
+    pub measured_max: usize,
+    /// Theorem 4 (CC2) or Theorem 7 (CC3) bound: `min|MM ∪ AMM(')|`.
+    pub exact_bound: usize,
+    /// Theorem 5 (CC2) or Theorem 8 (CC3) closed-form bound.
+    pub closed_bound: usize,
+    /// `minMM` for context.
+    pub min_mm: usize,
+    /// Runs that quiesced / total.
+    pub quiesced: (usize, usize),
+}
+
+impl DegreeRow {
+    /// Does the measurement respect the paper's lower bounds?
+    pub fn holds(&self) -> bool {
+        self.measured_min >= self.exact_bound && self.exact_bound >= self.closed_bound
+    }
+}
+
+/// Run the full E5/E6 row for one topology.
+pub fn degree_row(
+    name: &str,
+    h: &Arc<Hypergraph>,
+    algo: AlgoKind,
+    cfg: &DegreeConfig,
+) -> DegreeRow {
+    let analysis = FairnessAnalysis::compute(h);
+    let (exact_bound, closed_bound) = match algo {
+        AlgoKind::Cc2 => (analysis.thm4_bound(), analysis.thm5_bound()),
+        AlgoKind::Cc3 => (analysis.thm7_bound(), analysis.thm8_bound()),
+        AlgoKind::Cc1 => unreachable!("checked by measure_degree"),
+    };
+    let m = measure_degree(h, algo, cfg);
+    DegreeRow {
+        name: name.to_string(),
+        measured_min: m.min_live,
+        measured_max: m.max_live,
+        exact_bound,
+        closed_bound,
+        min_mm: analysis.min_mm,
+        quiesced: (m.quiesced, m.runs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sscc_hypergraph::generators;
+
+    fn small_cfg() -> DegreeConfig {
+        DegreeConfig { budget: 40_000, seeds: 8 }
+    }
+
+    #[test]
+    fn cc2_degree_respects_thm4_on_fig2() {
+        let h = Arc::new(generators::fig2());
+        let row = degree_row("fig2", &h, AlgoKind::Cc2, &small_cfg());
+        assert!(row.quiesced.0 > 0, "at least one run quiesced");
+        assert!(
+            row.holds(),
+            "measured {} < bound {} (closed {})",
+            row.measured_min,
+            row.exact_bound,
+            row.closed_bound
+        );
+    }
+
+    #[test]
+    fn cc2_degree_respects_thm4_on_ring() {
+        let h = Arc::new(generators::ring(6, 2));
+        let row = degree_row("ring6x2", &h, AlgoKind::Cc2, &small_cfg());
+        assert!(row.quiesced.0 > 0);
+        assert!(row.holds(), "{row:?}");
+        // On C6 the degree is at least minMM - MaxMin + 1 = 2 - 2 + 1 = 1.
+        assert!(row.measured_min >= 1);
+    }
+
+    #[test]
+    fn cc3_degree_respects_thm7_on_fig2() {
+        let h = Arc::new(generators::fig2());
+        let row = degree_row("fig2", &h, AlgoKind::Cc3, &small_cfg());
+        assert!(row.quiesced.0 > 0);
+        assert!(row.holds(), "{row:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "CC2/CC3")]
+    fn cc1_has_no_degree() {
+        let h = Arc::new(generators::fig2());
+        let _ = measure_degree(&h, AlgoKind::Cc1, &small_cfg());
+    }
+}

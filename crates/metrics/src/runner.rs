@@ -1,0 +1,220 @@
+//! Uniform construction and driving of the three algorithm variants, so the
+//! experiment code (and the bench binary) can sweep over algorithms as data.
+
+use sscc_core::sim::{default_daemon, Cc1Sim, Cc2Sim, Cc3Sim, StopReason};
+use sscc_core::{
+    Cc1, Cc2, Cc3, EagerPolicy, InfiniteMeetingPolicy, MeetingLedger, OraclePolicy, Sim,
+    SpecMonitor, StochasticPolicy,
+};
+use sscc_hypergraph::Hypergraph;
+use sscc_token::WaveToken;
+use std::sync::Arc;
+
+/// Which committee coordination algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgoKind {
+    /// CC1 — maximal concurrency, no fairness.
+    Cc1,
+    /// CC2 — professor fairness.
+    Cc2,
+    /// CC3 — committee fairness.
+    Cc3,
+}
+
+impl AlgoKind {
+    /// Short label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlgoKind::Cc1 => "CC1",
+            AlgoKind::Cc2 => "CC2",
+            AlgoKind::Cc3 => "CC3",
+        }
+    }
+
+    /// The fair variants (those with a degree of fair concurrency).
+    pub fn fair(self) -> bool {
+        matches!(self, AlgoKind::Cc2 | AlgoKind::Cc3)
+    }
+}
+
+/// Which environment policy to attach.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PolicyKind {
+    /// Always requesting; leave `max_disc` steps after done.
+    Eager {
+        /// Voluntary-discussion length (the paper's `maxDisc`).
+        max_disc: u64,
+    },
+    /// Definitions 2/5: meetings never end.
+    InfiniteMeetings,
+    /// Random request arrivals and discussion lengths.
+    Stochastic {
+        /// Per-step probability an idle professor starts requesting.
+        p_in: f64,
+        /// Discussion length range (steps, half-open).
+        lo: u64,
+        /// Upper bound (exclusive).
+        hi: u64,
+    },
+}
+
+impl PolicyKind {
+    fn build(self, n: usize, seed: u64) -> Box<dyn OraclePolicy> {
+        match self {
+            PolicyKind::Eager { max_disc } => Box::new(EagerPolicy::new(n, max_disc)),
+            PolicyKind::InfiniteMeetings => Box::new(InfiniteMeetingPolicy),
+            PolicyKind::Stochastic { p_in, lo, hi } => {
+                Box::new(StochasticPolicy::new(n, seed ^ 0x5eed, p_in, lo..hi))
+            }
+        }
+    }
+}
+
+/// How the run is initialized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Boot {
+    /// Designated initial states (idle/looking, one token).
+    Clean,
+    /// Arbitrary configuration sampled with this fault seed (§2.5).
+    Arbitrary(u64),
+}
+
+/// A type-erased running simulation of any algorithm variant.
+pub enum AnySim {
+    /// CC1 ∘ TC.
+    Cc1(Box<Cc1Sim>),
+    /// CC2 ∘ TC.
+    Cc2(Box<Cc2Sim>),
+    /// CC3 ∘ TC.
+    Cc3(Box<Cc3Sim>),
+}
+
+/// Build a simulation.
+pub fn build_sim(
+    kind: AlgoKind,
+    h: Arc<Hypergraph>,
+    daemon_seed: u64,
+    policy: PolicyKind,
+    boot: Boot,
+) -> AnySim {
+    let n = h.n();
+    let ring = WaveToken::new(&h);
+    let daemon = default_daemon(daemon_seed, n);
+    let pol = policy.build(n, daemon_seed);
+    match (kind, boot) {
+        (AlgoKind::Cc1, Boot::Clean) => {
+            AnySim::Cc1(Box::new(Sim::new(h, Cc1::new(), ring, daemon, pol)))
+        }
+        (AlgoKind::Cc1, Boot::Arbitrary(fs)) => {
+            AnySim::Cc1(Box::new(Sim::arbitrary(h, Cc1::new(), ring, daemon, pol, fs)))
+        }
+        (AlgoKind::Cc2, Boot::Clean) => {
+            AnySim::Cc2(Box::new(Sim::new(h, Cc2::new(), ring, daemon, pol)))
+        }
+        (AlgoKind::Cc2, Boot::Arbitrary(fs)) => {
+            AnySim::Cc2(Box::new(Sim::arbitrary(h, Cc2::new(), ring, daemon, pol, fs)))
+        }
+        (AlgoKind::Cc3, Boot::Clean) => {
+            AnySim::Cc3(Box::new(Sim::new(h, Cc3::new_cc3(), ring, daemon, pol)))
+        }
+        (AlgoKind::Cc3, Boot::Arbitrary(fs)) => {
+            AnySim::Cc3(Box::new(Sim::arbitrary(h, Cc3::new_cc3(), ring, daemon, pol, fs)))
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:expr, $s:ident => $body:expr) => {
+        match $self {
+            AnySim::Cc1($s) => $body,
+            AnySim::Cc2($s) => $body,
+            AnySim::Cc3($s) => $body,
+        }
+    };
+}
+
+impl AnySim {
+    /// Execute one step; `false` on terminal.
+    pub fn step(&mut self) -> bool {
+        dispatch!(self, s => s.step())
+    }
+
+    /// Run until terminal or budget.
+    pub fn run(&mut self, budget: u64) -> StopReason {
+        dispatch!(self, s => s.run(budget))
+    }
+
+    /// The meeting ledger.
+    pub fn ledger(&self) -> &MeetingLedger {
+        dispatch!(self, s => s.ledger())
+    }
+
+    /// The specification monitor.
+    pub fn monitor(&self) -> &SpecMonitor {
+        dispatch!(self, s => s.monitor())
+    }
+
+    /// Completed rounds.
+    pub fn rounds(&self) -> u64 {
+        dispatch!(self, s => s.rounds())
+    }
+
+    /// Steps executed.
+    pub fn steps(&self) -> u64 {
+        dispatch!(self, s => s.steps())
+    }
+
+    /// Number of committees currently meeting.
+    pub fn live_meeting_count(&self) -> usize {
+        dispatch!(self, s => s.live_meetings().len())
+    }
+
+    /// The topology.
+    pub fn h(&self) -> &Hypergraph {
+        dispatch!(self, s => s.h())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sscc_hypergraph::generators;
+
+    #[test]
+    fn all_variants_build_and_run() {
+        let h = Arc::new(generators::fig2());
+        for kind in [AlgoKind::Cc1, AlgoKind::Cc2, AlgoKind::Cc3] {
+            let mut sim = build_sim(
+                kind,
+                Arc::clone(&h),
+                1,
+                PolicyKind::Eager { max_disc: 1 },
+                Boot::Clean,
+            );
+            sim.run(2000);
+            assert!(sim.monitor().clean(), "{kind:?}");
+            assert!(sim.ledger().convened_count() > 0, "{kind:?} made progress");
+        }
+    }
+
+    #[test]
+    fn arbitrary_boot_differs_from_clean() {
+        let h = Arc::new(generators::fig2());
+        let mut a = build_sim(
+            AlgoKind::Cc2,
+            Arc::clone(&h),
+            1,
+            PolicyKind::Eager { max_disc: 1 },
+            Boot::Arbitrary(9),
+        );
+        a.run(2000);
+        assert!(a.monitor().clean(), "snap: no violations from arbitrary boot");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(AlgoKind::Cc1.label(), "CC1");
+        assert!(!AlgoKind::Cc1.fair());
+        assert!(AlgoKind::Cc2.fair() && AlgoKind::Cc3.fair());
+    }
+}

@@ -1,0 +1,159 @@
+//! Experiment E11: throughput and starvation — the empirical content of the
+//! paper's §3.2 discussion ("enforcing fairness decreases concurrency").
+//!
+//! For each algorithm/topology/load we measure: meetings convened per 1000
+//! steps, mean number of simultaneously live meetings, and the starvation
+//! profile (minimum participations across professors; CC1 may legitimately
+//! starve someone, CC2/CC3 must not).
+
+use crate::runner::{build_sim, AlgoKind, Boot, PolicyKind};
+use crate::sweep::parallel_map;
+use sscc_hypergraph::Hypergraph;
+use std::sync::Arc;
+
+/// Throughput measurement of one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThroughputOutcome {
+    /// Post-initial convenes.
+    pub convened: usize,
+    /// Steps executed.
+    pub steps: u64,
+    /// Completed rounds.
+    pub rounds: u64,
+    /// Mean live meetings, sampled per step.
+    pub mean_live: f64,
+    /// Minimum participations over professors.
+    pub min_participations: u64,
+    /// Number of professors with zero participations.
+    pub starved: usize,
+    /// Specification violations observed (must be 0).
+    pub violations: usize,
+}
+
+/// Run one throughput measurement.
+pub fn measure_throughput(
+    h: &Arc<Hypergraph>,
+    algo: AlgoKind,
+    seed: u64,
+    policy: PolicyKind,
+    budget: u64,
+) -> ThroughputOutcome {
+    let mut sim = build_sim(algo, Arc::clone(h), seed, policy, Boot::Clean);
+    let mut live_sum: u64 = 0;
+    let mut samples: u64 = 0;
+    while sim.steps() < budget {
+        if !sim.step() {
+            break;
+        }
+        live_sum += sim.live_meeting_count() as u64;
+        samples += 1;
+    }
+    let parts = sim.ledger().participations();
+    ThroughputOutcome {
+        convened: sim.ledger().convened_count(),
+        steps: sim.steps(),
+        rounds: sim.rounds(),
+        mean_live: if samples == 0 { 0.0 } else { live_sum as f64 / samples as f64 },
+        min_participations: parts.iter().copied().min().unwrap_or(0),
+        starved: parts.iter().filter(|&&c| c == 0).count(),
+        violations: sim.monitor().violations().len(),
+    }
+}
+
+/// One row of the E11 table: a seed-averaged throughput cell.
+#[derive(Clone, Debug)]
+pub struct ThroughputRow {
+    /// Topology label.
+    pub name: String,
+    /// Algorithm.
+    pub algo: AlgoKind,
+    /// Mean meetings per 1000 steps.
+    pub meetings_per_kstep: f64,
+    /// Mean live meetings.
+    pub mean_live: f64,
+    /// Worst-case starved professors across seeds.
+    pub max_starved: usize,
+    /// Minimum participations across seeds and professors.
+    pub min_participations: u64,
+    /// Total violations (must be 0).
+    pub violations: usize,
+}
+
+/// Sweep seeds for one (topology, algorithm) cell.
+pub fn throughput_row(
+    name: &str,
+    h: &Arc<Hypergraph>,
+    algo: AlgoKind,
+    policy: PolicyKind,
+    seeds: u64,
+    budget: u64,
+) -> ThroughputRow {
+    let outs = parallel_map(0..seeds, |seed| {
+        measure_throughput(h, algo, seed, policy, budget)
+    });
+    let k = outs.len().max(1) as f64;
+    ThroughputRow {
+        name: name.to_string(),
+        algo,
+        meetings_per_kstep: outs
+            .iter()
+            .map(|o| o.convened as f64 * 1000.0 / o.steps.max(1) as f64)
+            .sum::<f64>()
+            / k,
+        mean_live: outs.iter().map(|o| o.mean_live).sum::<f64>() / k,
+        max_starved: outs.iter().map(|o| o.starved).max().unwrap_or(0),
+        min_participations: outs.iter().map(|o| o.min_participations).min().unwrap_or(0),
+        violations: outs.iter().map(|o| o.violations).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sscc_hypergraph::generators;
+
+    #[test]
+    fn cc2_no_starvation_on_ring() {
+        let h = Arc::new(generators::ring(5, 2));
+        let row = throughput_row(
+            "ring5",
+            &h,
+            AlgoKind::Cc2,
+            PolicyKind::Eager { max_disc: 1 },
+            3,
+            25_000,
+        );
+        assert_eq!(row.violations, 0);
+        assert_eq!(row.max_starved, 0, "CC2 must not starve anyone: {row:?}");
+        assert!(row.meetings_per_kstep > 0.0);
+    }
+
+    #[test]
+    fn cc1_throughput_positive() {
+        let h = Arc::new(generators::fig1());
+        let row = throughput_row(
+            "fig1",
+            &h,
+            AlgoKind::Cc1,
+            PolicyKind::Eager { max_disc: 1 },
+            3,
+            15_000,
+        );
+        assert_eq!(row.violations, 0);
+        assert!(row.meetings_per_kstep > 0.0);
+    }
+
+    #[test]
+    fn stochastic_load_works() {
+        let h = Arc::new(generators::fig2());
+        let o = measure_throughput(
+            &h,
+            AlgoKind::Cc2,
+            5,
+            PolicyKind::Stochastic { p_in: 0.3, lo: 1, hi: 5 },
+            10_000,
+        );
+        assert_eq!(o.violations, 0);
+        assert!(o.convened > 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Experiment E7: **waiting time** (Definition 6, Theorem 6).
+//!
+//! Theorem 6 bounds CC2's waiting time by `O(maxDisc × n)` rounds: after
+//! stabilization a token holder keeps the token for `O(maxDisc)` rounds and
+//! `O(n)` processes may hold it before a given professor does. We measure,
+//! per professor, the largest gap (in *rounds*, the paper's time unit)
+//! between successive meeting participations — including the censored
+//! initial and final gaps — and report the maximum over professors.
+
+use crate::runner::{build_sim, AlgoKind, Boot, PolicyKind};
+use crate::sweep::parallel_map;
+use std::sync::Arc;
+
+use sscc_hypergraph::Hypergraph;
+
+/// Waiting-time measurement for one run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WaitingOutcome {
+    /// Max over professors of the largest participation gap, in rounds.
+    pub max_wait_rounds: u64,
+    /// Mean (over professors) of their largest gap.
+    pub mean_wait_rounds: f64,
+    /// Total completed rounds in the run.
+    pub total_rounds: u64,
+    /// Total post-initial convenes (context: enough samples?).
+    pub convened: usize,
+}
+
+/// Measure waiting time of `algo` on `h` for one seed.
+pub fn measure_waiting(
+    h: &Arc<Hypergraph>,
+    algo: AlgoKind,
+    seed: u64,
+    max_disc: u64,
+    budget: u64,
+) -> WaitingOutcome {
+    let mut sim = build_sim(
+        algo,
+        Arc::clone(h),
+        seed,
+        PolicyKind::Eager { max_disc },
+        Boot::Clean,
+    );
+    sim.run(budget);
+    let n = h.n();
+    let end_round = sim.rounds();
+    // Participation rounds per professor, from the ledger.
+    let mut rounds: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for inst in sim.ledger().post_initial_instances() {
+        for &p in &inst.participants {
+            rounds[p].push(inst.convened_round);
+        }
+    }
+    let mut max_gap = 0u64;
+    let mut sum_gap = 0u64;
+    for r in &mut rounds {
+        r.sort_unstable();
+        let mut worst = 0u64;
+        let mut prev = 0u64; // gap from the start counts (first wait)
+        for &x in r.iter() {
+            worst = worst.max(x - prev);
+            prev = x;
+        }
+        worst = worst.max(end_round.saturating_sub(prev)); // censored tail
+        max_gap = max_gap.max(worst);
+        sum_gap += worst;
+    }
+    WaitingOutcome {
+        max_wait_rounds: max_gap,
+        mean_wait_rounds: sum_gap as f64 / n as f64,
+        total_rounds: end_round,
+        convened: sim.ledger().convened_count(),
+    }
+}
+
+/// One row of the E7 table: waiting time vs `n` and `maxDisc`.
+#[derive(Clone, Debug)]
+pub struct WaitingRow {
+    /// Topology label.
+    pub name: String,
+    /// Number of professors.
+    pub n: usize,
+    /// `maxDisc` used.
+    pub max_disc: u64,
+    /// Worst waiting time across seeds (rounds).
+    pub max_wait: u64,
+    /// Mean of per-seed max waits.
+    pub mean_wait: f64,
+    /// The Theorem 6 scale `maxDisc × n` for comparison.
+    pub thm6_scale: u64,
+}
+
+/// Sweep seeds for one (topology, maxDisc) cell.
+pub fn waiting_row(
+    name: &str,
+    h: &Arc<Hypergraph>,
+    algo: AlgoKind,
+    max_disc: u64,
+    seeds: u64,
+    budget: u64,
+) -> WaitingRow {
+    let outs = parallel_map(0..seeds, |seed| {
+        measure_waiting(h, algo, seed, max_disc, budget)
+    });
+    let max_wait = outs.iter().map(|o| o.max_wait_rounds).max().unwrap_or(0);
+    let mean_wait =
+        outs.iter().map(|o| o.max_wait_rounds as f64).sum::<f64>() / outs.len().max(1) as f64;
+    WaitingRow {
+        name: name.to_string(),
+        n: h.n(),
+        max_disc,
+        max_wait,
+        mean_wait,
+        thm6_scale: max_disc.max(1) * h.n() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sscc_hypergraph::generators;
+
+    #[test]
+    fn cc2_waits_are_finite_on_ring() {
+        let h = Arc::new(generators::ring(4, 2));
+        let o = measure_waiting(&h, AlgoKind::Cc2, 3, 1, 30_000);
+        assert!(o.convened >= 4, "enough meetings to measure: {o:?}");
+        assert!(o.max_wait_rounds > 0);
+        // Fairness: the largest gap is far below the run length.
+        assert!(
+            o.max_wait_rounds < o.total_rounds / 2,
+            "wait {} vs rounds {}",
+            o.max_wait_rounds,
+            o.total_rounds
+        );
+    }
+
+    #[test]
+    fn waiting_row_aggregates() {
+        let h = Arc::new(generators::ring(4, 2));
+        let row = waiting_row("ring4", &h, AlgoKind::Cc2, 1, 4, 20_000);
+        assert_eq!(row.n, 4);
+        assert!(row.max_wait >= row.mean_wait as u64);
+        assert_eq!(row.thm6_scale, 4);
+    }
+}

@@ -1,0 +1,106 @@
+//! The guarded-action local algorithm abstraction (paper §2.2).
+//!
+//! A local algorithm is a finite **ordered** list of guarded actions
+//! `label :: guard -> statement`. The order encodes priority: *action A has
+//! higher priority than action B iff A appears after B in the code* — so the
+//! *last* enabled action in code order is the one a selected process
+//! executes. Guards may read the process's own state and its neighbors'
+//! states (plus external inputs); statements write only the process's own
+//! state.
+
+use crate::ctx::Ctx;
+use sscc_hypergraph::Hypergraph;
+
+/// Index of an action within an algorithm's code-ordered action list.
+/// Higher indices mean higher priority (paper §2.2).
+pub type ActionId = usize;
+
+/// A process state: cloneable, comparable (for termination/quiescence
+/// detection and trace diffing) and printable.
+pub trait ProcessState: Clone + PartialEq + std::fmt::Debug {}
+impl<T: Clone + PartialEq + std::fmt::Debug> ProcessState for T {}
+
+/// A distributed algorithm in the locally shared memory model.
+///
+/// One value of the implementing type describes the algorithm for the whole
+/// system (all processes run the same code, §2.2); per-process distinctions
+/// (identifier, incident committees, tour positions, …) are read from the
+/// topology through the [`Ctx`].
+pub trait GuardedAlgorithm {
+    /// Per-process state (the process's locally shared variables).
+    type State: ProcessState;
+
+    /// External input provider (e.g. the `RequestIn`/`RequestOut` predicates
+    /// of the committee coordination problem). Use `()` for closed
+    /// algorithms. The environment is read-only during a step.
+    type Env: ?Sized;
+
+    /// Number of actions in the code-ordered list.
+    fn action_count(&self) -> usize;
+
+    /// Human-readable label of action `a` (for traces and debugging).
+    fn action_name(&self, a: ActionId) -> String;
+
+    /// The designated fault-free initial state of process `me` (all our
+    /// algorithms also stabilize from arbitrary states; this is merely the
+    /// "clean boot" state used by non-stabilization experiments).
+    fn initial_state(&self, h: &Hypergraph, me: usize) -> Self::State;
+
+    /// The **priority enabled action** of the process in the given context:
+    /// the enabled action appearing *latest* in code order, or `None` if the
+    /// process is disabled.
+    fn priority_action(&self, ctx: &Ctx<'_, Self::State, Self::Env>) -> Option<ActionId>;
+
+    /// Execute action `a` (whose guard the caller evaluated as true in this
+    /// exact context) and return the process's next state. Statements are
+    /// atomic with the guard evaluation: the whole step reads the pre-step
+    /// configuration (composite atomicity).
+    fn execute(&self, ctx: &Ctx<'_, Self::State, Self::Env>, a: ActionId) -> Self::State;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! A tiny well-understood algorithm used by runtime unit tests:
+    //! "max-propagation" — every process holds a number and copies the
+    //! maximum of its neighborhood when strictly larger. Terminates with
+    //! all values equal to the global maximum.
+
+    use super::*;
+
+    pub struct MaxProp;
+
+    impl GuardedAlgorithm for MaxProp {
+        type State = u32;
+        type Env = ();
+
+        fn action_count(&self) -> usize {
+            1
+        }
+
+        fn action_name(&self, a: ActionId) -> String {
+            assert_eq!(a, 0);
+            "adopt-max".to_string()
+        }
+
+        fn initial_state(&self, h: &Hypergraph, me: usize) -> u32 {
+            h.id(me).value()
+        }
+
+        fn priority_action(&self, ctx: &Ctx<'_, u32, ()>) -> Option<ActionId> {
+            let best = ctx
+                .neighbor_states()
+                .map(|(_, s)| *s)
+                .max()
+                .unwrap_or(0);
+            (best > *ctx.my_state()).then_some(0)
+        }
+
+        fn execute(&self, ctx: &Ctx<'_, u32, ()>, a: ActionId) -> u32 {
+            assert_eq!(a, 0);
+            ctx.neighbor_states()
+                .map(|(_, s)| *s)
+                .max()
+                .expect("guard implies a larger neighbor")
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Per-process evaluation context with locality enforcement.
+//!
+//! In the locally shared memory model a process may read its own variables
+//! and those of its neighbors — nothing else (§2.2). [`Ctx`] is the only
+//! window an algorithm gets onto the configuration, and in debug builds it
+//! panics on any read of a non-neighbor's state, turning accidental
+//! non-local algorithms into test failures.
+//!
+//! States are read through the [`StateAccess`] trait rather than a plain
+//! slice so that *composed* algorithms (fair composition, `CC ∘ TC`) can
+//! hand their sub-algorithms a zero-copy projected view of the pair state.
+
+use sscc_hypergraph::{Hypergraph, ProcessId};
+
+/// Read access to the configuration, abstracted so composed states can be
+/// projected without copying.
+pub trait StateAccess<S> {
+    /// State of process `p` (dense index).
+    fn state(&self, p: usize) -> &S;
+}
+
+impl<S> StateAccess<S> for [S] {
+    #[inline]
+    fn state(&self, p: usize) -> &S {
+        &self[p]
+    }
+}
+
+impl<S> StateAccess<S> for Vec<S> {
+    #[inline]
+    fn state(&self, p: usize) -> &S {
+        &self[p]
+    }
+}
+
+/// Sized wrapper turning a plain slice into a [`StateAccess`] trait object
+/// (unsized `[S]` cannot coerce to `&dyn StateAccess<S>` directly).
+pub struct SliceAccess<'a, S>(pub &'a [S]);
+
+impl<S> StateAccess<S> for SliceAccess<'_, S> {
+    #[inline]
+    fn state(&self, p: usize) -> &S {
+        &self.0[p]
+    }
+}
+
+/// Read-only view a process has of the system while evaluating guards and
+/// executing statements: the topology, its own identity, the pre-step
+/// configuration restricted to its closed neighborhood, and the external
+/// environment.
+pub struct Ctx<'a, S, E: ?Sized> {
+    h: &'a Hypergraph,
+    me: usize,
+    states: &'a dyn StateAccess<S>,
+    env: &'a E,
+}
+
+impl<'a, S, E: ?Sized> Ctx<'a, S, E> {
+    /// Build a context for process `me`. Engine-internal, but public so that
+    /// algorithm unit tests can evaluate guards against hand-built
+    /// configurations.
+    pub fn new(
+        h: &'a Hypergraph,
+        me: usize,
+        states: &'a dyn StateAccess<S>,
+        env: &'a E,
+    ) -> Self {
+        debug_assert!(me < h.n());
+        Ctx { h, me, states, env }
+    }
+
+    /// The topology.
+    #[inline]
+    pub fn h(&self) -> &'a Hypergraph {
+        self.h
+    }
+
+    /// Dense index of this process.
+    #[inline]
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// Identifier of this process (processes know their own id, §2.1).
+    #[inline]
+    pub fn my_id(&self) -> ProcessId {
+        self.h.id(self.me)
+    }
+
+    /// Identifier of process `q` — permitted for `q` in the closed
+    /// neighborhood (a process can read the identifiers of its neighbors).
+    #[inline]
+    pub fn id_of(&self, q: usize) -> ProcessId {
+        self.check_local(q);
+        self.h.id(q)
+    }
+
+    /// This process's own state.
+    #[inline]
+    pub fn my_state(&self) -> &S {
+        self.states.state(self.me)
+    }
+
+    /// State of process `q`; `q` must be this process or a neighbor.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `q` is not in the closed neighborhood —
+    /// the algorithm would not be implementable in the model.
+    #[inline]
+    pub fn state_of(&self, q: usize) -> &S {
+        self.check_local(q);
+        self.states.state(q)
+    }
+
+    /// Iterator over `(neighbor, state)` pairs, ascending by dense index.
+    pub fn neighbor_states(&self) -> impl Iterator<Item = (usize, &S)> + '_ {
+        self.h
+            .neighbors(self.me)
+            .iter()
+            .map(move |&q| (q, self.states.state(q)))
+    }
+
+    /// The external environment (request oracles, etc.).
+    #[inline]
+    pub fn env(&self) -> &'a E {
+        self.env
+    }
+
+    /// The raw state accessor — used by composed algorithms to build
+    /// projected sub-views. Locality checks do not apply through this
+    /// escape hatch; compositions re-wrap it in a sub-[`Ctx`] immediately.
+    #[inline]
+    pub fn accessor(&self) -> &'a dyn StateAccess<S> {
+        self.states
+    }
+
+    /// Re-aim the context at another process (for composed algorithms that
+    /// evaluate sub-guards; the locality checks apply relative to the *new*
+    /// process).
+    pub fn for_process(&self, q: usize) -> Ctx<'a, S, E> {
+        Ctx { h: self.h, me: q, states: self.states, env: self.env }
+    }
+
+    #[inline]
+    fn check_local(&self, q: usize) {
+        debug_assert!(
+            q == self.me || self.h.are_neighbors(self.me, q),
+            "locality violation: process {:?} read state of non-neighbor {:?}",
+            self.h.id(self.me),
+            self.h.id(q)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sscc_hypergraph::generators;
+
+    #[test]
+    fn neighbor_reads_work() {
+        let h = generators::fig1();
+        let states: Vec<u32> = (0..h.n() as u32).collect();
+        let v2 = h.dense_of(2);
+        let ctx: Ctx<'_, u32, ()> = Ctx::new(&h, v2, &states, &());
+        assert_eq!(*ctx.my_state(), v2 as u32);
+        let v5 = h.dense_of(5);
+        assert_eq!(*ctx.state_of(v5), v5 as u32); // 2 and 5 share {2,4,5}
+        assert_eq!(ctx.my_id().value(), 2);
+        assert_eq!(ctx.neighbor_states().count(), h.neighbors(v2).len());
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "locality checks are debug-only")]
+    #[should_panic(expected = "locality violation")]
+    fn non_neighbor_read_panics_in_debug() {
+        let h = generators::fig1();
+        let states: Vec<u32> = vec![0; h.n()];
+        // 5 and 6 share no committee in fig1.
+        let ctx: Ctx<'_, u32, ()> = Ctx::new(&h, h.dense_of(5), &states, &());
+        let _ = ctx.state_of(h.dense_of(6));
+    }
+
+    #[test]
+    fn for_process_reaims() {
+        let h = generators::fig1();
+        let states: Vec<u32> = vec![7; h.n()];
+        let ctx: Ctx<'_, u32, ()> = Ctx::new(&h, 0, &states, &());
+        let other = ctx.for_process(1);
+        assert_eq!(other.me(), 1);
+        assert_eq!(*other.my_state(), 7);
+    }
+
+    #[test]
+    fn projected_access() {
+        struct First<'a>(&'a [(u32, bool)]);
+        impl StateAccess<u32> for First<'_> {
+            fn state(&self, p: usize) -> &u32 {
+                &self.0[p].0
+            }
+        }
+        let h = generators::fig1();
+        let pairs: Vec<(u32, bool)> = (0..h.n() as u32).map(|i| (i * 10, true)).collect();
+        let proj = First(&pairs);
+        let ctx: Ctx<'_, u32, ()> = Ctx::new(&h, 1, &proj, &());
+        assert_eq!(*ctx.my_state(), 10);
+    }
+}

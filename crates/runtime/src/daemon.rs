@@ -1,0 +1,313 @@
+//! Daemons (schedulers) — the adversary of the model (paper §2.2).
+//!
+//! At each step a daemon picks a non-empty subset of the enabled processes;
+//! every selected process atomically executes its priority enabled action.
+//! The paper assumes a **distributed weakly fair** daemon: any subset may be
+//! chosen (distributed), but a continuously enabled process is eventually
+//! selected (weak fairness). Finite simulations cannot observe "eventually",
+//! so [`WeaklyFair`] turns the promise into a bounded-delay guarantee.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A scheduler choosing, at each step, which enabled processes move.
+///
+/// Contract: the returned vector is a non-empty subset of `enabled`
+/// whenever `enabled` is non-empty (checked by the engine).
+pub trait Daemon {
+    /// Choose the processes to activate this step.
+    fn select(&mut self, enabled: &[usize]) -> Vec<usize>;
+}
+
+/// The synchronous daemon: every enabled process moves every step.
+/// Trivially distributed and weakly fair.
+#[derive(Debug, Default, Clone)]
+pub struct Synchronous;
+
+impl Daemon for Synchronous {
+    fn select(&mut self, enabled: &[usize]) -> Vec<usize> {
+        enabled.to_vec()
+    }
+}
+
+/// A central daemon: exactly one enabled process moves per step, chosen
+/// uniformly at random (seeded — runs are reproducible).
+#[derive(Debug)]
+pub struct Central {
+    rng: StdRng,
+}
+
+impl Central {
+    /// Central daemon with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Central { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Daemon for Central {
+    fn select(&mut self, enabled: &[usize]) -> Vec<usize> {
+        if enabled.is_empty() {
+            return Vec::new();
+        }
+        let i = self.rng.random_range(0..enabled.len());
+        vec![enabled[i]]
+    }
+}
+
+/// The distributed daemon: each enabled process is independently selected
+/// with probability `p`; if the coin flips select nobody, one enabled
+/// process is drawn uniformly (the daemon must pick a non-empty set).
+#[derive(Debug)]
+pub struct DistributedRandom {
+    rng: StdRng,
+    p: f64,
+}
+
+impl DistributedRandom {
+    /// Distributed random daemon with activation probability `p ∈ (0, 1]`.
+    pub fn new(seed: u64, p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "activation probability must be in (0,1]");
+        DistributedRandom { rng: StdRng::seed_from_u64(seed), p }
+    }
+}
+
+impl Daemon for DistributedRandom {
+    fn select(&mut self, enabled: &[usize]) -> Vec<usize> {
+        if enabled.is_empty() {
+            return Vec::new();
+        }
+        let mut picked: Vec<usize> = enabled
+            .iter()
+            .copied()
+            .filter(|_| self.rng.random_bool(self.p))
+            .collect();
+        if picked.is_empty() {
+            picked.push(enabled[self.rng.random_range(0..enabled.len())]);
+        }
+        picked
+    }
+}
+
+/// Weak-fairness enforcement wrapper: delegates to the inner daemon but
+/// force-includes any process that has been continuously enabled (without
+/// being selected) for more than `bound` steps. With `bound = 0` every
+/// continuously enabled process moves every step.
+#[derive(Debug)]
+pub struct WeaklyFair<D> {
+    inner: D,
+    bound: usize,
+    /// age[p] = consecutive steps p has been enabled without being selected.
+    age: Vec<usize>,
+}
+
+impl<D: Daemon> WeaklyFair<D> {
+    /// Wrap `inner`, forcing selection after `bound` steps of continuous
+    /// enabledness.
+    pub fn new(inner: D, bound: usize) -> Self {
+        WeaklyFair { inner, bound, age: Vec::new() }
+    }
+
+    /// The wrapped daemon.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: Daemon> Daemon for WeaklyFair<D> {
+    fn select(&mut self, enabled: &[usize]) -> Vec<usize> {
+        if enabled.is_empty() {
+            // Everything quiescent: ages reset.
+            self.age.iter_mut().for_each(|a| *a = 0);
+            return Vec::new();
+        }
+        let n = enabled.iter().copied().max().unwrap() + 1;
+        if self.age.len() < n {
+            self.age.resize(n, 0);
+        }
+        let mut picked = self.inner.select(enabled);
+        // Force over-age processes in.
+        for &p in enabled {
+            if self.age[p] >= self.bound && !picked.contains(&p) {
+                picked.push(p);
+            }
+        }
+        // Age bookkeeping: enabled-and-unselected age, others reset.
+        let mut is_enabled = vec![false; self.age.len()];
+        for &p in enabled {
+            if p < is_enabled.len() {
+                is_enabled[p] = true;
+            }
+        }
+        for (p, a) in self.age.iter_mut().enumerate() {
+            if is_enabled[p] && !picked.contains(&p) {
+                *a += 1;
+            } else {
+                *a = 0;
+            }
+        }
+        picked
+    }
+}
+
+/// A scripted (adversarial) daemon: replays a fixed schedule of selections,
+/// intersected with the actual enabled set. Used by the impossibility
+/// experiment (Theorem 1) and the Figure 3 walkthrough. When the script is
+/// exhausted, or a scripted selection is entirely disabled, falls back to
+/// selecting all enabled processes.
+#[derive(Debug)]
+pub struct Scripted {
+    script: std::collections::VecDeque<Vec<usize>>,
+}
+
+impl Scripted {
+    /// A daemon that replays `script` (one selection per step).
+    pub fn new<I: IntoIterator<Item = Vec<usize>>>(script: I) -> Self {
+        Scripted { script: script.into_iter().collect() }
+    }
+
+    /// Remaining scripted steps.
+    pub fn remaining(&self) -> usize {
+        self.script.len()
+    }
+}
+
+impl Daemon for Scripted {
+    fn select(&mut self, enabled: &[usize]) -> Vec<usize> {
+        if enabled.is_empty() {
+            return Vec::new();
+        }
+        if let Some(want) = self.script.pop_front() {
+            let picked: Vec<usize> =
+                want.into_iter().filter(|p| enabled.contains(p)).collect();
+            if !picked.is_empty() {
+                return picked;
+            }
+        }
+        enabled.to_vec()
+    }
+}
+
+/// Round-robin central daemon: deterministically activates the enabled
+/// process with the smallest index not served most recently. Useful for
+/// exhaustive small-model checks where randomness is unwanted.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    last: usize,
+}
+
+impl Daemon for RoundRobin {
+    fn select(&mut self, enabled: &[usize]) -> Vec<usize> {
+        if enabled.is_empty() {
+            return Vec::new();
+        }
+        // First enabled index strictly after `last`, wrapping.
+        let next = enabled
+            .iter()
+            .copied()
+            .find(|&p| p > self.last)
+            .unwrap_or(enabled[0]);
+        self.last = next;
+        vec![next]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronous_selects_all() {
+        let mut d = Synchronous;
+        assert_eq!(d.select(&[1, 3, 5]), vec![1, 3, 5]);
+        assert!(d.select(&[]).is_empty());
+    }
+
+    #[test]
+    fn central_selects_one() {
+        let mut d = Central::new(1);
+        for _ in 0..50 {
+            let s = d.select(&[2, 4, 6]);
+            assert_eq!(s.len(), 1);
+            assert!([2, 4, 6].contains(&s[0]));
+        }
+    }
+
+    #[test]
+    fn central_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut d = Central::new(seed);
+            (0..20).map(|_| d.select(&[0, 1, 2, 3])[0]).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn distributed_random_nonempty() {
+        let mut d = DistributedRandom::new(3, 0.01);
+        for _ in 0..100 {
+            assert!(!d.select(&[0, 1]).is_empty());
+        }
+    }
+
+    #[test]
+    fn weakly_fair_forces_starved_process() {
+        // Inner daemon that always picks process 0 only.
+        struct Biased;
+        impl Daemon for Biased {
+            fn select(&mut self, enabled: &[usize]) -> Vec<usize> {
+                vec![enabled[0]]
+            }
+        }
+        let mut d = WeaklyFair::new(Biased, 3);
+        let enabled = vec![0, 9];
+        let mut steps_until_9 = None;
+        for i in 0..10 {
+            if d.select(&enabled).contains(&9) {
+                steps_until_9 = Some(i);
+                break;
+            }
+        }
+        assert_eq!(steps_until_9, Some(3), "forced in after `bound` steps");
+    }
+
+    #[test]
+    fn weakly_fair_resets_on_selection() {
+        struct Biased;
+        impl Daemon for Biased {
+            fn select(&mut self, enabled: &[usize]) -> Vec<usize> {
+                vec![enabled[0]]
+            }
+        }
+        let mut d = WeaklyFair::new(Biased, 2);
+        // 9 disabled at step 2: its age must reset.
+        assert_eq!(d.select(&[0, 9]), vec![0]); // age(9)=1
+        assert_eq!(d.select(&[0, 9]), vec![0]); // age(9)=2
+        assert_eq!(d.select(&[0]), vec![0]); // 9 disabled -> reset
+        assert_eq!(d.select(&[0, 9]), vec![0]); // age(9)=1 again, not forced
+    }
+
+    #[test]
+    fn scripted_follows_script_then_falls_back() {
+        let mut d = Scripted::new([vec![5], vec![1, 2]]);
+        assert_eq!(d.select(&[1, 5]), vec![5]);
+        assert_eq!(d.select(&[1, 2, 3]), vec![1, 2]);
+        assert_eq!(d.select(&[3]), vec![3], "script exhausted: select all");
+    }
+
+    #[test]
+    fn scripted_skips_disabled_selection() {
+        let mut d = Scripted::new([vec![7]]);
+        // 7 is not enabled: fall back to all enabled.
+        assert_eq!(d.select(&[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut d = RoundRobin::default();
+        assert_eq!(d.select(&[1, 2, 3]), vec![1]); // first index > last=0
+        assert_eq!(d.select(&[1, 2, 3]), vec![2]);
+        assert_eq!(d.select(&[1, 2, 3]), vec![3]);
+        assert_eq!(d.select(&[1, 2, 3]), vec![1]); // wraps
+    }
+}

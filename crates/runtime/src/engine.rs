@@ -1,0 +1,265 @@
+//! The execution engine: configurations, atomic steps, termination.
+//!
+//! A *configuration* is the vector of all process states. A *step* evaluates
+//! every guard against the pre-step configuration, lets the daemon select a
+//! non-empty subset of the enabled processes, and then applies the selected
+//! statements **atomically** (composite atomicity: every statement reads the
+//! pre-step configuration). This is exactly the paper's `γ -> γ'` relation.
+
+use crate::algorithm::{ActionId, GuardedAlgorithm};
+use crate::ctx::Ctx;
+use crate::daemon::Daemon;
+use sscc_hypergraph::Hypergraph;
+use std::sync::Arc;
+
+/// What happened in one step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Processes enabled in the pre-step configuration (ascending).
+    pub enabled: Vec<usize>,
+    /// `(process, action)` pairs actually executed, ascending by process.
+    pub executed: Vec<(usize, ActionId)>,
+}
+
+impl StepOutcome {
+    /// True iff the pre-step configuration was terminal (nothing enabled).
+    pub fn terminal(&self) -> bool {
+        self.enabled.is_empty()
+    }
+}
+
+/// A running system: topology + algorithm + current configuration.
+pub struct World<A: GuardedAlgorithm> {
+    h: Arc<Hypergraph>,
+    algo: A,
+    states: Vec<A::State>,
+    steps: u64,
+}
+
+impl<A: GuardedAlgorithm> World<A> {
+    /// Boot a world in the algorithm's designated initial configuration.
+    pub fn new(h: Arc<Hypergraph>, algo: A) -> Self {
+        let states = (0..h.n()).map(|p| algo.initial_state(&h, p)).collect();
+        World { h, algo, states, steps: 0 }
+    }
+
+    /// Boot a world in an explicit configuration (e.g. an adversarial one:
+    /// snap-stabilization experiments start *anywhere*).
+    pub fn with_states(h: Arc<Hypergraph>, algo: A, states: Vec<A::State>) -> Self {
+        assert_eq!(states.len(), h.n(), "one state per process");
+        World { h, algo, states, steps: 0 }
+    }
+
+    /// The topology.
+    pub fn h(&self) -> &Hypergraph {
+        &self.h
+    }
+
+    /// Shared handle to the topology.
+    pub fn h_arc(&self) -> Arc<Hypergraph> {
+        Arc::clone(&self.h)
+    }
+
+    /// The algorithm.
+    pub fn algo(&self) -> &A {
+        &self.algo
+    }
+
+    /// Current configuration (one state per process, dense order).
+    pub fn states(&self) -> &[A::State] {
+        &self.states
+    }
+
+    /// State of process `p`.
+    pub fn state(&self, p: usize) -> &A::State {
+        &self.states[p]
+    }
+
+    /// Overwrite the state of process `p` (fault injection / fixtures).
+    pub fn set_state(&mut self, p: usize, s: A::State) {
+        self.states[p] = s;
+    }
+
+    /// Overwrite the whole configuration.
+    pub fn set_states(&mut self, states: Vec<A::State>) {
+        assert_eq!(states.len(), self.h.n());
+        self.states = states;
+    }
+
+    /// Number of steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Evaluation context for process `p` over the current configuration.
+    pub fn ctx<'a>(&'a self, p: usize, env: &'a A::Env) -> Ctx<'a, A::State, A::Env> {
+        Ctx::new(&self.h, p, &self.states, env)
+    }
+
+    /// The priority enabled action of every process (`None` = disabled),
+    /// evaluated against the current configuration.
+    pub fn priority_actions(&self, env: &A::Env) -> Vec<Option<ActionId>> {
+        (0..self.h.n())
+            .map(|p| self.algo.priority_action(&self.ctx(p, env)))
+            .collect()
+    }
+
+    /// `Enabled(γ)`: ascending list of enabled processes.
+    pub fn enabled(&self, env: &A::Env) -> Vec<usize> {
+        self.priority_actions(env)
+            .iter()
+            .enumerate()
+            .filter_map(|(p, a)| a.map(|_| p))
+            .collect()
+    }
+
+    /// Execute one step under `daemon`. Returns what happened; if the
+    /// configuration was terminal nothing changes.
+    ///
+    /// # Panics
+    /// If the daemon violates its contract (empty or non-enabled selection).
+    pub fn step(&mut self, daemon: &mut dyn Daemon, env: &A::Env) -> StepOutcome {
+        let actions = self.priority_actions(env);
+        let enabled: Vec<usize> = actions
+            .iter()
+            .enumerate()
+            .filter_map(|(p, a)| a.map(|_| p))
+            .collect();
+        if enabled.is_empty() {
+            return StepOutcome { enabled, executed: Vec::new() };
+        }
+        let mut selected = daemon.select(&enabled);
+        selected.sort_unstable();
+        selected.dedup();
+        assert!(
+            !selected.is_empty(),
+            "daemon contract: non-empty selection from a non-empty enabled set"
+        );
+        assert!(
+            selected.iter().all(|p| enabled.binary_search(p).is_ok()),
+            "daemon contract: selection must be a subset of the enabled set"
+        );
+        // Composite atomicity: compute every next state against the pre-step
+        // configuration, then commit all at once.
+        let mut executed = Vec::with_capacity(selected.len());
+        let mut next: Vec<(usize, A::State)> = Vec::with_capacity(selected.len());
+        for &p in &selected {
+            let a = actions[p].expect("selected ⊆ enabled");
+            let s = self.algo.execute(&self.ctx(p, env), a);
+            executed.push((p, a));
+            next.push((p, s));
+        }
+        for (p, s) in next {
+            self.states[p] = s;
+        }
+        self.steps += 1;
+        StepOutcome { enabled, executed }
+    }
+
+    /// Run until terminal or `max_steps` exhausted; returns the number of
+    /// steps taken and whether a terminal configuration was reached.
+    pub fn run_to_quiescence(
+        &mut self,
+        daemon: &mut dyn Daemon,
+        env: &A::Env,
+        max_steps: u64,
+    ) -> (u64, bool) {
+        let mut taken = 0;
+        while taken < max_steps {
+            let out = self.step(daemon, env);
+            if out.terminal() {
+                return (taken, true);
+            }
+            taken += 1;
+        }
+        (taken, self.enabled(env).is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::testutil::MaxProp;
+    use crate::daemon::{Central, RoundRobin, Synchronous, WeaklyFair};
+    use sscc_hypergraph::generators;
+
+    fn world() -> World<MaxProp> {
+        World::new(Arc::new(generators::fig1()), MaxProp)
+    }
+
+    #[test]
+    fn initial_states_are_ids() {
+        let w = world();
+        for p in 0..w.h().n() {
+            assert_eq!(*w.state(p), w.h().id(p).value());
+        }
+    }
+
+    #[test]
+    fn synchronous_max_prop_converges() {
+        let mut w = world();
+        let (_, quiescent) = w.run_to_quiescence(&mut Synchronous, &(), 100);
+        assert!(quiescent);
+        // Everyone holds the global max id = 6.
+        assert!(w.states().iter().all(|&s| s == 6));
+    }
+
+    #[test]
+    fn central_max_prop_converges() {
+        let mut w = world();
+        let mut d = WeaklyFair::new(Central::new(11), 8);
+        let (_, quiescent) = w.run_to_quiescence(&mut d, &(), 10_000);
+        assert!(quiescent);
+        assert!(w.states().iter().all(|&s| s == 6));
+    }
+
+    #[test]
+    fn terminal_step_is_a_noop() {
+        let mut w = world();
+        w.run_to_quiescence(&mut Synchronous, &(), 100);
+        let before = w.states().to_vec();
+        let steps_before = w.steps();
+        let out = w.step(&mut Synchronous, &());
+        assert!(out.terminal());
+        assert_eq!(w.states(), &before[..]);
+        assert_eq!(w.steps(), steps_before, "terminal steps are not counted");
+    }
+
+    #[test]
+    fn atomicity_reads_pre_step_configuration() {
+        // On the path 1-2-3 with values 1,2,3: synchronously, both 1 and 2
+        // are enabled; 2 adopts 3's value and 1 adopts 2's OLD value (2),
+        // proving statements read the pre-step configuration.
+        let h = Arc::new(sscc_hypergraph::Hypergraph::new(&[&[1, 2], &[2, 3]]));
+        let mut w = World::new(h, MaxProp);
+        let out = w.step(&mut Synchronous, &());
+        assert_eq!(out.executed.len(), 2);
+        assert_eq!(w.states(), &[2, 3, 3]);
+    }
+
+    #[test]
+    fn enabled_matches_priority_actions() {
+        let w = world();
+        let acts = w.priority_actions(&());
+        let en = w.enabled(&());
+        for (p, a) in acts.iter().enumerate() {
+            assert_eq!(a.is_some(), en.contains(&p));
+        }
+    }
+
+    #[test]
+    fn with_states_boots_anywhere() {
+        let h = Arc::new(generators::fig1());
+        let mut w = World::with_states(Arc::clone(&h), MaxProp, vec![9, 0, 0, 0, 0, 0]);
+        let (_, q) = w.run_to_quiescence(&mut RoundRobin::default(), &(), 1000);
+        assert!(q);
+        assert!(w.states().iter().all(|&s| s == 9), "arbitrary value propagates");
+    }
+
+    #[test]
+    fn step_counter_advances() {
+        let mut w = world();
+        w.step(&mut Synchronous, &());
+        assert_eq!(w.steps(), 1);
+    }
+}

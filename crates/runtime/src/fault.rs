@@ -1,0 +1,140 @@
+//! Transient-fault injection (paper §2.5).
+//!
+//! Stabilizing algorithms are analyzed from the *arbitrary configuration*
+//! the last fault left behind. Operationally we sample each process's
+//! variables uniformly from their full domains — including inconsistent
+//! combinations the algorithm could never reach on its own — and start the
+//! computation there. Snap-stabilization then demands that every *observed*
+//! task (here: every meeting convened after step 0) satisfies the full
+//! specification.
+
+use crate::algorithm::GuardedAlgorithm;
+use crate::engine::World;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sscc_hypergraph::Hypergraph;
+
+/// States that can be sampled uniformly from their whole domain.
+///
+/// Implementations must cover the *entire* representable domain of every
+/// variable (that is what "arbitrary memory corruption" means), subject only
+/// to domain constraints the model itself guarantees — e.g. an edge pointer
+/// ranges over `E_p ∪ {⊥}`, never over non-incident committees, because the
+/// variable's type is `E_p ∪ {⊥}` in the paper's code.
+pub trait ArbitraryState: Sized {
+    /// Sample an arbitrary state for process `me` of `h`.
+    fn arbitrary(rng: &mut StdRng, h: &Hypergraph, me: usize) -> Self;
+}
+
+impl ArbitraryState for u32 {
+    fn arbitrary(rng: &mut StdRng, _h: &Hypergraph, _me: usize) -> Self {
+        use rand::Rng as _;
+        rng.random()
+    }
+}
+
+impl ArbitraryState for bool {
+    fn arbitrary(rng: &mut StdRng, _h: &Hypergraph, _me: usize) -> Self {
+        use rand::Rng as _;
+        rng.random_bool(0.5)
+    }
+}
+
+/// Sample a full arbitrary configuration.
+pub fn arbitrary_configuration<S: ArbitraryState>(
+    rng: &mut StdRng,
+    h: &Hypergraph,
+) -> Vec<S> {
+    (0..h.n()).map(|p| S::arbitrary(rng, h, p)).collect()
+}
+
+/// Corrupt every process of a running world in place ("the last fault").
+pub fn strike<A>(world: &mut World<A>, seed: u64)
+where
+    A: GuardedAlgorithm,
+    A::State: ArbitraryState,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h = world.h_arc();
+    for p in 0..h.n() {
+        let s = A::State::arbitrary(&mut rng, &h, p);
+        world.set_state(p, s);
+    }
+}
+
+/// Corrupt a random non-empty subset of processes (partial fault), leaving
+/// the rest untouched. Returns the struck processes.
+pub fn strike_some<A>(world: &mut World<A>, seed: u64, fraction: f64) -> Vec<usize>
+where
+    A: GuardedAlgorithm,
+    A::State: ArbitraryState,
+{
+    use rand::Rng as _;
+    assert!((0.0..=1.0).contains(&fraction));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h = world.h_arc();
+    let mut struck = Vec::new();
+    for p in 0..h.n() {
+        if rng.random_bool(fraction) {
+            let s = A::State::arbitrary(&mut rng, &h, p);
+            world.set_state(p, s);
+            struck.push(p);
+        }
+    }
+    if struck.is_empty() {
+        let p = rng.random_range(0..h.n());
+        let s = A::State::arbitrary(&mut rng, &h, p);
+        world.set_state(p, s);
+        struck.push(p);
+    }
+    struck
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::testutil::MaxProp;
+    use crate::daemon::Synchronous;
+    use sscc_hypergraph::generators;
+    use std::sync::Arc;
+
+    #[test]
+    fn strike_is_deterministic_per_seed() {
+        let h = Arc::new(generators::fig1());
+        let mut w1 = World::new(Arc::clone(&h), MaxProp);
+        let mut w2 = World::new(Arc::clone(&h), MaxProp);
+        strike(&mut w1, 5);
+        strike(&mut w2, 5);
+        assert_eq!(w1.states(), w2.states());
+        strike(&mut w2, 6);
+        assert_ne!(w1.states(), w2.states());
+    }
+
+    #[test]
+    fn max_prop_self_stabilizes_after_strike() {
+        // MaxProp converges from any configuration: to max of current values.
+        let h = Arc::new(generators::fig1());
+        let mut w = World::new(h, MaxProp);
+        strike(&mut w, 99);
+        let target = *w.states().iter().max().unwrap();
+        let (_, q) = w.run_to_quiescence(&mut Synchronous, &(), 1000);
+        assert!(q);
+        assert!(w.states().iter().all(|&s| s == target));
+    }
+
+    #[test]
+    fn strike_some_strikes_at_least_one() {
+        let h = Arc::new(generators::fig1());
+        let mut w = World::new(h, MaxProp);
+        let struck = strike_some(&mut w, 3, 0.0);
+        assert_eq!(struck.len(), 1, "fraction 0 still strikes one process");
+    }
+
+    #[test]
+    fn arbitrary_configuration_has_full_length() {
+        let h = generators::fig1();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg: Vec<u32> = arbitrary_configuration(&mut rng, &h);
+        assert_eq!(cfg.len(), h.n());
+    }
+}

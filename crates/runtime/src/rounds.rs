@@ -1,0 +1,132 @@
+//! Round counting (paper §2.2, after Dolev–Israeli–Moran [12]).
+//!
+//! Rounds capture the execution rate of the slowest process: the first round
+//! of a computation is its minimal prefix in which every process enabled in
+//! the initial configuration has been **activated** (executed an action) or
+//! **neutralized** (became disabled without executing). The second round is
+//! the first round of the remaining suffix, and so on. All the paper's time
+//! bounds (Corollary 3, Theorem 6) are stated in rounds.
+
+use std::collections::BTreeSet;
+
+/// Incremental round counter fed by the simulation loop.
+///
+/// Protocol per step:
+/// 1. call [`RoundTracker::begin_step`] with the enabled set of the current
+///    configuration (this detects neutralizations and closes rounds);
+/// 2. execute the step;
+/// 3. call [`RoundTracker::record_executed`] with the activated processes.
+#[derive(Clone, Debug, Default)]
+pub struct RoundTracker {
+    pending: BTreeSet<usize>,
+    rounds: u64,
+    started: bool,
+}
+
+impl RoundTracker {
+    /// Fresh tracker: zero completed rounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of *completed* rounds so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Processes enabled at the start of the current round that have neither
+    /// been activated nor neutralized yet.
+    pub fn pending(&self) -> impl Iterator<Item = usize> + '_ {
+        self.pending.iter().copied()
+    }
+
+    /// Observe the enabled set of the configuration about to take a step.
+    pub fn begin_step(&mut self, enabled: &[usize]) {
+        if !self.started {
+            self.started = true;
+            self.pending = enabled.iter().copied().collect();
+            return;
+        }
+        // Neutralization: pending processes no longer enabled leave the set.
+        self.pending.retain(|p| enabled.binary_search(p).is_ok());
+        self.maybe_close(enabled);
+    }
+
+    /// Observe which processes executed in the step just taken.
+    pub fn record_executed(&mut self, executed: &[usize]) {
+        for p in executed {
+            self.pending.remove(p);
+        }
+        // Round closure is deferred to the next `begin_step`, because the
+        // new round's pending set is the enabled set of the configuration
+        // *reached* by this step (not yet observable here).
+    }
+
+    fn maybe_close(&mut self, enabled: &[usize]) {
+        if self.pending.is_empty() && !enabled.is_empty() {
+            self.rounds += 1;
+            self.pending = enabled.iter().copied().collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_round_when_all_initially_enabled_execute() {
+        let mut rt = RoundTracker::new();
+        rt.begin_step(&[0, 1, 2]);
+        rt.record_executed(&[0, 1]);
+        rt.begin_step(&[0, 1, 2]); // 2 still pending
+        assert_eq!(rt.rounds(), 0);
+        rt.record_executed(&[2]);
+        rt.begin_step(&[0, 1]); // round closed; new pending {0,1}
+        assert_eq!(rt.rounds(), 1);
+    }
+
+    #[test]
+    fn neutralization_counts() {
+        let mut rt = RoundTracker::new();
+        rt.begin_step(&[0, 1]);
+        rt.record_executed(&[0]);
+        // 1 became disabled without executing: neutralized -> round over.
+        rt.begin_step(&[0]);
+        assert_eq!(rt.rounds(), 1);
+    }
+
+    #[test]
+    fn terminal_configuration_freezes_rounds() {
+        let mut rt = RoundTracker::new();
+        rt.begin_step(&[0]);
+        rt.record_executed(&[0]);
+        rt.begin_step(&[]); // terminal: no new round opens
+        assert_eq!(rt.rounds(), 0, "round closure requires a successor round");
+        rt.begin_step(&[]);
+        assert_eq!(rt.rounds(), 0);
+    }
+
+    #[test]
+    fn synchronous_execution_is_one_round_per_step() {
+        let mut rt = RoundTracker::new();
+        rt.begin_step(&[0, 1, 2]);
+        rt.record_executed(&[0, 1, 2]);
+        rt.begin_step(&[0, 1, 2]);
+        assert_eq!(rt.rounds(), 1);
+        rt.record_executed(&[0, 1, 2]);
+        rt.begin_step(&[0, 1, 2]);
+        assert_eq!(rt.rounds(), 2);
+    }
+
+    #[test]
+    fn pending_shrinks_monotonically_within_a_round() {
+        let mut rt = RoundTracker::new();
+        rt.begin_step(&[0, 1, 2, 3]);
+        assert_eq!(rt.pending().count(), 4);
+        rt.record_executed(&[2]);
+        assert_eq!(rt.pending().count(), 3);
+        rt.begin_step(&[0, 1, 3]);
+        assert_eq!(rt.pending().count(), 3);
+    }
+}

@@ -1,0 +1,105 @@
+//! Structured execution traces.
+//!
+//! A trace is a flat list of `(step, round, process, action)` events; the
+//! specification monitors in `sscc-core` consume traces together with
+//! configuration snapshots to reconstruct meeting lifecycles. Traces are
+//! optional (hot benchmark loops skip them).
+
+use crate::algorithm::{ActionId, GuardedAlgorithm};
+
+/// One action execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Step index (0-based) at which the action fired.
+    pub step: u64,
+    /// Completed rounds at the time of firing.
+    pub round: u64,
+    /// Dense index of the process that moved.
+    pub process: usize,
+    /// Which action it executed.
+    pub action: ActionId,
+}
+
+/// An append-only event log.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the executions of one step.
+    pub fn record(&mut self, step: u64, round: u64, executed: &[(usize, ActionId)]) {
+        self.events.extend(
+            executed
+                .iter()
+                .map(|&(process, action)| TraceEvent { step, round, process, action }),
+        );
+    }
+
+    /// All events, in execution order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events fired by `process`.
+    pub fn of_process(&self, process: usize) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(move |e| e.process == process)
+    }
+
+    /// How many times `process` executed `action`.
+    pub fn count(&self, process: usize, action: ActionId) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.process == process && e.action == action)
+            .count()
+    }
+
+    /// Render the trace with action names resolved through `algo`.
+    pub fn pretty<A: GuardedAlgorithm>(&self, algo: &A) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for e in &self.events {
+            let _ = writeln!(
+                s,
+                "step {:>5} round {:>4}  p{:<3} {}",
+                e.step,
+                e.round,
+                e.process,
+                algo.action_name(e.action)
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut t = Trace::new();
+        t.record(0, 0, &[(1, 0), (2, 3)]);
+        t.record(1, 0, &[(1, 0)]);
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.of_process(1).count(), 2);
+        assert_eq!(t.count(1, 0), 2);
+        assert_eq!(t.count(2, 3), 1);
+        assert_eq!(t.count(2, 0), 0);
+    }
+
+    #[test]
+    fn events_keep_order() {
+        let mut t = Trace::new();
+        t.record(0, 0, &[(0, 1)]);
+        t.record(5, 2, &[(3, 0)]);
+        assert_eq!(t.events()[0].step, 0);
+        assert_eq!(t.events()[1].step, 5);
+        assert_eq!(t.events()[1].round, 2);
+    }
+}

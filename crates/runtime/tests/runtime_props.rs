@@ -1,0 +1,226 @@
+//! Property and behavioral tests for the runtime: daemon contracts, round
+//! semantics, fair composition liveness, and composite atomicity.
+
+use proptest::prelude::*;
+use sscc_hypergraph::{generators, Hypergraph};
+use sscc_runtime::prelude::*;
+use std::sync::Arc;
+
+/// Test algorithm: a bounded counter that also mirrors its left neighbor —
+/// rich enough to exercise atomicity and neutralization.
+struct Mirror {
+    limit: u32,
+}
+
+impl GuardedAlgorithm for Mirror {
+    type State = u32;
+    type Env = ();
+
+    fn action_count(&self) -> usize {
+        2
+    }
+    fn action_name(&self, a: ActionId) -> String {
+        ["bump", "mirror"][a].to_string()
+    }
+    fn initial_state(&self, _h: &Hypergraph, me: usize) -> u32 {
+        me as u32
+    }
+    fn priority_action(&self, ctx: &Ctx<'_, u32, ()>) -> Option<ActionId> {
+        let me = *ctx.my_state();
+        let best = ctx.neighbor_states().map(|(_, &s)| s).max().unwrap_or(0);
+        // Priority: mirror (1) beats bump (0).
+        if best > me {
+            Some(1)
+        } else if me < self.limit {
+            Some(0)
+        } else {
+            None
+        }
+    }
+    fn execute(&self, ctx: &Ctx<'_, u32, ()>, a: ActionId) -> u32 {
+        match a {
+            0 => ctx.my_state() + 1,
+            1 => ctx.neighbor_states().map(|(_, &s)| s).max().unwrap(),
+            _ => unreachable!(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the daemon, execution reaches the same fixpoint: everyone
+    /// at `max(limit, n-1)` — the largest initial value propagates through
+    /// `mirror` and the maximum then bumps to `limit` if below it
+    /// (confluence of this particular algorithm).
+    #[test]
+    fn daemons_agree_on_fixpoint(seed in 0u64..1000, limit in 1u32..20) {
+        let h = Arc::new(generators::fig1());
+        let fix = limit.max(h.n() as u32 - 1);
+        let mut outcomes = Vec::new();
+        let daemons: Vec<Box<dyn Daemon>> = vec![
+            Box::new(Synchronous),
+            Box::new(WeaklyFair::new(Central::new(seed), 8)),
+            Box::new(WeaklyFair::new(DistributedRandom::new(seed, 0.4), 8)),
+            Box::new(RoundRobin::default()),
+        ];
+        for mut d in daemons {
+            let mut w = World::new(Arc::clone(&h), Mirror { limit });
+            let (_, q) = w.run_to_quiescence(&mut *d, &(), 200_000);
+            prop_assert!(q, "must quiesce");
+            outcomes.push(w.states().to_vec());
+        }
+        for o in &outcomes {
+            prop_assert!(o.iter().all(|&s| s == fix), "{o:?} vs fix {fix}");
+        }
+    }
+
+    /// Rounds never exceed steps, and under the synchronous daemon each
+    /// step closes exactly one round (every enabled process moves).
+    #[test]
+    fn synchronous_rounds_equal_steps(limit in 1u32..12) {
+        let h = Arc::new(generators::fig2());
+        let mut w = World::new(Arc::clone(&h), Mirror { limit });
+        let mut rt = RoundTracker::new();
+        let mut d = Synchronous;
+        let mut steps = 0u64;
+        loop {
+            let out = w.step(&mut d, &());
+            rt.begin_step(&out.enabled);
+            if out.terminal() {
+                break;
+            }
+            rt.record_executed(
+                &out.executed.iter().map(|&(p, _)| p).collect::<Vec<_>>(),
+            );
+            steps += 1;
+        }
+        // Synchronous: every step activates all enabled -> the round closes
+        // at the next begin_step; the last round stays open.
+        prop_assert!(rt.rounds() <= steps);
+        prop_assert!(rt.rounds() + 1 >= steps, "rounds {} steps {}", rt.rounds(), steps);
+    }
+
+    /// The weakly fair wrapper preserves the inner selection when no one is
+    /// overdue, and never returns an empty or non-enabled set.
+    #[test]
+    fn weakly_fair_contract(seed in 0u64..1000, bound in 1usize..6) {
+        let mut d = WeaklyFair::new(DistributedRandom::new(seed, 0.5), bound);
+        use rand::{Rng as _, SeedableRng as _};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 99);
+        for _ in 0..200 {
+            let enabled: Vec<usize> =
+                (0..8).filter(|_| rng.random_bool(0.5)).collect();
+            let picked = d.select(&enabled);
+            if enabled.is_empty() {
+                prop_assert!(picked.is_empty());
+            } else {
+                prop_assert!(!picked.is_empty());
+                for p in &picked {
+                    prop_assert!(enabled.contains(p));
+                }
+            }
+        }
+    }
+
+    /// Fault striking stays within the state domain contract (here: any
+    /// u32 from the implementor) and is reproducible.
+    #[test]
+    fn strike_determinism(seed in 0u64..1000) {
+        let h = Arc::new(generators::fig2());
+        let mut w1 = World::new(Arc::clone(&h), Mirror { limit: 5 });
+        let mut w2 = World::new(Arc::clone(&h), Mirror { limit: 5 });
+        strike(&mut w1, seed);
+        strike(&mut w2, seed);
+        prop_assert_eq!(w1.states(), w2.states());
+    }
+}
+
+/// Composite atomicity, pinned precisely: in one synchronous step, `mirror`
+/// reads the *pre-step* neighbor values even while those neighbors bump.
+#[test]
+fn composite_atomicity_pinned() {
+    // Path 1-2-3, values [9, 0, 0]: synchronously, 2 mirrors 9 (pre-step),
+    // 3 mirrors 0's pre-step... 3's neighbors = {2} with value 0 -> 3 has
+    // no larger neighbor; 3 bumps instead (or is at limit).
+    let h = Arc::new(Hypergraph::new(&[&[1, 2], &[2, 3]]));
+    let mut w = World::with_states(Arc::clone(&h), Mirror { limit: 100 }, vec![9, 0, 0]);
+    w.step(&mut Synchronous, &());
+    assert_eq!(w.states()[0], 10, "1 bumps (no larger neighbor)");
+    assert_eq!(w.states()[1], 9, "2 mirrors 1's PRE-step value");
+    assert_eq!(w.states()[2], 1, "3 bumps: its only neighbor was 0 pre-step");
+}
+
+/// Fair composition: with both layers continuously enabled, executions
+/// alternate exactly; a starved layer is impossible.
+#[test]
+fn fair_pair_alternation_liveness() {
+    struct Tick;
+    impl GuardedAlgorithm for Tick {
+        type State = u32;
+        type Env = ();
+        fn action_count(&self) -> usize {
+            1
+        }
+        fn action_name(&self, _: ActionId) -> String {
+            "tick".into()
+        }
+        fn initial_state(&self, _: &Hypergraph, _: usize) -> u32 {
+            0
+        }
+        fn priority_action(&self, _: &Ctx<'_, u32, ()>) -> Option<ActionId> {
+            Some(0) // always enabled
+        }
+        fn execute(&self, ctx: &Ctx<'_, u32, ()>, _: ActionId) -> u32 {
+            ctx.my_state() + 1
+        }
+    }
+    let h = Arc::new(generators::fig2());
+    let mut w = World::new(Arc::clone(&h), FairPair::new(Tick, Tick));
+    let mut d = Central::new(4);
+    for _ in 0..500 {
+        w.step(&mut d, &());
+    }
+    for p in 0..h.n() {
+        let s = w.state(p);
+        // Strict alternation: the two layer counters differ by at most 1.
+        assert!(
+            s.a.abs_diff(s.b) <= 1,
+            "p{p}: layers diverged: a={} b={}",
+            s.a,
+            s.b
+        );
+    }
+}
+
+/// Scripted daemons replay their schedule then fall back gracefully.
+#[test]
+fn scripted_daemon_drives_exact_schedule() {
+    let h = Arc::new(generators::fig2());
+    let mut w = World::new(Arc::clone(&h), Mirror { limit: 3 });
+    // Everyone starts enabled (value < limit or has bigger neighbor).
+    let mut d = Scripted::new([vec![0], vec![1], vec![2]]);
+    let s1 = w.step(&mut d, &());
+    assert_eq!(s1.executed.iter().map(|&(p, _)| p).collect::<Vec<_>>(), vec![0]);
+    let s2 = w.step(&mut d, &());
+    assert_eq!(s2.executed.iter().map(|&(p, _)| p).collect::<Vec<_>>(), vec![1]);
+}
+
+/// Trace recording matches executed actions one-to-one.
+#[test]
+fn trace_matches_execution() {
+    let h = Arc::new(generators::fig2());
+    let mut w = World::new(Arc::clone(&h), Mirror { limit: 4 });
+    let mut trace = Trace::new();
+    let mut d = Synchronous;
+    let mut expected = 0usize;
+    for step in 0..10u64 {
+        let out = w.step(&mut d, &());
+        if out.terminal() {
+            break;
+        }
+        trace.record(step, 0, &out.executed);
+        expected += out.executed.len();
+    }
+    assert_eq!(trace.events().len(), expected);
+}

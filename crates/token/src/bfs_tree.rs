@@ -1,0 +1,185 @@
+//! Self-stabilizing BFS spanning tree with a known root — the tree-building
+//! substrate underneath rooted token circulations ([24–27] build DFS/BFS
+//! structures of this kind).
+//!
+//! Every non-root process maintains `(dist, parent)`; the root pins
+//! `(0, none)`. A process adopts the smallest neighbor distance plus one,
+//! parenting on the smallest-index neighbor achieving it. Distances are
+//! capped below `n`, so cycles of corrupted parent pointers inflate their
+//! distances until they break against the cap, after which correct BFS
+//! levels flood from the root. Stabilizes to the BFS tree used by
+//! [`crate::TokenRing`]'s static tour (which is *precomputed* from the same
+//! topology — this module demonstrates that the tree itself is
+//! self-stabilizingly constructible, see DESIGN.md §2).
+
+use sscc_hypergraph::Hypergraph;
+use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, GuardedAlgorithm};
+
+/// Per-process tree state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeState {
+    /// Believed BFS level (root: 0). Capped at `n - 1`.
+    pub dist: u32,
+    /// Parent's dense index; `None` at the root (and transiently at
+    /// processes that lost their parent to the distance cap).
+    pub parent: Option<usize>,
+}
+
+/// The rooted BFS-tree algorithm (one action: `relink`).
+pub struct BfsTree {
+    root: usize,
+}
+
+impl BfsTree {
+    /// BFS tree rooted at dense index `root`.
+    pub fn new(root: usize) -> Self {
+        BfsTree { root }
+    }
+
+    /// The root process.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    fn target<E: ?Sized>(&self, ctx: &Ctx<'_, TreeState, E>) -> TreeState {
+        if ctx.me() == self.root {
+            return TreeState { dist: 0, parent: None };
+        }
+        let n = ctx.h().n() as u32;
+        let mut best: Option<TreeState> = None;
+        for (q, s) in ctx.neighbor_states() {
+            let d = s.dist.saturating_add(1);
+            if d >= n {
+                continue;
+            }
+            if best.is_none_or(|b| d < b.dist) {
+                best = Some(TreeState { dist: d, parent: Some(q) });
+            }
+        }
+        // No admissible neighbor (all capped): park at the cap, orphaned.
+        best.unwrap_or(TreeState { dist: n - 1, parent: None })
+    }
+}
+
+impl GuardedAlgorithm for BfsTree {
+    type State = TreeState;
+    type Env = ();
+
+    fn action_count(&self) -> usize {
+        1
+    }
+
+    fn action_name(&self, a: ActionId) -> String {
+        assert_eq!(a, 0);
+        "relink".to_string()
+    }
+
+    fn initial_state(&self, h: &Hypergraph, me: usize) -> TreeState {
+        if me == self.root {
+            TreeState { dist: 0, parent: None }
+        } else {
+            TreeState { dist: h.n() as u32 - 1, parent: None }
+        }
+    }
+
+    fn priority_action(&self, ctx: &Ctx<'_, TreeState, ()>) -> Option<ActionId> {
+        (*ctx.my_state() != self.target(ctx)).then_some(0)
+    }
+
+    fn execute(&self, ctx: &Ctx<'_, TreeState, ()>, a: ActionId) -> TreeState {
+        assert_eq!(a, 0);
+        self.target(ctx)
+    }
+}
+
+impl ArbitraryState for TreeState {
+    fn arbitrary(rng: &mut rand::rngs::StdRng, h: &Hypergraph, me: usize) -> Self {
+        use rand::Rng as _;
+        let parent = if rng.random_bool(0.2) {
+            None
+        } else {
+            // Domain constraint of the model: the parent pointer ranges over
+            // the process's neighbors.
+            let nbrs = h.neighbors(me);
+            Some(nbrs[rng.random_range(0..nbrs.len())])
+        };
+        TreeState { dist: rng.random_range(0..h.n() as u32), parent }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sscc_hypergraph::{generators, network};
+    use sscc_runtime::prelude::*;
+    use std::sync::Arc;
+
+    fn assert_bfs(h: &Hypergraph, root: usize, states: &[TreeState]) {
+        let d = network::bfs_distances(h, root);
+        for p in 0..h.n() {
+            assert_eq!(states[p].dist as usize, d[p], "level of p{p}");
+            if p == root {
+                assert_eq!(states[p].parent, None);
+            } else {
+                let par = states[p].parent.expect("non-root has a parent");
+                assert!(h.are_neighbors(p, par));
+                assert_eq!(d[par] + 1, d[p], "parent is one level up");
+            }
+        }
+    }
+
+    #[test]
+    fn builds_bfs_tree_from_boot() {
+        let h = Arc::new(generators::fig1());
+        let root = h.dense_of(3);
+        let mut w = World::new(Arc::clone(&h), BfsTree::new(root));
+        let (_, q) = w.run_to_quiescence(&mut Synchronous, &(), 1000);
+        assert!(q);
+        assert_bfs(&h, root, w.states());
+    }
+
+    #[test]
+    fn stabilizes_from_arbitrary_states() {
+        let h = Arc::new(generators::grid_pairs(3, 4));
+        let root = 5;
+        for seed in 0..20 {
+            let mut w = World::new(Arc::clone(&h), BfsTree::new(root));
+            strike(&mut w, seed);
+            let mut d = WeaklyFair::new(Central::new(seed), 6);
+            let (_, q) = w.run_to_quiescence(&mut d, &(), 200_000);
+            assert!(q, "seed {seed}");
+            assert_bfs(&h, root, w.states());
+        }
+    }
+
+    #[test]
+    fn corrupted_parent_cycle_is_broken() {
+        // Ring: force a parent cycle with consistent-looking distances.
+        let h = Arc::new(generators::ring(6, 2));
+        let mut w = World::new(Arc::clone(&h), BfsTree::new(0));
+        for p in 0..h.n() {
+            w.set_state(p, TreeState { dist: 1, parent: Some((p + 1) % h.n()) });
+        }
+        let (_, q) = w.run_to_quiescence(&mut Synchronous, &(), 10_000);
+        assert!(q);
+        assert_bfs(&h, 0, w.states());
+    }
+
+    #[test]
+    fn matches_static_tour_tree_levels() {
+        // The static spanning tree used by TokenRing and the stabilized
+        // dynamic tree agree on levels (both are BFS from the same root).
+        let h = Arc::new(generators::fig3());
+        let root = h.n() - 1; // max id, TokenRing's default root
+        let mut w = World::new(Arc::clone(&h), BfsTree::new(root));
+        w.run_to_quiescence(&mut Synchronous, &(), 1000);
+        let tree = sscc_hypergraph::SpanningTree::bfs(&h, root);
+        let d = network::bfs_distances(&h, root);
+        for p in 0..h.n() {
+            assert_eq!(w.state(p).dist as usize, d[p]);
+            if let Some(par) = tree.parent(p) {
+                assert_eq!(d[par] + 1, d[p]);
+            }
+        }
+    }
+}

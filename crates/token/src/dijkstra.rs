@@ -1,0 +1,402 @@
+//! Self-stabilizing token circulation: Dijkstra's K-state algorithm over the
+//! Euler tour of a spanning tree.
+//!
+//! The paper's `TC` black box is "a self-stabilizing leader election composed
+//! with a self-stabilizing token circulation for arbitrary rooted networks"
+//! ([21–27]). We realize the same contract (Property 1) with the classic
+//! folklore construction: lay Dijkstra's K-state mutual exclusion ring over
+//! the Euler tour of a spanning tree of `G_H`. Every tour hop connects
+//! tree-adjacent processes, so reads stay local; the circulating privilege
+//! performs a depth-first traversal of the network, visiting every process
+//! infinitely often.
+//!
+//! Each process owns one counter per tour position it occupies. Position 0
+//! (the root's first visit) plays Dijkstra's "bottom machine" role:
+//!
+//! * position 0 is privileged iff its counter equals its cyclic
+//!   predecessor's; the move increments the counter mod `K`;
+//! * any other position is privileged iff its counter *differs* from its
+//!   predecessor's; the move copies the predecessor's counter.
+//!
+//! With `K >` number of positions, from any counter assignment the system
+//! converges to exactly one privilege circulating the tour (Dijkstra 1974),
+//! and privileges never increase in number along the way — which is why the
+//! committee layer can already rely on token-based tie-breaking during
+//! stabilization (the paper handles multiple transient tokens by max-id
+//! priority).
+
+use crate::iface::TokenLayer;
+use sscc_hypergraph::{EulerTour, Hypergraph};
+use sscc_runtime::prelude::{
+    ActionId, ArbitraryState, Ctx, GuardedAlgorithm,
+};
+
+/// Per-process substrate state: one counter per owned tour position
+/// (ascending position order, matching `EulerTour::positions`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TokenState {
+    /// Counter values in `0..K`.
+    pub counters: Box<[u32]>,
+}
+
+/// The K-state-over-Euler-tour token circulation.
+///
+/// Constructed per topology; owns the (static) tour. The default root is the
+/// maximum-identifier process — Property 1 is root-agnostic, see DESIGN.md.
+pub struct TokenRing {
+    tour: EulerTour,
+    k: u32,
+}
+
+impl TokenRing {
+    /// Token ring over the default tour of `h` (BFS tree rooted at the
+    /// max-id process), with `K = 2(n-1) + 1` states.
+    pub fn new(h: &Hypergraph) -> Self {
+        let tour = EulerTour::default_of(h);
+        let k = tour.len() as u32 + 1;
+        TokenRing { tour, k }
+    }
+
+    /// Token ring over the tour of a BFS tree rooted at `root`.
+    pub fn with_root(h: &Hypergraph, root: usize) -> Self {
+        let tour = EulerTour::of(&sscc_hypergraph::SpanningTree::bfs(h, root));
+        let k = tour.len() as u32 + 1;
+        TokenRing { tour, k }
+    }
+
+    /// The underlying tour.
+    pub fn tour(&self) -> &EulerTour {
+        &self.tour
+    }
+
+    /// Number of counter states `K`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Counter value at global tour position `g`, read from `states` through
+    /// the context (the owner of `g` is `me` or one of its neighbors when
+    /// `g` is adjacent to a position of `me`).
+    fn counter_at<E: ?Sized>(&self, ctx: &Ctx<'_, TokenState, E>, g: usize) -> u32 {
+        let owner = self.tour.owner(g);
+        let local = self
+            .tour
+            .positions(owner)
+            .binary_search(&g)
+            .expect("g is one of its owner's positions");
+        let st = if owner == ctx.me() { ctx.my_state() } else { ctx.state_of(owner) };
+        // Arbitrary faults keep variables inside their domain, but a state
+        // sampled for the wrong tour would be shorter; treat missing slots
+        // as 0 rather than panic so misuse surfaces in assertions, not UB.
+        st.counters.get(local).copied().unwrap_or(0) % self.k
+    }
+
+    /// Is global position `g` (owned by the context's process) privileged?
+    fn privileged<E: ?Sized>(&self, ctx: &Ctx<'_, TokenState, E>, g: usize) -> bool {
+        debug_assert_eq!(self.tour.owner(g), ctx.me());
+        let mine = self.counter_at(ctx, g);
+        let prev = self.counter_at(ctx, self.tour.pred(g));
+        if g == 0 {
+            mine == prev
+        } else {
+            mine != prev
+        }
+    }
+
+    /// First privileged position of the context's process, if any.
+    fn first_privileged<E: ?Sized>(&self, ctx: &Ctx<'_, TokenState, E>) -> Option<usize> {
+        self.tour
+            .positions(ctx.me())
+            .iter()
+            .copied()
+            .find(|&g| self.privileged(ctx, g))
+    }
+
+    /// Number of privileged tour positions in a configuration — the true
+    /// stabilization measure. (`Token(p)` is process-granular: a process
+    /// holding two transient privileges counts once there, so the *process*
+    /// count may wobble during stabilization while this count converges.)
+    /// Always >= 1; the system is stabilized exactly when it equals 1.
+    pub fn privileged_position_count(&self, h: &Hypergraph, states: &[TokenState]) -> usize {
+        use sscc_runtime::prelude::SliceAccess;
+        let acc = SliceAccess(states);
+        (0..h.n())
+            .map(|p| {
+                let ctx: Ctx<'_, TokenState, ()> = Ctx::new(h, p, &acc, &());
+                self.tour
+                    .positions(p)
+                    .iter()
+                    .filter(|&&g| self.privileged(&ctx, g))
+                    .count()
+            })
+            .sum()
+    }
+}
+
+impl TokenLayer for TokenRing {
+    type State = TokenState;
+
+    fn initial_state(&self, _h: &Hypergraph, me: usize) -> TokenState {
+        // All zeros: the unique privilege sits at position 0 (the root).
+        TokenState { counters: vec![0; self.tour.positions(me).len()].into() }
+    }
+
+    fn token<E: ?Sized>(&self, ctx: &Ctx<'_, TokenState, E>) -> bool {
+        self.first_privileged(ctx).is_some()
+    }
+
+    fn release<E: ?Sized>(&self, ctx: &Ctx<'_, TokenState, E>) -> TokenState {
+        let Some(g) = self.first_privileged(ctx) else {
+            return ctx.my_state().clone(); // no token: identity
+        };
+        let local = self
+            .tour
+            .positions(ctx.me())
+            .binary_search(&g)
+            .expect("g belongs to me");
+        let prev = self.counter_at(ctx, self.tour.pred(g));
+        let mut counters = ctx.my_state().counters.clone();
+        // Normalize in passing: a (mis-shaped) short state grows to the
+        // correct arity so the write below cannot be lost.
+        let want = self.tour.positions(ctx.me()).len();
+        if counters.len() != want {
+            let mut v = counters.into_vec();
+            v.resize(want, 0);
+            counters = v.into();
+        }
+        counters[local] = if g == 0 { (prev + 1) % self.k } else { prev };
+        TokenState { counters }
+    }
+
+    fn internal_action_count(&self) -> usize {
+        0 // Dijkstra's only action is T itself; stabilization is inherent.
+    }
+
+    fn internal_action_name(&self, _a: ActionId) -> String {
+        unreachable!("TokenRing has no internal actions")
+    }
+
+    fn internal_priority_action<E: ?Sized>(
+        &self,
+        _ctx: &Ctx<'_, TokenState, E>,
+    ) -> Option<ActionId> {
+        None
+    }
+
+    fn execute_internal<E: ?Sized>(
+        &self,
+        _ctx: &Ctx<'_, TokenState, E>,
+        _a: ActionId,
+    ) -> TokenState {
+        unreachable!("TokenRing has no internal actions")
+    }
+}
+
+/// Standalone view of the ring as a guarded algorithm with the single
+/// action `T` — used to validate Property 1 in isolation (experiment E10).
+impl GuardedAlgorithm for TokenRing {
+    type State = TokenState;
+    type Env = ();
+
+    fn action_count(&self) -> usize {
+        1
+    }
+
+    fn action_name(&self, a: ActionId) -> String {
+        assert_eq!(a, 0);
+        "T".to_string()
+    }
+
+    fn initial_state(&self, h: &Hypergraph, me: usize) -> TokenState {
+        TokenLayer::initial_state(self, h, me)
+    }
+
+    fn priority_action(&self, ctx: &Ctx<'_, TokenState, ()>) -> Option<ActionId> {
+        self.token(ctx).then_some(0)
+    }
+
+    fn execute(&self, ctx: &Ctx<'_, TokenState, ()>, a: ActionId) -> TokenState {
+        assert_eq!(a, 0);
+        self.release(ctx)
+    }
+}
+
+impl ArbitraryState for TokenState {
+    /// Arbitrary counters for the **default tour** of `h` (the one
+    /// `TokenRing::new` builds). Counter values are sampled from the full
+    /// domain `0..K`.
+    fn arbitrary(rng: &mut rand::rngs::StdRng, h: &Hypergraph, me: usize) -> Self {
+        use rand::Rng as _;
+        let tour = EulerTour::default_of(h);
+        let k = tour.len() as u32 + 1;
+        let counters = (0..tour.positions(me).len())
+            .map(|_| rng.random_range(0..k))
+            .collect();
+        TokenState { counters }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iface::token_holders;
+    use sscc_hypergraph::generators;
+    use sscc_runtime::prelude::*;
+    use std::sync::Arc;
+
+    fn holders(ring: &TokenRing, w: &World<TokenRing>) -> Vec<usize> {
+        token_holders(ring, w.h(), w.states())
+    }
+
+    #[test]
+    fn boot_state_has_single_token_at_root() {
+        let h = Arc::new(generators::fig1());
+        let ring = TokenRing::new(&h);
+        let root = ring.tour().root();
+        let w = World::new(Arc::clone(&h), TokenRing::new(&h));
+        assert_eq!(holders(&ring, &w), vec![root]);
+    }
+
+    #[test]
+    fn token_circulates_and_visits_everyone() {
+        let h = Arc::new(generators::fig1());
+        let ring = TokenRing::new(&h);
+        let mut w = World::new(Arc::clone(&h), TokenRing::new(&h));
+        let mut visited = vec![false; h.n()];
+        let mut d = Synchronous;
+        for _ in 0..4 * ring.tour().len() {
+            let hs = holders(&ring, &w);
+            assert_eq!(hs.len(), 1, "stabilized: exactly one token");
+            visited[hs[0]] = true;
+            let out = w.step(&mut d, &());
+            assert_eq!(out.executed.len(), 1);
+        }
+        assert!(visited.iter().all(|&v| v), "every process held the token");
+    }
+
+    #[test]
+    fn each_process_executes_t_infinitely_often() {
+        let h = Arc::new(generators::ring(5, 3));
+        let ring = TokenRing::new(&h);
+        let mut w = World::new(Arc::clone(&h), TokenRing::new(&h));
+        let mut count = vec![0usize; h.n()];
+        let mut d = Synchronous;
+        // Three full tours: every process must fire T at least three times.
+        for _ in 0..3 * ring.tour().len() {
+            let out = w.step(&mut d, &());
+            for &(p, _) in &out.executed {
+                count[p] += 1;
+            }
+        }
+        assert!(count.iter().all(|&c| c >= 3), "counts: {count:?}");
+    }
+
+    #[test]
+    fn stabilizes_from_arbitrary_counters() {
+        let h = Arc::new(generators::fig1());
+        for seed in 0..30 {
+            let ring = TokenRing::new(&h);
+            let mut w = World::new(Arc::clone(&h), TokenRing::new(&h));
+            strike(&mut w, seed);
+            let mut d = Synchronous;
+            assert!(
+                ring.privileged_position_count(&h, w.states()) >= 1,
+                "at least one privilege always exists"
+            );
+            let budget = 10 * ring.tour().len() * ring.k() as usize;
+            let mut ok = false;
+            for _ in 0..budget {
+                assert!(!holders(&ring, &w).is_empty(), "seed {seed}: lost the token");
+                w.step(&mut d, &());
+                if ring.privileged_position_count(&h, w.states()) == 1 {
+                    ok = true;
+                    break;
+                }
+            }
+            assert!(ok, "seed {seed}: did not stabilize within budget");
+            // Stabilization is permanent: one privilege forever after.
+            for _ in 0..100 {
+                w.step(&mut d, &());
+                assert_eq!(ring.privileged_position_count(&h, w.states()), 1);
+                assert_eq!(holders(&ring, &w).len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn central_daemon_never_increases_privileged_positions() {
+        // Classic Dijkstra invariant: under a central daemon (one machine
+        // per step) the privilege count is non-increasing.
+        let h = Arc::new(generators::ring(5, 3));
+        for seed in 0..10 {
+            let ring = TokenRing::new(&h);
+            let mut w = World::new(Arc::clone(&h), TokenRing::new(&h));
+            strike(&mut w, seed);
+            let mut d = Central::new(seed);
+            let mut prev = ring.privileged_position_count(&h, w.states());
+            for _ in 0..2000 {
+                w.step(&mut d, &());
+                let now = ring.privileged_position_count(&h, w.states());
+                assert!(now >= 1 && now <= prev, "seed {seed}: positions {prev} -> {now}");
+                prev = now;
+            }
+        }
+    }
+
+    #[test]
+    fn single_token_is_stable_invariant() {
+        // Once one token remains, it stays one forever (checked 200 steps).
+        let h = Arc::new(generators::fig2());
+        let ring = TokenRing::new(&h);
+        let mut w = World::new(Arc::clone(&h), TokenRing::new(&h));
+        let mut d = Synchronous;
+        for _ in 0..200 {
+            assert_eq!(holders(&ring, &w).len(), 1);
+            w.step(&mut d, &());
+        }
+    }
+
+    #[test]
+    fn release_without_token_is_identity() {
+        let h = Arc::new(generators::fig2());
+        let ring = TokenRing::new(&h);
+        let w = World::new(Arc::clone(&h), TokenRing::new(&h));
+        // Find some process without the token.
+        let hs = holders(&ring, &w);
+        let p = (0..h.n()).find(|p| !hs.contains(p)).unwrap();
+        let ctx = w.ctx(p, &());
+        assert_eq!(&ring.release(&ctx), w.state(p));
+    }
+
+    #[test]
+    fn custom_root_works() {
+        let h = Arc::new(generators::fig1());
+        let root = h.dense_of(1);
+        let ring = TokenRing::with_root(&h, root);
+        assert_eq!(ring.tour().root(), root);
+        let states: Vec<TokenState> =
+            (0..h.n()).map(|p| TokenLayer::initial_state(&ring, &h, p)).collect();
+        assert_eq!(token_holders(&ring, &h, &states), vec![root]);
+    }
+
+    #[test]
+    fn holder_is_unique_after_stabilization_under_central_daemon() {
+        let h = Arc::new(generators::path(4, 3));
+        let ring = TokenRing::new(&h);
+        let mut w = World::new(Arc::clone(&h), TokenRing::new(&h));
+        strike(&mut w, 7);
+        let mut d = WeaklyFair::new(Central::new(3), 4);
+        for _ in 0..20_000 {
+            w.step(&mut d, &());
+            if ring.privileged_position_count(&h, w.states()) == 1 {
+                break;
+            }
+        }
+        assert_eq!(ring.privileged_position_count(&h, w.states()), 1);
+        // Property 1.2: from now on, exactly one holder forever.
+        for _ in 0..500 {
+            w.step(&mut d, &());
+            assert_eq!(holders(&ring, &w).len(), 1);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The token-circulation interface (paper Property 1).
+//!
+//! Both committee coordination algorithms treat the token module `TC` as a
+//! black box exposing exactly two things to the upper layer: the predicate
+//! `Token(p)` and the statement `ReleaseToken_p`. Property 1 is the
+//! behavioral contract:
+//!
+//! 1. `TC` contains one action `T :: Token(p) -> ReleaseToken_p` to pass the
+//!    token from neighbor to neighbor;
+//! 2. once stabilized, every process executes `T` infinitely often, but when
+//!    `T` is enabled at a process it is enabled at no other process;
+//! 3. `TC` stabilizes independently of the activations of `T`.
+//!
+//! In the composition `CC ∘ TC` the action `T` is *emulated* by the
+//! committee layer (Remark 1): `CC` decides when to call
+//! [`TokenLayer::release`], while any remaining internal stabilization
+//! actions of `TC` keep running under fair composition.
+
+use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, ProcessState, SliceAccess};
+use sscc_hypergraph::Hypergraph;
+
+/// A self-stabilizing token-circulation substrate, as consumed by `CC ∘ TC`.
+pub trait TokenLayer {
+    /// Per-process token-substrate state.
+    type State: ProcessState + ArbitraryState;
+
+    /// The designated stabilized initial state of process `me` (a unique
+    /// token already in place). Fault-free boots start here; stabilization
+    /// experiments overwrite it with arbitrary values.
+    fn initial_state(&self, h: &Hypergraph, me: usize) -> Self::State;
+
+    /// The `Token(p)` predicate: does the process currently hold a token?
+    /// May read the process's own substrate state and its neighbors'.
+    fn token<E: ?Sized>(&self, ctx: &Ctx<'_, Self::State, E>) -> bool;
+
+    /// The `ReleaseToken_p` statement: pass the token along; returns the
+    /// process's next substrate state. Callers only invoke it when
+    /// [`TokenLayer::token`] holds; implementations may treat a release
+    /// without a token as the identity.
+    fn release<E: ?Sized>(&self, ctx: &Ctx<'_, Self::State, E>) -> Self::State;
+
+    /// Number of *internal* (non-`T`) stabilization actions.
+    fn internal_action_count(&self) -> usize;
+
+    /// Name of internal action `a`.
+    fn internal_action_name(&self, a: ActionId) -> String;
+
+    /// Highest-priority enabled internal action, if any (Property 1.3:
+    /// these run regardless of `T` activations).
+    fn internal_priority_action<E: ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Self::State, E>,
+    ) -> Option<ActionId>;
+
+    /// Execute internal action `a`.
+    fn execute_internal<E: ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Self::State, E>,
+        a: ActionId,
+    ) -> Self::State;
+}
+
+/// Count the token holders in a configuration — the measurement behind all
+/// substrate stabilization experiments (Property 1.2 demands this reaches
+/// and stays at one).
+pub fn token_holders<TL: TokenLayer>(
+    layer: &TL,
+    h: &Hypergraph,
+    states: &[TL::State],
+) -> Vec<usize> {
+    let acc = SliceAccess(states);
+    (0..h.n())
+        .filter(|&p| {
+            let ctx: Ctx<'_, TL::State, ()> = Ctx::new(h, p, &acc, &());
+            layer.token(&ctx)
+        })
+        .collect()
+}

@@ -1,0 +1,165 @@
+//! Self-stabilizing leader election (min-identifier), the `LE` substrate the
+//! paper composes with token circulation ([21, 22, 23]).
+//!
+//! Bellman-Ford style: every process maintains a candidate leader identifier
+//! `lid` and its believed hop distance `dist` to that leader. A process
+//! offers itself at distance 0 and otherwise adopts the lexicographically
+//! smallest `(lid, dist+1)` among its neighbors, with distances capped below
+//! `n` so that *fake* identifiers (corrupted values naming no real process)
+//! cannot survive: every propagation step increases a fake id's minimum
+//! distance, and the cap eventually starves it. Stabilizes to
+//! `lid = min identifier`, `dist =` BFS distance to the min-id process.
+
+use sscc_hypergraph::Hypergraph;
+use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, GuardedAlgorithm};
+
+/// Per-process leader-election state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaderState {
+    /// Candidate leader identifier.
+    pub lid: u32,
+    /// Believed hop distance to the candidate leader (`< n`).
+    pub dist: u32,
+}
+
+/// The min-id leader election algorithm (one action: `elect`).
+pub struct LeaderElect;
+
+impl LeaderElect {
+    /// The value process `me` should hold given its neighborhood: the
+    /// lexicographic minimum of its self-candidature `(own_id, 0)` and every
+    /// admissible neighbor offer `(lid_q, dist_q + 1)` with `dist_q + 1 < n`.
+    fn target<E: ?Sized>(&self, ctx: &Ctx<'_, LeaderState, E>) -> LeaderState {
+        let n = ctx.h().n() as u32;
+        let mut best = LeaderState { lid: ctx.my_id().value(), dist: 0 };
+        for (_, s) in ctx.neighbor_states() {
+            let offer = LeaderState { lid: s.lid, dist: s.dist.saturating_add(1) };
+            if offer.dist < n && (offer.lid, offer.dist) < (best.lid, best.dist) {
+                best = offer;
+            }
+        }
+        best
+    }
+
+    /// Is `p` currently elected? (Its candidate is itself.) After
+    /// stabilization this holds exactly at the min-id process.
+    pub fn is_leader<E: ?Sized>(&self, ctx: &Ctx<'_, LeaderState, E>) -> bool {
+        let s = ctx.my_state();
+        s.lid == ctx.my_id().value() && s.dist == 0
+    }
+}
+
+impl GuardedAlgorithm for LeaderElect {
+    type State = LeaderState;
+    type Env = ();
+
+    fn action_count(&self) -> usize {
+        1
+    }
+
+    fn action_name(&self, a: ActionId) -> String {
+        assert_eq!(a, 0);
+        "elect".to_string()
+    }
+
+    fn initial_state(&self, h: &Hypergraph, me: usize) -> LeaderState {
+        // Clean boot: everyone proposes itself; stabilization does the rest.
+        LeaderState { lid: h.id(me).value(), dist: 0 }
+    }
+
+    fn priority_action(&self, ctx: &Ctx<'_, LeaderState, ()>) -> Option<ActionId> {
+        (*ctx.my_state() != self.target(ctx)).then_some(0)
+    }
+
+    fn execute(&self, ctx: &Ctx<'_, LeaderState, ()>, a: ActionId) -> LeaderState {
+        assert_eq!(a, 0);
+        self.target(ctx)
+    }
+}
+
+impl ArbitraryState for LeaderState {
+    fn arbitrary(rng: &mut rand::rngs::StdRng, h: &Hypergraph, _me: usize) -> Self {
+        use rand::Rng as _;
+        // Arbitrary lid (including fake ids naming no process) and any
+        // in-domain distance.
+        LeaderState {
+            lid: rng.random_range(0..=u32::from(u16::MAX)),
+            dist: rng.random_range(0..h.n() as u32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sscc_hypergraph::{generators, network};
+    use sscc_runtime::prelude::*;
+    use std::sync::Arc;
+
+    fn assert_elected(h: &Hypergraph, states: &[LeaderState]) {
+        let min_id = h.id(0).value(); // ids ascending: dense 0 is the min
+        let d = network::bfs_distances(h, 0);
+        for p in 0..h.n() {
+            assert_eq!(states[p].lid, min_id, "p{p} elects the min id");
+            assert_eq!(states[p].dist as usize, d[p], "p{p} has BFS distance");
+        }
+    }
+
+    #[test]
+    fn converges_from_clean_boot() {
+        let h = Arc::new(generators::fig1());
+        let mut w = World::new(Arc::clone(&h), LeaderElect);
+        let (_, q) = w.run_to_quiescence(&mut Synchronous, &(), 1000);
+        assert!(q);
+        assert_elected(&h, w.states());
+    }
+
+    #[test]
+    fn converges_from_arbitrary_states_many_seeds() {
+        let h = Arc::new(generators::ring(5, 3));
+        for seed in 0..25 {
+            let mut w = World::new(Arc::clone(&h), LeaderElect);
+            strike(&mut w, seed);
+            let mut d = WeaklyFair::new(DistributedRandom::new(seed, 0.5), 6);
+            let (_, q) = w.run_to_quiescence(&mut d, &(), 100_000);
+            assert!(q, "seed {seed} did not quiesce");
+            assert_elected(&h, w.states());
+        }
+    }
+
+    #[test]
+    fn fake_smaller_id_is_eliminated() {
+        let h = Arc::new(generators::fig2()); // ids 1..5
+        let mut w = World::new(Arc::clone(&h), LeaderElect);
+        // Everyone believes in a fake leader "0" at various distances.
+        for p in 0..h.n() {
+            w.set_state(p, LeaderState { lid: 0, dist: p as u32 % h.n() as u32 });
+        }
+        let (_, q) = w.run_to_quiescence(&mut Synchronous, &(), 10_000);
+        assert!(q);
+        assert_elected(&h, w.states());
+    }
+
+    #[test]
+    fn exactly_one_leader_after_stabilization() {
+        let h = Arc::new(generators::grid_pairs(3, 3));
+        let mut w = World::new(Arc::clone(&h), LeaderElect);
+        strike(&mut w, 404);
+        let (_, q) = w.run_to_quiescence(&mut Synchronous, &(), 10_000);
+        assert!(q);
+        let le = LeaderElect;
+        let leaders: Vec<usize> = (0..h.n())
+            .filter(|&p| le.is_leader(&w.ctx(p, &())))
+            .collect();
+        assert_eq!(leaders, vec![0], "unique leader = min-id process");
+    }
+
+    #[test]
+    fn quiescence_means_no_better_offer() {
+        let h = Arc::new(generators::path(4, 2));
+        let mut w = World::new(Arc::clone(&h), LeaderElect);
+        w.run_to_quiescence(&mut Synchronous, &(), 1000);
+        // In a terminal configuration every process equals its target.
+        assert!(w.enabled(&()).is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! Property 1 conformance, run generically against every `TokenLayer`
+//! implementation — and the documented 1.3 divergence between the two
+//! substrates (see DESIGN.md §2 and EXPERIMENTS.md E10).
+
+use sscc_hypergraph::{generators, Hypergraph};
+use sscc_runtime::prelude::*;
+use sscc_token::{TokenLayer, TokenRing, WaveToken};
+
+/// Processes whose `Token(p)` holds in a raw substrate configuration.
+fn holders<TL: TokenLayer>(tl: &TL, h: &Hypergraph, states: &[TL::State]) -> Vec<usize> {
+    let acc = SliceAccess(states);
+    (0..h.n())
+        .filter(|&p| {
+            let ctx: Ctx<'_, TL::State, ()> = Ctx::new(h, p, &acc, &());
+            tl.token(&ctx)
+        })
+        .collect()
+}
+
+/// Drive a substrate with a *fully cooperative* holder (release as soon as
+/// held) plus all internal actions, synchronously. Returns per-process
+/// counts of `T` executions.
+fn cooperative_run<TL: TokenLayer>(
+    tl: &TL,
+    h: &Hypergraph,
+    states: &mut Vec<TL::State>,
+    steps: usize,
+) -> Vec<usize> {
+    let mut t_counts = vec![0usize; h.n()];
+    for _ in 0..steps {
+        let snapshot = states.clone();
+        let acc = SliceAccess(&snapshot);
+        for p in 0..h.n() {
+            let ctx: Ctx<'_, TL::State, ()> = Ctx::new(h, p, &acc, &());
+            if let Some(a) = tl.internal_priority_action(&ctx) {
+                states[p] = tl.execute_internal(&ctx, a);
+            } else if tl.token(&ctx) {
+                states[p] = tl.release(&ctx);
+                t_counts[p] += 1;
+            }
+        }
+    }
+    t_counts
+}
+
+/// Property 1.2 (first half): with a cooperative holder, every process
+/// executes `T` infinitely often — measured as "at least 3 times within a
+/// generous horizon" for both substrates.
+#[test]
+fn p12_everyone_executes_t_infinitely_often() {
+    let h = generators::fig1();
+    // WaveToken
+    let wave = WaveToken::new(&h);
+    let mut st: Vec<_> = (0..h.n()).map(|p| TokenLayer::initial_state(&wave, &h, p)).collect();
+    let counts = cooperative_run(&wave, &h, &mut st, 4000);
+    assert!(counts.iter().all(|&c| c >= 3), "wave: {counts:?}");
+    // TokenRing
+    let ring = TokenRing::new(&h);
+    let mut st: Vec<_> = (0..h.n()).map(|p| TokenLayer::initial_state(&ring, &h, p)).collect();
+    let counts = cooperative_run(&ring, &h, &mut st, 4000);
+    assert!(counts.iter().all(|&c| c >= 3), "ring: {counts:?}");
+}
+
+/// Property 1.2 (second half): once stabilized, `Token` holds at no two
+/// processes simultaneously. Both substrates satisfy this from clean boots.
+#[test]
+fn p12_unique_token_from_clean_boot() {
+    let h = generators::ring(5, 3);
+    let wave = WaveToken::new(&h);
+    let mut st: Vec<_> = (0..h.n()).map(|p| TokenLayer::initial_state(&wave, &h, p)).collect();
+    for _ in 0..2000 {
+        assert!(holders(&wave, &h, &st).len() <= 1);
+        let counts = cooperative_run(&wave, &h, &mut st, 1);
+        let _ = counts;
+    }
+    let ring = TokenRing::new(&h);
+    let mut st: Vec<_> = (0..h.n()).map(|p| TokenLayer::initial_state(&ring, &h, p)).collect();
+    for _ in 0..2000 {
+        assert_eq!(holders(&ring, &h, &st).len(), 1, "dijkstra keeps exactly one");
+        cooperative_run(&ring, &h, &mut st, 1);
+    }
+}
+
+/// Property 1.3, the discriminator: freeze `T` entirely (holders never
+/// release) and run ONLY internal actions from arbitrary states.
+/// `WaveToken` must still converge to at most one holder; `TokenRing`
+/// (which has no internal actions at all) must *fail* this on some seed —
+/// the divergence that motivated the default-substrate choice.
+#[test]
+fn p13_internal_only_stabilization_discriminates_substrates() {
+    use rand::SeedableRng as _;
+    let h = generators::fig1();
+    let wave = WaveToken::new(&h);
+    let ring = TokenRing::new(&h);
+    let mut ring_ever_stuck = false;
+    for seed in 0..20u64 {
+        // WaveToken: internal-only convergence.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut wst: Vec<sscc_token::WaveState> =
+            (0..h.n()).map(|p| ArbitraryState::arbitrary(&mut rng, &h, p)).collect();
+        for _ in 0..5000 {
+            let snapshot = wst.clone();
+            let acc = SliceAccess(&snapshot);
+            let mut moved = false;
+            for p in 0..h.n() {
+                let ctx: Ctx<'_, sscc_token::WaveState, ()> = Ctx::new(&h, p, &acc, &());
+                if let Some(a) = wave.internal_priority_action(&ctx) {
+                    wst[p] = wave.execute_internal(&ctx, a);
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        assert!(
+            holders(&wave, &h, &wst).len() <= 1,
+            "wave seed {seed}: 1.3 violated"
+        );
+
+        // TokenRing: no internal actions exist, so an arbitrary multi-token
+        // configuration stays multi-token forever when nobody releases.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rst: Vec<sscc_token::TokenState> =
+            (0..h.n()).map(|p| ArbitraryState::arbitrary(&mut rng, &h, p)).collect();
+        let hs = holders(&ring, &h, &rst);
+        // Internal actions: none — state is frozen by definition.
+        for p in 0..h.n() {
+            let acc = SliceAccess(&rst);
+            let ctx: Ctx<'_, sscc_token::TokenState, ()> = Ctx::new(&h, p, &acc, &());
+            assert_eq!(ring.internal_priority_action(&ctx), None);
+        }
+        if hs.len() > 1 {
+            ring_ever_stuck = true;
+        }
+    }
+    assert!(
+        ring_ever_stuck,
+        "expected at least one arbitrary configuration to freeze the \
+         Dijkstra ring with multiple tokens (clause 1.3 failure witness)"
+    );
+}
+
+/// Releasing without holding is the identity for both substrates.
+#[test]
+fn release_without_token_is_identity() {
+    let h = generators::fig2();
+    let wave = WaveToken::new(&h);
+    let st: Vec<_> = (0..h.n()).map(|p| TokenLayer::initial_state(&wave, &h, p)).collect();
+    let hs = holders(&wave, &h, &st);
+    for p in 0..h.n() {
+        if !hs.contains(&p) {
+            let acc = SliceAccess(&st);
+            let ctx: Ctx<'_, sscc_token::WaveState, ()> = Ctx::new(&h, p, &acc, &());
+            assert_eq!(wave.release(&ctx), st[p]);
+        }
+    }
+}
+
+/// Designations walk the Euler tour: with a cooperative holder the sequence
+/// of holders matches consecutive tour owners.
+#[test]
+fn wave_designation_follows_tour_order() {
+    let h = generators::path(3, 2);
+    let wave = WaveToken::new(&h);
+    let mut st: Vec<_> = (0..h.n()).map(|p| TokenLayer::initial_state(&wave, &h, p)).collect();
+    let mut sequence = Vec::new();
+    for _ in 0..400 {
+        if let [p] = holders(&wave, &h, &st)[..] {
+            if sequence.last() != Some(&p) {
+                sequence.push(p);
+            }
+        }
+        cooperative_run(&wave, &h, &mut st, 1);
+        if sequence.len() >= 6 {
+            break;
+        }
+    }
+    // Expected owner order: tour positions 0,1,2,...
+    let expected: Vec<usize> = (0..sequence.len())
+        .map(|i| wave.tour().owner(i % wave.tour().len()))
+        .collect();
+    assert_eq!(sequence, expected, "holders follow the tour");
+}

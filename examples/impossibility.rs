@@ -1,0 +1,136 @@
+//! Theorem 1, executed: Maximal Concurrency and Professor Fairness cannot
+//! coexist.
+//!
+//! On the Figure 2 gadget (`E = {{1,2},{1,3,5},{3,4}}`) an adversarial — but
+//! contract-respecting — environment alternates the meetings of `{1,2}` and
+//! `{3,4}` so that they always overlap: whenever one committee is free, the
+//! other is meeting, so `{1,3,5}` is never free. A maximally concurrent
+//! algorithm (CC1) *must* keep convening the free pair committee, and
+//! professor 5 waits forever — exactly the computation A → B → C → A of the
+//! proof. CC2 gives up maximal concurrency (its token holder pins a
+//! committee, blocking members) and in exchange no environment starves
+//! anyone.
+//!
+//! ```sh
+//! cargo run --example impossibility
+//! ```
+
+use sscc::core::sim::{default_daemon, Cc2Sim, Sim};
+use sscc::core::{Cc1, Cc1State, OraclePolicy, PolicyView, RequestFlags, Status};
+use sscc::hypergraph::{generators, EdgeId};
+use sscc::token::WaveToken;
+use std::sync::Arc;
+
+/// The adversary from the proof of Theorem 1. Invariant maintained: `{1,2}`
+/// and `{3,4}` are never simultaneously dissolved, so `{1,3,5}` never has
+/// all members looking. Contract-respecting along the produced computation:
+/// every professor in a live meeting (or stuck in a terminated one)
+/// eventually gets `RequestOut`, and it stays raised until they leave.
+struct AlternatingAdversary {
+    /// Dense indices of professors 1..5.
+    d: [usize; 5],
+    /// Side currently designated to leave next (false = {1,2}, true = {3,4}).
+    turn: bool,
+}
+
+impl OraclePolicy for AlternatingAdversary {
+    fn update(&mut self, flags: &mut RequestFlags, view: &PolicyView) {
+        let [p1, p2, p3, p4, _p5] = self.d;
+        for p in 0..view.status.len() {
+            flags.set_in(p, true);
+            // Mandatory cleanup (environment contract): members stuck in a
+            // *terminated* meeting must eventually request out.
+            flags.set_out(p, view.status[p] == Status::Done && !view.in_meeting[p]);
+        }
+        let ab_live = view.in_meeting[p1] && view.in_meeting[p2];
+        let cd_live = view.in_meeting[p3] && view.in_meeting[p4];
+        if ab_live && cd_live {
+            // Both overlap: release the designated side (persistently until
+            // it actually leaves — we re-raise every step).
+            if self.turn {
+                flags.set_out(p3, true);
+                flags.set_out(p4, true);
+            } else {
+                flags.set_out(p1, true);
+                flags.set_out(p2, true);
+            }
+        }
+        // Hand the designation over once the designated side dissolved.
+        if self.turn && !cd_live {
+            self.turn = false;
+        } else if !self.turn && !ab_live {
+            self.turn = true;
+        }
+    }
+}
+
+fn main() {
+    let h = Arc::new(generators::fig2());
+    let d = [
+        h.dense_of(1),
+        h.dense_of(2),
+        h.dense_of(3),
+        h.dense_of(4),
+        h.dense_of(5),
+    ];
+
+    println!("Theorem 1 gadget: {h:?}\n");
+
+    // --- CC1 under the adversary: professor 5 starves. ---------------------
+    // Start in the proof's configuration A: {1,2} already meeting, everyone
+    // else waiting to join (professors 3,4,5 looking).
+    let adversary = AlternatingAdversary { d, turn: false };
+    let ring = WaveToken::new(&h);
+    let mut cc1 = Sim::new(
+        Arc::clone(&h),
+        Cc1::new(),
+        ring,
+        default_daemon(7, h.n()),
+        Box::new(adversary),
+    );
+    let e0 = EdgeId(0); // {1,2}
+    cc1.set_cc_state(d[0], Cc1State { s: Status::Waiting, p: Some(e0), t: false });
+    cc1.set_cc_state(d[1], Cc1State { s: Status::Waiting, p: Some(e0), t: false });
+    for &p in &d[2..] {
+        cc1.set_cc_state(p, Cc1State { s: Status::Looking, p: None, t: false });
+    }
+    cc1.reset_observers();
+
+    cc1.run(40_000);
+    let parts = cc1.ledger().participations().to_vec();
+    println!("CC1 (maximal concurrency) under the alternating adversary, 40k steps:");
+    for (i, raw) in [1u32, 2, 3, 4, 5].iter().enumerate() {
+        println!("  professor {raw}: {:>4} participations", parts[d[i]]);
+    }
+    println!(
+        "  meetings convened: {} — spec clean: {}",
+        cc1.ledger().convened_count(),
+        cc1.monitor().clean()
+    );
+    assert!(cc1.monitor().clean());
+    assert_eq!(parts[d[4]], 0, "professor 5 must starve under the adversary");
+    assert!(
+        cc1.ledger().convened_count() > 100,
+        "maximal concurrency kept meetings flowing"
+    );
+    println!("  => professor 5 NEVER met, while {} meetings flowed around him:", cc1.ledger().convened_count());
+    println!("     with Maximal Concurrency, fairness is unattainable (Theorem 1).\n");
+
+    // --- CC2 under a plain eager environment: nobody starves. --------------
+    let mut cc2 = Cc2Sim::standard(Arc::clone(&h), 7, 2);
+    cc2.run(40_000);
+    let parts = cc2.ledger().participations().to_vec();
+    println!("CC2 (professor fairness), eager environment, 40k steps:");
+    for (i, raw) in [1u32, 2, 3, 4, 5].iter().enumerate() {
+        println!("  professor {raw}: {:>4} participations", parts[d[i]]);
+    }
+    assert!(parts.iter().all(|&c| c > 0), "CC2 starves nobody");
+    println!(
+        "  meetings convened: {} — spec clean: {}",
+        cc2.ledger().convened_count(),
+        cc2.monitor().clean()
+    );
+    assert!(cc2.monitor().clean());
+    println!("  => every professor met: when 5 is overdue the token pins {{1,3,5}} and");
+    println!("     blocks its members — fairness bought by giving up maximal concurrency.");
+}

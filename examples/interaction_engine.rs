@@ -1,0 +1,104 @@
+//! The paper's motivating application (§1, [8]): multiparty interactions in
+//! a BIP-style component system, scheduled by committee coordination.
+//!
+//! A tiny pipeline of components — two producers, a shared bus, two
+//! consumers and a logger — interacts through multiparty rendezvous:
+//!
+//! * `sync_put`  = {producer_i, bus}            (data handoff)
+//! * `sync_get`  = {bus, consumer_j}            (data delivery)
+//! * `snapshot`  = {bus, logger}                (state observation)
+//!
+//! Each interaction is a committee; each component is a professor. CC2 ∘ TC
+//! schedules the rendezvous: Exclusion = no component in two interactions
+//! at once; Synchronization = an interaction fires only with all parties
+//! ready; Professor Fairness = no component is locked out forever — exactly
+//! the guarantees a distributed code generator needs (§1). The "essential
+//! discussion" phase is where the interaction's data transfer executes; we
+//! replay the ledger to run the payloads.
+//!
+//! ```sh
+//! cargo run --example interaction_engine
+//! ```
+
+use sscc::core::sim::Cc2Sim;
+use sscc::hypergraph::{generators::Named, Hypergraph};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Component names, mapped to professor identifiers.
+const COMPONENTS: &[(&str, u32)] = &[
+    ("producer-A", 1),
+    ("producer-B", 2),
+    ("bus", 3),
+    ("consumer-X", 4),
+    ("consumer-Y", 5),
+    ("logger", 6),
+];
+
+fn main() {
+    // Interactions as committees over the component ids.
+    let system = Named {
+        name: "bip-pipeline".into(),
+        h: Hypergraph::new(&[
+            &[1, 3], // put A -> bus
+            &[2, 3], // put B -> bus
+            &[3, 4], // get bus -> X
+            &[3, 5], // get bus -> Y
+            &[3, 6], // snapshot bus -> logger
+        ]),
+    };
+    let h = Arc::new(system.h);
+    let names: HashMap<u32, &str> = COMPONENTS.iter().map(|&(n, i)| (i, n)).collect();
+    let interaction_names = ["put-A", "put-B", "get-X", "get-Y", "snapshot"];
+
+    println!("component system `{}`:", system.name);
+    for e in h.edge_ids() {
+        let parties: Vec<&str> = h
+            .members_raw(e)
+            .iter()
+            .map(|id| names[id])
+            .collect();
+        println!("  interaction {:>8} = {:?}", interaction_names[e.index()], parties);
+    }
+
+    // Schedule with CC2: all interactions conflict at the bus, so fairness
+    // is the whole game here (a star topology — the paper notes maximal
+    // concurrency and fairness coexist trivially: at most one meets anyway).
+    let mut sim = Cc2Sim::standard(Arc::clone(&h), 2024, 1);
+    sim.run(30_000);
+
+    // Replay the ledger as an interaction log, executing "payloads".
+    let mut bus_queue: Vec<String> = Vec::new();
+    let mut fired = vec![0usize; h.m()];
+    let mut delivered = 0usize;
+    let mut snapshots = 0usize;
+    for inst in sim.ledger().post_initial_instances() {
+        fired[inst.edge.index()] += 1;
+        match inst.edge.index() {
+            0 => bus_queue.push("A-item".into()),
+            1 => bus_queue.push("B-item".into()),
+            2 | 3 => {
+                if bus_queue.pop().is_some() {
+                    delivered += 1;
+                }
+            }
+            _ => snapshots += 1,
+        }
+    }
+
+    println!("\nafter {} steps of CC2 ∘ TC scheduling:", sim.steps());
+    for e in h.edge_ids() {
+        println!("  {:>8} fired {:>4} times", interaction_names[e.index()], fired[e.index()]);
+    }
+    println!("  items delivered end-to-end: {delivered}");
+    println!("  snapshots taken: {snapshots}");
+    println!("  spec clean: {}", sim.monitor().clean());
+
+    assert!(sim.monitor().clean());
+    assert!(
+        fired.iter().all(|&f| f > 0),
+        "professor fairness keeps every interaction firing: {fired:?}"
+    );
+    println!("\n=> every interaction fired infinitely often — the distributed-code-");
+    println!("   generation use case of §1 gets its conflict-free, fair scheduler.");
+}

@@ -1,0 +1,148 @@
+//! E2/E5/E6/E7/E11 — fairness properties and their measured bounds:
+//! professor fairness (CC2), committee fairness (CC3), the degree of fair
+//! concurrency against Theorems 4/5/7/8, and waiting-time sanity vs
+//! Theorem 6.
+
+use sscc::hypergraph::generators;
+use sscc::metrics::{
+    build_sim, degree_row, throughput_row, waiting_row, AlgoKind, Boot, DegreeConfig,
+    PolicyKind,
+};
+use std::sync::Arc;
+
+#[test]
+fn cc2_professor_fairness_across_topologies() {
+    let topologies = [
+        ("ring6x2", Arc::new(generators::ring(6, 2))),
+        ("fig1", Arc::new(generators::fig1())),
+        ("path4x3", Arc::new(generators::path(4, 3))),
+        ("star4x3", Arc::new(generators::star(4, 3))),
+    ];
+    for (name, h) in &topologies {
+        let row = throughput_row(
+            name,
+            h,
+            AlgoKind::Cc2,
+            PolicyKind::Eager { max_disc: 1 },
+            4,
+            40_000,
+        );
+        assert_eq!(row.violations, 0, "{name}");
+        assert_eq!(row.max_starved, 0, "{name}: someone starved under CC2");
+        assert!(
+            row.min_participations >= 2,
+            "{name}: weak participation {row:?}"
+        );
+    }
+}
+
+#[test]
+fn cc3_committee_fairness_every_committee_convenes() {
+    // Nested small/large committees: CC2's min-edge pinning has no reason
+    // to ever pin the triples; CC3's round-robin guarantees they convene.
+    let h = Arc::new(sscc::hypergraph::Hypergraph::new(&[
+        &[1, 2],
+        &[2, 3],
+        &[3, 1],
+        &[1, 2, 3],
+    ]));
+    let mut sim = build_sim(
+        AlgoKind::Cc3,
+        Arc::clone(&h),
+        11,
+        PolicyKind::Eager { max_disc: 1 },
+        Boot::Clean,
+    );
+    sim.run(60_000);
+    let mut convenes = vec![0usize; h.m()];
+    for m in sim.ledger().post_initial_instances() {
+        convenes[m.edge.index()] += 1;
+    }
+    assert!(sim.monitor().clean());
+    assert!(
+        convenes.iter().all(|&c| c >= 2),
+        "CC3 must convene every committee repeatedly: {convenes:?}"
+    );
+}
+
+#[test]
+fn e5_degree_of_fair_concurrency_cc2_meets_bounds() {
+    let cfg = DegreeConfig { budget: 60_000, seeds: 12 };
+    for (name, h) in [
+        ("fig1", Arc::new(generators::fig1())),
+        ("fig2", Arc::new(generators::fig2())),
+        ("ring6x2", Arc::new(generators::ring(6, 2))),
+        ("path4x3", Arc::new(generators::path(4, 3))),
+    ] {
+        let row = degree_row(name, &h, AlgoKind::Cc2, &cfg);
+        assert!(row.quiesced.0 > 0, "{name}: nothing quiesced");
+        assert!(
+            row.measured_min >= row.exact_bound,
+            "{name}: Theorem 4 violated: {row:?}"
+        );
+        assert!(
+            row.exact_bound >= row.closed_bound,
+            "{name}: Theorem 5 violated: {row:?}"
+        );
+    }
+}
+
+#[test]
+fn e6_degree_of_fair_concurrency_cc3_meets_bounds() {
+    let cfg = DegreeConfig { budget: 60_000, seeds: 12 };
+    for (name, h) in [
+        ("fig2", Arc::new(generators::fig2())),
+        ("ring6x2", Arc::new(generators::ring(6, 2))),
+    ] {
+        let row = degree_row(name, &h, AlgoKind::Cc3, &cfg);
+        assert!(row.quiesced.0 > 0, "{name}");
+        assert!(row.measured_min >= row.exact_bound, "{name}: Thm 7: {row:?}");
+        assert!(row.exact_bound >= row.closed_bound, "{name}: Thm 8: {row:?}");
+    }
+}
+
+#[test]
+fn e7_waiting_time_grows_with_n_and_stays_bounded() {
+    // Theorem 6 shape check: waits are finite and scale roughly with
+    // maxDisc × n (we allow a generous constant; the claim is the shape,
+    // not the constant).
+    let mut waits = Vec::new();
+    for k in [3usize, 6, 9] {
+        let h = Arc::new(generators::ring(k, 2));
+        let row = waiting_row("ring", &h, AlgoKind::Cc2, 2, 4, 60_000);
+        assert!(row.max_wait > 0);
+        assert!(
+            row.max_wait < 600 * row.thm6_scale,
+            "wait {} way beyond O(maxDisc*n) = {} on ring{k}",
+            row.max_wait,
+            row.thm6_scale
+        );
+        waits.push(row.max_wait);
+    }
+    // Larger rings wait longer (monotone trend, allowing noise at the top).
+    assert!(
+        waits[0] <= waits[2] * 2,
+        "waiting should not shrink drastically with n: {waits:?}"
+    );
+}
+
+#[test]
+fn e11_throughput_comparison_is_clean_and_productive() {
+    // §3.2's "fairness costs concurrency" is about *blocked committees*
+    // (Definition 2), demonstrated rigorously in tests/max_concurrency.rs.
+    // Raw throughput in a benign environment is a different quantity — and
+    // a genuine reproduction finding is that CC2 can even beat CC1 there
+    // (CC1 pays constant Token1/Token2 churn as the advisory token hops).
+    // Here we assert the robust facts: all variants stay clean and keep
+    // meeting under identical load; the measured numbers go to
+    // EXPERIMENTS.md (E11).
+    let h = Arc::new(generators::fig2());
+    let cc1 = throughput_row("fig2", &h, AlgoKind::Cc1, PolicyKind::Eager { max_disc: 4 }, 6, 30_000);
+    let cc2 = throughput_row("fig2", &h, AlgoKind::Cc2, PolicyKind::Eager { max_disc: 4 }, 6, 30_000);
+    assert_eq!(cc1.violations + cc2.violations, 0);
+    assert!(cc1.meetings_per_kstep > 10.0, "CC1 productive: {cc1:?}");
+    assert!(cc2.meetings_per_kstep > 10.0, "CC2 productive: {cc2:?}");
+    // CC1 trades fairness away: on the gadget the adversary CAN starve
+    // (tests/../impossibility example); CC2 cannot — its fairness floor:
+    assert_eq!(cc2.max_starved, 0);
+}

@@ -1,0 +1,159 @@
+//! E8 — Definition 2 (Maximal Concurrency): CC1 satisfies it, CC2 provably
+//! does not (the price of fairness).
+
+use sscc::core::sim::Sim;
+use sscc::core::{
+    Cc1, Cc1State, Cc2, Cc2State, CommitteeView, InfiniteMeetingPolicy, Status,
+};
+use sscc::hypergraph::{matching, EdgeId, Hypergraph};
+use sscc::metrics::{build_sim, AlgoKind, AnySim, Boot, PolicyKind};
+use sscc::runtime::prelude::Synchronous;
+use sscc::token::WaveToken;
+use std::sync::Arc;
+
+/// Run with frozen meetings until the live-meeting set and statuses are
+/// stable for `window` consecutive steps (Definition 5's quiescence; CC1's
+/// token may keep circulating forever, so plain termination is not the
+/// right detector). Returns false if the budget runs out first.
+fn run_to_meeting_quiescence(sim: &mut AnySim, window: u64, budget: u64) -> bool {
+    let mut streak = 0u64;
+    let mut last = sim.ledger().live_edges();
+    for _ in 0..budget {
+        if !sim.step() {
+            return true; // stably terminal is certainly quiescent
+        }
+        let now = sim.ledger().live_edges();
+        if now == last {
+            streak += 1;
+            if streak >= window {
+                return true;
+            }
+        } else {
+            streak = 0;
+            last = now;
+        }
+    }
+    false
+}
+
+/// Definition 2, operationally: under the infinite-meeting environment CC1
+/// must drive the system into a configuration whose meetings form a
+/// **maximal matching** — any committee with all members waiting would
+/// otherwise still be owed a meeting.
+#[test]
+fn e8_cc1_quiescent_meetings_form_maximal_matching() {
+    use sscc::hypergraph::generators;
+    for (name, h) in [
+        ("fig1", Arc::new(generators::fig1())),
+        ("fig2", Arc::new(generators::fig2())),
+        ("ring6x2", Arc::new(generators::ring(6, 2))),
+        ("ring5x3", Arc::new(generators::ring(5, 3))),
+        ("grid3x3", Arc::new(generators::grid_pairs(3, 3))),
+    ] {
+        for seed in 0..5u64 {
+            let mut sim = build_sim(
+                AlgoKind::Cc1,
+                Arc::clone(&h),
+                seed,
+                PolicyKind::InfiniteMeetings,
+                Boot::Clean,
+            );
+            assert!(
+                run_to_meeting_quiescence(&mut sim, 3_000, 200_000),
+                "{name}/{seed}: no quiescence"
+            );
+            let live = sim.ledger().live_edges();
+            assert!(
+                matching::is_maximal_matching(&h, &live),
+                "{name}/{seed}: quiescent meetings {live:?} not a maximal matching"
+            );
+            assert!(sim.monitor().clean(), "{name}/{seed}");
+        }
+    }
+}
+
+/// The witness topology for CC2's non-maximal-concurrency: {1,2,5,8} pinned
+/// by the token holder, {3,4,5} frozen in a meeting, and {8,9} — whose two
+/// members are both waiting — blocked forever by 8's lock.
+fn witness() -> Hypergraph {
+    Hypergraph::new(&[&[1, 2, 5, 8], &[3, 4, 5], &[8, 9]])
+}
+
+#[test]
+fn e8_cc2_blocks_a_free_committee_forever() {
+    let h = Arc::new(witness());
+    let d = |raw: u32| h.dense_of(raw);
+    let ring = WaveToken::with_root(&h, d(1));
+    let mut sim = Sim::new(
+        Arc::clone(&h),
+        Cc2::new(),
+        ring,
+        Box::new(Synchronous),
+        Box::new(InfiniteMeetingPolicy),
+    );
+    let st = |s: Status, p: Option<u32>, t: bool, l: bool| Cc2State {
+        s,
+        p: p.map(EdgeId),
+        t,
+        l,
+        cursor: 0,
+    };
+    // Token holder 1 pins {1,2,5,8}; {3,4,5} is meeting (frozen forever).
+    sim.set_cc_state(d(1), st(Status::Looking, Some(0), true, true));
+    sim.set_cc_state(d(2), st(Status::Looking, Some(0), false, true));
+    sim.set_cc_state(d(8), st(Status::Looking, Some(0), false, true));
+    sim.set_cc_state(d(5), st(Status::Waiting, Some(1), false, true));
+    sim.set_cc_state(d(3), st(Status::Waiting, Some(1), false, false));
+    sim.set_cc_state(d(4), st(Status::Waiting, Some(1), false, false));
+    sim.set_cc_state(d(9), st(Status::Looking, None, false, false));
+    sim.reset_observers();
+
+    sim.run(20_000);
+    // {8,9}: both members in the waiting state the whole time, yet the
+    // committee never convened — Definition 2 is violated by CC2.
+    let met: Vec<EdgeId> = sim
+        .ledger()
+        .post_initial_instances()
+        .map(|m| m.edge)
+        .collect();
+    assert!(
+        !met.contains(&EdgeId(2)),
+        "{{8,9}} must stay blocked by the lock: {met:?}"
+    );
+    assert_eq!(sim.cc_states()[d(8)].status(), Status::Looking);
+    assert_eq!(sim.cc_states()[d(9)].status(), Status::Looking);
+    // The quiescent meeting set {{3,4,5}} is NOT a maximal matching:
+    // {8,9} could still be added.
+    let live = sim.ledger().live_edges();
+    assert!(!matching::is_maximal_matching(&h, &live), "live = {live:?}");
+    assert!(sim.monitor().clean());
+}
+
+/// Same engineered scenario under CC1: no locks exist, the token holder
+/// releases its useless token, and {8,9} convenes — maximal concurrency.
+#[test]
+fn e8_cc1_convenes_the_committee_cc2_blocked() {
+    let h = Arc::new(witness());
+    let d = |raw: u32| h.dense_of(raw);
+    let ring = WaveToken::with_root(&h, d(1));
+    let mut sim = Sim::new(
+        Arc::clone(&h),
+        Cc1::new(),
+        ring,
+        Box::new(Synchronous),
+        Box::new(InfiniteMeetingPolicy),
+    );
+    let st = |s: Status, p: Option<u32>, t: bool| Cc1State { s, p: p.map(EdgeId), t };
+    sim.set_cc_state(d(1), st(Status::Looking, Some(0), true));
+    sim.set_cc_state(d(2), st(Status::Looking, Some(0), false));
+    sim.set_cc_state(d(8), st(Status::Looking, Some(0), false));
+    sim.set_cc_state(d(5), st(Status::Waiting, Some(1), false));
+    sim.set_cc_state(d(3), st(Status::Waiting, Some(1), false));
+    sim.set_cc_state(d(4), st(Status::Waiting, Some(1), false));
+    sim.set_cc_state(d(9), st(Status::Looking, None, false));
+    sim.reset_observers();
+
+    let (_, ok) = sim.run_until(2_000, |s| s.live_meetings().contains(&EdgeId(2)));
+    assert!(ok, "CC1 convenes {{8,9}} despite the frozen meeting");
+    assert!(sim.monitor().clean());
+}

@@ -1,0 +1,234 @@
+//! Property-based tests (proptest) on the core invariants:
+//! * Lemma 1 — Exclusion holds in every configuration, reachable or not;
+//! * Lemma 3 / Lemma 8 — `Correct` is closed under arbitrary daemon steps;
+//! * Remarks 2/4 — step-guard mutual exclusion on random configurations;
+//! * determinism of the whole composed simulation per seed.
+
+use proptest::prelude::*;
+use sscc::core::sim::Sim;
+use sscc::core::{
+    predicates, Cc1, Cc1State, Cc2, Cc2State, CommitteeAlgorithm, CommitteeView,
+    EagerPolicy, RequestFlags,
+};
+use sscc::hypergraph::{generators, Hypergraph};
+use sscc::runtime::prelude::*;
+use sscc::token::TokenRing;
+use std::sync::Arc;
+
+fn topo(ix: u8) -> Hypergraph {
+    match ix % 5 {
+        0 => generators::fig1(),
+        1 => generators::fig2(),
+        2 => generators::ring(4, 2),
+        3 => generators::path(3, 3),
+        _ => generators::star(3, 3),
+    }
+}
+
+fn arb_cc1_config(h: &Hypergraph, seed: u64) -> Vec<Cc1State> {
+    use rand::SeedableRng as _;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    arbitrary_configuration(&mut rng, h)
+}
+
+fn arb_cc2_config(h: &Hypergraph, seed: u64) -> Vec<Cc2State> {
+    use rand::SeedableRng as _;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    arbitrary_configuration(&mut rng, h)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exclusion (Lemma 1) is structural: it holds in EVERY configuration.
+    #[test]
+    fn exclusion_is_universal(ix in 0u8..5, seed in 0u64..10_000) {
+        let h = topo(ix);
+        let cfg = arb_cc2_config(&h, seed);
+        let meeting = predicates::meeting_edges(&h, &cfg);
+        for (i, &a) in meeting.iter().enumerate() {
+            for &b in &meeting[i + 1..] {
+                prop_assert!(!h.conflicting(a, b));
+            }
+        }
+    }
+
+    /// Lemma 3: once `Correct(p)` holds for all p in a CC1 configuration,
+    /// it keeps holding after any daemon-chosen step.
+    #[test]
+    fn cc1_correct_is_closed(ix in 0u8..5, seed in 0u64..10_000, steps in 1usize..12) {
+        let h = topo(ix);
+        let cc = Cc1::new();
+        let mut cfg = arb_cc1_config(&h, seed);
+        let mut flags = RequestFlags::new(h.n());
+        for p in 0..h.n() { flags.set_out(p, true); }
+        // First, let Stab actions repair everything (Corollary 3 says one
+        // round suffices; we apply repairs directly).
+        for p in 0..h.n() {
+            let ctx = Ctx::new(&h, p, &cfg, &flags);
+            if !Cc1::<sscc::core::choice::MaxMembersDesc>::correct(&ctx) {
+                let a = cc.priority_action(&ctx, false).unwrap();
+                let (next, _) = cc.execute(&ctx, a, false);
+                cfg[p] = next;
+            }
+        }
+        // Everyone correct now?
+        for p in 0..h.n() {
+            let ctx = Ctx::new(&h, p, &cfg, &flags);
+            prop_assert!(Cc1::<sscc::core::choice::MaxMembersDesc>::correct(&ctx),
+                "repair failed at p{p}: {:?}", cfg[p]);
+        }
+        // Then arbitrary steps keep Correct invariant (closure).
+        use rand::{Rng as _, SeedableRng as _};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xabcd);
+        for _ in 0..steps {
+            let enabled: Vec<usize> = (0..h.n())
+                .filter(|&p| {
+                    let ctx = Ctx::new(&h, p, &cfg, &flags);
+                    cc.priority_action(&ctx, false).is_some()
+                })
+                .collect();
+            if enabled.is_empty() { break; }
+            // Random non-empty subset (distributed daemon).
+            let chosen: Vec<usize> = enabled
+                .iter()
+                .copied()
+                .filter(|_| rng.random_bool(0.6))
+                .collect();
+            let chosen = if chosen.is_empty() { vec![enabled[0]] } else { chosen };
+            let mut next_cfg = cfg.clone();
+            for &p in &chosen {
+                let ctx = Ctx::new(&h, p, &cfg, &flags);
+                let a = cc.priority_action(&ctx, false).unwrap();
+                let (next, _) = cc.execute(&ctx, a, false);
+                next_cfg[p] = next;
+            }
+            cfg = next_cfg;
+            for p in 0..h.n() {
+                let ctx = Ctx::new(&h, p, &cfg, &flags);
+                prop_assert!(
+                    Cc1::<sscc::core::choice::MaxMembersDesc>::correct(&ctx),
+                    "Lemma 3 broken at p{p}"
+                );
+            }
+        }
+    }
+
+    /// Lemma 8: the CC2 analogue of Correct-closure.
+    #[test]
+    fn cc2_correct_is_closed(ix in 0u8..5, seed in 0u64..10_000, steps in 1usize..12) {
+        let h = topo(ix);
+        let cc = Cc2::new();
+        let mut cfg = arb_cc2_config(&h, seed);
+        let mut flags = RequestFlags::new(h.n());
+        for p in 0..h.n() { flags.set_out(p, true); }
+        for p in 0..h.n() {
+            let ctx = Ctx::new(&h, p, &cfg, &flags);
+            if !Cc2::<sscc::core::MinEdgeSelector, sscc::core::choice::MinSizeFirst>::correct(&ctx) {
+                // The repair action is Stab (highest priority).
+                let a = cc.priority_action(&ctx, false).unwrap();
+                let (next, _) = cc.execute(&ctx, a, false);
+                cfg[p] = next;
+            }
+        }
+        for p in 0..h.n() {
+            let ctx = Ctx::new(&h, p, &cfg, &flags);
+            prop_assert!(Cc2::<sscc::core::MinEdgeSelector, sscc::core::choice::MinSizeFirst>::correct(&ctx));
+        }
+        use rand::{Rng as _, SeedableRng as _};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x1234);
+        for _ in 0..steps {
+            let enabled: Vec<usize> = (0..h.n())
+                .filter(|&p| {
+                    let ctx = Ctx::new(&h, p, &cfg, &flags);
+                    cc.priority_action(&ctx, false).is_some()
+                })
+                .collect();
+            if enabled.is_empty() { break; }
+            let chosen: Vec<usize> = enabled
+                .iter().copied().filter(|_| rng.random_bool(0.6)).collect();
+            let chosen = if chosen.is_empty() { vec![enabled[0]] } else { chosen };
+            let mut next_cfg = cfg.clone();
+            for &p in &chosen {
+                let ctx = Ctx::new(&h, p, &cfg, &flags);
+                if let Some(a) = cc.priority_action(&ctx, false) {
+                    let (next, _) = cc.execute(&ctx, a, false);
+                    next_cfg[p] = next;
+                }
+            }
+            cfg = next_cfg;
+            for p in 0..h.n() {
+                let ctx = Ctx::new(&h, p, &cfg, &flags);
+                prop_assert!(
+                    Cc2::<sscc::core::MinEdgeSelector, sscc::core::choice::MinSizeFirst>::correct(&ctx),
+                    "Lemma 8 broken at p{p}"
+                );
+            }
+        }
+    }
+
+    /// The composed simulation is fully deterministic per seed triple.
+    #[test]
+    fn simulation_is_deterministic(ix in 0u8..5, seed in 0u64..500) {
+        let h = Arc::new(topo(ix));
+        let run = |seed: u64| {
+            let ring = TokenRing::new(&h);
+            let mut sim = Sim::new(
+                Arc::clone(&h),
+                Cc1::new(),
+                ring,
+                sscc::core::default_daemon(seed, h.n()),
+                Box::new(EagerPolicy::new(h.n(), 1)),
+            );
+            sim.run(600);
+            (
+                sim.ledger().convened_count(),
+                sim.ledger().participations().to_vec(),
+                sim.rounds(),
+            )
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Round counting is monotone and bounded by steps.
+    #[test]
+    fn rounds_monotone_and_bounded(ix in 0u8..5, seed in 0u64..500) {
+        let h = Arc::new(topo(ix));
+        let ring = TokenRing::new(&h);
+        let mut sim = Sim::new(
+            Arc::clone(&h),
+            Cc2::new(),
+            ring,
+            sscc::core::default_daemon(seed, h.n()),
+            Box::new(EagerPolicy::new(h.n(), 1)),
+        );
+        let mut last = 0;
+        for _ in 0..400 {
+            if !sim.step() { break; }
+            let r = sim.rounds();
+            prop_assert!(r >= last);
+            prop_assert!(r <= sim.steps());
+            last = r;
+        }
+    }
+}
+
+/// Deterministic (non-proptest) regression: arbitrary CC1 states sampled by
+/// the fault injector always respect variable domains.
+#[test]
+fn arbitrary_states_stay_in_domain() {
+    use rand::SeedableRng as _;
+    for ix in 0..5u8 {
+        let h = topo(ix);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let cfg: Vec<Cc2State> = arbitrary_configuration(&mut rng, &h);
+            for (p, st) in cfg.iter().enumerate() {
+                if let Some(e) = st.pointer() {
+                    assert!(h.incident(p).contains(&e));
+                }
+                assert!((st.cursor as usize) < h.incident(p).len().max(1));
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! E9 — snap-stabilization end to end: from arbitrary configurations of the
+//! *entire* composed system (committee layer + token substrate), every
+//! meeting convened after step 0 satisfies the full specification, progress
+//! resumes, and the substrate converges to a unique token underneath.
+
+use sscc::metrics::{build_sim, AlgoKind, Boot, PolicyKind};
+use sscc::metrics::parallel_map;
+use std::sync::Arc;
+
+#[test]
+fn e9_spec_holds_from_arbitrary_configurations_all_algorithms() {
+    use sscc::hypergraph::generators;
+    let topologies = [
+        ("fig1", Arc::new(generators::fig1())),
+        ("fig2", Arc::new(generators::fig2())),
+        ("ring5x3", Arc::new(generators::ring(5, 3))),
+    ];
+    for (name, h) in &topologies {
+        for algo in [AlgoKind::Cc1, AlgoKind::Cc2, AlgoKind::Cc3] {
+            let outcomes = parallel_map(0..12u64, |seed| {
+                let mut sim = build_sim(
+                    algo,
+                    Arc::clone(h),
+                    seed,
+                    PolicyKind::Eager { max_disc: 1 },
+                    Boot::Arbitrary(seed.wrapping_mul(0x9e37_79b9)),
+                );
+                sim.run(8_000);
+                (
+                    sim.monitor().violations().len(),
+                    sim.ledger().convened_count(),
+                )
+            });
+            for (seed, (violations, convened)) in outcomes.iter().enumerate() {
+                assert_eq!(
+                    *violations, 0,
+                    "{name}/{algo:?}/seed{seed}: spec violated after faults"
+                );
+                assert!(
+                    *convened > 0,
+                    "{name}/{algo:?}/seed{seed}: no progress after faults"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn e9_exclusion_is_invariant_even_in_corrupted_configurations() {
+    // Lemma 1's proof is configuration-independent: two conflicting
+    // committees can never meet simultaneously because the shared member
+    // has a single pointer. Check it on raw arbitrary configurations,
+    // before any step is taken.
+    use rand::SeedableRng as _;
+    use sscc::core::{predicates, Cc2State};
+    use sscc::hypergraph::generators;
+    use sscc::runtime::prelude::arbitrary_configuration;
+    let h = generators::fig1();
+    for seed in 0..200u64 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cfg: Vec<Cc2State> = arbitrary_configuration(&mut rng, &h);
+        let meeting = predicates::meeting_edges(&h, &cfg);
+        for (i, &a) in meeting.iter().enumerate() {
+            for &b in &meeting[i + 1..] {
+                assert!(
+                    !h.conflicting(a, b),
+                    "seed {seed}: conflicting {a:?},{b:?} both meet in an arbitrary config"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn e9_token_substrate_converges_under_the_committee_layer() {
+    // Property 1.3: the substrate stabilizes regardless of how the
+    // committee layer schedules T. After a while, exactly one token.
+    use sscc::core::sim::{default_daemon, Sim};
+    use sscc::core::{Cc1, EagerPolicy};
+    use sscc::hypergraph::generators;
+    use sscc::token::{token_holders, TokenRing};
+    let h = Arc::new(generators::fig1());
+    for seed in 0..6u64 {
+        let ring = TokenRing::new(&h);
+        let mut sim = Sim::arbitrary(
+            Arc::clone(&h),
+            Cc1::new(),
+            ring,
+            default_daemon(seed, h.n()),
+            Box::new(EagerPolicy::new(h.n(), 1)),
+            seed,
+        );
+        sim.run(20_000);
+        let tok_states: Vec<_> = sim.world().states().iter().map(|s| s.tok.clone()).collect();
+        let holders = token_holders(&TokenRing::new(&h), &h, &tok_states);
+        assert_eq!(
+            holders.len(),
+            1,
+            "seed {seed}: substrate did not converge to one token"
+        );
+    }
+}
+
+#[test]
+fn e9_partial_faults_also_recover() {
+    use sscc::core::sim::{default_daemon, Sim};
+    use sscc::core::{Cc2, EagerPolicy};
+    use sscc::hypergraph::generators;
+    use sscc::runtime::prelude::strike_some;
+    use sscc::token::TokenRing;
+    let h = Arc::new(generators::ring(6, 2));
+    for seed in 0..6u64 {
+        let ring = TokenRing::new(&h);
+        let mut sim = Sim::new(
+            Arc::clone(&h),
+            Cc2::new(),
+            ring,
+            default_daemon(seed, h.n()),
+            Box::new(EagerPolicy::new(h.n(), 1)),
+        );
+        // Warm up, then corrupt a third of the processes mid-flight.
+        sim.run(2_000);
+        strike_some(sim.world_mut(), seed, 0.33);
+        sim.reset_observers();
+        sim.run(10_000);
+        assert!(sim.monitor().clean(), "seed {seed}: {:?}", sim.monitor().violations());
+        assert!(sim.ledger().convened_count() > 0, "seed {seed}");
+    }
+}
