@@ -1,5 +1,7 @@
 //! Engine throughput: composed guard evaluation + atomic step rate for each
-//! algorithm as the system grows (rings of pair committees).
+//! algorithm as the system grows (rings of pair committees), comparing the
+//! incremental dirty-set scheduler against the legacy full-scan engine
+//! (differentially tested to be bit-identical).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use sscc_bench::{drive, rings};
@@ -31,5 +33,37 @@ fn engine_steps(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, engine_steps);
+/// Scaling comparison on large rings: full-scan vs incremental engine,
+/// n ∈ {24, 96, 384}. This is the acceptance benchmark of the incremental
+/// scheduler (≥ 3× steps/sec on the n=384 ring).
+fn engine_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_scaling_200");
+    g.sample_size(10);
+    for (name, h) in rings(&[24, 96, 384]) {
+        for algo in [AlgoKind::Cc1, AlgoKind::Cc2, AlgoKind::Cc3] {
+            for (mode, full_scan) in [("incremental", false), ("full-scan", true)] {
+                g.bench_function(format!("{}/{name}/{mode}", algo.label()), |b| {
+                    b.iter_batched(
+                        || {
+                            let mut sim = build_sim(
+                                algo,
+                                Arc::clone(&h),
+                                7,
+                                PolicyKind::Eager { max_disc: 1 },
+                                Boot::Clean,
+                            );
+                            sim.set_full_scan(full_scan);
+                            sim
+                        },
+                        |mut sim| drive(&mut sim, 200),
+                        BatchSize::SmallInput,
+                    )
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, engine_steps, engine_scaling);
 criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Records the performance trajectory of the step engine: steps/sec for
+//! every algorithm on growing rings, under both the incremental dirty-set
+//! scheduler and the legacy full-scan engine, written as machine-readable
+//! JSON (`BENCH_<N>.json`).
+//!
+//! ```sh
+//! cargo run -p sscc-bench --release --bin perf_record            # BENCH_1.json
+//! cargo run -p sscc-bench --release --bin perf_record -- out.json
+//! ```
+
+use sscc_hypergraph::generators;
+use sscc_metrics::{build_sim, AlgoKind, Boot, PolicyKind};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Record {
+    algo: &'static str,
+    topology: String,
+    n: usize,
+    mode: &'static str,
+    steps: u64,
+    secs: f64,
+}
+
+impl Record {
+    fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 / self.secs
+    }
+}
+
+/// Time `budget` steps of a fresh sim (after a small untimed warmup build),
+/// repeating `reps` times and keeping the best wall-clock run.
+fn measure(
+    algo: AlgoKind,
+    h: &Arc<sscc_hypergraph::Hypergraph>,
+    full_scan: bool,
+    budget: u64,
+    reps: usize,
+) -> (u64, f64) {
+    let mut best = f64::INFINITY;
+    let mut steps_done = 0;
+    for _ in 0..reps {
+        let mut sim = build_sim(
+            algo,
+            Arc::clone(h),
+            7,
+            PolicyKind::Eager { max_disc: 1 },
+            Boot::Clean,
+        );
+        sim.set_full_scan(full_scan);
+        let start = Instant::now();
+        let mut done = 0;
+        for _ in 0..budget {
+            if !sim.step() {
+                break;
+            }
+            done += 1;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+            steps_done = done;
+        }
+    }
+    (steps_done, best)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_1.json".to_string());
+    let ring_sizes = [24usize, 96, 384];
+    let budget = 2_000u64;
+    let reps = 3;
+
+    let mut records: Vec<Record> = Vec::new();
+    for &k in &ring_sizes {
+        let h = Arc::new(generators::ring(k, 2));
+        for algo in [AlgoKind::Cc1, AlgoKind::Cc2, AlgoKind::Cc3] {
+            for (mode, full_scan) in [("incremental", false), ("full_scan", true)] {
+                let (steps, secs) = measure(algo, &h, full_scan, budget, reps);
+                eprintln!(
+                    "{:>4} {} ring{k}x2 {:>11}: {:>12.0} steps/s",
+                    algo.label(),
+                    if full_scan { " " } else { "*" },
+                    mode,
+                    steps as f64 / secs
+                );
+                records.push(Record {
+                    algo: algo.label(),
+                    topology: format!("ring{k}x2"),
+                    n: h.n(),
+                    mode,
+                    steps,
+                    secs,
+                });
+            }
+        }
+    }
+
+    // Speedup summary per (algo, topology).
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"engine_steps\",\n");
+    let _ = writeln!(out, "  \"budget_steps\": {budget},");
+    let _ = writeln!(out, "  \"reps\": {reps},");
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"algo\": \"{}\", \"topology\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"steps\": {}, \"secs\": {:.6}, \"steps_per_sec\": {:.1}}}",
+            json_escape(r.algo),
+            json_escape(&r.topology),
+            r.n,
+            r.mode,
+            r.steps,
+            r.secs,
+            r.steps_per_sec()
+        );
+        out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"speedups\": [\n");
+    let mut lines = Vec::new();
+    for &k in &ring_sizes {
+        for algo in ["CC1", "CC2", "CC3"] {
+            let topo = format!("ring{k}x2");
+            let find = |mode: &str| {
+                records
+                    .iter()
+                    .find(|r| r.algo == algo && r.topology == topo && r.mode == mode)
+                    .map(Record::steps_per_sec)
+                    .unwrap_or(f64::NAN)
+            };
+            let speedup = find("incremental") / find("full_scan");
+            lines.push(format!(
+                "    {{\"algo\": \"{algo}\", \"topology\": \"{topo}\", \"incremental_over_full_scan\": {speedup:.2}}}"
+            ));
+        }
+    }
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+
+    std::fs::write(&out_path, out).expect("write bench record");
+    eprintln!("wrote {out_path}");
+}

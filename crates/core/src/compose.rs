@@ -73,7 +73,7 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Composed<C, TL> {
 
     /// Decode a composed action id.
     pub fn decode(a: ActionId) -> (Layer, ActionId) {
-        if a % 2 == 0 {
+        if a.is_multiple_of(2) {
             (Layer::A, a / 2)
         } else {
             (Layer::B, a / 2)

@@ -62,6 +62,9 @@ pub struct MeetingLedger {
     instances: Vec<MeetingInstance>,
     /// `live[e]` = index into `instances` of the live meeting of edge `e`.
     live: Vec<Option<usize>>,
+    /// Ascending edge ids of live meetings (maintained incrementally so
+    /// per-step consumers never scan all `|E|` edges).
+    live_sorted: Vec<EdgeId>,
     /// Per-process participation counter (meetings convened with them in).
     participations: Vec<u64>,
     /// Last step at which each process participated in a convene.
@@ -75,12 +78,14 @@ impl MeetingLedger {
         let mut ledger = MeetingLedger {
             instances: Vec::new(),
             live: vec![None; h.m()],
+            live_sorted: Vec::new(),
             participations: vec![0; h.n()],
             last_participation: vec![None; h.n()],
         };
         for e in h.edge_ids() {
             if edge_meets(h, initial, e) {
                 ledger.live[e.index()] = Some(ledger.instances.len());
+                ledger.live_sorted.push(e);
                 ledger.instances.push(MeetingInstance {
                     edge: e,
                     convened_step: None,
@@ -131,37 +136,99 @@ impl MeetingLedger {
         }
         // Convene / terminate detection.
         for e in h.edge_ids() {
-            let was = self.live[e.index()].is_some();
             debug_assert_eq!(
-                was,
+                self.live[e.index()].is_some(),
                 edge_meets(h, pre, e),
                 "ledger live-set is in sync with the configuration"
             );
-            let now = edge_meets(h, post, e);
-            if !was && now {
-                let idx = self.instances.len();
-                self.live[e.index()] = Some(idx);
-                self.instances.push(MeetingInstance {
-                    edge: e,
-                    convened_step: Some(step),
-                    convened_round: round,
-                    terminated_step: None,
-                    participants: h.members(e).to_vec(),
-                    essential: BTreeSet::new(),
-                    left_by: Vec::new(),
-                });
-                for &q in h.members(e) {
-                    self.participations[q] += 1;
-                    self.last_participation[q] = Some(step);
-                }
-                events.push(LedgerEvent::Convened(idx));
-            } else if was && !now {
-                let idx = self.live[e.index()].take().expect("was live");
-                self.instances[idx].terminated_step = Some(step);
-                events.push(LedgerEvent::Terminated(idx));
-            }
+            self.transition(h, post, e, step, round, &mut events);
         }
         events
+    }
+
+    /// Delta-aware variant of [`MeetingLedger::observe`]: only `touched`
+    /// edges (those incident to an executed process, ascending) can change
+    /// meets-status, so only they are re-checked — `O(affected)` instead of
+    /// `O(|E|)`. `executed` carries each action's semantic class and the
+    /// executing process's **pre-step** pointer (attribution target).
+    ///
+    /// Produces the exact event sequence of the full scan: `touched` is
+    /// ascending and unaffected edges cannot produce events.
+    pub fn observe_delta<S: CommitteeView>(
+        &mut self,
+        h: &Hypergraph,
+        post: &[S],
+        step: u64,
+        round: u64,
+        executed: &[(usize, ActionClass, Option<EdgeId>)],
+        touched: &[EdgeId],
+    ) -> Vec<LedgerEvent> {
+        let mut events = Vec::new();
+        for &(p, class, pointer) in executed {
+            match class {
+                ActionClass::Essential => {
+                    if let Some(e) = pointer {
+                        if let Some(idx) = self.live[e.index()] {
+                            self.instances[idx].essential.insert(p);
+                        }
+                    }
+                }
+                ActionClass::Leave => {
+                    if let Some(e) = pointer {
+                        if let Some(idx) = self.live[e.index()] {
+                            self.instances[idx].left_by.push(p);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        debug_assert!(touched.windows(2).all(|w| w[0] < w[1]), "touched ascending");
+        for &e in touched {
+            self.transition(h, post, e, step, round, &mut events);
+        }
+        events
+    }
+
+    /// Compare edge `e`'s recorded liveness with the configuration `post`
+    /// and record a convene/terminate transition if they differ.
+    fn transition<S: CommitteeView>(
+        &mut self,
+        h: &Hypergraph,
+        post: &[S],
+        e: EdgeId,
+        step: u64,
+        round: u64,
+        events: &mut Vec<LedgerEvent>,
+    ) {
+        let was = self.live[e.index()].is_some();
+        let now = edge_meets(h, post, e);
+        if !was && now {
+            let idx = self.instances.len();
+            self.live[e.index()] = Some(idx);
+            let at = self.live_sorted.partition_point(|&x| x < e);
+            self.live_sorted.insert(at, e);
+            self.instances.push(MeetingInstance {
+                edge: e,
+                convened_step: Some(step),
+                convened_round: round,
+                terminated_step: None,
+                participants: h.members(e).to_vec(),
+                essential: BTreeSet::new(),
+                left_by: Vec::new(),
+            });
+            for &q in h.members(e) {
+                self.participations[q] += 1;
+                self.last_participation[q] = Some(step);
+            }
+            events.push(LedgerEvent::Convened(idx));
+        } else if was && !now {
+            let idx = self.live[e.index()].take().expect("was live");
+            let at = self.live_sorted.binary_search(&e).expect("was in live set");
+            self.live_sorted.remove(at);
+            self.instances[idx].terminated_step = Some(step);
+            events.push(LedgerEvent::Terminated(idx));
+        }
     }
 
     /// All recorded instances, in creation order.
@@ -174,13 +241,16 @@ impl MeetingLedger {
         self.live[e.index()].map(|i| &self.instances[i])
     }
 
-    /// Committees currently meeting.
+    /// Committees currently meeting, ascending (owned copy; the hot path
+    /// uses [`MeetingLedger::live_edge_set`]).
     pub fn live_edges(&self) -> Vec<EdgeId> {
-        self.live
-            .iter()
-            .enumerate()
-            .filter_map(|(e, idx)| idx.map(|_| EdgeId(e as u32)))
-            .collect()
+        self.live_sorted.clone()
+    }
+
+    /// Committees currently meeting, ascending — borrowed from the
+    /// incrementally maintained set (`O(1)`, no scan, no allocation).
+    pub fn live_edge_set(&self) -> &[EdgeId] {
+        &self.live_sorted
     }
 
     /// Meetings convened after step 0 (covered by snap-stabilization).

@@ -29,26 +29,57 @@ pub trait RequestEnv {
 }
 
 /// Materialized predicate values for one step.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Tracks which processes' flags actually *flipped* since the last
+/// [`RequestFlags::drain_changed`], so the simulator can invalidate only
+/// the affected guards in the incremental engine.
+#[derive(Clone, Debug)]
 pub struct RequestFlags {
     r_in: Vec<bool>,
     r_out: Vec<bool>,
+    /// Processes whose flags flipped since the last drain.
+    changed: sscc_runtime::prelude::MarkSet,
 }
+
+impl PartialEq for RequestFlags {
+    fn eq(&self, other: &Self) -> bool {
+        // Change-tracking bookkeeping is not part of the observable value.
+        self.r_in == other.r_in && self.r_out == other.r_out
+    }
+}
+
+impl Eq for RequestFlags {}
 
 impl RequestFlags {
     /// Flags for `n` processes, initially all-in / none-out.
     pub fn new(n: usize) -> Self {
-        RequestFlags { r_in: vec![true; n], r_out: vec![false; n] }
+        RequestFlags {
+            r_in: vec![true; n],
+            r_out: vec![false; n],
+            changed: sscc_runtime::prelude::MarkSet::new(n),
+        }
     }
 
     /// Set `RequestIn(p)`.
     pub fn set_in(&mut self, p: usize, v: bool) {
-        self.r_in[p] = v;
+        if self.r_in[p] != v {
+            self.r_in[p] = v;
+            self.changed.insert(p);
+        }
     }
 
     /// Set `RequestOut(p)`.
     pub fn set_out(&mut self, p: usize, v: bool) {
-        self.r_out[p] = v;
+        if self.r_out[p] != v {
+            self.r_out[p] = v;
+            self.changed.insert(p);
+        }
+    }
+
+    /// Report (and forget) every process whose flags flipped since the last
+    /// drain. Returns how many there were.
+    pub fn drain_changed(&mut self, f: impl FnMut(usize)) -> usize {
+        self.changed.drain(f)
     }
 }
 

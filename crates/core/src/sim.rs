@@ -12,7 +12,7 @@ use crate::oracle::{OraclePolicy, PolicyView, RequestFlags};
 use crate::predicates;
 use crate::spec::SpecMonitor;
 use crate::status::{ActionClass, CommitteeView, Status};
-use sscc_hypergraph::Hypergraph;
+use sscc_hypergraph::{EdgeId, Hypergraph};
 use sscc_runtime::prelude::*;
 use sscc_token::TokenLayer;
 use std::sync::Arc;
@@ -27,6 +27,14 @@ pub enum StopReason {
 }
 
 /// A running composed simulation with full observability.
+///
+/// The step loop is **delta-aware** by default: it keeps a persistent
+/// mirror of the committee-layer configuration and the [`PolicyView`]
+/// caches, updating only the entries touched by executed processes, and
+/// feeds the ledger/monitor only the affected edges — `O(affected)` per
+/// step, against the engine's incremental guard scheduler. The legacy
+/// full-scan path (whole-configuration clones and `O(n + |E|)` observers)
+/// is kept behind [`Sim::set_full_scan`] for differential testing.
 pub struct Sim<C: CommitteeAlgorithm, TL: TokenLayer> {
     world: World<Composed<C, TL>>,
     daemon: Box<dyn Daemon>,
@@ -36,6 +44,24 @@ pub struct Sim<C: CommitteeAlgorithm, TL: TokenLayer> {
     ledger: MeetingLedger,
     monitor: SpecMonitor,
     trace: Option<Trace>,
+    /// Use the legacy full-scan step path (differential reference).
+    naive: bool,
+    /// Reused step outcome (no per-step allocation).
+    out: StepOutcome,
+    /// Persistent mirror of the committee-layer configuration.
+    cc_view: Vec<C::State>,
+    /// Maintained status / `Meeting(p)` caches fed to the policy.
+    view: PolicyView,
+    /// Scratch: executed process indices of the current step.
+    executed_procs: Vec<usize>,
+    /// Scratch: committee actions with pre-step pointers (ledger input).
+    executed_cc: Vec<(usize, ActionClass, Option<EdgeId>)>,
+    /// Scratch: edges incident to an executed process (ascending), with the
+    /// dedup set backing it.
+    touched_edges: Vec<EdgeId>,
+    touched_mark: MarkSet,
+    /// Scratch: processes whose `Meeting(p)` cache must be recomputed.
+    recheck: MarkSet,
 }
 
 impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
@@ -74,6 +100,7 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         mut policy: Box<dyn OraclePolicy>,
     ) -> Self {
         let n = world.h().n();
+        let m = world.h().m();
         let initial_cc: Vec<C::State> =
             world.states().iter().map(|s| s.cc.clone()).collect();
         let ledger = MeetingLedger::new(world.h(), &initial_cc);
@@ -88,6 +115,9 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
                 .collect(),
         };
         policy.update(&mut flags, &view);
+        // The world boots with every guard dirty; the priming flips need no
+        // extra invalidation — just clear the change log.
+        flags.drain_changed(|_| {});
         Sim {
             world,
             daemon,
@@ -97,7 +127,26 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
             ledger,
             monitor: SpecMonitor::new(),
             trace: None,
+            naive: false,
+            out: StepOutcome::default(),
+            cc_view: initial_cc,
+            view,
+            executed_procs: Vec::new(),
+            executed_cc: Vec::new(),
+            touched_edges: Vec::new(),
+            touched_mark: MarkSet::new(m),
+            recheck: MarkSet::new(n),
         }
+    }
+
+    /// Switch to the legacy full-scan step path: the engine re-evaluates
+    /// every guard each step and the observers re-derive their views from
+    /// whole-configuration clones. Produces bit-identical executions to the
+    /// default incremental path — kept as the differential-testing
+    /// reference. Choose a mode before the first step.
+    pub fn set_full_scan(&mut self, on: bool) {
+        self.naive = on;
+        self.world.set_full_scan(on);
     }
 
     /// Record a full action trace (off by default; memory grows with run
@@ -139,6 +188,15 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         self.ledger = MeetingLedger::new(self.world.h(), &initial_cc);
         self.monitor = SpecMonitor::new();
         self.rounds = RoundTracker::new();
+        // External surgery invalidates every maintained cache.
+        self.view = PolicyView {
+            status: initial_cc.iter().map(|s| s.status()).collect(),
+            in_meeting: (0..initial_cc.len())
+                .map(|p| predicates::participates(self.world.h(), &initial_cc, p))
+                .collect(),
+        };
+        self.cc_view = initial_cc;
+        self.world.invalidate_all();
     }
 
     /// Overwrite the committee-layer state of process `p`, keeping its
@@ -147,6 +205,14 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         let mut s = self.world.state(p).clone();
         s.cc = cc;
         self.world.set_state(p, s);
+        // Keep the maintained caches coherent (the ledger baseline still
+        // needs [`Sim::reset_observers`], as documented).
+        self.cc_view[p] = self.world.state(p).cc.clone();
+        self.view.status[p] = self.cc_view[p].status();
+        for &q in self.world.h().closed_neighborhood(p) {
+            self.view.in_meeting[q] =
+                predicates::participates(self.world.h(), &self.cc_view, q);
+        }
     }
 
     /// The meeting ledger.
@@ -189,15 +255,119 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     /// (which evolves independently of the processes — `RequestOut` comes
     /// from the application, §2.3) does not re-enable anyone.
     pub fn step(&mut self) -> bool {
-        let pre = self.cc_states();
-        let out = self.world.step(&mut *self.daemon, &self.flags);
-        self.rounds.begin_step(&out.enabled);
-        if out.terminal() {
+        if self.naive {
+            self.step_full_scan()
+        } else {
+            self.step_incremental()
+        }
+    }
+
+    /// The delta-aware step: `O(affected)` observer and cache maintenance.
+    fn step_incremental(&mut self) -> bool {
+        // Apply environment invalidations recorded since the last step —
+        // the policy update at the end of the previous step, or external
+        // scripting through [`Sim::flags_mut`] — *before* the engine
+        // refreshes its guard cache. (The full-scan engine re-evaluates
+        // everything each step and needs no notice.)
+        {
+            let world = &mut self.world;
+            self.flags.drain_changed(|p| world.invalidate_env_of(p));
+        }
+        self.world.step_into(&mut *self.daemon, &self.flags, &mut self.out);
+        self.rounds.begin_step(&self.out.enabled);
+        if self.out.terminal() {
             // Let the environment tick: e.g. a meeting of all-done members
             // whose RequestOut has not been raised yet leaves the system
             // momentarily disabled, not deadlocked. The policy's declared
             // horizon bounds how long flags may still evolve with statuses
             // frozen; past it the configuration is truly quiescent.
+            // Statuses frozen ⇒ the maintained view is already current.
+            for _ in 0..self.policy.quiescence_horizon() {
+                self.policy.update(&mut self.flags, &self.view);
+                let world = &mut self.world;
+                self.flags.drain_changed(|p| world.invalidate_env_of(p));
+                if !world.enabled_now(&self.flags).is_empty() {
+                    return true;
+                }
+            }
+            return false;
+        }
+        // Collect executed processes, their committee actions (with
+        // *pre-step* pointers, read from the not-yet-updated mirror), the
+        // incident edges whose meets-status may have changed, and the
+        // processes whose `Meeting(p)` cache entry may have changed.
+        self.executed_procs.clear();
+        self.executed_cc.clear();
+        self.touched_edges.clear();
+        for &(p, a) in &self.out.executed {
+            self.executed_procs.push(p);
+            if let Some(i) = Composed::<C, TL>::committee_action(a) {
+                let class = self.world.algo().cc.action_class(i);
+                self.executed_cc.push((p, class, self.cc_view[p].pointer()));
+            }
+            for &e in self.world.h().incident(p) {
+                if self.touched_mark.insert(e.index()) {
+                    self.touched_edges.push(e);
+                }
+            }
+            for &q in self.world.h().closed_neighborhood(p) {
+                self.recheck.insert(q);
+            }
+        }
+        self.touched_edges.sort_unstable();
+        self.recheck.sort();
+        self.rounds.record_executed(&self.executed_procs);
+        let step_idx = self.world.steps() - 1;
+
+        // Refresh the committee-layer mirror for executed processes only.
+        for &p in &self.executed_procs {
+            self.cc_view[p] = self.world.state(p).cc.clone();
+        }
+        let events = self.ledger.observe_delta(
+            self.world.h(),
+            &self.cc_view,
+            step_idx,
+            self.rounds.rounds(),
+            &self.executed_cc,
+            &self.touched_edges,
+        );
+        self.monitor.observe_incremental(
+            self.world.h(),
+            &self.cc_view,
+            step_idx,
+            &self.ledger,
+            &events,
+        );
+
+        // Maintain the policy view: statuses change only for executed
+        // processes, `Meeting(q)` only inside their footprints.
+        for &p in &self.executed_procs {
+            self.view.status[p] = self.cc_view[p].status();
+        }
+        for &q in self.recheck.as_slice() {
+            self.view.in_meeting[q] =
+                predicates::participates(self.world.h(), &self.cc_view, q);
+        }
+        self.touched_mark.clear();
+        self.recheck.clear();
+        // The resulting flag flips are drained (into engine invalidations)
+        // at the start of the next step.
+        self.policy.update(&mut self.flags, &self.view);
+
+        if let Some(t) = &mut self.trace {
+            t.record(step_idx, self.rounds.rounds(), &self.out.executed);
+        }
+        true
+    }
+
+    /// The legacy full-scan step: whole-configuration clones, `O(n + |E|)`
+    /// observers and view rebuilds. Kept as the differential-testing
+    /// reference for [`Sim::step_incremental`].
+    fn step_full_scan(&mut self) -> bool {
+        let pre = self.cc_states();
+        let out = self.world.step(&mut *self.daemon, &self.flags);
+        self.rounds.begin_step(&out.enabled);
+        if out.terminal() {
             let view = PolicyView {
                 status: pre.iter().map(|s| s.status()).collect(),
                 in_meeting: (0..pre.len())
@@ -206,6 +376,7 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
             };
             for _ in 0..self.policy.quiescence_horizon() {
                 self.policy.update(&mut self.flags, &view);
+                self.flags.drain_changed(|_| {});
                 if !self.world.enabled(&self.flags).is_empty() {
                     return true;
                 }
@@ -243,6 +414,7 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
                 .collect(),
         };
         self.policy.update(&mut self.flags, &view);
+        self.flags.drain_changed(|_| {});
 
         if let Some(t) = &mut self.trace {
             t.record(step_idx, self.rounds.rounds(), &out.executed);

@@ -103,7 +103,39 @@ impl SpecMonitor {
         ledger: &MeetingLedger,
         events: &[LedgerEvent],
     ) {
-        self.check_exclusion(h, post, step);
+        self.check_exclusion_among(h, &crate::predicates::meeting_edges(h, post), step);
+        self.observe_events(post, step, ledger, events);
+    }
+
+    /// Delta-aware variant of [`SpecMonitor::observe`]: the meeting set is
+    /// borrowed from the ledger's incrementally maintained live set
+    /// (identical, ascending — the ledger keeps it in sync with the
+    /// configuration) instead of a full `O(|E|)` scan. Emits the exact
+    /// violation sequence of the full scan.
+    pub fn observe_incremental<S: CommitteeView>(
+        &mut self,
+        h: &Hypergraph,
+        post: &[S],
+        step: u64,
+        ledger: &MeetingLedger,
+        events: &[LedgerEvent],
+    ) {
+        debug_assert_eq!(
+            ledger.live_edge_set(),
+            crate::predicates::meeting_edges(h, post),
+            "ledger live-set is in sync with the configuration"
+        );
+        self.check_exclusion_among(h, ledger.live_edge_set(), step);
+        self.observe_events(post, step, ledger, events);
+    }
+
+    fn observe_events<S: CommitteeView>(
+        &mut self,
+        post: &[S],
+        step: u64,
+        ledger: &MeetingLedger,
+        events: &[LedgerEvent],
+    ) {
         for &ev in events {
             match ev {
                 LedgerEvent::Convened(idx) => {
@@ -147,8 +179,7 @@ impl SpecMonitor {
         }
     }
 
-    fn check_exclusion<S: CommitteeView>(&mut self, h: &Hypergraph, post: &[S], step: u64) {
-        let meeting = crate::predicates::meeting_edges(h, post);
+    fn check_exclusion_among(&mut self, h: &Hypergraph, meeting: &[EdgeId], step: u64) {
         for (i, &a) in meeting.iter().enumerate() {
             for &b in &meeting[i + 1..] {
                 if h.conflicting(a, b) {

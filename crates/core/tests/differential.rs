@@ -1,0 +1,247 @@
+//! Differential test: the incremental (dirty-set) engine and the legacy
+//! full-scan engine must produce **bit-identical executions** — same
+//! executed-action traces, same ledger contents, same monitor verdicts,
+//! same round counts, same final configurations — on every algorithm,
+//! topology, boot mode and seed.
+//!
+//! This is the correctness bar of the incremental scheduler: it is a pure
+//! optimization, invisible to every observer.
+
+use sscc_core::sim::{default_daemon, Sim};
+use sscc_core::{Cc1, Cc2, Cc3, CommitteeAlgorithm, EagerPolicy};
+use sscc_hypergraph::{generators, Hypergraph};
+use sscc_token::{TokenLayer, WaveToken};
+use std::sync::Arc;
+
+fn topologies() -> Vec<(&'static str, Arc<Hypergraph>)> {
+    vec![
+        ("fig1", Arc::new(generators::fig1())),
+        ("fig2", Arc::new(generators::fig2())),
+        ("ring6x2", Arc::new(generators::ring(6, 2))),
+        ("random", Arc::new(generators::random_uniform(8, 6, 3, 12))),
+    ]
+}
+
+/// Drive an incremental and a full-scan twin in lockstep and assert every
+/// observable agrees, stepwise and at the end.
+fn assert_equivalent<C, TL>(
+    mk: impl Fn() -> Sim<C, TL>,
+    budget: u64,
+    label: &str,
+) where
+    C: CommitteeAlgorithm,
+    TL: TokenLayer,
+{
+    let mut inc = mk();
+    let mut full = mk();
+    full.set_full_scan(true);
+    inc.enable_trace();
+    full.enable_trace();
+    for step in 0..budget {
+        let a = inc.step();
+        let b = full.step();
+        assert_eq!(a, b, "{label}: step {step} progress disagrees");
+        assert_eq!(
+            inc.cc_states(),
+            full.cc_states(),
+            "{label}: step {step} configurations diverge"
+        );
+        if !a {
+            break;
+        }
+    }
+    assert_eq!(inc.steps(), full.steps(), "{label}: step counts");
+    assert_eq!(inc.rounds(), full.rounds(), "{label}: round counts");
+    assert_eq!(
+        inc.trace().unwrap().events(),
+        full.trace().unwrap().events(),
+        "{label}: executed-action traces"
+    );
+    assert_eq!(
+        inc.ledger().instances(),
+        full.ledger().instances(),
+        "{label}: ledger instances"
+    );
+    assert_eq!(
+        inc.ledger().participations(),
+        full.ledger().participations(),
+        "{label}: participation counters"
+    );
+    assert_eq!(
+        inc.monitor().violations(),
+        full.monitor().violations(),
+        "{label}: monitor verdicts"
+    );
+    assert_eq!(inc.statuses(), full.statuses(), "{label}: final statuses");
+    assert_eq!(inc.flags(), full.flags(), "{label}: request flags");
+}
+
+macro_rules! differential_suite {
+    ($name:ident, $cc:expr, $algo:literal) => {
+        #[test]
+        fn $name() {
+            for (topo, h) in topologies() {
+                let n = h.n();
+                for seed in 0..20u64 {
+                    // Clean boot.
+                    let hh = Arc::clone(&h);
+                    assert_equivalent(
+                        move || {
+                            Sim::new(
+                                Arc::clone(&hh),
+                                $cc,
+                                WaveToken::new(&hh),
+                                default_daemon(seed, n),
+                                Box::new(EagerPolicy::new(n, 1)),
+                            )
+                        },
+                        400,
+                        &format!("{}/{topo}/clean/seed{seed}", $algo),
+                    );
+                    // Arbitrary boot (snap-stabilization: start anywhere).
+                    let hh = Arc::clone(&h);
+                    assert_equivalent(
+                        move || {
+                            Sim::arbitrary(
+                                Arc::clone(&hh),
+                                $cc,
+                                WaveToken::new(&hh),
+                                default_daemon(seed, n),
+                                Box::new(EagerPolicy::new(n, 1)),
+                                seed,
+                            )
+                        },
+                        400,
+                        &format!("{}/{topo}/arbitrary/seed{seed}", $algo),
+                    );
+                }
+            }
+        }
+    };
+}
+
+differential_suite!(cc1_incremental_matches_full_scan, Cc1::new(), "CC1");
+differential_suite!(cc2_incremental_matches_full_scan, Cc2::new(), "CC2");
+differential_suite!(cc3_incremental_matches_full_scan, Cc3::new_cc3(), "CC3");
+
+/// The `Selection::All` fast path (synchronous daemon — no subset `Vec`
+/// round-trip, `WeaklyFair` bypass) must also be trace-identical.
+#[test]
+fn synchronous_daemon_agrees() {
+    use sscc_runtime::prelude::Synchronous;
+    for (topo, h) in topologies() {
+        let n = h.n();
+        for (name, cc1, cc2) in [("clean", true, false), ("clean2", false, true)] {
+            for seed in 0..5u64 {
+                let hh = Arc::clone(&h);
+                if cc1 {
+                    assert_equivalent(
+                        move || {
+                            Sim::new(
+                                Arc::clone(&hh),
+                                Cc1::new(),
+                                WaveToken::new(&hh),
+                                Box::new(Synchronous),
+                                Box::new(EagerPolicy::new(n, seed)),
+                            )
+                        },
+                        300,
+                        &format!("CC1/{topo}/sync/{name}/disc{seed}"),
+                    );
+                } else if cc2 {
+                    assert_equivalent(
+                        move || {
+                            Sim::new(
+                                Arc::clone(&hh),
+                                Cc2::new(),
+                                WaveToken::new(&hh),
+                                Box::new(Synchronous),
+                                Box::new(EagerPolicy::new(n, seed)),
+                            )
+                        },
+                        300,
+                        &format!("CC2/{topo}/sync/{name}/disc{seed}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// External environment scripting through [`Sim::flags_mut`] between steps
+/// must reach the incremental engine before the next guard refresh — the
+/// two engines must agree even when flags are flipped behind the policy's
+/// back (walkthrough scripting, e.g. the Figure 3 replay).
+#[test]
+fn scripted_flag_flips_between_steps_agree() {
+    let h = Arc::new(generators::fig1());
+    let n = h.n();
+    for seed in 0..10u64 {
+        let mk = || {
+            Sim::new(
+                Arc::clone(&h),
+                Cc1::new(),
+                WaveToken::new(&h),
+                default_daemon(seed, n),
+                Box::new(sscc_core::ScriptedPolicy::new(vec![false; n], 1)),
+            )
+        };
+        let mut inc = mk();
+        let mut full = mk();
+        full.set_full_scan(true);
+        inc.enable_trace();
+        full.enable_trace();
+        for step in 0..300u64 {
+            // Script: wake professor (step % n) up for 3 steps, then drop
+            // the request again — identical mutations on both twins.
+            let p = (step as usize) % n;
+            let want = step % 6 < 3;
+            inc.flags_mut().set_in(p, want);
+            full.flags_mut().set_in(p, want);
+            let a = inc.step();
+            let b = full.step();
+            assert_eq!(a, b, "seed {seed}: step {step} progress disagrees");
+            assert_eq!(
+                inc.cc_states(),
+                full.cc_states(),
+                "seed {seed}: step {step} configurations diverge"
+            );
+        }
+        assert_eq!(
+            inc.trace().unwrap().events(),
+            full.trace().unwrap().events(),
+            "seed {seed}: traces"
+        );
+        assert_eq!(inc.rounds(), full.rounds(), "seed {seed}: rounds");
+        assert_eq!(
+            inc.monitor().violations(),
+            full.monitor().violations(),
+            "seed {seed}: verdicts"
+        );
+    }
+}
+
+/// The terminal/quiescence-horizon path must agree too: a scripted
+/// environment in which nobody ever requests quiesces immediately under
+/// both engines, after identical environment ticks.
+#[test]
+fn quiescent_environment_agrees() {
+    let h = Arc::new(generators::fig2());
+    let n = h.n();
+    for seed in 0..20u64 {
+        let hh = Arc::clone(&h);
+        assert_equivalent(
+            move || {
+                Sim::new(
+                    Arc::clone(&hh),
+                    Cc1::new(),
+                    WaveToken::new(&hh),
+                    default_daemon(seed, n),
+                    Box::new(sscc_core::ScriptedPolicy::new(vec![false; n], 1)),
+                )
+            },
+            200,
+            &format!("CC1/fig2/no-requests/seed{seed}"),
+        );
+    }
+}

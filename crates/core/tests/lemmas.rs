@@ -107,10 +107,10 @@ fn lemma11_token_keeps_moving_under_cc2() {
         let toks: Vec<_> = sim.world().states().iter().map(|s| s.tok).collect();
         use sscc_runtime::prelude::{Ctx, SliceAccess};
         let acc = SliceAccess(&toks);
-        for p in 0..h.n() {
+        for (p, held_p) in held.iter_mut().enumerate() {
             let ctx: Ctx<'_, sscc_token::WaveState, ()> = Ctx::new(&h, p, &acc, &());
             if sscc_token::TokenLayer::token(&wave, &ctx) {
-                held[p] = true;
+                *held_p = true;
             }
         }
         if held.iter().all(|&x| x) {

@@ -79,6 +79,14 @@ pub struct Hypergraph {
     incident: Box<[Box<[EdgeId]>]>,
     /// For each dense vertex index, the sorted neighbor dense indices `N(v)`.
     neighbors: Box<[Box<[usize]>]>,
+    /// For each dense vertex index, the sorted *closed* neighborhood
+    /// `N[v] = {v} ∪ N(v)` — the dependency footprint of a guard evaluated
+    /// at `v` in the locally shared memory model, cached for the runtime's
+    /// incremental scheduler.
+    closed_nbhd: Box<[Box<[usize]>]>,
+    /// Identity table `[0, 1, …, n-1]`; `&identity[v..=v]` is the borrowed
+    /// singleton slice `[v]` (allocation-free footprints).
+    identity: Box<[usize]>,
 }
 
 impl Hypergraph {
@@ -138,14 +146,28 @@ impl Hypergraph {
             }
         }
 
+        let neighbors: Box<[Box<[usize]>]> = nbr_sets
+            .into_iter()
+            .map(|s| s.into_iter().collect::<Box<[usize]>>())
+            .collect();
+        let closed_nbhd: Box<[Box<[usize]>]> = neighbors
+            .iter()
+            .enumerate()
+            .map(|(v, nbrs)| {
+                let mut closed = Vec::with_capacity(nbrs.len() + 1);
+                closed.extend_from_slice(nbrs);
+                let at = closed.partition_point(|&u| u < v);
+                closed.insert(at, v);
+                closed.into_boxed_slice()
+            })
+            .collect();
         let g = Hypergraph {
             ids,
             edges: edges.into_boxed_slice(),
             incident: incident.into_iter().map(Vec::into_boxed_slice).collect(),
-            neighbors: nbr_sets
-                .into_iter()
-                .map(|s| s.into_iter().collect::<Box<[usize]>>())
-                .collect(),
+            neighbors,
+            closed_nbhd,
+            identity: (0..n).collect(),
         };
         if !g.is_connected() {
             return Err(HypergraphError::Disconnected);
@@ -216,6 +238,24 @@ impl Hypergraph {
     #[inline]
     pub fn neighbors(&self, v: usize) -> &[usize] {
         &self.neighbors[v]
+    }
+
+    /// Closed neighborhood `N[v] = {v} ∪ N(v)` as dense indices, ascending.
+    ///
+    /// This is the *dependency footprint* of `v`: in the locally shared
+    /// memory model, a state change of `v` can only affect the guards of
+    /// processes in `N[v]` (§2.2 locality). Cached at construction so the
+    /// incremental scheduler never allocates on the hot path.
+    #[inline]
+    pub fn closed_neighborhood(&self, v: usize) -> &[usize] {
+        &self.closed_nbhd[v]
+    }
+
+    /// The singleton slice `[v]`, borrowed from a cached identity table
+    /// (allocation-free way to return "just `v`" as a footprint).
+    #[inline]
+    pub fn singleton(&self, v: usize) -> &[usize] {
+        &self.identity[v..=v]
     }
 
     /// Whether processes at dense indices `u` and `v` are neighbors.
@@ -438,6 +478,28 @@ mod tests {
         assert_eq!(h.id(2), ProcessId(2000));
         assert!(h.are_neighbors(h.dense_of(100), h.dense_of(7)));
         assert!(!h.are_neighbors(h.dense_of(100), h.dense_of(2000)));
+    }
+
+    #[test]
+    fn closed_neighborhood_is_sorted_and_contains_self() {
+        let h = fig1();
+        for v in 0..h.n() {
+            let closed = h.closed_neighborhood(v);
+            assert!(closed.windows(2).all(|w| w[0] < w[1]), "sorted, dedup");
+            assert!(closed.contains(&v), "contains self");
+            assert_eq!(closed.len(), h.neighbors(v).len() + 1);
+            for &u in closed {
+                assert!(u == v || h.are_neighbors(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_slices() {
+        let h = fig1();
+        for v in 0..h.n() {
+            assert_eq!(h.singleton(v), &[v]);
+        }
     }
 
     #[test]

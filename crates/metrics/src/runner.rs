@@ -139,6 +139,13 @@ impl AnySim {
         dispatch!(self, s => s.step())
     }
 
+    /// Switch between the incremental engine (default) and the legacy
+    /// full-scan engine — the benches compare both, and they are
+    /// differentially tested to be bit-identical. Choose before stepping.
+    pub fn set_full_scan(&mut self, on: bool) {
+        dispatch!(self, s => s.set_full_scan(on))
+    }
+
     /// Run until terminal or budget.
     pub fn run(&mut self, budget: u64) -> StopReason {
         dispatch!(self, s => s.run(budget))

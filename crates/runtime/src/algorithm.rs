@@ -56,6 +56,30 @@ pub trait GuardedAlgorithm {
     /// atomic with the guard evaluation: the whole step reads the pre-step
     /// configuration (composite atomicity).
     fn execute(&self, ctx: &Ctx<'_, Self::State, Self::Env>, a: ActionId) -> Self::State;
+
+    /// **Dependency footprint**: the processes whose priority guard may
+    /// change enabledness when the *state* of `p` changes, ascending.
+    ///
+    /// The incremental scheduler re-evaluates exactly this set after `p`
+    /// executes, instead of scanning all `n` guards. The default — the
+    /// closed hyperedge neighborhood `N[p]` — is correct for every
+    /// algorithm expressible in the locally shared memory model, because
+    /// guards may only read the closed neighborhood of their own process
+    /// (§2.2, enforced by [`Ctx`]). Override only to declare a *tighter*
+    /// footprint; returning a superset is always safe, a subset is not.
+    fn state_footprint<'h>(&self, h: &'h Hypergraph, p: usize) -> &'h [usize] {
+        h.closed_neighborhood(p)
+    }
+
+    /// The processes whose priority guard may change enabledness when the
+    /// *environment inputs* of `p` change (e.g. `p`'s request flags).
+    ///
+    /// Default: `p` alone — external inputs are per-process in the model
+    /// (`RequestIn(p)` is read only by `p` itself). Override with a wider
+    /// set if an algorithm's guards read neighbors' environment inputs.
+    fn env_footprint<'h>(&self, h: &'h Hypergraph, p: usize) -> &'h [usize] {
+        h.singleton(p)
+    }
 }
 
 #[cfg(test)]

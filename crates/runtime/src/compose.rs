@@ -84,7 +84,7 @@ impl<PA, PB> FairPair<PA, PB> {
 
     /// Decode a composed action id into `(layer, inner id)`.
     pub fn decode(a: ActionId) -> (Layer, ActionId) {
-        if a % 2 == 0 {
+        if a.is_multiple_of(2) {
             (Layer::A, a / 2)
         } else {
             (Layer::B, a / 2)

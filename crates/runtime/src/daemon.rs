@@ -10,6 +10,16 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// A daemon's choice for one step, in a form that lets "select everything"
+/// daemons avoid materializing a copy of the enabled set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Selection {
+    /// Every enabled process moves (synchronous-style) — no allocation.
+    All,
+    /// An explicit subset (the engine sorts, dedups and validates it).
+    Subset(Vec<usize>),
+}
+
 /// A scheduler choosing, at each step, which enabled processes move.
 ///
 /// Contract: the returned vector is a non-empty subset of `enabled`
@@ -17,6 +27,14 @@ use rand::{Rng, SeedableRng};
 pub trait Daemon {
     /// Choose the processes to activate this step.
     fn select(&mut self, enabled: &[usize]) -> Vec<usize>;
+
+    /// Allocation-aware variant used by the engine's hot loop: daemons that
+    /// select the whole enabled set can return [`Selection::All`] and skip
+    /// the round-trip through a fresh `Vec`. The default defers to
+    /// [`Daemon::select`].
+    fn select_step(&mut self, enabled: &[usize]) -> Selection {
+        Selection::Subset(self.select(enabled))
+    }
 }
 
 /// The synchronous daemon: every enabled process moves every step.
@@ -27,6 +45,14 @@ pub struct Synchronous;
 impl Daemon for Synchronous {
     fn select(&mut self, enabled: &[usize]) -> Vec<usize> {
         enabled.to_vec()
+    }
+
+    fn select_step(&mut self, enabled: &[usize]) -> Selection {
+        if enabled.is_empty() {
+            Selection::Subset(Vec::new())
+        } else {
+            Selection::All
+        }
     }
 }
 
@@ -92,60 +118,121 @@ impl Daemon for DistributedRandom {
 /// force-includes any process that has been continuously enabled (without
 /// being selected) for more than `bound` steps. With `bound = 0` every
 /// continuously enabled process moves every step.
+///
+/// Bookkeeping is `O(|enabled| + |picked|)` per step (reused scratch
+/// bitmaps, a nonzero-age worklist), not `O(n · |picked|)` — the wrapper
+/// must not dominate the incremental engine it schedules for.
 #[derive(Debug)]
 pub struct WeaklyFair<D> {
     inner: D,
     bound: usize,
     /// age[p] = consecutive steps p has been enabled without being selected.
     age: Vec<usize>,
+    /// Processes with nonzero age (the only ones needing reset work).
+    nonzero: Vec<usize>,
+    /// Scratch: membership bitmap of the current selection.
+    in_picked: Vec<bool>,
+    /// Scratch: membership bitmap of the current enabled set.
+    in_enabled: Vec<bool>,
 }
 
 impl<D: Daemon> WeaklyFair<D> {
     /// Wrap `inner`, forcing selection after `bound` steps of continuous
     /// enabledness.
     pub fn new(inner: D, bound: usize) -> Self {
-        WeaklyFair { inner, bound, age: Vec::new() }
+        WeaklyFair {
+            inner,
+            bound,
+            age: Vec::new(),
+            nonzero: Vec::new(),
+            in_picked: Vec::new(),
+            in_enabled: Vec::new(),
+        }
     }
 
     /// The wrapped daemon.
     pub fn inner(&self) -> &D {
         &self.inner
     }
+
+    fn reserve(&mut self, n: usize) {
+        if self.age.len() < n {
+            self.age.resize(n, 0);
+            self.in_picked.resize(n, false);
+            self.in_enabled.resize(n, false);
+        }
+    }
+
+    fn reset_all_ages(&mut self) {
+        for p in self.nonzero.drain(..) {
+            self.age[p] = 0;
+        }
+    }
 }
 
 impl<D: Daemon> Daemon for WeaklyFair<D> {
     fn select(&mut self, enabled: &[usize]) -> Vec<usize> {
+        match self.select_step(enabled) {
+            Selection::All => enabled.to_vec(),
+            Selection::Subset(v) => v,
+        }
+    }
+
+    fn select_step(&mut self, enabled: &[usize]) -> Selection {
         if enabled.is_empty() {
             // Everything quiescent: ages reset.
-            self.age.iter_mut().for_each(|a| *a = 0);
-            return Vec::new();
+            self.reset_all_ages();
+            return Selection::Subset(Vec::new());
         }
         let n = enabled.iter().copied().max().unwrap() + 1;
-        if self.age.len() < n {
-            self.age.resize(n, 0);
+        self.reserve(n);
+        let mut picked = match self.inner.select_step(enabled) {
+            Selection::All => {
+                // Everyone moves: nothing to force, every age resets.
+                self.reset_all_ages();
+                return Selection::All;
+            }
+            Selection::Subset(v) => v,
+        };
+        for &p in &picked {
+            self.in_picked[p] = true;
         }
-        let mut picked = self.inner.select(enabled);
-        // Force over-age processes in.
+        // Force over-age processes in (ascending, like the enabled set).
         for &p in enabled {
-            if self.age[p] >= self.bound && !picked.contains(&p) {
+            if self.age[p] >= self.bound && !self.in_picked[p] {
                 picked.push(p);
+                self.in_picked[p] = true;
             }
         }
-        // Age bookkeeping: enabled-and-unselected age, others reset.
-        let mut is_enabled = vec![false; self.age.len()];
+        // Age bookkeeping: enabled-and-unselected processes age, everything
+        // else resets. Only previously-nonzero or currently-enabled entries
+        // can change, so the scan is O(|enabled| + |nonzero|).
         for &p in enabled {
-            if p < is_enabled.len() {
-                is_enabled[p] = true;
+            self.in_enabled[p] = true;
+        }
+        for i in (0..self.nonzero.len()).rev() {
+            let p = self.nonzero[i];
+            if !self.in_enabled[p] || self.in_picked[p] {
+                self.age[p] = 0;
+                self.nonzero.swap_remove(i);
             }
         }
-        for (p, a) in self.age.iter_mut().enumerate() {
-            if is_enabled[p] && !picked.contains(&p) {
-                *a += 1;
-            } else {
-                *a = 0;
+        for &p in enabled {
+            if !self.in_picked[p] {
+                if self.age[p] == 0 {
+                    self.nonzero.push(p);
+                }
+                self.age[p] += 1;
             }
         }
-        picked
+        // Clear scratch for the next step.
+        for &p in &picked {
+            self.in_picked[p] = false;
+        }
+        for &p in enabled {
+            self.in_enabled[p] = false;
+        }
+        Selection::Subset(picked)
     }
 }
 

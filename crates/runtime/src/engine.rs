@@ -1,19 +1,34 @@
 //! The execution engine: configurations, atomic steps, termination.
 //!
 //! A *configuration* is the vector of all process states. A *step* evaluates
-//! every guard against the pre-step configuration, lets the daemon select a
+//! guards against the pre-step configuration, lets the daemon select a
 //! non-empty subset of the enabled processes, and then applies the selected
 //! statements **atomically** (composite atomicity: every statement reads the
 //! pre-step configuration). This is exactly the paper's `γ -> γ'` relation.
+//!
+//! ## Incremental scheduling
+//!
+//! Guard evaluation is the hot path, and in a locally-checkable system a
+//! step by process `p` can only change the enabledness of processes in
+//! `p`'s dependency footprint (its closed hyperedge neighborhood by
+//! default — see [`GuardedAlgorithm::state_footprint`]). The engine
+//! therefore keeps a persistent per-process cache of priority actions plus
+//! a dirty set, and re-evaluates only the footprints of executed processes
+//! (plus explicitly invalidated ones, e.g. after environment changes
+//! reported through [`World::invalidate_env_of`]). The result is
+//! `O(affected)` work per step instead of `O(n)`, with **bit-identical**
+//! [`StepOutcome`] sequences to the full-scan path — enforce it with
+//! [`World::set_full_scan`] plus a differential test.
 
 use crate::algorithm::{ActionId, GuardedAlgorithm};
 use crate::ctx::Ctx;
-use crate::daemon::Daemon;
+use crate::daemon::{Daemon, Selection};
+use crate::markset::MarkSet;
 use sscc_hypergraph::Hypergraph;
 use std::sync::Arc;
 
 /// What happened in one step.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StepOutcome {
     /// Processes enabled in the pre-step configuration (ascending).
     pub enabled: Vec<usize>,
@@ -28,26 +43,105 @@ impl StepOutcome {
     }
 }
 
+/// Persistent guard-evaluation state: the priority-action cache, the dirty
+/// set, and the maintained (sorted) enabled set.
+#[derive(Clone, Debug)]
+struct Scheduler {
+    /// Cached priority action per process; valid unless dirty.
+    cache: Vec<Option<ActionId>>,
+    /// Processes whose cache entry must be re-evaluated.
+    dirty: MarkSet,
+    /// Sorted dense indices of enabled processes, kept in sync with `cache`.
+    enabled: Vec<usize>,
+    /// Everything is stale (boot, external state surgery, full-scan mode).
+    all_dirty: bool,
+}
+
+impl Scheduler {
+    fn new(n: usize) -> Self {
+        Scheduler {
+            cache: vec![None; n],
+            dirty: MarkSet::new(n),
+            enabled: Vec::with_capacity(n),
+            all_dirty: true,
+        }
+    }
+
+    fn mark(&mut self, p: usize) {
+        if !self.all_dirty {
+            self.dirty.insert(p);
+        }
+    }
+
+    fn mark_all(&mut self) {
+        self.all_dirty = true;
+        self.dirty.clear();
+    }
+
+    /// Record a fresh evaluation of `p`, maintaining the enabled set.
+    fn store(&mut self, p: usize, action: Option<ActionId>) {
+        let was = self.cache[p].is_some();
+        let now = action.is_some();
+        self.cache[p] = action;
+        if was != now {
+            match self.enabled.binary_search(&p) {
+                Ok(i) if !now => {
+                    self.enabled.remove(i);
+                }
+                Err(i) if now => {
+                    self.enabled.insert(i, p);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Reused per-step buffers (no hot-path allocation after warmup).
+#[derive(Debug)]
+struct StepScratch<S> {
+    selected: Vec<usize>,
+    next: Vec<(usize, S)>,
+}
+
+impl<S> StepScratch<S> {
+    fn new() -> Self {
+        StepScratch { selected: Vec::new(), next: Vec::new() }
+    }
+}
+
 /// A running system: topology + algorithm + current configuration.
 pub struct World<A: GuardedAlgorithm> {
     h: Arc<Hypergraph>,
     algo: A,
     states: Vec<A::State>,
     steps: u64,
+    sched: Scheduler,
+    scratch: StepScratch<A::State>,
+    full_scan: bool,
 }
 
 impl<A: GuardedAlgorithm> World<A> {
     /// Boot a world in the algorithm's designated initial configuration.
     pub fn new(h: Arc<Hypergraph>, algo: A) -> Self {
-        let states = (0..h.n()).map(|p| algo.initial_state(&h, p)).collect();
-        World { h, algo, states, steps: 0 }
+        let states: Vec<A::State> = (0..h.n()).map(|p| algo.initial_state(&h, p)).collect();
+        Self::with_states(h, algo, states)
     }
 
     /// Boot a world in an explicit configuration (e.g. an adversarial one:
     /// snap-stabilization experiments start *anywhere*).
     pub fn with_states(h: Arc<Hypergraph>, algo: A, states: Vec<A::State>) -> Self {
         assert_eq!(states.len(), h.n(), "one state per process");
-        World { h, algo, states, steps: 0 }
+        let n = h.n();
+        World {
+            h,
+            algo,
+            states,
+            steps: 0,
+            sched: Scheduler::new(n),
+            scratch: StepScratch::new(),
+            full_scan: false,
+        }
     }
 
     /// The topology.
@@ -78,17 +172,54 @@ impl<A: GuardedAlgorithm> World<A> {
     /// Overwrite the state of process `p` (fault injection / fixtures).
     pub fn set_state(&mut self, p: usize, s: A::State) {
         self.states[p] = s;
+        if self.sched.all_dirty {
+            return;
+        }
+        // `p`'s inputs may now differ for every guard in its footprint.
+        let World { h, algo, sched, .. } = self;
+        for &q in algo.state_footprint(h, p) {
+            sched.mark(q);
+        }
     }
 
     /// Overwrite the whole configuration.
     pub fn set_states(&mut self, states: Vec<A::State>) {
         assert_eq!(states.len(), self.h.n());
         self.states = states;
+        self.sched.mark_all();
     }
 
     /// Number of steps executed so far.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Force full guard re-evaluation every step (the naive `O(n)` path the
+    /// incremental scheduler is differentially tested against).
+    pub fn set_full_scan(&mut self, on: bool) {
+        self.full_scan = on;
+        if on {
+            self.sched.mark_all();
+        }
+    }
+
+    /// Invalidate every cached guard evaluation (external surgery through
+    /// an escape hatch the engine cannot see).
+    pub fn invalidate_all(&mut self) {
+        self.sched.mark_all();
+    }
+
+    /// Tell the scheduler that the *environment inputs* of process `p`
+    /// changed (e.g. its request flags flipped): re-evaluates `p`'s
+    /// environment footprint before the next step.
+    pub fn invalidate_env_of(&mut self, p: usize) {
+        if self.sched.all_dirty {
+            return;
+        }
+        let World { h, algo, sched, .. } = self;
+        for &q in algo.env_footprint(h, p) {
+            sched.mark(q);
+        }
     }
 
     /// Evaluation context for process `p` over the current configuration.
@@ -98,13 +229,17 @@ impl<A: GuardedAlgorithm> World<A> {
 
     /// The priority enabled action of every process (`None` = disabled),
     /// evaluated against the current configuration.
+    ///
+    /// This is a *pure* full evaluation (no cache involvement) — the
+    /// reference the incremental scheduler is tested against.
     pub fn priority_actions(&self, env: &A::Env) -> Vec<Option<ActionId>> {
         (0..self.h.n())
             .map(|p| self.algo.priority_action(&self.ctx(p, env)))
             .collect()
     }
 
-    /// `Enabled(γ)`: ascending list of enabled processes.
+    /// `Enabled(γ)`: ascending list of enabled processes, by pure full
+    /// evaluation (see [`World::priority_actions`]).
     pub fn enabled(&self, env: &A::Env) -> Vec<usize> {
         self.priority_actions(env)
             .iter()
@@ -113,47 +248,108 @@ impl<A: GuardedAlgorithm> World<A> {
             .collect()
     }
 
-    /// Execute one step under `daemon`. Returns what happened; if the
-    /// configuration was terminal nothing changes.
+    /// Bring the guard cache up to date, re-evaluating only dirty entries
+    /// (or everything, after [`World::invalidate_all`] / at boot).
+    fn refresh(&mut self, env: &A::Env) {
+        let World { h, algo, states, sched, .. } = self;
+        if sched.all_dirty {
+            sched.all_dirty = false;
+            debug_assert!(sched.dirty.is_empty());
+            sched.enabled.clear();
+            for p in 0..h.n() {
+                let a = algo.priority_action(&Ctx::new(h, p, states, env));
+                sched.cache[p] = a;
+                if a.is_some() {
+                    sched.enabled.push(p);
+                }
+            }
+            return;
+        }
+        while let Some(p) = sched.dirty.pop() {
+            let a = algo.priority_action(&Ctx::new(h, p, states, env));
+            sched.store(p, a);
+        }
+    }
+
+    /// Ascending enabled set of the *current* configuration, through the
+    /// incremental cache (flushes pending invalidations first).
+    pub fn enabled_now(&mut self, env: &A::Env) -> &[usize] {
+        if self.full_scan {
+            self.sched.mark_all();
+        }
+        self.refresh(env);
+        &self.sched.enabled
+    }
+
+    /// Execute one step under `daemon`, writing what happened into `out`
+    /// (buffers are reused — no allocation in the common case). If the
+    /// configuration is terminal nothing changes.
     ///
     /// # Panics
     /// If the daemon violates its contract (empty or non-enabled selection).
-    pub fn step(&mut self, daemon: &mut dyn Daemon, env: &A::Env) -> StepOutcome {
-        let actions = self.priority_actions(env);
-        let enabled: Vec<usize> = actions
-            .iter()
-            .enumerate()
-            .filter_map(|(p, a)| a.map(|_| p))
-            .collect();
-        if enabled.is_empty() {
-            return StepOutcome { enabled, executed: Vec::new() };
+    pub fn step_into(&mut self, daemon: &mut dyn Daemon, env: &A::Env, out: &mut StepOutcome) {
+        if self.full_scan {
+            self.sched.mark_all();
         }
-        let mut selected = daemon.select(&enabled);
-        selected.sort_unstable();
-        selected.dedup();
+        self.refresh(env);
+        out.enabled.clear();
+        out.enabled.extend_from_slice(&self.sched.enabled);
+        out.executed.clear();
+        if out.enabled.is_empty() {
+            return;
+        }
+        let selected = &mut self.scratch.selected;
+        selected.clear();
+        match daemon.select_step(&out.enabled) {
+            Selection::All => selected.extend_from_slice(&out.enabled),
+            Selection::Subset(mut v) => {
+                v.sort_unstable();
+                v.dedup();
+                selected.extend_from_slice(&v);
+            }
+        }
         assert!(
             !selected.is_empty(),
             "daemon contract: non-empty selection from a non-empty enabled set"
         );
         assert!(
-            selected.iter().all(|p| enabled.binary_search(p).is_ok()),
+            selected.iter().all(|p| out.enabled.binary_search(p).is_ok()),
             "daemon contract: selection must be a subset of the enabled set"
         );
         // Composite atomicity: compute every next state against the pre-step
         // configuration, then commit all at once.
-        let mut executed = Vec::with_capacity(selected.len());
-        let mut next: Vec<(usize, A::State)> = Vec::with_capacity(selected.len());
-        for &p in &selected {
-            let a = actions[p].expect("selected ⊆ enabled");
-            let s = self.algo.execute(&self.ctx(p, env), a);
-            executed.push((p, a));
-            next.push((p, s));
+        let World { h, algo, states, sched, scratch, .. } = self;
+        scratch.next.clear();
+        for &p in scratch.selected.iter() {
+            let a = sched.cache[p].expect("selected ⊆ enabled");
+            let s = algo.execute(&Ctx::new(h, p, states, env), a);
+            out.executed.push((p, a));
+            scratch.next.push((p, s));
         }
-        for (p, s) in next {
-            self.states[p] = s;
+        for (p, s) in scratch.next.drain(..) {
+            states[p] = s;
+        }
+        // Only the footprints of executed processes can change enabledness.
+        for &(p, _) in out.executed.iter() {
+            for &q in algo.state_footprint(h, p) {
+                sched.mark(q);
+            }
         }
         self.steps += 1;
-        StepOutcome { enabled, executed }
+    }
+
+    /// Execute one step under `daemon`. Returns what happened; if the
+    /// configuration was terminal nothing changes.
+    ///
+    /// Convenience wrapper around [`World::step_into`] that allocates a
+    /// fresh [`StepOutcome`]; hot loops should reuse one via `step_into`.
+    ///
+    /// # Panics
+    /// If the daemon violates its contract (empty or non-enabled selection).
+    pub fn step(&mut self, daemon: &mut dyn Daemon, env: &A::Env) -> StepOutcome {
+        let mut out = StepOutcome::default();
+        self.step_into(daemon, env, &mut out);
+        out
     }
 
     /// Run until terminal or `max_steps` exhausted; returns the number of
@@ -165,14 +361,15 @@ impl<A: GuardedAlgorithm> World<A> {
         max_steps: u64,
     ) -> (u64, bool) {
         let mut taken = 0;
+        let mut out = StepOutcome::default();
         while taken < max_steps {
-            let out = self.step(daemon, env);
+            self.step_into(daemon, env, &mut out);
             if out.terminal() {
                 return (taken, true);
             }
             taken += 1;
         }
-        (taken, self.enabled(env).is_empty())
+        (taken, self.enabled_now(env).is_empty())
     }
 }
 
@@ -261,5 +458,54 @@ mod tests {
         let mut w = world();
         w.step(&mut Synchronous, &());
         assert_eq!(w.steps(), 1);
+    }
+
+    #[test]
+    fn incremental_enabled_tracks_full_evaluation() {
+        // After every step, the maintained enabled set must equal the pure
+        // full evaluation.
+        let mut w = world();
+        let mut d = Central::new(3);
+        for _ in 0..50 {
+            let out = w.step(&mut d, &());
+            assert_eq!(w.enabled_now(&()).to_vec(), w.enabled(&()));
+            if out.terminal() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_and_full_scan_agree_stepwise() {
+        // Same seed, one world incremental, one full-scan: the StepOutcome
+        // sequences must be bit-identical.
+        for seed in 0..20 {
+            let h = Arc::new(generators::fig1());
+            let mut wi = World::with_states(Arc::clone(&h), MaxProp, vec![seed, 0, 3, 1, 0, 2]);
+            let mut wf = World::with_states(Arc::clone(&h), MaxProp, vec![seed, 0, 3, 1, 0, 2]);
+            wf.set_full_scan(true);
+            let mut di = Central::new(seed as u64);
+            let mut df = Central::new(seed as u64);
+            for _ in 0..200 {
+                let oi = wi.step(&mut di, &());
+                let of = wf.step(&mut df, &());
+                assert_eq!(oi, of, "seed {seed}");
+                assert_eq!(wi.states(), wf.states(), "seed {seed}");
+                if oi.terminal() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_state_invalidates_footprint() {
+        let mut w = world();
+        w.run_to_quiescence(&mut Synchronous, &(), 100);
+        assert!(w.enabled_now(&()).is_empty());
+        // Bump one value: its neighbors become enabled again.
+        w.set_state(0, 99);
+        assert_eq!(w.enabled_now(&()).to_vec(), w.enabled(&()));
+        assert!(!w.enabled_now(&()).is_empty());
     }
 }

@@ -55,6 +55,7 @@ pub mod ctx;
 pub mod daemon;
 pub mod engine;
 pub mod fault;
+pub mod markset;
 pub mod rounds;
 pub mod trace;
 
@@ -64,10 +65,12 @@ pub mod prelude {
     pub use crate::compose::{FairPair, FairState, Layer};
     pub use crate::ctx::{Ctx, SliceAccess, StateAccess};
     pub use crate::daemon::{
-        Central, Daemon, DistributedRandom, RoundRobin, Scripted, Synchronous, WeaklyFair,
+        Central, Daemon, DistributedRandom, RoundRobin, Scripted, Selection, Synchronous,
+        WeaklyFair,
     };
     pub use crate::engine::{StepOutcome, World};
     pub use crate::fault::{arbitrary_configuration, strike, strike_some, ArbitraryState};
+    pub use crate::markset::MarkSet;
     pub use crate::rounds::RoundTracker;
     pub use crate::trace::{Trace, TraceEvent};
 }

@@ -1,0 +1,137 @@
+//! A dense "marked set": a bitmap plus a worklist, the recurring structure
+//! of the incremental scheduler (dirty guards, flipped flags, touched
+//! edges/processes). Insertion is O(1) amortized and idempotent; draining
+//! or iterating visits each marked index once.
+
+/// A set of `usize` indices in `0..n` with O(1) idempotent insert, O(|set|)
+/// drain/clear, and no allocation after construction.
+///
+/// Invariant: `list` contains exactly the indices whose `mark` bit is set,
+/// each once.
+#[derive(Clone, Debug, Default)]
+pub struct MarkSet {
+    mark: Vec<bool>,
+    list: Vec<usize>,
+}
+
+impl MarkSet {
+    /// An empty set over the universe `0..n`.
+    pub fn new(n: usize) -> Self {
+        MarkSet { mark: vec![false; n], list: Vec::new() }
+    }
+
+    /// Number of marked indices.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Is `i` marked?
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.mark[i]
+    }
+
+    /// Mark `i`; returns whether it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        if self.mark[i] {
+            return false;
+        }
+        self.mark[i] = true;
+        self.list.push(i);
+        true
+    }
+
+    /// The marked indices, in insertion order.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.list
+    }
+
+    /// Sort the worklist ascending (marks unchanged).
+    pub fn sort(&mut self) {
+        self.list.sort_unstable();
+    }
+
+    /// Remove one marked index (LIFO), or `None` when empty.
+    #[inline]
+    pub fn pop(&mut self) -> Option<usize> {
+        let i = self.list.pop()?;
+        self.mark[i] = false;
+        Some(i)
+    }
+
+    /// Visit and unmark every index; returns how many there were.
+    pub fn drain(&mut self, mut f: impl FnMut(usize)) -> usize {
+        let n = self.list.len();
+        for i in self.list.drain(..) {
+            self.mark[i] = false;
+            f(i);
+        }
+        n
+    }
+
+    /// Unmark everything.
+    pub fn clear(&mut self) {
+        for &i in &self.list {
+            self.mark[i] = false;
+        }
+        self.list.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut s = MarkSet::new(5);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(1));
+        assert_eq!(s.as_slice(), &[3, 1]);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3) && s.contains(1) && !s.contains(0));
+    }
+
+    #[test]
+    fn drain_unmarks() {
+        let mut s = MarkSet::new(4);
+        s.insert(2);
+        s.insert(0);
+        let mut seen = Vec::new();
+        assert_eq!(s.drain(|i| seen.push(i)), 2);
+        assert_eq!(seen, vec![2, 0]);
+        assert!(s.is_empty());
+        assert!(s.insert(2), "reinsertable after drain");
+    }
+
+    #[test]
+    fn clear_and_sort() {
+        let mut s = MarkSet::new(6);
+        s.insert(5);
+        s.insert(1);
+        s.insert(3);
+        s.sort();
+        assert_eq!(s.as_slice(), &[1, 3, 5]);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(5));
+    }
+
+    #[test]
+    fn pop_is_lifo_and_unmarks() {
+        let mut s = MarkSet::new(3);
+        s.insert(0);
+        s.insert(2);
+        assert_eq!(s.pop(), Some(2));
+        assert!(!s.contains(2));
+        assert_eq!(s.pop(), Some(0));
+        assert_eq!(s.pop(), None);
+    }
+}

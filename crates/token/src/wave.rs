@@ -312,11 +312,11 @@ mod tests {
         // Each handoff costs O(height) steps; budget generously.
         for _ in 0..slots * 40 {
             let states = w.states().to_vec();
-            for p in 0..h.n() {
+            for (p, seen_p) in seen.iter_mut().enumerate() {
                 let acc = SliceAccess(&states);
                 let ctx: Ctx<'_, WaveState, ()> = Ctx::new(&h, p, &acc, &());
                 if TokenLayer::token(&wave, &ctx) {
-                    seen[p] = true;
+                    *seen_p = true;
                 }
             }
             w.step(&mut d, &());
@@ -354,7 +354,7 @@ mod tests {
                 // Synchronously execute every enabled internal action.
                 let snapshot = states.clone();
                 let mut moved = false;
-                for p in 0..h.n() {
+                for (p, slot) in states.iter_mut().enumerate() {
                     let acc = SliceAccess(&snapshot);
                     let ctx: Ctx<'_, WaveState, ()> = Ctx::new(&h, p, &acc, &());
                     if let Some(a) = wave.internal_priority_action(&ctx) {
@@ -362,7 +362,7 @@ mod tests {
                         // at the root only through certification — emulate
                         // "nobody ever releases" by skipping nothing: all
                         // actions here are internal by construction.
-                        states[p] = wave.execute_internal(&ctx, a);
+                        *slot = wave.execute_internal(&ctx, a);
                         moved = true;
                     }
                 }
@@ -394,11 +394,11 @@ mod tests {
         for _ in 0..1000 {
             let snapshot = states.clone();
             let mut moved = false;
-            for p in 0..h.n() {
+            for (p, slot) in states.iter_mut().enumerate() {
                 let acc = SliceAccess(&snapshot);
                 let ctx: Ctx<'_, WaveState, ()> = Ctx::new(&h, p, &acc, &());
                 if let Some(a) = wave.internal_priority_action(&ctx) {
-                    states[p] = wave.execute_internal(&ctx, a);
+                    *slot = wave.execute_internal(&ctx, a);
                     moved = true;
                 }
             }

@@ -23,19 +23,19 @@ fn holders<TL: TokenLayer>(tl: &TL, h: &Hypergraph, states: &[TL::State]) -> Vec
 fn cooperative_run<TL: TokenLayer>(
     tl: &TL,
     h: &Hypergraph,
-    states: &mut Vec<TL::State>,
+    states: &mut [TL::State],
     steps: usize,
 ) -> Vec<usize> {
     let mut t_counts = vec![0usize; h.n()];
     for _ in 0..steps {
-        let snapshot = states.clone();
+        let snapshot = states.to_vec();
         let acc = SliceAccess(&snapshot);
-        for p in 0..h.n() {
+        for (p, slot) in states.iter_mut().enumerate() {
             let ctx: Ctx<'_, TL::State, ()> = Ctx::new(h, p, &acc, &());
             if let Some(a) = tl.internal_priority_action(&ctx) {
-                states[p] = tl.execute_internal(&ctx, a);
+                *slot = tl.execute_internal(&ctx, a);
             } else if tl.token(&ctx) {
-                states[p] = tl.release(&ctx);
+                *slot = tl.release(&ctx);
                 t_counts[p] += 1;
             }
         }
@@ -102,10 +102,10 @@ fn p13_internal_only_stabilization_discriminates_substrates() {
             let snapshot = wst.clone();
             let acc = SliceAccess(&snapshot);
             let mut moved = false;
-            for p in 0..h.n() {
+            for (p, slot) in wst.iter_mut().enumerate() {
                 let ctx: Ctx<'_, sscc_token::WaveState, ()> = Ctx::new(&h, p, &acc, &());
                 if let Some(a) = wave.internal_priority_action(&ctx) {
-                    wst[p] = wave.execute_internal(&ctx, a);
+                    *slot = wave.execute_internal(&ctx, a);
                     moved = true;
                 }
             }

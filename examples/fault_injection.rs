@@ -45,14 +45,14 @@ fn main() {
         let toks: Vec<WaveState> =
             sim.world().states().iter().map(|s| s.tok).collect();
         let before = holders(&wave, &h, &toks);
-        for p in 0..h.n() {
+        for (p, st) in states.iter().enumerate() {
             println!(
                 "  professor {:>2}: {:?} ptr {:?} T={} L={} {}",
                 h.id(p),
-                states[p].status(),
-                states[p].pointer(),
-                states[p].t_bit(),
-                states[p].l_bit(),
+                st.status(),
+                st.pointer(),
+                st.t_bit(),
+                st.l_bit(),
                 if before.contains(&p) { "<token>" } else { "" }
             );
         }

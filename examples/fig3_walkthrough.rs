@@ -52,8 +52,7 @@ fn main() {
         // Render the configuration, Figure-3 style.
         let states = sim.cc_states();
         let mut line = format!("γ{step:<3} ");
-        for p in 0..h.n() {
-            let st = &states[p];
+        for (p, st) in states.iter().enumerate() {
             let ptr = match st.pointer() {
                 Some(e) => format!("→{:?}", h.members_raw(e)),
                 None => "  ⊥".to_string(),

@@ -202,7 +202,7 @@ fn cc1_lemmas_hold_exhaustively_on_path3() {
         &h,
         &cc,
         |p| all_cc1_states(&h, p),
-        |ctx| Cc1::<sscc::core::choice::MaxMembersDesc>::correct(ctx),
+        Cc1::<sscc::core::choice::MaxMembersDesc>::correct,
         &[],
     );
     // (4 statuses × (|E_p|+1) pointers × 2 T) per process; ×3 token spots.
@@ -219,7 +219,7 @@ fn cc2_lemmas_hold_exhaustively_on_path3() {
         &h,
         &cc,
         |p| all_cc2_states(&h, p),
-        |ctx| Cc2::<MinEdgeSelector, sscc::core::choice::MinSizeFirst>::correct(ctx),
+        Cc2::<MinEdgeSelector, sscc::core::choice::MinSizeFirst>::correct,
         &[],
     );
     assert_eq!(configs, (24 * 36 * 24 * 3) as u64);
@@ -246,7 +246,7 @@ fn cc2_no_stuck_configurations_on_path3() {
     let mut idx = vec![0usize; n];
     let mut terminal = Vec::new();
     loop {
-        let cfg: Vec<Cc2State> = (0..n).map(|p| per[p][idx[p]].clone()).collect();
+        let cfg: Vec<Cc2State> = (0..n).map(|p| per[p][idx[p]]).collect();
         for token_pos in 0..n {
             let enabled = (0..n).any(|p| {
                 let ctx = Ctx::new(&h, p, &cfg, &env);

@@ -1,0 +1,214 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of criterion's API the workspace benches use
+//! (`benchmark_group`, `sample_size`, `bench_function`, `iter`,
+//! `iter_batched`, the `criterion_group!`/`criterion_main!` macros) with a
+//! plain wall-clock measurement loop: per benchmark, a warmup iteration
+//! followed by `sample_size` timed samples, reporting min/mean. Passing
+//! `--test` (as `cargo test --benches` does) runs each benchmark once.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped (accepted, ignored: every iteration is
+/// set up individually here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Top-level bench driver.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { filter: None, test_mode: false, default_samples: 20 }
+    }
+}
+
+impl Criterion {
+    /// Build from the process arguments: a bare argument filters benchmark
+    /// ids by substring; `--test` switches to one-shot smoke mode. Flags we
+    /// do not understand (criterion compatibility flags like `--bench`) are
+    /// ignored.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for a in std::env::args().skip(1) {
+            if a == "--test" {
+                c.test_mode = true;
+            } else if !a.starts_with('-') {
+                c.filter = Some(a);
+            }
+        }
+        c
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+            criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    criterion: &'c Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.samples = n;
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if let Some(flt) = &self.criterion.filter {
+            if !full.contains(flt.as_str()) {
+                return self;
+            }
+        }
+        let samples = if self.criterion.test_mode { 1 } else { self.samples };
+        let mut b = Bencher { samples: Vec::with_capacity(samples), test_mode: self.criterion.test_mode };
+        // Warmup (not recorded) unless in test mode.
+        if !self.criterion.test_mode {
+            let mut w = Bencher { samples: Vec::new(), test_mode: true };
+            f(&mut w);
+        }
+        for _ in 0..samples {
+            f(&mut b);
+        }
+        report(&full, &b.samples);
+        self
+    }
+
+    /// End the group (parity with criterion; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<60} (no samples)");
+        return;
+    }
+    let min = samples.iter().min().unwrap();
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    println!(
+        "{id:<60} min {:>12?}  mean {:>12?}  ({} samples)",
+        min,
+        mean,
+        samples.len()
+    );
+}
+
+/// Measurement scope handed to the bench closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Time `routine` (one sample = one call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.push(start.elapsed());
+    }
+
+    /// Time `routine` on a fresh `setup()` input (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.push(start.elapsed());
+    }
+
+    fn push(&mut self, d: Duration) {
+        if !self.test_mode || self.samples.is_empty() {
+            self.samples.push(d);
+        }
+    }
+}
+
+/// Bundle bench functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { filter: None, test_mode: true, default_samples: 5 };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3).bench_function("noop", |b| {
+                b.iter(|| ran += 1);
+            });
+            g.bench_function("batched", |b| {
+                b.iter_batched(|| 21u32, |x| x * 2, BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn filter_skips_mismatches() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            test_mode: true,
+            default_samples: 5,
+        };
+        let mut ran = false;
+        c.benchmark_group("g").bench_function("a", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for `crossbeam`: only `channel::unbounded` is used by
+//! the workspace (the sweep harness), and `std::sync::mpsc` provides the
+//! same semantics — clonable senders, receiver iteration ending when all
+//! senders drop.
+
+/// Multi-producer channels.
+pub mod channel {
+    /// Sending half (clonable).
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+    /// Receiving half (iterable; iteration ends when all senders drop).
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// An unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fan_in_then_drain() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(1).unwrap());
+        tx.send(2).unwrap();
+        drop(tx);
+        let mut got: Vec<u32> = rx.into_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}
