@@ -65,5 +65,47 @@ fn engine_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, engine_steps, engine_scaling);
+/// Thread-count sweep on large rings: the PR-1 sequential incremental
+/// baseline against this PR's engine (fused evaluators + delta-aware
+/// policies) at 1, 2 and 4 drain workers, n ∈ {384, 1536, 6144}. Shorter
+/// step budget — at these sizes the per-step cost is what matters.
+fn engine_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_parallel_100");
+    g.sample_size(10);
+    for (name, h) in rings(&[384, 1536, 6144]) {
+        for algo in [AlgoKind::Cc1, AlgoKind::Cc2, AlgoKind::Cc3] {
+            type Configure = fn(&mut sscc_metrics::AnySim);
+            let configs: [(&str, Configure); 4] = [
+                ("pr1-incremental", |s| s.set_pr1_baseline()),
+                ("par1", |_| {}),
+                ("par2", |s| s.set_threads(2)),
+                ("par4", |s| s.set_threads(4)),
+            ];
+            for (mode, configure) in configs {
+                g.bench_function(format!("{}/{name}/{mode}", algo.label()), |b| {
+                    b.iter_batched(
+                        || {
+                            let mut sim = build_sim(
+                                algo,
+                                Arc::clone(&h),
+                                7,
+                                PolicyKind::Eager { max_disc: 1 },
+                                Boot::Clean,
+                            );
+                            configure(&mut sim);
+                            // Reach steady state before timing.
+                            drive(&mut sim, 100);
+                            sim
+                        },
+                        |mut sim| drive(&mut sim, 100),
+                        BatchSize::SmallInput,
+                    )
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, engine_steps, engine_scaling, engine_parallel);
 criterion_main!(benches);

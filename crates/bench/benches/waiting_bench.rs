@@ -13,9 +13,7 @@ fn waiting_runs(c: &mut Criterion) {
     for k in [4usize, 8, 12] {
         let h = Arc::new(generators::ring(k, 2));
         g.bench_function(format!("ring{k}x2"), |b| {
-            b.iter(|| {
-                black_box(measure_waiting(&h, AlgoKind::Cc2, 5, 2, 20_000))
-            })
+            b.iter(|| black_box(measure_waiting(&h, AlgoKind::Cc2, 5, 2, 20_000)))
         });
     }
     g.finish();

@@ -7,13 +7,13 @@
 
 use sscc_core::sim::{default_daemon, Sim};
 use sscc_core::{
-    choice, Cc1, Cc2, CommitteeAlgorithm, CommitteeView, EagerPolicy, RequestFlags,
-    ScriptedPolicy, Status,
+    choice, Cc1, Cc2, CommitteeAlgorithm, CommitteeView, EagerPolicy, RequestFlags, ScriptedPolicy,
+    Status,
 };
 use sscc_hypergraph::{generators, matching, network, EdgeId, Hypergraph};
 use sscc_metrics::{
-    cc1_starvation_on_fig2, degree_row, f2, parallel_map, throughput_row, waiting_row,
-    AlgoKind, Boot, DegreeConfig, PolicyKind, Table,
+    cc1_starvation_on_fig2, degree_row, f2, parallel_map, throughput_row, waiting_row, AlgoKind,
+    Boot, DegreeConfig, PolicyKind, Table,
 };
 use sscc_runtime::prelude::{Ctx, Synchronous, World};
 use sscc_token::{token_holders, LeaderElect, TokenRing};
@@ -37,10 +37,16 @@ fn main() {
         e4_fig4();
     }
     if want("e5") {
-        e5_degree(AlgoKind::Cc2, "E5 — degree of fair concurrency, CC2 (Thm 4/5)");
+        e5_degree(
+            AlgoKind::Cc2,
+            "E5 — degree of fair concurrency, CC2 (Thm 4/5)",
+        );
     }
     if want("e6") {
-        e5_degree(AlgoKind::Cc3, "E6 — degree of fair concurrency, CC3 (Thm 7/8)");
+        e5_degree(
+            AlgoKind::Cc3,
+            "E6 — degree of fair concurrency, CC3 (Thm 7/8)",
+        );
     }
     if want("e7") {
         e7_waiting();
@@ -65,7 +71,17 @@ fn main() {
 /// E1 — Figure 1 (+ Figure 2 analysis): model construction facts.
 fn e1_figures_model() {
     println!("## E1 — Figure 1/2 model facts\n");
-    let mut t = Table::new(["topology", "n", "|E|", "network edges", "diameter", "minMM", "maxMM", "MaxMin", "MaxHEdge"]);
+    let mut t = Table::new([
+        "topology",
+        "n",
+        "|E|",
+        "network edges",
+        "diameter",
+        "minMM",
+        "maxMM",
+        "MaxMin",
+        "MaxHEdge",
+    ]);
     for name in ["fig1", "fig2", "fig3", "fig4"] {
         let h = match name {
             "fig1" => generators::fig1(),
@@ -97,7 +113,17 @@ fn e2_impossibility() {
     let h = Arc::new(generators::fig2());
     let budget = 40_000;
     let out = cc1_starvation_on_fig2(7, budget);
-    let mut t = Table::new(["algorithm", "environment", "p1", "p2", "p3", "p4", "p5", "meetings", "violations"]);
+    let mut t = Table::new([
+        "algorithm",
+        "environment",
+        "p1",
+        "p2",
+        "p3",
+        "p4",
+        "p5",
+        "meetings",
+        "violations",
+    ]);
     let p = |raw: u32| out.participations[h.dense_of(raw)].to_string();
     t.row([
         "CC1".into(),
@@ -150,7 +176,10 @@ fn e3_fig3() {
         counts[m.edge.index()] += 1;
     }
     for e in h.edge_ids() {
-        t.row([format!("{:?}", h.members_raw(e)), counts[e.index()].to_string()]);
+        t.row([
+            format!("{:?}", h.members_raw(e)),
+            counts[e.index()].to_string(),
+        ]);
     }
     println!("{}", t.render());
     println!(
@@ -196,7 +225,10 @@ fn e4_fig4() {
 /// E5/E6 — degree of fair concurrency with the Theorem 4/5 (7/8) bounds.
 fn e5_degree(algo: AlgoKind, title: &str) {
     println!("## {title}\n");
-    let cfg = DegreeConfig { budget: 80_000, seeds: 24 };
+    let cfg = DegreeConfig {
+        budget: 80_000,
+        seeds: 24,
+    };
     let mut t = Table::new([
         "topology",
         "measured min",
@@ -259,7 +291,12 @@ fn e7_waiting() {
 /// quiescent meetings can leave a free committee blocked.
 fn e8_max_concurrency() {
     println!("## E8 — maximal concurrency (Def. 2, Lemma 7)\n");
-    let mut t = Table::new(["topology", "seeds", "CC1 quiescent sets maximal", "spec clean"]);
+    let mut t = Table::new([
+        "topology",
+        "seeds",
+        "CC1 quiescent sets maximal",
+        "spec clean",
+    ]);
     for (name, h) in corpus_small() {
         let results = parallel_map(0..8u64, |seed| {
             let mut sim = sscc_metrics::build_sim(
@@ -432,7 +469,14 @@ fn e11_throughput() {
     ]);
     for (name, h) in corpus_small() {
         for algo in [AlgoKind::Cc1, AlgoKind::Cc2, AlgoKind::Cc3] {
-            let row = throughput_row(&name, &h, algo, PolicyKind::Eager { max_disc: 2 }, 8, 30_000);
+            let row = throughput_row(
+                &name,
+                &h,
+                algo,
+                PolicyKind::Eager { max_disc: 2 },
+                8,
+                30_000,
+            );
             t.row([
                 name.clone(),
                 algo.label().to_string(),
@@ -468,7 +512,11 @@ fn e12_choice_ablation() {
                         );
                         Box::new(move |b| {
                             s.run(b);
-                            (s.ledger().convened_count(), s.steps(), s.monitor().violations().len())
+                            (
+                                s.ledger().convened_count(),
+                                s.steps(),
+                                s.monitor().violations().len(),
+                            )
                         })
                     }
                     "min-size" => {
@@ -481,7 +529,11 @@ fn e12_choice_ablation() {
                         );
                         Box::new(move |b| {
                             s.run(b);
-                            (s.ledger().convened_count(), s.steps(), s.monitor().violations().len())
+                            (
+                                s.ledger().convened_count(),
+                                s.steps(),
+                                s.monitor().violations().len(),
+                            )
                         })
                     }
                     _ => {
@@ -494,7 +546,11 @@ fn e12_choice_ablation() {
                         );
                         Box::new(move |b| {
                             s.run(b);
-                            (s.ledger().convened_count(), s.steps(), s.monitor().violations().len())
+                            (
+                                s.ledger().convened_count(),
+                                s.steps(),
+                                s.monitor().violations().len(),
+                            )
                         })
                     }
                 };
@@ -510,7 +566,9 @@ fn e12_choice_ablation() {
         }
     }
     println!("{}", t.render());
-    println!("(any deterministic choice is a valid refinement; throughput differences are modest)\n");
+    println!(
+        "(any deterministic choice is a valid refinement; throughput differences are modest)\n"
+    );
 }
 
 /// The sub-corpus small enough for exact bound computation everywhere.

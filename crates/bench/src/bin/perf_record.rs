@@ -1,15 +1,33 @@
-//! Records the performance trajectory of the step engine: steps/sec for
-//! every algorithm on growing rings, under both the incremental dirty-set
-//! scheduler and the legacy full-scan engine, written as machine-readable
-//! JSON (`BENCH_<N>.json`).
+//! Records the performance trajectory of the step engine — steady-state
+//! steps/sec for every algorithm on large rings across engine modes — and
+//! gates CI against throughput regressions.
 //!
 //! ```sh
-//! cargo run -p sscc-bench --release --bin perf_record            # BENCH_1.json
+//! # Full trajectory recording (rings n=384/1536/6144, all engine modes):
+//! cargo run -p sscc-bench --release --bin perf_record            # BENCH_2.json
 //! cargo run -p sscc-bench --release --bin perf_record -- out.json
+//!
+//! # CI smoke recording (small rings, reduced budgets, same record shape):
+//! cargo run -p sscc-bench --release --bin perf_record -- --quick bench_ci.json
+//!
+//! # Regression gate: exit 1 if any (algo, topology, mode, threads) pair in
+//! # FRESH regressed more than THRESHOLD (default 0.20) below BASELINE:
+//! cargo run -p sscc-bench --release --bin perf_record -- \
+//!     --compare BENCH_2.json bench_ci.json --threshold 0.20
 //! ```
+//!
+//! Engine modes recorded:
+//! * `full_scan`    — the legacy `O(n)` per-step engine;
+//! * `incremental`  — the **PR-1 sequential incremental engine** (per-guard
+//!   reference evaluator, full policy ticks): the trajectory baseline;
+//! * `par1`         — this PR's engine, sequential drain (fused evaluators
+//!   + delta-aware policies);
+//! * `par2`/`par4`  — this PR's engine with the sharded parallel drain at
+//!   2/4 worker threads (adaptive fan-out threshold).
 
+use sscc_bench::bench_json;
 use sscc_hypergraph::generators;
-use sscc_metrics::{build_sim, AlgoKind, Boot, PolicyKind};
+use sscc_metrics::{build_sim, AlgoKind, AnySim, Boot, PolicyKind};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -19,6 +37,7 @@ struct Record {
     topology: String,
     n: usize,
     mode: &'static str,
+    threads: usize,
     steps: u64,
     secs: f64,
 }
@@ -29,12 +48,28 @@ impl Record {
     }
 }
 
-/// Time `budget` steps of a fresh sim (after a small untimed warmup build),
-/// repeating `reps` times and keeping the best wall-clock run.
+/// Pre-run engine configuration hook.
+type Configure = fn(&mut AnySim);
+
+/// `(mode label, worker threads, configure)` for every engine mode.
+fn modes() -> Vec<(&'static str, usize, Configure)> {
+    vec![
+        ("full_scan", 1, |s: &mut AnySim| s.set_full_scan(true)),
+        ("incremental", 1, |s: &mut AnySim| s.set_pr1_baseline()),
+        ("par1", 1, |_s: &mut AnySim| {}),
+        ("par2", 2, |s: &mut AnySim| s.set_threads(2)),
+        ("par4", 4, |s: &mut AnySim| s.set_threads(4)),
+    ]
+}
+
+/// Time `budget` steps of a fresh sim after `warmup` untimed steps (the
+/// transient from the clean boot is not steady state), repeating `reps`
+/// times and keeping the best wall-clock run.
 fn measure(
     algo: AlgoKind,
     h: &Arc<sscc_hypergraph::Hypergraph>,
-    full_scan: bool,
+    configure: Configure,
+    warmup: u64,
     budget: u64,
     reps: usize,
 ) -> (u64, f64) {
@@ -48,7 +83,12 @@ fn measure(
             PolicyKind::Eager { max_disc: 1 },
             Boot::Clean,
         );
-        sim.set_full_scan(full_scan);
+        configure(&mut sim);
+        for _ in 0..warmup {
+            if !sim.step() {
+                break;
+            }
+        }
         let start = Instant::now();
         let mut done = 0;
         for _ in 0..budget {
@@ -70,22 +110,28 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_1.json".to_string());
-    let ring_sizes = [24usize, 96, 384];
-    let budget = 2_000u64;
-    let reps = 3;
+fn record(out_path: &str, quick: bool) {
+    // (ring size, timed budget): bigger rings get smaller budgets so the
+    // full sweep stays a few minutes. The quick sweep's ring384 cell uses
+    // the *same* warmup/budget protocol as the committed baseline, so the
+    // CI gate's joined pairs measure identical windows of the trajectory.
+    let sweep: &[(usize, u64)] = if quick {
+        &[(96, 1000), (384, 3000)]
+    } else {
+        &[(384, 3000), (1536, 2400), (6144, 1000)]
+    };
+    let warmup = 400;
+    let reps = 4;
 
     let mut records: Vec<Record> = Vec::new();
-    for &k in &ring_sizes {
+    for &(k, budget) in sweep {
         let h = Arc::new(generators::ring(k, 2));
         for algo in [AlgoKind::Cc1, AlgoKind::Cc2, AlgoKind::Cc3] {
-            for (mode, full_scan) in [("incremental", false), ("full_scan", true)] {
-                let (steps, secs) = measure(algo, &h, full_scan, budget, reps);
+            for (mode, threads, configure) in modes() {
+                let (steps, secs) = measure(algo, &h, configure, warmup, budget, reps);
                 eprintln!(
-                    "{:>4} {} ring{k}x2 {:>11}: {:>12.0} steps/s",
+                    "{:>4} ring{k}x2 {:>12} x{threads}: {:>12.0} steps/s",
                     algo.label(),
-                    if full_scan { " " } else { "*" },
                     mode,
                     steps as f64 / secs
                 );
@@ -94,6 +140,7 @@ fn main() {
                     topology: format!("ring{k}x2"),
                     n: h.n(),
                     mode,
+                    threads,
                     steps,
                     secs,
                 });
@@ -101,29 +148,37 @@ fn main() {
         }
     }
 
-    // Speedup summary per (algo, topology).
     let mut out = String::new();
     out.push_str("{\n  \"bench\": \"engine_steps\",\n");
-    let _ = writeln!(out, "  \"budget_steps\": {budget},");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"warmup_steps\": {warmup},");
     let _ = writeln!(out, "  \"reps\": {reps},");
+    let _ = writeln!(
+        out,
+        "  \"host_parallelism\": {},",
+        std::thread::available_parallelism().map_or(0, |p| p.get())
+    );
     out.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"algo\": \"{}\", \"topology\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"steps\": {}, \"secs\": {:.6}, \"steps_per_sec\": {:.1}}}",
+            "    {{\"algo\": \"{}\", \"topology\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"threads\": {}, \"steps\": {}, \"secs\": {:.6}, \"steps_per_sec\": {:.1}}}",
             json_escape(r.algo),
             json_escape(&r.topology),
             r.n,
             r.mode,
+            r.threads,
             r.steps,
             r.secs,
             r.steps_per_sec()
         );
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
+    // Speedup summary per (algo, topology): the headline numbers are the
+    // new engine (parX) against the PR-1 sequential incremental baseline.
     out.push_str("  ],\n  \"speedups\": [\n");
     let mut lines = Vec::new();
-    for &k in &ring_sizes {
+    for &(k, _) in sweep {
         for algo in ["CC1", "CC2", "CC3"] {
             let topo = format!("ring{k}x2");
             let find = |mode: &str| {
@@ -133,15 +188,86 @@ fn main() {
                     .map(Record::steps_per_sec)
                     .unwrap_or(f64::NAN)
             };
-            let speedup = find("incremental") / find("full_scan");
+            let pr1 = find("incremental");
             lines.push(format!(
-                "    {{\"algo\": \"{algo}\", \"topology\": \"{topo}\", \"incremental_over_full_scan\": {speedup:.2}}}"
+                "    {{\"algo\": \"{algo}\", \"topology\": \"{topo}\", \
+                 \"incremental_over_full_scan\": {:.2}, \
+                 \"par1_over_sequential_incremental\": {:.2}, \
+                 \"par2_over_sequential_incremental\": {:.2}, \
+                 \"par4_over_sequential_incremental\": {:.2}}}",
+                pr1 / find("full_scan"),
+                find("par1") / pr1,
+                find("par2") / pr1,
+                find("par4") / pr1,
             ));
         }
     }
     out.push_str(&lines.join(",\n"));
     out.push_str("\n  ]\n}\n");
 
-    std::fs::write(&out_path, out).expect("write bench record");
+    std::fs::write(out_path, out).expect("write bench record");
     eprintln!("wrote {out_path}");
+}
+
+fn compare(baseline_path: &str, fresh_path: &str, threshold: f64) -> i32 {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+    let fresh =
+        std::fs::read_to_string(fresh_path).unwrap_or_else(|e| panic!("read {fresh_path}: {e}"));
+    match bench_json::compare(&baseline, &fresh, threshold) {
+        Ok(report) => {
+            eprintln!(
+                "compared {} (algo, topology, mode, threads) pairs against {baseline_path} \
+                 (threshold -{:.0}%):",
+                report.compared,
+                threshold * 100.0
+            );
+            for line in &report.lines {
+                eprintln!("  {line}");
+            }
+            if report.regressions.is_empty() {
+                eprintln!("perf gate: OK");
+                0
+            } else {
+                eprintln!(
+                    "perf gate: {} steady-state throughput regression(s):",
+                    report.regressions.len()
+                );
+                for line in &report.regressions {
+                    eprintln!("  REGRESSED {line}");
+                }
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("perf gate: cannot compare: {e}");
+            1
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--compare") {
+        let baseline = args.get(1).expect("--compare BASELINE FRESH");
+        let fresh = args.get(2).expect("--compare BASELINE FRESH");
+        let threshold = match args.get(3).map(String::as_str) {
+            Some("--threshold") => args
+                .get(4)
+                .and_then(|t| t.parse().ok())
+                .expect("--threshold takes a fraction, e.g. 0.20"),
+            None => 0.20,
+            Some(other) => panic!("unknown argument {other}"),
+        };
+        std::process::exit(compare(baseline, fresh, threshold));
+    }
+    let quick = args.first().is_some_and(|a| a == "--quick");
+    let rest = if quick { &args[1..] } else { &args[..] };
+    let default = if quick {
+        "bench_ci.json"
+    } else {
+        "BENCH_2.json"
+    };
+    let out_path = rest.first().cloned().unwrap_or_else(|| default.to_string());
+    record(&out_path, quick);
 }

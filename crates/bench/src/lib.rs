@@ -11,6 +11,8 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_json;
+
 use sscc_hypergraph::generators::{self, Named};
 use sscc_hypergraph::Hypergraph;
 use std::sync::Arc;

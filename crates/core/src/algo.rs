@@ -13,9 +13,12 @@ use sscc_hypergraph::Hypergraph;
 use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, ProcessState};
 
 /// A committee coordination local algorithm with token inputs/outputs.
-pub trait CommitteeAlgorithm {
+///
+/// `Sync` (algorithm and state): the composition is evaluated concurrently
+/// by the engine's parallel dirty-set drain.
+pub trait CommitteeAlgorithm: Sync {
     /// Per-process state.
-    type State: ProcessState + ArbitraryState + CommitteeView;
+    type State: ProcessState + ArbitraryState + CommitteeView + Sync;
 
     /// Number of actions in code order.
     fn action_count(&self) -> usize;
@@ -35,6 +38,15 @@ pub trait CommitteeAlgorithm {
         ctx: &Ctx<'_, Self::State, E>,
         token: bool,
     ) -> Option<ActionId>;
+
+    /// Switch between the default (fused, allocation-free) guard evaluator
+    /// and the per-guard *reference* evaluator — the PR-1 baseline the
+    /// differential suite and the benchmark trajectory compare against.
+    /// Bit-identical results either way; no-op for algorithms that only
+    /// have one evaluator.
+    fn set_reference_eval(&mut self, on: bool) {
+        let _ = on;
+    }
 
     /// Execute `a`; returns the next state and whether `ReleaseToken_p` was
     /// emitted.

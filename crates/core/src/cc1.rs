@@ -44,7 +44,11 @@ pub struct Cc1State {
 impl Cc1State {
     /// The clean idle state.
     pub fn idle() -> Self {
-        Cc1State { s: Status::Idle, p: None, t: false }
+        Cc1State {
+            s: Status::Idle,
+            p: None,
+            t: false,
+        }
     }
 }
 
@@ -92,19 +96,29 @@ pub mod action {
 #[derive(Clone, Debug, Default)]
 pub struct Cc1<Ch = MaxMembersDesc> {
     choice: Ch,
+    /// Evaluate guards one by one through [`Cc1::guard`] instead of the
+    /// fused single-pass evaluator (the PR-1 baseline; bit-identical, just
+    /// slower — kept as the differential-testing reference).
+    reference_eval: bool,
 }
 
 impl Cc1<MaxMembersDesc> {
     /// CC1 with the default (Figure 3 compatible) choice strategy.
     pub fn new() -> Self {
-        Cc1 { choice: MaxMembersDesc }
+        Cc1 {
+            choice: MaxMembersDesc,
+            reference_eval: false,
+        }
     }
 }
 
 impl<Ch: EdgeChoice> Cc1<Ch> {
     /// CC1 with an explicit choice strategy.
     pub fn with_choice(choice: Ch) -> Self {
-        Cc1 { choice }
+        Cc1 {
+            choice,
+            reference_eval: false,
+        }
     }
 
     /// `FreeEdges_p = {ε ∈ E_p | ∀q ∈ ε : S_q = looking}`.
@@ -135,8 +149,11 @@ impl<Ch: EdgeChoice> Cc1<Ch> {
             }
         }
         nodes.sort_unstable();
-        let with_t: Vec<usize> =
-            nodes.iter().copied().filter(|&q| ctx.state_of(q).t).collect();
+        let with_t: Vec<usize> = nodes
+            .iter()
+            .copied()
+            .filter(|&q| ctx.state_of(q).t)
+            .collect();
         if with_t.is_empty() {
             nodes
         } else {
@@ -169,7 +186,9 @@ impl<Ch: EdgeChoice> Cc1<Ch> {
         if free.is_empty() || Self::local_max(ctx) || predicates::ready(ctx) {
             return false;
         }
-        let Some(mx) = Self::max_cand(ctx) else { return false };
+        let Some(mx) = Self::max_cand(ctx) else {
+            return false;
+        };
         match ctx.state_of(mx).p {
             Some(e) => free.contains(&e) && ctx.my_state().p != Some(e),
             None => false,
@@ -178,7 +197,9 @@ impl<Ch: EdgeChoice> Cc1<Ch> {
 
     /// `LeaveMeeting(p) ≡ ∃ε : P_p = ε ∧ ∀q ∈ ε : (P_q = ε ⇒ S_q = done)`.
     pub fn leave_meeting<E: ?Sized>(ctx: &Ctx<'_, Cc1State, E>) -> bool {
-        let Some(e) = ctx.my_state().p else { return false };
+        let Some(e) = ctx.my_state().p else {
+            return false;
+        };
         if !ctx.h().is_member(ctx.me(), e) {
             return false;
         }
@@ -192,21 +213,120 @@ impl<Ch: EdgeChoice> Cc1<Ch> {
     pub fn useless<E: ?Sized>(ctx: &Ctx<'_, Cc1State, E>, token: bool) -> bool {
         token
             && (ctx.my_state().s == Status::Idle
-                || (ctx.my_state().s == Status::Looking
-                    && Self::free_edges(ctx).is_empty()))
+                || (ctx.my_state().s == Status::Looking && Self::free_edges(ctx).is_empty()))
     }
 
     /// `Correct(p)` (the snap-stabilization closure predicate, Lemma 3).
     pub fn correct<E: ?Sized>(ctx: &Ctx<'_, Cc1State, E>) -> bool {
         let st = ctx.my_state();
         let idle_ok = st.s != Status::Idle || st.p.is_none();
-        let wait_ok = st.s != Status::Waiting
-            || predicates::ready(ctx)
-            || predicates::meeting(ctx);
-        let done_ok = st.s != Status::Done
-            || predicates::meeting(ctx)
-            || Self::leave_meeting(ctx);
+        let wait_ok = st.s != Status::Waiting || predicates::ready(ctx) || predicates::meeting(ctx);
+        let done_ok = st.s != Status::Done || predicates::meeting(ctx) || Self::leave_meeting(ctx);
         idle_ok && wait_ok && done_ok
+    }
+
+    /// Is committee `e` free, by a single member scan (the per-edge test
+    /// behind [`Cc1::free_edges`], without materializing the set)?
+    fn edge_free<E: ?Sized>(ctx: &Ctx<'_, Cc1State, E>, e: EdgeId) -> bool {
+        ctx.h()
+            .members(e)
+            .iter()
+            .all(|&q| ctx.state_of(q).s == Status::Looking)
+    }
+
+    /// The fused single-pass evaluator: one scan over the incident
+    /// committees derives `Ready`, `Meeting`, the `FreeEdges` facts and the
+    /// maximum candidate (`max(Cands_p)`, token holders beating plain free
+    /// nodes), then tests the guards highest-priority-first. Allocation-free,
+    /// unlike the per-guard reference path, which rebuilds
+    /// `FreeEdges`/`Cands` vectors for every guard that mentions them.
+    /// Bit-identical to the reference (`debug_assert`ed on every evaluation
+    /// in debug builds, and pinned by the differential suite's PR-1
+    /// baseline twin).
+    fn priority_action_fused<E: RequestEnv + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Cc1State, E>,
+        token: bool,
+    ) -> Option<ActionId> {
+        use action::*;
+        let st = ctx.my_state();
+        let h = ctx.h();
+        let me = ctx.me();
+        let (mut ready, mut meeting) = (false, false);
+        let (mut any_free, mut p_free) = (false, false);
+        // Max-identifier member over all free committees, and over the
+        // announced token holders among them (`TFreeNodes` beat
+        // `FreeNodes` in `Cands_p`).
+        let mut max_any: Option<usize> = None;
+        let mut max_t: Option<usize> = None;
+        for &e in h.incident(me) {
+            let (mut all_ready, mut all_meeting, mut all_free) = (true, true, true);
+            for &q in h.members(e) {
+                let s = ctx.state_of(q);
+                let points = s.p == Some(e);
+                all_ready &= points && matches!(s.s, Status::Looking | Status::Waiting);
+                all_meeting &= points && matches!(s.s, Status::Waiting | Status::Done);
+                all_free &= s.s == Status::Looking;
+            }
+            ready |= all_ready;
+            meeting |= all_meeting;
+            if all_free {
+                any_free = true;
+                p_free |= st.p == Some(e);
+                for &q in h.members(e) {
+                    if max_any.is_none_or(|b| h.id(q) > h.id(b)) {
+                        max_any = Some(q);
+                    }
+                    if ctx.state_of(q).t && max_t.is_none_or(|b| h.id(q) > h.id(b)) {
+                        max_t = Some(q);
+                    }
+                }
+            }
+        }
+        let max_cand = max_t.or(max_any);
+        // Guards, highest priority (latest in code order) first — exactly
+        // the order of the reference `(0..COUNT).rev().find(guard)`.
+        let lm = Self::leave_meeting(ctx);
+        let idle_ok = st.s != Status::Idle || st.p.is_none();
+        let wait_ok = st.s != Status::Waiting || ready || meeting;
+        let done_ok = st.s != Status::Done || meeting || lm;
+        if !(idle_ok && wait_ok && done_ok) {
+            return Some(if st.s == Status::Idle { STAB1 } else { STAB2 });
+        }
+        if lm && ctx.env().request_out(me) {
+            return Some(STEP4);
+        }
+        if meeting && st.s == Status::Waiting {
+            return Some(STEP32);
+        }
+        if ready && st.s == Status::Looking {
+            return Some(STEP31);
+        }
+        if token && (st.s == Status::Idle || (st.s == Status::Looking && !any_free)) {
+            return Some(TOKEN2);
+        }
+        if token != st.t {
+            return Some(TOKEN1);
+        }
+        if any_free && !ready {
+            if max_cand == Some(me) {
+                // Step21: the local max points to a free committee it does
+                // not already point to.
+                if !p_free {
+                    return Some(STEP21);
+                }
+            } else if let Some(e) = max_cand.and_then(|mx| ctx.state_of(mx).p) {
+                // Step22: follow the local max's pointer if it is one of
+                // *our* free committees and not already ours.
+                if st.p != Some(e) && h.is_member(me, e) && Self::edge_free(ctx, e) {
+                    return Some(STEP22);
+                }
+            }
+        }
+        if ctx.env().request_in(me) && st.s == Status::Idle {
+            return Some(STEP1);
+        }
+        None
     }
 
     fn guard<E: RequestEnv + ?Sized>(
@@ -276,13 +396,30 @@ impl<Ch: EdgeChoice> CommitteeAlgorithm for Cc1<Ch> {
         Cc1State::idle()
     }
 
+    fn set_reference_eval(&mut self, on: bool) {
+        self.reference_eval = on;
+    }
+
     fn priority_action<E: RequestEnv + ?Sized>(
         &self,
         ctx: &Ctx<'_, Cc1State, E>,
         token: bool,
     ) -> Option<ActionId> {
         // Priority: the enabled action appearing LATEST in code order.
-        (0..action::COUNT).rev().find(|&a| self.guard(ctx, token, a))
+        if self.reference_eval {
+            return (0..action::COUNT)
+                .rev()
+                .find(|&a| self.guard(ctx, token, a));
+        }
+        let fused = self.priority_action_fused(ctx, token);
+        debug_assert_eq!(
+            fused,
+            (0..action::COUNT)
+                .rev()
+                .find(|&a| self.guard(ctx, token, a)),
+            "fused evaluator diverged from the per-guard reference"
+        );
+        fused
     }
 
     fn execute<E: RequestEnv + ?Sized>(
@@ -359,7 +496,11 @@ impl ArbitraryState for Cc1State {
         } else {
             Some(inc[rng.random_range(0..inc.len())])
         };
-        Cc1State { s, p, t: rng.random_bool(0.5) }
+        Cc1State {
+            s,
+            p,
+            t: rng.random_bool(0.5),
+        }
     }
 }
 
@@ -373,7 +514,11 @@ mod tests {
     type S = Cc1State;
 
     fn looking(e: Option<u32>) -> S {
-        S { s: Status::Looking, p: e.map(EdgeId), t: false }
+        S {
+            s: Status::Looking,
+            p: e.map(EdgeId),
+            t: false,
+        }
     }
 
     fn all_flags(n: usize, out: bool) -> RequestFlags {
@@ -540,8 +685,16 @@ mod tests {
         let h = fig2();
         let mut states = vec![S::idle(); h.n()];
         let (p3, p4) = (h.dense_of(3), h.dense_of(4));
-        states[p3] = S { s: Status::Done, p: Some(EdgeId(2)), t: false };
-        states[p4] = S { s: Status::Done, p: Some(EdgeId(2)), t: false };
+        states[p3] = S {
+            s: Status::Done,
+            p: Some(EdgeId(2)),
+            t: false,
+        };
+        states[p4] = S {
+            s: Status::Done,
+            p: Some(EdgeId(2)),
+            t: false,
+        };
         let cc = Cc1::new();
 
         // Without RequestOut: Step4 disabled (voluntary discussion goes on).
@@ -568,8 +721,16 @@ mod tests {
         // status waiting), Meeting(3) true, so 3 is simply disabled.
         let h = fig2();
         let mut states = vec![S::idle(); h.n()];
-        states[h.dense_of(3)] = S { s: Status::Done, p: Some(EdgeId(2)), t: false };
-        states[h.dense_of(4)] = S { s: Status::Waiting, p: Some(EdgeId(2)), t: false };
+        states[h.dense_of(3)] = S {
+            s: Status::Done,
+            p: Some(EdgeId(2)),
+            t: false,
+        };
+        states[h.dense_of(4)] = S {
+            s: Status::Waiting,
+            p: Some(EdgeId(2)),
+            t: false,
+        };
         let env = all_flags(h.n(), true);
         let cc = Cc1::new();
         let ctx = Ctx::new(&h, h.dense_of(3), &states, &env);
@@ -586,7 +747,11 @@ mod tests {
         let h = fig2();
         let mut states = vec![S::idle(); h.n()];
         let p3 = h.dense_of(3);
-        states[p3] = S { s: Status::Waiting, p: Some(EdgeId(2)), t: false };
+        states[p3] = S {
+            s: Status::Waiting,
+            p: Some(EdgeId(2)),
+            t: false,
+        };
         let env = all_flags(h.n(), false);
         let cc = Cc1::new();
         let ctx = Ctx::new(&h, p3, &states, &env);
@@ -601,7 +766,11 @@ mod tests {
     fn stab1_corrects_idle_with_pointer() {
         let h = fig2();
         let mut states = vec![S::idle(); h.n()];
-        states[0] = S { s: Status::Idle, p: Some(EdgeId(0)), t: false };
+        states[0] = S {
+            s: Status::Idle,
+            p: Some(EdgeId(0)),
+            t: false,
+        };
         let mut env = RequestFlags::new(h.n());
         env.set_in(0, false);
         let cc = Cc1::new();
@@ -616,7 +785,11 @@ mod tests {
         // Corrupted waiting + requesting + token: Stab2 wins by priority.
         let h = fig2();
         let mut states = vec![looking(None); h.n()];
-        states[0] = S { s: Status::Waiting, p: None, t: false };
+        states[0] = S {
+            s: Status::Waiting,
+            p: None,
+            t: false,
+        };
         let env = all_flags(h.n(), true);
         let cc = Cc1::new();
         let ctx = Ctx::new(&h, 0, &states, &env);
@@ -632,8 +805,7 @@ mod tests {
         let cc = Cc1::new();
         let mut rng = rand::rngs::StdRng::seed_from_u64(12);
         for _ in 0..500 {
-            let states: Vec<S> =
-                (0..h.n()).map(|p| S::arbitrary(&mut rng, &h, p)).collect();
+            let states: Vec<S> = (0..h.n()).map(|p| S::arbitrary(&mut rng, &h, p)).collect();
             let env = all_flags(h.n(), true);
             for p in 0..h.n() {
                 let ctx = Ctx::new(&h, p, &states, &env);

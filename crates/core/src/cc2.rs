@@ -53,7 +53,13 @@ pub struct Cc2State {
 impl Cc2State {
     /// The clean looking state.
     pub fn looking() -> Self {
-        Cc2State { s: Status::Looking, p: None, t: false, l: false, cursor: 0 }
+        Cc2State {
+            s: Status::Looking,
+            p: None,
+            t: false,
+            l: false,
+            cursor: 0,
+        }
     }
 }
 
@@ -101,8 +107,9 @@ pub mod action {
 
 /// How the token holder chooses the committee it pins — the only difference
 /// between CC2 (smallest incident committee, Theorems 4–6) and CC3
-/// (sequential round-robin over `E_p`, Theorems 7–8).
-pub trait Selector {
+/// (sequential round-robin over `E_p`, Theorems 7–8). `Sync`: read
+/// concurrently by the engine's parallel drain.
+pub trait Selector: Sync {
     /// The committee the token holder at `me` should pin.
     fn target(&self, h: &Hypergraph, me: usize, st: &Cc2State) -> EdgeId;
     /// Is the current pointer already an acceptable pin? (Guard of Step11
@@ -126,8 +133,10 @@ impl<Ch: EdgeChoice> Selector for MinEdgeSelector<Ch> {
         self.choice.choose(h, me, &min_edges)
     }
     fn acceptable(&self, h: &Hypergraph, me: usize, st: &Cc2State) -> bool {
+        // `e ∈ MinEdges_p` without materializing the set: incident to `me`
+        // and of minimum incident length.
         match st.p {
-            Some(e) => h.min_edges(me).contains(&e),
+            Some(e) => h.is_member(me, e) && h.edge_len(e) == h.min_edge_len(me),
             None => false,
         }
     }
@@ -161,6 +170,10 @@ impl Selector for RoundRobinSelector {
 pub struct Cc2<Sel = MinEdgeSelector, Ch = MinSizeFirst> {
     selector: Sel,
     choice: Ch,
+    /// Evaluate guards one by one through [`Cc2::guard`] instead of the
+    /// fused single-pass evaluator (the PR-1 baseline; bit-identical, just
+    /// slower — kept as the differential-testing reference).
+    reference_eval: bool,
 }
 
 /// Algorithm CC3 = CC2 with the round-robin selector.
@@ -176,14 +189,22 @@ impl Cc2<MinEdgeSelector, MinSizeFirst> {
 impl Cc3<MinSizeFirst> {
     /// CC3 (committee fairness) with the default free-committee choice.
     pub fn new_cc3() -> Self {
-        Cc2 { selector: RoundRobinSelector, choice: MinSizeFirst }
+        Cc2 {
+            selector: RoundRobinSelector,
+            choice: MinSizeFirst,
+            reference_eval: false,
+        }
     }
 }
 
 impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
     /// CC2/CC3 with explicit strategies.
     pub fn with_strategies(selector: Sel, choice: Ch) -> Self {
-        Cc2 { selector, choice }
+        Cc2 {
+            selector,
+            choice,
+            reference_eval: false,
+        }
     }
 
     /// `FreeEdges_p = {ε ∈ E_p | ∀q ∈ ε : (S_q = looking ∧ ¬L_q ∧ ¬T_q)}`.
@@ -280,12 +301,8 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
     /// `Correct(p)` (Lemma 8's closure predicate).
     pub fn correct<E: ?Sized>(ctx: &Ctx<'_, Cc2State, E>) -> bool {
         let st = ctx.my_state();
-        let wait_ok = st.s != Status::Waiting
-            || predicates::ready(ctx)
-            || predicates::meeting(ctx);
-        let done_ok = st.s != Status::Done
-            || predicates::meeting(ctx)
-            || Self::leave_meeting(ctx);
+        let wait_ok = st.s != Status::Waiting || predicates::ready(ctx) || predicates::meeting(ctx);
+        let done_ok = st.s != Status::Done || predicates::meeting(ctx) || Self::leave_meeting(ctx);
         wait_ok && done_ok
     }
 
@@ -310,7 +327,9 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
         if free.is_empty() || Self::local_max(ctx) || predicates::ready(ctx) {
             return false;
         }
-        let Some(mx) = Self::max_free_node(ctx) else { return false };
+        let Some(mx) = Self::max_free_node(ctx) else {
+            return false;
+        };
         match ctx.state_of(mx).p {
             Some(e) => free.contains(&e) && ctx.my_state().p != Some(e),
             None => false,
@@ -318,11 +337,7 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
     }
 
     /// `TokenHolderToEdge(p)` (guard of Step11).
-    fn token_holder_to_edge<E: ?Sized>(
-        &self,
-        ctx: &Ctx<'_, Cc2State, E>,
-        token: bool,
-    ) -> bool {
+    fn token_holder_to_edge<E: ?Sized>(&self, ctx: &Ctx<'_, Cc2State, E>, token: bool) -> bool {
         token
             && ctx.my_state().s == Status::Looking
             && !predicates::ready(ctx)
@@ -330,16 +345,119 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
     }
 
     /// `JoinTokenHolder(p)` (guard of Step12).
-    fn join_token_holder<E: ?Sized>(
-        &self,
-        ctx: &Ctx<'_, Cc2State, E>,
-        token: bool,
-    ) -> bool {
+    fn join_token_holder<E: ?Sized>(&self, ctx: &Ctx<'_, Cc2State, E>, token: bool) -> bool {
         if token || ctx.my_state().s != Status::Looking || predicates::ready(ctx) {
             return false;
         }
         let tpe = Self::t_pointing_edges(ctx);
         !tpe.is_empty() && !ctx.my_state().p.is_some_and(|e| tpe.contains(&e))
+    }
+
+    /// Is committee `e` free, by a single member scan (the per-edge test
+    /// behind [`Cc2::free_edges`], without materializing the set)?
+    fn edge_free<E: ?Sized>(ctx: &Ctx<'_, Cc2State, E>, e: EdgeId) -> bool {
+        ctx.h().members(e).iter().all(|&q| {
+            let s = ctx.state_of(q);
+            s.s == Status::Looking && !s.l && !s.t
+        })
+    }
+
+    /// The fused single-pass evaluator: one scan over the incident
+    /// committees (each member visited once) derives every predicate the
+    /// ten guards read — `Ready`, `Meeting`, `FreeEdges` facts,
+    /// `TPointingEdges` facts and the local maximum of the free nodes —
+    /// then tests the guards highest-priority-first from those facts.
+    /// Allocation-free, unlike the per-guard reference path, which
+    /// materializes `FreeEdges`/`TPointingEdges`/`MinEdges` vectors for
+    /// every guard that mentions them. Bit-identical to the reference
+    /// (`debug_assert`ed on every evaluation in debug builds, and pinned by
+    /// the differential suite's PR-1 baseline twin).
+    fn priority_action_fused<E: RequestEnv + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Cc2State, E>,
+        token: bool,
+    ) -> Option<ActionId> {
+        use action::*;
+        let st = ctx.my_state();
+        let h = ctx.h();
+        let me = ctx.me();
+        let (mut ready, mut meeting) = (false, false);
+        let (mut any_free, mut p_free) = (false, false);
+        let (mut any_tpe, mut p_tpe) = (false, false);
+        let mut max_free: Option<usize> = None;
+        for &e in h.incident(me) {
+            let (mut all_ready, mut all_meeting, mut all_free) = (true, true, true);
+            let mut t_witness = false;
+            for &q in h.members(e) {
+                let s = ctx.state_of(q);
+                let points = s.p == Some(e);
+                all_ready &= points && matches!(s.s, Status::Looking | Status::Waiting);
+                all_meeting &= points && matches!(s.s, Status::Waiting | Status::Done);
+                all_free &= s.s == Status::Looking && !s.l && !s.t;
+                t_witness |= points && s.t && s.s == Status::Looking;
+            }
+            ready |= all_ready;
+            meeting |= all_meeting;
+            if all_free {
+                any_free = true;
+                p_free |= st.p == Some(e);
+                for &q in h.members(e) {
+                    if max_free.is_none_or(|b| h.id(q) > h.id(b)) {
+                        max_free = Some(q);
+                    }
+                }
+            }
+            if t_witness {
+                any_tpe = true;
+                p_tpe |= st.p == Some(e);
+            }
+        }
+        let locked = any_tpe;
+        // Guards, highest priority (latest in code order) first — exactly
+        // the order of the reference `(0..COUNT).rev().find(guard)`.
+        let lm = Self::leave_meeting(ctx);
+        let wait_ok = st.s != Status::Waiting || ready || meeting;
+        let done_ok = st.s != Status::Done || meeting || lm;
+        if !(wait_ok && done_ok) {
+            return Some(STAB);
+        }
+        if lm && ctx.env().request_out(me) {
+            return Some(STEP4);
+        }
+        if meeting && st.s == Status::Waiting {
+            return Some(STEP3);
+        }
+        if ready && st.s == Status::Looking {
+            return Some(STEP2);
+        }
+        if token != st.t {
+            return Some(TOKEN);
+        }
+        if !token && !locked && any_free && !ready {
+            if max_free == Some(me) {
+                // Step13: the local max points to a free committee it does
+                // not already point to.
+                if !p_free {
+                    return Some(STEP13);
+                }
+            } else if let Some(e) = max_free.and_then(|mx| ctx.state_of(mx).p) {
+                // Step14: follow the local max's pointer if it is one of
+                // *our* free committees and not already ours.
+                if st.p != Some(e) && h.is_member(me, e) && Self::edge_free(ctx, e) {
+                    return Some(STEP14);
+                }
+            }
+        }
+        if !token && st.s == Status::Looking && !ready && any_tpe && !p_tpe {
+            return Some(STEP12);
+        }
+        if token && st.s == Status::Looking && !ready && !self.selector.acceptable(h, me, st) {
+            return Some(STEP11);
+        }
+        if locked != st.l {
+            return Some(LOCK);
+        }
+        None
     }
 
     fn guard<E: RequestEnv + ?Sized>(
@@ -414,7 +532,24 @@ impl<Sel: Selector, Ch: EdgeChoice> CommitteeAlgorithm for Cc2<Sel, Ch> {
         ctx: &Ctx<'_, Cc2State, E>,
         token: bool,
     ) -> Option<ActionId> {
-        (0..action::COUNT).rev().find(|&a| self.guard(ctx, token, a))
+        if self.reference_eval {
+            return (0..action::COUNT)
+                .rev()
+                .find(|&a| self.guard(ctx, token, a));
+        }
+        let fused = self.priority_action_fused(ctx, token);
+        debug_assert_eq!(
+            fused,
+            (0..action::COUNT)
+                .rev()
+                .find(|&a| self.guard(ctx, token, a)),
+            "fused evaluator diverged from the per-guard reference"
+        );
+        fused
+    }
+
+    fn set_reference_eval(&mut self, on: bool) {
+        self.reference_eval = on;
     }
 
     fn execute<E: RequestEnv + ?Sized>(
@@ -509,7 +644,13 @@ mod tests {
     type S = Cc2State;
 
     fn st(s: Status, p: Option<u32>, t: bool, l: bool) -> S {
-        S { s, p: p.map(EdgeId), t, l, cursor: 0 }
+        S {
+            s,
+            p: p.map(EdgeId),
+            t,
+            l,
+            cursor: 0,
+        }
     }
 
     /// Figure 4 configuration: e0={1,2,5,8}, e1={3,4,5}, e2={6,7,9},
@@ -700,8 +841,7 @@ mod tests {
         let cc = Cc2::new();
         let mut rng = rand::rngs::StdRng::seed_from_u64(77);
         for _ in 0..500 {
-            let states: Vec<S> =
-                (0..h.n()).map(|p| S::arbitrary(&mut rng, &h, p)).collect();
+            let states: Vec<S> = (0..h.n()).map(|p| S::arbitrary(&mut rng, &h, p)).collect();
             let mut env = RequestFlags::new(h.n());
             for p in 0..h.n() {
                 env.set_out(p, true);
@@ -710,8 +850,11 @@ mod tests {
                 let ctx = Ctx::new(&h, p, &states, &env);
                 for token in [false, true] {
                     let steps = [STEP11, STEP12, STEP13, STEP14, STEP2, STEP3, STEP4];
-                    let on: Vec<ActionId> =
-                        steps.iter().copied().filter(|&a| cc.guard(&ctx, token, a)).collect();
+                    let on: Vec<ActionId> = steps
+                        .iter()
+                        .copied()
+                        .filter(|&a| cc.guard(&ctx, token, a))
+                        .collect();
                     assert!(on.len() <= 1, "Remark 4 violated at p{p}: {on:?}");
                 }
             }

@@ -11,8 +11,9 @@
 use sscc_hypergraph::{EdgeId, Hypergraph};
 use std::cmp::Ordering;
 
-/// A deterministic selection rule among candidate committees.
-pub trait EdgeChoice {
+/// A deterministic selection rule among candidate committees (`Sync`: read
+/// concurrently by the engine's parallel drain).
+pub trait EdgeChoice: Sync {
     /// Pick one of `candidates` (non-empty, all incident to `me`).
     fn choose(&self, h: &Hypergraph, me: usize, candidates: &[EdgeId]) -> EdgeId;
 }
@@ -44,7 +45,10 @@ pub struct MaxMembersDesc;
 
 impl EdgeChoice for MaxMembersDesc {
     fn choose(&self, h: &Hypergraph, _me: usize, candidates: &[EdgeId]) -> EdgeId {
-        assert!(!candidates.is_empty(), "choose from a non-empty candidate set");
+        assert!(
+            !candidates.is_empty(),
+            "choose from a non-empty candidate set"
+        );
         *candidates
             .iter()
             .max_by(|&&a, &&b| cmp_members_desc(h, a, b))
@@ -98,7 +102,10 @@ mod tests {
         let c = MaxMembersDesc;
         // Professor 6: {6,9} beats {5,6} (paper, configuration 3(c)).
         let p6 = h.dense_of(6);
-        assert_eq!(c.choose(&h, p6, &[edge(&[5, 6]), edge(&[6, 9])]), edge(&[6, 9]));
+        assert_eq!(
+            c.choose(&h, p6, &[edge(&[5, 6]), edge(&[6, 9])]),
+            edge(&[6, 9])
+        );
         // Professor 9: {9,10} beats {6,9} and {8,9}.
         let p9 = h.dense_of(9);
         assert_eq!(
@@ -112,7 +119,10 @@ mod tests {
         let h = sscc_hypergraph::Hypergraph::new(&[&[1, 9], &[1, 2, 9]]);
         let c = MaxMembersDesc;
         // [9,2,1] > [9,1]: 9=9, then 2 > 1.
-        assert_eq!(c.choose(&h, h.dense_of(9), &[EdgeId(0), EdgeId(1)]), EdgeId(1));
+        assert_eq!(
+            c.choose(&h, h.dense_of(9), &[EdgeId(0), EdgeId(1)]),
+            EdgeId(1)
+        );
     }
 
     #[test]
@@ -120,7 +130,10 @@ mod tests {
         let h = generators::fig1();
         let c = MinSizeFirst;
         // {1,2} (size 2) over {1,2,3,4} (size 4).
-        assert_eq!(c.choose(&h, h.dense_of(1), &[EdgeId(0), EdgeId(1)]), EdgeId(0));
+        assert_eq!(
+            c.choose(&h, h.dense_of(1), &[EdgeId(0), EdgeId(1)]),
+            EdgeId(0)
+        );
     }
 
     #[test]

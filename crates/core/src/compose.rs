@@ -17,9 +17,7 @@
 use crate::algo::CommitteeAlgorithm;
 use crate::oracle::RequestEnv;
 use sscc_hypergraph::Hypergraph;
-use sscc_runtime::prelude::{
-    ActionId, ArbitraryState, Ctx, GuardedAlgorithm, Layer, StateAccess,
-};
+use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, GuardedAlgorithm, Layer, StateAccess};
 use sscc_token::TokenLayer;
 
 /// Composed per-process state: committee layer + token substrate + the
@@ -98,13 +96,9 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Composed<C, TL> {
     }
 
     /// Evaluate `Token(p)` for the context's process.
-    pub fn token_of<'a, E: ?Sized>(
-        &self,
-        ctx: &Ctx<'a, CcTok<C::State, TL::State>, E>,
-    ) -> bool {
+    pub fn token_of<'a, E: ?Sized>(&self, ctx: &Ctx<'a, CcTok<C::State, TL::State>, E>) -> bool {
         let pt = ProjTok(ctx.accessor());
-        let ctx_tok: Ctx<'_, TL::State, E> =
-            Ctx::new(ctx.h(), ctx.me(), &pt, ctx.env());
+        let ctx_tok: Ctx<'_, TL::State, E> = Ctx::new(ctx.h(), ctx.me(), &pt, ctx.env());
         self.tl.token(&ctx_tok)
     }
 }
@@ -136,14 +130,10 @@ where
         }
     }
 
-    fn priority_action(
-        &self,
-        ctx: &Ctx<'_, Self::State, dyn RequestEnv>,
-    ) -> Option<ActionId> {
+    fn priority_action(&self, ctx: &Ctx<'_, Self::State, dyn RequestEnv>) -> Option<ActionId> {
         let token = self.token_of(ctx);
         let pc = ProjCc(ctx.accessor());
-        let ctx_cc: Ctx<'_, C::State, dyn RequestEnv> =
-            Ctx::new(ctx.h(), ctx.me(), &pc, ctx.env());
+        let ctx_cc: Ctx<'_, C::State, dyn RequestEnv> = Ctx::new(ctx.h(), ctx.me(), &pc, ctx.env());
         let cc_act = self
             .cc
             .priority_action(&ctx_cc, token)
@@ -163,11 +153,7 @@ where
         }
     }
 
-    fn execute(
-        &self,
-        ctx: &Ctx<'_, Self::State, dyn RequestEnv>,
-        a: ActionId,
-    ) -> Self::State {
+    fn execute(&self, ctx: &Ctx<'_, Self::State, dyn RequestEnv>, a: ActionId) -> Self::State {
         let mut next = ctx.my_state().clone();
         match Self::decode(a) {
             (Layer::A, i) => {
@@ -203,7 +189,11 @@ impl<CS: ArbitraryState, TS: ArbitraryState> ArbitraryState for CcTok<CS, TS> {
         CcTok {
             cc: CS::arbitrary(rng, h, me),
             tok: TS::arbitrary(rng, h, me),
-            turn: if rng.random_bool(0.5) { Layer::A } else { Layer::B },
+            turn: if rng.random_bool(0.5) {
+                Layer::A
+            } else {
+                Layer::B
+            },
         }
     }
 }

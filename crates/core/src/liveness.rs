@@ -116,7 +116,11 @@ pub struct ProgressWatchdog {
 impl ProgressWatchdog {
     /// Watchdog with the given alarm horizon.
     pub fn new(h: &Hypergraph, horizon: u64) -> Self {
-        ProgressWatchdog { streak: vec![0; h.m()], horizon, alarms: Vec::new() }
+        ProgressWatchdog {
+            streak: vec![0; h.m()],
+            horizon,
+            alarms: Vec::new(),
+        }
     }
 
     /// Observe the post-step configuration.
@@ -196,8 +200,16 @@ mod tests {
         let h = generators::fig2();
         let mut w = ProgressWatchdog::new(&h, 3);
         let mut cfg = vec![Cc1State::idle(); h.n()];
-        cfg[h.dense_of(3)] = Cc1State { s: Status::Looking, p: None, t: false };
-        cfg[h.dense_of(4)] = Cc1State { s: Status::Looking, p: None, t: false };
+        cfg[h.dense_of(3)] = Cc1State {
+            s: Status::Looking,
+            p: None,
+            t: false,
+        };
+        cfg[h.dense_of(4)] = Cc1State {
+            s: Status::Looking,
+            p: None,
+            t: false,
+        };
         for step in 0..5 {
             w.observe(&h, &cfg, step);
         }
@@ -211,15 +223,27 @@ mod tests {
         use crate::status::Status;
         let h = generators::fig2();
         let mut w = ProgressWatchdog::new(&h, 3);
-        let looking = |e| Cc1State { s: Status::Looking, p: e, t: false };
+        let looking = |e| Cc1State {
+            s: Status::Looking,
+            p: e,
+            t: false,
+        };
         let mut cfg = vec![Cc1State::idle(); h.n()];
         cfg[h.dense_of(3)] = looking(None);
         cfg[h.dense_of(4)] = looking(None);
         w.observe(&h, &cfg, 0);
         w.observe(&h, &cfg, 1);
         // The committee meets: streak resets.
-        cfg[h.dense_of(3)] = Cc1State { s: Status::Waiting, p: Some(EdgeId(2)), t: false };
-        cfg[h.dense_of(4)] = Cc1State { s: Status::Waiting, p: Some(EdgeId(2)), t: false };
+        cfg[h.dense_of(3)] = Cc1State {
+            s: Status::Waiting,
+            p: Some(EdgeId(2)),
+            t: false,
+        };
+        cfg[h.dense_of(4)] = Cc1State {
+            s: Status::Waiting,
+            p: Some(EdgeId(2)),
+            t: false,
+        };
         w.observe(&h, &cfg, 2);
         w.observe(&h, &cfg, 3);
         w.observe(&h, &cfg, 4);

@@ -283,7 +283,11 @@ mod tests {
     use sscc_hypergraph::generators;
 
     fn s(status: Status, p: Option<u32>) -> Cc1State {
-        Cc1State { s: status, p: p.map(EdgeId), t: false }
+        Cc1State {
+            s: status,
+            p: p.map(EdgeId),
+            t: false,
+        }
     }
 
     #[test]
@@ -337,8 +341,14 @@ mod tests {
         // Step 9: professor 3 leaves; the meeting terminates.
         let mut after = done.clone();
         after[h.dense_of(3)] = Cc1State::idle();
-        let ev =
-            ledger.observe(&h, &done, &after, 9, 2, &[(h.dense_of(3), ActionClass::Leave)]);
+        let ev = ledger.observe(
+            &h,
+            &done,
+            &after,
+            9,
+            2,
+            &[(h.dense_of(3), ActionClass::Leave)],
+        );
         assert_eq!(ev, vec![LedgerEvent::Terminated(0)]);
         let m = &ledger.instances()[0];
         assert_eq!(m.terminated_step, Some(9));

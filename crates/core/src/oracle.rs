@@ -21,7 +21,10 @@ use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng as _};
 
 /// The environment interface the algorithms read during guard evaluation.
-pub trait RequestEnv {
+///
+/// `Sync`: guard evaluation may happen concurrently in the engine's
+/// parallel drain; the environment is frozen (read-only) during a step.
+pub trait RequestEnv: Sync {
     /// `RequestIn(p)`: does the professor want to join a meeting?
     fn request_in(&self, p: usize) -> bool;
     /// `RequestOut(p)`: does the professor want to stop discussing?
@@ -112,6 +115,22 @@ pub trait OraclePolicy {
     /// Recompute `flags` for the next step from the post-step `view`.
     fn update(&mut self, flags: &mut RequestFlags, view: &PolicyView);
 
+    /// Delta-aware tick: `changed` lists every process whose *inputs* in
+    /// `view` (status or `Meeting(p)`) may differ from the previous tick —
+    /// the simulator passes the executed processes' footprints. A process
+    /// outside `changed` is guaranteed unchanged, so a delta-aware policy
+    /// only re-derives flags for `changed` plus its own pending timers
+    /// (`O(affected)` instead of `O(n)`), producing **identical flag
+    /// trajectories** to [`OraclePolicy::update`]. A superset of the truly
+    /// changed processes is always safe. The default falls back to the full
+    /// tick (correct for every policy; time-randomized policies like
+    /// [`StochasticPolicy`] *must* keep it — their per-process RNG draws
+    /// each tick are part of the observable trajectory).
+    fn update_delta(&mut self, flags: &mut RequestFlags, view: &PolicyView, changed: &[usize]) {
+        let _ = changed;
+        self.update(flags, view);
+    }
+
     /// Upper bound on the number of environment ticks that may pass — with
     /// all process statuses frozen — before this policy's flags stop
     /// changing forever. The simulator uses it to tell "the system is
@@ -126,29 +145,80 @@ pub trait OraclePolicy {
 /// `max_disc` steps in the `done` status (the paper's `maxDisc`: the
 /// maximum voluntary-discussion length). `max_disc = 0` leaves as soon as
 /// allowed. The §5 algorithms assume exactly this environment.
+///
+/// Delta-aware: between ticks the policy only touches the processes whose
+/// status changed plus its *pending* timers (professors sitting `done`
+/// whose `RequestOut` has not fired yet) — never all `n`.
 #[derive(Clone, Debug)]
 pub struct EagerPolicy {
     max_disc: u64,
     done_since: Vec<Option<u64>>,
     now: u64,
+    /// Armed-but-not-yet-fired timers: the worklist may lag (removal just
+    /// clears the armed bit; stale entries are dropped by the next sweep),
+    /// but `armed[p]` is always authoritative.
+    pending: Vec<usize>,
+    armed: Vec<bool>,
 }
 
 impl EagerPolicy {
     /// Policy for `n` processes with voluntary-discussion length `max_disc`.
     pub fn new(n: usize, max_disc: u64) -> Self {
-        EagerPolicy { max_disc, done_since: vec![None; n], now: 0 }
+        EagerPolicy {
+            max_disc,
+            done_since: vec![None; n],
+            now: 0,
+            pending: Vec::new(),
+            armed: vec![false; n],
+        }
+    }
+
+    fn arm(&mut self, p: usize) {
+        if !self.armed[p] {
+            self.armed[p] = true;
+            self.pending.push(p);
+        }
+    }
+
+    /// Fire every armed timer that is due, clearing it from the worklist
+    /// (and dropping disarmed stragglers).
+    fn fire_due(&mut self, flags: &mut RequestFlags) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            let p = self.pending[i];
+            if !self.armed[p] {
+                self.pending.swap_remove(i);
+                continue;
+            }
+            let since = self.done_since[p].expect("armed implies a done timestamp");
+            if self.now - since >= self.max_disc {
+                flags.set_out(p, true);
+                self.armed[p] = false;
+                self.pending.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
     }
 }
 
 impl OraclePolicy for EagerPolicy {
     fn update(&mut self, flags: &mut RequestFlags, view: &PolicyView) {
         self.now += 1;
+        for &p in &self.pending {
+            self.armed[p] = false;
+        }
+        self.pending.clear();
         for p in 0..view.status.len() {
             flags.set_in(p, true);
             match view.status[p] {
                 Status::Done => {
                     let since = *self.done_since[p].get_or_insert(self.now);
-                    flags.set_out(p, self.now - since >= self.max_disc);
+                    let fired = self.now - since >= self.max_disc;
+                    flags.set_out(p, fired);
+                    if !fired {
+                        self.arm(p);
+                    }
                 }
                 _ => {
                     self.done_since[p] = None;
@@ -156,6 +226,31 @@ impl OraclePolicy for EagerPolicy {
                 }
             }
         }
+    }
+
+    fn update_delta(&mut self, flags: &mut RequestFlags, view: &PolicyView, changed: &[usize]) {
+        self.now += 1;
+        for &p in changed {
+            flags.set_in(p, true);
+            if view.status[p] == Status::Done {
+                // Re-derive the out-flag exactly as a full tick would —
+                // `changed` includes externally scripted flags, which must
+                // be overwritten after one step like the full tick does.
+                let since = *self.done_since[p].get_or_insert(self.now);
+                let fired = self.now - since >= self.max_disc;
+                flags.set_out(p, fired);
+                if !fired {
+                    self.arm(p);
+                } else {
+                    self.armed[p] = false;
+                }
+            } else {
+                self.done_since[p] = None;
+                flags.set_out(p, false);
+                self.armed[p] = false;
+            }
+        }
+        self.fire_due(flags);
     }
 
     fn quiescence_horizon(&self) -> u64 {
@@ -173,6 +268,18 @@ pub struct InfiniteMeetingPolicy;
 impl OraclePolicy for InfiniteMeetingPolicy {
     fn update(&mut self, flags: &mut RequestFlags, view: &PolicyView) {
         for p in 0..view.status.len() {
+            flags.set_in(p, true);
+            flags.set_out(p, view.status[p] == Status::Done && !view.in_meeting[p]);
+        }
+    }
+
+    fn update_delta(&mut self, flags: &mut RequestFlags, view: &PolicyView, changed: &[usize]) {
+        // Memoryless: a process's flags depend only on its own view entry,
+        // so unchanged entries keep their flags. `changed` must cover
+        // `Meeting(p)` flips too — the simulator passes the executed
+        // processes' closed neighborhoods, which is exactly where
+        // participation can change.
+        for &p in changed {
             flags.set_in(p, true);
             flags.set_out(p, view.status[p] == Status::Done && !view.in_meeting[p]);
         }
@@ -223,10 +330,8 @@ impl OraclePolicy for StochasticPolicy {
                     flags.set_out(p, false);
                 }
                 Status::Done => {
-                    let (entered, delay) = *self.done_since[p].get_or_insert((
-                        self.now,
-                        self.rng.random_range(self.out_lo..self.out_hi),
-                    ));
+                    let (entered, delay) = *self.done_since[p]
+                        .get_or_insert((self.now, self.rng.random_range(self.out_lo..self.out_hi)));
                     flags.set_out(p, self.now - entered >= delay);
                 }
                 _ => {
@@ -259,7 +364,10 @@ impl ScriptedPolicy {
     /// [`EagerPolicy`].
     pub fn new(in_mask: Vec<bool>, max_disc: u64) -> Self {
         let n = in_mask.len();
-        ScriptedPolicy { in_mask, eager: EagerPolicy::new(n, max_disc) }
+        ScriptedPolicy {
+            in_mask,
+            eager: EagerPolicy::new(n, max_disc),
+        }
     }
 }
 
@@ -268,6 +376,16 @@ impl OraclePolicy for ScriptedPolicy {
         self.eager.update(flags, view);
         for (p, &m) in self.in_mask.iter().enumerate() {
             flags.set_in(p, m);
+        }
+    }
+
+    fn update_delta(&mut self, flags: &mut RequestFlags, view: &PolicyView, changed: &[usize]) {
+        self.eager.update_delta(flags, view, changed);
+        // The eager tick only raised `RequestIn` for changed processes;
+        // re-masking those restores the script (unchanged processes keep
+        // their masked value from the previous tick).
+        for &p in changed {
+            flags.set_in(p, self.in_mask[p]);
         }
     }
 
@@ -353,11 +471,123 @@ mod tests {
         assert!(!f.request_in(0), "consumed once looking");
     }
 
+    /// Drive a full-tick and a delta-tick twin of the same policy through a
+    /// pseudo-random status trajectory; the flag trajectories must be
+    /// identical at every tick.
+    fn assert_delta_matches_full(mk: impl Fn() -> Box<dyn OraclePolicy>, label: &str) {
+        use rand::rngs::StdRng;
+        use rand::{Rng as _, SeedableRng as _};
+        let n = 9;
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut full = mk();
+            let mut delta = mk();
+            let mut ff = RequestFlags::new(n);
+            let mut fd = RequestFlags::new(n);
+            let mut v = view(vec![Status::Idle; n], vec![false; n]);
+            // Priming tick is a full tick in both (as Sim::wrap does).
+            full.update(&mut ff, &v);
+            delta.update(&mut fd, &v);
+            for tick in 0..120 {
+                // Mutate a few processes' view entries; they form `changed`.
+                let mut changed = Vec::new();
+                for _ in 0..rng.random_range(0..4usize) {
+                    let p = rng.random_range(0..n);
+                    v.status[p] = match rng.random_range(0..4u8) {
+                        0 => Status::Idle,
+                        1 => Status::Looking,
+                        2 => Status::Waiting,
+                        _ => Status::Done,
+                    };
+                    v.in_meeting[p] = rng.random_bool(0.5);
+                    if !changed.contains(&p) {
+                        changed.push(p);
+                    }
+                }
+                // External scripting through `flags_mut` (applied to both
+                // twins): a full tick overwrites every flag, so the delta
+                // tick must re-derive the mutated processes — the Sim
+                // feeds them into `changed` via its flag-flip tracking.
+                if rng.random_bool(0.3) {
+                    let p = rng.random_range(0..n);
+                    let v_in = rng.random_bool(0.5);
+                    let v_out = rng.random_bool(0.5);
+                    ff.set_in(p, v_in);
+                    ff.set_out(p, v_out);
+                    fd.set_in(p, v_in);
+                    fd.set_out(p, v_out);
+                    if !changed.contains(&p) {
+                        changed.push(p);
+                    }
+                }
+                full.update(&mut ff, &v);
+                delta.update_delta(&mut fd, &v, &changed);
+                for p in 0..n {
+                    assert_eq!(
+                        (ff.request_in(p), ff.request_out(p)),
+                        (fd.request_in(p), fd.request_out(p)),
+                        "{label}: seed {seed} tick {tick} p{p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eager_delta_matches_full() {
+        for disc in [0u64, 1, 3] {
+            assert_delta_matches_full(
+                move || Box::new(EagerPolicy::new(9, disc)),
+                &format!("eager/disc{disc}"),
+            );
+        }
+    }
+
+    #[test]
+    fn infinite_meeting_delta_matches_full() {
+        assert_delta_matches_full(|| Box::new(InfiniteMeetingPolicy), "infinite");
+    }
+
+    #[test]
+    fn scripted_delta_matches_full() {
+        assert_delta_matches_full(
+            || {
+                Box::new(ScriptedPolicy::new(
+                    vec![true, false, true, false, true, false, true, false, true],
+                    1,
+                ))
+            },
+            "scripted",
+        );
+    }
+
+    #[test]
+    fn default_update_delta_falls_back_to_full() {
+        // StochasticPolicy keeps the full tick (RNG draws are part of the
+        // trajectory): its update_delta must behave exactly like update.
+        let mut a = StochasticPolicy::new(3, 7, 0.5, 1..4);
+        let mut b = StochasticPolicy::new(3, 7, 0.5, 1..4);
+        let mut fa = RequestFlags::new(3);
+        let mut fb = RequestFlags::new(3);
+        let v = view(
+            vec![Status::Idle, Status::Done, Status::Looking],
+            vec![false, true, false],
+        );
+        for _ in 0..20 {
+            a.update(&mut fa, &v);
+            b.update_delta(&mut fb, &v, &[]);
+            assert_eq!(fa, fb);
+        }
+    }
+
     #[test]
     fn scripted_mask_overrides_in() {
         let mut pol = ScriptedPolicy::new(vec![true, false], 0);
         let mut f = RequestFlags::new(2);
-        pol.update(&mut f, &view(vec![Status::Idle, Status::Idle], vec![false, false]));
+        pol.update(
+            &mut f,
+            &view(vec![Status::Idle, Status::Idle], vec![false, false]),
+        );
         assert!(f.request_in(0));
         assert!(!f.request_in(1), "professor 1 never requests (Fig 3's #4)");
     }

@@ -8,12 +8,18 @@ use sscc_runtime::prelude::Ctx;
 
 /// `Ready(p) ≡ ∃ε ∈ E_p : ∀q ∈ ε : (P_q = ε ∧ S_q ∈ {looking, waiting})`.
 pub fn ready<S: CommitteeView, E: ?Sized>(ctx: &Ctx<'_, S, E>) -> bool {
-    ctx.h().incident(ctx.me()).iter().any(|&e| all_members(ctx, e, is_ready_member))
+    ctx.h()
+        .incident(ctx.me())
+        .iter()
+        .any(|&e| all_members(ctx, e, is_ready_member))
 }
 
 /// `Meeting(p) ≡ ∃ε ∈ E_p : ∀q ∈ ε : (P_q = ε ∧ S_q ∈ {waiting, done})`.
 pub fn meeting<S: CommitteeView, E: ?Sized>(ctx: &Ctx<'_, S, E>) -> bool {
-    ctx.h().incident(ctx.me()).iter().any(|&e| all_members(ctx, e, is_meeting_member))
+    ctx.h()
+        .incident(ctx.me())
+        .iter()
+        .any(|&e| all_members(ctx, e, is_meeting_member))
 }
 
 fn is_ready_member(s: &dyn CommitteeView, e: EdgeId) -> bool {

@@ -46,6 +46,13 @@ pub struct Sim<C: CommitteeAlgorithm, TL: TokenLayer> {
     trace: Option<Trace>,
     /// Use the legacy full-scan step path (differential reference).
     naive: bool,
+    /// Tick policies through [`OraclePolicy::update_delta`] with the
+    /// executed footprints (default); off = full `O(n)` ticks (the PR-1
+    /// behavior, kept as a differential/benchmark baseline).
+    delta_policies: bool,
+    /// The maintained view was mutated behind the policy's back (state
+    /// surgery): the next tick must be a full one.
+    policy_stale: bool,
     /// Reused step outcome (no per-step allocation).
     out: StepOutcome,
     /// Persistent mirror of the committee-layer configuration.
@@ -62,6 +69,12 @@ pub struct Sim<C: CommitteeAlgorithm, TL: TokenLayer> {
     touched_mark: MarkSet,
     /// Scratch: processes whose `Meeting(p)` cache must be recomputed.
     recheck: MarkSet,
+    /// Processes whose request flags flipped since the last policy tick
+    /// (policy flips drained at step start, plus external scripting through
+    /// [`Sim::flags_mut`]). A full policy tick re-derives *every* flag, so
+    /// external mutations last exactly one step; the delta tick reproduces
+    /// that by re-deriving exactly these processes.
+    flag_changed: MarkSet,
 }
 
 impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
@@ -101,8 +114,7 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     ) -> Self {
         let n = world.h().n();
         let m = world.h().m();
-        let initial_cc: Vec<C::State> =
-            world.states().iter().map(|s| s.cc.clone()).collect();
+        let initial_cc: Vec<C::State> = world.states().iter().map(|s| s.cc.clone()).collect();
         let ledger = MeetingLedger::new(world.h(), &initial_cc);
         // Prime the environment: the request predicates have values in γ0
         // already (e.g. a professor that never requests must not request in
@@ -128,6 +140,8 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
             monitor: SpecMonitor::new(),
             trace: None,
             naive: false,
+            delta_policies: true,
+            policy_stale: false,
             out: StepOutcome::default(),
             cc_view: initial_cc,
             view,
@@ -136,6 +150,7 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
             touched_edges: Vec::new(),
             touched_mark: MarkSet::new(m),
             recheck: MarkSet::new(n),
+            flag_changed: MarkSet::new(n),
         }
     }
 
@@ -147,6 +162,36 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     pub fn set_full_scan(&mut self, on: bool) {
         self.naive = on;
         self.world.set_full_scan(on);
+    }
+
+    /// Toggle delta-aware policy ticks (on by default): when off, every
+    /// tick re-derives all `n` processes' request flags like PR 1 did.
+    /// Identical flag trajectories either way.
+    pub fn set_delta_policies(&mut self, on: bool) {
+        self.delta_policies = on;
+    }
+
+    /// Fan the engine's dirty-set drain out to `threads` workers (see
+    /// [`World::set_threads`]; `<= 1` restores the sequential drain).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.world.set_threads(threads);
+    }
+
+    /// Like [`Sim::set_threads`] with an explicit per-thread fan-out
+    /// threshold (`0` forces the parallel path — used by the differential
+    /// suite to exercise it on tiny topologies).
+    pub fn set_parallel(&mut self, threads: usize, min_batch_per_thread: usize) {
+        self.world.set_parallel(threads, min_batch_per_thread);
+    }
+
+    /// Configure the exact engine PR 1 shipped: sequential incremental
+    /// drain, per-guard reference evaluator, full `O(n)` policy ticks.
+    /// This is the trajectory baseline BENCH_2.json's "incremental" mode
+    /// measures and the differential suite pins the new engine against.
+    pub fn set_pr1_baseline(&mut self) {
+        self.world.set_threads(1);
+        self.world.algo_mut().cc.set_reference_eval(true);
+        self.delta_policies = false;
     }
 
     /// Record a full action trace (off by default; memory grows with run
@@ -183,8 +228,7 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     /// [`Sim::world_mut`] (the mutated configuration becomes the "initial"
     /// one in the snap-stabilization sense).
     pub fn reset_observers(&mut self) {
-        let initial_cc: Vec<C::State> =
-            self.world.states().iter().map(|s| s.cc.clone()).collect();
+        let initial_cc: Vec<C::State> = self.world.states().iter().map(|s| s.cc.clone()).collect();
         self.ledger = MeetingLedger::new(self.world.h(), &initial_cc);
         self.monitor = SpecMonitor::new();
         self.rounds = RoundTracker::new();
@@ -197,6 +241,7 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         };
         self.cc_view = initial_cc;
         self.world.invalidate_all();
+        self.policy_stale = true;
     }
 
     /// Overwrite the committee-layer state of process `p`, keeping its
@@ -210,9 +255,11 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         self.cc_view[p] = self.world.state(p).cc.clone();
         self.view.status[p] = self.cc_view[p].status();
         for &q in self.world.h().closed_neighborhood(p) {
-            self.view.in_meeting[q] =
-                predicates::participates(self.world.h(), &self.cc_view, q);
+            self.view.in_meeting[q] = predicates::participates(self.world.h(), &self.cc_view, q);
         }
+        // The policy did not observe this mutation through an executed
+        // footprint: force one full resynchronizing tick.
+        self.policy_stale = true;
     }
 
     /// The meeting ledger.
@@ -262,18 +309,38 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         }
     }
 
+    /// One policy tick over the maintained view with the given changed set
+    /// (delta-aware unless disabled or the view was mutated behind the
+    /// policy's back, in which case one full tick resynchronizes it).
+    fn tick_policy(&mut self, changed: &[usize]) {
+        if self.delta_policies && !self.policy_stale {
+            self.policy
+                .update_delta(&mut self.flags, &self.view, changed);
+        } else {
+            self.policy.update(&mut self.flags, &self.view);
+            self.policy_stale = false;
+        }
+    }
+
     /// The delta-aware step: `O(affected)` observer and cache maintenance.
     fn step_incremental(&mut self) -> bool {
         // Apply environment invalidations recorded since the last step —
         // the policy update at the end of the previous step, or external
         // scripting through [`Sim::flags_mut`] — *before* the engine
         // refreshes its guard cache. (The full-scan engine re-evaluates
-        // everything each step and needs no notice.)
+        // everything each step and needs no notice.) The flipped processes
+        // also feed the next policy tick's changed set, so the delta tick
+        // re-derives (and a full tick would overwrite) exactly them.
         {
             let world = &mut self.world;
-            self.flags.drain_changed(|p| world.invalidate_env_of(p));
+            let flagged = &mut self.flag_changed;
+            self.flags.drain_changed(|p| {
+                world.invalidate_env_of(p);
+                flagged.insert(p);
+            });
         }
-        self.world.step_into(&mut *self.daemon, &self.flags, &mut self.out);
+        self.world
+            .step_into(&mut *self.daemon, &self.flags, &mut self.out);
         self.rounds.begin_step(&self.out.enabled);
         if self.out.terminal() {
             // Let the environment tick: e.g. a meeting of all-done members
@@ -281,11 +348,20 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
             // momentarily disabled, not deadlocked. The policy's declared
             // horizon bounds how long flags may still evolve with statuses
             // frozen; past it the configuration is truly quiescent.
-            // Statuses frozen ⇒ the maintained view is already current.
+            // Statuses frozen ⇒ the maintained view is already current,
+            // and a delta tick only re-derives flipped flags and advances
+            // the timers.
             for _ in 0..self.policy.quiescence_horizon() {
-                self.policy.update(&mut self.flags, &self.view);
+                let flagged = std::mem::take(&mut self.flag_changed);
+                self.tick_policy(flagged.as_slice());
+                self.flag_changed = flagged;
+                self.flag_changed.clear();
                 let world = &mut self.world;
-                self.flags.drain_changed(|p| world.invalidate_env_of(p));
+                let flagged = &mut self.flag_changed;
+                self.flags.drain_changed(|p| {
+                    world.invalidate_env_of(p);
+                    flagged.insert(p);
+                });
                 if !world.enabled_now(&self.flags).is_empty() {
                     return true;
                 }
@@ -345,14 +421,24 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
             self.view.status[p] = self.cc_view[p].status();
         }
         for &q in self.recheck.as_slice() {
-            self.view.in_meeting[q] =
-                predicates::participates(self.world.h(), &self.cc_view, q);
+            self.view.in_meeting[q] = predicates::participates(self.world.h(), &self.cc_view, q);
         }
         self.touched_mark.clear();
+        // The recheck set is exactly where the policy's *view* inputs can
+        // have moved; union in the processes whose flags flipped since the
+        // last tick (a full tick would re-derive them too). The resulting
+        // flag flips are drained (into engine invalidations) at the start
+        // of the next step.
+        {
+            let recheck = &mut self.recheck;
+            self.flag_changed.drain(|p| {
+                recheck.insert(p);
+            });
+        }
+        let recheck = std::mem::take(&mut self.recheck);
+        self.tick_policy(recheck.as_slice());
+        self.recheck = recheck;
         self.recheck.clear();
-        // The resulting flag flips are drained (into engine invalidations)
-        // at the start of the next step.
-        self.policy.update(&mut self.flags, &self.view);
 
         if let Some(t) = &mut self.trace {
             t.record(step_idx, self.rounds.rounds(), &self.out.executed);
@@ -434,11 +520,7 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
 
     /// Run until `pred(self)` holds (checked after each step), terminal, or
     /// budget exhaustion. Returns the steps taken and whether `pred` held.
-    pub fn run_until(
-        &mut self,
-        budget: u64,
-        mut pred: impl FnMut(&Self) -> bool,
-    ) -> (u64, bool) {
+    pub fn run_until(&mut self, budget: u64, mut pred: impl FnMut(&Self) -> bool) -> (u64, bool) {
         let start = self.steps();
         loop {
             if pred(self) {
@@ -531,8 +613,15 @@ mod tests {
         let h = Arc::new(generators::fig2());
         let mut sim = Cc1Sim::standard(Arc::clone(&h), 42, 1);
         sim.run(4000);
-        assert!(sim.ledger().convened_count() >= 3, "meetings keep happening");
-        assert!(sim.monitor().clean(), "violations: {:?}", sim.monitor().violations());
+        assert!(
+            sim.ledger().convened_count() >= 3,
+            "meetings keep happening"
+        );
+        assert!(
+            sim.monitor().clean(),
+            "violations: {:?}",
+            sim.monitor().violations()
+        );
     }
 
     #[test]
@@ -541,7 +630,11 @@ mod tests {
         let mut sim = Cc2Sim::standard(Arc::clone(&h), 42, 1);
         sim.run(4000);
         assert!(sim.ledger().convened_count() >= 3);
-        assert!(sim.monitor().clean(), "violations: {:?}", sim.monitor().violations());
+        assert!(
+            sim.monitor().clean(),
+            "violations: {:?}",
+            sim.monitor().violations()
+        );
     }
 
     #[test]
@@ -550,7 +643,11 @@ mod tests {
         let mut sim = Cc3Sim::standard(Arc::clone(&h), 7, 1);
         sim.run(6000);
         assert!(sim.ledger().convened_count() >= 3);
-        assert!(sim.monitor().clean(), "violations: {:?}", sim.monitor().violations());
+        assert!(
+            sim.monitor().clean(),
+            "violations: {:?}",
+            sim.monitor().violations()
+        );
     }
 
     #[test]

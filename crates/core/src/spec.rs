@@ -61,18 +61,33 @@ impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Violation::Exclusion { step, a, b } => {
-                write!(f, "step {step}: conflicting committees {a:?} and {b:?} both meet")
+                write!(
+                    f,
+                    "step {step}: conflicting committees {a:?} and {b:?} both meet"
+                )
             }
-            Violation::Synchronization { step, edge, member, status } => write!(
+            Violation::Synchronization {
+                step,
+                edge,
+                member,
+                status,
+            } => write!(
                 f,
                 "step {step}: committee {edge:?} convened while member p{member} was {status:?}"
             ),
-            Violation::EssentialSkipped { step, edge, missing } => write!(
+            Violation::EssentialSkipped {
+                step,
+                edge,
+                missing,
+            } => write!(
                 f,
                 "step {step}: meeting {edge:?} ended but {missing:?} skipped essential discussion"
             ),
             Violation::InvoluntaryTermination { step, edge } => {
-                write!(f, "step {step}: meeting {edge:?} ended without a voluntary Step4 leave")
+                write!(
+                    f,
+                    "step {step}: meeting {edge:?} ended without a voluntary Step4 leave"
+                )
             }
         }
     }
@@ -85,6 +100,12 @@ impl std::fmt::Display for Violation {
 #[derive(Clone, Debug, Default)]
 pub struct SpecMonitor {
     violations: Vec<Violation>,
+    /// Conflicting pairs among the *currently live* meetings, sorted
+    /// lexicographically — maintained from convene/terminate events by the
+    /// incremental path so the per-step exclusion check is `O(|conflicts|)`
+    /// (normally zero) instead of `O(|live|²)`. The full-scan path
+    /// recomputes from scratch and ignores this cache.
+    live_conflicts: Vec<(EdgeId, EdgeId)>,
 }
 
 impl SpecMonitor {
@@ -125,7 +146,33 @@ impl SpecMonitor {
             crate::predicates::meeting_edges(h, post),
             "ledger live-set is in sync with the configuration"
         );
-        self.check_exclusion_among(h, ledger.live_edge_set(), step);
+        // Exclusion, incrementally: the set of conflicting live pairs only
+        // changes when a meeting convenes or terminates, so maintain it
+        // from the events and replay it each step — the same per-step
+        // violation sequence as the full `O(|live|²)` pairwise check
+        // (pinned by the differential suite and `tests` below).
+        for &ev in events {
+            match ev {
+                LedgerEvent::Convened(idx) => {
+                    let e = ledger.instances()[idx].edge;
+                    for &b in ledger.live_edge_set() {
+                        if b != e && h.conflicting(e, b) {
+                            let pair = (e.min(b), e.max(b));
+                            if let Err(at) = self.live_conflicts.binary_search(&pair) {
+                                self.live_conflicts.insert(at, pair);
+                            }
+                        }
+                    }
+                }
+                LedgerEvent::Terminated(idx) => {
+                    let e = ledger.instances()[idx].edge;
+                    self.live_conflicts.retain(|&(a, b)| a != e && b != e);
+                }
+            }
+        }
+        for &(a, b) in &self.live_conflicts {
+            self.violations.push(Violation::Exclusion { step, a, b });
+        }
         self.observe_events(post, step, ledger, events);
     }
 
@@ -208,7 +255,11 @@ mod tests {
     use sscc_hypergraph::generators;
 
     fn s(status: Status, p: Option<u32>) -> Cc1State {
-        Cc1State { s: status, p: p.map(EdgeId), t: false }
+        Cc1State {
+            s: status,
+            p: p.map(EdgeId),
+            t: false,
+        }
     }
 
     #[test]
@@ -248,7 +299,11 @@ mod tests {
         assert_eq!(mon.violations().len(), 1);
         assert!(matches!(
             mon.violations()[0],
-            Violation::Synchronization { edge: EdgeId(2), status: Status::Done, .. }
+            Violation::Synchronization {
+                edge: EdgeId(2),
+                status: Status::Done,
+                ..
+            }
         ));
     }
 
@@ -268,8 +323,14 @@ mod tests {
         let ev = ledger.observe(&h, &met, &after, 2, 0, &[]);
         mon.observe(&h, &after, 2, &ledger, &ev);
         assert_eq!(mon.violations().len(), 2, "essential skipped + involuntary");
-        assert!(matches!(mon.violations()[0], Violation::EssentialSkipped { .. }));
-        assert!(matches!(mon.violations()[1], Violation::InvoluntaryTermination { .. }));
+        assert!(matches!(
+            mon.violations()[0],
+            Violation::EssentialSkipped { .. }
+        ));
+        assert!(matches!(
+            mon.violations()[1],
+            Violation::InvoluntaryTermination { .. }
+        ));
     }
 
     #[test]
@@ -284,7 +345,14 @@ mod tests {
         // It dissolves without essential discussion: no violation (it
         // started during the faults).
         let after = vec![Cc1State::idle(); h.n()];
-        let ev = ledger.observe(&h, &init, &after, 1, 0, &[(h.dense_of(3), ActionClass::Leave)]);
+        let ev = ledger.observe(
+            &h,
+            &init,
+            &after,
+            1,
+            0,
+            &[(h.dense_of(3), ActionClass::Leave)],
+        );
         mon.observe(&h, &after, 1, &ledger, &ev);
         assert!(mon.clean());
     }
@@ -320,8 +388,14 @@ mod tests {
 
         let mut after = done.clone();
         after[h.dense_of(4)] = Cc1State::idle();
-        let ev =
-            ledger.observe(&h, &done, &after, 3, 0, &[(h.dense_of(4), ActionClass::Leave)]);
+        let ev = ledger.observe(
+            &h,
+            &done,
+            &after,
+            3,
+            0,
+            &[(h.dense_of(4), ActionClass::Leave)],
+        );
         mon.observe(&h, &after, 3, &ledger, &ev);
         assert!(mon.clean(), "violations: {:?}", mon.violations());
     }

@@ -6,6 +6,10 @@
 //!
 //! This is the correctness bar of the incremental scheduler: it is a pure
 //! optimization, invisible to every observer.
+//!
+//! Every test here is named `differential_*` — CI's build-test job skips
+//! them by that prefix (`cargo test -- --skip differential_`) because the
+//! differential job runs this suite on its own, in release mode.
 
 use sscc_core::sim::{default_daemon, Sim};
 use sscc_core::{Cc1, Cc2, Cc3, CommitteeAlgorithm, EagerPolicy};
@@ -22,58 +26,89 @@ fn topologies() -> Vec<(&'static str, Arc<Hypergraph>)> {
     ]
 }
 
-/// Drive an incremental and a full-scan twin in lockstep and assert every
+/// Drive the default incremental engine in lockstep against every other
+/// engine configuration — the legacy full-scan path, the PR-1 baseline
+/// (sequential drain, per-guard evaluator, full policy ticks) and the
+/// parallel sharded drain at 2 and 4 worker threads (forced through the
+/// parallel path with a zero fan-out threshold) — and assert every
 /// observable agrees, stepwise and at the end.
-fn assert_equivalent<C, TL>(
-    mk: impl Fn() -> Sim<C, TL>,
-    budget: u64,
-    label: &str,
-) where
+fn assert_equivalent<C, TL>(mk: impl Fn() -> Sim<C, TL>, budget: u64, label: &str)
+where
     C: CommitteeAlgorithm,
     TL: TokenLayer,
 {
     let mut inc = mk();
-    let mut full = mk();
-    full.set_full_scan(true);
     inc.enable_trace();
-    full.enable_trace();
+    let mut twins: Vec<(&'static str, Sim<C, TL>)> = vec![
+        ("full_scan", {
+            let mut s = mk();
+            s.set_full_scan(true);
+            s
+        }),
+        ("pr1", {
+            let mut s = mk();
+            s.set_pr1_baseline();
+            s
+        }),
+        ("par2", {
+            let mut s = mk();
+            s.set_parallel(2, 0);
+            s
+        }),
+        ("par4", {
+            let mut s = mk();
+            s.set_parallel(4, 0);
+            s
+        }),
+    ];
+    for (_, s) in &mut twins {
+        s.enable_trace();
+    }
     for step in 0..budget {
         let a = inc.step();
-        let b = full.step();
-        assert_eq!(a, b, "{label}: step {step} progress disagrees");
-        assert_eq!(
-            inc.cc_states(),
-            full.cc_states(),
-            "{label}: step {step} configurations diverge"
-        );
+        for (tag, s) in &mut twins {
+            let b = s.step();
+            assert_eq!(a, b, "{label}/{tag}: step {step} progress disagrees");
+            assert_eq!(
+                inc.cc_states(),
+                s.cc_states(),
+                "{label}/{tag}: step {step} configurations diverge"
+            );
+        }
         if !a {
             break;
         }
     }
-    assert_eq!(inc.steps(), full.steps(), "{label}: step counts");
-    assert_eq!(inc.rounds(), full.rounds(), "{label}: round counts");
-    assert_eq!(
-        inc.trace().unwrap().events(),
-        full.trace().unwrap().events(),
-        "{label}: executed-action traces"
-    );
-    assert_eq!(
-        inc.ledger().instances(),
-        full.ledger().instances(),
-        "{label}: ledger instances"
-    );
-    assert_eq!(
-        inc.ledger().participations(),
-        full.ledger().participations(),
-        "{label}: participation counters"
-    );
-    assert_eq!(
-        inc.monitor().violations(),
-        full.monitor().violations(),
-        "{label}: monitor verdicts"
-    );
-    assert_eq!(inc.statuses(), full.statuses(), "{label}: final statuses");
-    assert_eq!(inc.flags(), full.flags(), "{label}: request flags");
+    for (tag, s) in &twins {
+        assert_eq!(inc.steps(), s.steps(), "{label}/{tag}: step counts");
+        assert_eq!(inc.rounds(), s.rounds(), "{label}/{tag}: round counts");
+        assert_eq!(
+            inc.trace().unwrap().events(),
+            s.trace().unwrap().events(),
+            "{label}/{tag}: executed-action traces"
+        );
+        assert_eq!(
+            inc.ledger().instances(),
+            s.ledger().instances(),
+            "{label}/{tag}: ledger instances"
+        );
+        assert_eq!(
+            inc.ledger().participations(),
+            s.ledger().participations(),
+            "{label}/{tag}: participation counters"
+        );
+        assert_eq!(
+            inc.monitor().violations(),
+            s.monitor().violations(),
+            "{label}/{tag}: monitor verdicts"
+        );
+        assert_eq!(
+            inc.statuses(),
+            s.statuses(),
+            "{label}/{tag}: final statuses"
+        );
+        assert_eq!(inc.flags(), s.flags(), "{label}/{tag}: request flags");
+    }
 }
 
 macro_rules! differential_suite {
@@ -120,14 +155,14 @@ macro_rules! differential_suite {
     };
 }
 
-differential_suite!(cc1_incremental_matches_full_scan, Cc1::new(), "CC1");
-differential_suite!(cc2_incremental_matches_full_scan, Cc2::new(), "CC2");
-differential_suite!(cc3_incremental_matches_full_scan, Cc3::new_cc3(), "CC3");
+differential_suite!(differential_cc1_all_engines_agree, Cc1::new(), "CC1");
+differential_suite!(differential_cc2_all_engines_agree, Cc2::new(), "CC2");
+differential_suite!(differential_cc3_all_engines_agree, Cc3::new_cc3(), "CC3");
 
 /// The `Selection::All` fast path (synchronous daemon — no subset `Vec`
 /// round-trip, `WeaklyFair` bypass) must also be trace-identical.
 #[test]
-fn synchronous_daemon_agrees() {
+fn differential_synchronous_daemon_agrees() {
     use sscc_runtime::prelude::Synchronous;
     for (topo, h) in topologies() {
         let n = h.n();
@@ -173,7 +208,7 @@ fn synchronous_daemon_agrees() {
 /// two engines must agree even when flags are flipped behind the policy's
 /// back (walkthrough scripting, e.g. the Figure 3 replay).
 #[test]
-fn scripted_flag_flips_between_steps_agree() {
+fn differential_scripted_flag_flips_agree() {
     let h = Arc::new(generators::fig1());
     let n = h.n();
     for seed in 0..10u64 {
@@ -187,37 +222,74 @@ fn scripted_flag_flips_between_steps_agree() {
             )
         };
         let mut inc = mk();
-        let mut full = mk();
-        full.set_full_scan(true);
         inc.enable_trace();
-        full.enable_trace();
+        let mut twins = vec![
+            ("full_scan", {
+                let mut s = mk();
+                s.set_full_scan(true);
+                s
+            }),
+            ("pr1", {
+                let mut s = mk();
+                s.set_pr1_baseline();
+                s
+            }),
+            ("par2", {
+                let mut s = mk();
+                s.set_parallel(2, 0);
+                s
+            }),
+            ("par4", {
+                let mut s = mk();
+                s.set_parallel(4, 0);
+                s
+            }),
+        ];
+        for (_, s) in &mut twins {
+            s.enable_trace();
+        }
         for step in 0..300u64 {
             // Script: wake professor (step % n) up for 3 steps, then drop
-            // the request again — identical mutations on both twins.
+            // the request again — and periodically force its out-flag both
+            // ways (a full policy tick overwrites external out-flags after
+            // one step; the delta tick must too). Identical mutations on
+            // every twin.
             let p = (step as usize) % n;
             let want = step % 6 < 3;
+            let force_out = (step % 5 == 0).then_some(step % 10 == 0);
             inc.flags_mut().set_in(p, want);
-            full.flags_mut().set_in(p, want);
+            if let Some(v) = force_out {
+                inc.flags_mut().set_out(p, v);
+            }
             let a = inc.step();
-            let b = full.step();
-            assert_eq!(a, b, "seed {seed}: step {step} progress disagrees");
-            assert_eq!(
-                inc.cc_states(),
-                full.cc_states(),
-                "seed {seed}: step {step} configurations diverge"
-            );
+            for (tag, s) in &mut twins {
+                s.flags_mut().set_in(p, want);
+                if let Some(v) = force_out {
+                    s.flags_mut().set_out(p, v);
+                }
+                let b = s.step();
+                assert_eq!(a, b, "seed {seed}/{tag}: step {step} progress disagrees");
+                assert_eq!(
+                    inc.cc_states(),
+                    s.cc_states(),
+                    "seed {seed}/{tag}: step {step} configurations diverge"
+                );
+            }
         }
-        assert_eq!(
-            inc.trace().unwrap().events(),
-            full.trace().unwrap().events(),
-            "seed {seed}: traces"
-        );
-        assert_eq!(inc.rounds(), full.rounds(), "seed {seed}: rounds");
-        assert_eq!(
-            inc.monitor().violations(),
-            full.monitor().violations(),
-            "seed {seed}: verdicts"
-        );
+        for (tag, s) in &twins {
+            assert_eq!(
+                inc.trace().unwrap().events(),
+                s.trace().unwrap().events(),
+                "seed {seed}/{tag}: traces"
+            );
+            assert_eq!(inc.rounds(), s.rounds(), "seed {seed}/{tag}: rounds");
+            assert_eq!(
+                inc.monitor().violations(),
+                s.monitor().violations(),
+                "seed {seed}/{tag}: verdicts"
+            );
+            assert_eq!(inc.flags(), s.flags(), "seed {seed}/{tag}: flags");
+        }
     }
 }
 
@@ -225,7 +297,7 @@ fn scripted_flag_flips_between_steps_agree() {
 /// environment in which nobody ever requests quiesces immediately under
 /// both engines, after identical environment ticks.
 #[test]
-fn quiescent_environment_agrees() {
+fn differential_quiescent_environment_agrees() {
     let h = Arc::new(generators::fig2());
     let n = h.n();
     for seed in 0..20u64 {

@@ -19,7 +19,11 @@ fn lemma2_synchronization_on_long_runs() {
     ] {
         let mut sim = Cc1Sim::standard(Arc::clone(&h), 31, 2);
         sim.run(20_000);
-        assert!(sim.monitor().clean(), "{name}: {:?}", sim.monitor().violations());
+        assert!(
+            sim.monitor().clean(),
+            "{name}: {:?}",
+            sim.monitor().violations()
+        );
         assert!(sim.ledger().convened_count() > 100, "{name}: vacuous");
     }
 }
@@ -44,7 +48,10 @@ fn lemma4_essential_discussion_per_instance() {
             checked += 1;
         }
     }
-    assert!(checked > 50, "enough terminated instances checked: {checked}");
+    assert!(
+        checked > 50,
+        "enough terminated instances checked: {checked}"
+    );
 }
 
 /// Lemma 5 (Voluntary Discussion): meetings end only through a unilateral
@@ -146,7 +153,10 @@ fn monitors_catch_seeded_violations() {
     let events = ledger.observe(&h, &idle, &bad, 1, 0, &[]);
     assert!(matches!(events[..], [LedgerEvent::Convened(_)]));
     monitor.observe(&h, &bad, 1, &ledger, &events);
-    assert!(!monitor.clean(), "the monitor must flag the seeded violation");
+    assert!(
+        !monitor.clean(),
+        "the monitor must flag the seeded violation"
+    );
 }
 
 /// CC1 and CC2 never regress to `idle`/`looking` from inside a live
@@ -166,12 +176,12 @@ fn status_lifecycle_is_legal() {
             use Status::*;
             let legal = match (prev[p].status(), now[p].status()) {
                 (a, b) if a == b => true,
-                (Idle, Looking) => true,           // Step1
-                (Looking, Waiting) => true,        // Step31
-                (Waiting, Done) => true,           // Step32
-                (Done, Idle) => true,              // Step4
-                (Waiting, Looking) => true,        // Stab2 (faults only)
-                (Done, Looking) => true,           // Stab2 (faults only)
+                (Idle, Looking) => true,    // Step1
+                (Looking, Waiting) => true, // Step31
+                (Waiting, Done) => true,    // Step32
+                (Done, Idle) => true,       // Step4
+                (Waiting, Looking) => true, // Stab2 (faults only)
+                (Done, Looking) => true,    // Stab2 (faults only)
                 _ => false,
             };
             assert!(

@@ -198,7 +198,7 @@ mod tests {
         let h = fig2();
         let a = FairnessAnalysis::compute(&h);
         assert_eq!(a.min_mm, 1); // {e1} is maximal
-        // minE: p1=2 ({1,2}), p2=2, p3=2 ({3,4}), p4=2, p5=3 ({1,3,5}).
+                                 // minE: p1=2 ({1,2}), p2=2, p3=2 ({3,4}), p4=2, p5=3 ({1,3,5}).
         assert_eq!(a.max_min, 3);
         assert_eq!(a.max_hedge, 3);
         assert!(a.thm4_bound() >= a.thm5_bound());
@@ -232,10 +232,7 @@ mod tests {
                 a.thm4_bound(),
                 a.thm5_bound()
             );
-            assert!(
-                a.thm7_bound() >= a.thm8_bound(),
-                "Thm8 violated on {h:?}"
-            );
+            assert!(a.thm7_bound() >= a.thm8_bound(), "Thm8 violated on {h:?}");
             // AMM' ⊇ AMM, so its minimum can only be lower or equal.
             if let (Some(a2), Some(a3)) = (a.min_amm, a.min_amm_prime) {
                 assert!(a3 <= a2);

@@ -47,7 +47,10 @@ pub fn fig4() -> Hypergraph {
 /// one professor: `n = k(s-1)` professors. `ring(k, 2)` is the cycle `C_k`
 /// (the dining-philosophers conflict graph). Requires `k >= 3`, `s >= 2`.
 pub fn ring(k: usize, s: usize) -> Hypergraph {
-    assert!(k >= 3, "ring needs >= 3 committees (k=2 would duplicate edges)");
+    assert!(
+        k >= 3,
+        "ring needs >= 3 committees (k=2 would duplicate edges)"
+    );
     assert!(s >= 2, "committees need >= 2 members");
     let n = k * (s - 1);
     let committees: Vec<Vec<u32>> = (0..k)
@@ -181,7 +184,10 @@ pub struct Named {
 /// The standard analysis corpus used by the experiment suite (small enough
 /// for exact matching enumeration, §5.3).
 pub fn corpus() -> Vec<Named> {
-    let mk = |name: &str, h: Hypergraph| Named { name: name.to_string(), h };
+    let mk = |name: &str, h: Hypergraph| Named {
+        name: name.to_string(),
+        h,
+    };
     vec![
         mk("fig1", fig1()),
         mk("fig2", fig2()),
@@ -217,7 +223,11 @@ mod tests {
         assert_eq!(h.n(), 6);
         assert_eq!(h.m(), 6);
         for v in 0..h.n() {
-            assert_eq!(h.incident(v).len(), 2, "every cycle vertex is in 2 committees");
+            assert_eq!(
+                h.incident(v).len(),
+                2,
+                "every cycle vertex is in 2 committees"
+            );
         }
         let h = ring(5, 3);
         assert_eq!(h.n(), 10);

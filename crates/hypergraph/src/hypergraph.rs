@@ -6,8 +6,10 @@
 //! network handled by [`crate::network`].
 
 use crate::ids::{EdgeId, ProcessId};
-use std::collections::BTreeSet;
+use crate::sharding::ShardPlan;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Validation failure when constructing a [`Hypergraph`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,10 +47,16 @@ impl fmt::Display for HypergraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HypergraphError::EdgeTooSmall { edge, len } => {
-                write!(f, "hyperedge #{edge} has {len} distinct members; committees need >= 2")
+                write!(
+                    f,
+                    "hyperedge #{edge} has {len} distinct members; committees need >= 2"
+                )
             }
             HypergraphError::DuplicateEdge { first, second } => {
-                write!(f, "hyperedges #{first} and #{second} have identical member sets")
+                write!(
+                    f,
+                    "hyperedges #{first} and #{second} have identical member sets"
+                )
             }
             HypergraphError::IsolatedVertex { id } => {
                 write!(f, "process {id} belongs to no committee")
@@ -69,7 +77,6 @@ impl std::error::Error for HypergraphError {}
 /// identifier `self.id(k)`. All hot-path structures (members, incidence,
 /// neighborhoods) are precomputed boxed slices so that guard evaluation in the
 /// runtime never allocates.
-#[derive(Clone, PartialEq, Eq)]
 pub struct Hypergraph {
     /// Sorted, deduplicated process identifiers; dense index = position.
     ids: Box<[ProcessId]>,
@@ -87,7 +94,34 @@ pub struct Hypergraph {
     /// Identity table `[0, 1, …, n-1]`; `&identity[v..=v]` is the borrowed
     /// singleton slice `[v]` (allocation-free footprints).
     identity: Box<[usize]>,
+    /// Lazily computed shard plans, keyed by shard count (the runtime's
+    /// parallel drain asks for the same plan every refresh — compute once,
+    /// share via `Arc`). Excluded from `Clone`/`PartialEq`: a cache, not
+    /// part of the graph's value.
+    plans: parking_lot::Mutex<BTreeMap<usize, Arc<ShardPlan>>>,
 }
+
+impl Clone for Hypergraph {
+    fn clone(&self) -> Self {
+        Hypergraph {
+            ids: self.ids.clone(),
+            edges: self.edges.clone(),
+            incident: self.incident.clone(),
+            neighbors: self.neighbors.clone(),
+            closed_nbhd: self.closed_nbhd.clone(),
+            identity: self.identity.clone(),
+            plans: parking_lot::Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+impl PartialEq for Hypergraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.ids == other.ids && self.edges == other.edges
+    }
+}
+
+impl Eq for Hypergraph {}
 
 impl Hypergraph {
     /// Build a hypergraph from committees given as lists of raw identifiers.
@@ -118,11 +152,17 @@ impl Hypergraph {
         for (k, c) in committees.iter().enumerate() {
             let set: BTreeSet<usize> = c.iter().map(|&r| dense(r)).collect();
             if set.len() < 2 {
-                return Err(HypergraphError::EdgeTooSmall { edge: k, len: set.len() });
+                return Err(HypergraphError::EdgeTooSmall {
+                    edge: k,
+                    len: set.len(),
+                });
             }
             let members: Box<[usize]> = set.into_iter().collect();
             if let Some(prev) = edges.iter().position(|e| **e == *members) {
-                return Err(HypergraphError::DuplicateEdge { first: prev, second: k });
+                return Err(HypergraphError::DuplicateEdge {
+                    first: prev,
+                    second: k,
+                });
             }
             edges.push(members);
         }
@@ -168,6 +208,7 @@ impl Hypergraph {
             neighbors,
             closed_nbhd,
             identity: (0..n).collect(),
+            plans: parking_lot::Mutex::new(BTreeMap::new()),
         };
         if !g.is_connected() {
             return Err(HypergraphError::Disconnected);
@@ -310,7 +351,10 @@ impl Hypergraph {
 
     /// `MaxMin = max_{p in V} minE_p` (paper §5.3, used by Theorem 5).
     pub fn max_min(&self) -> usize {
-        (0..self.n()).map(|v| self.min_edge_len(v)).max().unwrap_or(0)
+        (0..self.n())
+            .map(|v| self.min_edge_len(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// `MaxHEdge = max_{ε in E} |ε|` (paper §5.4, used by Theorem 8).
@@ -344,7 +388,21 @@ impl Hypergraph {
 
     /// Members of `e` as raw identifier values (display/report helper).
     pub fn members_raw(&self, e: EdgeId) -> Vec<u32> {
-        self.members(e).iter().map(|&v| self.id(v).value()).collect()
+        self.members(e)
+            .iter()
+            .map(|&v| self.id(v).value())
+            .collect()
+    }
+
+    /// The `shards`-way [`ShardPlan`] over this graph, computed lazily and
+    /// cached (the runtime's parallel drain asks for it on every refresh).
+    pub fn shard_plan(&self, shards: usize) -> Arc<ShardPlan> {
+        let mut cache = self.plans.lock();
+        Arc::clone(
+            cache
+                .entry(shards.clamp(1, self.n()))
+                .or_insert_with_key(|&k| Arc::new(ShardPlan::new(self, k))),
+        )
     }
 }
 
@@ -453,7 +511,10 @@ mod tests {
     fn rejects_duplicate_edges() {
         assert_eq!(
             Hypergraph::try_new(&[&[1, 2], &[2, 1]]).unwrap_err(),
-            HypergraphError::DuplicateEdge { first: 0, second: 1 }
+            HypergraphError::DuplicateEdge {
+                first: 0,
+                second: 1
+            }
         );
     }
 
@@ -467,7 +528,10 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        assert_eq!(Hypergraph::try_new(&[]).unwrap_err(), HypergraphError::Empty);
+        assert_eq!(
+            Hypergraph::try_new(&[]).unwrap_err(),
+            HypergraphError::Empty
+        );
     }
 
     #[test]

@@ -32,8 +32,10 @@ pub mod hypergraph;
 pub mod ids;
 pub mod matching;
 pub mod network;
+pub mod sharding;
 
 pub use fairness_sets::{AmmFamily, FairnessAnalysis};
 pub use hypergraph::{Hypergraph, HypergraphError};
 pub use ids::{EdgeId, ProcessId};
 pub use network::{EulerTour, SpanningTree};
+pub use sharding::ShardPlan;

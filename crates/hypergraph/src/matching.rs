@@ -332,14 +332,7 @@ mod tests {
     fn ring_of_pairs_min_maximal() {
         // Cycle C6 as six pair-committees: minMM of C6 = 2 (edges {0,1},{3,4}),
         // maximum matching = 3.
-        let h = Hypergraph::new(&[
-            &[0, 1],
-            &[1, 2],
-            &[2, 3],
-            &[3, 4],
-            &[4, 5],
-            &[5, 0],
-        ]);
+        let h = Hypergraph::new(&[&[0, 1], &[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 0]]);
         assert_eq!(min_maximal_matching_size(&h), 2);
         assert_eq!(max_matching_size(&h), 3);
     }

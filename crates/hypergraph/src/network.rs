@@ -9,6 +9,30 @@
 use crate::hypergraph::Hypergraph;
 use std::collections::VecDeque;
 
+/// Deterministic BFS visit order of `G_H` from `root` (neighbors expand in
+/// ascending dense order). The hypergraph is connected by construction, so
+/// this covers every process. Shared by [`crate::sharding::ShardPlan`] —
+/// contiguous slices of this order are contiguous regions of the network.
+pub fn bfs_order(h: &Hypergraph, root: usize) -> Vec<usize> {
+    let n = h.n();
+    assert!(root < n, "root out of range");
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[root] = true;
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &u in h.neighbors(v) {
+            if !seen[u] {
+                seen[u] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
 /// BFS distances (in hops of `G_H`) from `root` to every process.
 pub fn bfs_distances(h: &Hypergraph, root: usize) -> Vec<usize> {
     let n = h.n();
@@ -70,7 +94,11 @@ impl SpanningTree {
             }
         }
         debug_assert!(seen.iter().all(|&s| s), "hypergraph is validated connected");
-        SpanningTree { root, parent, children }
+        SpanningTree {
+            root,
+            parent,
+            children,
+        }
     }
 
     /// Root process (dense index).
@@ -271,7 +299,10 @@ mod tests {
         assert_eq!(tour.len(), 2 * (h.n() - 1));
         // Every process owns at least one position.
         for v in 0..h.n() {
-            assert!(!tour.positions(v).is_empty(), "process {v} missing from tour");
+            assert!(
+                !tour.positions(v).is_empty(),
+                "process {v} missing from tour"
+            );
         }
         // Consecutive positions (cyclically) are tree-adjacent.
         for i in 0..tour.len() {
@@ -290,7 +321,9 @@ mod tests {
         let h = Hypergraph::new(&[&[1, 2], &[2, 3]]);
         let t = SpanningTree::bfs(&h, h.dense_of(1));
         let tour = EulerTour::of(&t);
-        let raw: Vec<u32> = (0..tour.len()).map(|i| h.id(tour.owner(i)).value()).collect();
+        let raw: Vec<u32> = (0..tour.len())
+            .map(|i| h.id(tour.owner(i)).value())
+            .collect();
         assert_eq!(raw, vec![1, 2, 3, 2]);
     }
 

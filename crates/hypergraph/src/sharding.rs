@@ -1,0 +1,190 @@
+//! Footprint-aware sharding of the vertex set, for the runtime's parallel
+//! dirty-set drain.
+//!
+//! A step by process `p` only re-evaluates guards inside `p`'s closed
+//! hyperedge neighborhood (§2.2 locality), so guard re-evaluation of two
+//! processes with disjoint footprints commutes — the same locality argument
+//! that lets snap-stabilizing protocols tolerate concurrent activations in
+//! message-passing models. A [`ShardPlan`] partitions the vertices into `k`
+//! balanced, neighborhood-contiguous shards along a BFS ordering of the
+//! underlying network: contiguous rank ranges are then contiguous regions of
+//! the topology, so a worker draining one shard touches (mostly) states
+//! that no other worker's footprints overlap, and chunked reads stay
+//! cache-local.
+//!
+//! The plan is purely a *scheduling* artifact: guard evaluation against a
+//! frozen configuration is read-only per evaluation and writes only the
+//! evaluated process's own cache slot, so any partition is *correct*; a
+//! neighborhood-contiguous one is merely *fast*. [`ShardPlan::crossing_fraction`]
+//! quantifies how disjoint the shard footprints actually are.
+
+use crate::hypergraph::Hypergraph;
+use crate::network;
+
+/// A partition of the vertex set into `k` balanced shards, contiguous along
+/// a BFS (neighborhood-first) ordering of the underlying network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// BFS ordering of the dense vertex indices: `order[r]` = vertex with
+    /// locality rank `r`.
+    order: Box<[usize]>,
+    /// Inverse permutation: `rank[v]` = position of `v` in `order`.
+    rank: Box<[usize]>,
+    /// Shard boundaries into `order`: shard `s` covers
+    /// `order[bounds[s]..bounds[s+1]]`. Length `shards + 1`.
+    bounds: Box<[usize]>,
+    /// Shard of each dense vertex index.
+    shard_of: Box<[u32]>,
+}
+
+impl ShardPlan {
+    /// Plan `shards` balanced shards over `h`'s vertex set (`shards >= 1`;
+    /// shards in excess of `h.n()` are dropped — no empty shards).
+    pub fn new(h: &Hypergraph, shards: usize) -> Self {
+        let n = h.n();
+        let k = shards.clamp(1, n);
+        // Deterministic BFS from dense index 0 (the hypergraph is connected
+        // by construction, so this covers every vertex).
+        let order = network::bfs_order(h, 0);
+        debug_assert_eq!(order.len(), n, "connected hypergraph: BFS covers V");
+        let mut rank = vec![0usize; n];
+        for (r, &v) in order.iter().enumerate() {
+            rank[v] = r;
+        }
+        // Balanced contiguous cuts: the first `n % k` shards get one extra.
+        let (base, extra) = (n / k, n % k);
+        let mut bounds = Vec::with_capacity(k + 1);
+        let mut at = 0;
+        bounds.push(0);
+        for s in 0..k {
+            at += base + usize::from(s < extra);
+            bounds.push(at);
+        }
+        let mut shard_of = vec![0u32; n];
+        for s in 0..k {
+            for &v in &order[bounds[s]..bounds[s + 1]] {
+                shard_of[v] = s as u32;
+            }
+        }
+        ShardPlan {
+            order: order.into_boxed_slice(),
+            rank: rank.into_boxed_slice(),
+            bounds: bounds.into_boxed_slice(),
+            shard_of: shard_of.into_boxed_slice(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Number of vertices planned over.
+    pub fn n(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The shard of dense vertex `v`.
+    #[inline]
+    pub fn shard_of(&self, v: usize) -> usize {
+        self.shard_of[v] as usize
+    }
+
+    /// Locality rank of dense vertex `v` (its position in the BFS order).
+    #[inline]
+    pub fn rank(&self, v: usize) -> usize {
+        self.rank[v]
+    }
+
+    /// The vertices of shard `s`, in locality order.
+    pub fn members(&self, s: usize) -> &[usize] {
+        &self.order[self.bounds[s]..self.bounds[s + 1]]
+    }
+
+    /// The full BFS locality ordering.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Fraction of vertices whose closed neighborhood (their guard
+    /// footprint) crosses into another shard. `0.0` means the shards'
+    /// footprints are perfectly disjoint; sparse topologies cut along the
+    /// BFS order stay close to `2·(k-1)·diam(footprint)/n`.
+    pub fn crossing_fraction(&self, h: &Hypergraph) -> f64 {
+        if self.n() == 0 {
+            return 0.0;
+        }
+        let crossing = (0..self.n())
+            .filter(|&v| {
+                let s = self.shard_of[v];
+                h.closed_neighborhood(v)
+                    .iter()
+                    .any(|&u| self.shard_of[u] != s)
+            })
+            .count();
+        crossing as f64 / self.n() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn partition_is_exact_and_balanced() {
+        let h = generators::ring(24, 2);
+        for k in [1usize, 2, 3, 4, 7] {
+            let plan = ShardPlan::new(&h, k);
+            assert_eq!(plan.shards(), k);
+            let mut seen = vec![false; h.n()];
+            for s in 0..k {
+                for &v in plan.members(s) {
+                    assert!(!seen[v], "vertex {v} in two shards");
+                    seen[v] = true;
+                    assert_eq!(plan.shard_of(v), s);
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "every vertex in some shard");
+            let sizes: Vec<usize> = (0..k).map(|s| plan.members(s).len()).collect();
+            let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(mx - mn <= 1, "balanced within one: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn rank_is_inverse_of_order() {
+        let h = generators::fig1();
+        let plan = ShardPlan::new(&h, 3);
+        for (r, &v) in plan.order().iter().enumerate() {
+            assert_eq!(plan.rank(v), r);
+        }
+    }
+
+    #[test]
+    fn more_shards_than_vertices_collapses() {
+        let h = generators::fig2();
+        let plan = ShardPlan::new(&h, 64);
+        assert_eq!(plan.shards(), h.n());
+        for s in 0..plan.shards() {
+            assert_eq!(plan.members(s).len(), 1);
+        }
+    }
+
+    #[test]
+    fn ring_shards_are_mostly_interior() {
+        // On a ring, contiguous BFS chunks only cross at the 2k cut points.
+        let h = generators::ring(96, 2);
+        let plan = ShardPlan::new(&h, 4);
+        let f = plan.crossing_fraction(&h);
+        assert!(f < 0.35, "ring96 into 4 shards crosses at cuts only: {f}");
+        let one = ShardPlan::new(&h, 1);
+        assert_eq!(one.crossing_fraction(&h), 0.0, "one shard never crosses");
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let h = generators::random_uniform(40, 30, 3, 5);
+        assert_eq!(ShardPlan::new(&h, 4), ShardPlan::new(&h, 4));
+    }
+}

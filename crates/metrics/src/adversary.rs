@@ -24,7 +24,10 @@ impl AlternatingAdversary {
     /// Adversary alternating committees `a` and `b` of `h` (must be
     /// disjoint, or the overlap professor could never leave).
     pub fn new(h: &Hypergraph, a: EdgeId, b: EdgeId) -> Self {
-        assert!(!h.conflicting(a, b), "alternated committees must be disjoint");
+        assert!(
+            !h.conflicting(a, b),
+            "alternated committees must be disjoint"
+        );
         AlternatingAdversary {
             side_a: h.members(a).to_vec(),
             side_b: h.members(b).to_vec(),
@@ -43,7 +46,11 @@ impl OraclePolicy for AlternatingAdversary {
         let a_live = self.side_a.iter().all(|&p| view.in_meeting[p]);
         let b_live = self.side_b.iter().all(|&p| view.in_meeting[p]);
         if a_live && b_live {
-            let side = if self.turn { &self.side_b } else { &self.side_a };
+            let side = if self.turn {
+                &self.side_b
+            } else {
+                &self.side_a
+            };
             for &p in side {
                 flags.set_out(p, true);
             }
@@ -93,7 +100,11 @@ pub fn cc1_starvation_on_fig2(seed: u64, budget: u64) -> StarvationOutcome {
         Box::new(adversary),
     );
     let d = |raw: u32| h.dense_of(raw);
-    let st = |s: Status, p: Option<u32>| Cc1State { s, p: p.map(EdgeId), t: false };
+    let st = |s: Status, p: Option<u32>| Cc1State {
+        s,
+        p: p.map(EdgeId),
+        t: false,
+    };
     sim.set_cc_state(d(1), st(Status::Waiting, Some(0)));
     sim.set_cc_state(d(2), st(Status::Waiting, Some(0)));
     for raw in [3, 4, 5] {

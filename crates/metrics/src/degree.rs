@@ -27,7 +27,10 @@ pub struct DegreeConfig {
 
 impl Default for DegreeConfig {
     fn default() -> Self {
-        DegreeConfig { budget: 60_000, seeds: 32 }
+        DegreeConfig {
+            budget: 60_000,
+            seeds: 32,
+        }
     }
 }
 
@@ -62,7 +65,12 @@ pub fn measure_degree(h: &Arc<Hypergraph>, algo: AlgoKind, cfg: &DegreeConfig) -
         let stop = sim.run(cfg.budget);
         (stop == StopReason::Terminal, sim.live_meeting_count())
     });
-    let mut out = DegreeOutcome { min_live: usize::MAX, max_live: 0, quiesced: 0, runs: 0 };
+    let mut out = DegreeOutcome {
+        min_live: usize::MAX,
+        max_live: 0,
+        quiesced: 0,
+        runs: 0,
+    };
     for (quiesced, live) in results {
         out.runs += 1;
         if quiesced {
@@ -135,7 +143,10 @@ mod tests {
     use sscc_hypergraph::generators;
 
     fn small_cfg() -> DegreeConfig {
-        DegreeConfig { budget: 40_000, seeds: 8 }
+        DegreeConfig {
+            budget: 40_000,
+            seeds: 8,
+        }
     }
 
     #[test]

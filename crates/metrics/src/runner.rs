@@ -105,21 +105,36 @@ pub fn build_sim(
         (AlgoKind::Cc1, Boot::Clean) => {
             AnySim::Cc1(Box::new(Sim::new(h, Cc1::new(), ring, daemon, pol)))
         }
-        (AlgoKind::Cc1, Boot::Arbitrary(fs)) => {
-            AnySim::Cc1(Box::new(Sim::arbitrary(h, Cc1::new(), ring, daemon, pol, fs)))
-        }
+        (AlgoKind::Cc1, Boot::Arbitrary(fs)) => AnySim::Cc1(Box::new(Sim::arbitrary(
+            h,
+            Cc1::new(),
+            ring,
+            daemon,
+            pol,
+            fs,
+        ))),
         (AlgoKind::Cc2, Boot::Clean) => {
             AnySim::Cc2(Box::new(Sim::new(h, Cc2::new(), ring, daemon, pol)))
         }
-        (AlgoKind::Cc2, Boot::Arbitrary(fs)) => {
-            AnySim::Cc2(Box::new(Sim::arbitrary(h, Cc2::new(), ring, daemon, pol, fs)))
-        }
+        (AlgoKind::Cc2, Boot::Arbitrary(fs)) => AnySim::Cc2(Box::new(Sim::arbitrary(
+            h,
+            Cc2::new(),
+            ring,
+            daemon,
+            pol,
+            fs,
+        ))),
         (AlgoKind::Cc3, Boot::Clean) => {
             AnySim::Cc3(Box::new(Sim::new(h, Cc3::new_cc3(), ring, daemon, pol)))
         }
-        (AlgoKind::Cc3, Boot::Arbitrary(fs)) => {
-            AnySim::Cc3(Box::new(Sim::arbitrary(h, Cc3::new_cc3(), ring, daemon, pol, fs)))
-        }
+        (AlgoKind::Cc3, Boot::Arbitrary(fs)) => AnySim::Cc3(Box::new(Sim::arbitrary(
+            h,
+            Cc3::new_cc3(),
+            ring,
+            daemon,
+            pol,
+            fs,
+        ))),
     }
 }
 
@@ -144,6 +159,30 @@ impl AnySim {
     /// differentially tested to be bit-identical. Choose before stepping.
     pub fn set_full_scan(&mut self, on: bool) {
         dispatch!(self, s => s.set_full_scan(on))
+    }
+
+    /// Fan the dirty-set drain out to `threads` workers (`<= 1` =
+    /// sequential). Bit-identical to the sequential drain.
+    pub fn set_threads(&mut self, threads: usize) {
+        dispatch!(self, s => s.set_threads(threads))
+    }
+
+    /// [`AnySim::set_threads`] with an explicit per-thread fan-out
+    /// threshold (`0` forces the parallel path on every refresh).
+    pub fn set_parallel(&mut self, threads: usize, min_batch_per_thread: usize) {
+        dispatch!(self, s => s.set_parallel(threads, min_batch_per_thread))
+    }
+
+    /// Toggle delta-aware policy ticks (on by default).
+    pub fn set_delta_policies(&mut self, on: bool) {
+        dispatch!(self, s => s.set_delta_policies(on))
+    }
+
+    /// Configure the exact engine PR 1 shipped (sequential incremental
+    /// drain, per-guard evaluator, full policy ticks) — the trajectory
+    /// baseline of BENCH_2.json.
+    pub fn set_pr1_baseline(&mut self) {
+        dispatch!(self, s => s.set_pr1_baseline())
     }
 
     /// Run until terminal or budget.
@@ -215,7 +254,10 @@ mod tests {
             Boot::Arbitrary(9),
         );
         a.run(2000);
-        assert!(a.monitor().clean(), "snap: no violations from arbitrary boot");
+        assert!(
+            a.monitor().clean(),
+            "snap: no violations from arbitrary boot"
+        );
     }
 
     #[test]

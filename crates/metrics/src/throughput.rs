@@ -53,7 +53,11 @@ pub fn measure_throughput(
         convened: sim.ledger().convened_count(),
         steps: sim.steps(),
         rounds: sim.rounds(),
-        mean_live: if samples == 0 { 0.0 } else { live_sum as f64 / samples as f64 },
+        mean_live: if samples == 0 {
+            0.0
+        } else {
+            live_sum as f64 / samples as f64
+        },
         min_participations: parts.iter().copied().min().unwrap_or(0),
         starved: parts.iter().filter(|&&c| c == 0).count(),
         violations: sim.monitor().violations().len(),
@@ -150,7 +154,11 @@ mod tests {
             &h,
             AlgoKind::Cc2,
             5,
-            PolicyKind::Stochastic { p_in: 0.3, lo: 1, hi: 5 },
+            PolicyKind::Stochastic {
+                p_in: 0.3,
+                lo: 1,
+                hi: 5,
+            },
             10_000,
         );
         assert_eq!(o.violations, 0);

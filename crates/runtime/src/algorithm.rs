@@ -26,14 +26,20 @@ impl<T: Clone + PartialEq + std::fmt::Debug> ProcessState for T {}
 /// system (all processes run the same code, §2.2); per-process distinctions
 /// (identifier, incident committees, tour positions, …) are read from the
 /// topology through the [`Ctx`].
-pub trait GuardedAlgorithm {
+///
+/// The trait (and its state/environment) is `Sync`: guard evaluation is a
+/// pure read of the frozen pre-step configuration, so the engine's parallel
+/// dirty-set drain may evaluate disjoint shards concurrently, each worker
+/// reading the shared algorithm/states/environment and writing only its own
+/// result slots.
+pub trait GuardedAlgorithm: Sync {
     /// Per-process state (the process's locally shared variables).
-    type State: ProcessState;
+    type State: ProcessState + Sync;
 
     /// External input provider (e.g. the `RequestIn`/`RequestOut` predicates
     /// of the committee coordination problem). Use `()` for closed
     /// algorithms. The environment is read-only during a step.
-    type Env: ?Sized;
+    type Env: ?Sized + Sync;
 
     /// Number of actions in the code-ordered list.
     fn action_count(&self) -> usize;
@@ -111,11 +117,7 @@ pub(crate) mod testutil {
         }
 
         fn priority_action(&self, ctx: &Ctx<'_, u32, ()>) -> Option<ActionId> {
-            let best = ctx
-                .neighbor_states()
-                .map(|(_, s)| *s)
-                .max()
-                .unwrap_or(0);
+            let best = ctx.neighbor_states().map(|(_, s)| *s).max().unwrap_or(0);
             (best > *ctx.my_state()).then_some(0)
         }
 

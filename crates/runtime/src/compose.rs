@@ -102,7 +102,7 @@ impl<PA, PB> FairPair<PA, PB> {
 
 impl<E, PA, PB> GuardedAlgorithm for FairPair<PA, PB>
 where
-    E: ?Sized,
+    E: ?Sized + Sync,
     PA: GuardedAlgorithm<Env = E>,
     PB: GuardedAlgorithm<Env = E>,
 {
@@ -133,8 +133,14 @@ where
         let pb = ProjectB(ctx.accessor());
         let ctx_a = Ctx::new(ctx.h(), ctx.me(), &pa, ctx.env());
         let ctx_b = Ctx::new(ctx.h(), ctx.me(), &pb, ctx.env());
-        let act_a = self.a.priority_action(&ctx_a).map(|i| Self::encode(Layer::A, i));
-        let act_b = self.b.priority_action(&ctx_b).map(|j| Self::encode(Layer::B, j));
+        let act_a = self
+            .a
+            .priority_action(&ctx_a)
+            .map(|i| Self::encode(Layer::A, i));
+        let act_b = self
+            .b
+            .priority_action(&ctx_b)
+            .map(|j| Self::encode(Layer::B, j));
         match ctx.my_state().turn {
             Layer::A => act_a.or(act_b),
             Layer::B => act_b.or(act_a),
@@ -166,7 +172,11 @@ impl<SA: ArbitraryState, SB: ArbitraryState> ArbitraryState for FairState<SA, SB
         FairState {
             a: SA::arbitrary(rng, h, me),
             b: SB::arbitrary(rng, h, me),
-            turn: if rng.random_bool(0.5) { Layer::A } else { Layer::B },
+            turn: if rng.random_bool(0.5) {
+                Layer::A
+            } else {
+                Layer::B
+            },
         }
     }
 }

@@ -59,12 +59,7 @@ impl<'a, S, E: ?Sized> Ctx<'a, S, E> {
     /// Build a context for process `me`. Engine-internal, but public so that
     /// algorithm unit tests can evaluate guards against hand-built
     /// configurations.
-    pub fn new(
-        h: &'a Hypergraph,
-        me: usize,
-        states: &'a dyn StateAccess<S>,
-        env: &'a E,
-    ) -> Self {
+    pub fn new(h: &'a Hypergraph, me: usize, states: &'a dyn StateAccess<S>, env: &'a E) -> Self {
         debug_assert!(me < h.n());
         Ctx { h, me, states, env }
     }
@@ -138,7 +133,12 @@ impl<'a, S, E: ?Sized> Ctx<'a, S, E> {
     /// evaluate sub-guards; the locality checks apply relative to the *new*
     /// process).
     pub fn for_process(&self, q: usize) -> Ctx<'a, S, E> {
-        Ctx { h: self.h, me: q, states: self.states, env: self.env }
+        Ctx {
+            h: self.h,
+            me: q,
+            states: self.states,
+            env: self.env,
+        }
     }
 
     #[inline]

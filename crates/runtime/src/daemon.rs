@@ -66,7 +66,9 @@ pub struct Central {
 impl Central {
     /// Central daemon with the given seed.
     pub fn new(seed: u64) -> Self {
-        Central { rng: StdRng::seed_from_u64(seed) }
+        Central {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -92,8 +94,14 @@ pub struct DistributedRandom {
 impl DistributedRandom {
     /// Distributed random daemon with activation probability `p ∈ (0, 1]`.
     pub fn new(seed: u64, p: f64) -> Self {
-        assert!(p > 0.0 && p <= 1.0, "activation probability must be in (0,1]");
-        DistributedRandom { rng: StdRng::seed_from_u64(seed), p }
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "activation probability must be in (0,1]"
+        );
+        DistributedRandom {
+            rng: StdRng::seed_from_u64(seed),
+            p,
+        }
     }
 }
 
@@ -249,7 +257,9 @@ pub struct Scripted {
 impl Scripted {
     /// A daemon that replays `script` (one selection per step).
     pub fn new<I: IntoIterator<Item = Vec<usize>>>(script: I) -> Self {
-        Scripted { script: script.into_iter().collect() }
+        Scripted {
+            script: script.into_iter().collect(),
+        }
     }
 
     /// Remaining scripted steps.
@@ -264,8 +274,7 @@ impl Daemon for Scripted {
             return Vec::new();
         }
         if let Some(want) = self.script.pop_front() {
-            let picked: Vec<usize> =
-                want.into_iter().filter(|p| enabled.contains(p)).collect();
+            let picked: Vec<usize> = want.into_iter().filter(|p| enabled.contains(p)).collect();
             if !picked.is_empty() {
                 return picked;
             }
@@ -323,7 +332,9 @@ mod tests {
     fn central_is_deterministic_per_seed() {
         let run = |seed| {
             let mut d = Central::new(seed);
-            (0..20).map(|_| d.select(&[0, 1, 2, 3])[0]).collect::<Vec<_>>()
+            (0..20)
+                .map(|_| d.select(&[0, 1, 2, 3])[0])
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));

@@ -24,7 +24,7 @@ use crate::algorithm::{ActionId, GuardedAlgorithm};
 use crate::ctx::Ctx;
 use crate::daemon::{Daemon, Selection};
 use crate::markset::MarkSet;
-use sscc_hypergraph::Hypergraph;
+use sscc_hypergraph::{Hypergraph, ShardPlan};
 use std::sync::Arc;
 
 /// What happened in one step.
@@ -106,8 +106,37 @@ struct StepScratch<S> {
 
 impl<S> StepScratch<S> {
     fn new() -> Self {
-        StepScratch { selected: Vec::new(), next: Vec::new() }
+        StepScratch {
+            selected: Vec::new(),
+            next: Vec::new(),
+        }
     }
+}
+
+/// Default minimum batch size *per worker thread* before a refresh fans out
+/// to the parallel drain. Guard evaluation of a handful of dirty processes
+/// is far cheaper than waking workers, so small refreshes stay inline; big
+/// ones (dense enabled sets, boot scans, synchronous sweeps) amortize the
+/// fan-out. Tests force `0` to exercise the parallel path on tiny graphs.
+pub const DEFAULT_MIN_PARALLEL_BATCH: usize = 192;
+
+/// Configuration and reusable scratch of the parallel sharded drain.
+///
+/// Guard evaluation against the frozen pre-step configuration is read-only
+/// and writes only the evaluated process's result, so workers share
+/// `(h, algo, states, env)` immutably and write disjoint per-process result
+/// slots — no locks anywhere on the hot path. The dirty worklist is sorted
+/// by the [`ShardPlan`]'s BFS locality rank and cut into contiguous chunks,
+/// so each worker's footprint reads stay in its own region of the topology.
+struct ParallelDrain {
+    threads: usize,
+    min_batch: usize,
+    plan: Arc<ShardPlan>,
+    /// Locality-sorted dirty processes of the current refresh.
+    batch: Vec<usize>,
+    /// Per-process result slots (`results[i]` belongs to `batch[i]`, or to
+    /// rank `i` during a full rebuild).
+    results: Vec<Option<ActionId>>,
 }
 
 /// A running system: topology + algorithm + current configuration.
@@ -119,6 +148,7 @@ pub struct World<A: GuardedAlgorithm> {
     sched: Scheduler,
     scratch: StepScratch<A::State>,
     full_scan: bool,
+    par: Option<ParallelDrain>,
 }
 
 impl<A: GuardedAlgorithm> World<A> {
@@ -141,6 +171,7 @@ impl<A: GuardedAlgorithm> World<A> {
             sched: Scheduler::new(n),
             scratch: StepScratch::new(),
             full_scan: false,
+            par: None,
         }
     }
 
@@ -157,6 +188,14 @@ impl<A: GuardedAlgorithm> World<A> {
     /// The algorithm.
     pub fn algo(&self) -> &A {
         &self.algo
+    }
+
+    /// Mutable access to the algorithm, for pre-run configuration (e.g.
+    /// switching guard evaluators). Conservatively invalidates every cached
+    /// guard evaluation — the engine cannot see what changed.
+    pub fn algo_mut(&mut self) -> &mut A {
+        self.sched.mark_all();
+        &mut self.algo
     }
 
     /// Current configuration (one state per process, dense order).
@@ -201,6 +240,40 @@ impl<A: GuardedAlgorithm> World<A> {
         if on {
             self.sched.mark_all();
         }
+    }
+
+    /// Drain the dirty set with `threads` workers over footprint-contiguous
+    /// shards (see [`ShardPlan`]), with the default fan-out threshold of
+    /// [`DEFAULT_MIN_PARALLEL_BATCH`] dirty processes per worker.
+    /// `threads <= 1` restores the sequential drain. The parallel drain is
+    /// bit-identical to the sequential one — results merge through the same
+    /// maintained sorted enabled set.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.set_parallel(threads, DEFAULT_MIN_PARALLEL_BATCH);
+    }
+
+    /// Like [`World::set_threads`] with an explicit per-thread minimum batch
+    /// size: refreshes smaller than `threads * min_batch_per_thread` run
+    /// inline (waking workers for a handful of guard evaluations costs more
+    /// than evaluating them). `0` forces every refresh through the parallel
+    /// path — differential tests use that to exercise it on tiny graphs.
+    pub fn set_parallel(&mut self, threads: usize, min_batch_per_thread: usize) {
+        if threads <= 1 {
+            self.par = None;
+            return;
+        }
+        self.par = Some(ParallelDrain {
+            threads,
+            min_batch: min_batch_per_thread,
+            plan: self.h.shard_plan(threads),
+            batch: Vec::new(),
+            results: Vec::new(),
+        });
+    }
+
+    /// Worker threads the drain fans out to (`1` = sequential).
+    pub fn threads(&self) -> usize {
+        self.par.as_ref().map_or(1, |p| p.threads)
     }
 
     /// Invalidate every cached guard evaluation (external surgery through
@@ -249,26 +322,101 @@ impl<A: GuardedAlgorithm> World<A> {
     }
 
     /// Bring the guard cache up to date, re-evaluating only dirty entries
-    /// (or everything, after [`World::invalidate_all`] / at boot).
+    /// (or everything, after [`World::invalidate_all`] / at boot). Large
+    /// refreshes fan out to the sharded parallel drain when one is
+    /// configured ([`World::set_parallel`]); results are merged through the
+    /// same maintained enabled set, so both drains are bit-identical.
     fn refresh(&mut self, env: &A::Env) {
-        let World { h, algo, states, sched, .. } = self;
+        let World {
+            h,
+            algo,
+            states,
+            sched,
+            par,
+            ..
+        } = self;
         if sched.all_dirty {
             sched.all_dirty = false;
             debug_assert!(sched.dirty.is_empty());
             sched.enabled.clear();
-            for p in 0..h.n() {
-                let a = algo.priority_action(&Ctx::new(h, p, states, env));
-                sched.cache[p] = a;
-                if a.is_some() {
-                    sched.enabled.push(p);
+            match par {
+                Some(cfg) if h.n() >= (cfg.threads * cfg.min_batch).max(1) => {
+                    Self::eval_sharded(h, algo, states, env, cfg, false);
+                    for p in 0..h.n() {
+                        let a = cfg.results[cfg.plan.rank(p)];
+                        sched.cache[p] = a;
+                        if a.is_some() {
+                            sched.enabled.push(p);
+                        }
+                    }
+                }
+                _ => {
+                    for p in 0..h.n() {
+                        let a = algo.priority_action(&Ctx::new(h, p, states, env));
+                        sched.cache[p] = a;
+                        if a.is_some() {
+                            sched.enabled.push(p);
+                        }
+                    }
                 }
             }
             return;
         }
-        while let Some(p) = sched.dirty.pop() {
-            let a = algo.priority_action(&Ctx::new(h, p, states, env));
-            sched.store(p, a);
+        match par {
+            Some(cfg)
+                if !sched.dirty.is_empty() && sched.dirty.len() >= cfg.threads * cfg.min_batch =>
+            {
+                cfg.batch.clear();
+                sched.dirty.drain(|p| cfg.batch.push(p));
+                // Locality-sort so contiguous chunks are contiguous regions
+                // of the topology (and chunking is deterministic).
+                let plan = Arc::clone(&cfg.plan);
+                cfg.batch.sort_unstable_by_key(|&p| plan.rank(p));
+                Self::eval_sharded(h, algo, states, env, cfg, true);
+                for i in 0..cfg.batch.len() {
+                    sched.store(cfg.batch[i], cfg.results[i]);
+                }
+            }
+            _ => {
+                while let Some(p) = sched.dirty.pop() {
+                    let a = algo.priority_action(&Ctx::new(h, p, states, env));
+                    sched.store(p, a);
+                }
+            }
         }
+    }
+
+    /// Evaluate a worklist concurrently: the batch (or, for a full rebuild
+    /// when `use_batch` is false, the whole vertex set in plan order) is
+    /// cut into one contiguous chunk per worker; each worker writes its own
+    /// disjoint result slots. Pure reads of the frozen configuration — no
+    /// synchronization beyond the final join.
+    fn eval_sharded(
+        h: &Hypergraph,
+        algo: &A,
+        states: &[A::State],
+        env: &A::Env,
+        cfg: &mut ParallelDrain,
+        use_batch: bool,
+    ) {
+        let work: &[usize] = if use_batch {
+            &cfg.batch
+        } else {
+            cfg.plan.order()
+        };
+        cfg.results.clear();
+        cfg.results.resize(work.len(), None);
+        let chunk = work.len().div_ceil(cfg.threads);
+        crossbeam::thread::scope(|s| {
+            for (ps, outs) in work.chunks(chunk).zip(cfg.results.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    let acc = crate::ctx::SliceAccess(states);
+                    for (&p, slot) in ps.iter().zip(outs.iter_mut()) {
+                        *slot = algo.priority_action(&Ctx::new(h, p, &acc, env));
+                    }
+                });
+            }
+        });
     }
 
     /// Ascending enabled set of the *current* configuration, through the
@@ -313,12 +461,21 @@ impl<A: GuardedAlgorithm> World<A> {
             "daemon contract: non-empty selection from a non-empty enabled set"
         );
         assert!(
-            selected.iter().all(|p| out.enabled.binary_search(p).is_ok()),
+            selected
+                .iter()
+                .all(|p| out.enabled.binary_search(p).is_ok()),
             "daemon contract: selection must be a subset of the enabled set"
         );
         // Composite atomicity: compute every next state against the pre-step
         // configuration, then commit all at once.
-        let World { h, algo, states, sched, scratch, .. } = self;
+        let World {
+            h,
+            algo,
+            states,
+            sched,
+            scratch,
+            ..
+        } = self;
         scratch.next.clear();
         for &p in scratch.selected.iter() {
             let a = sched.cache[p].expect("selected ⊆ enabled");
@@ -450,7 +607,10 @@ mod tests {
         let mut w = World::with_states(Arc::clone(&h), MaxProp, vec![9, 0, 0, 0, 0, 0]);
         let (_, q) = w.run_to_quiescence(&mut RoundRobin::default(), &(), 1000);
         assert!(q);
-        assert!(w.states().iter().all(|&s| s == 9), "arbitrary value propagates");
+        assert!(
+            w.states().iter().all(|&s| s == 9),
+            "arbitrary value propagates"
+        );
     }
 
     #[test]
@@ -496,6 +656,58 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parallel_drain_matches_sequential_stepwise() {
+        // Same seed, sequential vs 2- and 4-thread drains (fan-out forced
+        // with a zero threshold): bit-identical StepOutcome sequences.
+        for threads in [2usize, 4] {
+            for seed in 0..20u32 {
+                let h = Arc::new(generators::fig1());
+                let boot = vec![seed, 0, 3, 1, 0, 2];
+                let mut ws = World::with_states(Arc::clone(&h), MaxProp, boot.clone());
+                let mut wp = World::with_states(Arc::clone(&h), MaxProp, boot);
+                wp.set_parallel(threads, 0);
+                assert_eq!(wp.threads(), threads);
+                let mut ds = Central::new(seed as u64);
+                let mut dp = Central::new(seed as u64);
+                for _ in 0..200 {
+                    let os = ws.step(&mut ds, &());
+                    let op = wp.step(&mut dp, &());
+                    assert_eq!(os, op, "threads {threads}, seed {seed}");
+                    assert_eq!(ws.states(), wp.states(), "threads {threads}, seed {seed}");
+                    if os.terminal() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_full_rebuild_matches_boot_scan() {
+        // The all-dirty (boot / invalidate_all / full-scan mode) rebuild
+        // also fans out; enabled sets must match the pure evaluation.
+        let h = Arc::new(generators::ring(24, 2));
+        let mut w = World::new(Arc::clone(&h), MaxProp);
+        w.set_parallel(4, 0);
+        assert_eq!(w.enabled_now(&()).to_vec(), w.enabled(&()));
+        w.invalidate_all();
+        assert_eq!(w.enabled_now(&()).to_vec(), w.enabled(&()));
+        let (_, q) = w.run_to_quiescence(&mut Synchronous, &(), 200);
+        assert!(q);
+    }
+
+    #[test]
+    fn one_thread_disables_the_parallel_drain() {
+        let mut w = world();
+        w.set_threads(4);
+        assert_eq!(w.threads(), 4);
+        w.set_threads(1);
+        assert_eq!(w.threads(), 1);
+        let (_, q) = w.run_to_quiescence(&mut Synchronous, &(), 100);
+        assert!(q);
     }
 
     #[test]

@@ -41,10 +41,7 @@ impl ArbitraryState for bool {
 }
 
 /// Sample a full arbitrary configuration.
-pub fn arbitrary_configuration<S: ArbitraryState>(
-    rng: &mut StdRng,
-    h: &Hypergraph,
-) -> Vec<S> {
+pub fn arbitrary_configuration<S: ArbitraryState>(rng: &mut StdRng, h: &Hypergraph) -> Vec<S> {
     (0..h.n()).map(|p| S::arbitrary(rng, h, p)).collect()
 }
 

@@ -17,7 +17,10 @@ pub struct MarkSet {
 impl MarkSet {
     /// An empty set over the universe `0..n`.
     pub fn new(n: usize) -> Self {
-        MarkSet { mark: vec![false; n], list: Vec::new() }
+        MarkSet {
+            mark: vec![false; n],
+            list: Vec::new(),
+        }
     }
 
     /// Number of marked indices.

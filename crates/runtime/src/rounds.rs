@@ -7,8 +7,6 @@
 //! the first round of the remaining suffix, and so on. All the paper's time
 //! bounds (Corollary 3, Theorem 6) are stated in rounds.
 
-use std::collections::BTreeSet;
-
 /// Incremental round counter fed by the simulation loop.
 ///
 /// Protocol per step:
@@ -16,9 +14,14 @@ use std::collections::BTreeSet;
 ///    configuration (this detects neutralizations and closes rounds);
 /// 2. execute the step;
 /// 3. call [`RoundTracker::record_executed`] with the activated processes.
+///
+/// The pending set is a sorted `Vec` (both inputs arrive ascending from the
+/// engine), so the per-step neutralization filter is a linear merge walk —
+/// this tracker sits on the hot path of every step.
 #[derive(Clone, Debug, Default)]
 pub struct RoundTracker {
-    pending: BTreeSet<usize>,
+    /// Sorted ascending.
+    pending: Vec<usize>,
     rounds: u64,
     started: bool,
 }
@@ -35,7 +38,7 @@ impl RoundTracker {
     }
 
     /// Processes enabled at the start of the current round that have neither
-    /// been activated nor neutralized yet.
+    /// been activated nor neutralized yet, ascending.
     pub fn pending(&self) -> impl Iterator<Item = usize> + '_ {
         self.pending.iter().copied()
     }
@@ -44,18 +47,34 @@ impl RoundTracker {
     pub fn begin_step(&mut self, enabled: &[usize]) {
         if !self.started {
             self.started = true;
-            self.pending = enabled.iter().copied().collect();
+            self.pending.clear();
+            self.pending.extend_from_slice(enabled);
             return;
         }
-        // Neutralization: pending processes no longer enabled leave the set.
-        self.pending.retain(|p| enabled.binary_search(p).is_ok());
+        // Neutralization: pending processes no longer enabled leave the
+        // set. Both sides sorted: one linear merge walk.
+        let mut keep = 0;
+        let mut j = 0;
+        for i in 0..self.pending.len() {
+            let p = self.pending[i];
+            while j < enabled.len() && enabled[j] < p {
+                j += 1;
+            }
+            if j < enabled.len() && enabled[j] == p {
+                self.pending[keep] = p;
+                keep += 1;
+            }
+        }
+        self.pending.truncate(keep);
         self.maybe_close(enabled);
     }
 
     /// Observe which processes executed in the step just taken.
     pub fn record_executed(&mut self, executed: &[usize]) {
         for p in executed {
-            self.pending.remove(p);
+            if let Ok(i) = self.pending.binary_search(p) {
+                self.pending.remove(i);
+            }
         }
         // Round closure is deferred to the next `begin_step`, because the
         // new round's pending set is the enabled set of the configuration
@@ -65,7 +84,8 @@ impl RoundTracker {
     fn maybe_close(&mut self, enabled: &[usize]) {
         if self.pending.is_empty() && !enabled.is_empty() {
             self.rounds += 1;
-            self.pending = enabled.iter().copied().collect();
+            self.pending.clear();
+            self.pending.extend_from_slice(enabled);
         }
     }
 }

@@ -34,11 +34,13 @@ impl Trace {
 
     /// Append the executions of one step.
     pub fn record(&mut self, step: u64, round: u64, executed: &[(usize, ActionId)]) {
-        self.events.extend(
-            executed
-                .iter()
-                .map(|&(process, action)| TraceEvent { step, round, process, action }),
-        );
+        self.events
+            .extend(executed.iter().map(|&(process, action)| TraceEvent {
+                step,
+                round,
+                process,
+                action,
+            }));
     }
 
     /// All events, in execution order.

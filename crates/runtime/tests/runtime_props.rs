@@ -148,7 +148,11 @@ fn composite_atomicity_pinned() {
     w.step(&mut Synchronous, &());
     assert_eq!(w.states()[0], 10, "1 bumps (no larger neighbor)");
     assert_eq!(w.states()[1], 9, "2 mirrors 1's PRE-step value");
-    assert_eq!(w.states()[2], 1, "3 bumps: its only neighbor was 0 pre-step");
+    assert_eq!(
+        w.states()[2],
+        1,
+        "3 bumps: its only neighbor was 0 pre-step"
+    );
 }
 
 /// Fair composition: with both layers continuously enabled, executions
@@ -201,9 +205,15 @@ fn scripted_daemon_drives_exact_schedule() {
     // Everyone starts enabled (value < limit or has bigger neighbor).
     let mut d = Scripted::new([vec![0], vec![1], vec![2]]);
     let s1 = w.step(&mut d, &());
-    assert_eq!(s1.executed.iter().map(|&(p, _)| p).collect::<Vec<_>>(), vec![0]);
+    assert_eq!(
+        s1.executed.iter().map(|&(p, _)| p).collect::<Vec<_>>(),
+        vec![0]
+    );
     let s2 = w.step(&mut d, &());
-    assert_eq!(s2.executed.iter().map(|&(p, _)| p).collect::<Vec<_>>(), vec![1]);
+    assert_eq!(
+        s2.executed.iter().map(|&(p, _)| p).collect::<Vec<_>>(),
+        vec![1]
+    );
 }
 
 /// Trace recording matches executed actions one-to-one.

@@ -43,7 +43,10 @@ impl BfsTree {
 
     fn target<E: ?Sized>(&self, ctx: &Ctx<'_, TreeState, E>) -> TreeState {
         if ctx.me() == self.root {
-            return TreeState { dist: 0, parent: None };
+            return TreeState {
+                dist: 0,
+                parent: None,
+            };
         }
         let n = ctx.h().n() as u32;
         let mut best: Option<TreeState> = None;
@@ -53,11 +56,17 @@ impl BfsTree {
                 continue;
             }
             if best.is_none_or(|b| d < b.dist) {
-                best = Some(TreeState { dist: d, parent: Some(q) });
+                best = Some(TreeState {
+                    dist: d,
+                    parent: Some(q),
+                });
             }
         }
         // No admissible neighbor (all capped): park at the cap, orphaned.
-        best.unwrap_or(TreeState { dist: n - 1, parent: None })
+        best.unwrap_or(TreeState {
+            dist: n - 1,
+            parent: None,
+        })
     }
 }
 
@@ -76,9 +85,15 @@ impl GuardedAlgorithm for BfsTree {
 
     fn initial_state(&self, h: &Hypergraph, me: usize) -> TreeState {
         if me == self.root {
-            TreeState { dist: 0, parent: None }
+            TreeState {
+                dist: 0,
+                parent: None,
+            }
         } else {
-            TreeState { dist: h.n() as u32 - 1, parent: None }
+            TreeState {
+                dist: h.n() as u32 - 1,
+                parent: None,
+            }
         }
     }
 
@@ -103,7 +118,10 @@ impl ArbitraryState for TreeState {
             let nbrs = h.neighbors(me);
             Some(nbrs[rng.random_range(0..nbrs.len())])
         };
-        TreeState { dist: rng.random_range(0..h.n() as u32), parent }
+        TreeState {
+            dist: rng.random_range(0..h.n() as u32),
+            parent,
+        }
     }
 }
 
@@ -158,7 +176,13 @@ mod tests {
         let h = Arc::new(generators::ring(6, 2));
         let mut w = World::new(Arc::clone(&h), BfsTree::new(0));
         for p in 0..h.n() {
-            w.set_state(p, TreeState { dist: 1, parent: Some((p + 1) % h.n()) });
+            w.set_state(
+                p,
+                TreeState {
+                    dist: 1,
+                    parent: Some((p + 1) % h.n()),
+                },
+            );
         }
         let (_, q) = w.run_to_quiescence(&mut Synchronous, &(), 10_000);
         assert!(q);

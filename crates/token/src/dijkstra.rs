@@ -27,9 +27,7 @@
 
 use crate::iface::TokenLayer;
 use sscc_hypergraph::{EulerTour, Hypergraph};
-use sscc_runtime::prelude::{
-    ActionId, ArbitraryState, Ctx, GuardedAlgorithm,
-};
+use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, GuardedAlgorithm};
 
 /// Per-process substrate state: one counter per owned tour position
 /// (ascending position order, matching `EulerTour::positions`).
@@ -84,7 +82,11 @@ impl TokenRing {
             .positions(owner)
             .binary_search(&g)
             .expect("g is one of its owner's positions");
-        let st = if owner == ctx.me() { ctx.my_state() } else { ctx.state_of(owner) };
+        let st = if owner == ctx.me() {
+            ctx.my_state()
+        } else {
+            ctx.state_of(owner)
+        };
         // Arbitrary faults keep variables inside their domain, but a state
         // sampled for the wrong tour would be shorter; treat missing slots
         // as 0 rather than panic so misuse surfaces in assertions, not UB.
@@ -138,7 +140,9 @@ impl TokenLayer for TokenRing {
 
     fn initial_state(&self, _h: &Hypergraph, me: usize) -> TokenState {
         // All zeros: the unique privilege sits at position 0 (the root).
-        TokenState { counters: vec![0; self.tour.positions(me).len()].into() }
+        TokenState {
+            counters: vec![0; self.tour.positions(me).len()].into(),
+        }
     }
 
     fn token<E: ?Sized>(&self, ctx: &Ctx<'_, TokenState, E>) -> bool {
@@ -306,7 +310,10 @@ mod tests {
             let budget = 10 * ring.tour().len() * ring.k() as usize;
             let mut ok = false;
             for _ in 0..budget {
-                assert!(!holders(&ring, &w).is_empty(), "seed {seed}: lost the token");
+                assert!(
+                    !holders(&ring, &w).is_empty(),
+                    "seed {seed}: lost the token"
+                );
                 w.step(&mut d, &());
                 if ring.privileged_position_count(&h, w.states()) == 1 {
                     ok = true;
@@ -337,7 +344,10 @@ mod tests {
             for _ in 0..2000 {
                 w.step(&mut d, &());
                 let now = ring.privileged_position_count(&h, w.states());
-                assert!(now >= 1 && now <= prev, "seed {seed}: positions {prev} -> {now}");
+                assert!(
+                    now >= 1 && now <= prev,
+                    "seed {seed}: positions {prev} -> {now}"
+                );
                 prev = now;
             }
         }
@@ -374,8 +384,9 @@ mod tests {
         let root = h.dense_of(1);
         let ring = TokenRing::with_root(&h, root);
         assert_eq!(ring.tour().root(), root);
-        let states: Vec<TokenState> =
-            (0..h.n()).map(|p| TokenLayer::initial_state(&ring, &h, p)).collect();
+        let states: Vec<TokenState> = (0..h.n())
+            .map(|p| TokenLayer::initial_state(&ring, &h, p))
+            .collect();
         assert_eq!(token_holders(&ring, &h, &states), vec![root]);
     }
 

@@ -16,13 +16,16 @@
 //! [`TokenLayer::release`], while any remaining internal stabilization
 //! actions of `TC` keep running under fair composition.
 
-use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, ProcessState, SliceAccess};
 use sscc_hypergraph::Hypergraph;
+use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, ProcessState, SliceAccess};
 
 /// A self-stabilizing token-circulation substrate, as consumed by `CC ∘ TC`.
-pub trait TokenLayer {
+///
+/// `Sync` (layer and state): the composed algorithm is evaluated
+/// concurrently by the engine's parallel dirty-set drain.
+pub trait TokenLayer: Sync {
     /// Per-process token-substrate state.
-    type State: ProcessState + ArbitraryState;
+    type State: ProcessState + ArbitraryState + Sync;
 
     /// The designated stabilized initial state of process `me` (a unique
     /// token already in place). Fault-free boots start here; stabilization

@@ -31,9 +31,15 @@ impl LeaderElect {
     /// admissible neighbor offer `(lid_q, dist_q + 1)` with `dist_q + 1 < n`.
     fn target<E: ?Sized>(&self, ctx: &Ctx<'_, LeaderState, E>) -> LeaderState {
         let n = ctx.h().n() as u32;
-        let mut best = LeaderState { lid: ctx.my_id().value(), dist: 0 };
+        let mut best = LeaderState {
+            lid: ctx.my_id().value(),
+            dist: 0,
+        };
         for (_, s) in ctx.neighbor_states() {
-            let offer = LeaderState { lid: s.lid, dist: s.dist.saturating_add(1) };
+            let offer = LeaderState {
+                lid: s.lid,
+                dist: s.dist.saturating_add(1),
+            };
             if offer.dist < n && (offer.lid, offer.dist) < (best.lid, best.dist) {
                 best = offer;
             }
@@ -64,7 +70,10 @@ impl GuardedAlgorithm for LeaderElect {
 
     fn initial_state(&self, h: &Hypergraph, me: usize) -> LeaderState {
         // Clean boot: everyone proposes itself; stabilization does the rest.
-        LeaderState { lid: h.id(me).value(), dist: 0 }
+        LeaderState {
+            lid: h.id(me).value(),
+            dist: 0,
+        }
     }
 
     fn priority_action(&self, ctx: &Ctx<'_, LeaderState, ()>) -> Option<ActionId> {
@@ -133,7 +142,13 @@ mod tests {
         let mut w = World::new(Arc::clone(&h), LeaderElect);
         // Everyone believes in a fake leader "0" at various distances.
         for p in 0..h.n() {
-            w.set_state(p, LeaderState { lid: 0, dist: p as u32 % h.n() as u32 });
+            w.set_state(
+                p,
+                LeaderState {
+                    lid: 0,
+                    dist: p as u32 % h.n() as u32,
+                },
+            );
         }
         let (_, q) = w.run_to_quiescence(&mut Synchronous, &(), 10_000);
         assert!(q);

@@ -33,10 +33,10 @@
 #![warn(missing_docs)]
 
 pub mod bfs_tree;
-pub mod wave;
 pub mod dijkstra;
 pub mod iface;
 pub mod leader;
+pub mod wave;
 
 pub use bfs_tree::{BfsTree, TreeState};
 pub use dijkstra::{TokenRing, TokenState};

@@ -101,9 +101,16 @@ impl WaveToken {
         &self.tour
     }
 
-    /// Owner of slot `k` (defensively reduced mod `L`).
+    /// Owner of slot `k` (defensively reduced mod `L`; the protocol keeps
+    /// `k` in range, so the reduction — an integer division on the guard
+    /// hot path — only happens on corrupted boots).
     fn designee(&self, k: u32) -> usize {
-        self.tour.owner((k % self.slots()) as usize)
+        let k = if k < self.slots() {
+            k
+        } else {
+            k % self.slots()
+        };
+        self.tour.owner(k as usize)
     }
 
     /// Is `p` the designee of its own believed slot, pre-release?
@@ -145,7 +152,11 @@ impl TokenLayer for WaveToken {
         // Slot 0 everywhere: the root (owner of position 0) holds the token;
         // nothing is certified yet, which is fine — certification only
         // matters once the holder releases.
-        WaveState { k: 0, fb: self.slots() - 1, done: false }
+        WaveState {
+            k: 0,
+            fb: self.slots() - 1,
+            done: false,
+        }
     }
 
     fn token<E: ?Sized>(&self, ctx: &Ctx<'_, WaveState, E>) -> bool {
@@ -175,10 +186,7 @@ impl TokenLayer for WaveToken {
         .to_string()
     }
 
-    fn internal_priority_action<E: ?Sized>(
-        &self,
-        ctx: &Ctx<'_, WaveState, E>,
-    ) -> Option<ActionId> {
+    fn internal_priority_action<E: ?Sized>(&self, ctx: &Ctx<'_, WaveState, E>) -> Option<ActionId> {
         let st = ctx.my_state();
         let me = ctx.me();
         // Priority: later in code order wins (like the committee layer).
@@ -200,11 +208,7 @@ impl TokenLayer for WaveToken {
         None
     }
 
-    fn execute_internal<E: ?Sized>(
-        &self,
-        ctx: &Ctx<'_, WaveState, E>,
-        a: ActionId,
-    ) -> WaveState {
+    fn execute_internal<E: ?Sized>(&self, ctx: &Ctx<'_, WaveState, E>, a: ActionId) -> WaveState {
         let mut st = *ctx.my_state();
         match a {
             action::KCOPY => {
@@ -290,12 +294,12 @@ mod tests {
     fn boot_has_exactly_one_holder_at_root() {
         let h = Arc::new(generators::fig1());
         let wave = WaveToken::new(&h);
-        let states: Vec<WaveState> =
-            (0..h.n()).map(|p| TokenLayer::initial_state(&wave, &h, p)).collect();
+        let states: Vec<WaveState> = (0..h.n())
+            .map(|p| TokenLayer::initial_state(&wave, &h, p))
+            .collect();
         assert_eq!(wave.holder_count(&h, &states), 1);
         let root = wave.tour().root();
-        let ctx: Ctx<'_, WaveState, ()> =
-            Ctx::new(&h, root, &states, &());
+        let ctx: Ctx<'_, WaveState, ()> = Ctx::new(&h, root, &states, &());
         assert!(TokenLayer::token(&wave, &ctx));
     }
 
@@ -347,8 +351,9 @@ mod tests {
             // Drive internal actions only, via the TokenLayer interface.
             use rand::SeedableRng as _;
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let mut states: Vec<WaveState> =
-                (0..h.n()).map(|p| WaveState::arbitrary(&mut rng, &h, p)).collect();
+            let mut states: Vec<WaveState> = (0..h.n())
+                .map(|p| WaveState::arbitrary(&mut rng, &h, p))
+                .collect();
             let mut stable = 0;
             for _ in 0..10_000 {
                 // Synchronously execute every enabled internal action.
@@ -389,8 +394,9 @@ mod tests {
         // livelock), the designation stays put, holder keeps Token forever.
         let h = Arc::new(generators::fig2());
         let wave = WaveToken::new(&h);
-        let mut states: Vec<WaveState> =
-            (0..h.n()).map(|p| TokenLayer::initial_state(&wave, &h, p)).collect();
+        let mut states: Vec<WaveState> = (0..h.n())
+            .map(|p| TokenLayer::initial_state(&wave, &h, p))
+            .collect();
         for _ in 0..1000 {
             let snapshot = states.clone();
             let mut moved = false;
@@ -436,7 +442,10 @@ mod tests {
                 break;
             }
         }
-        assert!(ok, "designation moved from {first} to tour successor {second}");
+        assert!(
+            ok,
+            "designation moved from {first} to tour successor {second}"
+        );
     }
 
     #[test]
@@ -444,8 +453,9 @@ mod tests {
         let h = Arc::new(generators::fig1());
         let root = h.dense_of(2);
         let wave = WaveToken::with_root(&h, root);
-        let states: Vec<WaveState> =
-            (0..h.n()).map(|p| TokenLayer::initial_state(&wave, &h, p)).collect();
+        let states: Vec<WaveState> = (0..h.n())
+            .map(|p| TokenLayer::initial_state(&wave, &h, p))
+            .collect();
         let acc = SliceAccess(&states);
         let ctx: Ctx<'_, WaveState, ()> = Ctx::new(&h, root, &acc, &());
         assert!(TokenLayer::token(&wave, &ctx));

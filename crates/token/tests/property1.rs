@@ -51,12 +51,16 @@ fn p12_everyone_executes_t_infinitely_often() {
     let h = generators::fig1();
     // WaveToken
     let wave = WaveToken::new(&h);
-    let mut st: Vec<_> = (0..h.n()).map(|p| TokenLayer::initial_state(&wave, &h, p)).collect();
+    let mut st: Vec<_> = (0..h.n())
+        .map(|p| TokenLayer::initial_state(&wave, &h, p))
+        .collect();
     let counts = cooperative_run(&wave, &h, &mut st, 4000);
     assert!(counts.iter().all(|&c| c >= 3), "wave: {counts:?}");
     // TokenRing
     let ring = TokenRing::new(&h);
-    let mut st: Vec<_> = (0..h.n()).map(|p| TokenLayer::initial_state(&ring, &h, p)).collect();
+    let mut st: Vec<_> = (0..h.n())
+        .map(|p| TokenLayer::initial_state(&ring, &h, p))
+        .collect();
     let counts = cooperative_run(&ring, &h, &mut st, 4000);
     assert!(counts.iter().all(|&c| c >= 3), "ring: {counts:?}");
 }
@@ -67,16 +71,24 @@ fn p12_everyone_executes_t_infinitely_often() {
 fn p12_unique_token_from_clean_boot() {
     let h = generators::ring(5, 3);
     let wave = WaveToken::new(&h);
-    let mut st: Vec<_> = (0..h.n()).map(|p| TokenLayer::initial_state(&wave, &h, p)).collect();
+    let mut st: Vec<_> = (0..h.n())
+        .map(|p| TokenLayer::initial_state(&wave, &h, p))
+        .collect();
     for _ in 0..2000 {
         assert!(holders(&wave, &h, &st).len() <= 1);
         let counts = cooperative_run(&wave, &h, &mut st, 1);
         let _ = counts;
     }
     let ring = TokenRing::new(&h);
-    let mut st: Vec<_> = (0..h.n()).map(|p| TokenLayer::initial_state(&ring, &h, p)).collect();
+    let mut st: Vec<_> = (0..h.n())
+        .map(|p| TokenLayer::initial_state(&ring, &h, p))
+        .collect();
     for _ in 0..2000 {
-        assert_eq!(holders(&ring, &h, &st).len(), 1, "dijkstra keeps exactly one");
+        assert_eq!(
+            holders(&ring, &h, &st).len(),
+            1,
+            "dijkstra keeps exactly one"
+        );
         cooperative_run(&ring, &h, &mut st, 1);
     }
 }
@@ -96,8 +108,9 @@ fn p13_internal_only_stabilization_discriminates_substrates() {
     for seed in 0..20u64 {
         // WaveToken: internal-only convergence.
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut wst: Vec<sscc_token::WaveState> =
-            (0..h.n()).map(|p| ArbitraryState::arbitrary(&mut rng, &h, p)).collect();
+        let mut wst: Vec<sscc_token::WaveState> = (0..h.n())
+            .map(|p| ArbitraryState::arbitrary(&mut rng, &h, p))
+            .collect();
         for _ in 0..5000 {
             let snapshot = wst.clone();
             let acc = SliceAccess(&snapshot);
@@ -121,8 +134,9 @@ fn p13_internal_only_stabilization_discriminates_substrates() {
         // TokenRing: no internal actions exist, so an arbitrary multi-token
         // configuration stays multi-token forever when nobody releases.
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let rst: Vec<sscc_token::TokenState> =
-            (0..h.n()).map(|p| ArbitraryState::arbitrary(&mut rng, &h, p)).collect();
+        let rst: Vec<sscc_token::TokenState> = (0..h.n())
+            .map(|p| ArbitraryState::arbitrary(&mut rng, &h, p))
+            .collect();
         let hs = holders(&ring, &h, &rst);
         // Internal actions: none — state is frozen by definition.
         for p in 0..h.n() {
@@ -146,7 +160,9 @@ fn p13_internal_only_stabilization_discriminates_substrates() {
 fn release_without_token_is_identity() {
     let h = generators::fig2();
     let wave = WaveToken::new(&h);
-    let st: Vec<_> = (0..h.n()).map(|p| TokenLayer::initial_state(&wave, &h, p)).collect();
+    let st: Vec<_> = (0..h.n())
+        .map(|p| TokenLayer::initial_state(&wave, &h, p))
+        .collect();
     let hs = holders(&wave, &h, &st);
     for p in 0..h.n() {
         if !hs.contains(&p) {
@@ -163,7 +179,9 @@ fn release_without_token_is_identity() {
 fn wave_designation_follows_tour_order() {
     let h = generators::path(3, 2);
     let wave = WaveToken::new(&h);
-    let mut st: Vec<_> = (0..h.n()).map(|p| TokenLayer::initial_state(&wave, &h, p)).collect();
+    let mut st: Vec<_> = (0..h.n())
+        .map(|p| TokenLayer::initial_state(&wave, &h, p))
+        .collect();
     let mut sequence = Vec::new();
     for _ in 0..400 {
         if let [p] = holders(&wave, &h, &st)[..] {

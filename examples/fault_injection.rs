@@ -42,8 +42,7 @@ fn main() {
         // Show the carnage the "transient fault" left behind.
         println!("fault seed {fault_seed}: corrupted initial configuration");
         let states = sim.cc_states();
-        let toks: Vec<WaveState> =
-            sim.world().states().iter().map(|s| s.tok).collect();
+        let toks: Vec<WaveState> = sim.world().states().iter().map(|s| s.tok).collect();
         let before = holders(&wave, &h, &toks);
         for (p, st) in states.iter().enumerate() {
             println!(
@@ -65,15 +64,18 @@ fn main() {
 
         sim.run(8_000);
 
-        let toks: Vec<WaveState> =
-            sim.world().states().iter().map(|s| s.tok).collect();
+        let toks: Vec<WaveState> = sim.world().states().iter().map(|s| s.tok).collect();
         let after = holders(&wave, &h, &toks);
         println!(
             "  after {} steps: {} meetings convened, {} token holder(s), spec {}",
             sim.steps(),
             sim.ledger().convened_count(),
             after.len(),
-            if sim.monitor().clean() { "CLEAN" } else { "VIOLATED" }
+            if sim.monitor().clean() {
+                "CLEAN"
+            } else {
+                "VIOLATED"
+            }
         );
         assert!(sim.monitor().clean(), "{:?}", sim.monitor().violations());
         assert!(sim.ledger().convened_count() > 0, "progress after faults");

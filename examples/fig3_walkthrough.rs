@@ -79,7 +79,11 @@ fn main() {
         }
     }
 
-    println!("\nafter {} steps: {} meetings convened", sim.steps(), sim.ledger().convened_count());
+    println!(
+        "\nafter {} steps: {} meetings convened",
+        sim.steps(),
+        sim.ledger().convened_count()
+    );
     println!("spec clean: {}", sim.monitor().clean());
     assert!(sim.monitor().clean());
 

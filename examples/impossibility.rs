@@ -89,10 +89,31 @@ fn main() {
         Box::new(adversary),
     );
     let e0 = EdgeId(0); // {1,2}
-    cc1.set_cc_state(d[0], Cc1State { s: Status::Waiting, p: Some(e0), t: false });
-    cc1.set_cc_state(d[1], Cc1State { s: Status::Waiting, p: Some(e0), t: false });
+    cc1.set_cc_state(
+        d[0],
+        Cc1State {
+            s: Status::Waiting,
+            p: Some(e0),
+            t: false,
+        },
+    );
+    cc1.set_cc_state(
+        d[1],
+        Cc1State {
+            s: Status::Waiting,
+            p: Some(e0),
+            t: false,
+        },
+    );
     for &p in &d[2..] {
-        cc1.set_cc_state(p, Cc1State { s: Status::Looking, p: None, t: false });
+        cc1.set_cc_state(
+            p,
+            Cc1State {
+                s: Status::Looking,
+                p: None,
+                t: false,
+            },
+        );
     }
     cc1.reset_observers();
 
@@ -108,12 +129,18 @@ fn main() {
         cc1.monitor().clean()
     );
     assert!(cc1.monitor().clean());
-    assert_eq!(parts[d[4]], 0, "professor 5 must starve under the adversary");
+    assert_eq!(
+        parts[d[4]], 0,
+        "professor 5 must starve under the adversary"
+    );
     assert!(
         cc1.ledger().convened_count() > 100,
         "maximal concurrency kept meetings flowing"
     );
-    println!("  => professor 5 NEVER met, while {} meetings flowed around him:", cc1.ledger().convened_count());
+    println!(
+        "  => professor 5 NEVER met, while {} meetings flowed around him:",
+        cc1.ledger().convened_count()
+    );
     println!("     with Maximal Concurrency, fairness is unattainable (Theorem 1).\n");
 
     // --- CC2 under a plain eager environment: nobody starves. --------------

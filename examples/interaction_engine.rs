@@ -53,12 +53,12 @@ fn main() {
 
     println!("component system `{}`:", system.name);
     for e in h.edge_ids() {
-        let parties: Vec<&str> = h
-            .members_raw(e)
-            .iter()
-            .map(|id| names[id])
-            .collect();
-        println!("  interaction {:>8} = {:?}", interaction_names[e.index()], parties);
+        let parties: Vec<&str> = h.members_raw(e).iter().map(|id| names[id]).collect();
+        println!(
+            "  interaction {:>8} = {:?}",
+            interaction_names[e.index()],
+            parties
+        );
     }
 
     // Schedule with CC2: all interactions conflict at the bus, so fairness
@@ -88,7 +88,11 @@ fn main() {
 
     println!("\nafter {} steps of CC2 ∘ TC scheduling:", sim.steps());
     for e in h.edge_ids() {
-        println!("  {:>8} fired {:>4} times", interaction_names[e.index()], fired[e.index()]);
+        println!(
+            "  {:>8} fired {:>4} times",
+            interaction_names[e.index()],
+            fired[e.index()]
+        );
     }
     println!("  items delivered end-to-end: {delivered}");
     println!("  snapshots taken: {snapshots}");

@@ -56,7 +56,10 @@ fn main() {
             h.members_raw(m.edge),
             m.convened_step,
             m.terminated_step,
-            m.essential.iter().map(|&q| h.id(q).value()).collect::<Vec<_>>()
+            m.essential
+                .iter()
+                .map(|&q| h.id(q).value())
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -5,8 +5,7 @@
 
 use sscc::hypergraph::generators;
 use sscc::metrics::{
-    build_sim, degree_row, throughput_row, waiting_row, AlgoKind, Boot, DegreeConfig,
-    PolicyKind,
+    build_sim, degree_row, throughput_row, waiting_row, AlgoKind, Boot, DegreeConfig, PolicyKind,
 };
 use std::sync::Arc;
 
@@ -67,7 +66,10 @@ fn cc3_committee_fairness_every_committee_convenes() {
 
 #[test]
 fn e5_degree_of_fair_concurrency_cc2_meets_bounds() {
-    let cfg = DegreeConfig { budget: 60_000, seeds: 12 };
+    let cfg = DegreeConfig {
+        budget: 60_000,
+        seeds: 12,
+    };
     for (name, h) in [
         ("fig1", Arc::new(generators::fig1())),
         ("fig2", Arc::new(generators::fig2())),
@@ -89,15 +91,24 @@ fn e5_degree_of_fair_concurrency_cc2_meets_bounds() {
 
 #[test]
 fn e6_degree_of_fair_concurrency_cc3_meets_bounds() {
-    let cfg = DegreeConfig { budget: 60_000, seeds: 12 };
+    let cfg = DegreeConfig {
+        budget: 60_000,
+        seeds: 12,
+    };
     for (name, h) in [
         ("fig2", Arc::new(generators::fig2())),
         ("ring6x2", Arc::new(generators::ring(6, 2))),
     ] {
         let row = degree_row(name, &h, AlgoKind::Cc3, &cfg);
         assert!(row.quiesced.0 > 0, "{name}");
-        assert!(row.measured_min >= row.exact_bound, "{name}: Thm 7: {row:?}");
-        assert!(row.exact_bound >= row.closed_bound, "{name}: Thm 8: {row:?}");
+        assert!(
+            row.measured_min >= row.exact_bound,
+            "{name}: Thm 7: {row:?}"
+        );
+        assert!(
+            row.exact_bound >= row.closed_bound,
+            "{name}: Thm 8: {row:?}"
+        );
     }
 }
 
@@ -137,8 +148,22 @@ fn e11_throughput_comparison_is_clean_and_productive() {
     // meeting under identical load; the measured numbers go to
     // EXPERIMENTS.md (E11).
     let h = Arc::new(generators::fig2());
-    let cc1 = throughput_row("fig2", &h, AlgoKind::Cc1, PolicyKind::Eager { max_disc: 4 }, 6, 30_000);
-    let cc2 = throughput_row("fig2", &h, AlgoKind::Cc2, PolicyKind::Eager { max_disc: 4 }, 6, 30_000);
+    let cc1 = throughput_row(
+        "fig2",
+        &h,
+        AlgoKind::Cc1,
+        PolicyKind::Eager { max_disc: 4 },
+        6,
+        30_000,
+    );
+    let cc2 = throughput_row(
+        "fig2",
+        &h,
+        AlgoKind::Cc2,
+        PolicyKind::Eager { max_disc: 4 },
+        6,
+        30_000,
+    );
     assert_eq!(cc1.violations + cc2.violations, 0);
     assert!(cc1.meetings_per_kstep > 10.0, "CC1 productive: {cc1:?}");
     assert!(cc2.meetings_per_kstep > 10.0, "CC2 productive: {cc2:?}");

@@ -2,9 +2,7 @@
 //! does not (the price of fairness).
 
 use sscc::core::sim::Sim;
-use sscc::core::{
-    Cc1, Cc1State, Cc2, Cc2State, CommitteeView, InfiniteMeetingPolicy, Status,
-};
+use sscc::core::{Cc1, Cc1State, Cc2, Cc2State, CommitteeView, InfiniteMeetingPolicy, Status};
 use sscc::hypergraph::{matching, EdgeId, Hypergraph};
 use sscc::metrics::{build_sim, AlgoKind, AnySim, Boot, PolicyKind};
 use sscc::runtime::prelude::Synchronous;
@@ -143,7 +141,11 @@ fn e8_cc1_convenes_the_committee_cc2_blocked() {
         Box::new(Synchronous),
         Box::new(InfiniteMeetingPolicy),
     );
-    let st = |s: Status, p: Option<u32>, t: bool| Cc1State { s, p: p.map(EdgeId), t };
+    let st = |s: Status, p: Option<u32>, t: bool| Cc1State {
+        s,
+        p: p.map(EdgeId),
+        t,
+    };
     sim.set_cc_state(d(1), st(Status::Looking, Some(0), true));
     sim.set_cc_state(d(2), st(Status::Looking, Some(0), false));
     sim.set_cc_state(d(8), st(Status::Looking, Some(0), false));

@@ -7,8 +7,8 @@
 use proptest::prelude::*;
 use sscc::core::sim::Sim;
 use sscc::core::{
-    predicates, Cc1, Cc1State, Cc2, Cc2State, CommitteeAlgorithm, CommitteeView,
-    EagerPolicy, RequestFlags,
+    predicates, Cc1, Cc1State, Cc2, Cc2State, CommitteeAlgorithm, CommitteeView, EagerPolicy,
+    RequestFlags,
 };
 use sscc::hypergraph::{generators, Hypergraph};
 use sscc::runtime::prelude::*;

@@ -16,8 +16,8 @@
 //! abstraction is sound for checking them.
 
 use sscc::core::{
-    predicates, Cc1, Cc1State, Cc2, Cc2State, CommitteeAlgorithm, CommitteeView,
-    MinEdgeSelector, RequestFlags, Status,
+    predicates, Cc1, Cc1State, Cc2, Cc2State, CommitteeAlgorithm, CommitteeView, MinEdgeSelector,
+    RequestFlags, Status,
 };
 use sscc::hypergraph::{EdgeId, Hypergraph};
 use sscc::runtime::prelude::{ActionId, Ctx};
@@ -26,8 +26,7 @@ fn path3() -> Hypergraph {
     Hypergraph::new(&[&[1, 2], &[2, 3]])
 }
 
-const STATUSES1: [Status; 4] =
-    [Status::Idle, Status::Looking, Status::Waiting, Status::Done];
+const STATUSES1: [Status; 4] = [Status::Idle, Status::Looking, Status::Waiting, Status::Done];
 const STATUSES2: [Status; 3] = [Status::Looking, Status::Waiting, Status::Done];
 
 /// All CC1 states of process `p` (its pointer ranges over `E_p ∪ {⊥}`).
@@ -55,7 +54,13 @@ fn all_cc2_states(h: &Hypergraph, p: usize) -> Vec<Cc2State> {
         for &ptr in &ptrs {
             for t in [false, true] {
                 for l in [false, true] {
-                    out.push(Cc2State { s, p: ptr, t, l, cursor: 0 });
+                    out.push(Cc2State {
+                        s,
+                        p: ptr,
+                        t,
+                        l,
+                        cursor: 0,
+                    });
                 }
             }
         }
@@ -102,8 +107,7 @@ where
 
     let mut idx = vec![0usize; n];
     loop {
-        let cfg: Vec<A::State> =
-            (0..n).map(|p| per[p][idx[p]].clone()).collect();
+        let cfg: Vec<A::State> = (0..n).map(|p| per[p][idx[p]].clone()).collect();
         for token_pos in 0..n {
             configs += 1;
             // Lemma 1: exclusion in this configuration.

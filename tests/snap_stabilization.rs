@@ -3,8 +3,8 @@
 //! meeting convened after step 0 satisfies the full specification, progress
 //! resumes, and the substrate converges to a unique token underneath.
 
-use sscc::metrics::{build_sim, AlgoKind, Boot, PolicyKind};
 use sscc::metrics::parallel_map;
+use sscc::metrics::{build_sim, AlgoKind, Boot, PolicyKind};
 use std::sync::Arc;
 
 #[test]
@@ -123,7 +123,11 @@ fn e9_partial_faults_also_recover() {
         strike_some(sim.world_mut(), seed, 0.33);
         sim.reset_observers();
         sim.run(10_000);
-        assert!(sim.monitor().clean(), "seed {seed}: {:?}", sim.monitor().violations());
+        assert!(
+            sim.monitor().clean(),
+            "seed {seed}: {:?}",
+            sim.monitor().violations()
+        );
         assert!(sim.ledger().convened_count() > 0, "seed {seed}");
     }
 }

@@ -33,7 +33,11 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { filter: None, test_mode: false, default_samples: 20 }
+        Criterion {
+            filter: None,
+            test_mode: false,
+            default_samples: 20,
+        }
     }
 }
 
@@ -91,11 +95,21 @@ impl BenchmarkGroup<'_> {
                 return self;
             }
         }
-        let samples = if self.criterion.test_mode { 1 } else { self.samples };
-        let mut b = Bencher { samples: Vec::with_capacity(samples), test_mode: self.criterion.test_mode };
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.samples
+        };
+        let mut b = Bencher {
+            samples: Vec::with_capacity(samples),
+            test_mode: self.criterion.test_mode,
+        };
         // Warmup (not recorded) unless in test mode.
         if !self.criterion.test_mode {
-            let mut w = Bencher { samples: Vec::new(), test_mode: true };
+            let mut w = Bencher {
+                samples: Vec::new(),
+                test_mode: true,
+            };
             f(&mut w);
         }
         for _ in 0..samples {
@@ -185,7 +199,11 @@ mod tests {
 
     #[test]
     fn group_runs_and_reports() {
-        let mut c = Criterion { filter: None, test_mode: true, default_samples: 5 };
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+            default_samples: 5,
+        };
         let mut ran = 0;
         {
             let mut g = c.benchmark_group("g");
@@ -208,7 +226,8 @@ mod tests {
             default_samples: 5,
         };
         let mut ran = false;
-        c.benchmark_group("g").bench_function("a", |b| b.iter(|| ran = true));
+        c.benchmark_group("g")
+            .bench_function("a", |b| b.iter(|| ran = true));
         assert!(!ran);
     }
 }

@@ -1,7 +1,18 @@
-//! Offline stand-in for `crossbeam`: only `channel::unbounded` is used by
-//! the workspace (the sweep harness), and `std::sync::mpsc` provides the
-//! same semantics — clonable senders, receiver iteration ending when all
-//! senders drop.
+//! Offline stand-in for `crossbeam`: the workspace uses `channel::unbounded`
+//! (the sweep harness) and `thread::scope` (the engine's parallel dirty-set
+//! drain). `std::sync::mpsc` and `std::thread::scope` provide the same
+//! semantics — clonable senders / receiver iteration ending when all senders
+//! drop, and scoped threads that may borrow from the enclosing stack frame
+//! and are joined before `scope` returns.
+
+/// Scoped threads (the `crossbeam::thread` API surface the workspace uses).
+///
+/// `scope(|s| { s.spawn(...); ... })` guarantees every spawned thread is
+/// joined before `scope` returns, so closures may borrow locals. Backed by
+/// `std::thread::scope` (stabilized after crossbeam pioneered the API).
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
 
 /// Multi-producer channels.
 pub mod channel {
@@ -18,6 +29,18 @@ pub mod channel {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u32, 2, 3, 4];
+        let mut sums = [0u32; 2];
+        super::thread::scope(|s| {
+            for (chunk, out) in data.chunks(2).zip(sums.iter_mut()) {
+                s.spawn(move || *out = chunk.iter().sum());
+            }
+        });
+        assert_eq!(sums, [3, 7], "all workers joined before scope returned");
+    }
+
     #[test]
     fn fan_in_then_drain() {
         let (tx, rx) = super::channel::unbounded::<u32>();

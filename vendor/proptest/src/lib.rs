@@ -42,7 +42,9 @@ impl TestRng {
         for b in path.bytes() {
             h = (h ^ b as u64).wrapping_mul(0x100000001b3);
         }
-        TestRng { state: h ^ ((case as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15)) }
+        TestRng {
+            state: h ^ ((case as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15)),
+        }
     }
 
     /// Next 64 uniform bits.
@@ -141,8 +143,8 @@ impl_tuple_strategy! {
 /// One-line import mirroring proptest's prelude.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
-        Strategy, TestRng,
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestRng,
     };
 }
 
