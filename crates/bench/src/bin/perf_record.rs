@@ -4,7 +4,7 @@
 //!
 //! ```sh
 //! # Full trajectory recording (rings n=384/1536/6144, all engine modes):
-//! cargo run -p sscc-bench --release --bin perf_record            # BENCH_2.json
+//! cargo run -p sscc-bench --release --bin perf_record            # BENCH_3.json
 //! cargo run -p sscc-bench --release --bin perf_record -- out.json
 //!
 //! # CI smoke recording (small rings, reduced budgets, same record shape):
@@ -13,7 +13,7 @@
 //! # Regression gate: exit 1 if any (algo, topology, mode, threads) pair in
 //! # FRESH regressed more than THRESHOLD (default 0.20) below BASELINE:
 //! cargo run -p sscc-bench --release --bin perf_record -- \
-//!     --compare BENCH_2.json bench_ci.json --threshold 0.20
+//!     --compare BENCH_3.json bench_ci.json --threshold 0.20
 //! ```
 //!
 //! Engine modes recorded:
@@ -22,8 +22,10 @@
 //!   reference evaluator, full policy ticks): the trajectory baseline;
 //! * `par1`         — this PR's engine, sequential drain (fused evaluators
 //!   + delta-aware policies);
-//! * `par2`/`par4`  — this PR's engine with the sharded parallel drain at
-//!   2/4 worker threads (adaptive fan-out threshold).
+//! * `par2`/`par4`  — the PR-2 engine with the sharded parallel drain at
+//!   2/4 worker threads (adaptive fan-out threshold);
+//! * `inplace`      — this PR's engine: monomorphic guard evaluation plus
+//!   the zero-clone in-place commit strategy (sequential drain).
 
 use sscc_bench::bench_json;
 use sscc_hypergraph::generators;
@@ -59,6 +61,7 @@ fn modes() -> Vec<(&'static str, usize, Configure)> {
         ("par1", 1, |_s: &mut AnySim| {}),
         ("par2", 2, |s: &mut AnySim| s.set_threads(2)),
         ("par4", 4, |s: &mut AnySim| s.set_threads(4)),
+        ("inplace", 1, |s: &mut AnySim| s.set_in_place_commit(true)),
     ]
 }
 
@@ -266,7 +269,7 @@ fn main() {
     let default = if quick {
         "bench_ci.json"
     } else {
-        "BENCH_2.json"
+        "BENCH_3.json"
     };
     let out_path = rest.first().cloned().unwrap_or_else(|| default.to_string());
     record(&out_path, quick);

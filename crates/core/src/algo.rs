@@ -10,7 +10,7 @@
 use crate::oracle::RequestEnv;
 use crate::status::{ActionClass, CommitteeView};
 use sscc_hypergraph::Hypergraph;
-use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, ProcessState};
+use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, ProcessState, StateAccess};
 
 /// A committee coordination local algorithm with token inputs/outputs.
 ///
@@ -33,9 +33,12 @@ pub trait CommitteeAlgorithm: Sync {
     fn initial_state(&self, h: &Hypergraph, me: usize) -> Self::State;
 
     /// The priority enabled action given `Token(p) = token`.
-    fn priority_action<E: RequestEnv + ?Sized>(
+    ///
+    /// Generic over the accessor `A` so guard evaluation monomorphizes on
+    /// the engine hot path (`A` is a slice or a projection over one).
+    fn priority_action<E: RequestEnv + ?Sized, A: StateAccess<Self::State> + ?Sized>(
         &self,
-        ctx: &Ctx<'_, Self::State, E>,
+        ctx: &Ctx<'_, Self::State, E, A>,
         token: bool,
     ) -> Option<ActionId>;
 
@@ -50,9 +53,9 @@ pub trait CommitteeAlgorithm: Sync {
 
     /// Execute `a`; returns the next state and whether `ReleaseToken_p` was
     /// emitted.
-    fn execute<E: RequestEnv + ?Sized>(
+    fn execute<E: RequestEnv + ?Sized, A: StateAccess<Self::State> + ?Sized>(
         &self,
-        ctx: &Ctx<'_, Self::State, E>,
+        ctx: &Ctx<'_, Self::State, E, A>,
         a: ActionId,
         token: bool,
     ) -> (Self::State, bool);

@@ -28,7 +28,7 @@ use crate::oracle::RequestEnv;
 use crate::predicates;
 use crate::status::{ActionClass, CommitteeView, Status};
 use sscc_hypergraph::{EdgeId, Hypergraph};
-use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx};
+use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, StateAccess};
 
 /// Per-process CC1 state: `S_p`, `P_p`, `T_p`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,7 +122,9 @@ impl<Ch: EdgeChoice> Cc1<Ch> {
     }
 
     /// `FreeEdges_p = {ε ∈ E_p | ∀q ∈ ε : S_q = looking}`.
-    pub fn free_edges<E: ?Sized>(ctx: &Ctx<'_, Cc1State, E>) -> Vec<EdgeId> {
+    pub fn free_edges<E: ?Sized, A: StateAccess<Cc1State> + ?Sized>(
+        ctx: &Ctx<'_, Cc1State, E, A>,
+    ) -> Vec<EdgeId> {
         ctx.h()
             .incident(ctx.me())
             .iter()
@@ -138,7 +140,9 @@ impl<Ch: EdgeChoice> Cc1<Ch> {
 
     /// `Cands_p`: the free nodes, restricted to announced token holders when
     /// any exist (`TFreeNodes` beats `FreeNodes`). Returned ascending.
-    pub fn cands<E: ?Sized>(ctx: &Ctx<'_, Cc1State, E>) -> Vec<usize> {
+    pub fn cands<E: ?Sized, A: StateAccess<Cc1State> + ?Sized>(
+        ctx: &Ctx<'_, Cc1State, E, A>,
+    ) -> Vec<usize> {
         let free = Self::free_edges(ctx);
         let mut nodes: Vec<usize> = Vec::new();
         for &e in &free {
@@ -162,17 +166,23 @@ impl<Ch: EdgeChoice> Cc1<Ch> {
     }
 
     /// The candidate with the maximum identifier, if any.
-    fn max_cand<E: ?Sized>(ctx: &Ctx<'_, Cc1State, E>) -> Option<usize> {
+    fn max_cand<E: ?Sized, A: StateAccess<Cc1State> + ?Sized>(
+        ctx: &Ctx<'_, Cc1State, E, A>,
+    ) -> Option<usize> {
         Self::cands(ctx).into_iter().max_by_key(|&q| ctx.h().id(q))
     }
 
     /// `LocalMax(p) ≡ p = max(Cands_p)`.
-    pub fn local_max<E: ?Sized>(ctx: &Ctx<'_, Cc1State, E>) -> bool {
+    pub fn local_max<E: ?Sized, A: StateAccess<Cc1State> + ?Sized>(
+        ctx: &Ctx<'_, Cc1State, E, A>,
+    ) -> bool {
         Self::max_cand(ctx) == Some(ctx.me())
     }
 
     /// `MaxToFreeEdge(p)` (guard of Step21).
-    pub fn max_to_free_edge<E: ?Sized>(ctx: &Ctx<'_, Cc1State, E>) -> bool {
+    pub fn max_to_free_edge<E: ?Sized, A: StateAccess<Cc1State> + ?Sized>(
+        ctx: &Ctx<'_, Cc1State, E, A>,
+    ) -> bool {
         let free = Self::free_edges(ctx);
         !free.is_empty()
             && Self::local_max(ctx)
@@ -181,7 +191,9 @@ impl<Ch: EdgeChoice> Cc1<Ch> {
     }
 
     /// `JoinLocalMax(p)` (guard of Step22).
-    pub fn join_local_max<E: ?Sized>(ctx: &Ctx<'_, Cc1State, E>) -> bool {
+    pub fn join_local_max<E: ?Sized, A: StateAccess<Cc1State> + ?Sized>(
+        ctx: &Ctx<'_, Cc1State, E, A>,
+    ) -> bool {
         let free = Self::free_edges(ctx);
         if free.is_empty() || Self::local_max(ctx) || predicates::ready(ctx) {
             return false;
@@ -196,7 +208,9 @@ impl<Ch: EdgeChoice> Cc1<Ch> {
     }
 
     /// `LeaveMeeting(p) ≡ ∃ε : P_p = ε ∧ ∀q ∈ ε : (P_q = ε ⇒ S_q = done)`.
-    pub fn leave_meeting<E: ?Sized>(ctx: &Ctx<'_, Cc1State, E>) -> bool {
+    pub fn leave_meeting<E: ?Sized, A: StateAccess<Cc1State> + ?Sized>(
+        ctx: &Ctx<'_, Cc1State, E, A>,
+    ) -> bool {
         let Some(e) = ctx.my_state().p else {
             return false;
         };
@@ -210,14 +224,19 @@ impl<Ch: EdgeChoice> Cc1<Ch> {
     }
 
     /// `Useless(p) ≡ Token(p) ∧ [S=idle ∨ (S=looking ∧ FreeEdges_p = ∅)]`.
-    pub fn useless<E: ?Sized>(ctx: &Ctx<'_, Cc1State, E>, token: bool) -> bool {
+    pub fn useless<E: ?Sized, A: StateAccess<Cc1State> + ?Sized>(
+        ctx: &Ctx<'_, Cc1State, E, A>,
+        token: bool,
+    ) -> bool {
         token
             && (ctx.my_state().s == Status::Idle
                 || (ctx.my_state().s == Status::Looking && Self::free_edges(ctx).is_empty()))
     }
 
     /// `Correct(p)` (the snap-stabilization closure predicate, Lemma 3).
-    pub fn correct<E: ?Sized>(ctx: &Ctx<'_, Cc1State, E>) -> bool {
+    pub fn correct<E: ?Sized, A: StateAccess<Cc1State> + ?Sized>(
+        ctx: &Ctx<'_, Cc1State, E, A>,
+    ) -> bool {
         let st = ctx.my_state();
         let idle_ok = st.s != Status::Idle || st.p.is_none();
         let wait_ok = st.s != Status::Waiting || predicates::ready(ctx) || predicates::meeting(ctx);
@@ -227,7 +246,10 @@ impl<Ch: EdgeChoice> Cc1<Ch> {
 
     /// Is committee `e` free, by a single member scan (the per-edge test
     /// behind [`Cc1::free_edges`], without materializing the set)?
-    fn edge_free<E: ?Sized>(ctx: &Ctx<'_, Cc1State, E>, e: EdgeId) -> bool {
+    fn edge_free<E: ?Sized, A: StateAccess<Cc1State> + ?Sized>(
+        ctx: &Ctx<'_, Cc1State, E, A>,
+        e: EdgeId,
+    ) -> bool {
         ctx.h()
             .members(e)
             .iter()
@@ -243,9 +265,9 @@ impl<Ch: EdgeChoice> Cc1<Ch> {
     /// Bit-identical to the reference (`debug_assert`ed on every evaluation
     /// in debug builds, and pinned by the differential suite's PR-1
     /// baseline twin).
-    fn priority_action_fused<E: RequestEnv + ?Sized>(
+    fn priority_action_fused<E: RequestEnv + ?Sized, A: StateAccess<Cc1State> + ?Sized>(
         &self,
-        ctx: &Ctx<'_, Cc1State, E>,
+        ctx: &Ctx<'_, Cc1State, E, A>,
         token: bool,
     ) -> Option<ActionId> {
         use action::*;
@@ -329,9 +351,9 @@ impl<Ch: EdgeChoice> Cc1<Ch> {
         None
     }
 
-    fn guard<E: RequestEnv + ?Sized>(
+    fn guard<E: RequestEnv + ?Sized, A: StateAccess<Cc1State> + ?Sized>(
         &self,
-        ctx: &Ctx<'_, Cc1State, E>,
+        ctx: &Ctx<'_, Cc1State, E, A>,
         token: bool,
         a: ActionId,
     ) -> bool {
@@ -400,9 +422,9 @@ impl<Ch: EdgeChoice> CommitteeAlgorithm for Cc1<Ch> {
         self.reference_eval = on;
     }
 
-    fn priority_action<E: RequestEnv + ?Sized>(
+    fn priority_action<E: RequestEnv + ?Sized, A: StateAccess<Cc1State> + ?Sized>(
         &self,
-        ctx: &Ctx<'_, Cc1State, E>,
+        ctx: &Ctx<'_, Cc1State, E, A>,
         token: bool,
     ) -> Option<ActionId> {
         // Priority: the enabled action appearing LATEST in code order.
@@ -422,9 +444,9 @@ impl<Ch: EdgeChoice> CommitteeAlgorithm for Cc1<Ch> {
         fused
     }
 
-    fn execute<E: RequestEnv + ?Sized>(
+    fn execute<E: RequestEnv + ?Sized, A: StateAccess<Cc1State> + ?Sized>(
         &self,
-        ctx: &Ctx<'_, Cc1State, E>,
+        ctx: &Ctx<'_, Cc1State, E, A>,
         a: ActionId,
         token: bool,
     ) -> (Cc1State, bool) {

@@ -32,7 +32,7 @@ use crate::oracle::RequestEnv;
 use crate::predicates;
 use crate::status::{ActionClass, CommitteeView, Status};
 use sscc_hypergraph::{EdgeId, Hypergraph};
-use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx};
+use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, StateAccess};
 
 /// Per-process CC2/CC3 state: `S_p`, `P_p`, `T_p`, `L_p` (+ the CC3
 /// selection cursor, inert under CC2).
@@ -208,7 +208,9 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
     }
 
     /// `FreeEdges_p = {ε ∈ E_p | ∀q ∈ ε : (S_q = looking ∧ ¬L_q ∧ ¬T_q)}`.
-    pub fn free_edges<E: ?Sized>(ctx: &Ctx<'_, Cc2State, E>) -> Vec<EdgeId> {
+    pub fn free_edges<E: ?Sized, A: StateAccess<Cc2State> + ?Sized>(
+        ctx: &Ctx<'_, Cc2State, E, A>,
+    ) -> Vec<EdgeId> {
         ctx.h()
             .incident(ctx.me())
             .iter()
@@ -223,7 +225,9 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
     }
 
     /// `TPointingEdges_p = {ε ∈ E_p | ∃q ∈ ε : (P_q = ε ∧ T_q ∧ S_q = looking)}`.
-    pub fn t_pointing_edges<E: ?Sized>(ctx: &Ctx<'_, Cc2State, E>) -> Vec<EdgeId> {
+    pub fn t_pointing_edges<E: ?Sized, A: StateAccess<Cc2State> + ?Sized>(
+        ctx: &Ctx<'_, Cc2State, E, A>,
+    ) -> Vec<EdgeId> {
         ctx.h()
             .incident(ctx.me())
             .iter()
@@ -238,7 +242,9 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
     }
 
     /// `Locked(p) ≡ TPointingEdges_p ≠ ∅`.
-    pub fn locked<E: ?Sized>(ctx: &Ctx<'_, Cc2State, E>) -> bool {
+    pub fn locked<E: ?Sized, A: StateAccess<Cc2State> + ?Sized>(
+        ctx: &Ctx<'_, Cc2State, E, A>,
+    ) -> bool {
         !Self::t_pointing_edges(ctx).is_empty()
     }
 
@@ -247,7 +253,9 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
     /// `P_max(TPointingNodes_p)` statement (see DESIGN.md: with multiple
     /// transient tokens, the max member of a t-pointing edge need not be the
     /// holder, so we follow the max *witness* instead).
-    fn followed_edge<E: ?Sized>(ctx: &Ctx<'_, Cc2State, E>) -> Option<EdgeId> {
+    fn followed_edge<E: ?Sized, A: StateAccess<Cc2State> + ?Sized>(
+        ctx: &Ctx<'_, Cc2State, E, A>,
+    ) -> Option<EdgeId> {
         let mut best: Option<(sscc_hypergraph::ProcessId, EdgeId)> = None;
         for &e in &Self::t_pointing_edges(ctx) {
             for &q in ctx.h().members(e) {
@@ -264,7 +272,9 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
     }
 
     /// The free nodes and the local maximum among them.
-    fn max_free_node<E: ?Sized>(ctx: &Ctx<'_, Cc2State, E>) -> Option<usize> {
+    fn max_free_node<E: ?Sized, A: StateAccess<Cc2State> + ?Sized>(
+        ctx: &Ctx<'_, Cc2State, E, A>,
+    ) -> Option<usize> {
         let mut best: Option<usize> = None;
         for &e in &Self::free_edges(ctx) {
             for &q in ctx.h().members(e) {
@@ -277,13 +287,17 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
     }
 
     /// `LocalMax(p) ≡ p = max(FreeNodes_p)`.
-    pub fn local_max<E: ?Sized>(ctx: &Ctx<'_, Cc2State, E>) -> bool {
+    pub fn local_max<E: ?Sized, A: StateAccess<Cc2State> + ?Sized>(
+        ctx: &Ctx<'_, Cc2State, E, A>,
+    ) -> bool {
         Self::max_free_node(ctx) == Some(ctx.me())
     }
 
     /// `LeaveMeeting(p) ≡ ∃ε : P_p = ε ∧ S_p = done ∧
     ///  ∀q ∈ ε : (P_q = ε ⇒ S_q ≠ waiting)`.
-    pub fn leave_meeting<E: ?Sized>(ctx: &Ctx<'_, Cc2State, E>) -> bool {
+    pub fn leave_meeting<E: ?Sized, A: StateAccess<Cc2State> + ?Sized>(
+        ctx: &Ctx<'_, Cc2State, E, A>,
+    ) -> bool {
         let st = ctx.my_state();
         if st.s != Status::Done {
             return false;
@@ -299,7 +313,9 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
     }
 
     /// `Correct(p)` (Lemma 8's closure predicate).
-    pub fn correct<E: ?Sized>(ctx: &Ctx<'_, Cc2State, E>) -> bool {
+    pub fn correct<E: ?Sized, A: StateAccess<Cc2State> + ?Sized>(
+        ctx: &Ctx<'_, Cc2State, E, A>,
+    ) -> bool {
         let st = ctx.my_state();
         let wait_ok = st.s != Status::Waiting || predicates::ready(ctx) || predicates::meeting(ctx);
         let done_ok = st.s != Status::Done || predicates::meeting(ctx) || Self::leave_meeting(ctx);
@@ -307,7 +323,11 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
     }
 
     /// `MaxToFreeEdge(p)` (guard of Step13).
-    fn max_to_free_edge<E: ?Sized>(&self, ctx: &Ctx<'_, Cc2State, E>, token: bool) -> bool {
+    fn max_to_free_edge<E: ?Sized, A: StateAccess<Cc2State> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Cc2State, E, A>,
+        token: bool,
+    ) -> bool {
         if token || Self::locked(ctx) {
             return false;
         }
@@ -319,7 +339,11 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
     }
 
     /// `JoinLocalMax(p)` (guard of Step14).
-    fn join_local_max<E: ?Sized>(&self, ctx: &Ctx<'_, Cc2State, E>, token: bool) -> bool {
+    fn join_local_max<E: ?Sized, A: StateAccess<Cc2State> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Cc2State, E, A>,
+        token: bool,
+    ) -> bool {
         if token || Self::locked(ctx) {
             return false;
         }
@@ -337,7 +361,11 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
     }
 
     /// `TokenHolderToEdge(p)` (guard of Step11).
-    fn token_holder_to_edge<E: ?Sized>(&self, ctx: &Ctx<'_, Cc2State, E>, token: bool) -> bool {
+    fn token_holder_to_edge<E: ?Sized, A: StateAccess<Cc2State> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Cc2State, E, A>,
+        token: bool,
+    ) -> bool {
         token
             && ctx.my_state().s == Status::Looking
             && !predicates::ready(ctx)
@@ -345,7 +373,11 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
     }
 
     /// `JoinTokenHolder(p)` (guard of Step12).
-    fn join_token_holder<E: ?Sized>(&self, ctx: &Ctx<'_, Cc2State, E>, token: bool) -> bool {
+    fn join_token_holder<E: ?Sized, A: StateAccess<Cc2State> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Cc2State, E, A>,
+        token: bool,
+    ) -> bool {
         if token || ctx.my_state().s != Status::Looking || predicates::ready(ctx) {
             return false;
         }
@@ -355,7 +387,10 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
 
     /// Is committee `e` free, by a single member scan (the per-edge test
     /// behind [`Cc2::free_edges`], without materializing the set)?
-    fn edge_free<E: ?Sized>(ctx: &Ctx<'_, Cc2State, E>, e: EdgeId) -> bool {
+    fn edge_free<E: ?Sized, A: StateAccess<Cc2State> + ?Sized>(
+        ctx: &Ctx<'_, Cc2State, E, A>,
+        e: EdgeId,
+    ) -> bool {
         ctx.h().members(e).iter().all(|&q| {
             let s = ctx.state_of(q);
             s.s == Status::Looking && !s.l && !s.t
@@ -372,9 +407,9 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
     /// every guard that mentions them. Bit-identical to the reference
     /// (`debug_assert`ed on every evaluation in debug builds, and pinned by
     /// the differential suite's PR-1 baseline twin).
-    fn priority_action_fused<E: RequestEnv + ?Sized>(
+    fn priority_action_fused<E: RequestEnv + ?Sized, A: StateAccess<Cc2State> + ?Sized>(
         &self,
-        ctx: &Ctx<'_, Cc2State, E>,
+        ctx: &Ctx<'_, Cc2State, E, A>,
         token: bool,
     ) -> Option<ActionId> {
         use action::*;
@@ -460,9 +495,9 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
         None
     }
 
-    fn guard<E: RequestEnv + ?Sized>(
+    fn guard<E: RequestEnv + ?Sized, A: StateAccess<Cc2State> + ?Sized>(
         &self,
-        ctx: &Ctx<'_, Cc2State, E>,
+        ctx: &Ctx<'_, Cc2State, E, A>,
         token: bool,
         a: ActionId,
     ) -> bool {
@@ -527,9 +562,9 @@ impl<Sel: Selector, Ch: EdgeChoice> CommitteeAlgorithm for Cc2<Sel, Ch> {
         Cc2State::looking()
     }
 
-    fn priority_action<E: RequestEnv + ?Sized>(
+    fn priority_action<E: RequestEnv + ?Sized, A: StateAccess<Cc2State> + ?Sized>(
         &self,
-        ctx: &Ctx<'_, Cc2State, E>,
+        ctx: &Ctx<'_, Cc2State, E, A>,
         token: bool,
     ) -> Option<ActionId> {
         if self.reference_eval {
@@ -552,9 +587,9 @@ impl<Sel: Selector, Ch: EdgeChoice> CommitteeAlgorithm for Cc2<Sel, Ch> {
         self.reference_eval = on;
     }
 
-    fn execute<E: RequestEnv + ?Sized>(
+    fn execute<E: RequestEnv + ?Sized, A: StateAccess<Cc2State> + ?Sized>(
         &self,
-        ctx: &Ctx<'_, Cc2State, E>,
+        ctx: &Ctx<'_, Cc2State, E, A>,
         a: ActionId,
         token: bool,
     ) -> (Cc2State, bool) {

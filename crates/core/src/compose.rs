@@ -21,8 +21,11 @@ use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, GuardedAlgorithm, Lay
 use sscc_token::TokenLayer;
 
 /// Composed per-process state: committee layer + token substrate + the
-/// fair-composition turn bit.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// fair-composition turn bit. `Copy` when both layer states are — which
+/// every shipped committee state and the wave-token substrate state satisfy
+/// — keeping the engine's in-place commit strategy available to the
+/// composed world (see [`sscc_runtime::prelude::CommitStrategy`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CcTok<CS, TS> {
     /// Committee-layer state (`S`, `P`, `T`, …).
     pub cc: CS,
@@ -33,22 +36,54 @@ pub struct CcTok<CS, TS> {
 }
 
 /// Zero-copy view of the committee components.
-pub struct ProjCc<'x, CS, TS>(pub &'x dyn StateAccess<CcTok<CS, TS>>);
+///
+/// Generic over the underlying accessor `X` (default: erased): on the
+/// engine hot path `X = [CcTok<CS, TS>]`, so reading a neighbor's
+/// committee state through the composed context is a slice index plus a
+/// field offset — no virtual dispatch anywhere in the chain.
+pub struct ProjCc<'x, CS, TS, X: ?Sized = dyn StateAccess<CcTok<CS, TS>> + 'x> {
+    inner: &'x X,
+    _pair: std::marker::PhantomData<fn() -> (CS, TS)>,
+}
 
-impl<CS, TS> StateAccess<CS> for ProjCc<'_, CS, TS> {
-    #[inline]
-    fn state(&self, p: usize) -> &CS {
-        &self.0.state(p).cc
+impl<'x, CS, TS, X: ?Sized> ProjCc<'x, CS, TS, X> {
+    /// Project the committee components out of `inner`.
+    pub fn new(inner: &'x X) -> Self {
+        ProjCc {
+            inner,
+            _pair: std::marker::PhantomData,
+        }
     }
 }
 
-/// Zero-copy view of the substrate components.
-pub struct ProjTok<'x, CS, TS>(pub &'x dyn StateAccess<CcTok<CS, TS>>);
+impl<CS, TS, X: StateAccess<CcTok<CS, TS>> + ?Sized> StateAccess<CS> for ProjCc<'_, CS, TS, X> {
+    #[inline]
+    fn state(&self, p: usize) -> &CS {
+        &self.inner.state(p).cc
+    }
+}
 
-impl<CS, TS> StateAccess<TS> for ProjTok<'_, CS, TS> {
+/// Zero-copy view of the substrate components (the token-side twin of
+/// [`ProjCc`]).
+pub struct ProjTok<'x, CS, TS, X: ?Sized = dyn StateAccess<CcTok<CS, TS>> + 'x> {
+    inner: &'x X,
+    _pair: std::marker::PhantomData<fn() -> (CS, TS)>,
+}
+
+impl<'x, CS, TS, X: ?Sized> ProjTok<'x, CS, TS, X> {
+    /// Project the substrate components out of `inner`.
+    pub fn new(inner: &'x X) -> Self {
+        ProjTok {
+            inner,
+            _pair: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<CS, TS, X: StateAccess<CcTok<CS, TS>> + ?Sized> StateAccess<TS> for ProjTok<'_, CS, TS, X> {
     #[inline]
     fn state(&self, p: usize) -> &TS {
-        &self.0.state(p).tok
+        &self.inner.state(p).tok
     }
 }
 
@@ -96,9 +131,12 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Composed<C, TL> {
     }
 
     /// Evaluate `Token(p)` for the context's process.
-    pub fn token_of<'a, E: ?Sized>(&self, ctx: &Ctx<'a, CcTok<C::State, TL::State>, E>) -> bool {
-        let pt = ProjTok(ctx.accessor());
-        let ctx_tok: Ctx<'_, TL::State, E> = Ctx::new(ctx.h(), ctx.me(), &pt, ctx.env());
+    pub fn token_of<'a, E: ?Sized, A: StateAccess<CcTok<C::State, TL::State>> + ?Sized>(
+        &self,
+        ctx: &Ctx<'a, CcTok<C::State, TL::State>, E, A>,
+    ) -> bool {
+        let pt = ProjTok::new(ctx.accessor());
+        let ctx_tok = Ctx::new(ctx.h(), ctx.me(), &pt, ctx.env());
         self.tl.token(&ctx_tok)
     }
 }
@@ -130,18 +168,20 @@ where
         }
     }
 
-    fn priority_action(&self, ctx: &Ctx<'_, Self::State, dyn RequestEnv>) -> Option<ActionId> {
+    fn priority_action<A: StateAccess<Self::State> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Self::State, dyn RequestEnv, A>,
+    ) -> Option<ActionId> {
         let token = self.token_of(ctx);
-        let pc = ProjCc(ctx.accessor());
-        let ctx_cc: Ctx<'_, C::State, dyn RequestEnv> = Ctx::new(ctx.h(), ctx.me(), &pc, ctx.env());
+        let pc = ProjCc::new(ctx.accessor());
+        let ctx_cc = Ctx::new(ctx.h(), ctx.me(), &pc, ctx.env());
         let cc_act = self
             .cc
             .priority_action(&ctx_cc, token)
             .map(|i| Self::encode(Layer::A, i));
 
-        let pt = ProjTok(ctx.accessor());
-        let ctx_tok: Ctx<'_, TL::State, dyn RequestEnv> =
-            Ctx::new(ctx.h(), ctx.me(), &pt, ctx.env());
+        let pt = ProjTok::new(ctx.accessor());
+        let ctx_tok = Ctx::new(ctx.h(), ctx.me(), &pt, ctx.env());
         let tl_act = self
             .tl
             .internal_priority_action(&ctx_tok)
@@ -153,28 +193,29 @@ where
         }
     }
 
-    fn execute(&self, ctx: &Ctx<'_, Self::State, dyn RequestEnv>, a: ActionId) -> Self::State {
+    fn execute<A: StateAccess<Self::State> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Self::State, dyn RequestEnv, A>,
+        a: ActionId,
+    ) -> Self::State {
         let mut next = ctx.my_state().clone();
         match Self::decode(a) {
             (Layer::A, i) => {
                 let token = self.token_of(ctx);
-                let pc = ProjCc(ctx.accessor());
-                let ctx_cc: Ctx<'_, C::State, dyn RequestEnv> =
-                    Ctx::new(ctx.h(), ctx.me(), &pc, ctx.env());
+                let pc = ProjCc::new(ctx.accessor());
+                let ctx_cc = Ctx::new(ctx.h(), ctx.me(), &pc, ctx.env());
                 let (cc_next, release) = self.cc.execute(&ctx_cc, i, token);
                 next.cc = cc_next;
                 if release {
-                    let pt = ProjTok(ctx.accessor());
-                    let ctx_tok: Ctx<'_, TL::State, dyn RequestEnv> =
-                        Ctx::new(ctx.h(), ctx.me(), &pt, ctx.env());
+                    let pt = ProjTok::new(ctx.accessor());
+                    let ctx_tok = Ctx::new(ctx.h(), ctx.me(), &pt, ctx.env());
                     next.tok = self.tl.release(&ctx_tok);
                 }
                 next.turn = Layer::B;
             }
             (Layer::B, j) => {
-                let pt = ProjTok(ctx.accessor());
-                let ctx_tok: Ctx<'_, TL::State, dyn RequestEnv> =
-                    Ctx::new(ctx.h(), ctx.me(), &pt, ctx.env());
+                let pt = ProjTok::new(ctx.accessor());
+                let ctx_tok = Ctx::new(ctx.h(), ctx.me(), &pt, ctx.env());
                 next.tok = self.tl.execute_internal(&ctx_tok, j);
                 next.turn = Layer::A;
             }

@@ -29,7 +29,7 @@
 //! assert!(sim.ledger().convened_count() > 0); // and meetings happened
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod algo;
 pub mod cc1;

@@ -4,10 +4,12 @@
 
 use crate::status::{CommitteeView, Status};
 use sscc_hypergraph::{EdgeId, Hypergraph};
-use sscc_runtime::prelude::Ctx;
+use sscc_runtime::prelude::{Ctx, StateAccess};
 
 /// `Ready(p) ≡ ∃ε ∈ E_p : ∀q ∈ ε : (P_q = ε ∧ S_q ∈ {looking, waiting})`.
-pub fn ready<S: CommitteeView, E: ?Sized>(ctx: &Ctx<'_, S, E>) -> bool {
+pub fn ready<S: CommitteeView, E: ?Sized, A: StateAccess<S> + ?Sized>(
+    ctx: &Ctx<'_, S, E, A>,
+) -> bool {
     ctx.h()
         .incident(ctx.me())
         .iter()
@@ -15,7 +17,9 @@ pub fn ready<S: CommitteeView, E: ?Sized>(ctx: &Ctx<'_, S, E>) -> bool {
 }
 
 /// `Meeting(p) ≡ ∃ε ∈ E_p : ∀q ∈ ε : (P_q = ε ∧ S_q ∈ {waiting, done})`.
-pub fn meeting<S: CommitteeView, E: ?Sized>(ctx: &Ctx<'_, S, E>) -> bool {
+pub fn meeting<S: CommitteeView, E: ?Sized, A: StateAccess<S> + ?Sized>(
+    ctx: &Ctx<'_, S, E, A>,
+) -> bool {
     ctx.h()
         .incident(ctx.me())
         .iter()
@@ -30,8 +34,8 @@ fn is_meeting_member(s: &dyn CommitteeView, e: EdgeId) -> bool {
     s.pointer() == Some(e) && matches!(s.status(), Status::Waiting | Status::Done)
 }
 
-fn all_members<S: CommitteeView, E: ?Sized>(
-    ctx: &Ctx<'_, S, E>,
+fn all_members<S: CommitteeView, E: ?Sized, A: StateAccess<S> + ?Sized>(
+    ctx: &Ctx<'_, S, E, A>,
     e: EdgeId,
     pred: fn(&dyn CommitteeView, EdgeId) -> bool,
 ) -> bool {

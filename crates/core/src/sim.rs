@@ -35,6 +35,19 @@ pub enum StopReason {
 /// step, against the engine's incremental guard scheduler. The legacy
 /// full-scan path (whole-configuration clones and `O(n + |E|)` observers)
 /// is kept behind [`Sim::set_full_scan`] for differential testing.
+///
+/// ```
+/// use sscc_core::sim::Cc1Sim;
+/// use sscc_hypergraph::generators;
+/// use std::sync::Arc;
+///
+/// let h = Arc::new(generators::fig2());
+/// let mut sim = Cc1Sim::standard(Arc::clone(&h), /* seed */ 42, /* maxDisc */ 1);
+/// sim.set_in_place_commit(true); // zero-clone commits (optional)
+/// sim.run(2000);
+/// assert!(sim.monitor().clean());             // spec held from step 0
+/// assert!(sim.ledger().convened_count() > 0); // and meetings happened
+/// ```
 pub struct Sim<C: CommitteeAlgorithm, TL: TokenLayer> {
     world: World<Composed<C, TL>>,
     daemon: Box<dyn Daemon>,
@@ -182,6 +195,24 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     /// suite to exercise it on tiny topologies).
     pub fn set_parallel(&mut self, threads: usize, min_batch_per_thread: usize) {
         self.world.set_parallel(threads, min_batch_per_thread);
+    }
+
+    /// Commit executed statements in place (zero-clone) instead of staging
+    /// them in a side buffer — see [`CommitStrategy`]. Available
+    /// when the composed per-process state is `Copy` (true for every
+    /// shipped committee algorithm over the wave-token substrate).
+    /// Bit-identical executions either way; the differential suite
+    /// locksteps this path against the buffered reference.
+    pub fn set_in_place_commit(&mut self, on: bool)
+    where
+        C::State: Copy,
+        TL::State: Copy,
+    {
+        self.world.set_commit_strategy(if on {
+            CommitStrategy::InPlace
+        } else {
+            CommitStrategy::Buffered
+        });
     }
 
     /// Configure the exact engine PR 1 shipped: sequential incremental

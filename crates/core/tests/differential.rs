@@ -10,6 +10,12 @@
 //! Every test here is named `differential_*` — CI's build-test job skips
 //! them by that prefix (`cargo test -- --skip differential_`) because the
 //! differential job runs this suite on its own, in release mode.
+//!
+//! Engines in lockstep: incremental (reference driver), full-scan, PR-1
+//! baseline, parallel drain (par2/par4, fan-out forced), and the in-place
+//! commit path — alone and composed with the parallel drain
+//! (inplace/inplace_par2/inplace_par4). The in-place rows pin the
+//! zero-clone commit strategy bit-identical to the buffered reference.
 
 use sscc_core::sim::{default_daemon, Sim};
 use sscc_core::{Cc1, Cc2, Cc3, CommitteeAlgorithm, EagerPolicy};
@@ -35,7 +41,9 @@ fn topologies() -> Vec<(&'static str, Arc<Hypergraph>)> {
 fn assert_equivalent<C, TL>(mk: impl Fn() -> Sim<C, TL>, budget: u64, label: &str)
 where
     C: CommitteeAlgorithm,
+    C::State: Copy,
     TL: TokenLayer,
+    TL::State: Copy,
 {
     let mut inc = mk();
     inc.enable_trace();
@@ -57,6 +65,23 @@ where
         }),
         ("par4", {
             let mut s = mk();
+            s.set_parallel(4, 0);
+            s
+        }),
+        ("inplace", {
+            let mut s = mk();
+            s.set_in_place_commit(true);
+            s
+        }),
+        ("inplace_par2", {
+            let mut s = mk();
+            s.set_in_place_commit(true);
+            s.set_parallel(2, 0);
+            s
+        }),
+        ("inplace_par4", {
+            let mut s = mk();
+            s.set_in_place_commit(true);
             s.set_parallel(4, 0);
             s
         }),
@@ -241,6 +266,17 @@ fn differential_scripted_flag_flips_agree() {
             }),
             ("par4", {
                 let mut s = mk();
+                s.set_parallel(4, 0);
+                s
+            }),
+            ("inplace", {
+                let mut s = mk();
+                s.set_in_place_commit(true);
+                s
+            }),
+            ("inplace_par4", {
+                let mut s = mk();
+                s.set_in_place_commit(true);
                 s.set_parallel(4, 0);
                 s
             }),

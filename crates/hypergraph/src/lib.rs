@@ -23,7 +23,7 @@
 //! assert!(a.thm4_bound() >= a.thm5_bound());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dot;
 pub mod fairness_sets;

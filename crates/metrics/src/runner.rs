@@ -178,6 +178,14 @@ impl AnySim {
         dispatch!(self, s => s.set_delta_policies(on))
     }
 
+    /// Commit executed statements in place (zero-clone) instead of staging
+    /// them in a side buffer. Bit-identical to the buffered reference path
+    /// (differentially tested); the win is commit-bound workloads — CC1's
+    /// dense enabled set above all.
+    pub fn set_in_place_commit(&mut self, on: bool) {
+        dispatch!(self, s => s.set_in_place_commit(on))
+    }
+
     /// Configure the exact engine PR 1 shipped (sequential incremental
     /// drain, per-guard evaluator, full policy ticks) — the trajectory
     /// baseline of BENCH_2.json.

@@ -8,7 +8,7 @@
 //! states (plus external inputs); statements write only the process's own
 //! state.
 
-use crate::ctx::Ctx;
+use crate::ctx::{Ctx, StateAccess};
 use sscc_hypergraph::Hypergraph;
 
 /// Index of an action within an algorithm's code-ordered action list.
@@ -55,13 +55,26 @@ pub trait GuardedAlgorithm: Sync {
     /// The **priority enabled action** of the process in the given context:
     /// the enabled action appearing *latest* in code order, or `None` if the
     /// process is disabled.
-    fn priority_action(&self, ctx: &Ctx<'_, Self::State, Self::Env>) -> Option<ActionId>;
+    ///
+    /// Generic over the accessor `A` so the engine's hot path (where
+    /// `A = [Self::State]`) monomorphizes: neighbor reads inline to slice
+    /// indexing with zero virtual dispatch. Implementations just write
+    /// `fn priority_action<A: StateAccess<Self::State> + ?Sized>(...)` and
+    /// read states through the [`Ctx`] as before.
+    fn priority_action<A: StateAccess<Self::State> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Self::State, Self::Env, A>,
+    ) -> Option<ActionId>;
 
     /// Execute action `a` (whose guard the caller evaluated as true in this
     /// exact context) and return the process's next state. Statements are
     /// atomic with the guard evaluation: the whole step reads the pre-step
     /// configuration (composite atomicity).
-    fn execute(&self, ctx: &Ctx<'_, Self::State, Self::Env>, a: ActionId) -> Self::State;
+    fn execute<A: StateAccess<Self::State> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Self::State, Self::Env, A>,
+        a: ActionId,
+    ) -> Self::State;
 
     /// **Dependency footprint**: the processes whose priority guard may
     /// change enabledness when the *state* of `p` changes, ascending.
@@ -116,12 +129,19 @@ pub(crate) mod testutil {
             h.id(me).value()
         }
 
-        fn priority_action(&self, ctx: &Ctx<'_, u32, ()>) -> Option<ActionId> {
+        fn priority_action<A: StateAccess<u32> + ?Sized>(
+            &self,
+            ctx: &Ctx<'_, u32, (), A>,
+        ) -> Option<ActionId> {
             let best = ctx.neighbor_states().map(|(_, s)| *s).max().unwrap_or(0);
             (best > *ctx.my_state()).then_some(0)
         }
 
-        fn execute(&self, ctx: &Ctx<'_, u32, ()>, a: ActionId) -> u32 {
+        fn execute<A: StateAccess<u32> + ?Sized>(
+            &self,
+            ctx: &Ctx<'_, u32, (), A>,
+            a: ActionId,
+        ) -> u32 {
             assert_eq!(a, 0);
             ctx.neighbor_states()
                 .map(|(_, s)| *s)

@@ -1,4 +1,4 @@
-//! Fair composition of two guarded algorithms (paper §2.2, after Dolev [13]).
+//! Fair composition of two guarded algorithms (paper §2.2, after Dolev \[13\]).
 //!
 //! `P1` and `P2` run "in alternation such that there is no computation
 //! suffix where a process is continuously enabled w.r.t. `Pi` without
@@ -35,7 +35,9 @@ impl Layer {
 }
 
 /// Composed per-process state: both layers' states plus the alternation bit.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// `Copy` when both layer states are (so composed worlds keep the in-place
+/// commit strategy available, [`crate::engine::CommitStrategy`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FairState<SA, SB> {
     /// Layer-A state.
     pub a: SA,
@@ -46,22 +48,58 @@ pub struct FairState<SA, SB> {
 }
 
 /// Zero-copy view of the `a` components of a composed configuration.
-pub struct ProjectA<'x, SA, SB>(pub &'x dyn StateAccess<FairState<SA, SB>>);
+///
+/// Generic over the underlying accessor `X` (default: erased), so a
+/// projection over a plain slice stays monomorphic — reading a neighbor's
+/// `a` component through a sub-[`Ctx`] inlines to a slice index plus a
+/// field offset, with no virtual dispatch.
+pub struct ProjectA<'x, SA, SB, X: ?Sized = dyn StateAccess<FairState<SA, SB>> + 'x> {
+    inner: &'x X,
+    _pair: std::marker::PhantomData<fn() -> (SA, SB)>,
+}
 
-impl<SA, SB> StateAccess<SA> for ProjectA<'_, SA, SB> {
-    #[inline]
-    fn state(&self, p: usize) -> &SA {
-        &self.0.state(p).a
+impl<'x, SA, SB, X: ?Sized> ProjectA<'x, SA, SB, X> {
+    /// Project the `a` components out of `inner`.
+    pub fn new(inner: &'x X) -> Self {
+        ProjectA {
+            inner,
+            _pair: std::marker::PhantomData,
+        }
     }
 }
 
-/// Zero-copy view of the `b` components of a composed configuration.
-pub struct ProjectB<'x, SA, SB>(pub &'x dyn StateAccess<FairState<SA, SB>>);
+impl<SA, SB, X: StateAccess<FairState<SA, SB>> + ?Sized> StateAccess<SA>
+    for ProjectA<'_, SA, SB, X>
+{
+    #[inline]
+    fn state(&self, p: usize) -> &SA {
+        &self.inner.state(p).a
+    }
+}
 
-impl<SA, SB> StateAccess<SB> for ProjectB<'_, SA, SB> {
+/// Zero-copy view of the `b` components of a composed configuration (the
+/// `b`-side twin of [`ProjectA`]).
+pub struct ProjectB<'x, SA, SB, X: ?Sized = dyn StateAccess<FairState<SA, SB>> + 'x> {
+    inner: &'x X,
+    _pair: std::marker::PhantomData<fn() -> (SA, SB)>,
+}
+
+impl<'x, SA, SB, X: ?Sized> ProjectB<'x, SA, SB, X> {
+    /// Project the `b` components out of `inner`.
+    pub fn new(inner: &'x X) -> Self {
+        ProjectB {
+            inner,
+            _pair: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<SA, SB, X: StateAccess<FairState<SA, SB>> + ?Sized> StateAccess<SB>
+    for ProjectB<'_, SA, SB, X>
+{
     #[inline]
     fn state(&self, p: usize) -> &SB {
-        &self.0.state(p).b
+        &self.inner.state(p).b
     }
 }
 
@@ -128,9 +166,12 @@ where
         }
     }
 
-    fn priority_action(&self, ctx: &Ctx<'_, Self::State, E>) -> Option<ActionId> {
-        let pa = ProjectA(ctx.accessor());
-        let pb = ProjectB(ctx.accessor());
+    fn priority_action<X: StateAccess<Self::State> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Self::State, E, X>,
+    ) -> Option<ActionId> {
+        let pa = ProjectA::new(ctx.accessor());
+        let pb = ProjectB::new(ctx.accessor());
         let ctx_a = Ctx::new(ctx.h(), ctx.me(), &pa, ctx.env());
         let ctx_b = Ctx::new(ctx.h(), ctx.me(), &pb, ctx.env());
         let act_a = self
@@ -147,17 +188,21 @@ where
         }
     }
 
-    fn execute(&self, ctx: &Ctx<'_, Self::State, E>, a: ActionId) -> Self::State {
+    fn execute<X: StateAccess<Self::State> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Self::State, E, X>,
+        a: ActionId,
+    ) -> Self::State {
         let mut next = ctx.my_state().clone();
         match Self::decode(a) {
             (Layer::A, i) => {
-                let pa = ProjectA(ctx.accessor());
+                let pa = ProjectA::new(ctx.accessor());
                 let ctx_a = Ctx::new(ctx.h(), ctx.me(), &pa, ctx.env());
                 next.a = self.a.execute(&ctx_a, i);
                 next.turn = Layer::B;
             }
             (Layer::B, j) => {
-                let pb = ProjectB(ctx.accessor());
+                let pb = ProjectB::new(ctx.accessor());
                 let ctx_b = Ctx::new(ctx.h(), ctx.me(), &pb, ctx.env());
                 next.b = self.b.execute(&ctx_b, j);
                 next.turn = Layer::A;
@@ -207,10 +252,17 @@ mod tests {
         fn initial_state(&self, _: &Hypergraph, _: usize) -> u32 {
             0
         }
-        fn priority_action(&self, ctx: &Ctx<'_, u32, ()>) -> Option<ActionId> {
+        fn priority_action<X: StateAccess<u32> + ?Sized>(
+            &self,
+            ctx: &Ctx<'_, u32, (), X>,
+        ) -> Option<ActionId> {
             (*ctx.my_state() < self.limit).then_some(0)
         }
-        fn execute(&self, ctx: &Ctx<'_, u32, ()>, _: ActionId) -> u32 {
+        fn execute<X: StateAccess<u32> + ?Sized>(
+            &self,
+            ctx: &Ctx<'_, u32, (), X>,
+            _: ActionId,
+        ) -> u32 {
             ctx.my_state() + 1
         }
     }

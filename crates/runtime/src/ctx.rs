@@ -9,8 +9,24 @@
 //! States are read through the [`StateAccess`] trait rather than a plain
 //! slice so that *composed* algorithms (fair composition, `CC ∘ TC`) can
 //! hand their sub-algorithms a zero-copy projected view of the pair state.
+//!
+//! ## Monomorphization
+//!
+//! [`Ctx`] is generic over its accessor type `A`. On the engine hot path
+//! `A = [S]` (a plain slice), so every neighbor read compiles down to a
+//! bounds-checked slice index — no virtual dispatch. Composed algorithms
+//! instantiate `A` with projection types ([`crate::compose::ProjectA`] and
+//! friends), which are themselves generic over the underlying accessor, so
+//! the whole read chain stays monomorphic and inlinable.
+//!
+//! The accessor type parameter *defaults* to the erased
+//! `dyn StateAccess<S>` (spelled [`DynCtx`]), so `Ctx<'_, S, E>` keeps
+//! meaning "a context over any accessor" wherever the concrete type does
+//! not matter — hand-built test fixtures, object-safe plumbing, and any
+//! composition deep enough that monomorphization would not pay for itself.
 
 use sscc_hypergraph::{Hypergraph, ProcessId};
+use std::marker::PhantomData;
 
 /// Read access to the configuration, abstracted so composed states can be
 /// projected without copying.
@@ -34,7 +50,10 @@ impl<S> StateAccess<S> for Vec<S> {
 }
 
 /// Sized wrapper turning a plain slice into a [`StateAccess`] trait object
-/// (unsized `[S]` cannot coerce to `&dyn StateAccess<S>` directly).
+/// (unsized `[S]` cannot coerce to `&dyn StateAccess<S>` directly). With the
+/// accessor monomorphized the hot paths pass `&[S]` straight into
+/// [`Ctx::new`]; this wrapper survives for call sites that still want the
+/// erased [`DynCtx`] form.
 pub struct SliceAccess<'a, S>(pub &'a [S]);
 
 impl<S> StateAccess<S> for SliceAccess<'_, S> {
@@ -48,20 +67,50 @@ impl<S> StateAccess<S> for SliceAccess<'_, S> {
 /// executing statements: the topology, its own identity, the pre-step
 /// configuration restricted to its closed neighborhood, and the external
 /// environment.
-pub struct Ctx<'a, S, E: ?Sized> {
+///
+/// Generic over the state accessor `A` so guard evaluation monomorphizes
+/// (see the module docs); `A` defaults to the erased `dyn StateAccess<S>`
+/// ([`DynCtx`]), which is what hand-written annotations like
+/// `Ctx<'_, S, E>` resolve to.
+///
+/// ```
+/// use sscc_runtime::prelude::Ctx;
+/// use sscc_hypergraph::generators;
+///
+/// let h = generators::fig1();
+/// let states: Vec<u32> = (0..h.n() as u32).collect();
+/// // Monomorphic: `A` is inferred as `Vec<u32>` — reads inline.
+/// let ctx = Ctx::new(&h, 0, &states, &());
+/// assert_eq!(*ctx.my_state(), 0);
+/// assert_eq!(ctx.neighbor_states().count(), h.neighbors(0).len());
+/// ```
+pub struct Ctx<'a, S, E: ?Sized, A: ?Sized = dyn StateAccess<S> + 'a> {
     h: &'a Hypergraph,
     me: usize,
-    states: &'a dyn StateAccess<S>,
+    states: &'a A,
     env: &'a E,
+    _state: PhantomData<fn() -> S>,
 }
 
-impl<'a, S, E: ?Sized> Ctx<'a, S, E> {
+/// The object-safe escape hatch: a [`Ctx`] whose accessor is erased behind
+/// `dyn StateAccess`. Only reach for this where a single context type must
+/// range over *unknown* accessors at runtime (none of the shipped
+/// algorithms need it on the hot path).
+pub type DynCtx<'a, S, E> = Ctx<'a, S, E, dyn StateAccess<S> + 'a>;
+
+impl<'a, S, E: ?Sized, A: StateAccess<S> + ?Sized> Ctx<'a, S, E, A> {
     /// Build a context for process `me`. Engine-internal, but public so that
     /// algorithm unit tests can evaluate guards against hand-built
     /// configurations.
-    pub fn new(h: &'a Hypergraph, me: usize, states: &'a dyn StateAccess<S>, env: &'a E) -> Self {
+    pub fn new(h: &'a Hypergraph, me: usize, states: &'a A, env: &'a E) -> Self {
         debug_assert!(me < h.n());
-        Ctx { h, me, states, env }
+        Ctx {
+            h,
+            me,
+            states,
+            env,
+            _state: PhantomData,
+        }
     }
 
     /// The topology.
@@ -125,19 +174,20 @@ impl<'a, S, E: ?Sized> Ctx<'a, S, E> {
     /// projected sub-views. Locality checks do not apply through this
     /// escape hatch; compositions re-wrap it in a sub-[`Ctx`] immediately.
     #[inline]
-    pub fn accessor(&self) -> &'a dyn StateAccess<S> {
+    pub fn accessor(&self) -> &'a A {
         self.states
     }
 
     /// Re-aim the context at another process (for composed algorithms that
     /// evaluate sub-guards; the locality checks apply relative to the *new*
     /// process).
-    pub fn for_process(&self, q: usize) -> Ctx<'a, S, E> {
+    pub fn for_process(&self, q: usize) -> Ctx<'a, S, E, A> {
         Ctx {
             h: self.h,
             me: q,
             states: self.states,
             env: self.env,
+            _state: PhantomData,
         }
     }
 
@@ -168,6 +218,19 @@ mod tests {
         assert_eq!(*ctx.state_of(v5), v5 as u32); // 2 and 5 share {2,4,5}
         assert_eq!(ctx.my_id().value(), 2);
         assert_eq!(ctx.neighbor_states().count(), h.neighbors(v2).len());
+    }
+
+    #[test]
+    fn monomorphic_reads_work() {
+        // No annotation: `A` is inferred from the argument (here `Vec<u32>`),
+        // so reads go through the inlined slice accessor, not a vtable.
+        let h = generators::fig1();
+        let states: Vec<u32> = (0..h.n() as u32).collect();
+        let ctx = Ctx::new(&h, 0, &states, &());
+        assert_eq!(*ctx.my_state(), 0);
+        // Plain slices work unsized, without a wrapper.
+        let ctx2 = Ctx::new(&h, 0, states.as_slice(), &());
+        assert_eq!(*ctx2.my_state(), 0);
     }
 
     #[test]
@@ -204,5 +267,13 @@ mod tests {
         let proj = First(&pairs);
         let ctx: Ctx<'_, u32, ()> = Ctx::new(&h, 1, &proj, &());
         assert_eq!(*ctx.my_state(), 10);
+    }
+
+    #[test]
+    fn dyn_ctx_alias_erases_the_accessor() {
+        let h = generators::fig1();
+        let states: Vec<u32> = vec![3; h.n()];
+        let ctx: DynCtx<'_, u32, ()> = Ctx::new(&h, 0, &states, &());
+        assert_eq!(*ctx.my_state(), 3);
     }
 }

@@ -21,7 +21,7 @@
 //! [`World::set_full_scan`] plus a differential test.
 
 use crate::algorithm::{ActionId, GuardedAlgorithm};
-use crate::ctx::Ctx;
+use crate::ctx::{Ctx, StateAccess};
 use crate::daemon::{Daemon, Selection};
 use crate::markset::MarkSet;
 use sscc_hypergraph::{Hypergraph, ShardPlan};
@@ -102,6 +102,9 @@ impl Scheduler {
 struct StepScratch<S> {
     selected: Vec<usize>,
     next: Vec<(usize, S)>,
+    /// In-place commit: pre-step snapshot slots, `Some` exactly for the
+    /// already-committed processes of the current step (cleared after).
+    snap: Vec<Option<S>>,
 }
 
 impl<S> StepScratch<S> {
@@ -109,6 +112,47 @@ impl<S> StepScratch<S> {
         StepScratch {
             selected: Vec::new(),
             next: Vec::new(),
+            snap: Vec::new(),
+        }
+    }
+}
+
+/// How [`World::step_into`] applies executed statements to the
+/// configuration (see [`World::set_commit_strategy`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CommitStrategy {
+    /// Compute every next state against the pre-step configuration into a
+    /// side buffer, then write them all back — the reference path (PR 1/2),
+    /// valid for any state type.
+    #[default]
+    Buffered,
+    /// Write each next state into the live configuration as soon as it is
+    /// computed, guarding composite atomicity with a *lazy pre-step
+    /// snapshot*: the old value of every already-committed process is
+    /// parked in a snapshot slot, and statement reads go through an overlay
+    /// that prefers the snapshot. No per-step side buffer of next states,
+    /// no state-vector staging — designed for `Copy` states (CC1's dense
+    /// enabled set makes this the commit-path floor). Bit-identical to
+    /// [`CommitStrategy::Buffered`]; the differential suite locksteps both.
+    InPlace,
+}
+
+/// The overlay the in-place commit reads through: composite atomicity says
+/// every statement of a step reads the *pre-step* configuration, so
+/// processes whose new state has already been written (their snapshot slot
+/// is `Some`) are read from the snapshot, everyone else from the live
+/// configuration (which still holds its pre-step value).
+struct SnapshotOverlay<'a, S> {
+    live: &'a [S],
+    snap: &'a [Option<S>],
+}
+
+impl<S> StateAccess<S> for SnapshotOverlay<'_, S> {
+    #[inline]
+    fn state(&self, p: usize) -> &S {
+        match &self.snap[p] {
+            Some(pre) => pre,
+            None => &self.live[p],
         }
     }
 }
@@ -140,6 +184,40 @@ struct ParallelDrain {
 }
 
 /// A running system: topology + algorithm + current configuration.
+///
+/// ```
+/// use sscc_runtime::prelude::*;
+/// use sscc_hypergraph::{generators, Hypergraph};
+/// use std::sync::Arc;
+///
+/// // One-action algorithm: count to 3.
+/// struct Count3;
+/// impl GuardedAlgorithm for Count3 {
+///     type State = u32;
+///     type Env = ();
+///     fn action_count(&self) -> usize { 1 }
+///     fn action_name(&self, _: ActionId) -> String { "tick".into() }
+///     fn initial_state(&self, _: &Hypergraph, _: usize) -> u32 { 0 }
+///     fn priority_action<A: StateAccess<u32> + ?Sized>(
+///         &self,
+///         ctx: &Ctx<'_, u32, (), A>,
+///     ) -> Option<ActionId> {
+///         (*ctx.my_state() < 3).then_some(0)
+///     }
+///     fn execute<A: StateAccess<u32> + ?Sized>(
+///         &self,
+///         ctx: &Ctx<'_, u32, (), A>,
+///         _: ActionId,
+///     ) -> u32 {
+///         ctx.my_state() + 1
+///     }
+/// }
+///
+/// let mut w = World::new(Arc::new(generators::fig2()), Count3);
+/// let (steps, quiescent) = w.run_to_quiescence(&mut Synchronous, &(), 100);
+/// assert!(quiescent && steps == 3);
+/// assert!(w.states().iter().all(|&s| s == 3));
+/// ```
 pub struct World<A: GuardedAlgorithm> {
     h: Arc<Hypergraph>,
     algo: A,
@@ -149,6 +227,7 @@ pub struct World<A: GuardedAlgorithm> {
     scratch: StepScratch<A::State>,
     full_scan: bool,
     par: Option<ParallelDrain>,
+    commit: CommitStrategy,
 }
 
 impl<A: GuardedAlgorithm> World<A> {
@@ -172,6 +251,7 @@ impl<A: GuardedAlgorithm> World<A> {
             scratch: StepScratch::new(),
             full_scan: false,
             par: None,
+            commit: CommitStrategy::Buffered,
         }
     }
 
@@ -276,6 +356,11 @@ impl<A: GuardedAlgorithm> World<A> {
         self.par.as_ref().map_or(1, |p| p.threads)
     }
 
+    /// The active commit strategy (see [`World::set_commit_strategy`]).
+    pub fn commit_strategy(&self) -> CommitStrategy {
+        self.commit
+    }
+
     /// Invalidate every cached guard evaluation (external surgery through
     /// an escape hatch the engine cannot see).
     pub fn invalidate_all(&mut self) {
@@ -296,8 +381,11 @@ impl<A: GuardedAlgorithm> World<A> {
     }
 
     /// Evaluation context for process `p` over the current configuration.
-    pub fn ctx<'a>(&'a self, p: usize, env: &'a A::Env) -> Ctx<'a, A::State, A::Env> {
-        Ctx::new(&self.h, p, &self.states, env)
+    ///
+    /// The returned context is monomorphic over the engine's slice storage
+    /// (`A = [A::State]`): reads inline, no virtual dispatch.
+    pub fn ctx<'a>(&'a self, p: usize, env: &'a A::Env) -> Ctx<'a, A::State, A::Env, [A::State]> {
+        Ctx::new(&self.h, p, self.states.as_slice(), env)
     }
 
     /// The priority enabled action of every process (`None` = disabled),
@@ -352,7 +440,7 @@ impl<A: GuardedAlgorithm> World<A> {
                 }
                 _ => {
                     for p in 0..h.n() {
-                        let a = algo.priority_action(&Ctx::new(h, p, states, env));
+                        let a = algo.priority_action(&Ctx::new(h, p, states.as_slice(), env));
                         sched.cache[p] = a;
                         if a.is_some() {
                             sched.enabled.push(p);
@@ -379,7 +467,7 @@ impl<A: GuardedAlgorithm> World<A> {
             }
             _ => {
                 while let Some(p) = sched.dirty.pop() {
-                    let a = algo.priority_action(&Ctx::new(h, p, states, env));
+                    let a = algo.priority_action(&Ctx::new(h, p, states.as_slice(), env));
                     sched.store(p, a);
                 }
             }
@@ -410,9 +498,8 @@ impl<A: GuardedAlgorithm> World<A> {
         crossbeam::thread::scope(|s| {
             for (ps, outs) in work.chunks(chunk).zip(cfg.results.chunks_mut(chunk)) {
                 s.spawn(move || {
-                    let acc = crate::ctx::SliceAccess(states);
                     for (&p, slot) in ps.iter().zip(outs.iter_mut()) {
-                        *slot = algo.priority_action(&Ctx::new(h, p, &acc, env));
+                        *slot = algo.priority_action(&Ctx::new(h, p, states, env));
                     }
                 });
             }
@@ -466,25 +553,56 @@ impl<A: GuardedAlgorithm> World<A> {
                 .all(|p| out.enabled.binary_search(p).is_ok()),
             "daemon contract: selection must be a subset of the enabled set"
         );
-        // Composite atomicity: compute every next state against the pre-step
-        // configuration, then commit all at once.
+        // Composite atomicity: every statement reads the pre-step
+        // configuration. The buffered path stages all next states before
+        // writing; the in-place path writes immediately, parking each
+        // overwritten pre-step value in a snapshot slot the read overlay
+        // prefers. Both orders are observationally identical.
         let World {
             h,
             algo,
             states,
             sched,
             scratch,
+            commit,
             ..
         } = self;
-        scratch.next.clear();
-        for &p in scratch.selected.iter() {
-            let a = sched.cache[p].expect("selected ⊆ enabled");
-            let s = algo.execute(&Ctx::new(h, p, states, env), a);
-            out.executed.push((p, a));
-            scratch.next.push((p, s));
-        }
-        for (p, s) in scratch.next.drain(..) {
-            states[p] = s;
+        let StepScratch {
+            selected,
+            next,
+            snap,
+        } = scratch;
+        match commit {
+            CommitStrategy::Buffered => {
+                next.clear();
+                for &p in selected.iter() {
+                    let a = sched.cache[p].expect("selected ⊆ enabled");
+                    let s = algo.execute(&Ctx::new(h, p, states.as_slice(), env), a);
+                    out.executed.push((p, a));
+                    next.push((p, s));
+                }
+                for (p, s) in next.drain(..) {
+                    states[p] = s;
+                }
+            }
+            CommitStrategy::InPlace => {
+                snap.resize_with(h.n(), || None);
+                for &p in selected.iter() {
+                    let a = sched.cache[p].expect("selected ⊆ enabled");
+                    let s = {
+                        let overlay = SnapshotOverlay {
+                            live: states.as_slice(),
+                            snap: snap.as_slice(),
+                        };
+                        algo.execute(&Ctx::new(h, p, &overlay, env), a)
+                    };
+                    out.executed.push((p, a));
+                    snap[p] = Some(std::mem::replace(&mut states[p], s));
+                }
+                for &p in selected.iter() {
+                    snap[p] = None;
+                }
+            }
         }
         // Only the footprints of executed processes can change enabledness.
         for &(p, _) in out.executed.iter() {
@@ -527,6 +645,22 @@ impl<A: GuardedAlgorithm> World<A> {
             taken += 1;
         }
         (taken, self.enabled_now(env).is_empty())
+    }
+}
+
+impl<A: GuardedAlgorithm> World<A>
+where
+    A::State: Copy,
+{
+    /// Choose how executed statements are committed. The seam is restricted
+    /// to `Copy` states on purpose: [`CommitStrategy::InPlace`] snapshots
+    /// each overwritten pre-step value by a plain move/copy, which is only
+    /// a *win* when states are small plain data (every committee/token
+    /// state in this workspace is). Heap-owning states keep the buffered
+    /// reference path. Either strategy yields bit-identical
+    /// [`StepOutcome`]s — the differential suite locksteps them.
+    pub fn set_commit_strategy(&mut self, strategy: CommitStrategy) {
+        self.commit = strategy;
     }
 }
 
@@ -708,6 +842,69 @@ mod tests {
         assert_eq!(w.threads(), 1);
         let (_, q) = w.run_to_quiescence(&mut Synchronous, &(), 100);
         assert!(q);
+    }
+
+    #[test]
+    fn in_place_commit_matches_buffered_stepwise() {
+        // Same seed, buffered (reference) vs in-place commit: bit-identical
+        // StepOutcome sequences and configurations — composite atomicity
+        // must survive writing into the live configuration.
+        for seed in 0..20u32 {
+            let h = Arc::new(generators::fig1());
+            let boot = vec![seed, 0, 3, 1, 0, 2];
+            let mut wb = World::with_states(Arc::clone(&h), MaxProp, boot.clone());
+            let mut wi = World::with_states(Arc::clone(&h), MaxProp, boot);
+            wi.set_commit_strategy(CommitStrategy::InPlace);
+            assert_eq!(wi.commit_strategy(), CommitStrategy::InPlace);
+            let mut db = Central::new(seed as u64);
+            let mut di = Central::new(seed as u64);
+            for _ in 0..200 {
+                let ob = wb.step(&mut db, &());
+                let oi = wi.step(&mut di, &());
+                assert_eq!(ob, oi, "seed {seed}");
+                assert_eq!(wb.states(), wi.states(), "seed {seed}");
+                if ob.terminal() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_commit_reads_pre_step_configuration() {
+        // The buffered twin of `atomicity_reads_pre_step_configuration`:
+        // on the path 1-2-3 with values 1,2,3 under the synchronous daemon,
+        // 1 must adopt 2's OLD value even though 2 committed first.
+        let h = Arc::new(sscc_hypergraph::Hypergraph::new(&[&[1, 2], &[2, 3]]));
+        let mut w = World::new(h, MaxProp);
+        w.set_commit_strategy(CommitStrategy::InPlace);
+        let out = w.step(&mut Synchronous, &());
+        assert_eq!(out.executed.len(), 2);
+        assert_eq!(w.states(), &[2, 3, 3]);
+    }
+
+    #[test]
+    fn in_place_commit_composes_with_parallel_drain() {
+        for seed in 0..10u32 {
+            let h = Arc::new(generators::ring(24, 2));
+            let mut wb = World::new(Arc::clone(&h), MaxProp);
+            let mut wi = World::new(Arc::clone(&h), MaxProp);
+            wb.set_state(0, 90 + seed);
+            wi.set_state(0, 90 + seed);
+            wi.set_commit_strategy(CommitStrategy::InPlace);
+            wi.set_parallel(4, 0);
+            let mut db = Central::new(seed as u64);
+            let mut di = Central::new(seed as u64);
+            for _ in 0..300 {
+                let ob = wb.step(&mut db, &());
+                let oi = wi.step(&mut di, &());
+                assert_eq!(ob, oi, "seed {seed}");
+                assert_eq!(wb.states(), wi.states(), "seed {seed}");
+                if ob.terminal() {
+                    break;
+                }
+            }
+        }
     }
 
     #[test]

@@ -33,11 +33,14 @@
 //!     fn initial_state(&self, h: &sscc_hypergraph::Hypergraph, me: usize) -> u32 {
 //!         h.id(me).value()
 //!     }
-//!     fn priority_action(&self, ctx: &Ctx<'_, u32, ()>) -> Option<ActionId> {
+//!     fn priority_action<A: StateAccess<u32> + ?Sized>(
+//!         &self,
+//!         ctx: &Ctx<'_, u32, (), A>,
+//!     ) -> Option<ActionId> {
 //!         ctx.neighbor_states().map(|(_, s)| *s).max()
 //!             .filter(|m| m > ctx.my_state()).map(|_| 0)
 //!     }
-//!     fn execute(&self, ctx: &Ctx<'_, u32, ()>, _: ActionId) -> u32 {
+//!     fn execute<A: StateAccess<u32> + ?Sized>(&self, ctx: &Ctx<'_, u32, (), A>, _: ActionId) -> u32 {
 //!         ctx.neighbor_states().map(|(_, s)| *s).max().unwrap()
 //!     }
 //! }
@@ -47,7 +50,7 @@
 //! assert!(quiescent && w.states().iter().all(|&s| s == 6));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod algorithm;
 pub mod compose;
@@ -63,12 +66,12 @@ pub mod trace;
 pub mod prelude {
     pub use crate::algorithm::{ActionId, GuardedAlgorithm, ProcessState};
     pub use crate::compose::{FairPair, FairState, Layer};
-    pub use crate::ctx::{Ctx, SliceAccess, StateAccess};
+    pub use crate::ctx::{Ctx, DynCtx, SliceAccess, StateAccess};
     pub use crate::daemon::{
         Central, Daemon, DistributedRandom, RoundRobin, Scripted, Selection, Synchronous,
         WeaklyFair,
     };
-    pub use crate::engine::{StepOutcome, World};
+    pub use crate::engine::{CommitStrategy, StepOutcome, World};
     pub use crate::fault::{arbitrary_configuration, strike, strike_some, ArbitraryState};
     pub use crate::markset::MarkSet;
     pub use crate::rounds::RoundTracker;

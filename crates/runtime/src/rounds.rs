@@ -1,4 +1,4 @@
-//! Round counting (paper §2.2, after Dolev–Israeli–Moran [12]).
+//! Round counting (paper §2.2, after Dolev–Israeli–Moran \[12\]).
 //!
 //! Rounds capture the execution rate of the slowest process: the first round
 //! of a computation is its minimal prefix in which every process enabled in

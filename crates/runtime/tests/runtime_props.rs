@@ -25,7 +25,10 @@ impl GuardedAlgorithm for Mirror {
     fn initial_state(&self, _h: &Hypergraph, me: usize) -> u32 {
         me as u32
     }
-    fn priority_action(&self, ctx: &Ctx<'_, u32, ()>) -> Option<ActionId> {
+    fn priority_action<A: StateAccess<u32> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, u32, (), A>,
+    ) -> Option<ActionId> {
         let me = *ctx.my_state();
         let best = ctx.neighbor_states().map(|(_, &s)| s).max().unwrap_or(0);
         // Priority: mirror (1) beats bump (0).
@@ -37,7 +40,7 @@ impl GuardedAlgorithm for Mirror {
             None
         }
     }
-    fn execute(&self, ctx: &Ctx<'_, u32, ()>, a: ActionId) -> u32 {
+    fn execute<A: StateAccess<u32> + ?Sized>(&self, ctx: &Ctx<'_, u32, (), A>, a: ActionId) -> u32 {
         match a {
             0 => ctx.my_state() + 1,
             1 => ctx.neighbor_states().map(|(_, &s)| s).max().unwrap(),
@@ -172,10 +175,17 @@ fn fair_pair_alternation_liveness() {
         fn initial_state(&self, _: &Hypergraph, _: usize) -> u32 {
             0
         }
-        fn priority_action(&self, _: &Ctx<'_, u32, ()>) -> Option<ActionId> {
+        fn priority_action<A: StateAccess<u32> + ?Sized>(
+            &self,
+            _: &Ctx<'_, u32, (), A>,
+        ) -> Option<ActionId> {
             Some(0) // always enabled
         }
-        fn execute(&self, ctx: &Ctx<'_, u32, ()>, _: ActionId) -> u32 {
+        fn execute<A: StateAccess<u32> + ?Sized>(
+            &self,
+            ctx: &Ctx<'_, u32, (), A>,
+            _: ActionId,
+        ) -> u32 {
             ctx.my_state() + 1
         }
     }

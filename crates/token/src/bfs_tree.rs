@@ -13,7 +13,7 @@
 //! self-stabilizingly constructible, see DESIGN.md §2).
 
 use sscc_hypergraph::Hypergraph;
-use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, GuardedAlgorithm};
+use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, GuardedAlgorithm, StateAccess};
 
 /// Per-process tree state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,7 +41,10 @@ impl BfsTree {
         self.root
     }
 
-    fn target<E: ?Sized>(&self, ctx: &Ctx<'_, TreeState, E>) -> TreeState {
+    fn target<E: ?Sized, A: StateAccess<TreeState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, TreeState, E, A>,
+    ) -> TreeState {
         if ctx.me() == self.root {
             return TreeState {
                 dist: 0,
@@ -97,11 +100,18 @@ impl GuardedAlgorithm for BfsTree {
         }
     }
 
-    fn priority_action(&self, ctx: &Ctx<'_, TreeState, ()>) -> Option<ActionId> {
+    fn priority_action<A: StateAccess<TreeState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, TreeState, (), A>,
+    ) -> Option<ActionId> {
         (*ctx.my_state() != self.target(ctx)).then_some(0)
     }
 
-    fn execute(&self, ctx: &Ctx<'_, TreeState, ()>, a: ActionId) -> TreeState {
+    fn execute<A: StateAccess<TreeState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, TreeState, (), A>,
+        a: ActionId,
+    ) -> TreeState {
         assert_eq!(a, 0);
         self.target(ctx)
     }

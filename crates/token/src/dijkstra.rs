@@ -27,7 +27,7 @@
 
 use crate::iface::TokenLayer;
 use sscc_hypergraph::{EulerTour, Hypergraph};
-use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, GuardedAlgorithm};
+use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, GuardedAlgorithm, StateAccess};
 
 /// Per-process substrate state: one counter per owned tour position
 /// (ascending position order, matching `EulerTour::positions`).
@@ -75,7 +75,11 @@ impl TokenRing {
     /// Counter value at global tour position `g`, read from `states` through
     /// the context (the owner of `g` is `me` or one of its neighbors when
     /// `g` is adjacent to a position of `me`).
-    fn counter_at<E: ?Sized>(&self, ctx: &Ctx<'_, TokenState, E>, g: usize) -> u32 {
+    fn counter_at<E: ?Sized, A: StateAccess<TokenState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, TokenState, E, A>,
+        g: usize,
+    ) -> u32 {
         let owner = self.tour.owner(g);
         let local = self
             .tour
@@ -94,7 +98,11 @@ impl TokenRing {
     }
 
     /// Is global position `g` (owned by the context's process) privileged?
-    fn privileged<E: ?Sized>(&self, ctx: &Ctx<'_, TokenState, E>, g: usize) -> bool {
+    fn privileged<E: ?Sized, A: StateAccess<TokenState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, TokenState, E, A>,
+        g: usize,
+    ) -> bool {
         debug_assert_eq!(self.tour.owner(g), ctx.me());
         let mine = self.counter_at(ctx, g);
         let prev = self.counter_at(ctx, self.tour.pred(g));
@@ -106,7 +114,10 @@ impl TokenRing {
     }
 
     /// First privileged position of the context's process, if any.
-    fn first_privileged<E: ?Sized>(&self, ctx: &Ctx<'_, TokenState, E>) -> Option<usize> {
+    fn first_privileged<E: ?Sized, A: StateAccess<TokenState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, TokenState, E, A>,
+    ) -> Option<usize> {
         self.tour
             .positions(ctx.me())
             .iter()
@@ -120,11 +131,9 @@ impl TokenRing {
     /// count may wobble during stabilization while this count converges.)
     /// Always >= 1; the system is stabilized exactly when it equals 1.
     pub fn privileged_position_count(&self, h: &Hypergraph, states: &[TokenState]) -> usize {
-        use sscc_runtime::prelude::SliceAccess;
-        let acc = SliceAccess(states);
         (0..h.n())
             .map(|p| {
-                let ctx: Ctx<'_, TokenState, ()> = Ctx::new(h, p, &acc, &());
+                let ctx = Ctx::new(h, p, states, &());
                 self.tour
                     .positions(p)
                     .iter()
@@ -145,11 +154,17 @@ impl TokenLayer for TokenRing {
         }
     }
 
-    fn token<E: ?Sized>(&self, ctx: &Ctx<'_, TokenState, E>) -> bool {
+    fn token<E: ?Sized, A: StateAccess<TokenState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, TokenState, E, A>,
+    ) -> bool {
         self.first_privileged(ctx).is_some()
     }
 
-    fn release<E: ?Sized>(&self, ctx: &Ctx<'_, TokenState, E>) -> TokenState {
+    fn release<E: ?Sized, A: StateAccess<TokenState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, TokenState, E, A>,
+    ) -> TokenState {
         let Some(g) = self.first_privileged(ctx) else {
             return ctx.my_state().clone(); // no token: identity
         };
@@ -180,16 +195,16 @@ impl TokenLayer for TokenRing {
         unreachable!("TokenRing has no internal actions")
     }
 
-    fn internal_priority_action<E: ?Sized>(
+    fn internal_priority_action<E: ?Sized, A: StateAccess<TokenState> + ?Sized>(
         &self,
-        _ctx: &Ctx<'_, TokenState, E>,
+        _ctx: &Ctx<'_, TokenState, E, A>,
     ) -> Option<ActionId> {
         None
     }
 
-    fn execute_internal<E: ?Sized>(
+    fn execute_internal<E: ?Sized, A: StateAccess<TokenState> + ?Sized>(
         &self,
-        _ctx: &Ctx<'_, TokenState, E>,
+        _ctx: &Ctx<'_, TokenState, E, A>,
         _a: ActionId,
     ) -> TokenState {
         unreachable!("TokenRing has no internal actions")
@@ -215,11 +230,18 @@ impl GuardedAlgorithm for TokenRing {
         TokenLayer::initial_state(self, h, me)
     }
 
-    fn priority_action(&self, ctx: &Ctx<'_, TokenState, ()>) -> Option<ActionId> {
+    fn priority_action<A: StateAccess<TokenState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, TokenState, (), A>,
+    ) -> Option<ActionId> {
         self.token(ctx).then_some(0)
     }
 
-    fn execute(&self, ctx: &Ctx<'_, TokenState, ()>, a: ActionId) -> TokenState {
+    fn execute<A: StateAccess<TokenState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, TokenState, (), A>,
+        a: ActionId,
+    ) -> TokenState {
         assert_eq!(a, 0);
         self.release(ctx)
     }

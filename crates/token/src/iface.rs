@@ -17,7 +17,7 @@
 //! actions of `TC` keep running under fair composition.
 
 use sscc_hypergraph::Hypergraph;
-use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, ProcessState, SliceAccess};
+use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, ProcessState, StateAccess};
 
 /// A self-stabilizing token-circulation substrate, as consumed by `CC ∘ TC`.
 ///
@@ -34,13 +34,22 @@ pub trait TokenLayer: Sync {
 
     /// The `Token(p)` predicate: does the process currently hold a token?
     /// May read the process's own substrate state and its neighbors'.
-    fn token<E: ?Sized>(&self, ctx: &Ctx<'_, Self::State, E>) -> bool;
+    ///
+    /// Generic over the accessor `A` (like every guard-evaluation entry
+    /// point) so the composed hot path stays monomorphic.
+    fn token<E: ?Sized, A: StateAccess<Self::State> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Self::State, E, A>,
+    ) -> bool;
 
     /// The `ReleaseToken_p` statement: pass the token along; returns the
     /// process's next substrate state. Callers only invoke it when
     /// [`TokenLayer::token`] holds; implementations may treat a release
     /// without a token as the identity.
-    fn release<E: ?Sized>(&self, ctx: &Ctx<'_, Self::State, E>) -> Self::State;
+    fn release<E: ?Sized, A: StateAccess<Self::State> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Self::State, E, A>,
+    ) -> Self::State;
 
     /// Number of *internal* (non-`T`) stabilization actions.
     fn internal_action_count(&self) -> usize;
@@ -50,15 +59,15 @@ pub trait TokenLayer: Sync {
 
     /// Highest-priority enabled internal action, if any (Property 1.3:
     /// these run regardless of `T` activations).
-    fn internal_priority_action<E: ?Sized>(
+    fn internal_priority_action<E: ?Sized, A: StateAccess<Self::State> + ?Sized>(
         &self,
-        ctx: &Ctx<'_, Self::State, E>,
+        ctx: &Ctx<'_, Self::State, E, A>,
     ) -> Option<ActionId>;
 
     /// Execute internal action `a`.
-    fn execute_internal<E: ?Sized>(
+    fn execute_internal<E: ?Sized, A: StateAccess<Self::State> + ?Sized>(
         &self,
-        ctx: &Ctx<'_, Self::State, E>,
+        ctx: &Ctx<'_, Self::State, E, A>,
         a: ActionId,
     ) -> Self::State;
 }
@@ -71,11 +80,7 @@ pub fn token_holders<TL: TokenLayer>(
     h: &Hypergraph,
     states: &[TL::State],
 ) -> Vec<usize> {
-    let acc = SliceAccess(states);
     (0..h.n())
-        .filter(|&p| {
-            let ctx: Ctx<'_, TL::State, ()> = Ctx::new(h, p, &acc, &());
-            layer.token(&ctx)
-        })
+        .filter(|&p| layer.token(&Ctx::new(h, p, states, &())))
         .collect()
 }

@@ -11,7 +11,7 @@
 //! `lid = min identifier`, `dist =` BFS distance to the min-id process.
 
 use sscc_hypergraph::Hypergraph;
-use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, GuardedAlgorithm};
+use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, GuardedAlgorithm, StateAccess};
 
 /// Per-process leader-election state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,7 +29,10 @@ impl LeaderElect {
     /// The value process `me` should hold given its neighborhood: the
     /// lexicographic minimum of its self-candidature `(own_id, 0)` and every
     /// admissible neighbor offer `(lid_q, dist_q + 1)` with `dist_q + 1 < n`.
-    fn target<E: ?Sized>(&self, ctx: &Ctx<'_, LeaderState, E>) -> LeaderState {
+    fn target<E: ?Sized, A: StateAccess<LeaderState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, LeaderState, E, A>,
+    ) -> LeaderState {
         let n = ctx.h().n() as u32;
         let mut best = LeaderState {
             lid: ctx.my_id().value(),
@@ -49,7 +52,10 @@ impl LeaderElect {
 
     /// Is `p` currently elected? (Its candidate is itself.) After
     /// stabilization this holds exactly at the min-id process.
-    pub fn is_leader<E: ?Sized>(&self, ctx: &Ctx<'_, LeaderState, E>) -> bool {
+    pub fn is_leader<E: ?Sized, A: StateAccess<LeaderState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, LeaderState, E, A>,
+    ) -> bool {
         let s = ctx.my_state();
         s.lid == ctx.my_id().value() && s.dist == 0
     }
@@ -76,11 +82,18 @@ impl GuardedAlgorithm for LeaderElect {
         }
     }
 
-    fn priority_action(&self, ctx: &Ctx<'_, LeaderState, ()>) -> Option<ActionId> {
+    fn priority_action<A: StateAccess<LeaderState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, LeaderState, (), A>,
+    ) -> Option<ActionId> {
         (*ctx.my_state() != self.target(ctx)).then_some(0)
     }
 
-    fn execute(&self, ctx: &Ctx<'_, LeaderState, ()>, a: ActionId) -> LeaderState {
+    fn execute<A: StateAccess<LeaderState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, LeaderState, (), A>,
+        a: ActionId,
+    ) -> LeaderState {
         assert_eq!(a, 0);
         self.target(ctx)
     }

@@ -43,7 +43,7 @@
 
 use crate::iface::TokenLayer;
 use sscc_hypergraph::{EulerTour, Hypergraph, SpanningTree};
-use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, GuardedAlgorithm};
+use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, GuardedAlgorithm, StateAccess};
 
 /// Per-process wave-token state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -114,14 +114,20 @@ impl WaveToken {
     }
 
     /// Is `p` the designee of its own believed slot, pre-release?
-    fn is_token<E: ?Sized>(&self, ctx: &Ctx<'_, WaveState, E>) -> bool {
+    fn is_token<E: ?Sized, A: StateAccess<WaveState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, WaveState, E, A>,
+    ) -> bool {
         let st = ctx.my_state();
         self.designee(st.k) == ctx.me() && !st.done
     }
 
     /// The certification condition `cond(p)`: subtree agrees on `k_p`, all
     /// children certified it, and a local designation has been released.
-    fn cond<E: ?Sized>(&self, ctx: &Ctx<'_, WaveState, E>) -> bool {
+    fn cond<E: ?Sized, A: StateAccess<WaveState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, WaveState, E, A>,
+    ) -> bool {
         let st = ctx.my_state();
         let me_ok = self.designee(st.k) != ctx.me() || st.done;
         me_ok
@@ -134,13 +140,8 @@ impl WaveToken {
     /// Count the `Token`-satisfying processes of a raw configuration
     /// (experiment helper; after stabilization this is always 1).
     pub fn holder_count(&self, h: &Hypergraph, states: &[WaveState]) -> usize {
-        use sscc_runtime::prelude::SliceAccess;
-        let acc = SliceAccess(states);
         (0..h.n())
-            .filter(|&p| {
-                let ctx: Ctx<'_, WaveState, ()> = Ctx::new(h, p, &acc, &());
-                self.is_token(&ctx)
-            })
+            .filter(|&p| self.is_token(&Ctx::new(h, p, states, &())))
             .count()
     }
 }
@@ -159,11 +160,17 @@ impl TokenLayer for WaveToken {
         }
     }
 
-    fn token<E: ?Sized>(&self, ctx: &Ctx<'_, WaveState, E>) -> bool {
+    fn token<E: ?Sized, A: StateAccess<WaveState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, WaveState, E, A>,
+    ) -> bool {
         self.is_token(ctx)
     }
 
-    fn release<E: ?Sized>(&self, ctx: &Ctx<'_, WaveState, E>) -> WaveState {
+    fn release<E: ?Sized, A: StateAccess<WaveState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, WaveState, E, A>,
+    ) -> WaveState {
         let mut st = *ctx.my_state();
         if self.is_token(ctx) {
             st.done = true;
@@ -186,7 +193,10 @@ impl TokenLayer for WaveToken {
         .to_string()
     }
 
-    fn internal_priority_action<E: ?Sized>(&self, ctx: &Ctx<'_, WaveState, E>) -> Option<ActionId> {
+    fn internal_priority_action<E: ?Sized, A: StateAccess<WaveState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, WaveState, E, A>,
+    ) -> Option<ActionId> {
         let st = ctx.my_state();
         let me = ctx.me();
         // Priority: later in code order wins (like the committee layer).
@@ -208,7 +218,11 @@ impl TokenLayer for WaveToken {
         None
     }
 
-    fn execute_internal<E: ?Sized>(&self, ctx: &Ctx<'_, WaveState, E>, a: ActionId) -> WaveState {
+    fn execute_internal<E: ?Sized, A: StateAccess<WaveState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, WaveState, E, A>,
+        a: ActionId,
+    ) -> WaveState {
         let mut st = *ctx.my_state();
         match a {
             action::KCOPY => {
@@ -253,7 +267,10 @@ impl GuardedAlgorithm for WaveToken {
         TokenLayer::initial_state(self, h, me)
     }
 
-    fn priority_action(&self, ctx: &Ctx<'_, WaveState, ()>) -> Option<ActionId> {
+    fn priority_action<A: StateAccess<WaveState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, WaveState, (), A>,
+    ) -> Option<ActionId> {
         // Internal stabilization first, then T (the standalone view releases
         // the token as soon as it is held — a maximally cooperative holder).
         if let Some(a) = self.internal_priority_action(ctx) {
@@ -262,7 +279,11 @@ impl GuardedAlgorithm for WaveToken {
         self.is_token(ctx).then_some(0)
     }
 
-    fn execute(&self, ctx: &Ctx<'_, WaveState, ()>, a: ActionId) -> WaveState {
+    fn execute<A: StateAccess<WaveState> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, WaveState, (), A>,
+        a: ActionId,
+    ) -> WaveState {
         if a == 0 {
             self.release(ctx)
         } else {

@@ -15,6 +15,11 @@
 //! cyclically. The lemmas quantify over arbitrary configurations, so this
 //! abstraction is sound for checking them.
 
+// The `|ctx| Cc::correct(ctx)` closures below are NOT redundant: the bare
+// generic fn item fails higher-ranked lifetime inference ("implementation
+// of `Fn` is not general enough"); the closure re-generalizes it.
+#![allow(clippy::redundant_closure)]
+
 use sscc::core::{
     predicates, Cc1, Cc1State, Cc2, Cc2State, CommitteeAlgorithm, CommitteeView, MinEdgeSelector,
     RequestFlags, Status,
@@ -88,7 +93,7 @@ fn check_exhaustively<A>(
     h: &Hypergraph,
     algo: &A,
     all_states: impl Fn(usize) -> Vec<A::State>,
-    correct: impl Fn(&Ctx<'_, A::State, RequestFlags>) -> bool,
+    correct: impl Fn(&Ctx<'_, A::State, RequestFlags, Vec<A::State>>) -> bool,
     step_guard_ids: &[ActionId],
 ) -> (u64, u64)
 where
@@ -206,7 +211,7 @@ fn cc1_lemmas_hold_exhaustively_on_path3() {
         &h,
         &cc,
         |p| all_cc1_states(&h, p),
-        Cc1::<sscc::core::choice::MaxMembersDesc>::correct,
+        |ctx| Cc1::<sscc::core::choice::MaxMembersDesc>::correct(ctx),
         &[],
     );
     // (4 statuses × (|E_p|+1) pointers × 2 T) per process; ×3 token spots.
@@ -223,7 +228,7 @@ fn cc2_lemmas_hold_exhaustively_on_path3() {
         &h,
         &cc,
         |p| all_cc2_states(&h, p),
-        Cc2::<MinEdgeSelector, sscc::core::choice::MinSizeFirst>::correct,
+        |ctx| Cc2::<MinEdgeSelector, sscc::core::choice::MinSizeFirst>::correct(ctx),
         &[],
     );
     assert_eq!(configs, (24 * 36 * 24 * 3) as u64);
