@@ -4,7 +4,7 @@
 //!
 //! ```sh
 //! # Full trajectory recording (rings n=384/1536/6144, all engine modes):
-//! cargo run -p sscc-bench --release --bin perf_record            # BENCH_3.json
+//! cargo run -p sscc-bench --release --bin perf_record            # BENCH_4.json
 //! cargo run -p sscc-bench --release --bin perf_record -- out.json
 //!
 //! # CI smoke recording (small rings, reduced budgets, same record shape):
@@ -13,19 +13,26 @@
 //! # Regression gate: exit 1 if any (algo, topology, mode, threads) pair in
 //! # FRESH regressed more than THRESHOLD (default 0.20) below BASELINE:
 //! cargo run -p sscc-bench --release --bin perf_record -- \
-//!     --compare BENCH_3.json bench_ci.json --threshold 0.20
+//!     --compare BENCH_4.json bench_ci.json --threshold 0.20
 //! ```
 //!
 //! Engine modes recorded:
 //! * `full_scan`    — the legacy `O(n)` per-step engine;
 //! * `incremental`  — the **PR-1 sequential incremental engine** (per-guard
 //!   reference evaluator, full policy ticks): the trajectory baseline;
-//! * `par1`         — this PR's engine, sequential drain (fused evaluators
-//!   + delta-aware policies);
-//! * `par2`/`par4`  — the PR-2 engine with the sharded parallel drain at
-//!   2/4 worker threads (adaptive fan-out threshold);
-//! * `inplace`      — this PR's engine: monomorphic guard evaluation plus
-//!   the zero-clone in-place commit strategy (sequential drain).
+//! * `par1`         — sequential drain (fused evaluators + delta-aware
+//!   policies);
+//! * `par2`/`par4`  — the sharded parallel drain at 2/4 worker threads
+//!   (since PR 4 on the **persistent worker pool** — same labels, so the
+//!   regression gate tracks the pool against the old scoped spawns);
+//! * `inplace`      — monomorphic guard evaluation plus the zero-clone
+//!   in-place commit strategy (sequential drain);
+//! * `daemon`       — PR 4's daemon-side stack on the sequential engine:
+//!   in-place commit + trusted daemon (no per-step selection validation) +
+//!   incremental daemon view (delta-fed `WeaklyFair`, no enabled rescans);
+//! * `pool`         — the `daemon` stack plus the pooled 2-thread drain;
+//! * `poolcommit`   — `pool` plus the parallel commit (execute phase
+//!   sharded across the pool for large selections).
 
 use sscc_bench::bench_json;
 use sscc_hypergraph::generators;
@@ -62,6 +69,24 @@ fn modes() -> Vec<(&'static str, usize, Configure)> {
         ("par2", 2, |s: &mut AnySim| s.set_threads(2)),
         ("par4", 4, |s: &mut AnySim| s.set_threads(4)),
         ("inplace", 1, |s: &mut AnySim| s.set_in_place_commit(true)),
+        ("daemon", 1, |s: &mut AnySim| {
+            s.set_in_place_commit(true);
+            s.set_trusted_daemon(true);
+            s.set_incremental_daemon(true);
+        }),
+        ("pool", 2, |s: &mut AnySim| {
+            s.set_threads(2);
+            s.set_in_place_commit(true);
+            s.set_trusted_daemon(true);
+            s.set_incremental_daemon(true);
+        }),
+        ("poolcommit", 2, |s: &mut AnySim| {
+            s.set_threads(2);
+            s.set_parallel_commit(true);
+            s.set_in_place_commit(true);
+            s.set_trusted_daemon(true);
+            s.set_incremental_daemon(true);
+        }),
     ]
 }
 
@@ -192,16 +217,23 @@ fn record(out_path: &str, quick: bool) {
                     .unwrap_or(f64::NAN)
             };
             let pr1 = find("incremental");
+            let inplace = find("inplace");
             lines.push(format!(
                 "    {{\"algo\": \"{algo}\", \"topology\": \"{topo}\", \
                  \"incremental_over_full_scan\": {:.2}, \
                  \"par1_over_sequential_incremental\": {:.2}, \
                  \"par2_over_sequential_incremental\": {:.2}, \
-                 \"par4_over_sequential_incremental\": {:.2}}}",
+                 \"par4_over_sequential_incremental\": {:.2}, \
+                 \"daemon_over_inplace\": {:.2}, \
+                 \"pool_over_inplace\": {:.2}, \
+                 \"poolcommit_over_inplace\": {:.2}}}",
                 pr1 / find("full_scan"),
                 find("par1") / pr1,
                 find("par2") / pr1,
                 find("par4") / pr1,
+                find("daemon") / inplace,
+                find("pool") / inplace,
+                find("poolcommit") / inplace,
             ));
         }
     }
@@ -269,7 +301,7 @@ fn main() {
     let default = if quick {
         "bench_ci.json"
     } else {
-        "BENCH_3.json"
+        "BENCH_4.json"
     };
     let out_path = rest.first().cloned().unwrap_or_else(|| default.to_string());
     record(&out_path, quick);

@@ -18,7 +18,7 @@ use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, ProcessState, StateAc
 /// by the engine's parallel dirty-set drain.
 pub trait CommitteeAlgorithm: Sync {
     /// Per-process state.
-    type State: ProcessState + ArbitraryState + CommitteeView + Sync;
+    type State: ProcessState + ArbitraryState + CommitteeView + Sync + Send;
 
     /// Number of actions in code order.
     fn action_count(&self) -> usize;

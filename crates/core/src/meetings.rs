@@ -241,6 +241,16 @@ impl MeetingLedger {
         self.live[e.index()].map(|i| &self.instances[i])
     }
 
+    /// Is committee `e` currently meeting? `O(1)` — the ledger maintains
+    /// per-edge meets status from the touched edges of every step, so this
+    /// mirrors `edge_meets(h, states, e)` without rescanning `e`'s
+    /// members. The simulator's `Meeting(p)` view maintenance leans on
+    /// exactly this equivalence (and `debug_assert`s it).
+    #[inline]
+    pub fn is_live(&self, e: EdgeId) -> bool {
+        self.live[e.index()].is_some()
+    }
+
     /// Committees currently meeting, ascending (owned copy; the hot path
     /// uses [`MeetingLedger::live_edge_set`]).
     pub fn live_edges(&self) -> Vec<EdgeId> {

@@ -215,6 +215,37 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         });
     }
 
+    /// Shard the commit's execute phase across the engine's worker pool
+    /// when the daemon's selection is large enough (see
+    /// [`World::set_parallel_commit`]); requires a parallel drain
+    /// ([`Sim::set_parallel`]) to have a pool to run on. Bit-identical to
+    /// the sequential commit strategies.
+    pub fn set_parallel_commit(&mut self, on: bool)
+    where
+        C::State: Copy,
+        TL::State: Copy,
+    {
+        self.world.set_parallel_commit(on);
+    }
+
+    /// Skip the engine's release-mode validation of daemon selections —
+    /// see [`World::set_trusted_daemon`]. For the dense CC1 enabled set
+    /// the per-step membership check is a measurable tax; the daemons
+    /// shipped in this workspace all honor their `Selection` promises.
+    pub fn set_trusted_daemon(&mut self, on: bool) {
+        self.world.set_trusted_daemon(on);
+    }
+
+    /// Ask the daemon to maintain its fairness bookkeeping incrementally
+    /// from the engine's enabled-set deltas instead of rescanning the
+    /// dense enabled slice every step (see
+    /// [`sscc_runtime::prelude::Daemon::set_incremental_view`] — a no-op
+    /// for stateless daemons). Call before the first step; selections are
+    /// identical either way (property-pinned for [`WeaklyFair`]).
+    pub fn set_incremental_daemon(&mut self, on: bool) {
+        self.daemon.set_incremental_view(on);
+    }
+
     /// Configure the exact engine PR 1 shipped: sequential incremental
     /// drain, per-guard reference evaluator, full `O(n)` policy ticks.
     /// This is the trajectory baseline BENCH_2.json's "incremental" mode
@@ -452,7 +483,21 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
             self.view.status[p] = self.cc_view[p].status();
         }
         for &q in self.recheck.as_slice() {
-            self.view.in_meeting[q] = predicates::participates(self.world.h(), &self.cc_view, q);
+            // `participates(q)` = q points at an incident committee that
+            // currently meets. The ledger already maintains per-edge meets
+            // status (updated above from this step's touched edges), so
+            // the edge-member rescan inside `predicates::participates`
+            // collapses to an O(1) lookup.
+            let in_meeting = match self.cc_view[q].pointer() {
+                Some(e) => self.world.h().is_member(q, e) && self.ledger.is_live(e),
+                None => false,
+            };
+            debug_assert_eq!(
+                in_meeting,
+                predicates::participates(self.world.h(), &self.cc_view, q),
+                "ledger live-status diverged from edge_meets for process {q}"
+            );
+            self.view.in_meeting[q] = in_meeting;
         }
         self.touched_mark.clear();
         // The recheck set is exactly where the policy's *view* inputs can

@@ -155,11 +155,19 @@ impl SpecMonitor {
             match ev {
                 LedgerEvent::Convened(idx) => {
                     let e = ledger.instances()[idx].edge;
-                    for &b in ledger.live_edge_set() {
-                        if b != e && h.conflicting(e, b) {
-                            let pair = (e.min(b), e.max(b));
-                            if let Err(at) = self.live_conflicts.binary_search(&pair) {
-                                self.live_conflicts.insert(at, pair);
+                    // The edges conflicting with `e` are exactly the other
+                    // edges incident to `e`'s members — O(|e| · deg) probes
+                    // against the ledger's live bitmap, instead of a
+                    // member-intersection test against every live meeting
+                    // (meetings churn every few steps under CC1, so this
+                    // runs constantly).
+                    for &q in h.members(e) {
+                        for &b in h.incident(q) {
+                            if b != e && ledger.is_live(b) {
+                                let pair = (e.min(b), e.max(b));
+                                if let Err(at) = self.live_conflicts.binary_search(&pair) {
+                                    self.live_conflicts.insert(at, pair);
+                                }
                             }
                         }
                     }

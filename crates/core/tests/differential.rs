@@ -12,10 +12,14 @@
 //! differential job runs this suite on its own, in release mode.
 //!
 //! Engines in lockstep: incremental (reference driver), full-scan, PR-1
-//! baseline, parallel drain (par2/par4, fan-out forced), and the in-place
+//! baseline, the pool-backed parallel drain (par2/par4, fan-out forced —
+//! since PR 4 these run on the persistent worker pool), the in-place
 //! commit path — alone and composed with the parallel drain
-//! (inplace/inplace_par2/inplace_par4). The in-place rows pin the
-//! zero-clone commit strategy bit-identical to the buffered reference.
+//! (inplace/inplace_par2/inplace_par4) — plus the PR-4 rows: trusted
+//! daemon (validation skipped), incremental daemon view (delta-fed
+//! `WeaklyFair`), the parallel commit (pool-sharded execute phase, forced
+//! with zero thresholds), and the kitchen sink composing all of them.
+//! Every row must be bit-identical to the reference driver.
 
 use sscc_core::sim::{default_daemon, Sim};
 use sscc_core::{Cc1, Cc2, Cc3, CommitteeAlgorithm, EagerPolicy};
@@ -83,6 +87,33 @@ where
             let mut s = mk();
             s.set_in_place_commit(true);
             s.set_parallel(4, 0);
+            s
+        }),
+        ("trusted", {
+            let mut s = mk();
+            s.set_trusted_daemon(true);
+            s
+        }),
+        ("daemon_inc", {
+            let mut s = mk();
+            s.set_incremental_daemon(true);
+            s
+        }),
+        ("parcommit_par2", {
+            let mut s = mk();
+            s.set_parallel(2, 0);
+            s.set_parallel_commit(true);
+            s
+        }),
+        ("pool_all", {
+            // Everything at once: pooled drain, pooled commit, in-place
+            // fallback, trusted daemon, incremental daemon view.
+            let mut s = mk();
+            s.set_parallel(4, 0);
+            s.set_parallel_commit(true);
+            s.set_in_place_commit(true);
+            s.set_trusted_daemon(true);
+            s.set_incremental_daemon(true);
             s
         }),
     ];
@@ -278,6 +309,20 @@ fn differential_scripted_flag_flips_agree() {
                 let mut s = mk();
                 s.set_in_place_commit(true);
                 s.set_parallel(4, 0);
+                s
+            }),
+            ("daemon_inc", {
+                let mut s = mk();
+                s.set_incremental_daemon(true);
+                s
+            }),
+            ("pool_all", {
+                let mut s = mk();
+                s.set_parallel(4, 0);
+                s.set_parallel_commit(true);
+                s.set_in_place_commit(true);
+                s.set_trusted_daemon(true);
+                s.set_incremental_daemon(true);
                 s
             }),
         ];

@@ -106,6 +106,19 @@ impl ShardPlan {
         &self.order
     }
 
+    /// Append the vertices satisfying `pred` to `out`, in locality (rank)
+    /// order — the `O(n)` alternative to sorting a dense worklist by rank
+    /// (`O(k log k)`). The output is identical to sorting the same vertex
+    /// set with [`ShardPlan::rank`] as the key: `rank` is a permutation,
+    /// so both produce the unique rank-ascending ordering.
+    pub fn gather_if(&self, out: &mut Vec<usize>, mut pred: impl FnMut(usize) -> bool) {
+        for &v in self.order.iter() {
+            if pred(v) {
+                out.push(v);
+            }
+        }
+    }
+
     /// Fraction of vertices whose closed neighborhood (their guard
     /// footprint) crosses into another shard. `0.0` means the shards'
     /// footprints are perfectly disjoint; sparse topologies cut along the
@@ -186,5 +199,19 @@ mod tests {
     fn plan_is_deterministic() {
         let h = generators::random_uniform(40, 30, 3, 5);
         assert_eq!(ShardPlan::new(&h, 4), ShardPlan::new(&h, 4));
+    }
+
+    #[test]
+    fn gather_if_equals_rank_sort() {
+        let h = generators::random_uniform(40, 30, 3, 5);
+        let plan = ShardPlan::new(&h, 4);
+        // An arbitrary subset, in arbitrary order.
+        let subset: Vec<usize> = (0..h.n()).filter(|v| v % 3 != 1).rev().collect();
+        let member = |v: usize| subset.contains(&v);
+        let mut gathered = Vec::new();
+        plan.gather_if(&mut gathered, member);
+        let mut sorted = subset.clone();
+        sorted.sort_unstable_by_key(|&v| plan.rank(v));
+        assert_eq!(gathered, sorted);
     }
 }

@@ -186,6 +186,27 @@ impl AnySim {
         dispatch!(self, s => s.set_in_place_commit(on))
     }
 
+    /// Shard the commit's execute phase across the worker pool for large
+    /// selections (requires [`AnySim::set_parallel`] /
+    /// [`AnySim::set_threads`]). Bit-identical to the sequential commits.
+    pub fn set_parallel_commit(&mut self, on: bool) {
+        dispatch!(self, s => s.set_parallel_commit(on))
+    }
+
+    /// Skip release-mode validation of daemon selections (the shipped
+    /// daemons honor their promises; the check is a per-step tax on dense
+    /// enabled sets).
+    pub fn set_trusted_daemon(&mut self, on: bool) {
+        dispatch!(self, s => s.set_trusted_daemon(on))
+    }
+
+    /// Maintain the daemon's fairness bookkeeping incrementally from the
+    /// engine's enabled-set deltas (identical selections, no per-step
+    /// rescan of the enabled slice). Call before the first step.
+    pub fn set_incremental_daemon(&mut self, on: bool) {
+        dispatch!(self, s => s.set_incremental_daemon(on))
+    }
+
     /// Configure the exact engine PR 1 shipped (sequential incremental
     /// drain, per-guard evaluator, full policy ticks) — the trajectory
     /// baseline of BENCH_2.json.

@@ -34,7 +34,12 @@ impl<T: Clone + PartialEq + std::fmt::Debug> ProcessState for T {}
 /// result slots.
 pub trait GuardedAlgorithm: Sync {
     /// Per-process state (the process's locally shared variables).
-    type State: ProcessState + Sync;
+    ///
+    /// `Sync` lets the parallel drain's workers read the frozen
+    /// configuration concurrently; `Send` lets the parallel commit's
+    /// workers stage next states computed on other threads. Every state in
+    /// this workspace is small plain data, so both hold for free.
+    type State: ProcessState + Sync + Send;
 
     /// External input provider (e.g. the `RequestIn`/`RequestOut` predicates
     /// of the committee coordination problem). Use `()` for closed

@@ -6,17 +6,44 @@
 //! chosen (distributed), but a continuously enabled process is eventually
 //! selected (weak fairness). Finite simulations cannot observe "eventually",
 //! so [`WeaklyFair`] turns the promise into a bounded-delay guarantee.
+//!
+//! ## Incremental daemon views
+//!
+//! The engine maintains its enabled set incrementally (`O(affected)` per
+//! step), but a stateful daemon that rescans the dense enabled slice every
+//! step re-introduces an `O(|enabled|)` floor on dense workloads (CC1 keeps
+//! nearly everything enabled). The [`Daemon::observe_delta`] seam fixes
+//! that: a daemon that returns `true` from [`Daemon::wants_view`] is fed
+//! the enabled-set *deltas* (processes that became enabled / disabled since
+//! its last selection) right before each [`Daemon::select_step`], and can
+//! maintain its bookkeeping from those instead of rescanning.
+//! [`WeaklyFair`] implements the seam behind
+//! [`WeaklyFair::set_incremental`]: ages become O(1) timestamps and the
+//! over-age check becomes a deadline queue — bit-identical selections to
+//! the rescan path (pinned by a property test and the differential suite).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
-/// A daemon's choice for one step, in a form that lets "select everything"
-/// daemons avoid materializing a copy of the enabled set.
+/// A daemon's choice for one step, in a form that lets the engine skip
+/// per-step normalization work the daemon has already done.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Selection {
-    /// Every enabled process moves (synchronous-style) — no allocation.
+    /// Every enabled process moves (synchronous-style) — no allocation,
+    /// and nothing for the engine to validate (the selection *is* the
+    /// enabled set).
     All,
-    /// An explicit subset (the engine sorts, dedups and validates it).
+    /// An explicit subset with a **promise**: ascending, deduplicated, and
+    /// a subset of the enabled set. The engine skips its sort + dedup
+    /// normalization (and, under [`World::set_trusted_daemon`], the subset
+    /// validation too).
+    ///
+    /// [`World::set_trusted_daemon`]: crate::engine::World::set_trusted_daemon
+    Sorted(Vec<usize>),
+    /// An explicit subset with no ordering promise (the engine sorts,
+    /// dedups and validates it).
     Subset(Vec<usize>),
 }
 
@@ -30,10 +57,48 @@ pub trait Daemon {
 
     /// Allocation-aware variant used by the engine's hot loop: daemons that
     /// select the whole enabled set can return [`Selection::All`] and skip
-    /// the round-trip through a fresh `Vec`. The default defers to
-    /// [`Daemon::select`].
+    /// the round-trip through a fresh `Vec`; daemons that build ascending
+    /// selections can promise it with [`Selection::Sorted`]. The default
+    /// defers to [`Daemon::select`].
     fn select_step(&mut self, enabled: &[usize]) -> Selection {
         Selection::Subset(self.select(enabled))
+    }
+
+    /// Like [`Daemon::select`], but appends the selection into a reusable
+    /// caller buffer (cleared first) instead of returning a fresh vector —
+    /// drive loops outside the engine should prefer this. The default
+    /// routes through [`Daemon::select_step`], so `Selection::All` daemons
+    /// allocate nothing at all.
+    fn select_into(&mut self, enabled: &[usize], out: &mut Vec<usize>) {
+        out.clear();
+        match self.select_step(enabled) {
+            Selection::All => out.extend_from_slice(enabled),
+            Selection::Sorted(v) | Selection::Subset(v) => out.extend_from_slice(&v),
+        }
+    }
+
+    /// Does this daemon maintain an incremental view of the enabled set?
+    /// When `true`, the engine calls [`Daemon::observe_delta`] with the
+    /// enabled-set changes right before every [`Daemon::select_step`].
+    fn wants_view(&self) -> bool {
+        false
+    }
+
+    /// Incremental view maintenance: `added` / `removed` are the processes
+    /// that became enabled / disabled since this daemon's previous
+    /// selection (ascending, disjoint, *net* — a process that flipped and
+    /// flipped back in between is reported in neither). Default: no-op.
+    fn observe_delta(&mut self, added: &[usize], removed: &[usize]) {
+        let _ = (added, removed);
+    }
+
+    /// Ask the daemon to maintain its view incrementally (from
+    /// [`Daemon::observe_delta`] feeds) instead of rescanning the enabled
+    /// slice each step. Default: no-op — most daemons are stateless.
+    /// Toggle only before the first step: an incremental view attached
+    /// mid-run has no history to age from.
+    fn set_incremental_view(&mut self, on: bool) {
+        let _ = on;
     }
 }
 
@@ -74,11 +139,19 @@ impl Central {
 
 impl Daemon for Central {
     fn select(&mut self, enabled: &[usize]) -> Vec<usize> {
+        match self.select_step(enabled) {
+            Selection::Sorted(v) | Selection::Subset(v) => v,
+            Selection::All => unreachable!("Central never selects everything"),
+        }
+    }
+
+    fn select_step(&mut self, enabled: &[usize]) -> Selection {
         if enabled.is_empty() {
-            return Vec::new();
+            return Selection::Sorted(Vec::new());
         }
         let i = self.rng.random_range(0..enabled.len());
-        vec![enabled[i]]
+        // A singleton is trivially ascending and deduplicated.
+        Selection::Sorted(vec![enabled[i]])
     }
 }
 
@@ -107,8 +180,15 @@ impl DistributedRandom {
 
 impl Daemon for DistributedRandom {
     fn select(&mut self, enabled: &[usize]) -> Vec<usize> {
+        match self.select_step(enabled) {
+            Selection::Sorted(v) | Selection::Subset(v) => v,
+            Selection::All => unreachable!("DistributedRandom never promises All"),
+        }
+    }
+
+    fn select_step(&mut self, enabled: &[usize]) -> Selection {
         if enabled.is_empty() {
-            return Vec::new();
+            return Selection::Sorted(Vec::new());
         }
         let mut picked: Vec<usize> = enabled
             .iter()
@@ -118,7 +198,9 @@ impl Daemon for DistributedRandom {
         if picked.is_empty() {
             picked.push(enabled[self.rng.random_range(0..enabled.len())]);
         }
-        picked
+        // A filter of the ascending enabled slice stays ascending (and the
+        // fallback singleton trivially is).
+        Selection::Sorted(picked)
     }
 }
 
@@ -127,13 +209,24 @@ impl Daemon for DistributedRandom {
 /// being selected) for more than `bound` steps. With `bound = 0` every
 /// continuously enabled process moves every step.
 ///
-/// Bookkeeping is `O(|enabled| + |picked|)` per step (reused scratch
-/// bitmaps, a nonzero-age worklist), not `O(n · |picked|)` — the wrapper
-/// must not dominate the incremental engine it schedules for.
+/// Two interchangeable bookkeeping modes produce **identical selections**
+/// (pinned by `weakly_fair_incremental_matches_rescan` and the
+/// differential suite):
+///
+/// * **Rescan** (default): `O(|enabled| + |picked|)` per step with reused
+///   scratch bitmaps — every age is re-walked each step.
+/// * **Incremental** ([`WeaklyFair::set_incremental`], requires an engine
+///   feeding [`Daemon::observe_delta`]): ages are *timestamps* — a process
+///   ages from `max(enabled-at, last-picked + 1, global-reset)` — and the
+///   over-age check is a deadline queue holding one lazily-revalidated
+///   token per enabled process. Per step: one timestamp store per picked
+///   process, O(delta) membership updates, and amortized O(1) queue work —
+///   no walk over the enabled slice at all.
 #[derive(Debug)]
 pub struct WeaklyFair<D> {
     inner: D,
     bound: usize,
+    // --- rescan-mode state ---
     /// age[p] = consecutive steps p has been enabled without being selected.
     age: Vec<usize>,
     /// Processes with nonzero age (the only ones needing reset work).
@@ -142,6 +235,27 @@ pub struct WeaklyFair<D> {
     in_picked: Vec<bool>,
     /// Scratch: membership bitmap of the current enabled set.
     in_enabled: Vec<bool>,
+    // --- incremental-mode state ---
+    /// Maintain the view from [`Daemon::observe_delta`] feeds.
+    incremental: bool,
+    /// Selection steps served so far (the incremental clock).
+    now: u64,
+    /// Enabled-set membership, maintained from deltas.
+    member: Vec<bool>,
+    /// Step at which `p` last became enabled.
+    enabled_at: Vec<u64>,
+    /// Step at which aging resumes after `p`'s last selection.
+    break_at: Vec<u64>,
+    /// Step at which aging resumed after the last `Selection::All` step
+    /// (everyone enabled was picked — a global age reset in O(1)).
+    global_break: u64,
+    /// One deadline token per enabled process: `(deadline, p)` pops when
+    /// `p` *may* be over-age; stale tokens are revalidated and re-pushed.
+    tokens: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Token-ownership bitmap backing the one-token-per-process invariant.
+    has_token: Vec<bool>,
+    /// Scratch: over-age processes of the current step.
+    forced: Vec<usize>,
 }
 
 impl<D: Daemon> WeaklyFair<D> {
@@ -155,12 +269,35 @@ impl<D: Daemon> WeaklyFair<D> {
             nonzero: Vec::new(),
             in_picked: Vec::new(),
             in_enabled: Vec::new(),
+            incremental: false,
+            now: 0,
+            member: Vec::new(),
+            enabled_at: Vec::new(),
+            break_at: Vec::new(),
+            global_break: 0,
+            tokens: BinaryHeap::new(),
+            has_token: Vec::new(),
+            forced: Vec::new(),
         }
     }
 
     /// The wrapped daemon.
     pub fn inner(&self) -> &D {
         &self.inner
+    }
+
+    /// Switch to the incremental (delta-fed) bookkeeping described on
+    /// [`WeaklyFair`]. Requires a driver that feeds
+    /// [`Daemon::observe_delta`] (the engine does when
+    /// [`Daemon::wants_view`] is true); selections are identical to the
+    /// rescan mode. Switch only before the first step.
+    pub fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
+    }
+
+    /// Is the incremental view active?
+    pub fn incremental(&self) -> bool {
+        self.incremental
     }
 
     fn reserve(&mut self, n: usize) {
@@ -171,22 +308,24 @@ impl<D: Daemon> WeaklyFair<D> {
         }
     }
 
+    fn reserve_inc(&mut self, n: usize) {
+        if self.member.len() < n {
+            self.member.resize(n, false);
+            self.enabled_at.resize(n, 0);
+            self.break_at.resize(n, 0);
+            self.has_token.resize(n, false);
+        }
+    }
+
     fn reset_all_ages(&mut self) {
         for p in self.nonzero.drain(..) {
             self.age[p] = 0;
         }
     }
-}
 
-impl<D: Daemon> Daemon for WeaklyFair<D> {
-    fn select(&mut self, enabled: &[usize]) -> Vec<usize> {
-        match self.select_step(enabled) {
-            Selection::All => enabled.to_vec(),
-            Selection::Subset(v) => v,
-        }
-    }
-
-    fn select_step(&mut self, enabled: &[usize]) -> Selection {
+    /// Rescan-mode selection: the reference implementation the incremental
+    /// mode is pinned against.
+    fn select_step_rescan(&mut self, enabled: &[usize]) -> Selection {
         if enabled.is_empty() {
             // Everything quiescent: ages reset.
             self.reset_all_ages();
@@ -194,22 +333,25 @@ impl<D: Daemon> Daemon for WeaklyFair<D> {
         }
         let n = enabled.iter().copied().max().unwrap() + 1;
         self.reserve(n);
-        let mut picked = match self.inner.select_step(enabled) {
+        let (mut picked, sorted) = match self.inner.select_step(enabled) {
             Selection::All => {
                 // Everyone moves: nothing to force, every age resets.
                 self.reset_all_ages();
                 return Selection::All;
             }
-            Selection::Subset(v) => v,
+            Selection::Sorted(v) => (v, true),
+            Selection::Subset(v) => (v, false),
         };
         for &p in &picked {
             self.in_picked[p] = true;
         }
         // Force over-age processes in (ascending, like the enabled set).
+        let mut any_forced = false;
         for &p in enabled {
             if self.age[p] >= self.bound && !self.in_picked[p] {
                 picked.push(p);
                 self.in_picked[p] = true;
+                any_forced = true;
             }
         }
         // Age bookkeeping: enabled-and-unselected processes age, everything
@@ -240,7 +382,156 @@ impl<D: Daemon> Daemon for WeaklyFair<D> {
         for &p in enabled {
             self.in_enabled[p] = false;
         }
-        Selection::Subset(picked)
+        if sorted {
+            if any_forced {
+                // Restore the ascending promise: forced processes were
+                // appended out of order (rare — only when someone starved
+                // for `bound` steps).
+                picked.sort_unstable();
+            }
+            Selection::Sorted(picked)
+        } else {
+            Selection::Subset(picked)
+        }
+    }
+
+    /// Incremental-mode selection: same outputs as
+    /// [`WeaklyFair::select_step_rescan`], no walk over `enabled`.
+    fn select_step_incremental(&mut self, enabled: &[usize]) -> Selection {
+        if enabled.is_empty() {
+            // Nothing enabled ⇒ every age is trivially reset; membership
+            // removals arrived through the deltas already.
+            return Selection::Subset(Vec::new());
+        }
+        let t = self.now;
+        let bound = self.bound as u64;
+        let (mut picked, sorted) = match self.inner.select_step(enabled) {
+            Selection::All => {
+                // Everyone enabled was picked: O(1) global age reset.
+                self.global_break = t + 1;
+                self.now += 1;
+                return Selection::All;
+            }
+            Selection::Sorted(v) => (v, true),
+            Selection::Subset(v) => (v, false),
+        };
+        // Pop due tokens: candidates whose deadline has arrived. A token's
+        // deadline may be stale (its process was picked, or a global reset
+        // happened, since the push) — revalidate against the *effective*
+        // aging start and reschedule if aging restarted.
+        self.forced.clear();
+        while let Some(&Reverse((deadline, p))) = self.tokens.peek() {
+            if deadline > t {
+                break;
+            }
+            self.tokens.pop();
+            if !self.member[p] {
+                // Disabled: aging broken; the token is re-issued when the
+                // enabling delta arrives.
+                self.has_token[p] = false;
+                continue;
+            }
+            let eff = self.enabled_at[p]
+                .max(self.break_at[p])
+                .max(self.global_break);
+            if eff + bound > t {
+                // Aging restarted since the push: reschedule.
+                self.tokens.push(Reverse((eff + bound, p)));
+            } else {
+                self.forced.push(p);
+            }
+        }
+        let mut any_forced = false;
+        if !self.forced.is_empty() {
+            // Ascending, like the rescan walk over the enabled slice.
+            self.forced.sort_unstable();
+            // Membership tests run against the inner daemon's selection
+            // only: appended forced entries would break the sort
+            // invariant, and the forced list itself is duplicate-free (one
+            // token per process).
+            let inner_picked = picked.len();
+            for i in 0..self.forced.len() {
+                let p = self.forced[i];
+                let in_picked = if sorted {
+                    picked[..inner_picked].binary_search(&p).is_ok()
+                } else {
+                    picked[..inner_picked].contains(&p)
+                };
+                if !in_picked {
+                    picked.push(p);
+                    any_forced = true;
+                }
+                // Due tokens are consumed; the process is picked either
+                // way (forced here or by the inner daemon), so aging
+                // restarts at t + 1 — re-issue its token for then.
+                self.tokens.push(Reverse((t + 1 + bound, p)));
+            }
+        }
+        // One timestamp store per picked process — the whole per-step age
+        // bookkeeping.
+        for &p in &picked {
+            self.break_at[p] = t + 1;
+        }
+        self.now += 1;
+        if sorted {
+            if any_forced {
+                picked.sort_unstable();
+            }
+            Selection::Sorted(picked)
+        } else {
+            Selection::Subset(picked)
+        }
+    }
+}
+
+impl<D: Daemon> Daemon for WeaklyFair<D> {
+    fn select(&mut self, enabled: &[usize]) -> Vec<usize> {
+        // Routed through `select_into`: the `Selection::All` arm extends
+        // the output buffer directly instead of `enabled.to_vec()`-ing a
+        // temporary first, and callers that loop should call `select_into`
+        // with a reused buffer and skip this wrapper's allocation too.
+        let mut out = Vec::new();
+        self.select_into(enabled, &mut out);
+        out
+    }
+
+    fn select_step(&mut self, enabled: &[usize]) -> Selection {
+        if self.incremental {
+            self.select_step_incremental(enabled)
+        } else {
+            self.select_step_rescan(enabled)
+        }
+    }
+
+    fn wants_view(&self) -> bool {
+        self.incremental || self.inner.wants_view()
+    }
+
+    fn observe_delta(&mut self, added: &[usize], removed: &[usize]) {
+        if self.incremental {
+            if let Some(&max) = added.iter().chain(removed.iter()).max() {
+                self.reserve_inc(max + 1);
+            }
+            for &p in added {
+                if !self.member[p] {
+                    self.member[p] = true;
+                    self.enabled_at[p] = self.now;
+                    if !self.has_token[p] {
+                        self.has_token[p] = true;
+                        self.tokens.push(Reverse((self.now + self.bound as u64, p)));
+                    }
+                }
+            }
+            for &p in removed {
+                self.member[p] = false;
+            }
+        }
+        self.inner.observe_delta(added, removed);
+    }
+
+    fn set_incremental_view(&mut self, on: bool) {
+        self.set_incremental(on);
+        self.inner.set_incremental_view(on);
     }
 }
 
@@ -293,17 +584,25 @@ pub struct RoundRobin {
 
 impl Daemon for RoundRobin {
     fn select(&mut self, enabled: &[usize]) -> Vec<usize> {
-        if enabled.is_empty() {
-            return Vec::new();
+        match self.select_step(enabled) {
+            Selection::Sorted(v) | Selection::Subset(v) => v,
+            Selection::All => unreachable!("RoundRobin never selects everything"),
         }
-        // First enabled index strictly after `last`, wrapping.
-        let next = enabled
-            .iter()
-            .copied()
-            .find(|&p| p > self.last)
-            .unwrap_or(enabled[0]);
+    }
+
+    fn select_step(&mut self, enabled: &[usize]) -> Selection {
+        if enabled.is_empty() {
+            return Selection::Sorted(Vec::new());
+        }
+        // First enabled index strictly after `last`, wrapping — `enabled`
+        // is ascending, so this is a binary search, not a linear scan.
+        let next = match enabled.binary_search(&(self.last + 1)) {
+            Ok(i) => enabled[i],
+            Err(i) if i < enabled.len() => enabled[i],
+            Err(_) => enabled[0],
+        };
         self.last = next;
-        vec![next]
+        Selection::Sorted(vec![next])
     }
 }
 
@@ -349,6 +648,20 @@ mod tests {
     }
 
     #[test]
+    fn distributed_random_promises_sorted() {
+        let mut d = DistributedRandom::new(7, 0.5);
+        for _ in 0..50 {
+            match d.select_step(&[1, 4, 6, 9]) {
+                Selection::Sorted(v) => {
+                    assert!(v.windows(2).all(|w| w[0] < w[1]), "{v:?}");
+                    assert!(v.iter().all(|p| [1, 4, 6, 9].contains(p)));
+                }
+                other => panic!("expected Sorted, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn weakly_fair_forces_starved_process() {
         // Inner daemon that always picks process 0 only.
         struct Biased;
@@ -386,6 +699,52 @@ mod tests {
     }
 
     #[test]
+    fn weakly_fair_incremental_forces_starved_process() {
+        // The incremental twin of `weakly_fair_forces_starved_process`,
+        // driven by hand-fed deltas.
+        struct Biased;
+        impl Daemon for Biased {
+            fn select(&mut self, enabled: &[usize]) -> Vec<usize> {
+                vec![enabled[0]]
+            }
+        }
+        let mut d = WeaklyFair::new(Biased, 3);
+        d.set_incremental(true);
+        assert!(d.wants_view());
+        let enabled = vec![0, 9];
+        d.observe_delta(&enabled, &[]);
+        let mut steps_until_9 = None;
+        for i in 0..10 {
+            d.observe_delta(&[], &[]);
+            if d.select(&enabled).contains(&9) {
+                steps_until_9 = Some(i);
+                break;
+            }
+        }
+        assert_eq!(steps_until_9, Some(3), "forced in after `bound` steps");
+    }
+
+    #[test]
+    fn weakly_fair_incremental_resets_on_disable() {
+        struct Biased;
+        impl Daemon for Biased {
+            fn select(&mut self, enabled: &[usize]) -> Vec<usize> {
+                vec![enabled[0]]
+            }
+        }
+        let mut d = WeaklyFair::new(Biased, 2);
+        d.set_incremental(true);
+        d.observe_delta(&[0, 9], &[]);
+        assert_eq!(d.select(&[0, 9]), vec![0]); // age(9)=1
+        d.observe_delta(&[], &[]);
+        assert_eq!(d.select(&[0, 9]), vec![0]); // age(9)=2
+        d.observe_delta(&[], &[9]); // 9 disabled -> reset
+        assert_eq!(d.select(&[0]), vec![0]);
+        d.observe_delta(&[9], &[]); // re-enabled: ages from scratch
+        assert_eq!(d.select(&[0, 9]), vec![0]); // age(9)=1 again, not forced
+    }
+
+    #[test]
     fn scripted_follows_script_then_falls_back() {
         let mut d = Scripted::new([vec![5], vec![1, 2]]);
         assert_eq!(d.select(&[1, 5]), vec![5]);
@@ -407,5 +766,13 @@ mod tests {
         assert_eq!(d.select(&[1, 2, 3]), vec![2]);
         assert_eq!(d.select(&[1, 2, 3]), vec![3]);
         assert_eq!(d.select(&[1, 2, 3]), vec![1]); // wraps
+    }
+
+    #[test]
+    fn round_robin_skips_gaps() {
+        let mut d = RoundRobin::default();
+        assert_eq!(d.select(&[0, 5, 9]), vec![5], "first index > 0... is 5");
+        assert_eq!(d.select(&[0, 5, 9]), vec![9]);
+        assert_eq!(d.select(&[0, 5, 9]), vec![0], "wraps past the max");
     }
 }

@@ -24,6 +24,7 @@ use crate::algorithm::{ActionId, GuardedAlgorithm};
 use crate::ctx::{Ctx, StateAccess};
 use crate::daemon::{Daemon, Selection};
 use crate::markset::MarkSet;
+use crate::pool::WorkerPool;
 use sscc_hypergraph::{Hypergraph, ShardPlan};
 use std::sync::Arc;
 
@@ -55,6 +56,19 @@ struct Scheduler {
     enabled: Vec<usize>,
     /// Everything is stale (boot, external state surgery, full-scan mode).
     all_dirty: bool,
+    /// Enabled-set membership as of the daemon's last delta observation
+    /// (the baseline [`Scheduler::take_view_deltas`] diffs against).
+    obs: Vec<bool>,
+    /// Processes whose membership may have changed since the last
+    /// observation. Deduplicated, so a process that flipped and flipped
+    /// back nets out at observation time — daemons see *net* deltas.
+    changed: MarkSet,
+    /// Membership flips of the current refresh, applied to `enabled` in
+    /// one batched repair pass ([`Scheduler::repair_enabled`]) instead of
+    /// per-flip `Vec::insert`/`remove` memmoves.
+    flips: MarkSet,
+    /// Scratch for the repair merge.
+    repair: Vec<usize>,
 }
 
 impl Scheduler {
@@ -64,6 +78,10 @@ impl Scheduler {
             dirty: MarkSet::new(n),
             enabled: Vec::with_capacity(n),
             all_dirty: true,
+            obs: vec![false; n],
+            changed: MarkSet::new(n),
+            flips: MarkSet::new(n),
+            repair: Vec::new(),
         }
     }
 
@@ -78,22 +96,133 @@ impl Scheduler {
         self.dirty.clear();
     }
 
-    /// Record a fresh evaluation of `p`, maintaining the enabled set.
+    /// Record a fresh evaluation of `p`. Enabled-set maintenance is
+    /// *deferred*: the flip is queued and applied by
+    /// [`Scheduler::repair_enabled`] at the end of the refresh, so a
+    /// flip-heavy drain (CC1 flips hundreds of entries per step) pays one
+    /// batched merge instead of hundreds of `Vec::insert` memmoves.
     fn store(&mut self, p: usize, action: Option<ActionId>) {
         let was = self.cache[p].is_some();
         let now = action.is_some();
         self.cache[p] = action;
         if was != now {
-            match self.enabled.binary_search(&p) {
-                Ok(i) if !now => {
-                    self.enabled.remove(i);
+            self.changed.insert(p);
+            self.flips.insert(p);
+        }
+    }
+
+    /// Threshold between per-flip binary insertion (cheap for a handful of
+    /// flips) and the batched merge (O(|enabled| + |flips|), immune to the
+    /// per-insert memmove) in [`Scheduler::repair_enabled`].
+    const REPAIR_MERGE_MIN_FLIPS: usize = 8;
+
+    /// Apply queued membership flips to the sorted enabled set.
+    fn repair_enabled(&mut self) {
+        if self.flips.is_empty() {
+            return;
+        }
+        if self.flips.len() < Self::REPAIR_MERGE_MIN_FLIPS {
+            let cache = &self.cache;
+            let enabled = &mut self.enabled;
+            self.flips.drain(|p| {
+                let now = cache[p].is_some();
+                match enabled.binary_search(&p) {
+                    Ok(i) if !now => {
+                        enabled.remove(i);
+                    }
+                    Err(i) if now => {
+                        enabled.insert(i, p);
+                    }
+                    _ => {}
                 }
-                Err(i) if now => {
-                    self.enabled.insert(i, p);
+            });
+            return;
+        }
+        // One merge pass: walk the old enabled set and the sorted flips,
+        // emitting the new membership of every flipped process from the
+        // cache (a flip queued twice nets out naturally — the cache holds
+        // the final verdict).
+        self.flips.sort();
+        self.repair.clear();
+        let flips = self.flips.as_slice();
+        let mut f = 0;
+        for &p in &self.enabled {
+            while f < flips.len() && flips[f] < p {
+                // Flipped process not previously enabled: now enabled?
+                if self.cache[flips[f]].is_some() {
+                    self.repair.push(flips[f]);
                 }
-                _ => {}
+                f += 1;
+            }
+            if f < flips.len() && flips[f] == p {
+                // Previously enabled and flipped: keep iff still enabled.
+                if self.cache[p].is_some() {
+                    self.repair.push(p);
+                }
+                f += 1;
+            } else {
+                self.repair.push(p);
             }
         }
+        while f < flips.len() {
+            if self.cache[flips[f]].is_some() {
+                self.repair.push(flips[f]);
+            }
+            f += 1;
+        }
+        std::mem::swap(&mut self.enabled, &mut self.repair);
+        self.flips.clear();
+    }
+
+    /// Net enabled-set deltas since the previous call, ascending — the
+    /// feed for [`Daemon::observe_delta`]. `O(|changed|)`, not `O(n)`:
+    /// only flipped entries are visited and the observation baseline is
+    /// updated lazily for exactly those.
+    fn take_view_deltas(&mut self, added: &mut Vec<usize>, removed: &mut Vec<usize>) {
+        added.clear();
+        removed.clear();
+        let cache = &self.cache;
+        let obs = &mut self.obs;
+        self.changed.drain(|p| {
+            let now = cache[p].is_some();
+            if now != obs[p] {
+                obs[p] = now;
+                if now {
+                    added.push(p);
+                } else {
+                    removed.push(p);
+                }
+            }
+        });
+        added.sort_unstable();
+        removed.sort_unstable();
+    }
+}
+
+/// A `*mut T` usable from pool workers writing **disjoint** indices of one
+/// slice (each result slot is written by exactly one worker).
+struct RawParts<T> {
+    ptr: *mut T,
+}
+
+// SAFETY: the wrapped pointer is only dereferenced at indices partitioned
+// disjointly across workers (and the pointee type must itself be sendable
+// for the written values to cross threads).
+unsafe impl<T: Send> Send for RawParts<T> {}
+unsafe impl<T: Send> Sync for RawParts<T> {}
+
+impl<T> RawParts<T> {
+    /// Write slot `i` (dropping the previous value in place).
+    ///
+    /// # Safety
+    /// `i` must be in bounds of the wrapped slice, the slice must outlive
+    /// the call, and no other thread may read or write slot `i`
+    /// concurrently. (Closures must write through this method, not the
+    /// field: accessing `self.ptr` directly would make edition-2021
+    /// closures capture the raw pointer itself, bypassing the `Sync`
+    /// gate.)
+    unsafe fn write(&self, i: usize, v: T) {
+        unsafe { *self.ptr.add(i) = v };
     }
 }
 
@@ -105,6 +234,10 @@ struct StepScratch<S> {
     /// In-place commit: pre-step snapshot slots, `Some` exactly for the
     /// already-committed processes of the current step (cleared after).
     snap: Vec<Option<S>>,
+    /// Daemon-view feed: processes enabled since the last observation.
+    added: Vec<usize>,
+    /// Daemon-view feed: processes disabled since the last observation.
+    removed: Vec<usize>,
 }
 
 impl<S> StepScratch<S> {
@@ -113,6 +246,8 @@ impl<S> StepScratch<S> {
             selected: Vec::new(),
             next: Vec::new(),
             snap: Vec::new(),
+            added: Vec::new(),
+            removed: Vec::new(),
         }
     }
 }
@@ -181,6 +316,10 @@ struct ParallelDrain {
     /// Per-process result slots (`results[i]` belongs to `batch[i]`, or to
     /// rank `i` during a full rebuild).
     results: Vec<Option<ActionId>>,
+    /// The persistent workers every fan-out (drain *and* parallel commit)
+    /// runs on — parked between fan-outs, joined when the drain (and thus
+    /// the `World`) drops. See [`WorkerPool`].
+    pool: WorkerPool,
 }
 
 /// A running system: topology + algorithm + current configuration.
@@ -228,6 +367,12 @@ pub struct World<A: GuardedAlgorithm> {
     full_scan: bool,
     par: Option<ParallelDrain>,
     commit: CommitStrategy,
+    /// Trust the daemon's `Selection` promises: skip release-mode subset
+    /// validation (see [`World::set_trusted_daemon`]).
+    trusted: bool,
+    /// Route large commits through the worker pool (see
+    /// [`World::set_parallel_commit`]).
+    par_commit: bool,
 }
 
 impl<A: GuardedAlgorithm> World<A> {
@@ -252,6 +397,8 @@ impl<A: GuardedAlgorithm> World<A> {
             full_scan: false,
             par: None,
             commit: CommitStrategy::Buffered,
+            trusted: false,
+            par_commit: false,
         }
     }
 
@@ -339,8 +486,16 @@ impl<A: GuardedAlgorithm> World<A> {
     /// path — differential tests use that to exercise it on tiny graphs.
     pub fn set_parallel(&mut self, threads: usize, min_batch_per_thread: usize) {
         if threads <= 1 {
+            // Dropping the drain joins the pool's worker threads.
             self.par = None;
             return;
+        }
+        if let Some(cfg) = &mut self.par {
+            if cfg.threads == threads {
+                // Same pool; only the fan-out threshold moves.
+                cfg.min_batch = min_batch_per_thread;
+                return;
+            }
         }
         self.par = Some(ParallelDrain {
             threads,
@@ -348,7 +503,27 @@ impl<A: GuardedAlgorithm> World<A> {
             plan: self.h.shard_plan(threads),
             batch: Vec::new(),
             results: Vec::new(),
+            pool: WorkerPool::new(threads),
         });
+    }
+
+    /// Trust the daemon's [`Selection`] promises: skip the release-mode
+    /// validation that every selected process is enabled (`Sorted` /
+    /// `Subset` selections; `All` needs no validation by construction).
+    /// With a dense enabled set the membership check is an
+    /// `O(k log |enabled|)` tax per step — this removes it for daemons you
+    /// control. A lying daemon cannot cause memory unsafety: selecting a
+    /// disabled process panics on the cache lookup ("selected ⊆ enabled"),
+    /// just later and with a less helpful message (under the parallel
+    /// commit, a lie surfacing on a pool worker aborts the process
+    /// instead — see [`WorkerPool::run`]'s panic contract).
+    pub fn set_trusted_daemon(&mut self, on: bool) {
+        self.trusted = on;
+    }
+
+    /// Is the daemon trusted (see [`World::set_trusted_daemon`])?
+    pub fn trusted_daemon(&self) -> bool {
+        self.trusted
     }
 
     /// Worker threads the drain fans out to (`1` = sequential).
@@ -426,12 +601,16 @@ impl<A: GuardedAlgorithm> World<A> {
         if sched.all_dirty {
             sched.all_dirty = false;
             debug_assert!(sched.dirty.is_empty());
+            debug_assert!(sched.flips.is_empty(), "repair always drains flips");
             sched.enabled.clear();
             match par {
                 Some(cfg) if h.n() >= (cfg.threads * cfg.min_batch).max(1) => {
                     Self::eval_sharded(h, algo, states, env, cfg, false);
                     for p in 0..h.n() {
                         let a = cfg.results[cfg.plan.rank(p)];
+                        if sched.cache[p].is_some() != a.is_some() {
+                            sched.changed.insert(p);
+                        }
                         sched.cache[p] = a;
                         if a.is_some() {
                             sched.enabled.push(p);
@@ -441,6 +620,9 @@ impl<A: GuardedAlgorithm> World<A> {
                 _ => {
                     for p in 0..h.n() {
                         let a = algo.priority_action(&Ctx::new(h, p, states.as_slice(), env));
+                        if sched.cache[p].is_some() != a.is_some() {
+                            sched.changed.insert(p);
+                        }
                         sched.cache[p] = a;
                         if a.is_some() {
                             sched.enabled.push(p);
@@ -455,11 +637,23 @@ impl<A: GuardedAlgorithm> World<A> {
                 if !sched.dirty.is_empty() && sched.dirty.len() >= cfg.threads * cfg.min_batch =>
             {
                 cfg.batch.clear();
-                sched.dirty.drain(|p| cfg.batch.push(p));
-                // Locality-sort so contiguous chunks are contiguous regions
-                // of the topology (and chunking is deterministic).
-                let plan = Arc::clone(&cfg.plan);
-                cfg.batch.sort_unstable_by_key(|&p| plan.rank(p));
+                // The batch must be in locality (rank) order so contiguous
+                // chunks are contiguous regions of the topology and the
+                // chunking is deterministic. Two equivalent ways to get
+                // there: sort the drained worklist by rank (O(k log k)),
+                // or walk the plan's rank order and gather dirty entries
+                // (O(n)) — the latter wins exactly on the dense batches
+                // the fan-out exists for.
+                let k = sched.dirty.len();
+                if (k as u64) * u64::from(k.max(2).ilog2()) >= h.n() as u64 {
+                    let dirty = &sched.dirty;
+                    cfg.plan.gather_if(&mut cfg.batch, |p| dirty.contains(p));
+                    sched.dirty.clear();
+                } else {
+                    sched.dirty.drain(|p| cfg.batch.push(p));
+                    let plan = Arc::clone(&cfg.plan);
+                    cfg.batch.sort_unstable_by_key(|&p| plan.rank(p));
+                }
                 Self::eval_sharded(h, algo, states, env, cfg, true);
                 for i in 0..cfg.batch.len() {
                     sched.store(cfg.batch[i], cfg.results[i]);
@@ -472,13 +666,15 @@ impl<A: GuardedAlgorithm> World<A> {
                 }
             }
         }
+        sched.repair_enabled();
     }
 
-    /// Evaluate a worklist concurrently: the batch (or, for a full rebuild
-    /// when `use_batch` is false, the whole vertex set in plan order) is
-    /// cut into one contiguous chunk per worker; each worker writes its own
-    /// disjoint result slots. Pure reads of the frozen configuration — no
-    /// synchronization beyond the final join.
+    /// Evaluate a worklist concurrently on the persistent worker pool: the
+    /// batch (or, for a full rebuild when `use_batch` is false, the whole
+    /// vertex set in plan order) is cut into one contiguous chunk per
+    /// worker; each worker writes its own disjoint result slots. Pure
+    /// reads of the frozen configuration — no locks anywhere; the only
+    /// synchronization is the pool's epoch wakeup and completion join.
     fn eval_sharded(
         h: &Hypergraph,
         algo: &A,
@@ -487,21 +683,40 @@ impl<A: GuardedAlgorithm> World<A> {
         cfg: &mut ParallelDrain,
         use_batch: bool,
     ) {
-        let work: &[usize] = if use_batch {
-            &cfg.batch
-        } else {
-            cfg.plan.order()
+        let ParallelDrain {
+            threads,
+            plan,
+            batch,
+            results,
+            pool,
+            ..
+        } = cfg;
+        let work: &[usize] = if use_batch { batch } else { plan.order() };
+        results.clear();
+        results.resize(work.len(), None);
+        if work.is_empty() {
+            return;
+        }
+        let chunk = work.len().div_ceil(*threads);
+        let slots = RawParts {
+            ptr: results.as_mut_ptr(),
         };
-        cfg.results.clear();
-        cfg.results.resize(work.len(), None);
-        let chunk = work.len().div_ceil(cfg.threads);
-        crossbeam::thread::scope(|s| {
-            for (ps, outs) in work.chunks(chunk).zip(cfg.results.chunks_mut(chunk)) {
-                s.spawn(move || {
-                    for (&p, slot) in ps.iter().zip(outs.iter_mut()) {
-                        *slot = algo.priority_action(&Ctx::new(h, p, states, env));
-                    }
-                });
+        pool.run(&|w| {
+            let start = w * chunk;
+            if start >= work.len() {
+                return;
+            }
+            for (i, &p) in work
+                .iter()
+                .enumerate()
+                .take((start + chunk).min(work.len()))
+                .skip(start)
+            {
+                let a = algo.priority_action(&Ctx::new(h, p, states, env));
+                // SAFETY: chunk ranges partition `0..work.len()` disjointly
+                // across worker indices, so slot `i` has exactly one writer,
+                // and `results` outlives the blocking `pool.run` call.
+                unsafe { slots.write(i, a) };
             }
         });
     }
@@ -533,13 +748,43 @@ impl<A: GuardedAlgorithm> World<A> {
         if out.enabled.is_empty() {
             return;
         }
+        // Daemons maintaining an incremental view get the net enabled-set
+        // deltas (accumulated across every refresh since their previous
+        // selection) before they choose.
+        if daemon.wants_view() {
+            self.sched
+                .take_view_deltas(&mut self.scratch.added, &mut self.scratch.removed);
+            daemon.observe_delta(&self.scratch.added, &self.scratch.removed);
+        }
+        let trusted = self.trusted;
         let selected = &mut self.scratch.selected;
         selected.clear();
         match daemon.select_step(&out.enabled) {
+            // `All` *is* the enabled set: nothing to sort, dedup or
+            // validate, trusted or not.
             Selection::All => selected.extend_from_slice(&out.enabled),
+            Selection::Sorted(v) => {
+                debug_assert!(
+                    v.windows(2).all(|w| w[0] < w[1]),
+                    "daemon contract: Sorted selections are ascending and deduplicated"
+                );
+                if !trusted {
+                    assert!(
+                        v.iter().all(|p| out.enabled.binary_search(p).is_ok()),
+                        "daemon contract: selection must be a subset of the enabled set"
+                    );
+                }
+                selected.extend_from_slice(&v);
+            }
             Selection::Subset(mut v) => {
                 v.sort_unstable();
                 v.dedup();
+                if !trusted {
+                    assert!(
+                        v.iter().all(|p| out.enabled.binary_search(p).is_ok()),
+                        "daemon contract: selection must be a subset of the enabled set"
+                    );
+                }
                 selected.extend_from_slice(&v);
             }
         }
@@ -547,17 +792,13 @@ impl<A: GuardedAlgorithm> World<A> {
             !selected.is_empty(),
             "daemon contract: non-empty selection from a non-empty enabled set"
         );
-        assert!(
-            selected
-                .iter()
-                .all(|p| out.enabled.binary_search(p).is_ok()),
-            "daemon contract: selection must be a subset of the enabled set"
-        );
         // Composite atomicity: every statement reads the pre-step
         // configuration. The buffered path stages all next states before
         // writing; the in-place path writes immediately, parking each
         // overwritten pre-step value in a snapshot slot the read overlay
-        // prefers. Both orders are observationally identical.
+        // prefers; the parallel path computes next states on the worker
+        // pool against the frozen configuration, then writes them back
+        // serially. All orders are observationally identical.
         let World {
             h,
             algo,
@@ -565,44 +806,56 @@ impl<A: GuardedAlgorithm> World<A> {
             sched,
             scratch,
             commit,
+            par,
+            par_commit,
             ..
         } = self;
         let StepScratch {
             selected,
             next,
             snap,
+            ..
         } = scratch;
-        match commit {
-            CommitStrategy::Buffered => {
-                next.clear();
-                for &p in selected.iter() {
-                    let a = sched.cache[p].expect("selected ⊆ enabled");
-                    let s = algo.execute(&Ctx::new(h, p, states.as_slice(), env), a);
-                    out.executed.push((p, a));
-                    next.push((p, s));
-                }
-                for (p, s) in next.drain(..) {
-                    states[p] = s;
-                }
+        let pooled = match par {
+            Some(cfg) if *par_commit && selected.len() >= cfg.threads * cfg.min_batch => {
+                Self::commit_parallel(h, algo, states, env, sched, selected, next, out, cfg);
+                true
             }
-            CommitStrategy::InPlace => {
-                snap.resize_with(h.n(), || None);
-                for &p in selected.iter() {
-                    let a = sched.cache[p].expect("selected ⊆ enabled");
-                    let s = {
-                        let overlay = SnapshotOverlay {
-                            live: states.as_slice(),
-                            snap: snap.as_slice(),
+            _ => false,
+        };
+        if !pooled {
+            match commit {
+                CommitStrategy::Buffered => {
+                    next.clear();
+                    for &p in selected.iter() {
+                        let a = sched.cache[p].expect("selected ⊆ enabled");
+                        let s = algo.execute(&Ctx::new(h, p, states.as_slice(), env), a);
+                        out.executed.push((p, a));
+                        next.push((p, s));
+                    }
+                    for (p, s) in next.drain(..) {
+                        states[p] = s;
+                    }
+                }
+                CommitStrategy::InPlace => {
+                    snap.resize_with(h.n(), || None);
+                    for &p in selected.iter() {
+                        let a = sched.cache[p].expect("selected ⊆ enabled");
+                        let s = {
+                            let overlay = SnapshotOverlay {
+                                live: states.as_slice(),
+                                snap: snap.as_slice(),
+                            };
+                            algo.execute(&Ctx::new(h, p, &overlay, env), a)
                         };
-                        algo.execute(&Ctx::new(h, p, &overlay, env), a)
-                    };
-                    out.executed.push((p, a));
-                    snap[p] = Some(std::mem::replace(&mut states[p], s));
+                        out.executed.push((p, a));
+                        snap[p] = Some(std::mem::replace(&mut states[p], s));
+                    }
+                    for &p in selected.iter() {
+                        snap[p] = None;
+                    }
                 }
-                for &p in selected.iter() {
-                    snap[p] = None;
-                }
-            }
+            };
         }
         // Only the footprints of executed processes can change enabledness.
         for &(p, _) in out.executed.iter() {
@@ -611,6 +864,61 @@ impl<A: GuardedAlgorithm> World<A> {
             }
         }
         self.steps += 1;
+    }
+
+    /// The parallel commit: compute every selected process's next state on
+    /// the worker pool — each worker executes a contiguous chunk of the
+    /// (ascending) selection against the frozen pre-step configuration,
+    /// writing disjoint staging slots — then write the staged states back
+    /// serially (a plain `O(|selected|)` store loop; the statement
+    /// execution is the expensive phase, the write-back is a memcpy).
+    ///
+    /// Semantically this is [`CommitStrategy::Buffered`] with the execute
+    /// loop sharded: reads happen strictly before any write, so composite
+    /// atomicity holds with **no** footprint-disjointness requirement, and
+    /// outcomes are bit-identical to both sequential strategies.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_parallel(
+        h: &Hypergraph,
+        algo: &A,
+        states: &mut [A::State],
+        env: &A::Env,
+        sched: &Scheduler,
+        selected: &[usize],
+        next: &mut Vec<(usize, A::State)>,
+        out: &mut StepOutcome,
+        cfg: &ParallelDrain,
+    ) {
+        next.clear();
+        // Pre-size the staging slots (the filler is overwritten below; any
+        // in-bounds state works).
+        next.resize(selected.len(), (0, states[selected[0]].clone()));
+        let chunk = selected.len().div_ceil(cfg.threads);
+        let slots = RawParts {
+            ptr: next.as_mut_ptr(),
+        };
+        let frozen: &[A::State] = states;
+        let cache = &sched.cache;
+        cfg.pool.run(&|w| {
+            let start = w * chunk;
+            if start >= selected.len() {
+                return;
+            }
+            let end = (start + chunk).min(selected.len());
+            for (i, &p) in selected.iter().enumerate().take(end).skip(start) {
+                let a = cache[p].expect("selected ⊆ enabled");
+                let s = algo.execute(&Ctx::new(h, p, frozen, env), a);
+                // SAFETY: chunk ranges partition the selection disjointly
+                // across worker indices, so slot `i` has exactly one
+                // writer, and `next` outlives the blocking `run` call.
+                unsafe { slots.write(i, (p, s)) };
+            }
+        });
+        for (p, s) in next.drain(..) {
+            let a = sched.cache[p].expect("selected ⊆ enabled");
+            out.executed.push((p, a));
+            states[p] = s;
+        }
     }
 
     /// Execute one step under `daemon`. Returns what happened; if the
@@ -662,13 +970,35 @@ where
     pub fn set_commit_strategy(&mut self, strategy: CommitStrategy) {
         self.commit = strategy;
     }
+
+    /// Route large commits through the persistent worker pool: when a
+    /// parallel drain is configured ([`World::set_parallel`]) and the
+    /// daemon selects at least `threads × min_batch` processes, the
+    /// execute phase of the commit is sharded across the pool's workers
+    /// (each computing a contiguous chunk of next states against the
+    /// frozen pre-step configuration into disjoint staging slots) before a
+    /// serial write-back. Below the threshold — or with no drain — the
+    /// configured sequential [`CommitStrategy`] is the fallback.
+    ///
+    /// Like the in-place seam this is gated to `Copy` states: the staging
+    /// slots hold whole states by value, which is only a win for small
+    /// plain data. Outcomes are bit-identical to both sequential
+    /// strategies (the differential suite locksteps all three).
+    pub fn set_parallel_commit(&mut self, on: bool) {
+        self.par_commit = on;
+    }
+
+    /// Is the parallel commit enabled (see [`World::set_parallel_commit`])?
+    pub fn parallel_commit(&self) -> bool {
+        self.par_commit
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::algorithm::testutil::MaxProp;
-    use crate::daemon::{Central, RoundRobin, Synchronous, WeaklyFair};
+    use crate::daemon::{Central, DistributedRandom, RoundRobin, Synchronous, WeaklyFair};
     use sscc_hypergraph::generators;
 
     fn world() -> World<MaxProp> {
@@ -905,6 +1235,120 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parallel_commit_matches_buffered_stepwise() {
+        // Parallel commit forced (zero thresholds): bit-identical
+        // StepOutcome sequences and configurations vs the buffered
+        // reference, under a subset-selecting daemon.
+        for seed in 0..20u32 {
+            let h = Arc::new(generators::ring(24, 2));
+            let mut wb = World::new(Arc::clone(&h), MaxProp);
+            let mut wp = World::new(Arc::clone(&h), MaxProp);
+            wb.set_state(0, 90 + seed);
+            wp.set_state(0, 90 + seed);
+            wp.set_parallel(4, 0);
+            wp.set_parallel_commit(true);
+            assert!(wp.parallel_commit());
+            let mut db = WeaklyFair::new(Central::new(seed as u64), 3);
+            let mut dp = WeaklyFair::new(Central::new(seed as u64), 3);
+            for _ in 0..300 {
+                let ob = wb.step(&mut db, &());
+                let op = wp.step(&mut dp, &());
+                assert_eq!(ob, op, "seed {seed}");
+                assert_eq!(wb.states(), wp.states(), "seed {seed}");
+                if ob.terminal() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_commit_reads_pre_step_configuration() {
+        // The pool twin of `atomicity_reads_pre_step_configuration`.
+        let h = Arc::new(sscc_hypergraph::Hypergraph::new(&[&[1, 2], &[2, 3]]));
+        let mut w = World::new(h, MaxProp);
+        w.set_parallel(2, 0);
+        w.set_parallel_commit(true);
+        let out = w.step(&mut Synchronous, &());
+        assert_eq!(out.executed.len(), 2);
+        assert_eq!(w.states(), &[2, 3, 3]);
+    }
+
+    #[test]
+    fn trusted_daemon_matches_untrusted_stepwise() {
+        for seed in 0..10u32 {
+            let h = Arc::new(generators::fig1());
+            let boot = vec![seed, 0, 3, 1, 0, 2];
+            let mut wu = World::with_states(Arc::clone(&h), MaxProp, boot.clone());
+            let mut wt = World::with_states(Arc::clone(&h), MaxProp, boot);
+            wt.set_trusted_daemon(true);
+            assert!(wt.trusted_daemon());
+            let mut du = WeaklyFair::new(DistributedRandom::new(seed as u64, 0.5), 4);
+            let mut dt = WeaklyFair::new(DistributedRandom::new(seed as u64, 0.5), 4);
+            for _ in 0..200 {
+                let ou = wu.step(&mut du, &());
+                let ot = wt.step(&mut dt, &());
+                assert_eq!(ou, ot, "seed {seed}");
+                if ou.terminal() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_daemon_view_matches_rescan_through_engine() {
+        // A WeaklyFair daemon fed engine deltas must select identically to
+        // the rescan twin, step for step.
+        for seed in 0..20u32 {
+            let h = Arc::new(generators::ring(24, 2));
+            let mut wr = World::new(Arc::clone(&h), MaxProp);
+            let mut wi = World::new(Arc::clone(&h), MaxProp);
+            wr.set_state(0, 90 + seed);
+            wi.set_state(0, 90 + seed);
+            let mut dr = WeaklyFair::new(DistributedRandom::new(seed as u64, 0.3), 2);
+            let mut di = WeaklyFair::new(DistributedRandom::new(seed as u64, 0.3), 2);
+            di.set_incremental(true);
+            for _ in 0..400 {
+                let or = wr.step(&mut dr, &());
+                let oi = wi.step(&mut di, &());
+                assert_eq!(or, oi, "seed {seed}");
+                assert_eq!(wr.states(), wi.states(), "seed {seed}");
+                if or.terminal() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn world_with_pool_drops_cleanly() {
+        // Worker threads must be joined when the World goes away — run a
+        // few pooled worlds to completion and drop them (leaked threads
+        // would accumulate and deadlock CI long before any assertion).
+        for _ in 0..8 {
+            let h = Arc::new(generators::ring(24, 2));
+            let mut w = World::new(Arc::clone(&h), MaxProp);
+            w.set_parallel(4, 0);
+            w.set_parallel_commit(true);
+            let (_, q) = w.run_to_quiescence(&mut Synchronous, &(), 200);
+            assert!(q);
+            drop(w);
+        }
+    }
+
+    #[test]
+    fn reconfiguring_threads_swaps_pools() {
+        let mut w = world();
+        w.set_threads(4);
+        w.set_threads(2);
+        w.set_parallel(2, 0); // same pool, new threshold
+        w.set_threads(1);
+        let (_, q) = w.run_to_quiescence(&mut Synchronous, &(), 100);
+        assert!(q);
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod daemon;
 pub mod engine;
 pub mod fault;
 pub mod markset;
+pub mod pool;
 pub mod rounds;
 pub mod trace;
 
@@ -74,6 +75,7 @@ pub mod prelude {
     pub use crate::engine::{CommitStrategy, StepOutcome, World};
     pub use crate::fault::{arbitrary_configuration, strike, strike_some, ArbitraryState};
     pub use crate::markset::MarkSet;
+    pub use crate::pool::WorkerPool;
     pub use crate::rounds::RoundTracker;
     pub use crate::trace::{Trace, TraceEvent};
 }

@@ -1,0 +1,308 @@
+//! A persistent worker pool for the engine's parallel phases.
+//!
+//! The parallel sharded drain used to spawn scoped threads on every
+//! fan-out (`crossbeam::thread::scope`): correct, but each dense refresh
+//! paid thread creation and teardown — a per-step syscall tax on exactly
+//! the workloads (CC1's dense enabled set, boot scans, synchronous sweeps)
+//! the fan-out exists for. [`WorkerPool`] amortizes that: workers are
+//! spawned **once**, park between fan-outs, and are woken by an epoch
+//! bump. The caller participates as the last "worker", so a pool built
+//! with [`WorkerPool::new`]`(threads)` provides `threads`-way parallelism
+//! with `threads - 1` OS threads.
+//!
+//! ## Lifecycle
+//!
+//! * **Spawn** — `WorkerPool::new(threads)` spawns `threads - 1` workers;
+//!   each immediately parks on its own [`crossbeam::sync::Parker`].
+//! * **Wake (epoch-based)** — [`WorkerPool::run`] publishes the job, bumps
+//!   the shared epoch counter and unparks every worker. A worker wakes,
+//!   observes the epoch advanced past the last one it served, runs the job
+//!   with its worker index, decrements the active count and parks again.
+//!   Spurious wakeups are harmless: the epoch has not advanced, so the
+//!   worker just re-parks.
+//! * **Join** — the caller runs its own share inline (index
+//!   `threads - 1`), then parks until the last finishing worker unparks
+//!   it. `run` returns only when every index has completed — the job may
+//!   therefore borrow from the caller's stack frame, exactly like a scoped
+//!   spawn.
+//! * **Shutdown on drop** — dropping the pool sets the shutdown flag,
+//!   bumps the epoch, unparks everyone and joins every worker thread. No
+//!   threads outlive the [`WorkerPool`] (and thus no threads outlive the
+//!   `World` that owns it).
+//!
+//! ## Safety
+//!
+//! The job is published to workers as a lifetime-erased
+//! `*const (dyn Fn(usize) + Sync)`. The erasure is sound because `run`
+//! blocks until every worker has finished the job (the same argument that
+//! makes `std::thread::scope` sound), and the `Sync` bound on the job
+//! closure — enforced at the `run` call site with its real lifetime —
+//! guarantees the sharing itself is race-free.
+
+use crossbeam::sync::{Parker, Unparker};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The lifetime-erased job pointer published to workers for one epoch.
+///
+/// Wrapped so the raw wide pointer can live in the shared state; see the
+/// module docs for the soundness argument.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls are race-free) and `run`
+// keeps it alive until every worker is done with it.
+unsafe impl Send for Job {}
+
+/// State shared between the caller and the workers.
+struct Shared {
+    /// Bumped once per fan-out (and once at shutdown); workers serve each
+    /// epoch exactly once.
+    epoch: AtomicU64,
+    /// Workers still running the current epoch's job.
+    active: AtomicUsize,
+    /// Set (before the final epoch bump) when the pool is dropping.
+    shutdown: AtomicBool,
+    /// The current epoch's job. Written by the caller before the epoch
+    /// bump (release), read by workers after observing the bump (acquire).
+    job: UnsafeCell<Option<Job>>,
+    /// Wakes the caller when the last worker finishes.
+    done: Unparker,
+}
+
+// SAFETY: `job` is only written by the caller while no worker is running
+// (between fan-outs: `active == 0` and every worker has served the
+// previous epoch), and only read by workers after the release-store of
+// `epoch` that follows the write — a proper happens-before edge.
+unsafe impl Sync for Shared {}
+
+/// A persistent pool of parked worker threads (see the module docs).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    /// One waker per worker, for the epoch broadcast.
+    wakers: Vec<Unparker>,
+    /// The caller's parker (completion wait).
+    done: Parker,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// A pool providing `threads`-way parallelism: `threads - 1` parked
+    /// worker threads plus the calling thread. `threads` must be >= 2.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 2, "a pool needs at least 2-way parallelism");
+        let workers = threads - 1;
+        let done = Parker::new();
+        let shared = Arc::new(Shared {
+            epoch: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            job: UnsafeCell::new(None),
+            done: done.unparker(),
+        });
+        let mut wakers = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for idx in 0..workers {
+            let parker = Parker::new();
+            wakers.push(parker.unparker());
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sscc-pool-{idx}"))
+                    .spawn(move || worker_loop(&shared, &parker, idx))
+                    .expect("spawn pool worker"),
+            );
+        }
+        WorkerPool {
+            shared,
+            wakers,
+            done,
+            handles,
+        }
+    }
+
+    /// Total parallelism (worker threads + the caller).
+    pub fn threads(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Run `job(i)` for every worker index `i` in `0..self.threads()`,
+    /// concurrently, and return when all have completed. Index
+    /// `threads - 1` runs on the calling thread.
+    ///
+    /// Panic behavior: a panic in a *worker's* share aborts the process
+    /// (enforced with an abort guard — the caller may have unwound past
+    /// the borrowed job data by the time the worker's unwind would be
+    /// observable, so there is no sound way to continue). A panic in the
+    /// *caller's* share waits for the workers to finish the job before
+    /// unwinding — the same guarantee `std::thread::scope` gives — so the
+    /// borrowed data stays alive for the workers and the pool remains
+    /// usable afterwards.
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        // SAFETY: see the module docs — `run` does not return (or unwind)
+        // until every worker has finished `job`, so erasing the borrow's
+        // lifetime cannot outlive the pointee.
+        let erased: &'static (dyn Fn(usize) + Sync + 'static) = unsafe { std::mem::transmute(job) };
+        let erased = Job(erased as *const _);
+        let workers = self.handles.len();
+        // SAFETY (job write): no worker is running — the previous `run`
+        // waited for `active == 0` — and the release-store of `epoch`
+        // below publishes this write to the workers.
+        unsafe { *self.shared.job.get() = Some(erased) };
+        self.shared.active.store(workers, Ordering::Release);
+        self.shared.epoch.fetch_add(1, Ordering::AcqRel);
+        for w in &self.wakers {
+            w.unpark();
+        }
+        // Completion barrier as a drop guard: it runs on the normal path
+        // *and* when the caller's share below panics, so the workers are
+        // always done with the lifetime-erased job before `run` unwinds
+        // past the frame that owns the borrowed data.
+        struct Completion<'a>(&'a WorkerPool);
+        impl Drop for Completion<'_> {
+            fn drop(&mut self) {
+                while self.0.shared.active.load(Ordering::Acquire) != 0 {
+                    self.0.done.park();
+                }
+            }
+        }
+        let _completion = Completion(self);
+        // The caller's own share, while the workers run theirs.
+        job(workers);
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.epoch.fetch_add(1, Ordering::AcqRel);
+        for w in &self.wakers {
+            w.unpark();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The body of one pool worker: serve each epoch exactly once, park in
+/// between, exit when the shutdown epoch arrives.
+fn worker_loop(shared: &Shared, parker: &Parker, idx: usize) {
+    let mut served = 0u64;
+    loop {
+        while shared.epoch.load(Ordering::Acquire) == served {
+            parker.park();
+        }
+        served = shared.epoch.load(Ordering::Acquire);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // SAFETY (job read): the acquire-load of `epoch` above synchronizes
+        // with the caller's release sequence, so the job written for this
+        // epoch is visible; the caller keeps it alive until `active`
+        // reaches zero — which this worker contributes to only *after*
+        // running the job.
+        let job = unsafe { (*shared.job.get()).expect("epoch bumped without a job") };
+        // Abort bomb: if the job unwinds here, the worker would die
+        // without decrementing `active` (deadlocking the caller at best;
+        // at worst the caller is itself unwinding and the borrowed job
+        // data is about to vanish). There is no sound continuation —
+        // abort, as documented on `WorkerPool::run`.
+        struct AbortOnUnwind;
+        impl Drop for AbortOnUnwind {
+            fn drop(&mut self) {
+                eprintln!("sscc worker pool: job panicked on a pool worker; aborting");
+                std::process::abort();
+            }
+        }
+        let bomb = AbortOnUnwind;
+        // SAFETY: the pointee outlives this call (see above).
+        (unsafe { &*job.0 })(idx);
+        std::mem::forget(bomb);
+        if shared.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+            shared.done.unpark();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, AtomicU64};
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let hits: Vec<AtomicU32> = (0..4).map(|_| AtomicU32::new(0)).collect();
+        pool.run(&|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_fan_outs() {
+        let pool = WorkerPool::new(3);
+        let sum = AtomicU32::new(0);
+        for _ in 0..100 {
+            pool.run(&|i| {
+                sum.fetch_add(i as u32 + 1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 100 * (1 + 2 + 3));
+    }
+
+    #[test]
+    fn jobs_may_borrow_the_callers_stack() {
+        let pool = WorkerPool::new(2);
+        let data = [10u64, 20];
+        let out: Vec<AtomicU64> = (0..2).map(|_| AtomicU64::new(0)).collect();
+        pool.run(&|i| out[i].store(data[i] * 2, Ordering::Relaxed));
+        assert_eq!(out[0].load(Ordering::Relaxed), 20);
+        assert_eq!(out[1].load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn caller_share_panic_waits_for_workers_and_keeps_pool_usable() {
+        // A panic in the caller's share must not unwind past `run` while
+        // workers still touch the borrowed job data: the completion guard
+        // waits for them first, and the pool stays usable afterwards.
+        let pool = WorkerPool::new(3);
+        let caller_idx = pool.threads() - 1;
+        let hits = AtomicU32::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&|i| {
+                if i == caller_idx {
+                    panic!("caller share fails");
+                }
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(caught.is_err(), "the caller's panic propagates");
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            2,
+            "both workers finished before the unwind escaped run()"
+        );
+        let again = AtomicU32::new(0);
+        pool.run(&|_| {
+            again.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(again.load(Ordering::Relaxed), 3, "pool reusable");
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        // Dropping must not hang or leak: create and drop many pools.
+        for _ in 0..20 {
+            let pool = WorkerPool::new(3);
+            pool.run(&|_| {});
+            drop(pool);
+        }
+    }
+}

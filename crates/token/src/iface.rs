@@ -25,7 +25,7 @@ use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, ProcessState, StateAc
 /// concurrently by the engine's parallel dirty-set drain.
 pub trait TokenLayer: Sync {
     /// Per-process token-substrate state.
-    type State: ProcessState + ArbitraryState + Sync;
+    type State: ProcessState + ArbitraryState + Sync + Send;
 
     /// The designated stabilized initial state of process `me` (a unique
     /// token already in place). Fault-free boots start here; stabilization

@@ -1,9 +1,11 @@
 //! Offline stand-in for `crossbeam`: the workspace uses `channel::unbounded`
-//! (the sweep harness) and `thread::scope` (the engine's parallel dirty-set
-//! drain). `std::sync::mpsc` and `std::thread::scope` provide the same
-//! semantics — clonable senders / receiver iteration ending when all senders
-//! drop, and scoped threads that may borrow from the enclosing stack frame
-//! and are joined before `scope` returns.
+//! (the sweep harness), `thread::scope` (scoped fork/join), and
+//! `sync::Parker` (the persistent worker pool's parking primitive).
+//! `std::sync::mpsc` and `std::thread::scope` provide the same semantics —
+//! clonable senders / receiver iteration ending when all senders drop, and
+//! scoped threads that may borrow from the enclosing stack frame and are
+//! joined before `scope` returns; `Parker` mirrors
+//! `crossbeam_utils::sync::Parker`'s token semantics on a mutex + condvar.
 
 /// Scoped threads (the `crossbeam::thread` API surface the workspace uses).
 ///
@@ -24,6 +26,71 @@ pub mod channel {
     /// An unbounded MPSC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
+    }
+}
+
+/// Thread-parking primitives (the `crossbeam_utils::sync::Parker` surface
+/// the workspace uses).
+///
+/// A [`Parker`](sync::Parker) owns a *token*:
+/// [`park`](sync::Parker::park) blocks the calling thread until the token
+/// is set (by any [`Unparker`](sync::Unparker) handle) and consumes it.
+/// Setting an already-set token is a no-op, and a token set *before* `park`
+/// makes the next `park` return immediately — so a wakeup can never be
+/// lost, only observed early (callers re-check their condition in a loop).
+pub mod sync {
+    use std::sync::{Arc, Condvar, Mutex};
+
+    #[derive(Debug, Default)]
+    struct Inner {
+        token: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    /// The parking half: blocks the calling thread until unparked.
+    #[derive(Debug, Default)]
+    pub struct Parker {
+        inner: Arc<Inner>,
+    }
+
+    /// The waking half (clonable, shareable across threads).
+    #[derive(Clone, Debug)]
+    pub struct Unparker {
+        inner: Arc<Inner>,
+    }
+
+    impl Parker {
+        /// A parker with no token pending.
+        pub fn new() -> Self {
+            Parker::default()
+        }
+
+        /// An [`Unparker`] handle that wakes this parker.
+        pub fn unparker(&self) -> Unparker {
+            Unparker {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+
+        /// Block until the token is set, then consume it. Returns
+        /// immediately (consuming the token) if it is already set.
+        pub fn park(&self) {
+            let mut token = self.inner.token.lock().unwrap();
+            while !*token {
+                token = self.inner.cv.wait(token).unwrap();
+            }
+            *token = false;
+        }
+    }
+
+    impl Unparker {
+        /// Set the token, waking the parked thread (if any). Idempotent.
+        pub fn unpark(&self) {
+            let mut token = self.inner.token.lock().unwrap();
+            *token = true;
+            drop(token);
+            self.inner.cv.notify_one();
+        }
     }
 }
 
@@ -51,5 +118,21 @@ mod tests {
         let mut got: Vec<u32> = rx.into_iter().collect();
         got.sort_unstable();
         assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn parker_token_set_before_park_is_not_lost() {
+        let p = super::sync::Parker::new();
+        p.unparker().unpark();
+        p.park(); // returns immediately: the token was pending
+    }
+
+    #[test]
+    fn parker_wakes_across_threads() {
+        let p = super::sync::Parker::new();
+        let u = p.unparker();
+        let h = std::thread::spawn(move || u.unpark());
+        p.park();
+        h.join().unwrap();
     }
 }
