@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use sscc_bench::{drive, rings};
-use sscc_metrics::{build_sim, AlgoKind, Boot, PolicyKind};
+use sscc_metrics::{build_sim, AlgoKind, Boot, EngineConfig, ModeRegistry, PolicyKind};
 use std::sync::Arc;
 
 fn engine_steps(c: &mut Criterion) {
@@ -41,7 +41,10 @@ fn engine_scaling(c: &mut Criterion) {
     g.sample_size(10);
     for (name, h) in rings(&[24, 96, 384]) {
         for algo in [AlgoKind::Cc1, AlgoKind::Cc2, AlgoKind::Cc3] {
-            for (mode, full_scan) in [("incremental", false), ("full-scan", true)] {
+            for (mode, cfg) in [
+                ("incremental", EngineConfig::default()),
+                ("full-scan", EngineConfig::full_scan()),
+            ] {
                 g.bench_function(format!("{}/{name}/{mode}", algo.label()), |b| {
                     b.iter_batched(
                         || {
@@ -52,7 +55,7 @@ fn engine_scaling(c: &mut Criterion) {
                                 PolicyKind::Eager { max_disc: 1 },
                                 Boot::Clean,
                             );
-                            sim.set_full_scan(full_scan);
+                            sim.configure(&cfg).unwrap();
                             sim
                         },
                         |mut sim| drive(&mut sim, 200),
@@ -74,14 +77,10 @@ fn engine_parallel(c: &mut Criterion) {
     g.sample_size(10);
     for (name, h) in rings(&[384, 1536, 6144]) {
         for algo in [AlgoKind::Cc1, AlgoKind::Cc2, AlgoKind::Cc3] {
-            type Configure = fn(&mut sscc_metrics::AnySim);
-            let configs: [(&str, Configure); 4] = [
-                ("pr1-incremental", |s| s.set_pr1_baseline()),
-                ("par1", |_| {}),
-                ("par2", |s| s.set_threads(2)),
-                ("par4", |s| s.set_threads(4)),
-            ];
-            for (mode, configure) in configs {
+            // Configurations come from the shared registry — this bench
+            // sweeps the sequential-vs-pooled drain subset of it.
+            for mode in ["incremental", "par1", "par2", "par4"] {
+                let cfg = ModeRegistry::get(mode).expect("registry mode").config;
                 g.bench_function(format!("{}/{name}/{mode}", algo.label()), |b| {
                     b.iter_batched(
                         || {
@@ -92,7 +91,7 @@ fn engine_parallel(c: &mut Criterion) {
                                 PolicyKind::Eager { max_disc: 1 },
                                 Boot::Clean,
                             );
-                            configure(&mut sim);
+                            sim.configure(&cfg).unwrap();
                             // Reach steady state before timing.
                             drive(&mut sim, 100);
                             sim

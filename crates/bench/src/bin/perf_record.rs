@@ -3,12 +3,18 @@
 //! gates CI against throughput regressions.
 //!
 //! ```sh
-//! # Full trajectory recording (rings n=384/1536/6144, all engine modes):
+//! # Full trajectory recording (rings n=384/1536/6144, every registry mode):
 //! cargo run -p sscc-bench --release --bin perf_record            # BENCH_4.json
 //! cargo run -p sscc-bench --release --bin perf_record -- out.json
 //!
-//! # CI smoke recording (small rings, reduced budgets, same record shape):
-//! cargo run -p sscc-bench --release --bin perf_record -- --quick bench_ci.json
+//! # What can be recorded (the ModeRegistry, with descriptions):
+//! cargo run -p sscc-bench --release --bin perf_record -- --list-modes
+//!
+//! # Subsets, without editing code (CI smoke + local profiling):
+//! cargo run -p sscc-bench --release --bin perf_record -- \
+//!     --quick --modes @baseline bench_ci.json
+//! cargo run -p sscc-bench --release --bin perf_record -- \
+//!     --modes par1,poolcommit profile.json
 //!
 //! # Regression gate: exit 1 if any (algo, topology, mode, threads) pair in
 //! # FRESH regressed more than THRESHOLD (default 0.20) below BASELINE:
@@ -16,27 +22,15 @@
 //!     --compare BENCH_4.json bench_ci.json --threshold 0.20
 //! ```
 //!
-//! Engine modes recorded:
-//! * `full_scan`    — the legacy `O(n)` per-step engine;
-//! * `incremental`  — the **PR-1 sequential incremental engine** (per-guard
-//!   reference evaluator, full policy ticks): the trajectory baseline;
-//! * `par1`         — sequential drain (fused evaluators + delta-aware
-//!   policies);
-//! * `par2`/`par4`  — the sharded parallel drain at 2/4 worker threads
-//!   (since PR 4 on the **persistent worker pool** — same labels, so the
-//!   regression gate tracks the pool against the old scoped spawns);
-//! * `inplace`      — monomorphic guard evaluation plus the zero-clone
-//!   in-place commit strategy (sequential drain);
-//! * `daemon`       — PR 4's daemon-side stack on the sequential engine:
-//!   in-place commit + trusted daemon (no per-step selection validation) +
-//!   incremental daemon view (delta-fed `WeaklyFair`, no enabled rescans);
-//! * `pool`         — the `daemon` stack plus the pooled 2-thread drain;
-//! * `poolcommit`   — `pool` plus the parallel commit (execute phase
-//!   sharded across the pool for large selections).
+//! The engine modes are **not** defined here: they are the
+//! [`ModeRegistry`] — the single source of truth this binary, the
+//! differential lockstep suite and the examples all derive from. `--modes`
+//! takes registry names (comma-separated), `@baseline` (the modes of the
+//! committed BENCH baseline — what CI's quick gate records), or `@all`.
 
 use sscc_bench::bench_json;
 use sscc_hypergraph::generators;
-use sscc_metrics::{build_sim, AlgoKind, AnySim, Boot, PolicyKind};
+use sscc_metrics::{build_sim, AlgoKind, Boot, Mode, ModeRegistry, PolicyKind};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -57,46 +51,13 @@ impl Record {
     }
 }
 
-/// Pre-run engine configuration hook.
-type Configure = fn(&mut AnySim);
-
-/// `(mode label, worker threads, configure)` for every engine mode.
-fn modes() -> Vec<(&'static str, usize, Configure)> {
-    vec![
-        ("full_scan", 1, |s: &mut AnySim| s.set_full_scan(true)),
-        ("incremental", 1, |s: &mut AnySim| s.set_pr1_baseline()),
-        ("par1", 1, |_s: &mut AnySim| {}),
-        ("par2", 2, |s: &mut AnySim| s.set_threads(2)),
-        ("par4", 4, |s: &mut AnySim| s.set_threads(4)),
-        ("inplace", 1, |s: &mut AnySim| s.set_in_place_commit(true)),
-        ("daemon", 1, |s: &mut AnySim| {
-            s.set_in_place_commit(true);
-            s.set_trusted_daemon(true);
-            s.set_incremental_daemon(true);
-        }),
-        ("pool", 2, |s: &mut AnySim| {
-            s.set_threads(2);
-            s.set_in_place_commit(true);
-            s.set_trusted_daemon(true);
-            s.set_incremental_daemon(true);
-        }),
-        ("poolcommit", 2, |s: &mut AnySim| {
-            s.set_threads(2);
-            s.set_parallel_commit(true);
-            s.set_in_place_commit(true);
-            s.set_trusted_daemon(true);
-            s.set_incremental_daemon(true);
-        }),
-    ]
-}
-
 /// Time `budget` steps of a fresh sim after `warmup` untimed steps (the
 /// transient from the clean boot is not steady state), repeating `reps`
 /// times and keeping the best wall-clock run.
 fn measure(
     algo: AlgoKind,
     h: &Arc<sscc_hypergraph::Hypergraph>,
-    configure: Configure,
+    mode: &Mode,
     warmup: u64,
     budget: u64,
     reps: usize,
@@ -111,7 +72,8 @@ fn measure(
             PolicyKind::Eager { max_disc: 1 },
             Boot::Clean,
         );
-        configure(&mut sim);
+        sim.configure(&mode.config)
+            .unwrap_or_else(|e| panic!("registry mode {} must validate: {e}", mode.name));
         for _ in 0..warmup {
             if !sim.step() {
                 break;
@@ -138,7 +100,7 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn record(out_path: &str, quick: bool) {
+fn record(out_path: &str, quick: bool, modes: &[&'static Mode]) {
     // (ring size, timed budget): bigger rings get smaller budgets so the
     // full sweep stays a few minutes. The quick sweep's ring384 cell uses
     // the *same* warmup/budget protocol as the committed baseline, so the
@@ -155,19 +117,20 @@ fn record(out_path: &str, quick: bool) {
     for &(k, budget) in sweep {
         let h = Arc::new(generators::ring(k, 2));
         for algo in [AlgoKind::Cc1, AlgoKind::Cc2, AlgoKind::Cc3] {
-            for (mode, threads, configure) in modes() {
-                let (steps, secs) = measure(algo, &h, configure, warmup, budget, reps);
+            for mode in modes {
+                let threads = mode.config.threads();
+                let (steps, secs) = measure(algo, &h, mode, warmup, budget, reps);
                 eprintln!(
-                    "{:>4} ring{k}x2 {:>12} x{threads}: {:>12.0} steps/s",
+                    "{:>4} ring{k}x2 {:>14} x{threads}: {:>12.0} steps/s",
                     algo.label(),
-                    mode,
+                    mode.name,
                     steps as f64 / secs
                 );
                 records.push(Record {
                     algo: algo.label(),
                     topology: format!("ring{k}x2"),
                     n: h.n(),
-                    mode,
+                    mode: mode.name,
                     threads,
                     steps,
                     secs,
@@ -204,6 +167,8 @@ fn record(out_path: &str, quick: bool) {
     }
     // Speedup summary per (algo, topology): the headline numbers are the
     // new engine (parX) against the PR-1 sequential incremental baseline.
+    // Emitted only when the sweep recorded every referenced mode (a
+    // `--modes` subset may not have).
     out.push_str("  ],\n  \"speedups\": [\n");
     let mut lines = Vec::new();
     for &(k, _) in sweep {
@@ -214,10 +179,24 @@ fn record(out_path: &str, quick: bool) {
                     .iter()
                     .find(|r| r.algo == algo && r.topology == topo && r.mode == mode)
                     .map(Record::steps_per_sec)
-                    .unwrap_or(f64::NAN)
             };
-            let pr1 = find("incremental");
-            let inplace = find("inplace");
+            let (Some(full), Some(pr1), Some(par1), Some(par2), Some(par4)) = (
+                find("full_scan"),
+                find("incremental"),
+                find("par1"),
+                find("par2"),
+                find("par4"),
+            ) else {
+                continue;
+            };
+            let (Some(inplace), Some(daemon), Some(pool), Some(poolcommit)) = (
+                find("inplace"),
+                find("daemon"),
+                find("pool"),
+                find("poolcommit"),
+            ) else {
+                continue;
+            };
             lines.push(format!(
                 "    {{\"algo\": \"{algo}\", \"topology\": \"{topo}\", \
                  \"incremental_over_full_scan\": {:.2}, \
@@ -227,18 +206,22 @@ fn record(out_path: &str, quick: bool) {
                  \"daemon_over_inplace\": {:.2}, \
                  \"pool_over_inplace\": {:.2}, \
                  \"poolcommit_over_inplace\": {:.2}}}",
-                pr1 / find("full_scan"),
-                find("par1") / pr1,
-                find("par2") / pr1,
-                find("par4") / pr1,
-                find("daemon") / inplace,
-                find("pool") / inplace,
-                find("poolcommit") / inplace,
+                pr1 / full,
+                par1 / pr1,
+                par2 / pr1,
+                par4 / pr1,
+                daemon / inplace,
+                pool / inplace,
+                poolcommit / inplace,
             ));
         }
     }
     out.push_str(&lines.join(",\n"));
-    out.push_str("\n  ]\n}\n");
+    out.push_str(if lines.is_empty() {
+        "  ]\n}\n"
+    } else {
+        "\n  ]\n}\n"
+    });
 
     std::fs::write(out_path, out).expect("write bench record");
     eprintln!("wrote {out_path}");
@@ -281,6 +264,41 @@ fn compare(baseline_path: &str, fresh_path: &str, threshold: f64) -> i32 {
     }
 }
 
+fn list_modes() {
+    eprintln!("registered engine modes (the ModeRegistry; * = BENCH baseline sweep):");
+    for m in ModeRegistry::all() {
+        eprintln!(
+            "  {}{:<15} x{}  {}",
+            if m.baseline { "*" } else { " " },
+            m.name,
+            m.config.threads(),
+            m.summary
+        );
+    }
+    eprintln!("select with --modes a,b,c | --modes @baseline | --modes @all");
+}
+
+/// Resolve a `--modes` argument against the registry. Unknown names are
+/// fatal: a typo'd mode silently skipped would un-gate a whole engine path.
+fn resolve_modes(spec: &str) -> Vec<&'static Mode> {
+    match spec {
+        "@all" => ModeRegistry::all().iter().collect(),
+        "@baseline" => ModeRegistry::baseline().collect(),
+        list => list
+            .split(',')
+            .map(|name| {
+                ModeRegistry::get(name.trim()).unwrap_or_else(|| {
+                    let known: Vec<&str> = ModeRegistry::all().iter().map(|m| m.name).collect();
+                    panic!(
+                        "unknown engine mode '{name}' (registry: {}, plus @baseline/@all)",
+                        known.join(", ")
+                    )
+                })
+            })
+            .collect(),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "--compare") {
@@ -296,13 +314,30 @@ fn main() {
         };
         std::process::exit(compare(baseline, fresh, threshold));
     }
-    let quick = args.first().is_some_and(|a| a == "--quick");
-    let rest = if quick { &args[1..] } else { &args[..] };
+    let mut quick = false;
+    let mut modes: Vec<&'static Mode> = ModeRegistry::all().iter().collect();
+    let mut out_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list-modes" => {
+                list_modes();
+                return;
+            }
+            "--quick" => quick = true,
+            "--modes" => {
+                let spec = it.next().expect("--modes takes a,b,c | @baseline | @all");
+                modes = resolve_modes(&spec);
+            }
+            flag if flag.starts_with("--") => panic!("unknown argument {flag}"),
+            path => out_path = Some(path.to_string()),
+        }
+    }
     let default = if quick {
         "bench_ci.json"
     } else {
         "BENCH_4.json"
     };
-    let out_path = rest.first().cloned().unwrap_or_else(|| default.to_string());
-    record(&out_path, quick);
+    let out_path = out_path.unwrap_or_else(|| default.to_string());
+    record(&out_path, quick, &modes);
 }

@@ -30,6 +30,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(deprecated)]
 
 pub mod algo;
 pub mod cc1;
@@ -54,6 +55,11 @@ pub use oracle::{
     EagerPolicy, InfiniteMeetingPolicy, OraclePolicy, PolicyView, RequestEnv, RequestFlags,
     ScriptedPolicy, StochasticPolicy,
 };
-pub use sim::{default_daemon, Cc1Sim, Cc2Sim, Cc3Sim, Sim, StopReason};
+pub use sim::{default_daemon, Cc1Sim, Cc2Sim, Cc3Sim, Sim, SimBuilder, StopReason};
 pub use spec::{SpecMonitor, Violation};
 pub use status::{ActionClass, CommitteeView, Status};
+// The configuration layer (one source of truth for engine variants) lives
+// in the runtime crate; re-exported here so facade users need one import.
+pub use sscc_runtime::prelude::{
+    CommitStrategy, ConfigError, Drain, EngineConfig, EvalPath, Mode, ModeRegistry,
+};

@@ -34,16 +34,25 @@ pub enum StopReason {
 /// feeds the ledger/monitor only the affected edges — `O(affected)` per
 /// step, against the engine's incremental guard scheduler. The legacy
 /// full-scan path (whole-configuration clones and `O(n + |E|)` observers)
-/// is kept behind [`Sim::set_full_scan`] for differential testing.
+/// is kept behind [`EvalPath::FullScan`] for differential testing.
+///
+/// Engine variants are configured declaratively: build with
+/// [`Sim::builder`] (or apply an [`EngineConfig`] / registry mode through
+/// [`Sim::configure`] before the first step).
 ///
 /// ```
-/// use sscc_core::sim::Cc1Sim;
+/// use sscc_core::{sim::Sim, Cc1};
 /// use sscc_hypergraph::generators;
+/// use sscc_token::WaveToken;
 /// use std::sync::Arc;
 ///
 /// let h = Arc::new(generators::fig2());
-/// let mut sim = Cc1Sim::standard(Arc::clone(&h), /* seed */ 42, /* maxDisc */ 1);
-/// sim.set_in_place_commit(true); // zero-clone commits (optional)
+/// let mut sim = Sim::builder(Arc::clone(&h), Cc1::new(), WaveToken::new(&h))
+///     .seed(42)
+///     .max_disc(1)
+///     .mode("inplace") // any `ModeRegistry` name or `EngineConfig`
+///     .build()
+///     .unwrap();
 /// sim.run(2000);
 /// assert!(sim.monitor().clean());             // spec held from step 0
 /// assert!(sim.ledger().convened_count() > 0); // and meetings happened
@@ -120,6 +129,42 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         Self::wrap(world, daemon, policy)
     }
 
+    /// Fluent construction: topology + layers now, daemon / policy / boot /
+    /// engine mode declaratively, one validation point at
+    /// [`SimBuilder::build`].
+    ///
+    /// ```
+    /// use sscc_core::sim::Sim;
+    /// use sscc_core::Cc2;
+    /// use sscc_hypergraph::generators;
+    /// use sscc_token::WaveToken;
+    /// use std::sync::Arc;
+    ///
+    /// let h = Arc::new(generators::fig2());
+    /// let mut sim = Sim::builder(Arc::clone(&h), Cc2::new(), WaveToken::new(&h))
+    ///     .seed(7)
+    ///     .mode("daemon") // any ModeRegistry name
+    ///     .build()
+    ///     .unwrap();
+    /// sim.run(500);
+    /// assert!(sim.monitor().clean());
+    /// ```
+    pub fn builder(h: Arc<Hypergraph>, cc: C, tl: TL) -> SimBuilder<C, TL> {
+        SimBuilder {
+            h,
+            cc,
+            tl,
+            daemon: None,
+            policy: None,
+            seed: 0,
+            max_disc: 1,
+            fault_seed: None,
+            config: EngineConfig::default(),
+            mode: None,
+            trace: false,
+        }
+    }
+
     fn wrap(
         world: World<Composed<C, TL>>,
         daemon: Box<dyn Daemon>,
@@ -167,11 +212,76 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         }
     }
 
+    /// Apply a complete engine configuration in one validated shot — the
+    /// declarative replacement for the accreted `set_*` surface, covering
+    /// every layer the facade owns: the engine ([`World::configure`]), the
+    /// algorithm's evaluator ([`EvalPath::Reference`] swaps in the
+    /// per-guard reference path and full policy ticks), the observers
+    /// ([`EvalPath::FullScan`] selects the legacy whole-view step) and the
+    /// daemon (`incremental_daemon` feeds it enabled-set deltas).
+    ///
+    /// Call **before the first step**. Reconfiguring is a full reset:
+    /// knobs absent from `cfg` return to their defaults. Restricted to
+    /// `Copy` states so [`CommitStrategy::InPlace`] stays compile-time
+    /// gated (every shipped committee/token state is `Copy`).
+    ///
+    /// # Errors
+    /// Anything [`EngineConfig::validate`] rejects — every combination
+    /// that silently no-op'ed under the old setters fails closed here.
+    pub fn configure(&mut self, cfg: &EngineConfig) -> Result<(), ConfigError>
+    where
+        C::State: Copy,
+        TL::State: Copy,
+    {
+        cfg.validate()?;
+        let mut wcfg = *cfg;
+        match cfg.eval {
+            EvalPath::FullScan => {
+                self.naive = true;
+                self.delta_policies = true;
+                self.world.algo_mut().cc.set_reference_eval(false);
+            }
+            EvalPath::Reference => {
+                self.naive = false;
+                self.delta_policies = false;
+                self.world.algo_mut().cc.set_reference_eval(true);
+                // The engine side of the PR-1 baseline is the plain
+                // sequential incremental drain.
+                wcfg.eval = EvalPath::Incremental;
+            }
+            EvalPath::Incremental => {
+                self.naive = false;
+                self.delta_policies = true;
+                self.world.algo_mut().cc.set_reference_eval(false);
+            }
+        }
+        // The daemon is ours, not the World's.
+        wcfg.incremental_daemon = false;
+        self.world.configure(&wcfg)?;
+        self.daemon.set_incremental_view(cfg.incremental_daemon);
+        Ok(())
+    }
+
+    /// [`Sim::configure`] with a mode label — any [`ModeRegistry`] name or
+    /// compositional config string (`"poolcommit"`, `"par2+trusted"`, …).
+    pub fn configure_mode(&mut self, mode: &str) -> Result<(), ConfigError>
+    where
+        C::State: Copy,
+        TL::State: Copy,
+    {
+        self.configure(&mode.parse()?)
+    }
+
     /// Switch to the legacy full-scan step path: the engine re-evaluates
     /// every guard each step and the observers re-derive their views from
     /// whole-configuration clones. Produces bit-identical executions to the
     /// default incremental path — kept as the differential-testing
     /// reference. Choose a mode before the first step.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure declaratively: `Sim::configure(&EngineConfig::full_scan())`"
+    )]
+    #[allow(deprecated)]
     pub fn set_full_scan(&mut self, on: bool) {
         self.naive = on;
         self.world.set_full_scan(on);
@@ -180,19 +290,35 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     /// Toggle delta-aware policy ticks (on by default): when off, every
     /// tick re-derives all `n` processes' request flags like PR 1 did.
     /// Identical flag trajectories either way.
+    #[deprecated(
+        since = "0.1.0",
+        note = "full policy ticks are part of the PR-1 baseline: \
+                `Sim::configure(&EngineConfig::reference())`"
+    )]
     pub fn set_delta_policies(&mut self, on: bool) {
         self.delta_policies = on;
     }
 
-    /// Fan the engine's dirty-set drain out to `threads` workers (see
-    /// [`World::set_threads`]; `<= 1` restores the sequential drain).
+    /// Fan the engine's dirty-set drain out to `threads` workers (`<= 1`
+    /// restores the sequential drain).
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure declaratively: `Sim::configure(&EngineConfig::parallel(n))`"
+    )]
+    #[allow(deprecated)]
     pub fn set_threads(&mut self, threads: usize) {
         self.world.set_threads(threads);
     }
 
-    /// Like [`Sim::set_threads`] with an explicit per-thread fan-out
+    /// Like `Sim::set_threads` with an explicit per-thread fan-out
     /// threshold (`0` forces the parallel path — used by the differential
     /// suite to exercise it on tiny topologies).
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure declaratively: `Sim::configure` with \
+                `Drain::Parallel { threads, min_batch }`"
+    )]
+    #[allow(deprecated)]
     pub fn set_parallel(&mut self, threads: usize, min_batch_per_thread: usize) {
         self.world.set_parallel(threads, min_batch_per_thread);
     }
@@ -203,6 +329,11 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     /// shipped committee algorithm over the wave-token substrate).
     /// Bit-identical executions either way; the differential suite
     /// locksteps this path against the buffered reference.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure declaratively: `EngineConfig::with_commit(CommitStrategy::InPlace)`"
+    )]
+    #[allow(deprecated)]
     pub fn set_in_place_commit(&mut self, on: bool)
     where
         C::State: Copy,
@@ -216,10 +347,15 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     }
 
     /// Shard the commit's execute phase across the engine's worker pool
-    /// when the daemon's selection is large enough (see
-    /// [`World::set_parallel_commit`]); requires a parallel drain
-    /// ([`Sim::set_parallel`]) to have a pool to run on. Bit-identical to
-    /// the sequential commit strategies.
+    /// when the daemon's selection is large enough; requires a parallel
+    /// drain to have a pool to run on. Bit-identical to the sequential
+    /// commit strategies.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure declaratively: `EngineConfig::with_parallel_commit(true)` \
+                (which also validates that a parallel drain exists)"
+    )]
+    #[allow(deprecated)]
     pub fn set_parallel_commit(&mut self, on: bool)
     where
         C::State: Copy,
@@ -228,10 +364,15 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         self.world.set_parallel_commit(on);
     }
 
-    /// Skip the engine's release-mode validation of daemon selections —
-    /// see [`World::set_trusted_daemon`]. For the dense CC1 enabled set
-    /// the per-step membership check is a measurable tax; the daemons
-    /// shipped in this workspace all honor their `Selection` promises.
+    /// Skip the engine's release-mode validation of daemon selections.
+    /// For the dense CC1 enabled set the per-step membership check is a
+    /// measurable tax; the daemons shipped in this workspace all honor
+    /// their `Selection` promises.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure declaratively: `EngineConfig::with_trusted_daemon(true)`"
+    )]
+    #[allow(deprecated)]
     pub fn set_trusted_daemon(&mut self, on: bool) {
         self.world.set_trusted_daemon(on);
     }
@@ -242,6 +383,10 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     /// [`sscc_runtime::prelude::Daemon::set_incremental_view`] — a no-op
     /// for stateless daemons). Call before the first step; selections are
     /// identical either way (property-pinned for [`WeaklyFair`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure declaratively: `EngineConfig::with_incremental_daemon(true)`"
+    )]
     pub fn set_incremental_daemon(&mut self, on: bool) {
         self.daemon.set_incremental_view(on);
     }
@@ -250,6 +395,11 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     /// drain, per-guard reference evaluator, full `O(n)` policy ticks.
     /// This is the trajectory baseline BENCH_2.json's "incremental" mode
     /// measures and the differential suite pins the new engine against.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure declaratively: `Sim::configure(&EngineConfig::reference())`"
+    )]
+    #[allow(deprecated)]
     pub fn set_pr1_baseline(&mut self) {
         self.world.set_threads(1);
         self.world.algo_mut().cc.set_reference_eval(true);
@@ -616,6 +766,118 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     /// Committees currently meeting.
     pub fn live_meetings(&self) -> Vec<sscc_hypergraph::EdgeId> {
         self.ledger.live_edges()
+    }
+}
+
+/// Declarative [`Sim`] construction — see [`Sim::builder`].
+///
+/// Defaults: the paper's distributed weakly fair daemon
+/// ([`default_daemon`]) with seed `0`, an eager environment
+/// ([`crate::oracle::EagerPolicy`] with `max_disc = 1`), a clean boot, and
+/// the default
+/// engine ([`EngineConfig::default`], the `"par1"` registry mode). The
+/// engine configuration is validated once, at [`SimBuilder::build`].
+pub struct SimBuilder<C: CommitteeAlgorithm, TL: TokenLayer> {
+    h: Arc<Hypergraph>,
+    cc: C,
+    tl: TL,
+    daemon: Option<Box<dyn Daemon>>,
+    policy: Option<Box<dyn OraclePolicy>>,
+    seed: u64,
+    max_disc: u64,
+    fault_seed: Option<u64>,
+    config: EngineConfig,
+    mode: Option<String>,
+    trace: bool,
+}
+
+impl<C: CommitteeAlgorithm, TL: TokenLayer> SimBuilder<C, TL> {
+    /// Seed for the default daemon (ignored when [`SimBuilder::daemon`]
+    /// supplies one).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Voluntary-discussion length of the default eager policy (the
+    /// paper's `maxDisc`; ignored when [`SimBuilder::policy`] supplies a
+    /// policy).
+    pub fn max_disc(mut self, max_disc: u64) -> Self {
+        self.max_disc = max_disc;
+        self
+    }
+
+    /// Use this daemon instead of [`default_daemon`].
+    pub fn daemon(mut self, daemon: Box<dyn Daemon>) -> Self {
+        self.daemon = Some(daemon);
+        self
+    }
+
+    /// Use this environment policy instead of the default eager one.
+    pub fn policy(mut self, policy: Box<dyn OraclePolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Boot from an arbitrary configuration sampled with this fault seed
+    /// (the paper's transient-fault model, §2.5) instead of the clean one.
+    pub fn arbitrary(mut self, fault_seed: u64) -> Self {
+        self.fault_seed = Some(fault_seed);
+        self
+    }
+
+    /// The engine configuration to apply (validated at build).
+    pub fn engine(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self.mode = None;
+        self
+    }
+
+    /// The engine configuration by mode label — any
+    /// [`ModeRegistry`] name or compositional config string; parsed and
+    /// validated at build.
+    pub fn mode(mut self, mode: &str) -> Self {
+        self.mode = Some(mode.to_string());
+        self
+    }
+
+    /// Record a full action trace from step 0.
+    pub fn trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Build the simulation: boot, apply and validate the engine
+    /// configuration, optionally enable tracing.
+    ///
+    /// # Errors
+    /// An unparsable [`SimBuilder::mode`] label, or any configuration
+    /// [`EngineConfig::validate`] rejects — the combinations that silently
+    /// no-op'ed under the legacy setter surface fail closed here.
+    pub fn build(self) -> Result<Sim<C, TL>, ConfigError>
+    where
+        C::State: Copy,
+        TL::State: Copy,
+    {
+        let cfg = match &self.mode {
+            Some(label) => label.parse()?,
+            None => self.config,
+        };
+        cfg.validate()?;
+        let n = self.h.n();
+        let daemon = self.daemon.unwrap_or_else(|| default_daemon(self.seed, n));
+        let policy = self
+            .policy
+            .unwrap_or_else(|| Box::new(crate::oracle::EagerPolicy::new(n, self.max_disc)));
+        let mut sim = match self.fault_seed {
+            Some(fs) => Sim::arbitrary(self.h, self.cc, self.tl, daemon, policy, fs),
+            None => Sim::new(self.h, self.cc, self.tl, daemon, policy),
+        };
+        sim.configure(&cfg)?;
+        if self.trace {
+            sim.enable_trace();
+        }
+        Ok(sim)
     }
 }
 

@@ -9,20 +9,22 @@
 //!
 //! Every test here is named `differential_*` — CI's build-test job skips
 //! them by that prefix (`cargo test -- --skip differential_`) because the
-//! differential job runs this suite on its own, in release mode.
+//! differential job runs this suite on its own, in release mode. (The
+//! cheap registry-count smoke test below is the one exception: it runs
+//! everywhere.)
 //!
-//! Engines in lockstep: incremental (reference driver), full-scan, PR-1
-//! baseline, the pool-backed parallel drain (par2/par4, fan-out forced —
-//! since PR 4 these run on the persistent worker pool), the in-place
-//! commit path — alone and composed with the parallel drain
-//! (inplace/inplace_par2/inplace_par4) — plus the PR-4 rows: trusted
-//! daemon (validation skipped), incremental daemon view (delta-fed
-//! `WeaklyFair`), the parallel commit (pool-sharded execute phase, forced
-//! with zero thresholds), and the kitchen sink composing all of them.
-//! Every row must be bit-identical to the reference driver.
+//! The lockstep engine list is **derived from the [`ModeRegistry`]** — the
+//! same single source of truth the bench sweep records. The `par1` mode
+//! (the default engine) drives; *every other registered mode* is a twin,
+//! with fan-out thresholds forced to zero so the pooled paths actually
+//! exercise on these tiny topologies. A mode added to the registry is
+//! automatically lockstep-verified here; there is no second list to keep
+//! in sync. Every row must be bit-identical to the reference driver.
+
+#![deny(deprecated)]
 
 use sscc_core::sim::{default_daemon, Sim};
-use sscc_core::{Cc1, Cc2, Cc3, CommitteeAlgorithm, EagerPolicy};
+use sscc_core::{Cc1, Cc2, Cc3, CommitteeAlgorithm, EagerPolicy, EngineConfig, ModeRegistry};
 use sscc_hypergraph::{generators, Hypergraph};
 use sscc_token::{TokenLayer, WaveToken};
 use std::sync::Arc;
@@ -36,11 +38,32 @@ fn topologies() -> Vec<(&'static str, Arc<Hypergraph>)> {
     ]
 }
 
-/// Drive the default incremental engine in lockstep against every other
-/// engine configuration — the legacy full-scan path, the PR-1 baseline
-/// (sequential drain, per-guard evaluator, full policy ticks) and the
-/// parallel sharded drain at 2 and 4 worker threads (forced through the
-/// parallel path with a zero fan-out threshold) — and assert every
+/// The registry mode the reference driver runs: the default engine.
+const REFERENCE_MODE: &str = "par1";
+
+/// One twin per non-reference registry mode, fan-out forced, traced.
+fn registry_twins<C, TL>(mk: &impl Fn() -> Sim<C, TL>) -> Vec<(&'static str, Sim<C, TL>)>
+where
+    C: CommitteeAlgorithm,
+    C::State: Copy,
+    TL: TokenLayer,
+    TL::State: Copy,
+{
+    ModeRegistry::all()
+        .iter()
+        .filter(|m| m.name != REFERENCE_MODE)
+        .map(|m| {
+            let mut s = mk();
+            s.configure(&m.config.forced_fanout())
+                .unwrap_or_else(|e| panic!("registry mode {} must configure: {e}", m.name));
+            s.enable_trace();
+            (m.name, s)
+        })
+        .collect()
+}
+
+/// Drive the default engine (the registry's `par1` mode) in lockstep
+/// against every other registered engine configuration and assert every
 /// observable agrees, stepwise and at the end.
 fn assert_equivalent<C, TL>(mk: impl Fn() -> Sim<C, TL>, budget: u64, label: &str)
 where
@@ -51,75 +74,7 @@ where
 {
     let mut inc = mk();
     inc.enable_trace();
-    let mut twins: Vec<(&'static str, Sim<C, TL>)> = vec![
-        ("full_scan", {
-            let mut s = mk();
-            s.set_full_scan(true);
-            s
-        }),
-        ("pr1", {
-            let mut s = mk();
-            s.set_pr1_baseline();
-            s
-        }),
-        ("par2", {
-            let mut s = mk();
-            s.set_parallel(2, 0);
-            s
-        }),
-        ("par4", {
-            let mut s = mk();
-            s.set_parallel(4, 0);
-            s
-        }),
-        ("inplace", {
-            let mut s = mk();
-            s.set_in_place_commit(true);
-            s
-        }),
-        ("inplace_par2", {
-            let mut s = mk();
-            s.set_in_place_commit(true);
-            s.set_parallel(2, 0);
-            s
-        }),
-        ("inplace_par4", {
-            let mut s = mk();
-            s.set_in_place_commit(true);
-            s.set_parallel(4, 0);
-            s
-        }),
-        ("trusted", {
-            let mut s = mk();
-            s.set_trusted_daemon(true);
-            s
-        }),
-        ("daemon_inc", {
-            let mut s = mk();
-            s.set_incremental_daemon(true);
-            s
-        }),
-        ("parcommit_par2", {
-            let mut s = mk();
-            s.set_parallel(2, 0);
-            s.set_parallel_commit(true);
-            s
-        }),
-        ("pool_all", {
-            // Everything at once: pooled drain, pooled commit, in-place
-            // fallback, trusted daemon, incremental daemon view.
-            let mut s = mk();
-            s.set_parallel(4, 0);
-            s.set_parallel_commit(true);
-            s.set_in_place_commit(true);
-            s.set_trusted_daemon(true);
-            s.set_incremental_daemon(true);
-            s
-        }),
-    ];
-    for (_, s) in &mut twins {
-        s.enable_trace();
-    }
+    let mut twins = registry_twins(&mk);
     for step in 0..budget {
         let a = inc.step();
         for (tag, s) in &mut twins {
@@ -279,56 +234,7 @@ fn differential_scripted_flag_flips_agree() {
         };
         let mut inc = mk();
         inc.enable_trace();
-        let mut twins = vec![
-            ("full_scan", {
-                let mut s = mk();
-                s.set_full_scan(true);
-                s
-            }),
-            ("pr1", {
-                let mut s = mk();
-                s.set_pr1_baseline();
-                s
-            }),
-            ("par2", {
-                let mut s = mk();
-                s.set_parallel(2, 0);
-                s
-            }),
-            ("par4", {
-                let mut s = mk();
-                s.set_parallel(4, 0);
-                s
-            }),
-            ("inplace", {
-                let mut s = mk();
-                s.set_in_place_commit(true);
-                s
-            }),
-            ("inplace_par4", {
-                let mut s = mk();
-                s.set_in_place_commit(true);
-                s.set_parallel(4, 0);
-                s
-            }),
-            ("daemon_inc", {
-                let mut s = mk();
-                s.set_incremental_daemon(true);
-                s
-            }),
-            ("pool_all", {
-                let mut s = mk();
-                s.set_parallel(4, 0);
-                s.set_parallel_commit(true);
-                s.set_in_place_commit(true);
-                s.set_trusted_daemon(true);
-                s.set_incremental_daemon(true);
-                s
-            }),
-        ];
-        for (_, s) in &mut twins {
-            s.enable_trace();
-        }
+        let mut twins = registry_twins(&mk);
         for step in 0..300u64 {
             // Script: wake professor (step % n) up for 3 steps, then drop
             // the request again — and periodically force its out-flag both
@@ -372,6 +278,42 @@ fn differential_scripted_flag_flips_agree() {
             assert_eq!(inc.flags(), s.flags(), "seed {seed}/{tag}: flags");
         }
     }
+}
+
+/// The lockstep bar tracks the registry: the suite drives exactly one
+/// engine per registered mode (reference driver + one twin per other
+/// mode), the driver really is the registry's default config, and the bar
+/// never shrinks below the 12 engines PR 4 established. Cheap — this is
+/// the one test here that runs in the build-test job too (no
+/// `differential_` prefix).
+#[test]
+fn lockstep_engine_count_matches_registry() {
+    let h = Arc::new(generators::fig1());
+    let n = h.n();
+    let mk = || {
+        Sim::new(
+            Arc::clone(&h),
+            Cc1::new(),
+            WaveToken::new(&h),
+            default_daemon(1, n),
+            Box::new(EagerPolicy::new(n, 1)),
+        )
+    };
+    assert_eq!(
+        ModeRegistry::get(REFERENCE_MODE).unwrap().config,
+        EngineConfig::default(),
+        "the reference driver must run the registry's default mode"
+    );
+    let twins = registry_twins(&mk);
+    assert_eq!(
+        twins.len() + 1,
+        ModeRegistry::all().len(),
+        "one lockstep engine per registered mode, no more, no fewer"
+    );
+    assert!(
+        ModeRegistry::all().len() >= 12,
+        "the differential bar never shrinks below PR 4's 12 engines"
+    );
 }
 
 /// The terminal/quiescence-horizon path must agree too: a scripted

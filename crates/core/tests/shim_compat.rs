@@ -1,0 +1,153 @@
+//! Shim-compatibility bar: the deprecated `set_*` surface survives for one
+//! release as thin shims over the configuration layer, and this test is
+//! the **only** in-tree code allowed to call it (every crate root carries
+//! `#![deny(deprecated)]`, and clippy's `-D warnings` covers the other
+//! test/bench/example targets). Each legacy setter sequence must produce
+//! an execution bit-identical to the [`EngineConfig`] that replaced it —
+//! if a shim drifts from the declarative path, this fails before any user
+//! migration does.
+
+#![allow(deprecated)]
+
+use sscc_core::sim::{default_daemon, Cc1Sim, Sim};
+use sscc_core::{Cc1, EagerPolicy, ModeRegistry};
+use sscc_hypergraph::generators;
+use sscc_token::WaveToken;
+use std::sync::Arc;
+
+fn mk(seed: u64) -> Cc1Sim {
+    let h = Arc::new(generators::fig1());
+    let n = h.n();
+    Sim::new(
+        Arc::clone(&h),
+        Cc1::new(),
+        WaveToken::new(&h),
+        default_daemon(seed, n),
+        Box::new(EagerPolicy::new(n, 1)),
+    )
+}
+
+/// Drive a legacy-configured sim against a config-configured twin and
+/// assert bit-identical executions.
+fn assert_shim_matches(mode: &str, legacy: impl Fn(&mut Cc1Sim)) {
+    let config = ModeRegistry::get(mode)
+        .unwrap_or_else(|| panic!("unknown registry mode {mode}"))
+        .config
+        // Tiny topology: force the pooled paths to actually run.
+        .forced_fanout();
+    for seed in 0..5u64 {
+        let mut with_config = mk(seed);
+        with_config.configure(&config).unwrap();
+        with_config.enable_trace();
+        let mut with_shims = mk(seed);
+        legacy(&mut with_shims);
+        with_shims.enable_trace();
+        for step in 0..300u64 {
+            let a = with_config.step();
+            let b = with_shims.step();
+            assert_eq!(a, b, "{mode}/seed{seed}: step {step} progress");
+            assert_eq!(
+                with_config.cc_states(),
+                with_shims.cc_states(),
+                "{mode}/seed{seed}: step {step} configurations"
+            );
+            if !a {
+                break;
+            }
+        }
+        assert_eq!(
+            with_config.trace().unwrap().events(),
+            with_shims.trace().unwrap().events(),
+            "{mode}/seed{seed}: traces"
+        );
+        assert_eq!(
+            with_config.flags(),
+            with_shims.flags(),
+            "{mode}/seed{seed}: flags"
+        );
+    }
+}
+
+#[test]
+fn full_scan_shim_matches_config() {
+    assert_shim_matches("full_scan", |s| s.set_full_scan(true));
+}
+
+#[test]
+fn pr1_baseline_shim_matches_config() {
+    assert_shim_matches("incremental", |s| s.set_pr1_baseline());
+}
+
+#[test]
+fn parallel_shims_match_config() {
+    assert_shim_matches("par2", |s| s.set_parallel(2, 0));
+    assert_shim_matches("par4", |s| s.set_parallel(4, 0));
+}
+
+#[test]
+fn inplace_shims_match_config() {
+    assert_shim_matches("inplace", |s| s.set_in_place_commit(true));
+    assert_shim_matches("inplace_par4", |s| {
+        s.set_in_place_commit(true);
+        s.set_parallel(4, 0);
+    });
+}
+
+#[test]
+fn daemon_shims_match_config() {
+    assert_shim_matches("trusted", |s| s.set_trusted_daemon(true));
+    assert_shim_matches("daemon_inc", |s| s.set_incremental_daemon(true));
+    assert_shim_matches("daemon", |s| {
+        s.set_in_place_commit(true);
+        s.set_trusted_daemon(true);
+        s.set_incremental_daemon(true);
+    });
+}
+
+#[test]
+fn pool_shims_match_config() {
+    assert_shim_matches("parcommit_par2", |s| {
+        s.set_parallel(2, 0);
+        s.set_parallel_commit(true);
+    });
+    assert_shim_matches("poolcommit", |s| {
+        s.set_parallel(2, 0);
+        s.set_parallel_commit(true);
+        s.set_in_place_commit(true);
+        s.set_trusted_daemon(true);
+        s.set_incremental_daemon(true);
+    });
+    assert_shim_matches("pool_all", |s| {
+        s.set_parallel(4, 0);
+        s.set_parallel_commit(true);
+        s.set_in_place_commit(true);
+        s.set_trusted_daemon(true);
+        s.set_incremental_daemon(true);
+    });
+}
+
+/// The delta-policies toggle (no config equivalent outside the PR-1
+/// baseline) still produces identical trajectories when flipped off.
+#[test]
+fn delta_policy_shim_is_trajectory_neutral() {
+    for seed in 0..5u64 {
+        let mut on = mk(seed);
+        on.enable_trace();
+        let mut off = mk(seed);
+        off.set_delta_policies(false);
+        off.enable_trace();
+        for _ in 0..300u64 {
+            let a = on.step();
+            let b = off.step();
+            assert_eq!(a, b, "seed {seed}");
+            if !a {
+                break;
+            }
+        }
+        assert_eq!(
+            on.trace().unwrap().events(),
+            off.trace().unwrap().events(),
+            "seed {seed}"
+        );
+    }
+}

@@ -13,6 +13,7 @@
 //! * [`report`] — table/CSV rendering for EXPERIMENTS.md.
 
 #![warn(missing_docs)]
+#![deny(deprecated)]
 
 pub mod adversary;
 pub mod degree;
@@ -26,6 +27,11 @@ pub use adversary::{cc1_starvation_on_fig2, AlternatingAdversary, StarvationOutc
 pub use degree::{degree_row, measure_degree, DegreeConfig, DegreeOutcome, DegreeRow};
 pub use report::{f2, Table};
 pub use runner::{build_sim, AlgoKind, AnySim, Boot, PolicyKind};
+// The shared configuration layer, re-exported so bench/experiment code
+// needs a single import for modes and configs.
+pub use sscc_core::{
+    CommitStrategy, ConfigError, Drain, EngineConfig, EvalPath, Mode, ModeRegistry,
+};
 pub use sweep::{parallel_fold, parallel_map};
 pub use throughput::{measure_throughput, throughput_row, ThroughputOutcome, ThroughputRow};
 pub use waiting::{measure_waiting, waiting_row, WaitingOutcome, WaitingRow};

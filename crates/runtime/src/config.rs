@@ -1,0 +1,669 @@
+//! The unified configuration layer: one typed, validated, serializable
+//! description of an engine variant, and one registry of every named
+//! variant the workspace ships.
+//!
+//! Four engine revisions (ROADMAP PRs 1–4) each added another boolean
+//! setter, until configuring a run meant hand-sequencing ~10 order-sensitive
+//! `set_*` calls — duplicated across the bench binary, the differential
+//! lockstep suite and the examples, three independently maintained mode
+//! lists that could silently drift. [`EngineConfig`] replaces that surface:
+//!
+//! * **Typed** — the eval path, the drain, the commit strategy and the
+//!   daemon-facing toggles are fields of one plain `Copy` struct, applied
+//!   in one shot by [`World::configure`] / `Sim::configure` /
+//!   `AnySim::configure` (and built fluently by `Sim::builder()`).
+//! * **Validated** — [`EngineConfig::validate`] rejects the combinations
+//!   the old setters silently no-op'ed (a parallel commit with no pool to
+//!   run on, a "reference baseline" composed with the very features it is
+//!   the baseline for).
+//! * **Serializable** — [`EngineConfig`] round-trips through
+//!   `Display`/`FromStr` using the bench mode labels (`"full_scan"`,
+//!   `"inplace_par4"`, `"poolcommit"`, …), so mode names in BENCH records,
+//!   CI invocations and CLI flags all parse back into the exact config.
+//! * **Enumerable** — [`ModeRegistry`] lists every supported named config
+//!   exactly once; the bench sweep, the differential suite's lockstep
+//!   engine list and the examples all derive from it, so a mode added here
+//!   is automatically recorded, lockstep-verified and selectable.
+//!
+//! Snap-stabilization promises correctness *from any configuration*; that
+//! guarantee is only checkable if every engine variant we ship is
+//! enumerable and lockstep-verified from one source of truth. This module
+//! is that source.
+//!
+//! ```
+//! use sscc_runtime::prelude::*;
+//!
+//! // Parse a bench label, tweak it, print it back.
+//! let cfg: EngineConfig = "poolcommit".parse().unwrap();
+//! assert!(cfg.validate().is_ok() && cfg.parallel_commit);
+//! assert_eq!(cfg.to_string(), "poolcommit");
+//!
+//! // Incoherent combinations fail closed instead of silently no-op'ing.
+//! let bad = EngineConfig::default().with_parallel_commit(true);
+//! assert!(bad.validate().is_err()); // no parallel drain to run on
+//!
+//! // Every named mode is registered exactly once.
+//! assert!(ModeRegistry::all().len() >= 12);
+//! assert!(ModeRegistry::get("par1").is_some());
+//! ```
+//!
+//! [`World::configure`]: crate::engine::World::configure
+
+use crate::engine::{CommitStrategy, DEFAULT_MIN_PARALLEL_BATCH};
+use std::fmt;
+use std::str::FromStr;
+
+/// How guards are (re-)evaluated each step.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvalPath {
+    /// The legacy `O(n)` path: every guard re-evaluated every step, and at
+    /// the `Sim` layer whole-configuration observer rebuilds. Kept as the
+    /// differential-testing reference; not composable with other knobs.
+    FullScan,
+    /// The PR-1 baseline: sequential incremental drain, the per-guard
+    /// *reference* evaluator and full `O(n)` policy ticks — the trajectory
+    /// baseline BENCH records measure against. Algorithm-level: applied by
+    /// the `Sim` layer, not by a bare [`World`](crate::engine::World).
+    /// Not composable with other knobs.
+    Reference,
+    /// The incremental dirty-set scheduler with the fused evaluators — the
+    /// default engine since PR 2.
+    #[default]
+    Incremental,
+}
+
+/// How the dirty-guard worklist is drained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Drain {
+    /// Drain inline on the stepping thread.
+    #[default]
+    Sequential,
+    /// Fan large refreshes out to a persistent worker pool over
+    /// footprint-contiguous shards (see
+    /// [`World::set_parallel`](crate::engine::World::set_parallel)).
+    Parallel {
+        /// Worker threads (≥ 2; `1` is spelled [`Drain::Sequential`]).
+        threads: usize,
+        /// Minimum dirty guards *per thread* before a refresh fans out;
+        /// `0` forces every refresh (and every parallel commit) through
+        /// the pool — differential tests use that on tiny topologies.
+        min_batch: usize,
+    },
+}
+
+impl Drain {
+    /// A parallel drain with the default fan-out threshold
+    /// ([`DEFAULT_MIN_PARALLEL_BATCH`]).
+    pub const fn parallel(threads: usize) -> Self {
+        Drain::Parallel {
+            threads,
+            min_batch: DEFAULT_MIN_PARALLEL_BATCH,
+        }
+    }
+
+    /// A parallel drain with a zero threshold: every refresh fans out.
+    pub const fn forced(threads: usize) -> Self {
+        Drain::Parallel {
+            threads,
+            min_batch: 0,
+        }
+    }
+
+    /// Worker threads this drain runs on (`1` when sequential).
+    pub const fn threads(self) -> usize {
+        match self {
+            Drain::Sequential => 1,
+            Drain::Parallel { threads, .. } => threads,
+        }
+    }
+}
+
+/// A complete, declarative description of one engine variant.
+///
+/// The default value is the default engine (the `"par1"` registry mode):
+/// sequential incremental drain, fused evaluators, buffered commit, no
+/// daemon shortcuts. Build variants with the `with_*` combinators, parse
+/// them from mode labels, or pick them from the [`ModeRegistry`]. Apply
+/// with [`World::configure`](crate::engine::World::configure) (engine-level
+/// knobs) or `Sim::configure` / `Sim::builder()` (everything).
+///
+/// The configuration is applied **once, before stepping** — it compiles
+/// down to the same plain fields the old setters wrote, so the hot path
+/// pays zero extra dispatch for having a declarative surface.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Guard evaluation path.
+    pub eval: EvalPath,
+    /// Dirty-set drain (sequential or pooled).
+    pub drain: Drain,
+    /// How executed statements are committed. [`CommitStrategy::InPlace`]
+    /// remains `Copy`-gated at compile time: `configure` is only available
+    /// where the state type is `Copy`, so the gate cannot be bypassed.
+    pub commit: CommitStrategy,
+    /// Shard the commit's execute phase across the drain's worker pool for
+    /// large selections. Requires a parallel drain (validated).
+    pub parallel_commit: bool,
+    /// Trust the daemon's `Selection` promises: skip release-mode subset
+    /// validation.
+    pub trusted_daemon: bool,
+    /// Feed the daemon net enabled-set deltas so it maintains its fairness
+    /// bookkeeping incrementally. Daemon-level: applied by the layer that
+    /// owns the daemon (`Sim`/`AnySim`), rejected by a bare `World`.
+    pub incremental_daemon: bool,
+}
+
+/// `EngineConfig { ..Default::default() }`, spellable in `const` items.
+const BASE: EngineConfig = EngineConfig {
+    eval: EvalPath::Incremental,
+    drain: Drain::Sequential,
+    commit: CommitStrategy::Buffered,
+    parallel_commit: false,
+    trusted_daemon: false,
+    incremental_daemon: false,
+};
+
+impl EngineConfig {
+    /// The legacy full-scan reference engine (`"full_scan"`).
+    pub const fn full_scan() -> Self {
+        EngineConfig {
+            eval: EvalPath::FullScan,
+            ..BASE
+        }
+    }
+
+    /// The PR-1 sequential incremental baseline (`"incremental"`).
+    pub const fn reference() -> Self {
+        EngineConfig {
+            eval: EvalPath::Reference,
+            ..BASE
+        }
+    }
+
+    /// The default engine with a pooled drain at the default threshold.
+    pub const fn parallel(threads: usize) -> Self {
+        EngineConfig {
+            drain: Drain::parallel(threads),
+            ..BASE
+        }
+    }
+
+    /// Replace the eval path.
+    pub const fn with_eval(mut self, eval: EvalPath) -> Self {
+        self.eval = eval;
+        self
+    }
+
+    /// Replace the drain.
+    pub const fn with_drain(mut self, drain: Drain) -> Self {
+        self.drain = drain;
+        self
+    }
+
+    /// Replace the commit strategy.
+    pub const fn with_commit(mut self, commit: CommitStrategy) -> Self {
+        self.commit = commit;
+        self
+    }
+
+    /// Toggle the pooled commit execute phase.
+    pub const fn with_parallel_commit(mut self, on: bool) -> Self {
+        self.parallel_commit = on;
+        self
+    }
+
+    /// Toggle trusted daemon selections.
+    pub const fn with_trusted_daemon(mut self, on: bool) -> Self {
+        self.trusted_daemon = on;
+        self
+    }
+
+    /// Toggle the incremental daemon view.
+    pub const fn with_incremental_daemon(mut self, on: bool) -> Self {
+        self.incremental_daemon = on;
+        self
+    }
+
+    /// The same config with the fan-out threshold forced to zero, so every
+    /// refresh (and parallel commit) exercises the pool even on tiny
+    /// topologies. No-op for sequential drains — the differential suite
+    /// maps registry entries through this.
+    pub const fn forced_fanout(mut self) -> Self {
+        if let Drain::Parallel { threads, .. } = self.drain {
+            self.drain = Drain::forced(threads);
+        }
+        self
+    }
+
+    /// Worker threads the configured drain uses (`1` = sequential).
+    pub const fn threads(&self) -> usize {
+        self.drain.threads()
+    }
+
+    /// Check the configuration for coherence. Every rejected combination
+    /// was a *silent no-op or silent override* under the old setter
+    /// surface; here they fail closed with a description of the conflict.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Drain::Parallel { threads, .. } = self.drain {
+            if threads < 2 {
+                return Err(ConfigError::DegenerateDrain(threads));
+            }
+        }
+        if self.parallel_commit && matches!(self.drain, Drain::Sequential) {
+            return Err(ConfigError::ParallelCommitWithoutDrain);
+        }
+        let composed = !matches!(self.drain, Drain::Sequential)
+            || self.commit != CommitStrategy::Buffered
+            || self.parallel_commit
+            || self.trusted_daemon
+            || self.incremental_daemon;
+        match self.eval {
+            EvalPath::FullScan if composed => Err(ConfigError::ComposedBaseline("full_scan")),
+            EvalPath::Reference if composed => Err(ConfigError::ComposedBaseline("incremental")),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Why an [`EngineConfig`] was rejected (by [`EngineConfig::validate`], a
+/// `configure` call, or mode-label parsing).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `Drain::Parallel` with fewer than two threads — spell a sequential
+    /// drain `Drain::Sequential` instead of a one-thread pool.
+    DegenerateDrain(usize),
+    /// `parallel_commit` without a parallel drain: there is no worker pool
+    /// to shard the commit onto, so the flag would silently do nothing.
+    ParallelCommitWithoutDrain,
+    /// A reference eval path (`full_scan` / `incremental`) composed with
+    /// the very engine features it is the differential baseline for.
+    ComposedBaseline(&'static str),
+    /// [`EvalPath::Reference`] applied to a bare
+    /// [`World`](crate::engine::World): the reference evaluator is swapped
+    /// inside the *algorithm*, which only the `Sim` layer can reach.
+    ReferenceOutsideSim,
+    /// `incremental_daemon` applied to a bare
+    /// [`World`](crate::engine::World): the daemon object is owned by the
+    /// caller (it is passed per step), so only the owning layer
+    /// (`Sim`/`AnySim`, or `Daemon::set_incremental_view` directly) can
+    /// configure its view.
+    DaemonViewOutsideWorld,
+    /// A mode label / config string that does not parse.
+    Parse(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::DegenerateDrain(t) => write!(
+                f,
+                "parallel drain with {t} thread(s): use Drain::Sequential for an inline drain"
+            ),
+            ConfigError::ParallelCommitWithoutDrain => write!(
+                f,
+                "parallel_commit without a parallel drain has no worker pool to run on \
+                 (was a silent no-op under the legacy setters)"
+            ),
+            ConfigError::ComposedBaseline(mode) => write!(
+                f,
+                "the '{mode}' reference path is a differential baseline and cannot be \
+                 composed with other engine features"
+            ),
+            ConfigError::ReferenceOutsideSim => write!(
+                f,
+                "the reference eval path swaps the algorithm's guard evaluator; apply it \
+                 through Sim/AnySim, not a bare World"
+            ),
+            ConfigError::DaemonViewOutsideWorld => write!(
+                f,
+                "incremental_daemon configures the daemon object, which a bare World does \
+                 not own; apply through Sim/AnySim or Daemon::set_incremental_view"
+            ),
+            ConfigError::Parse(what) => write!(f, "unknown engine mode or config token: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl fmt::Display for EngineConfig {
+    /// The canonical label: the registry name when this config is a named
+    /// mode, otherwise `+`-joined feature tokens (`"par2+trusted"`,
+    /// `"full_scan"`, `"par4b0+inplace"`; the all-default config is
+    /// `"par1"`). [`FromStr`] parses both forms back, so
+    /// `cfg.to_string().parse() == cfg` for every valid config.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(mode) = ModeRegistry::find(self) {
+            return f.write_str(mode.name);
+        }
+        let mut parts: Vec<String> = Vec::new();
+        match self.eval {
+            EvalPath::FullScan => parts.push("full_scan".into()),
+            EvalPath::Reference => parts.push("incremental".into()),
+            EvalPath::Incremental => {}
+        }
+        if let Drain::Parallel { threads, min_batch } = self.drain {
+            if min_batch == DEFAULT_MIN_PARALLEL_BATCH {
+                parts.push(format!("par{threads}"));
+            } else {
+                parts.push(format!("par{threads}b{min_batch}"));
+            }
+        }
+        if self.commit == CommitStrategy::InPlace {
+            parts.push("inplace".into());
+        }
+        if self.parallel_commit {
+            parts.push("parcommit".into());
+        }
+        if self.trusted_daemon {
+            parts.push("trusted".into());
+        }
+        if self.incremental_daemon {
+            parts.push("daemon_view".into());
+        }
+        if parts.is_empty() {
+            f.write_str("par1")
+        } else {
+            f.write_str(&parts.join("+"))
+        }
+    }
+}
+
+impl FromStr for EngineConfig {
+    type Err = ConfigError;
+
+    /// Parse a registry mode name (`"poolcommit"`) or a `+`-joined token
+    /// string (`"par2+inplace+trusted"`). Tokens: `full_scan`,
+    /// `incremental`/`pr1`/`reference`, `par1`, `parN`/`parNbM` (drain with
+    /// optional per-thread min batch), `inplace`, `buffered`, `parcommit`,
+    /// `trusted`, `daemon_view`/`daemon_inc`, plus the composite historical
+    /// labels `daemon`, `pool`, `poolcommit`. Parsing does **not**
+    /// validate — call [`EngineConfig::validate`] (the `configure` entry
+    /// points do).
+    fn from_str(s: &str) -> Result<Self, ConfigError> {
+        let s = s.trim();
+        if let Some(mode) = ModeRegistry::get(s) {
+            return Ok(mode.config);
+        }
+        if s.is_empty() {
+            return Err(ConfigError::Parse("<empty>".into()));
+        }
+        let mut cfg = EngineConfig::default();
+        for tok in s.split('+') {
+            match tok.trim() {
+                "par1" | "seq" => cfg.drain = Drain::Sequential,
+                "full_scan" => cfg.eval = EvalPath::FullScan,
+                "incremental" | "pr1" | "reference" => cfg.eval = EvalPath::Reference,
+                "inplace" => cfg.commit = CommitStrategy::InPlace,
+                "buffered" => cfg.commit = CommitStrategy::Buffered,
+                "parcommit" => cfg.parallel_commit = true,
+                "trusted" => cfg.trusted_daemon = true,
+                "daemon_view" | "daemon_inc" => cfg.incremental_daemon = true,
+                "daemon" => {
+                    cfg.commit = CommitStrategy::InPlace;
+                    cfg.trusted_daemon = true;
+                    cfg.incremental_daemon = true;
+                }
+                "pool" => {
+                    cfg.drain = Drain::parallel(2);
+                    cfg.commit = CommitStrategy::InPlace;
+                    cfg.trusted_daemon = true;
+                    cfg.incremental_daemon = true;
+                }
+                "poolcommit" => {
+                    cfg.drain = Drain::parallel(2);
+                    cfg.commit = CommitStrategy::InPlace;
+                    cfg.parallel_commit = true;
+                    cfg.trusted_daemon = true;
+                    cfg.incremental_daemon = true;
+                }
+                t if t.starts_with("par") => {
+                    let rest = &t[3..];
+                    let (threads, batch) = match rest.split_once('b') {
+                        Some((t, b)) => (t, Some(b)),
+                        None => (rest, None),
+                    };
+                    let threads: usize = threads
+                        .parse()
+                        .map_err(|_| ConfigError::Parse(t.to_string()))?;
+                    let min_batch = match batch {
+                        Some(b) => b.parse().map_err(|_| ConfigError::Parse(t.to_string()))?,
+                        None => DEFAULT_MIN_PARALLEL_BATCH,
+                    };
+                    cfg.drain = if threads <= 1 && batch.is_none() {
+                        Drain::Sequential
+                    } else {
+                        Drain::Parallel { threads, min_batch }
+                    };
+                }
+                other => return Err(ConfigError::Parse(other.to_string())),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// One named engine variant: a label, a one-line description, and the
+/// [`EngineConfig`] it denotes.
+#[derive(Clone, Copy, Debug)]
+pub struct Mode {
+    /// The label — also the `Display`/`FromStr` form of the config, and
+    /// the `mode` column of BENCH records.
+    pub name: &'static str,
+    /// One-line human description (shown by `perf_record --list-modes`).
+    pub summary: &'static str,
+    /// The configuration this mode denotes.
+    pub config: EngineConfig,
+    /// Whether the mode is part of the committed BENCH baseline sweep (the
+    /// set CI's quick perf gate records — selected with
+    /// `perf_record --modes @baseline`).
+    pub baseline: bool,
+}
+
+/// Every supported named engine configuration, exactly once.
+///
+/// This is the single source of truth the bench sweep
+/// (`perf_record`), the differential lockstep suite and the examples all
+/// derive their engine lists from. Adding a mode here is sufficient for it
+/// to be recorded, lockstep-verified against the reference engine, and
+/// selectable by name everywhere.
+pub struct ModeRegistry;
+
+/// The registry table. Order is presentation order (bench records, mode
+/// listings): the nine historical BENCH modes first, then the
+/// differential-only compositions.
+static MODES: [Mode; 15] = [
+    Mode {
+        name: "full_scan",
+        summary: "legacy O(n) engine: every guard re-evaluated, whole-view observers (reference)",
+        config: EngineConfig::full_scan(),
+        baseline: true,
+    },
+    Mode {
+        name: "incremental",
+        summary: "PR-1 baseline: sequential incremental drain, per-guard evaluator, full ticks",
+        config: EngineConfig::reference(),
+        baseline: true,
+    },
+    Mode {
+        name: "par1",
+        summary: "default engine: sequential incremental drain, fused evaluators, buffered commit",
+        config: BASE,
+        baseline: true,
+    },
+    Mode {
+        name: "par2",
+        summary: "pooled parallel drain, 2 worker threads",
+        config: EngineConfig::parallel(2),
+        baseline: true,
+    },
+    Mode {
+        name: "par4",
+        summary: "pooled parallel drain, 4 worker threads",
+        config: EngineConfig::parallel(4),
+        baseline: true,
+    },
+    Mode {
+        name: "inplace",
+        summary: "zero-clone in-place commit on the sequential drain",
+        config: BASE.with_commit(CommitStrategy::InPlace),
+        baseline: true,
+    },
+    Mode {
+        name: "daemon",
+        summary: "in-place commit + trusted daemon + incremental daemon view (sequential)",
+        config: BASE
+            .with_commit(CommitStrategy::InPlace)
+            .with_trusted_daemon(true)
+            .with_incremental_daemon(true),
+        baseline: true,
+    },
+    Mode {
+        name: "pool",
+        summary: "the daemon stack on the pooled 2-thread drain",
+        config: EngineConfig::parallel(2)
+            .with_commit(CommitStrategy::InPlace)
+            .with_trusted_daemon(true)
+            .with_incremental_daemon(true),
+        baseline: true,
+    },
+    Mode {
+        name: "poolcommit",
+        summary: "pool + parallel commit: execute phase sharded across the pool when large",
+        config: EngineConfig::parallel(2)
+            .with_commit(CommitStrategy::InPlace)
+            .with_parallel_commit(true)
+            .with_trusted_daemon(true)
+            .with_incremental_daemon(true),
+        baseline: true,
+    },
+    Mode {
+        name: "inplace_par2",
+        summary: "in-place commit under the 2-thread drain",
+        config: EngineConfig::parallel(2).with_commit(CommitStrategy::InPlace),
+        baseline: false,
+    },
+    Mode {
+        name: "inplace_par4",
+        summary: "in-place commit under the 4-thread drain",
+        config: EngineConfig::parallel(4).with_commit(CommitStrategy::InPlace),
+        baseline: false,
+    },
+    Mode {
+        name: "trusted",
+        summary: "daemon selection validation skipped (promises trusted), sequential",
+        config: BASE.with_trusted_daemon(true),
+        baseline: false,
+    },
+    Mode {
+        name: "daemon_inc",
+        summary: "daemon fairness bookkeeping fed by enabled-set deltas, sequential",
+        config: BASE.with_incremental_daemon(true),
+        baseline: false,
+    },
+    Mode {
+        name: "parcommit_par2",
+        summary: "buffered commit with the execute phase pool-sharded (2 threads)",
+        config: EngineConfig::parallel(2).with_parallel_commit(true),
+        baseline: false,
+    },
+    Mode {
+        name: "pool_all",
+        summary: "kitchen sink: 4-thread drain, parallel commit, in-place, trusted, delta view",
+        config: EngineConfig::parallel(4)
+            .with_commit(CommitStrategy::InPlace)
+            .with_parallel_commit(true)
+            .with_trusted_daemon(true)
+            .with_incremental_daemon(true),
+        baseline: false,
+    },
+];
+
+impl ModeRegistry {
+    /// Every registered mode, in presentation order.
+    pub fn all() -> &'static [Mode] {
+        &MODES
+    }
+
+    /// Look a mode up by name.
+    pub fn get(name: &str) -> Option<&'static Mode> {
+        MODES.iter().find(|m| m.name == name)
+    }
+
+    /// The mode denoting exactly this configuration, if one is registered.
+    pub fn find(config: &EngineConfig) -> Option<&'static Mode> {
+        MODES.iter().find(|m| m.config == *config)
+    }
+
+    /// The modes of the committed BENCH baseline sweep (`@baseline`).
+    pub fn baseline() -> impl Iterator<Item = &'static Mode> {
+        MODES.iter().filter(|m| m.baseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_par1() {
+        assert_eq!(
+            ModeRegistry::get("par1").unwrap().config,
+            EngineConfig::default()
+        );
+        assert_eq!(EngineConfig::default().to_string(), "par1");
+    }
+
+    // Registry uniqueness (names *and* configs) is pinned by
+    // `registry_names_and_configs_are_unique` in tests/config_props.rs,
+    // next to the other registry invariants.
+
+    #[test]
+    fn silent_noops_now_fail_closed() {
+        assert_eq!(
+            EngineConfig::default()
+                .with_parallel_commit(true)
+                .validate(),
+            Err(ConfigError::ParallelCommitWithoutDrain)
+        );
+        assert_eq!(
+            EngineConfig::default()
+                .with_drain(Drain::parallel(1))
+                .validate(),
+            Err(ConfigError::DegenerateDrain(1))
+        );
+        assert_eq!(
+            EngineConfig::full_scan()
+                .with_drain(Drain::parallel(2))
+                .validate(),
+            Err(ConfigError::ComposedBaseline("full_scan"))
+        );
+        assert_eq!(
+            EngineConfig::reference()
+                .with_commit(CommitStrategy::InPlace)
+                .validate(),
+            Err(ConfigError::ComposedBaseline("incremental"))
+        );
+    }
+
+    #[test]
+    fn compositional_labels_roundtrip() {
+        for label in ["par2+trusted", "par4b0+inplace", "inplace+parcommit+par2"] {
+            let cfg: EngineConfig = label.parse().unwrap();
+            let again: EngineConfig = cfg.to_string().parse().unwrap();
+            assert_eq!(cfg, again, "{label}");
+        }
+        assert!("par2+bogus".parse::<EngineConfig>().is_err());
+        assert!("".parse::<EngineConfig>().is_err());
+        assert!("parx".parse::<EngineConfig>().is_err());
+    }
+
+    #[test]
+    fn forced_fanout_zeroes_the_threshold() {
+        let cfg = EngineConfig::parallel(4).forced_fanout();
+        assert_eq!(cfg.drain, Drain::forced(4));
+        assert_eq!(
+            EngineConfig::default().forced_fanout(),
+            EngineConfig::default()
+        );
+    }
+}

@@ -18,9 +18,14 @@
 //! reported through [`World::invalidate_env_of`]). The result is
 //! `O(affected)` work per step instead of `O(n)`, with **bit-identical**
 //! [`StepOutcome`] sequences to the full-scan path — enforce it with
-//! [`World::set_full_scan`] plus a differential test.
+//! `World::configure(&EngineConfig::full_scan())` plus a differential test.
+//!
+//! Engine variants are configured declaratively through
+//! [`EngineConfig`] / [`World::configure`]; every *named* variant lives in
+//! the [`ModeRegistry`](crate::config::ModeRegistry).
 
 use crate::algorithm::{ActionId, GuardedAlgorithm};
+use crate::config::{ConfigError, Drain, EngineConfig, EvalPath};
 use crate::ctx::{Ctx, StateAccess};
 use crate::daemon::{Daemon, Selection};
 use crate::markset::MarkSet;
@@ -462,7 +467,15 @@ impl<A: GuardedAlgorithm> World<A> {
 
     /// Force full guard re-evaluation every step (the naive `O(n)` path the
     /// incremental scheduler is differentially tested against).
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the engine declaratively: `World::configure(&EngineConfig::full_scan())`"
+    )]
     pub fn set_full_scan(&mut self, on: bool) {
+        self.apply_full_scan(on);
+    }
+
+    fn apply_full_scan(&mut self, on: bool) {
         self.full_scan = on;
         if on {
             self.sched.mark_all();
@@ -475,16 +488,42 @@ impl<A: GuardedAlgorithm> World<A> {
     /// `threads <= 1` restores the sequential drain. The parallel drain is
     /// bit-identical to the sequential one — results merge through the same
     /// maintained sorted enabled set.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the engine declaratively: `World::configure(&EngineConfig::parallel(n))`"
+    )]
     pub fn set_threads(&mut self, threads: usize) {
-        self.set_parallel(threads, DEFAULT_MIN_PARALLEL_BATCH);
+        // The silent override the config layer validates away: resetting a
+        // custom fan-out threshold (e.g. a forced `min_batch = 0`) back to
+        // the default just because the thread count was restated.
+        // (`threads <= 1` *drops* the drain — nothing is reset there.)
+        debug_assert!(
+            threads <= 1
+                || self
+                    .par
+                    .as_ref()
+                    .is_none_or(|p| p.min_batch == DEFAULT_MIN_PARALLEL_BATCH),
+            "set_threads would silently reset a custom min_batch to the default; \
+             use World::configure with an explicit Drain"
+        );
+        self.apply_parallel(threads, DEFAULT_MIN_PARALLEL_BATCH);
     }
 
-    /// Like [`World::set_threads`] with an explicit per-thread minimum batch
+    /// Like `World::set_threads` with an explicit per-thread minimum batch
     /// size: refreshes smaller than `threads * min_batch_per_thread` run
     /// inline (waking workers for a handful of guard evaluations costs more
     /// than evaluating them). `0` forces every refresh through the parallel
     /// path — differential tests use that to exercise it on tiny graphs.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the engine declaratively: `World::configure` with \
+                `Drain::Parallel { threads, min_batch }`"
+    )]
     pub fn set_parallel(&mut self, threads: usize, min_batch_per_thread: usize) {
+        self.apply_parallel(threads, min_batch_per_thread);
+    }
+
+    fn apply_parallel(&mut self, threads: usize, min_batch_per_thread: usize) {
         if threads <= 1 {
             // Dropping the drain joins the pool's worker threads.
             self.par = None;
@@ -517,6 +556,10 @@ impl<A: GuardedAlgorithm> World<A> {
     /// just later and with a less helpful message (under the parallel
     /// commit, a lie surfacing on a pool worker aborts the process
     /// instead — see [`WorkerPool::run`]'s panic contract).
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the engine declaratively: `EngineConfig::with_trusted_daemon(true)`"
+    )]
     pub fn set_trusted_daemon(&mut self, on: bool) {
         self.trusted = on;
     }
@@ -967,8 +1010,76 @@ where
     /// state in this workspace is). Heap-owning states keep the buffered
     /// reference path. Either strategy yields bit-identical
     /// [`StepOutcome`]s — the differential suite locksteps them.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the engine declaratively: `EngineConfig::with_commit(strategy)`"
+    )]
     pub fn set_commit_strategy(&mut self, strategy: CommitStrategy) {
         self.commit = strategy;
+    }
+
+    /// Apply a complete engine configuration in one validated shot — the
+    /// declarative replacement for the accreted `set_*` surface. The
+    /// config is applied **before stepping** and compiles down to the same
+    /// plain fields the setters wrote: zero added dispatch on the hot path.
+    ///
+    /// Reconfiguring is a full reset: knobs absent from `cfg` return to
+    /// their defaults (the setters, by contrast, were additive and
+    /// order-sensitive).
+    ///
+    /// ```
+    /// use sscc_runtime::prelude::*;
+    /// use sscc_hypergraph::generators;
+    /// use std::sync::Arc;
+    /// # struct Nop;
+    /// # impl GuardedAlgorithm for Nop {
+    /// #     type State = u32;
+    /// #     type Env = ();
+    /// #     fn action_count(&self) -> usize { 1 }
+    /// #     fn action_name(&self, _: ActionId) -> String { "nop".into() }
+    /// #     fn initial_state(&self, _: &sscc_hypergraph::Hypergraph, _: usize) -> u32 { 0 }
+    /// #     fn priority_action<A: StateAccess<u32> + ?Sized>(
+    /// #         &self, _: &Ctx<'_, u32, (), A>,
+    /// #     ) -> Option<ActionId> { None }
+    /// #     fn execute<A: StateAccess<u32> + ?Sized>(
+    /// #         &self, _: &Ctx<'_, u32, (), A>, _: ActionId,
+    /// #     ) -> u32 { 0 }
+    /// # }
+    /// let mut w = World::new(Arc::new(generators::fig1()), Nop);
+    /// w.configure(&EngineConfig::parallel(2).with_trusted_daemon(true))
+    ///     .unwrap();
+    /// assert_eq!(w.threads(), 2);
+    ///
+    /// // Incoherent requests fail closed instead of silently no-op'ing.
+    /// let bad = EngineConfig::default().with_parallel_commit(true);
+    /// assert!(w.configure(&bad).is_err());
+    /// ```
+    ///
+    /// # Errors
+    /// Anything [`EngineConfig::validate`] rejects, plus the two knobs a
+    /// bare `World` cannot apply: [`EvalPath::Reference`] (the reference
+    /// evaluator lives inside the *algorithm* — apply through the `Sim`
+    /// layer) and `incremental_daemon` (the daemon object is owned by the
+    /// caller — use `Daemon::set_incremental_view` or the `Sim` layer).
+    /// Like the setter seam, `configure` is restricted to `Copy` states so
+    /// [`CommitStrategy::InPlace`] stays compile-time gated.
+    pub fn configure(&mut self, cfg: &EngineConfig) -> Result<(), ConfigError> {
+        cfg.validate()?;
+        if cfg.eval == EvalPath::Reference {
+            return Err(ConfigError::ReferenceOutsideSim);
+        }
+        if cfg.incremental_daemon {
+            return Err(ConfigError::DaemonViewOutsideWorld);
+        }
+        self.apply_full_scan(cfg.eval == EvalPath::FullScan);
+        match cfg.drain {
+            Drain::Sequential => self.apply_parallel(1, DEFAULT_MIN_PARALLEL_BATCH),
+            Drain::Parallel { threads, min_batch } => self.apply_parallel(threads, min_batch),
+        }
+        self.commit = cfg.commit;
+        self.par_commit = cfg.parallel_commit;
+        self.trusted = cfg.trusted_daemon;
+        Ok(())
     }
 
     /// Route large commits through the persistent worker pool: when a
@@ -984,7 +1095,19 @@ where
     /// slots hold whole states by value, which is only a win for small
     /// plain data. Outcomes are bit-identical to both sequential
     /// strategies (the differential suite locksteps all three).
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure the engine declaratively: `EngineConfig::with_parallel_commit(true)` \
+                (which also validates that a parallel drain exists)"
+    )]
     pub fn set_parallel_commit(&mut self, on: bool) {
+        // The silent no-op the config layer validates away: a parallel
+        // commit with no pool to run on.
+        debug_assert!(
+            !on || self.par.is_some(),
+            "set_parallel_commit(true) without a parallel drain is a silent no-op; \
+             World::configure returns ConfigError::ParallelCommitWithoutDrain instead"
+        );
         self.par_commit = on;
     }
 
@@ -1107,7 +1230,7 @@ mod tests {
             let h = Arc::new(generators::fig1());
             let mut wi = World::with_states(Arc::clone(&h), MaxProp, vec![seed, 0, 3, 1, 0, 2]);
             let mut wf = World::with_states(Arc::clone(&h), MaxProp, vec![seed, 0, 3, 1, 0, 2]);
-            wf.set_full_scan(true);
+            wf.configure(&EngineConfig::full_scan()).unwrap();
             let mut di = Central::new(seed as u64);
             let mut df = Central::new(seed as u64);
             for _ in 0..200 {
@@ -1132,7 +1255,8 @@ mod tests {
                 let boot = vec![seed, 0, 3, 1, 0, 2];
                 let mut ws = World::with_states(Arc::clone(&h), MaxProp, boot.clone());
                 let mut wp = World::with_states(Arc::clone(&h), MaxProp, boot);
-                wp.set_parallel(threads, 0);
+                wp.configure(&EngineConfig::default().with_drain(Drain::forced(threads)))
+                    .unwrap();
                 assert_eq!(wp.threads(), threads);
                 let mut ds = Central::new(seed as u64);
                 let mut dp = Central::new(seed as u64);
@@ -1155,7 +1279,8 @@ mod tests {
         // also fans out; enabled sets must match the pure evaluation.
         let h = Arc::new(generators::ring(24, 2));
         let mut w = World::new(Arc::clone(&h), MaxProp);
-        w.set_parallel(4, 0);
+        w.configure(&EngineConfig::default().with_drain(Drain::forced(4)))
+            .unwrap();
         assert_eq!(w.enabled_now(&()).to_vec(), w.enabled(&()));
         w.invalidate_all();
         assert_eq!(w.enabled_now(&()).to_vec(), w.enabled(&()));
@@ -1166,9 +1291,9 @@ mod tests {
     #[test]
     fn one_thread_disables_the_parallel_drain() {
         let mut w = world();
-        w.set_threads(4);
+        w.configure(&EngineConfig::parallel(4)).unwrap();
         assert_eq!(w.threads(), 4);
-        w.set_threads(1);
+        w.configure(&EngineConfig::default()).unwrap();
         assert_eq!(w.threads(), 1);
         let (_, q) = w.run_to_quiescence(&mut Synchronous, &(), 100);
         assert!(q);
@@ -1184,7 +1309,8 @@ mod tests {
             let boot = vec![seed, 0, 3, 1, 0, 2];
             let mut wb = World::with_states(Arc::clone(&h), MaxProp, boot.clone());
             let mut wi = World::with_states(Arc::clone(&h), MaxProp, boot);
-            wi.set_commit_strategy(CommitStrategy::InPlace);
+            wi.configure(&EngineConfig::default().with_commit(CommitStrategy::InPlace))
+                .unwrap();
             assert_eq!(wi.commit_strategy(), CommitStrategy::InPlace);
             let mut db = Central::new(seed as u64);
             let mut di = Central::new(seed as u64);
@@ -1207,7 +1333,8 @@ mod tests {
         // 1 must adopt 2's OLD value even though 2 committed first.
         let h = Arc::new(sscc_hypergraph::Hypergraph::new(&[&[1, 2], &[2, 3]]));
         let mut w = World::new(h, MaxProp);
-        w.set_commit_strategy(CommitStrategy::InPlace);
+        w.configure(&EngineConfig::default().with_commit(CommitStrategy::InPlace))
+            .unwrap();
         let out = w.step(&mut Synchronous, &());
         assert_eq!(out.executed.len(), 2);
         assert_eq!(w.states(), &[2, 3, 3]);
@@ -1221,8 +1348,12 @@ mod tests {
             let mut wi = World::new(Arc::clone(&h), MaxProp);
             wb.set_state(0, 90 + seed);
             wi.set_state(0, 90 + seed);
-            wi.set_commit_strategy(CommitStrategy::InPlace);
-            wi.set_parallel(4, 0);
+            wi.configure(
+                &EngineConfig::default()
+                    .with_commit(CommitStrategy::InPlace)
+                    .with_drain(Drain::forced(4)),
+            )
+            .unwrap();
             let mut db = Central::new(seed as u64);
             let mut di = Central::new(seed as u64);
             for _ in 0..300 {
@@ -1248,8 +1379,12 @@ mod tests {
             let mut wp = World::new(Arc::clone(&h), MaxProp);
             wb.set_state(0, 90 + seed);
             wp.set_state(0, 90 + seed);
-            wp.set_parallel(4, 0);
-            wp.set_parallel_commit(true);
+            wp.configure(
+                &EngineConfig::default()
+                    .with_drain(Drain::forced(4))
+                    .with_parallel_commit(true),
+            )
+            .unwrap();
             assert!(wp.parallel_commit());
             let mut db = WeaklyFair::new(Central::new(seed as u64), 3);
             let mut dp = WeaklyFair::new(Central::new(seed as u64), 3);
@@ -1270,8 +1405,12 @@ mod tests {
         // The pool twin of `atomicity_reads_pre_step_configuration`.
         let h = Arc::new(sscc_hypergraph::Hypergraph::new(&[&[1, 2], &[2, 3]]));
         let mut w = World::new(h, MaxProp);
-        w.set_parallel(2, 0);
-        w.set_parallel_commit(true);
+        w.configure(
+            &EngineConfig::default()
+                .with_drain(Drain::forced(2))
+                .with_parallel_commit(true),
+        )
+        .unwrap();
         let out = w.step(&mut Synchronous, &());
         assert_eq!(out.executed.len(), 2);
         assert_eq!(w.states(), &[2, 3, 3]);
@@ -1284,7 +1423,8 @@ mod tests {
             let boot = vec![seed, 0, 3, 1, 0, 2];
             let mut wu = World::with_states(Arc::clone(&h), MaxProp, boot.clone());
             let mut wt = World::with_states(Arc::clone(&h), MaxProp, boot);
-            wt.set_trusted_daemon(true);
+            wt.configure(&EngineConfig::default().with_trusted_daemon(true))
+                .unwrap();
             assert!(wt.trusted_daemon());
             let mut du = WeaklyFair::new(DistributedRandom::new(seed as u64, 0.5), 4);
             let mut dt = WeaklyFair::new(DistributedRandom::new(seed as u64, 0.5), 4);
@@ -1332,8 +1472,12 @@ mod tests {
         for _ in 0..8 {
             let h = Arc::new(generators::ring(24, 2));
             let mut w = World::new(Arc::clone(&h), MaxProp);
-            w.set_parallel(4, 0);
-            w.set_parallel_commit(true);
+            w.configure(
+                &EngineConfig::default()
+                    .with_drain(Drain::forced(4))
+                    .with_parallel_commit(true),
+            )
+            .unwrap();
             let (_, q) = w.run_to_quiescence(&mut Synchronous, &(), 200);
             assert!(q);
             drop(w);
@@ -1343,12 +1487,48 @@ mod tests {
     #[test]
     fn reconfiguring_threads_swaps_pools() {
         let mut w = world();
-        w.set_threads(4);
-        w.set_threads(2);
-        w.set_parallel(2, 0); // same pool, new threshold
-        w.set_threads(1);
+        w.configure(&EngineConfig::parallel(4)).unwrap();
+        w.configure(&EngineConfig::parallel(2)).unwrap();
+        // Same pool, new threshold.
+        w.configure(&EngineConfig::default().with_drain(Drain::forced(2)))
+            .unwrap();
+        w.configure(&EngineConfig::default()).unwrap();
         let (_, q) = w.run_to_quiescence(&mut Synchronous, &(), 100);
         assert!(q);
+    }
+
+    #[test]
+    fn configure_rejects_what_world_cannot_apply() {
+        let mut w = world();
+        assert_eq!(
+            w.configure(&EngineConfig::reference()),
+            Err(ConfigError::ReferenceOutsideSim)
+        );
+        assert_eq!(
+            w.configure(&EngineConfig::default().with_incremental_daemon(true)),
+            Err(ConfigError::DaemonViewOutsideWorld)
+        );
+        // A failed configure leaves the engine usable.
+        let (_, q) = w.run_to_quiescence(&mut Synchronous, &(), 100);
+        assert!(q);
+    }
+
+    #[test]
+    fn configure_is_a_full_reset() {
+        let mut w = world();
+        w.configure(
+            &EngineConfig::parallel(2)
+                .with_commit(CommitStrategy::InPlace)
+                .with_parallel_commit(true)
+                .with_trusted_daemon(true),
+        )
+        .unwrap();
+        assert_eq!(w.threads(), 2);
+        assert!(w.parallel_commit() && w.trusted_daemon());
+        w.configure(&EngineConfig::default()).unwrap();
+        assert_eq!(w.threads(), 1);
+        assert_eq!(w.commit_strategy(), CommitStrategy::Buffered);
+        assert!(!w.parallel_commit() && !w.trusted_daemon());
     }
 
     #[test]

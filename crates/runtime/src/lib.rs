@@ -51,9 +51,11 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(deprecated)]
 
 pub mod algorithm;
 pub mod compose;
+pub mod config;
 pub mod ctx;
 pub mod daemon;
 pub mod engine;
@@ -67,6 +69,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::algorithm::{ActionId, GuardedAlgorithm, ProcessState};
     pub use crate::compose::{FairPair, FairState, Layer};
+    pub use crate::config::{ConfigError, Drain, EngineConfig, EvalPath, Mode, ModeRegistry};
     pub use crate::ctx::{Ctx, DynCtx, SliceAccess, StateAccess};
     pub use crate::daemon::{
         Central, Daemon, DistributedRandom, RoundRobin, Scripted, Selection, Synchronous,

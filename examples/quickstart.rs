@@ -4,8 +4,10 @@
 //! cargo run --example quickstart
 //! ```
 
-use sscc::core::sim::Cc1Sim;
+use sscc::core::sim::Sim;
+use sscc::core::{Cc1, ModeRegistry};
 use sscc::hypergraph::generators;
+use sscc::token::WaveToken;
 use std::sync::Arc;
 
 fn main() {
@@ -18,9 +20,24 @@ fn main() {
         sscc::hypergraph::network::diameter(&h)
     );
 
+    // Every named engine variant comes from one registry — the same list
+    // the bench sweep records and the differential suite lockstep-verifies.
+    println!("\nengine modes (ModeRegistry):");
+    for m in ModeRegistry::all() {
+        println!("  {:<15} {}", m.name, m.summary);
+    }
+
     // CC1 ∘ TC under the distributed weakly fair daemon; professors always
-    // request, discuss voluntarily for 2 steps (maxDisc = 2).
-    let mut sim = Cc1Sim::standard(Arc::clone(&h), /* seed */ 42, /* maxDisc */ 2);
+    // request, discuss voluntarily for 2 steps (maxDisc = 2). The engine
+    // variant is declarative: any registry mode (or a hand-built
+    // `EngineConfig`) — incoherent combinations fail at build, not
+    // silently at run time.
+    let mut sim = Sim::builder(Arc::clone(&h), Cc1::new(), WaveToken::new(&h))
+        .seed(42)
+        .max_disc(2)
+        .mode("daemon") // in-place commit + trusted daemon + delta view
+        .build()
+        .expect("registry modes always validate");
     sim.run(5_000);
 
     println!("\nafter {} steps ({} rounds):", sim.steps(), sim.rounds());

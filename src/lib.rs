@@ -20,6 +20,8 @@
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for the
 //! system inventory.
 
+#![deny(deprecated)]
+
 pub use sscc_core as core;
 pub use sscc_hypergraph as hypergraph;
 pub use sscc_metrics as metrics;
