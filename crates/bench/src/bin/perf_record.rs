@@ -4,7 +4,7 @@
 //!
 //! ```sh
 //! # Full trajectory recording (rings n=384/1536/6144, every registry mode):
-//! cargo run -p sscc-bench --release --bin perf_record            # BENCH_4.json
+//! cargo run -p sscc-bench --release --bin perf_record            # BENCH_5.json
 //! cargo run -p sscc-bench --release --bin perf_record -- out.json
 //!
 //! # What can be recorded (the ModeRegistry, with descriptions):
@@ -19,7 +19,7 @@
 //! # Regression gate: exit 1 if any (algo, topology, mode, threads) pair in
 //! # FRESH regressed more than THRESHOLD (default 0.20) below BASELINE:
 //! cargo run -p sscc-bench --release --bin perf_record -- \
-//!     --compare BENCH_4.json bench_ci.json --threshold 0.20
+//!     --compare BENCH_5.json bench_ci.json --threshold 0.20
 //! ```
 //!
 //! The engine modes are **not** defined here: they are the
@@ -336,7 +336,7 @@ fn main() {
     let default = if quick {
         "bench_ci.json"
     } else {
-        "BENCH_4.json"
+        "BENCH_5.json"
     };
     let out_path = out_path.unwrap_or_else(|| default.to_string());
     record(&out_path, quick, &modes);

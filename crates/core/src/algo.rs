@@ -12,6 +12,16 @@ use crate::status::{ActionClass, CommitteeView};
 use sscc_hypergraph::Hypergraph;
 use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, ProcessState, StateAccess};
 
+/// Projection bit for the committee-visible part of a composed state (the
+/// [`CommitteeView`] fields: status, pointer, `t`/`l` bits). Neighbors'
+/// committee guards read exactly this slice.
+pub const PROJ_CC: u8 = 1 << 0;
+
+/// Projection bit for the token-substrate part of a composed state. The
+/// token layer's turn/cursor variables are read only by the process itself,
+/// so a tok-only change needs no neighbor re-evaluation.
+pub const PROJ_TOK: u8 = 1 << 1;
+
 /// A committee coordination local algorithm with token inputs/outputs.
 ///
 /// `Sync` (algorithm and state): the composition is evaluated concurrently
@@ -49,6 +59,48 @@ pub trait CommitteeAlgorithm: Sync {
     /// have one evaluator.
     fn set_reference_eval(&mut self, on: bool) {
         let _ = on;
+    }
+
+    /// Switch the fused evaluator onto its **fact-mirror** fast path: guards
+    /// test per-edge predicate bits maintained by
+    /// [`rebuild_facts`](CommitteeAlgorithm::rebuild_facts) /
+    /// [`refresh_facts`](CommitteeAlgorithm::refresh_facts) instead of
+    /// re-deriving committee predicates from per-member field reads.
+    /// Bit-identical results either way; no-op for algorithms without a
+    /// mirror.
+    fn set_value_level(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Rebuild the committee-fact mirror from a full configuration. Called
+    /// by the composition's `init_commit_notes` before the first evaluation
+    /// under value-level mode and after wholesale state overwrites.
+    fn rebuild_facts<X: StateAccess<Self::State> + ?Sized>(&mut self, h: &Hypergraph, states: &X) {
+        let _ = (h, states);
+    }
+
+    /// Did the *neighbor-visible* part of a committee state change between
+    /// `old` and `new`? Drives the composition's [`PROJ_CC`] bit: when
+    /// `false`, no neighbor's committee guard can change enabledness (and
+    /// no edge fact can move). The default treats the whole state as
+    /// visible; override to exclude self-only fields (e.g. a round-robin
+    /// cursor).
+    fn committee_visible_changed(&self, old: &Self::State, new: &Self::State) -> bool {
+        old != new
+    }
+
+    /// Incrementally refresh the mirror after a committed step: `changed`
+    /// lists `(process, projection mask)` pairs for every process whose
+    /// state moved; implementations consider the entries whose mask has
+    /// [`PROJ_CC`] set and re-derive the facts of every incident edge from
+    /// the committed configuration, leaving all other edges untouched.
+    fn refresh_facts<X: StateAccess<Self::State> + ?Sized>(
+        &mut self,
+        h: &Hypergraph,
+        states: &X,
+        changed: &[(usize, u8)],
+    ) {
+        let _ = (h, states, changed);
     }
 
     /// Execute `a`; returns the next state and whether `ReleaseToken_p` was

@@ -22,13 +22,13 @@
 //! released by holders that cannot use it (`Token2`) — that release is
 //! precisely what buys Maximal Concurrency and forfeits fairness (§3.2).
 
-use crate::algo::CommitteeAlgorithm;
+use crate::algo::{CommitteeAlgorithm, PROJ_CC};
 use crate::choice::{EdgeChoice, MaxMembersDesc};
 use crate::oracle::RequestEnv;
 use crate::predicates;
 use crate::status::{ActionClass, CommitteeView, Status};
 use sscc_hypergraph::{EdgeId, Hypergraph};
-use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, StateAccess};
+use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, MarkSet, StateAccess};
 
 /// Per-process CC1 state: `S_p`, `P_p`, `T_p`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,6 +91,70 @@ pub mod action {
     pub const COUNT: usize = 10;
 }
 
+// Committee-fact bits of the value-level mirror, one byte per edge. Each
+// predicate quantifies over *all* members of the edge.
+/// `∀q ∈ ε : P_q = ε ∧ S_q ∈ {looking, waiting}` — the committee is ready.
+const F_READY: u8 = 1 << 0;
+/// `∀q ∈ ε : P_q = ε ∧ S_q ∈ {waiting, done}` — the committee is meeting.
+const F_MEETING: u8 = 1 << 1;
+/// `∀q ∈ ε : S_q = looking` — the committee is free.
+const F_FREE: u8 = 1 << 2;
+/// `∀q ∈ ε : P_q ≠ ε ∨ S_q = done` — members may leave the meeting.
+const F_LEAVE: u8 = 1 << 3;
+
+/// Struct-of-arrays mirror of the committee-shared predicates: one fact
+/// byte and one "max announced-token member" slot per edge, kept in sync
+/// with the committed configuration by
+/// [`CommitteeAlgorithm::rebuild_facts`]/[`CommitteeAlgorithm::refresh_facts`].
+/// The masked fused evaluator tests these bits instead of re-scanning every
+/// member of every incident committee on every guard evaluation.
+#[derive(Clone, Debug, Default)]
+struct Cc1Facts {
+    /// Per-edge fact byte (`F_READY | F_MEETING | F_FREE | F_LEAVE`).
+    bits: Vec<u8>,
+    /// Per-edge **max member with `T_q` set**, as a dense index
+    /// (`u32::MAX` when no member announces a token). Dense order is
+    /// identifier order, so the maximum dense member is the maximum-id
+    /// member.
+    max_t: Vec<u32>,
+    /// Edge dedup scratch for incremental refresh.
+    touched: MarkSet,
+}
+
+impl Cc1Facts {
+    fn recompute<X: StateAccess<Cc1State> + ?Sized>(
+        &mut self,
+        h: &Hypergraph,
+        states: &X,
+        e: EdgeId,
+    ) {
+        let mut bits = F_READY | F_MEETING | F_FREE | F_LEAVE;
+        let mut max_t = u32::MAX;
+        for &q in h.members(e) {
+            let s = states.state(q);
+            let points = s.p == Some(e);
+            if !(points && matches!(s.s, Status::Looking | Status::Waiting)) {
+                bits &= !F_READY;
+            }
+            if !(points && matches!(s.s, Status::Waiting | Status::Done)) {
+                bits &= !F_MEETING;
+            }
+            if s.s != Status::Looking {
+                bits &= !F_FREE;
+            }
+            if points && s.s != Status::Done {
+                bits &= !F_LEAVE;
+            }
+            if s.t {
+                // Members ascend, so the last announcer is the max.
+                max_t = q as u32;
+            }
+        }
+        self.bits[e.index()] = bits;
+        self.max_t[e.index()] = max_t;
+    }
+}
+
 /// Algorithm CC1, parameterized by the deterministic committee-choice
 /// strategy (see [`crate::choice`]).
 #[derive(Clone, Debug, Default)]
@@ -100,15 +164,15 @@ pub struct Cc1<Ch = MaxMembersDesc> {
     /// fused single-pass evaluator (the PR-1 baseline; bit-identical, just
     /// slower — kept as the differential-testing reference).
     reference_eval: bool,
+    /// Evaluate through the fact mirror (`EvalPath::ValueLevel`).
+    value_level: bool,
+    facts: Cc1Facts,
 }
 
 impl Cc1<MaxMembersDesc> {
     /// CC1 with the default (Figure 3 compatible) choice strategy.
     pub fn new() -> Self {
-        Cc1 {
-            choice: MaxMembersDesc,
-            reference_eval: false,
-        }
+        Self::with_choice(MaxMembersDesc)
     }
 }
 
@@ -118,6 +182,8 @@ impl<Ch: EdgeChoice> Cc1<Ch> {
         Cc1 {
             choice,
             reference_eval: false,
+            value_level: false,
+            facts: Cc1Facts::default(),
         }
     }
 
@@ -351,6 +417,86 @@ impl<Ch: EdgeChoice> Cc1<Ch> {
         None
     }
 
+    /// The masked evaluator (`EvalPath::ValueLevel`): same guard cascade as
+    /// [`Cc1::priority_action_fused`], but every committee-shared predicate
+    /// is a bit test against the [`Cc1Facts`] mirror instead of a member
+    /// scan — `O(|E_p|)` bit probes per evaluation instead of
+    /// `O(Σ|ε|)` state reads. Max-candidate selection compares dense
+    /// indices directly (dense order is identifier order). Bit-identical to
+    /// both other evaluators; `debug_assert`ed against the reference on
+    /// every evaluation in debug builds.
+    fn priority_action_masked<E: RequestEnv + ?Sized, A: StateAccess<Cc1State> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Cc1State, E, A>,
+        token: bool,
+    ) -> Option<ActionId> {
+        use action::*;
+        let st = ctx.my_state();
+        let h = ctx.h();
+        let me = ctx.me();
+        let (mut ready, mut meeting) = (false, false);
+        let (mut any_free, mut p_free) = (false, false);
+        let mut max_any: Option<usize> = None;
+        let mut max_t: Option<usize> = None;
+        for &e in h.incident(me) {
+            let b = self.facts.bits[e.index()];
+            ready |= b & F_READY != 0;
+            meeting |= b & F_MEETING != 0;
+            if b & F_FREE != 0 {
+                any_free = true;
+                p_free |= st.p == Some(e);
+                let mm = h.max_member(e);
+                if max_any.is_none_or(|b| mm > b) {
+                    max_any = Some(mm);
+                }
+                let mt = self.facts.max_t[e.index()];
+                if mt != u32::MAX && max_t.is_none_or(|b| mt as usize > b) {
+                    max_t = Some(mt as usize);
+                }
+            }
+        }
+        let max_cand = max_t.or(max_any);
+        let lm =
+            st.p.is_some_and(|e| h.is_member(me, e) && self.facts.bits[e.index()] & F_LEAVE != 0);
+        let idle_ok = st.s != Status::Idle || st.p.is_none();
+        let wait_ok = st.s != Status::Waiting || ready || meeting;
+        let done_ok = st.s != Status::Done || meeting || lm;
+        if !(idle_ok && wait_ok && done_ok) {
+            return Some(if st.s == Status::Idle { STAB1 } else { STAB2 });
+        }
+        if lm && ctx.env().request_out(me) {
+            return Some(STEP4);
+        }
+        if meeting && st.s == Status::Waiting {
+            return Some(STEP32);
+        }
+        if ready && st.s == Status::Looking {
+            return Some(STEP31);
+        }
+        if token && (st.s == Status::Idle || (st.s == Status::Looking && !any_free)) {
+            return Some(TOKEN2);
+        }
+        if token != st.t {
+            return Some(TOKEN1);
+        }
+        if any_free && !ready {
+            if max_cand == Some(me) {
+                if !p_free {
+                    return Some(STEP21);
+                }
+            } else if let Some(e) = max_cand.and_then(|mx| ctx.state_of(mx).p) {
+                if st.p != Some(e) && h.is_member(me, e) && self.facts.bits[e.index()] & F_FREE != 0
+                {
+                    return Some(STEP22);
+                }
+            }
+        }
+        if ctx.env().request_in(me) && st.s == Status::Idle {
+            return Some(STEP1);
+        }
+        None
+    }
+
     fn guard<E: RequestEnv + ?Sized, A: StateAccess<Cc1State> + ?Sized>(
         &self,
         ctx: &Ctx<'_, Cc1State, E, A>,
@@ -422,6 +568,40 @@ impl<Ch: EdgeChoice> CommitteeAlgorithm for Cc1<Ch> {
         self.reference_eval = on;
     }
 
+    fn set_value_level(&mut self, on: bool) {
+        self.value_level = on;
+    }
+
+    fn rebuild_facts<X: StateAccess<Cc1State> + ?Sized>(&mut self, h: &Hypergraph, states: &X) {
+        self.facts.bits.clear();
+        self.facts.bits.resize(h.m(), 0);
+        self.facts.max_t.clear();
+        self.facts.max_t.resize(h.m(), u32::MAX);
+        self.facts.touched = MarkSet::new(h.m());
+        for e in h.edge_ids() {
+            self.facts.recompute(h, states, e);
+        }
+    }
+
+    fn refresh_facts<X: StateAccess<Cc1State> + ?Sized>(
+        &mut self,
+        h: &Hypergraph,
+        states: &X,
+        changed: &[(usize, u8)],
+    ) {
+        for &(p, m) in changed {
+            if m & PROJ_CC == 0 {
+                continue;
+            }
+            for &e in h.incident(p) {
+                self.facts.touched.insert(e.index());
+            }
+        }
+        let mut touched = std::mem::take(&mut self.facts.touched);
+        touched.drain(|ei| self.facts.recompute(h, states, EdgeId(ei as u32)));
+        self.facts.touched = touched;
+    }
+
     fn priority_action<E: RequestEnv + ?Sized, A: StateAccess<Cc1State> + ?Sized>(
         &self,
         ctx: &Ctx<'_, Cc1State, E, A>,
@@ -433,7 +613,11 @@ impl<Ch: EdgeChoice> CommitteeAlgorithm for Cc1<Ch> {
                 .rev()
                 .find(|&a| self.guard(ctx, token, a));
         }
-        let fused = self.priority_action_fused(ctx, token);
+        let fused = if self.value_level {
+            self.priority_action_masked(ctx, token)
+        } else {
+            self.priority_action_fused(ctx, token)
+        };
         debug_assert_eq!(
             fused,
             (0..action::COUNT)
@@ -841,6 +1025,41 @@ mod tests {
                     assert!(on.len() <= 1, "Remark 2 violated at p{p}: {on:?}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn value_level_mirror_matches_reference_under_surgery() {
+        // Random configurations, incremental single-process surgery: the
+        // masked evaluator must agree with the per-guard reference at every
+        // process, and the incrementally refreshed mirror must equal a
+        // from-scratch rebuild.
+        use rand::SeedableRng as _;
+        let h = fig2();
+        let mut cc = Cc1::new();
+        cc.set_value_level(true);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut states: Vec<S> = (0..h.n()).map(|p| S::arbitrary(&mut rng, &h, p)).collect();
+        cc.rebuild_facts(&h, states.as_slice());
+        let env = all_flags(h.n(), true);
+        for round in 0..200 {
+            for p in 0..h.n() {
+                let ctx = Ctx::new(&h, p, &states, &env);
+                for token in [false, true] {
+                    let masked = cc.priority_action_masked(&ctx, token);
+                    let reference = (0..COUNT).rev().find(|&a| cc.guard(&ctx, token, a));
+                    assert_eq!(masked, reference, "round {round} p{p} token {token}");
+                }
+            }
+            let p = (round * 13 + 5) % h.n();
+            let old = states[p];
+            states[p] = S::arbitrary(&mut rng, &h, p);
+            let mask = if old == states[p] { 0 } else { PROJ_CC };
+            cc.refresh_facts(&h, states.as_slice(), &[(p, mask)]);
+            let mut fresh = Cc1::new();
+            fresh.rebuild_facts(&h, states.as_slice());
+            assert_eq!(cc.facts.bits, fresh.facts.bits, "round {round}");
+            assert_eq!(cc.facts.max_t, fresh.facts.max_t, "round {round}");
         }
     }
 

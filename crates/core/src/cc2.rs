@@ -26,13 +26,13 @@
 //! (`FreeEdges` excludes locked/token processes), preserving as much
 //! concurrency as fairness allows (§5.1, Figure 4).
 
-use crate::algo::CommitteeAlgorithm;
+use crate::algo::{CommitteeAlgorithm, PROJ_CC};
 use crate::choice::{EdgeChoice, MinSizeFirst};
 use crate::oracle::RequestEnv;
 use crate::predicates;
 use crate::status::{ActionClass, CommitteeView, Status};
 use sscc_hypergraph::{EdgeId, Hypergraph};
-use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, StateAccess};
+use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, MarkSet, StateAccess};
 
 /// Per-process CC2/CC3 state: `S_p`, `P_p`, `T_p`, `L_p` (+ the CC3
 /// selection cursor, inert under CC2).
@@ -164,6 +164,64 @@ impl Selector for RoundRobinSelector {
     }
 }
 
+// Committee-fact bits of the value-level mirror, one byte per edge.
+/// `∀q ∈ ε : P_q = ε ∧ S_q ∈ {looking, waiting}` — the committee is ready.
+const F_READY: u8 = 1 << 0;
+/// `∀q ∈ ε : P_q = ε ∧ S_q ∈ {waiting, done}` — the committee is meeting.
+const F_MEETING: u8 = 1 << 1;
+/// `∀q ∈ ε : S_q = looking ∧ ¬L_q ∧ ¬T_q` — the committee is free.
+const F_FREE: u8 = 1 << 2;
+/// `∃q ∈ ε : P_q = ε ∧ T_q ∧ S_q = looking` — a token holder pins `ε`
+/// (the `TPointingEdges` membership test).
+const F_TPE: u8 = 1 << 3;
+/// `∀q ∈ ε : P_q ≠ ε ∨ S_q ≠ waiting` — nobody still waits on `ε` (the
+/// quantified part of CC2's `LeaveMeeting`).
+const F_NOWAIT: u8 = 1 << 4;
+
+/// Struct-of-arrays mirror of CC2/CC3's committee-shared predicates (the
+/// CC2 twin of `Cc1Facts` — see `cc1.rs`). No per-edge max-token slot is
+/// needed: free committees exclude announced holders by definition, so the
+/// local maximum ranges over plain members, and the Step12 follow target is
+/// only derived inside `execute` (off the evaluation hot path).
+#[derive(Clone, Debug, Default)]
+struct Cc2Facts {
+    /// Per-edge fact byte (`F_READY | F_MEETING | F_FREE | F_TPE | F_NOWAIT`).
+    bits: Vec<u8>,
+    /// Edge dedup scratch for incremental refresh.
+    touched: MarkSet,
+}
+
+impl Cc2Facts {
+    fn recompute<X: StateAccess<Cc2State> + ?Sized>(
+        &mut self,
+        h: &Hypergraph,
+        states: &X,
+        e: EdgeId,
+    ) {
+        let mut bits = F_READY | F_MEETING | F_FREE | F_NOWAIT;
+        for &q in h.members(e) {
+            let s = states.state(q);
+            let points = s.p == Some(e);
+            if !(points && matches!(s.s, Status::Looking | Status::Waiting)) {
+                bits &= !F_READY;
+            }
+            if !(points && matches!(s.s, Status::Waiting | Status::Done)) {
+                bits &= !F_MEETING;
+            }
+            if !(s.s == Status::Looking && !s.l && !s.t) {
+                bits &= !F_FREE;
+            }
+            if points && s.s == Status::Waiting {
+                bits &= !F_NOWAIT;
+            }
+            if points && s.t && s.s == Status::Looking {
+                bits |= F_TPE;
+            }
+        }
+        self.bits[e.index()] = bits;
+    }
+}
+
 /// Algorithm CC2 (or CC3, depending on the selector), parameterized by the
 /// committee-choice strategy used for *free* committees (Step13).
 #[derive(Clone, Debug, Default)]
@@ -174,6 +232,9 @@ pub struct Cc2<Sel = MinEdgeSelector, Ch = MinSizeFirst> {
     /// fused single-pass evaluator (the PR-1 baseline; bit-identical, just
     /// slower — kept as the differential-testing reference).
     reference_eval: bool,
+    /// Evaluate through the fact mirror (`EvalPath::ValueLevel`).
+    value_level: bool,
+    facts: Cc2Facts,
 }
 
 /// Algorithm CC3 = CC2 with the round-robin selector.
@@ -189,11 +250,7 @@ impl Cc2<MinEdgeSelector, MinSizeFirst> {
 impl Cc3<MinSizeFirst> {
     /// CC3 (committee fairness) with the default free-committee choice.
     pub fn new_cc3() -> Self {
-        Cc2 {
-            selector: RoundRobinSelector,
-            choice: MinSizeFirst,
-            reference_eval: false,
-        }
+        Cc2::with_strategies(RoundRobinSelector, MinSizeFirst)
     }
 }
 
@@ -204,6 +261,8 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
             selector,
             choice,
             reference_eval: false,
+            value_level: false,
+            facts: Cc2Facts::default(),
         }
     }
 
@@ -495,6 +554,90 @@ impl<Sel: Selector, Ch: EdgeChoice> Cc2<Sel, Ch> {
         None
     }
 
+    /// The masked evaluator (`EvalPath::ValueLevel`): same guard cascade as
+    /// [`Cc2::priority_action_fused`], but every committee-shared predicate
+    /// is a bit test against the [`Cc2Facts`] mirror instead of a member
+    /// scan. The local maximum of the free nodes compares dense indices
+    /// directly (dense order is identifier order), using the hypergraph's
+    /// `max_member`. Bit-identical to both other evaluators;
+    /// `debug_assert`ed against the reference on every evaluation in debug
+    /// builds.
+    fn priority_action_masked<E: RequestEnv + ?Sized, A: StateAccess<Cc2State> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Cc2State, E, A>,
+        token: bool,
+    ) -> Option<ActionId> {
+        use action::*;
+        let st = ctx.my_state();
+        let h = ctx.h();
+        let me = ctx.me();
+        let (mut ready, mut meeting) = (false, false);
+        let (mut any_free, mut p_free) = (false, false);
+        let (mut any_tpe, mut p_tpe) = (false, false);
+        let mut max_free: Option<usize> = None;
+        for &e in h.incident(me) {
+            let b = self.facts.bits[e.index()];
+            ready |= b & F_READY != 0;
+            meeting |= b & F_MEETING != 0;
+            if b & F_FREE != 0 {
+                any_free = true;
+                p_free |= st.p == Some(e);
+                let mm = h.max_member(e);
+                if max_free.is_none_or(|b| mm > b) {
+                    max_free = Some(mm);
+                }
+            }
+            if b & F_TPE != 0 {
+                any_tpe = true;
+                p_tpe |= st.p == Some(e);
+            }
+        }
+        let locked = any_tpe;
+        let lm = st.s == Status::Done
+            && st
+                .p
+                .is_some_and(|e| h.is_member(me, e) && self.facts.bits[e.index()] & F_NOWAIT != 0);
+        let wait_ok = st.s != Status::Waiting || ready || meeting;
+        let done_ok = st.s != Status::Done || meeting || lm;
+        if !(wait_ok && done_ok) {
+            return Some(STAB);
+        }
+        if lm && ctx.env().request_out(me) {
+            return Some(STEP4);
+        }
+        if meeting && st.s == Status::Waiting {
+            return Some(STEP3);
+        }
+        if ready && st.s == Status::Looking {
+            return Some(STEP2);
+        }
+        if token != st.t {
+            return Some(TOKEN);
+        }
+        if !token && !locked && any_free && !ready {
+            if max_free == Some(me) {
+                if !p_free {
+                    return Some(STEP13);
+                }
+            } else if let Some(e) = max_free.and_then(|mx| ctx.state_of(mx).p) {
+                if st.p != Some(e) && h.is_member(me, e) && self.facts.bits[e.index()] & F_FREE != 0
+                {
+                    return Some(STEP14);
+                }
+            }
+        }
+        if !token && st.s == Status::Looking && !ready && any_tpe && !p_tpe {
+            return Some(STEP12);
+        }
+        if token && st.s == Status::Looking && !ready && !self.selector.acceptable(h, me, st) {
+            return Some(STEP11);
+        }
+        if locked != st.l {
+            return Some(LOCK);
+        }
+        None
+    }
+
     fn guard<E: RequestEnv + ?Sized, A: StateAccess<Cc2State> + ?Sized>(
         &self,
         ctx: &Ctx<'_, Cc2State, E, A>,
@@ -572,7 +715,11 @@ impl<Sel: Selector, Ch: EdgeChoice> CommitteeAlgorithm for Cc2<Sel, Ch> {
                 .rev()
                 .find(|&a| self.guard(ctx, token, a));
         }
-        let fused = self.priority_action_fused(ctx, token);
+        let fused = if self.value_level {
+            self.priority_action_masked(ctx, token)
+        } else {
+            self.priority_action_fused(ctx, token)
+        };
         debug_assert_eq!(
             fused,
             (0..action::COUNT)
@@ -585,6 +732,45 @@ impl<Sel: Selector, Ch: EdgeChoice> CommitteeAlgorithm for Cc2<Sel, Ch> {
 
     fn set_reference_eval(&mut self, on: bool) {
         self.reference_eval = on;
+    }
+
+    fn set_value_level(&mut self, on: bool) {
+        self.value_level = on;
+    }
+
+    fn rebuild_facts<X: StateAccess<Cc2State> + ?Sized>(&mut self, h: &Hypergraph, states: &X) {
+        self.facts.bits.clear();
+        self.facts.bits.resize(h.m(), 0);
+        self.facts.touched = MarkSet::new(h.m());
+        for e in h.edge_ids() {
+            self.facts.recompute(h, states, e);
+        }
+    }
+
+    fn refresh_facts<X: StateAccess<Cc2State> + ?Sized>(
+        &mut self,
+        h: &Hypergraph,
+        states: &X,
+        changed: &[(usize, u8)],
+    ) {
+        for &(p, m) in changed {
+            if m & PROJ_CC == 0 {
+                continue;
+            }
+            for &e in h.incident(p) {
+                self.facts.touched.insert(e.index());
+            }
+        }
+        let mut touched = std::mem::take(&mut self.facts.touched);
+        touched.drain(|ei| self.facts.recompute(h, states, EdgeId(ei as u32)));
+        self.facts.touched = touched;
+    }
+
+    fn committee_visible_changed(&self, old: &Cc2State, new: &Cc2State) -> bool {
+        // The CC3 round-robin cursor is consulted only by its own process
+        // (the selector's `target`/`acceptable` read `my_state`), so a
+        // cursor-only change perturbs no neighbor guard and no edge fact.
+        old.s != new.s || old.p != new.p || old.t != new.t || old.l != new.l
     }
 
     fn execute<E: RequestEnv + ?Sized, A: StateAccess<Cc2State> + ?Sized>(
@@ -894,6 +1080,50 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn value_level_mirror_matches_reference_under_surgery() {
+        // CC2 and CC3 twins of cc1's mirror test: random configurations
+        // with incremental single-process surgery — the masked evaluator
+        // must agree with the per-guard reference everywhere, and the
+        // refreshed mirror must equal a from-scratch rebuild.
+        use rand::SeedableRng as _;
+        fn run<Sel: Selector + Clone, Ch: EdgeChoice + Clone>(mut cc: Cc2<Sel, Ch>, seed: u64) {
+            let h = generators::fig4();
+            cc.set_value_level(true);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut states: Vec<S> = (0..h.n()).map(|p| S::arbitrary(&mut rng, &h, p)).collect();
+            cc.rebuild_facts(&h, states.as_slice());
+            let mut env = RequestFlags::new(h.n());
+            for p in 0..h.n() {
+                env.set_out(p, true);
+            }
+            for round in 0..200 {
+                for p in 0..h.n() {
+                    let ctx = Ctx::new(&h, p, &states, &env);
+                    for token in [false, true] {
+                        let masked = cc.priority_action_masked(&ctx, token);
+                        let reference = (0..COUNT).rev().find(|&a| cc.guard(&ctx, token, a));
+                        assert_eq!(masked, reference, "round {round} p{p} token {token}");
+                    }
+                }
+                let p = (round * 11 + 3) % h.n();
+                let old = states[p];
+                states[p] = S::arbitrary(&mut rng, &h, p);
+                let mask = if cc.committee_visible_changed(&old, &states[p]) {
+                    crate::algo::PROJ_CC
+                } else {
+                    0
+                };
+                cc.refresh_facts(&h, states.as_slice(), &[(p, mask)]);
+                let mut fresh = cc.clone();
+                fresh.rebuild_facts(&h, states.as_slice());
+                assert_eq!(cc.facts.bits, fresh.facts.bits, "round {round}");
+            }
+        }
+        run(Cc2::new(), 11);
+        run(Cc3::new_cc3(), 12);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! for safety, only for progress/fairness, so CC's safety properties hold
 //! from the very first step.
 
-use crate::algo::CommitteeAlgorithm;
+use crate::algo::{CommitteeAlgorithm, PROJ_CC, PROJ_TOK};
 use crate::oracle::RequestEnv;
 use sscc_hypergraph::Hypergraph;
 use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, GuardedAlgorithm, Layer, StateAccess};
@@ -221,6 +221,44 @@ where
             }
         }
         next
+    }
+
+    // --- Read-set descriptor -------------------------------------------
+    //
+    // Neighbors read exactly two projections of a composed state: the
+    // committee view (status/pointer/T/L — every committee guard) and the
+    // visible substrate slice (the wave token's k/fb — KCopy/Certify/
+    // Advance guards). The `turn` bit and any self-only layer fields (a
+    // round-robin cursor, the wave `done` flag) are read by nobody else,
+    // so a step that only touches those re-enqueues just the process that
+    // moved — the engine always marks a changed process itself.
+
+    fn changed_projections(&self, old: &Self::State, new: &Self::State) -> u8 {
+        let mut mask = 0;
+        if self.cc.committee_visible_changed(&old.cc, &new.cc) {
+            mask |= PROJ_CC;
+        }
+        if self.tl.changed_visible(&old.tok, &new.tok) {
+            mask |= PROJ_TOK;
+        }
+        mask
+    }
+
+    fn init_commit_notes(&mut self, h: &Hypergraph, states: &[Self::State]) {
+        let pc = ProjCc::new(states);
+        self.cc.rebuild_facts(h, &pc);
+    }
+
+    fn refresh_commit_notes(
+        &mut self,
+        h: &Hypergraph,
+        states: &[Self::State],
+        changed: &[(usize, u8)],
+    ) {
+        if changed.iter().any(|&(_, m)| m & PROJ_CC != 0) {
+            let pc = ProjCc::new(states);
+            self.cc.refresh_facts(h, &pc, changed);
+        }
     }
 }
 

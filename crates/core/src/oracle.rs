@@ -17,8 +17,6 @@
 //! (the mutable decision logic, fed the post-step statuses).
 
 use crate::status::Status;
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng as _};
 
 /// The environment interface the algorithms read during guard evaluation.
 ///
@@ -123,9 +121,11 @@ pub trait OraclePolicy {
     /// (`O(affected)` instead of `O(n)`), producing **identical flag
     /// trajectories** to [`OraclePolicy::update`]. A superset of the truly
     /// changed processes is always safe. The default falls back to the full
-    /// tick (correct for every policy; time-randomized policies like
-    /// [`StochasticPolicy`] *must* keep it — their per-process RNG draws
-    /// each tick are part of the observable trajectory).
+    /// tick, which is correct for every policy. Randomized policies can be
+    /// delta-aware too if their draws are *event-indexed* rather than
+    /// tick-indexed — see [`StochasticPolicy`], whose counter-based streams
+    /// consume randomness only on state transitions, making the delta tick
+    /// draw the very same numbers the full tick would.
     fn update_delta(&mut self, flags: &mut RequestFlags, view: &PolicyView, changed: &[usize]) {
         let _ = changed;
         self.update(flags, view);
@@ -286,33 +286,170 @@ impl OraclePolicy for InfiniteMeetingPolicy {
     }
 }
 
+/// SplitMix64 finalizer: a well-mixed 64-bit hash, the basis of the
+/// counter-based random streams in [`StochasticPolicy`].
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Randomized environment: idle professors start requesting with probability
 /// `p_in` per step; done professors request out after a per-sojourn random
 /// delay in `out_delay`. Deterministic per seed.
+///
+/// Randomness is **counter-based**: draw `k` of process `p` is
+/// `hash(seed, p, k)`, consumed only on state *transitions* — one geometric
+/// draw when `p` turns idle-and-not-requesting (how many steps until the
+/// in-request fires, matching per-step Bernoulli(`p_in`) in distribution)
+/// and one uniform draw when `p` enters `done` (the out-delay). Because a
+/// draw's value depends only on `(seed, p, k)` — never on the tick it is
+/// read at or on other processes' draws — the delta tick
+/// ([`OraclePolicy::update_delta`]) consumes the identical stream the full
+/// tick would, and the two produce bit-identical flag trajectories.
 #[derive(Clone, Debug)]
 pub struct StochasticPolicy {
-    rng: StdRng,
+    seed: u64,
     p_in: f64,
     out_lo: u64,
     out_hi: u64,
     wants_in: Vec<bool>,
+    /// Per-process draw counter: the stream position of the next draw.
+    counter: Vec<u64>,
+    /// Tick at which the pending in-request fires (idle arming).
+    in_fire_at: Vec<Option<u64>>,
     done_since: Vec<Option<(u64, u64)>>, // (entered, sampled delay)
     now: u64,
+    /// Armed-but-not-yet-fired timers, as in [`EagerPolicy`]: `armed[p]` is
+    /// authoritative; `pending` may hold disarmed stragglers that the next
+    /// due-scan drops.
+    pending: Vec<usize>,
+    armed: Vec<bool>,
 }
 
 impl StochasticPolicy {
-    /// Policy for `n` processes.
+    /// Policy for `n` processes. `p_in = 0.0` never requests in.
     pub fn new(n: usize, seed: u64, p_in: f64, out_delay: std::ops::Range<u64>) -> Self {
         assert!((0.0..=1.0).contains(&p_in));
         assert!(out_delay.start < out_delay.end);
         StochasticPolicy {
-            rng: StdRng::seed_from_u64(seed),
+            seed,
             p_in,
             out_lo: out_delay.start,
             out_hi: out_delay.end,
             wants_in: vec![false; n],
+            counter: vec![0; n],
+            in_fire_at: vec![None; n],
             done_since: vec![None; n],
             now: 0,
+            pending: Vec::new(),
+            armed: vec![false; n],
+        }
+    }
+
+    /// The next value of process `p`'s stream.
+    fn draw(&mut self, p: usize) -> u64 {
+        let k = self.counter[p];
+        self.counter[p] += 1;
+        splitmix64(splitmix64(self.seed.wrapping_add((p as u64) << 32)).wrapping_add(k))
+    }
+
+    /// Number of Bernoulli(`p_in`) failures before the first success —
+    /// inverse-transform geometric, so arming once at transition time is
+    /// distributed exactly like drawing every idle step.
+    fn geometric(&mut self, p: usize) -> u64 {
+        if self.p_in >= 1.0 {
+            return 0;
+        }
+        // (0, 1]: never ln(0); u = 0 maps to an immediate success.
+        let u = 1.0 - (self.draw(p) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        (u.ln() / (1.0 - self.p_in).ln()) as u64 // `as` saturates
+    }
+
+    fn arm(&mut self, p: usize) {
+        if !self.armed[p] {
+            self.armed[p] = true;
+            self.pending.push(p);
+        }
+    }
+
+    /// Re-derive process `p`'s flags from its status at tick `now` —
+    /// the one evaluation both tick flavors share. Idempotent within a
+    /// tick: draws are memoized in `in_fire_at` / `done_since`, so calling
+    /// this again (e.g. for a process both changed and armed) consumes no
+    /// further randomness and writes the same flags.
+    fn derive(&mut self, p: usize, status: Status, flags: &mut RequestFlags) {
+        match status {
+            Status::Idle => {
+                if !self.wants_in[p] && self.p_in > 0.0 {
+                    let fire_at = match self.in_fire_at[p] {
+                        Some(t) => t,
+                        None => {
+                            let f = self.geometric(p);
+                            let t = self.now.saturating_add(f);
+                            self.in_fire_at[p] = Some(t);
+                            t
+                        }
+                    };
+                    if self.now >= fire_at {
+                        self.wants_in[p] = true;
+                        self.in_fire_at[p] = None;
+                        self.armed[p] = false;
+                    } else {
+                        self.arm(p);
+                    }
+                }
+                self.done_since[p] = None;
+                flags.set_out(p, false);
+            }
+            Status::Done => {
+                self.in_fire_at[p] = None;
+                let (entered, delay) = match self.done_since[p] {
+                    Some(pair) => pair,
+                    None => {
+                        let delay = self.out_lo + self.draw(p) % (self.out_hi - self.out_lo);
+                        let pair = (self.now, delay);
+                        self.done_since[p] = Some(pair);
+                        pair
+                    }
+                };
+                let fired = self.now - entered >= delay;
+                flags.set_out(p, fired);
+                if fired {
+                    self.armed[p] = false;
+                } else {
+                    self.arm(p);
+                }
+            }
+            _ => {
+                // Looking/waiting: the in-request has been consumed.
+                self.wants_in[p] = false;
+                self.in_fire_at[p] = None;
+                self.done_since[p] = None;
+                self.armed[p] = false;
+                flags.set_out(p, false);
+            }
+        }
+        flags.set_in(p, self.wants_in[p]);
+    }
+
+    /// Re-derive every armed timer (it may be due this tick), dropping
+    /// disarmed stragglers from the worklist.
+    fn fire_due(&mut self, flags: &mut RequestFlags, view: &PolicyView) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            let p = self.pending[i];
+            if !self.armed[p] {
+                self.pending.swap_remove(i);
+                continue;
+            }
+            self.derive(p, view.status[p], flags);
+            if !self.armed[p] {
+                self.pending.swap_remove(i);
+            } else {
+                i += 1;
+            }
         }
     }
 }
@@ -320,29 +457,24 @@ impl StochasticPolicy {
 impl OraclePolicy for StochasticPolicy {
     fn update(&mut self, flags: &mut RequestFlags, view: &PolicyView) {
         self.now += 1;
-        for p in 0..view.status.len() {
-            match view.status[p] {
-                Status::Idle => {
-                    if !self.wants_in[p] && self.rng.random_bool(self.p_in) {
-                        self.wants_in[p] = true;
-                    }
-                    self.done_since[p] = None;
-                    flags.set_out(p, false);
-                }
-                Status::Done => {
-                    let (entered, delay) = *self.done_since[p]
-                        .get_or_insert((self.now, self.rng.random_range(self.out_lo..self.out_hi)));
-                    flags.set_out(p, self.now - entered >= delay);
-                }
-                _ => {
-                    // Looking/waiting: the in-request has been consumed.
-                    self.wants_in[p] = false;
-                    self.done_since[p] = None;
-                    flags.set_out(p, false);
-                }
-            }
-            flags.set_in(p, self.wants_in[p]);
+        // The full sweep re-arms whatever is still pending; resetting the
+        // worklist first keeps it free of disarmed stragglers (which only a
+        // delta tick's due-scan would otherwise drop).
+        for &p in &self.pending {
+            self.armed[p] = false;
         }
+        self.pending.clear();
+        for p in 0..view.status.len() {
+            self.derive(p, view.status[p], flags);
+        }
+    }
+
+    fn update_delta(&mut self, flags: &mut RequestFlags, view: &PolicyView, changed: &[usize]) {
+        self.now += 1;
+        for &p in changed {
+            self.derive(p, view.status[p], flags);
+        }
+        self.fire_due(flags, view);
     }
 
     fn quiescence_horizon(&self) -> u64 {
@@ -562,22 +694,52 @@ mod tests {
     }
 
     #[test]
+    fn stochastic_delta_matches_full() {
+        for (p_in, lo, hi) in [(0.5, 1, 4), (1.0, 1, 2), (0.05, 2, 9), (0.0, 1, 3)] {
+            assert_delta_matches_full(
+                move || Box::new(StochasticPolicy::new(9, 42, p_in, lo..hi)),
+                &format!("stochastic/p{p_in}"),
+            );
+        }
+    }
+
+    #[test]
+    fn stochastic_zero_p_in_never_requests() {
+        let mut pol = StochasticPolicy::new(2, 9, 0.0, 1..3);
+        let mut f = RequestFlags::new(2);
+        f.set_in(0, false);
+        f.set_in(1, false);
+        let v = view(vec![Status::Idle, Status::Idle], vec![false, false]);
+        for _ in 0..50 {
+            pol.update(&mut f, &v);
+            assert!(!f.request_in(0) && !f.request_in(1), "p_in = 0 never fires");
+        }
+    }
+
+    #[test]
     fn default_update_delta_falls_back_to_full() {
-        // StochasticPolicy keeps the full tick (RNG draws are part of the
-        // trajectory): its update_delta must behave exactly like update.
-        let mut a = StochasticPolicy::new(3, 7, 0.5, 1..4);
-        let mut b = StochasticPolicy::new(3, 7, 0.5, 1..4);
+        // The trait default must remain "run the full tick" — policies that
+        // opt out of delta awareness stay correct without any override.
+        struct CountingPolicy(u64);
+        impl OraclePolicy for CountingPolicy {
+            fn update(&mut self, flags: &mut RequestFlags, view: &PolicyView) {
+                self.0 += 1;
+                for p in 0..view.status.len() {
+                    flags.set_in(p, self.0.is_multiple_of(2));
+                }
+            }
+        }
+        let mut a = CountingPolicy(0);
+        let mut b = CountingPolicy(0);
         let mut fa = RequestFlags::new(3);
         let mut fb = RequestFlags::new(3);
-        let v = view(
-            vec![Status::Idle, Status::Done, Status::Looking],
-            vec![false, true, false],
-        );
-        for _ in 0..20 {
+        let v = view(vec![Status::Idle; 3], vec![false; 3]);
+        for _ in 0..6 {
             a.update(&mut fa, &v);
             b.update_delta(&mut fb, &v, &[]);
-            assert_eq!(fa, fb);
+            assert_eq!(fa, fb, "default delta tick is the full tick");
         }
+        assert_eq!(a.0, b.0);
     }
 
     #[test]

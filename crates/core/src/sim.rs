@@ -240,11 +240,13 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
                 self.naive = true;
                 self.delta_policies = true;
                 self.world.algo_mut().cc.set_reference_eval(false);
+                self.world.algo_mut().cc.set_value_level(false);
             }
             EvalPath::Reference => {
                 self.naive = false;
                 self.delta_policies = false;
                 self.world.algo_mut().cc.set_reference_eval(true);
+                self.world.algo_mut().cc.set_value_level(false);
                 // The engine side of the PR-1 baseline is the plain
                 // sequential incremental drain.
                 wcfg.eval = EvalPath::Incremental;
@@ -253,6 +255,17 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
                 self.naive = false;
                 self.delta_policies = true;
                 self.world.algo_mut().cc.set_reference_eval(false);
+                self.world.algo_mut().cc.set_value_level(false);
+            }
+            EvalPath::ValueLevel => {
+                // Value-level invalidation in the engine (read-set diffing
+                // at commit) plus the committee fact mirror in the
+                // evaluator; the engine's commit-note lifecycle keeps the
+                // mirror in sync with the committed configuration.
+                self.naive = false;
+                self.delta_policies = true;
+                self.world.algo_mut().cc.set_reference_eval(false);
+                self.world.algo_mut().cc.set_value_level(true);
             }
         }
         // The daemon is ours, not the World's.
@@ -602,7 +615,23 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
                 self.recheck.insert(q);
             }
         }
-        self.touched_edges.sort_unstable();
+        // Ascending order without a comparison sort when the touched set is
+        // dense: a rank-order gather over the mark bitmap is `O(m)` against
+        // the sort's `O(k log k)`, and on busy steps `k` approaches `m`
+        // (same crossover heuristic as the engine's dirty-set refresh and
+        // [`MarkSet::sort`]).
+        let k = self.touched_edges.len();
+        let m = self.touched_mark.universe();
+        if (k as u64) * u64::from(k.max(2).ilog2()) >= m as u64 {
+            self.touched_edges.clear();
+            self.touched_edges.extend(
+                (0..m)
+                    .filter(|&e| self.touched_mark.contains(e))
+                    .map(|e| EdgeId(e as u32)),
+            );
+        } else {
+            self.touched_edges.sort_unstable();
+        }
         self.recheck.sort();
         self.rounds.record_executed(&self.executed_procs);
         let step_idx = self.world.steps() - 1;

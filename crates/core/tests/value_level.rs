@@ -1,0 +1,164 @@
+//! Debug-build lockstep for the value-level modes.
+//!
+//! The release-mode differential suite already drives every registry mode
+//! (including `vl`/`vl_daemon`/`vl_par2`/`vl_pool`) bit-identically against
+//! the default engine — but release builds compile the evaluators'
+//! `debug_assert_eq!` cross-checks away. This small suite runs in the plain
+//! build-test job (debug profile), so every masked evaluation under
+//! `EvalPath::ValueLevel` is checked against the per-guard reference on the
+//! spot: any stale fact-mirror entry trips the assert at the exact step
+//! that produced it, instead of surfacing later as a trace divergence.
+
+use sscc_core::sim::{default_daemon, Sim};
+use sscc_core::{Cc1, Cc2, Cc3, CommitteeAlgorithm, EagerPolicy};
+use sscc_hypergraph::generators;
+use sscc_token::{TokenLayer, WaveToken};
+use std::sync::Arc;
+
+/// Step the default engine against `vl` and `vl_daemon` twins and require
+/// identical configurations and observables at every step.
+fn assert_vl_matches<C, TL>(mk: impl Fn() -> Sim<C, TL>, budget: u64, label: &str)
+where
+    C: CommitteeAlgorithm,
+    C::State: Copy,
+    TL: TokenLayer,
+    TL::State: Copy,
+{
+    let mut reference = mk();
+    reference.enable_trace();
+    let mut twins: Vec<(&str, Sim<C, TL>)> = ["vl", "vl_daemon"]
+        .into_iter()
+        .map(|mode| {
+            let mut s = mk();
+            s.configure_mode(mode)
+                .unwrap_or_else(|e| panic!("{mode} must configure: {e}"));
+            s.enable_trace();
+            (mode, s)
+        })
+        .collect();
+    for step in 0..budget {
+        let a = reference.step();
+        for (tag, s) in &mut twins {
+            let b = s.step();
+            assert_eq!(a, b, "{label}/{tag}: step {step} progress disagrees");
+            assert_eq!(
+                reference.cc_states(),
+                s.cc_states(),
+                "{label}/{tag}: step {step} configurations diverge"
+            );
+        }
+        if !a {
+            break;
+        }
+    }
+    for (tag, s) in &twins {
+        assert_eq!(
+            reference.trace().unwrap().events(),
+            s.trace().unwrap().events(),
+            "{label}/{tag}: executed-action traces"
+        );
+        assert_eq!(reference.rounds(), s.rounds(), "{label}/{tag}: rounds");
+        assert_eq!(
+            reference.monitor().violations(),
+            s.monitor().violations(),
+            "{label}/{tag}: monitor verdicts"
+        );
+        assert_eq!(
+            reference.ledger().instances(),
+            s.ledger().instances(),
+            "{label}/{tag}: ledger instances"
+        );
+    }
+}
+
+macro_rules! vl_lockstep {
+    ($name:ident, $cc:expr, $algo:literal) => {
+        #[test]
+        fn $name() {
+            for (topo, h) in [
+                ("fig2", Arc::new(generators::fig2())),
+                ("ring6x2", Arc::new(generators::ring(6, 2))),
+            ] {
+                let n = h.n();
+                for seed in 0..6u64 {
+                    // Clean boot.
+                    let hh = Arc::clone(&h);
+                    assert_vl_matches(
+                        move || {
+                            Sim::new(
+                                Arc::clone(&hh),
+                                $cc,
+                                WaveToken::new(&hh),
+                                default_daemon(seed, n),
+                                Box::new(EagerPolicy::new(n, 1)),
+                            )
+                        },
+                        300,
+                        &format!("{}/{topo}/clean/seed{seed}", $algo),
+                    );
+                    // Arbitrary boot: the mirror must be rebuilt from (and
+                    // stay coherent under) fault debris too.
+                    let hh = Arc::clone(&h);
+                    assert_vl_matches(
+                        move || {
+                            Sim::arbitrary(
+                                Arc::clone(&hh),
+                                $cc,
+                                WaveToken::new(&hh),
+                                default_daemon(seed, n),
+                                Box::new(EagerPolicy::new(n, 1)),
+                                seed,
+                            )
+                        },
+                        300,
+                        &format!("{}/{topo}/arbitrary/seed{seed}", $algo),
+                    );
+                }
+            }
+        }
+    };
+}
+
+vl_lockstep!(value_level_cc1_matches_default, Cc1::new(), "CC1");
+vl_lockstep!(value_level_cc2_matches_default, Cc2::new(), "CC2");
+vl_lockstep!(value_level_cc3_matches_default, Cc3::new_cc3(), "CC3");
+
+/// State surgery through [`Sim::set_cc_state`] + [`Sim::reset_observers`]
+/// marks the engine's commit notes stale; the next step must rebuild the
+/// mirror before evaluating — pinned here because the debug asserts fire
+/// immediately if it does not.
+#[test]
+fn value_level_survives_state_surgery() {
+    let h = Arc::new(generators::fig2());
+    let n = h.n();
+    let mk = || {
+        Sim::new(
+            Arc::clone(&h),
+            Cc1::new(),
+            WaveToken::new(&h),
+            default_daemon(3, n),
+            Box::new(EagerPolicy::new(n, 1)),
+        )
+    };
+    let mut reference = mk();
+    let mut vl = mk();
+    vl.configure_mode("vl").unwrap();
+    for round in 0..8 {
+        for _ in 0..40 {
+            reference.step();
+            vl.step();
+            assert_eq!(reference.cc_states(), vl.cc_states());
+        }
+        // Identical surgery on both: corrupt one professor mid-run.
+        let p = round % n;
+        let corrupted = sscc_core::Cc1State {
+            s: sscc_core::Status::Waiting,
+            p: None,
+            t: round % 2 == 0,
+        };
+        reference.set_cc_state(p, corrupted);
+        vl.set_cc_state(p, corrupted);
+        reference.reset_observers();
+        vl.reset_observers();
+    }
+}

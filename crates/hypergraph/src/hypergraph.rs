@@ -310,6 +310,18 @@ impl Hypergraph {
         self.edges[e.index()].binary_search(&v).is_ok()
     }
 
+    /// The member of `e` with the **largest identifier**, as a dense
+    /// index. Members are stored ascending and dense order is identifier
+    /// order (ids are sorted at construction), so this is the last member
+    /// — an `O(1)` lookup the committee-predicate mirror uses for
+    /// max-candidate selection over free edges.
+    #[inline]
+    pub fn max_member(&self, e: EdgeId) -> usize {
+        *self.edges[e.index()]
+            .last()
+            .expect("committees have >= 2 members")
+    }
+
     /// Iterator over all edge identifiers.
     pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
         (0..self.m() as u32).map(EdgeId)
@@ -571,5 +583,20 @@ mod tests {
         let h = fig1();
         assert!(h.is_member(h.dense_of(5), EdgeId(2)));
         assert!(!h.is_member(h.dense_of(5), EdgeId(0)));
+    }
+
+    #[test]
+    fn max_member_is_the_max_id_member() {
+        let h = Hypergraph::new(&[&[100, 7], &[7, 2000]]);
+        for e in h.edge_ids() {
+            let expect = h
+                .members(e)
+                .iter()
+                .copied()
+                .max_by_key(|&v| h.id(v))
+                .unwrap();
+            assert_eq!(h.max_member(e), expect);
+        }
+        assert_eq!(h.id(h.max_member(EdgeId(1))).value(), 2000);
     }
 }

@@ -104,6 +104,61 @@ pub trait GuardedAlgorithm: Sync {
     fn env_footprint<'h>(&self, h: &'h Hypergraph, p: usize) -> &'h [usize] {
         h.singleton(p)
     }
+
+    // --- Read-set descriptor (value-level invalidation) -----------------
+    //
+    // Guards read only small *projections* of neighbor state (a committee
+    // view, a token variable, …). The three hooks below let an algorithm
+    // declare those projections so the engine, under
+    // `EvalPath::ValueLevel`, can diff committed old/new states per
+    // projection and re-enqueue only the processes whose actual read set
+    // changed — instead of the whole topological neighborhood. All
+    // defaults preserve the conservative topological behavior exactly.
+
+    /// **Read-set diff**: a bitmask with bit `i` set iff projection `i` of
+    /// the state — the slice of `p`'s state that *other* processes' guards
+    /// may read — differs between `old` and `new`.
+    ///
+    /// Fields read only by the process itself (cursors, turn bits) need no
+    /// projection: the engine always re-enqueues the process whose own
+    /// state changed. The default declares a single projection 0 covering
+    /// the whole state, which makes value-level invalidation degenerate to
+    /// the topological footprint for algorithms that do not override it.
+    fn changed_projections(&self, old: &Self::State, new: &Self::State) -> u8 {
+        u8::from(old != new)
+    }
+
+    /// The processes whose priority guard reads projection `proj` of `p`'s
+    /// state, ascending. Must be a subset of
+    /// [`state_footprint`](GuardedAlgorithm::state_footprint); the default
+    /// returns that footprint unchanged (safe for every projection).
+    fn projection_footprint<'h>(&self, h: &'h Hypergraph, p: usize, proj: u32) -> &'h [usize] {
+        let _ = proj;
+        self.state_footprint(h, p)
+    }
+
+    /// Rebuild any derived *commit notes* (e.g. a bitset mirror of shared
+    /// committee predicates) from a full committed configuration. The
+    /// engine calls this under `EvalPath::ValueLevel` before the first
+    /// guard evaluation and after any wholesale state overwrite; the
+    /// default keeps no notes.
+    fn init_commit_notes(&mut self, h: &Hypergraph, states: &[Self::State]) {
+        let _ = (h, states);
+    }
+
+    /// Incrementally refresh commit notes after a step commits. Called
+    /// once per step, after **all** writes landed, with the fully
+    /// committed configuration and the list of `(process, changed
+    /// projection mask)` pairs produced by
+    /// [`changed_projections`](GuardedAlgorithm::changed_projections).
+    fn refresh_commit_notes(
+        &mut self,
+        h: &Hypergraph,
+        states: &[Self::State],
+        changed: &[(usize, u8)],
+    ) {
+        let _ = (h, states, changed);
+    }
 }
 
 #[cfg(test)]

@@ -70,6 +70,19 @@ pub enum EvalPath {
     /// default engine since PR 2.
     #[default]
     Incremental,
+    /// The incremental scheduler with **value-level** invalidation: after a
+    /// commit the engine diffs each executed process's old/new state per
+    /// declared read-set projection
+    /// ([`GuardedAlgorithm::changed_projections`]) and only re-enqueues the
+    /// processes whose actual read set changed, and the algorithm keeps a
+    /// bitset mirror of committee-shared predicates (via the commit-note
+    /// hooks) that the fused evaluators test instead of re-reading member
+    /// fields. Composable with every other knob, like
+    /// [`EvalPath::Incremental`].
+    ///
+    /// [`GuardedAlgorithm::changed_projections`]:
+    ///     crate::algorithm::GuardedAlgorithm::changed_projections
+    ValueLevel,
 }
 
 /// How the dirty-guard worklist is drained.
@@ -340,6 +353,7 @@ impl fmt::Display for EngineConfig {
             EvalPath::FullScan => parts.push("full_scan".into()),
             EvalPath::Reference => parts.push("incremental".into()),
             EvalPath::Incremental => {}
+            EvalPath::ValueLevel => parts.push("vl".into()),
         }
         if let Drain::Parallel { threads, min_batch } = self.drain {
             if min_batch == DEFAULT_MIN_PARALLEL_BATCH {
@@ -373,7 +387,8 @@ impl FromStr for EngineConfig {
 
     /// Parse a registry mode name (`"poolcommit"`) or a `+`-joined token
     /// string (`"par2+inplace+trusted"`). Tokens: `full_scan`,
-    /// `incremental`/`pr1`/`reference`, `par1`, `parN`/`parNbM` (drain with
+    /// `incremental`/`pr1`/`reference`, `vl`/`value` (value-level
+    /// invalidation), `par1`, `parN`/`parNbM` (drain with
     /// optional per-thread min batch), `inplace`, `buffered`, `parcommit`,
     /// `trusted`, `daemon_view`/`daemon_inc`, plus the composite historical
     /// labels `daemon`, `pool`, `poolcommit`. Parsing does **not**
@@ -393,6 +408,7 @@ impl FromStr for EngineConfig {
                 "par1" | "seq" => cfg.drain = Drain::Sequential,
                 "full_scan" => cfg.eval = EvalPath::FullScan,
                 "incremental" | "pr1" | "reference" => cfg.eval = EvalPath::Reference,
+                "vl" | "value" => cfg.eval = EvalPath::ValueLevel,
                 "inplace" => cfg.commit = CommitStrategy::InPlace,
                 "buffered" => cfg.commit = CommitStrategy::Buffered,
                 "parcommit" => cfg.parallel_commit = true,
@@ -469,9 +485,10 @@ pub struct Mode {
 pub struct ModeRegistry;
 
 /// The registry table. Order is presentation order (bench records, mode
-/// listings): the nine historical BENCH modes first, then the
-/// differential-only compositions.
-static MODES: [Mode; 15] = [
+/// listings): the baseline BENCH sweep first (the nine historical modes
+/// plus the two value-level ones), then the differential-only
+/// compositions.
+static MODES: [Mode; 19] = [
     Mode {
         name: "full_scan",
         summary: "legacy O(n) engine: every guard re-evaluated, whole-view observers (reference)",
@@ -537,6 +554,22 @@ static MODES: [Mode; 15] = [
         baseline: true,
     },
     Mode {
+        name: "vl",
+        summary: "value-level invalidation + committee bitset mirror, sequential drain",
+        config: BASE.with_eval(EvalPath::ValueLevel),
+        baseline: true,
+    },
+    Mode {
+        name: "vl_daemon",
+        summary: "value-level invalidation on the daemon stack (in-place, trusted, delta view)",
+        config: BASE
+            .with_eval(EvalPath::ValueLevel)
+            .with_commit(CommitStrategy::InPlace)
+            .with_trusted_daemon(true)
+            .with_incremental_daemon(true),
+        baseline: true,
+    },
+    Mode {
         name: "inplace_par2",
         summary: "in-place commit under the 2-thread drain",
         config: EngineConfig::parallel(2).with_commit(CommitStrategy::InPlace),
@@ -570,6 +603,24 @@ static MODES: [Mode; 15] = [
         name: "pool_all",
         summary: "kitchen sink: 4-thread drain, parallel commit, in-place, trusted, delta view",
         config: EngineConfig::parallel(4)
+            .with_commit(CommitStrategy::InPlace)
+            .with_parallel_commit(true)
+            .with_trusted_daemon(true)
+            .with_incremental_daemon(true),
+        baseline: false,
+    },
+    Mode {
+        name: "vl_par2",
+        summary: "value-level invalidation under the pooled 2-thread drain",
+        config: EngineConfig::parallel(2).with_eval(EvalPath::ValueLevel),
+        baseline: false,
+    },
+    Mode {
+        name: "vl_pool",
+        summary: "value-level invalidation on the full pool stack (2 threads, parallel \
+                  commit, in-place, trusted, delta view)",
+        config: EngineConfig::parallel(2)
+            .with_eval(EvalPath::ValueLevel)
             .with_commit(CommitStrategy::InPlace)
             .with_parallel_commit(true)
             .with_trusted_daemon(true)

@@ -243,6 +243,13 @@ struct StepScratch<S> {
     added: Vec<usize>,
     /// Daemon-view feed: processes disabled since the last observation.
     removed: Vec<usize>,
+    /// Value-level invalidation: pre-step states of the selected
+    /// processes (parallel to `selected`), captured before the commit so
+    /// the post-commit diff can compare old/new per projection.
+    pre: Vec<S>,
+    /// Value-level invalidation: `(process, changed projection mask)` of
+    /// the processes whose committed state actually differs.
+    changed: Vec<(usize, u8)>,
 }
 
 impl<S> StepScratch<S> {
@@ -253,6 +260,8 @@ impl<S> StepScratch<S> {
             snap: Vec::new(),
             added: Vec::new(),
             removed: Vec::new(),
+            pre: Vec::new(),
+            changed: Vec::new(),
         }
     }
 }
@@ -378,6 +387,14 @@ pub struct World<A: GuardedAlgorithm> {
     /// Route large commits through the worker pool (see
     /// [`World::set_parallel_commit`]).
     par_commit: bool,
+    /// Value-level invalidation ([`EvalPath::ValueLevel`]): diff committed
+    /// old/new states per declared read-set projection and enqueue only
+    /// the processes whose actual read set changed.
+    value_level: bool,
+    /// The algorithm's commit notes (e.g. a committee-predicate mirror)
+    /// must be rebuilt from the full configuration before the next guard
+    /// evaluation. Set on boot and after any wholesale invalidation.
+    notes_stale: bool,
 }
 
 impl<A: GuardedAlgorithm> World<A> {
@@ -404,6 +421,8 @@ impl<A: GuardedAlgorithm> World<A> {
             commit: CommitStrategy::Buffered,
             trusted: false,
             par_commit: false,
+            value_level: false,
+            notes_stale: true,
         }
     }
 
@@ -427,6 +446,7 @@ impl<A: GuardedAlgorithm> World<A> {
     /// guard evaluation — the engine cannot see what changed.
     pub fn algo_mut(&mut self) -> &mut A {
         self.sched.mark_all();
+        self.notes_stale = true;
         &mut self.algo
     }
 
@@ -442,6 +462,40 @@ impl<A: GuardedAlgorithm> World<A> {
 
     /// Overwrite the state of process `p` (fault injection / fixtures).
     pub fn set_state(&mut self, p: usize, s: A::State) {
+        if self.value_level && !self.notes_stale {
+            // Value-level surgery: diff the overwrite per declared
+            // projection and keep the commit notes fresh for the very
+            // next guard evaluation.
+            let old = std::mem::replace(&mut self.states[p], s);
+            let World {
+                h,
+                algo,
+                states,
+                sched,
+                scratch,
+                ..
+            } = self;
+            if old == states[p] {
+                return;
+            }
+            let mask = algo.changed_projections(&old, &states[p]);
+            if !sched.all_dirty {
+                sched.mark(p);
+                let mut m = mask;
+                while m != 0 {
+                    let proj = m.trailing_zeros();
+                    for &q in algo.projection_footprint(h, p, proj) {
+                        sched.mark(q);
+                    }
+                    m &= m - 1;
+                }
+            }
+            scratch.changed.clear();
+            scratch.changed.push((p, mask));
+            algo.refresh_commit_notes(h, states, &scratch.changed);
+            scratch.changed.clear();
+            return;
+        }
         self.states[p] = s;
         if self.sched.all_dirty {
             return;
@@ -458,6 +512,7 @@ impl<A: GuardedAlgorithm> World<A> {
         assert_eq!(states.len(), self.h.n());
         self.states = states;
         self.sched.mark_all();
+        self.notes_stale = true;
     }
 
     /// Number of steps executed so far.
@@ -583,6 +638,27 @@ impl<A: GuardedAlgorithm> World<A> {
     /// an escape hatch the engine cannot see).
     pub fn invalidate_all(&mut self) {
         self.sched.mark_all();
+        self.notes_stale = true;
+    }
+
+    /// Is value-level invalidation active (see [`EvalPath::ValueLevel`])?
+    pub fn value_level(&self) -> bool {
+        self.value_level
+    }
+
+    /// The processes currently queued for guard re-evaluation, in
+    /// insertion order — observability for invalidation tests and
+    /// diagnostics. Empty while everything is stale (see
+    /// [`World::all_stale`]); the next refresh consumes it.
+    pub fn dirty_queue(&self) -> &[usize] {
+        self.sched.dirty.as_slice()
+    }
+
+    /// True when every cached guard evaluation is stale (boot, wholesale
+    /// overwrite, full-scan mode) — [`World::dirty_queue`] is meaningless
+    /// until the next refresh.
+    pub fn all_stale(&self) -> bool {
+        self.sched.all_dirty
     }
 
     /// Tell the scheduler that the *environment inputs* of process `p`
@@ -633,6 +709,16 @@ impl<A: GuardedAlgorithm> World<A> {
     /// configured ([`World::set_parallel`]); results are merged through the
     /// same maintained enabled set, so both drains are bit-identical.
     fn refresh(&mut self, env: &A::Env) {
+        if self.value_level && self.notes_stale {
+            // Commit notes (e.g. the committee-predicate mirror) must
+            // reflect the full configuration before any guard evaluation
+            // reads them.
+            let World {
+                h, algo, states, ..
+            } = self;
+            algo.init_commit_notes(h, states);
+            self.notes_stale = false;
+        }
         let World {
             h,
             algo,
@@ -851,14 +937,25 @@ impl<A: GuardedAlgorithm> World<A> {
             commit,
             par,
             par_commit,
+            value_level,
             ..
         } = self;
         let StepScratch {
             selected,
             next,
             snap,
+            pre,
+            changed,
             ..
         } = scratch;
+        if *value_level {
+            // Capture the pre-step states of the selection so the
+            // post-commit diff can compare old/new per projection.
+            pre.clear();
+            for &p in selected.iter() {
+                pre.push(states[p].clone());
+            }
+        }
         let pooled = match par {
             Some(cfg) if *par_commit && selected.len() >= cfg.threads * cfg.min_batch => {
                 Self::commit_parallel(h, algo, states, env, sched, selected, next, out, cfg);
@@ -900,10 +997,35 @@ impl<A: GuardedAlgorithm> World<A> {
                 }
             };
         }
-        // Only the footprints of executed processes can change enabledness.
-        for &(p, _) in out.executed.iter() {
-            for &q in algo.state_footprint(h, p) {
-                sched.mark(q);
+        // Only the footprints of executed processes can change enabledness
+        // — and under value-level invalidation, only the slices of those
+        // footprints whose declared read projections actually changed.
+        if *value_level {
+            changed.clear();
+            for (i, &p) in selected.iter().enumerate() {
+                if pre[i] != states[p] {
+                    changed.push((p, algo.changed_projections(&pre[i], &states[p])));
+                }
+            }
+            for &(p, mask) in changed.iter() {
+                // The process's own guard reads its whole state; neighbors
+                // read only the changed projections.
+                sched.mark(p);
+                let mut m = mask;
+                while m != 0 {
+                    let proj = m.trailing_zeros();
+                    for &q in algo.projection_footprint(h, p, proj) {
+                        sched.mark(q);
+                    }
+                    m &= m - 1;
+                }
+            }
+            algo.refresh_commit_notes(h, states, changed);
+        } else {
+            for &(p, _) in out.executed.iter() {
+                for &q in algo.state_footprint(h, p) {
+                    sched.mark(q);
+                }
             }
         }
         self.steps += 1;
@@ -1072,6 +1194,10 @@ where
             return Err(ConfigError::DaemonViewOutsideWorld);
         }
         self.apply_full_scan(cfg.eval == EvalPath::FullScan);
+        self.value_level = cfg.eval == EvalPath::ValueLevel;
+        // Any commit notes must be rebuilt against the current
+        // configuration before the next evaluation reads them.
+        self.notes_stale = true;
         match cfg.drain {
             Drain::Sequential => self.apply_parallel(1, DEFAULT_MIN_PARALLEL_BATCH),
             Drain::Parallel { threads, min_batch } => self.apply_parallel(threads, min_batch),
@@ -1529,6 +1655,73 @@ mod tests {
         assert_eq!(w.threads(), 1);
         assert_eq!(w.commit_strategy(), CommitStrategy::Buffered);
         assert!(!w.parallel_commit() && !w.trusted_daemon());
+    }
+
+    #[test]
+    fn value_level_matches_default_stepwise() {
+        // MaxProp keeps the default read-set descriptor (one projection
+        // covering the whole state), so value-level invalidation must be
+        // bit-identical to the topological default — including across
+        // mid-run state surgery, which exercises the set_state diff path.
+        for seed in 0..20u32 {
+            let h = Arc::new(generators::ring(24, 2));
+            let mut wd = World::new(Arc::clone(&h), MaxProp);
+            let mut wv = World::new(Arc::clone(&h), MaxProp);
+            wd.set_state(0, 90 + seed);
+            wv.set_state(0, 90 + seed);
+            wv.configure(&EngineConfig::default().with_eval(EvalPath::ValueLevel))
+                .unwrap();
+            assert!(wv.value_level());
+            let mut dd = WeaklyFair::new(DistributedRandom::new(seed as u64, 0.4), 3);
+            let mut dv = WeaklyFair::new(DistributedRandom::new(seed as u64, 0.4), 3);
+            for step in 0..300 {
+                if step == 40 {
+                    wd.set_state(1, 200 + seed);
+                    wv.set_state(1, 200 + seed);
+                }
+                let od = wd.step(&mut dd, &());
+                let ov = wv.step(&mut dv, &());
+                assert_eq!(od, ov, "seed {seed}");
+                assert_eq!(wd.states(), wv.states(), "seed {seed}");
+                if od.terminal() && step > 40 {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn value_level_dirty_queue_stays_within_neighborhoods() {
+        // After a value-level step, every queued process must lie in the
+        // closed neighborhood of some executed process, and every executed
+        // process whose state changed must itself be queued.
+        let h = Arc::new(generators::ring(24, 2));
+        let mut w = World::new(Arc::clone(&h), MaxProp);
+        w.set_state(0, 99);
+        w.configure(&EngineConfig::default().with_eval(EvalPath::ValueLevel))
+            .unwrap();
+        let mut d = Central::new(7);
+        for _ in 0..100 {
+            let before = w.states().to_vec();
+            let out = w.step(&mut d, &());
+            if out.terminal() {
+                break;
+            }
+            assert!(!w.all_stale());
+            let changed: Vec<usize> = (0..h.n()).filter(|&p| before[p] != w.states()[p]).collect();
+            let dirty = w.dirty_queue().to_vec();
+            for &q in &dirty {
+                assert!(
+                    changed
+                        .iter()
+                        .any(|&p| h.closed_neighborhood(p).contains(&q)),
+                    "dirty {q} outside every changed neighborhood"
+                );
+            }
+            for &p in &changed {
+                assert!(dirty.contains(&p), "changed {p} not re-enqueued");
+            }
+        }
     }
 
     #[test]

@@ -11,12 +11,13 @@ use proptest::prelude::*;
 use sscc_runtime::prelude::*;
 
 /// Deterministic enumeration of the whole configuration space (valid and
-/// invalid): 3 eval paths × 7 drains × 2 commits × 2³ flags = 336 configs.
+/// invalid): 4 eval paths × 7 drains × 2 commits × 2³ flags = 448 configs.
 fn config_space() -> Vec<EngineConfig> {
     let evals = [
         EvalPath::FullScan,
         EvalPath::Reference,
         EvalPath::Incremental,
+        EvalPath::ValueLevel,
     ];
     let drains = [
         Drain::Sequential,
@@ -111,7 +112,7 @@ proptest! {
     /// and parsing is total (Ok or Err, never a panic) on arbitrary
     /// `+`-joined token soup.
     #[test]
-    fn sampled_configs_roundtrip(ix in 0usize..336, seed in 0u64..1000) {
+    fn sampled_configs_roundtrip(ix in 0usize..448, seed in 0u64..1000) {
         let space = config_space();
         let cfg = space[ix % space.len()];
         match cfg.validate() {
@@ -130,7 +131,7 @@ proptest! {
             }
         }
         // Arbitrary token soup never panics the parser.
-        let tokens = ["par2", "bogus", "inplace", "", "par0", "trusted"];
+        let tokens = ["par2", "bogus", "inplace", "", "par0", "trusted", "vl"];
         let soup = format!(
             "{}+{}",
             tokens[(seed as usize) % tokens.len()],

@@ -49,8 +49,132 @@ impl GuardedAlgorithm for Mirror {
     }
 }
 
+/// Two-field state for the value-level invalidation tests: `shared` is
+/// read by neighbors' guards, `private` only by the process itself — so a
+/// private-only change must not re-enqueue the neighborhood.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Split {
+    shared: u32,
+    private: u32,
+}
+
+struct SplitAlgo {
+    limit: u32,
+}
+
+impl GuardedAlgorithm for SplitAlgo {
+    type State = Split;
+    type Env = ();
+
+    fn action_count(&self) -> usize {
+        2
+    }
+    fn action_name(&self, a: ActionId) -> String {
+        ["tally", "sync"][a].to_string()
+    }
+    fn initial_state(&self, _h: &Hypergraph, me: usize) -> Split {
+        Split {
+            shared: me as u32 % 5,
+            private: 0,
+        }
+    }
+    fn priority_action<A: StateAccess<Split> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Split, (), A>,
+    ) -> Option<ActionId> {
+        let me = ctx.my_state();
+        let best = ctx
+            .neighbor_states()
+            .map(|(_, s)| s.shared)
+            .max()
+            .unwrap_or(0);
+        if best > me.shared {
+            Some(1)
+        } else if me.private < me.shared.min(self.limit) {
+            Some(0)
+        } else {
+            None
+        }
+    }
+    fn execute<A: StateAccess<Split> + ?Sized>(
+        &self,
+        ctx: &Ctx<'_, Split, (), A>,
+        a: ActionId,
+    ) -> Split {
+        let me = *ctx.my_state();
+        match a {
+            1 => Split {
+                shared: ctx.neighbor_states().map(|(_, s)| s.shared).max().unwrap(),
+                ..me
+            },
+            0 => Split {
+                private: me.private + 1,
+                ..me
+            },
+            _ => unreachable!(),
+        }
+    }
+    fn changed_projections(&self, old: &Split, new: &Split) -> u8 {
+        // Projection 0: the neighbor-visible `shared` field. `private`
+        // needs no projection — only the process itself reads it.
+        u8::from(old.shared != new.shared)
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Value-level invalidation under a declared read-set descriptor: the
+    /// engine stays bit-identical to the topological default, and after
+    /// every step the dirty queue is a superset of the processes whose
+    /// state changed and a subset of the union of their closed
+    /// neighborhoods — collapsing to exactly the changed processes when
+    /// only self-read fields moved.
+    #[test]
+    fn value_level_dirty_set_bounds(seed in 0u64..500, boot in 0u32..40) {
+        let h = Arc::new(generators::ring(16, 2));
+        let mut wd = World::new(Arc::clone(&h), SplitAlgo { limit: 40 });
+        let mut wv = World::new(Arc::clone(&h), SplitAlgo { limit: 40 });
+        let hot = Split { shared: 50 + boot, private: 0 };
+        wd.set_state(0, hot);
+        wv.set_state(0, hot);
+        wv.configure(&EngineConfig::default().with_eval(EvalPath::ValueLevel))
+            .unwrap();
+        let mut dd = WeaklyFair::new(DistributedRandom::new(seed, 0.5), 4);
+        let mut dv = WeaklyFair::new(DistributedRandom::new(seed, 0.5), 4);
+        for _ in 0..250 {
+            let before = wv.states().to_vec();
+            let od = wd.step(&mut dd, &());
+            let ov = wv.step(&mut dv, &());
+            prop_assert_eq!(&od, &ov);
+            prop_assert_eq!(wd.states(), wv.states());
+            if od.terminal() {
+                break;
+            }
+            let changed: Vec<usize> =
+                (0..h.n()).filter(|&p| before[p] != wv.states()[p]).collect();
+            let dirty = wv.dirty_queue();
+            for &p in &changed {
+                prop_assert!(dirty.contains(&p), "changed {} not re-enqueued", p);
+            }
+            for &q in dirty {
+                prop_assert!(
+                    changed.iter().any(|&p| h.closed_neighborhood(p).contains(&q)),
+                    "dirty {} outside every changed neighborhood", q
+                );
+            }
+            // The tightening the descriptor buys: private-only steps
+            // re-enqueue exactly the processes that moved.
+            let shared_moved = changed
+                .iter()
+                .any(|&p| before[p].shared != wv.states()[p].shared);
+            if !shared_moved {
+                for &q in dirty {
+                    prop_assert!(changed.contains(&q), "private-only step leaked {}", q);
+                }
+            }
+        }
+    }
 
     /// Whatever the daemon, execution reaches the same fixpoint: everyone
     /// at `max(limit, n-1)` — the largest initial value propagates through

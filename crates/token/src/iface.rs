@@ -70,6 +70,16 @@ pub trait TokenLayer: Sync {
         ctx: &Ctx<'_, Self::State, E, A>,
         a: ActionId,
     ) -> Self::State;
+
+    /// Did the *neighbor-visible* part of a substrate state change between
+    /// `old` and `new`? Used by the composition's value-level invalidation:
+    /// when this returns `false`, no other process's `Token`/internal guard
+    /// can change enabledness, so neighbors are not re-enqueued. The
+    /// default treats the whole state as visible (always sound); override
+    /// to exclude fields that only the process itself reads.
+    fn changed_visible(&self, old: &Self::State, new: &Self::State) -> bool {
+        old != new
+    }
 }
 
 /// Count the token holders in a configuration — the measurement behind all

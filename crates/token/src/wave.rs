@@ -193,6 +193,14 @@ impl TokenLayer for WaveToken {
         .to_string()
     }
 
+    fn changed_visible(&self, old: &WaveState, new: &WaveState) -> bool {
+        // `done` is read only by its own process (`is_token` and the
+        // `me_ok` conjunct of `cond` look at the local flag; children's
+        // `done` is never consulted), so a release/DoneReset alone does not
+        // perturb any neighbor's guard.
+        old.k != new.k || old.fb != new.fb
+    }
+
     fn internal_priority_action<E: ?Sized, A: StateAccess<WaveState> + ?Sized>(
         &self,
         ctx: &Ctx<'_, WaveState, E, A>,
