@@ -352,6 +352,115 @@ pub fn compare(baseline: &str, fresh: &str, threshold: f64) -> Result<CompareRep
     Ok(report)
 }
 
+/// One open-loop latency record, keyed by `(algo, topology, mode, arrival)`.
+///
+/// Sojourns are measured in **service ticks**, which are deterministic in
+/// the seed — the p99 gate compares exact trajectories, not wall clock, so
+/// it does not flake on loaded CI hosts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyRecord {
+    /// Algorithm label (`CC1`, …).
+    pub algo: String,
+    /// Topology label (`ring1536x2`, …).
+    pub topology: String,
+    /// Engine mode (`par1`, `vl_daemon`, …).
+    pub mode: String,
+    /// Arrival-process label (`poisson`, `bursty`, `hotspot`).
+    pub arrival: String,
+    /// Completed (timed) requests.
+    pub completed: f64,
+    /// 99th-percentile sojourn in ticks.
+    pub p99_ticks: f64,
+}
+
+impl LatencyRecord {
+    fn key(&self) -> (String, String, String, String) {
+        (
+            self.algo.clone(),
+            self.topology.clone(),
+            self.mode.clone(),
+            self.arrival.clone(),
+        )
+    }
+}
+
+/// Extract the `records` array of a `BENCH_latency.json` document.
+pub fn latency_records_of(doc: &str) -> Result<Vec<LatencyRecord>, String> {
+    let root = Json::parse(doc)?;
+    let records = root
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or("no \"records\" array")?;
+    records
+        .iter()
+        .map(|r| {
+            let field = |k: &str| {
+                r.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("record without {k}"))
+            };
+            Ok(LatencyRecord {
+                algo: field("algo")?,
+                topology: field("topology")?,
+                mode: field("mode")?,
+                arrival: field("arrival")?,
+                completed: r
+                    .get("completed")
+                    .and_then(Json::as_num)
+                    .ok_or("record without completed")?,
+                p99_ticks: r
+                    .get("p99_ticks")
+                    .and_then(Json::as_num)
+                    .ok_or("record without p99_ticks")?,
+            })
+        })
+        .collect()
+}
+
+/// The latency gate: every record sharing an `(algo, topology, mode,
+/// arrival)` key is compared, and a pair regresses when the fresh p99
+/// sojourn rises more than `threshold` above the baseline (with one tick
+/// of absolute slack so tiny-latency cells cannot regress on a ±1-tick
+/// quantile wobble). Higher-is-worse, the mirror image of [`compare`];
+/// an empty join is still an error.
+pub fn compare_latency(
+    baseline: &str,
+    fresh: &str,
+    threshold: f64,
+) -> Result<CompareReport, String> {
+    let base = latency_records_of(baseline)?;
+    let new = latency_records_of(fresh)?;
+    let index: BTreeMap<_, &LatencyRecord> = base.iter().map(|r| (r.key(), r)).collect();
+    let mut report = CompareReport::default();
+    for r in &new {
+        let Some(b) = index.get(&r.key()) else {
+            continue;
+        };
+        report.compared += 1;
+        let ratio = r.p99_ticks / b.p99_ticks;
+        let line = format!(
+            "{:>4} {:<11} {:<10} {:<8}: p99 {:>7.0} -> {:>7.0} ticks ({:+.1}%), {} completed",
+            r.algo,
+            r.topology,
+            r.mode,
+            r.arrival,
+            b.p99_ticks,
+            r.p99_ticks,
+            (ratio - 1.0) * 100.0,
+            r.completed,
+        );
+        if ratio > 1.0 + threshold && r.p99_ticks > b.p99_ticks + 1.0 {
+            report.regressions.push(line.clone());
+        }
+        report.lines.push(line);
+    }
+    if report.compared == 0 {
+        return Err("no overlapping (algo, topology, mode, arrival) records".into());
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,6 +543,60 @@ mod tests {
             compare(&base, &disjoint, 0.2).is_err(),
             "vacuous gate is an error"
         );
+    }
+
+    fn lat_doc(rows: &[(&str, &str, &str, &str, f64)]) -> String {
+        let records: Vec<String> = rows
+            .iter()
+            .map(|(a, t, m, arr, p99)| {
+                format!(
+                    "{{\"algo\": \"{a}\", \"topology\": \"{t}\", \"mode\": \"{m}\", \
+                     \"arrival\": \"{arr}\", \"completed\": 500, \"p99_ticks\": {p99}}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"bench\": \"service_latency\",\n \"records\": [{}]}}",
+            records.join(",")
+        )
+    }
+
+    #[test]
+    fn latency_gate_flags_higher_p99() {
+        let base = lat_doc(&[
+            ("CC1", "ring1536x2", "par1", "poisson", 100.0),
+            ("CC1", "ring1536x2", "par1", "bursty", 100.0),
+        ]);
+        let fresh = lat_doc(&[
+            ("CC1", "ring1536x2", "par1", "poisson", 105.0), // +5%: fine
+            ("CC1", "ring1536x2", "par1", "bursty", 130.0),  // +30%: regression
+        ]);
+        let rep = compare_latency(&base, &fresh, 0.10).unwrap();
+        assert_eq!(rep.compared, 2);
+        assert_eq!(rep.regressions.len(), 1);
+        assert!(rep.regressions[0].contains("bursty"));
+    }
+
+    #[test]
+    fn latency_gate_lower_is_never_a_regression() {
+        let base = lat_doc(&[("CC1", "ring1536x2", "vl_daemon", "hotspot", 200.0)]);
+        let fresh = lat_doc(&[("CC1", "ring1536x2", "vl_daemon", "hotspot", 50.0)]);
+        let rep = compare_latency(&base, &fresh, 0.10).unwrap();
+        assert!(rep.regressions.is_empty());
+        let disjoint = lat_doc(&[("CC1", "fig1", "par1", "poisson", 1.0)]);
+        assert!(
+            compare_latency(&base, &disjoint, 0.10).is_err(),
+            "vacuous gate is an error"
+        );
+    }
+
+    #[test]
+    fn latency_gate_tick_slack_absorbs_quantile_wobble() {
+        // 1 -> 2 ticks is +100% but within the one-tick absolute slack.
+        let base = lat_doc(&[("CC1", "ring96x2", "par1", "poisson", 1.0)]);
+        let fresh = lat_doc(&[("CC1", "ring96x2", "par1", "poisson", 2.0)]);
+        let rep = compare_latency(&base, &fresh, 0.10).unwrap();
+        assert!(rep.regressions.is_empty());
     }
 
     #[test]

@@ -287,8 +287,11 @@ impl OraclePolicy for InfiniteMeetingPolicy {
 }
 
 /// SplitMix64 finalizer: a well-mixed 64-bit hash, the basis of the
-/// counter-based random streams in [`StochasticPolicy`].
-fn splitmix64(mut z: u64) -> u64 {
+/// counter-based random streams in [`StochasticPolicy`] (and of the service
+/// layer's deterministic traffic generators, which follow the same idiom:
+/// draw `k` of stream `s` is `splitmix64(splitmix64(s) + k)`, so a draw's
+/// value never depends on when it is consumed).
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -526,6 +529,143 @@ impl OraclePolicy for ScriptedPolicy {
     }
 }
 
+/// Open-loop environment for the service layer: `RequestIn` is **latched
+/// externally** (an admission layer scripts it through `Sim::flags_mut`)
+/// instead of being derived by the policy.
+///
+/// The shipped policies all force `RequestIn` back to their own model every
+/// tick, so an externally scripted request lasts exactly one step. This
+/// policy inverts that contract for *idle* professors: their `RequestIn`
+/// bit is left exactly as the outside world set it, persisting until the
+/// algorithm consumes it (the professor leaves `idle`). Once consumed —
+/// status `looking`/`waiting`/`done` — the bit is cleared, so a request
+/// arriving mid-cycle must be re-latched after the professor returns to
+/// `idle` (the service layer's admission queue does exactly that).
+/// `RequestOut` follows [`EagerPolicy`]: raised after `max_disc` steps of
+/// `done`, held until leaving.
+///
+/// The very first tick (the simulator's priming tick) clears every
+/// `RequestIn`: an open-loop system starts with no demand.
+///
+/// Delta-aware with identical trajectories to the full tick: an idle
+/// professor's latch is touched by neither tick flavor, and externally
+/// flipped processes are always in the changed set the simulator feeds
+/// [`OraclePolicy::update_delta`].
+#[derive(Clone, Debug)]
+pub struct OpenLoopPolicy {
+    max_disc: u64,
+    done_since: Vec<Option<u64>>,
+    now: u64,
+    /// Armed-but-not-yet-fired out-timers, as in [`EagerPolicy`].
+    pending: Vec<usize>,
+    armed: Vec<bool>,
+    primed: bool,
+}
+
+impl OpenLoopPolicy {
+    /// Policy for `n` processes with voluntary-discussion length `max_disc`.
+    pub fn new(n: usize, max_disc: u64) -> Self {
+        OpenLoopPolicy {
+            max_disc,
+            done_since: vec![None; n],
+            now: 0,
+            pending: Vec::new(),
+            armed: vec![false; n],
+            primed: false,
+        }
+    }
+
+    fn arm(&mut self, p: usize) {
+        if !self.armed[p] {
+            self.armed[p] = true;
+            self.pending.push(p);
+        }
+    }
+
+    /// Re-derive process `p`'s flags from its status — shared by both tick
+    /// flavors, idempotent within a tick.
+    fn derive(&mut self, p: usize, status: Status, flags: &mut RequestFlags) {
+        match status {
+            Status::Idle => {
+                // The latch: whatever the admission layer wrote stands.
+                self.done_since[p] = None;
+                flags.set_out(p, false);
+                self.armed[p] = false;
+            }
+            Status::Done => {
+                flags.set_in(p, false);
+                let since = *self.done_since[p].get_or_insert(self.now);
+                let fired = self.now - since >= self.max_disc;
+                flags.set_out(p, fired);
+                if fired {
+                    self.armed[p] = false;
+                } else {
+                    self.arm(p);
+                }
+            }
+            _ => {
+                // Looking/waiting: the in-request has been consumed.
+                flags.set_in(p, false);
+                self.done_since[p] = None;
+                flags.set_out(p, false);
+                self.armed[p] = false;
+            }
+        }
+    }
+
+    /// Re-derive every armed out-timer (it may be due this tick), dropping
+    /// disarmed stragglers from the worklist.
+    fn fire_due(&mut self, flags: &mut RequestFlags, view: &PolicyView) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            let p = self.pending[i];
+            if !self.armed[p] {
+                self.pending.swap_remove(i);
+                continue;
+            }
+            self.derive(p, view.status[p], flags);
+            if !self.armed[p] {
+                self.pending.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+impl OraclePolicy for OpenLoopPolicy {
+    fn update(&mut self, flags: &mut RequestFlags, view: &PolicyView) {
+        self.now += 1;
+        for &p in &self.pending {
+            self.armed[p] = false;
+        }
+        self.pending.clear();
+        if !self.primed {
+            // Priming tick (always a full one, in both the simulator and
+            // the differential harness): start with an empty request set.
+            self.primed = true;
+            for p in 0..view.status.len() {
+                flags.set_in(p, false);
+            }
+        }
+        for p in 0..view.status.len() {
+            self.derive(p, view.status[p], flags);
+        }
+    }
+
+    fn update_delta(&mut self, flags: &mut RequestFlags, view: &PolicyView, changed: &[usize]) {
+        self.now += 1;
+        for &p in changed {
+            self.derive(p, view.status[p], flags);
+        }
+        self.fire_due(flags, view);
+    }
+
+    fn quiescence_horizon(&self) -> u64 {
+        self.max_disc + 2
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -699,6 +839,54 @@ mod tests {
             assert_delta_matches_full(
                 move || Box::new(StochasticPolicy::new(9, 42, p_in, lo..hi)),
                 &format!("stochastic/p{p_in}"),
+            );
+        }
+    }
+
+    #[test]
+    fn open_loop_latches_external_requests() {
+        let mut pol = OpenLoopPolicy::new(1, 1);
+        let mut f = RequestFlags::new(1);
+        let idle = view(vec![Status::Idle], vec![false]);
+        pol.update(&mut f, &idle); // priming tick
+        assert!(!f.request_in(0), "open loop starts with no demand");
+        for _ in 0..5 {
+            pol.update(&mut f, &idle);
+            assert!(!f.request_in(0), "no spontaneous requests");
+        }
+        f.set_in(0, true); // external admission
+        pol.update(&mut f, &idle);
+        assert!(f.request_in(0), "latched while idle");
+        pol.update(&mut f, &idle);
+        assert!(f.request_in(0), "persists until consumed");
+        pol.update(&mut f, &view(vec![Status::Looking], vec![false]));
+        assert!(!f.request_in(0), "consumed once looking");
+        pol.update(&mut f, &view(vec![Status::Idle], vec![false]));
+        assert!(!f.request_in(0), "stays down after the cycle");
+    }
+
+    #[test]
+    fn open_loop_raises_out_after_max_disc() {
+        let mut pol = OpenLoopPolicy::new(1, 2);
+        let mut f = RequestFlags::new(1);
+        pol.update(&mut f, &view(vec![Status::Idle], vec![false]));
+        let done = view(vec![Status::Done], vec![true]);
+        pol.update(&mut f, &done);
+        assert!(!f.request_out(0), "0 steps done");
+        pol.update(&mut f, &done);
+        assert!(!f.request_out(0), "1 step done");
+        pol.update(&mut f, &done);
+        assert!(f.request_out(0), "2 steps done: voluntary discussion over");
+        pol.update(&mut f, &view(vec![Status::Idle], vec![false]));
+        assert!(!f.request_out(0), "reset on leaving");
+    }
+
+    #[test]
+    fn open_loop_delta_matches_full() {
+        for disc in [0u64, 1, 3] {
+            assert_delta_matches_full(
+                move || Box::new(OpenLoopPolicy::new(9, disc)),
+                &format!("open_loop/disc{disc}"),
             );
         }
     }

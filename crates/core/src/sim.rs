@@ -7,7 +7,7 @@
 
 use crate::algo::CommitteeAlgorithm;
 use crate::compose::Composed;
-use crate::meetings::MeetingLedger;
+use crate::meetings::{LedgerEvent, MeetingLedger};
 use crate::oracle::{OraclePolicy, PolicyView, RequestFlags};
 use crate::predicates;
 use crate::spec::SpecMonitor;
@@ -97,6 +97,8 @@ pub struct Sim<C: CommitteeAlgorithm, TL: TokenLayer> {
     /// external mutations last exactly one step; the delta tick reproduces
     /// that by re-deriving exactly these processes.
     flag_changed: MarkSet,
+    /// Ledger events of the most recent step (see [`Sim::last_events`]).
+    last_events: Vec<LedgerEvent>,
 }
 
 impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
@@ -209,6 +211,7 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
             touched_mark: MarkSet::new(m),
             recheck: MarkSet::new(n),
             flag_changed: MarkSet::new(n),
+            last_events: Vec::new(),
         }
     }
 
@@ -285,140 +288,6 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         self.configure(&mode.parse()?)
     }
 
-    /// Switch to the legacy full-scan step path: the engine re-evaluates
-    /// every guard each step and the observers re-derive their views from
-    /// whole-configuration clones. Produces bit-identical executions to the
-    /// default incremental path — kept as the differential-testing
-    /// reference. Choose a mode before the first step.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure declaratively: `Sim::configure(&EngineConfig::full_scan())`"
-    )]
-    #[allow(deprecated)]
-    pub fn set_full_scan(&mut self, on: bool) {
-        self.naive = on;
-        self.world.set_full_scan(on);
-    }
-
-    /// Toggle delta-aware policy ticks (on by default): when off, every
-    /// tick re-derives all `n` processes' request flags like PR 1 did.
-    /// Identical flag trajectories either way.
-    #[deprecated(
-        since = "0.1.0",
-        note = "full policy ticks are part of the PR-1 baseline: \
-                `Sim::configure(&EngineConfig::reference())`"
-    )]
-    pub fn set_delta_policies(&mut self, on: bool) {
-        self.delta_policies = on;
-    }
-
-    /// Fan the engine's dirty-set drain out to `threads` workers (`<= 1`
-    /// restores the sequential drain).
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure declaratively: `Sim::configure(&EngineConfig::parallel(n))`"
-    )]
-    #[allow(deprecated)]
-    pub fn set_threads(&mut self, threads: usize) {
-        self.world.set_threads(threads);
-    }
-
-    /// Like `Sim::set_threads` with an explicit per-thread fan-out
-    /// threshold (`0` forces the parallel path — used by the differential
-    /// suite to exercise it on tiny topologies).
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure declaratively: `Sim::configure` with \
-                `Drain::Parallel { threads, min_batch }`"
-    )]
-    #[allow(deprecated)]
-    pub fn set_parallel(&mut self, threads: usize, min_batch_per_thread: usize) {
-        self.world.set_parallel(threads, min_batch_per_thread);
-    }
-
-    /// Commit executed statements in place (zero-clone) instead of staging
-    /// them in a side buffer — see [`CommitStrategy`]. Available
-    /// when the composed per-process state is `Copy` (true for every
-    /// shipped committee algorithm over the wave-token substrate).
-    /// Bit-identical executions either way; the differential suite
-    /// locksteps this path against the buffered reference.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure declaratively: `EngineConfig::with_commit(CommitStrategy::InPlace)`"
-    )]
-    #[allow(deprecated)]
-    pub fn set_in_place_commit(&mut self, on: bool)
-    where
-        C::State: Copy,
-        TL::State: Copy,
-    {
-        self.world.set_commit_strategy(if on {
-            CommitStrategy::InPlace
-        } else {
-            CommitStrategy::Buffered
-        });
-    }
-
-    /// Shard the commit's execute phase across the engine's worker pool
-    /// when the daemon's selection is large enough; requires a parallel
-    /// drain to have a pool to run on. Bit-identical to the sequential
-    /// commit strategies.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure declaratively: `EngineConfig::with_parallel_commit(true)` \
-                (which also validates that a parallel drain exists)"
-    )]
-    #[allow(deprecated)]
-    pub fn set_parallel_commit(&mut self, on: bool)
-    where
-        C::State: Copy,
-        TL::State: Copy,
-    {
-        self.world.set_parallel_commit(on);
-    }
-
-    /// Skip the engine's release-mode validation of daemon selections.
-    /// For the dense CC1 enabled set the per-step membership check is a
-    /// measurable tax; the daemons shipped in this workspace all honor
-    /// their `Selection` promises.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure declaratively: `EngineConfig::with_trusted_daemon(true)`"
-    )]
-    #[allow(deprecated)]
-    pub fn set_trusted_daemon(&mut self, on: bool) {
-        self.world.set_trusted_daemon(on);
-    }
-
-    /// Ask the daemon to maintain its fairness bookkeeping incrementally
-    /// from the engine's enabled-set deltas instead of rescanning the
-    /// dense enabled slice every step (see
-    /// [`sscc_runtime::prelude::Daemon::set_incremental_view`] — a no-op
-    /// for stateless daemons). Call before the first step; selections are
-    /// identical either way (property-pinned for [`WeaklyFair`]).
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure declaratively: `EngineConfig::with_incremental_daemon(true)`"
-    )]
-    pub fn set_incremental_daemon(&mut self, on: bool) {
-        self.daemon.set_incremental_view(on);
-    }
-
-    /// Configure the exact engine PR 1 shipped: sequential incremental
-    /// drain, per-guard reference evaluator, full `O(n)` policy ticks.
-    /// This is the trajectory baseline BENCH_2.json's "incremental" mode
-    /// measures and the differential suite pins the new engine against.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure declaratively: `Sim::configure(&EngineConfig::reference())`"
-    )]
-    #[allow(deprecated)]
-    pub fn set_pr1_baseline(&mut self) {
-        self.world.set_threads(1);
-        self.world.algo_mut().cc.set_reference_eval(true);
-        self.delta_policies = false;
-    }
-
     /// Record a full action trace (off by default; memory grows with run
     /// length).
     pub fn enable_trace(&mut self) {
@@ -467,6 +336,7 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         self.cc_view = initial_cc;
         self.world.invalidate_all();
         self.policy_stale = true;
+        self.last_events.clear();
     }
 
     /// Overwrite the committee-layer state of process `p`, keeping its
@@ -490,6 +360,15 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     /// The meeting ledger.
     pub fn ledger(&self) -> &MeetingLedger {
         &self.ledger
+    }
+
+    /// Ledger events ([`LedgerEvent::Convened`] / [`LedgerEvent::Terminated`])
+    /// produced by the most recent [`Sim::step`] — the step-hook seam the
+    /// service layer's latency tracking consumes. Empty when the last step
+    /// convened/terminated nothing (or was terminal). Overwritten by the
+    /// next step.
+    pub fn last_events(&self) -> &[LedgerEvent] {
+        &self.last_events
     }
 
     /// The specification monitor.
@@ -549,6 +428,7 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
 
     /// The delta-aware step: `O(affected)` observer and cache maintenance.
     fn step_incremental(&mut self) -> bool {
+        self.last_events.clear();
         // Apply environment invalidations recorded since the last step —
         // the policy update at the end of the previous step, or external
         // scripting through [`Sim::flags_mut`] — *before* the engine
@@ -655,6 +535,7 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
             &self.ledger,
             &events,
         );
+        self.last_events = events;
 
         // Maintain the policy view: statuses change only for executed
         // processes, `Meeting(q)` only inside their footprints.
@@ -705,6 +586,7 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     /// observers and view rebuilds. Kept as the differential-testing
     /// reference for [`Sim::step_incremental`].
     fn step_full_scan(&mut self) -> bool {
+        self.last_events.clear();
         let pre = self.cc_states();
         let out = self.world.step(&mut *self.daemon, &self.flags);
         self.rounds.begin_step(&out.enabled);
@@ -747,6 +629,7 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         );
         self.monitor
             .observe(self.world.h(), &post, step_idx, &self.ledger, &events);
+        self.last_events = events;
 
         let view = PolicyView {
             status: post.iter().map(|s| s.status()).collect(),

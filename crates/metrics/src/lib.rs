@@ -25,7 +25,7 @@ pub mod waiting;
 
 pub use adversary::{cc1_starvation_on_fig2, AlternatingAdversary, StarvationOutcome};
 pub use degree::{degree_row, measure_degree, DegreeConfig, DegreeOutcome, DegreeRow};
-pub use report::{f2, Table};
+pub use report::{f2, plabel, Table};
 pub use runner::{build_sim, AlgoKind, AnySim, Boot, PolicyKind};
 // The shared configuration layer, re-exported so bench/experiment code
 // needs a single import for modes and configs.
@@ -34,4 +34,4 @@ pub use sscc_core::{
 };
 pub use sweep::{parallel_fold, parallel_map};
 pub use throughput::{measure_throughput, throughput_row, ThroughputOutcome, ThroughputRow};
-pub use waiting::{measure_waiting, waiting_row, WaitingOutcome, WaitingRow};
+pub use waiting::{measure_waiting, waiting_row, LatencyHistogram, WaitingOutcome, WaitingRow};

@@ -99,6 +99,17 @@ pub fn f2(x: f64) -> String {
     format!("{x:.2}")
 }
 
+/// Column label for a nearest-rank quantile (report convention): `p50`,
+/// `p99`, `p99.9` — trailing zeros of the fractional percent dropped.
+pub fn plabel(q: f64) -> String {
+    let pct = q * 100.0;
+    if (pct - pct.round()).abs() < 1e-9 {
+        format!("p{}", pct.round() as u64)
+    } else {
+        format!("p{}", format!("{pct:.1}").trim_end_matches('0'))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +143,12 @@ mod tests {
     #[test]
     fn f2_formats() {
         assert_eq!(f2(1.234), "1.23");
+    }
+
+    #[test]
+    fn plabel_formats_quantiles() {
+        assert_eq!(plabel(0.5), "p50");
+        assert_eq!(plabel(0.99), "p99");
+        assert_eq!(plabel(0.999), "p99.9");
     }
 }

@@ -169,114 +169,6 @@ impl AnySim {
         dispatch!(self, s => s.configure_mode(mode))
     }
 
-    /// Switch between the incremental engine (default) and the legacy
-    /// full-scan engine — the benches compare both, and they are
-    /// differentially tested to be bit-identical. Choose before stepping.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure declaratively: `AnySim::configure(&EngineConfig::full_scan())`"
-    )]
-    #[allow(deprecated)]
-    pub fn set_full_scan(&mut self, on: bool) {
-        dispatch!(self, s => s.set_full_scan(on))
-    }
-
-    /// Fan the dirty-set drain out to `threads` workers (`<= 1` =
-    /// sequential). Bit-identical to the sequential drain.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure declaratively: `AnySim::configure(&EngineConfig::parallel(n))`"
-    )]
-    #[allow(deprecated)]
-    pub fn set_threads(&mut self, threads: usize) {
-        dispatch!(self, s => s.set_threads(threads))
-    }
-
-    /// `AnySim::set_threads` with an explicit per-thread fan-out
-    /// threshold (`0` forces the parallel path on every refresh).
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure declaratively: `AnySim::configure` with \
-                `Drain::Parallel { threads, min_batch }`"
-    )]
-    #[allow(deprecated)]
-    pub fn set_parallel(&mut self, threads: usize, min_batch_per_thread: usize) {
-        dispatch!(self, s => s.set_parallel(threads, min_batch_per_thread))
-    }
-
-    /// Toggle delta-aware policy ticks (on by default).
-    #[deprecated(
-        since = "0.1.0",
-        note = "full policy ticks are part of the PR-1 baseline: \
-                `AnySim::configure(&EngineConfig::reference())`"
-    )]
-    #[allow(deprecated)]
-    pub fn set_delta_policies(&mut self, on: bool) {
-        dispatch!(self, s => s.set_delta_policies(on))
-    }
-
-    /// Commit executed statements in place (zero-clone) instead of staging
-    /// them in a side buffer. Bit-identical to the buffered reference path
-    /// (differentially tested); the win is commit-bound workloads — CC1's
-    /// dense enabled set above all.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure declaratively: `EngineConfig::with_commit(CommitStrategy::InPlace)`"
-    )]
-    #[allow(deprecated)]
-    pub fn set_in_place_commit(&mut self, on: bool) {
-        dispatch!(self, s => s.set_in_place_commit(on))
-    }
-
-    /// Shard the commit's execute phase across the worker pool for large
-    /// selections (requires a parallel drain). Bit-identical to the
-    /// sequential commits.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure declaratively: `EngineConfig::with_parallel_commit(true)` \
-                (which also validates that a parallel drain exists)"
-    )]
-    #[allow(deprecated)]
-    pub fn set_parallel_commit(&mut self, on: bool) {
-        dispatch!(self, s => s.set_parallel_commit(on))
-    }
-
-    /// Skip release-mode validation of daemon selections (the shipped
-    /// daemons honor their promises; the check is a per-step tax on dense
-    /// enabled sets).
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure declaratively: `EngineConfig::with_trusted_daemon(true)`"
-    )]
-    #[allow(deprecated)]
-    pub fn set_trusted_daemon(&mut self, on: bool) {
-        dispatch!(self, s => s.set_trusted_daemon(on))
-    }
-
-    /// Maintain the daemon's fairness bookkeeping incrementally from the
-    /// engine's enabled-set deltas (identical selections, no per-step
-    /// rescan of the enabled slice). Call before the first step.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure declaratively: `EngineConfig::with_incremental_daemon(true)`"
-    )]
-    #[allow(deprecated)]
-    pub fn set_incremental_daemon(&mut self, on: bool) {
-        dispatch!(self, s => s.set_incremental_daemon(on))
-    }
-
-    /// Configure the exact engine PR 1 shipped (sequential incremental
-    /// drain, per-guard evaluator, full policy ticks) — the trajectory
-    /// baseline of BENCH_2.json.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure declaratively: `AnySim::configure(&EngineConfig::reference())`"
-    )]
-    #[allow(deprecated)]
-    pub fn set_pr1_baseline(&mut self) {
-        dispatch!(self, s => s.set_pr1_baseline())
-    }
-
     /// Run until terminal or budget.
     pub fn run(&mut self, budget: u64) -> StopReason {
         dispatch!(self, s => s.run(budget))

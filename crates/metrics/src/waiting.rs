@@ -1,4 +1,6 @@
-//! Experiment E7: **waiting time** (Definition 6, Theorem 6).
+//! Experiment E7: **waiting time** (Definition 6, Theorem 6) — plus the
+//! exact-quantile [`LatencyHistogram`] the open-loop service benchmarks
+//! report their request→convene sojourn distributions through.
 //!
 //! Theorem 6 bounds CC2's waiting time by `O(maxDisc × n)` rounds: after
 //! stabilization a token holder keeps the token for `O(maxDisc)` rounds and
@@ -73,6 +75,71 @@ pub fn measure_waiting(
     }
 }
 
+/// Sample-exact latency distribution: records every observation and answers
+/// quantile queries by nearest-rank over the sorted samples. At benchmark
+/// sizes (≤ a few hundred thousand sojourns per run) the memory and the
+/// sort-on-query cost are negligible, and the quantiles are *exact* —
+/// important because the CI latency gate rides them, so bucketing error
+/// would either hide regressions or flag phantom ones.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyHistogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation (any unit; the service layer records steps).
+    pub fn record(&mut self, v: u64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of recorded observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// No observations yet?
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Nearest-rank quantile: the smallest recorded value `v` such that at
+    /// least `q × len` observations are ≤ `v`. `q` is clamped to `[0, 1]`;
+    /// `quantile(0.5)` is the median, `quantile(1.0)` the maximum. Returns
+    /// `None` on an empty histogram.
+    pub fn quantile(&mut self, q: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.samples[rank - 1])
+    }
+
+    /// Arithmetic mean of the observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&v| v as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+}
+
 /// One row of the E7 table: waiting time vs `n` and `maxDisc`.
 #[derive(Clone, Debug)]
 pub struct WaitingRow {
@@ -133,6 +200,26 @@ mod tests {
             o.max_wait_rounds,
             o.total_rounds
         );
+    }
+
+    #[test]
+    fn latency_histogram_quantiles_are_nearest_rank() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        for v in [5u64, 1, 9, 3, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.quantile(0.0), Some(1), "q=0 clamps to the minimum");
+        assert_eq!(h.quantile(0.5), Some(5), "median of 1,3,5,7,9");
+        assert_eq!(h.quantile(0.99), Some(9));
+        assert_eq!(h.quantile(1.0), Some(9));
+        assert_eq!(h.max(), Some(9));
+        assert!((h.mean() - 5.0).abs() < 1e-9);
+        // Recording after a query keeps results exact.
+        h.record(11);
+        assert_eq!(h.quantile(1.0), Some(11));
     }
 
     #[test]

@@ -93,7 +93,7 @@ pub enum Drain {
     Sequential,
     /// Fan large refreshes out to a persistent worker pool over
     /// footprint-contiguous shards (see
-    /// [`World::set_parallel`](crate::engine::World::set_parallel)).
+    /// [`World::configure`](crate::engine::World::configure)).
     Parallel {
         /// Worker threads (≥ 2; `1` is spelled [`Drain::Sequential`]).
         threads: usize,

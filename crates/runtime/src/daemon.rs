@@ -37,10 +37,10 @@ pub enum Selection {
     All,
     /// An explicit subset with a **promise**: ascending, deduplicated, and
     /// a subset of the enabled set. The engine skips its sort + dedup
-    /// normalization (and, under [`World::set_trusted_daemon`], the subset
-    /// validation too).
+    /// normalization (and, under a trusted-daemon config
+    /// ([`World::trusted_daemon`]), the subset validation too).
     ///
-    /// [`World::set_trusted_daemon`]: crate::engine::World::set_trusted_daemon
+    /// [`World::trusted_daemon`]: crate::engine::World::trusted_daemon
     Sorted(Vec<usize>),
     /// An explicit subset with no ordering promise (the engine sorts,
     /// dedups and validates it).

@@ -267,7 +267,7 @@ impl<S> StepScratch<S> {
 }
 
 /// How [`World::step_into`] applies executed statements to the
-/// configuration (see [`World::set_commit_strategy`]).
+/// configuration (chosen by [`EngineConfig::with_commit`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum CommitStrategy {
     /// Compute every next state against the pre-step configuration into a
@@ -382,10 +382,10 @@ pub struct World<A: GuardedAlgorithm> {
     par: Option<ParallelDrain>,
     commit: CommitStrategy,
     /// Trust the daemon's `Selection` promises: skip release-mode subset
-    /// validation (see [`World::set_trusted_daemon`]).
+    /// validation (see [`World::trusted_daemon`]).
     trusted: bool,
     /// Route large commits through the worker pool (see
-    /// [`World::set_parallel_commit`]).
+    /// [`World::parallel_commit`]).
     par_commit: bool,
     /// Value-level invalidation ([`EvalPath::ValueLevel`]): diff committed
     /// old/new states per declared read-set projection and enqueue only
@@ -521,15 +521,8 @@ impl<A: GuardedAlgorithm> World<A> {
     }
 
     /// Force full guard re-evaluation every step (the naive `O(n)` path the
-    /// incremental scheduler is differentially tested against).
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure the engine declaratively: `World::configure(&EngineConfig::full_scan())`"
-    )]
-    pub fn set_full_scan(&mut self, on: bool) {
-        self.apply_full_scan(on);
-    }
-
+    /// incremental scheduler is differentially tested against) — the
+    /// [`EvalPath::FullScan`] arm of [`World::configure`].
     fn apply_full_scan(&mut self, on: bool) {
         self.full_scan = on;
         if on {
@@ -538,46 +531,15 @@ impl<A: GuardedAlgorithm> World<A> {
     }
 
     /// Drain the dirty set with `threads` workers over footprint-contiguous
-    /// shards (see [`ShardPlan`]), with the default fan-out threshold of
-    /// [`DEFAULT_MIN_PARALLEL_BATCH`] dirty processes per worker.
-    /// `threads <= 1` restores the sequential drain. The parallel drain is
-    /// bit-identical to the sequential one — results merge through the same
-    /// maintained sorted enabled set.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure the engine declaratively: `World::configure(&EngineConfig::parallel(n))`"
-    )]
-    pub fn set_threads(&mut self, threads: usize) {
-        // The silent override the config layer validates away: resetting a
-        // custom fan-out threshold (e.g. a forced `min_batch = 0`) back to
-        // the default just because the thread count was restated.
-        // (`threads <= 1` *drops* the drain — nothing is reset there.)
-        debug_assert!(
-            threads <= 1
-                || self
-                    .par
-                    .as_ref()
-                    .is_none_or(|p| p.min_batch == DEFAULT_MIN_PARALLEL_BATCH),
-            "set_threads would silently reset a custom min_batch to the default; \
-             use World::configure with an explicit Drain"
-        );
-        self.apply_parallel(threads, DEFAULT_MIN_PARALLEL_BATCH);
-    }
-
-    /// Like `World::set_threads` with an explicit per-thread minimum batch
-    /// size: refreshes smaller than `threads * min_batch_per_thread` run
-    /// inline (waking workers for a handful of guard evaluations costs more
-    /// than evaluating them). `0` forces every refresh through the parallel
-    /// path — differential tests use that to exercise it on tiny graphs.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure the engine declaratively: `World::configure` with \
-                `Drain::Parallel { threads, min_batch }`"
-    )]
-    pub fn set_parallel(&mut self, threads: usize, min_batch_per_thread: usize) {
-        self.apply_parallel(threads, min_batch_per_thread);
-    }
-
+    /// shards (see [`ShardPlan`]) — the [`Drain::Parallel`] arm of
+    /// [`World::configure`]. Refreshes smaller than
+    /// `threads * min_batch_per_thread` run inline (waking workers for a
+    /// handful of guard evaluations costs more than evaluating them); `0`
+    /// forces every refresh through the parallel path — differential tests
+    /// use that to exercise it on tiny graphs. `threads <= 1` restores the
+    /// sequential drain. The parallel drain is bit-identical to the
+    /// sequential one — results merge through the same maintained sorted
+    /// enabled set.
     fn apply_parallel(&mut self, threads: usize, min_batch_per_thread: usize) {
         if threads <= 1 {
             // Dropping the drain joins the pool's worker threads.
@@ -611,15 +573,10 @@ impl<A: GuardedAlgorithm> World<A> {
     /// just later and with a less helpful message (under the parallel
     /// commit, a lie surfacing on a pool worker aborts the process
     /// instead — see [`WorkerPool::run`]'s panic contract).
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure the engine declaratively: `EngineConfig::with_trusted_daemon(true)`"
-    )]
-    pub fn set_trusted_daemon(&mut self, on: bool) {
-        self.trusted = on;
-    }
-
-    /// Is the daemon trusted (see [`World::set_trusted_daemon`])?
+    ///
+    /// Configured through [`EngineConfig::with_trusted_daemon`].
+    ///
+    /// Is the daemon trusted?
     pub fn trusted_daemon(&self) -> bool {
         self.trusted
     }
@@ -629,7 +586,7 @@ impl<A: GuardedAlgorithm> World<A> {
         self.par.as_ref().map_or(1, |p| p.threads)
     }
 
-    /// The active commit strategy (see [`World::set_commit_strategy`]).
+    /// The active commit strategy (see [`EngineConfig::with_commit`]).
     pub fn commit_strategy(&self) -> CommitStrategy {
         self.commit
     }
@@ -706,7 +663,7 @@ impl<A: GuardedAlgorithm> World<A> {
     /// Bring the guard cache up to date, re-evaluating only dirty entries
     /// (or everything, after [`World::invalidate_all`] / at boot). Large
     /// refreshes fan out to the sharded parallel drain when one is
-    /// configured ([`World::set_parallel`]); results are merged through the
+    /// configured ([`Drain::Parallel`]); results are merged through the
     /// same maintained enabled set, so both drains are bit-identical.
     fn refresh(&mut self, env: &A::Env) {
         if self.value_level && self.notes_stale {
@@ -1125,21 +1082,6 @@ impl<A: GuardedAlgorithm> World<A>
 where
     A::State: Copy,
 {
-    /// Choose how executed statements are committed. The seam is restricted
-    /// to `Copy` states on purpose: [`CommitStrategy::InPlace`] snapshots
-    /// each overwritten pre-step value by a plain move/copy, which is only
-    /// a *win* when states are small plain data (every committee/token
-    /// state in this workspace is). Heap-owning states keep the buffered
-    /// reference path. Either strategy yields bit-identical
-    /// [`StepOutcome`]s — the differential suite locksteps them.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure the engine declaratively: `EngineConfig::with_commit(strategy)`"
-    )]
-    pub fn set_commit_strategy(&mut self, strategy: CommitStrategy) {
-        self.commit = strategy;
-    }
-
     /// Apply a complete engine configuration in one validated shot — the
     /// declarative replacement for the accreted `set_*` surface. The
     /// config is applied **before stepping** and compiles down to the same
@@ -1208,36 +1150,16 @@ where
         Ok(())
     }
 
-    /// Route large commits through the persistent worker pool: when a
-    /// parallel drain is configured ([`World::set_parallel`]) and the
-    /// daemon selects at least `threads × min_batch` processes, the
-    /// execute phase of the commit is sharded across the pool's workers
+    /// Is the parallel commit enabled? When on (and a parallel drain is
+    /// configured — [`EngineConfig::with_parallel_commit`] validates that)
+    /// a daemon selection of at least `threads × min_batch` processes has
+    /// the execute phase of its commit sharded across the pool's workers
     /// (each computing a contiguous chunk of next states against the
     /// frozen pre-step configuration into disjoint staging slots) before a
-    /// serial write-back. Below the threshold — or with no drain — the
-    /// configured sequential [`CommitStrategy`] is the fallback.
-    ///
-    /// Like the in-place seam this is gated to `Copy` states: the staging
-    /// slots hold whole states by value, which is only a win for small
-    /// plain data. Outcomes are bit-identical to both sequential
-    /// strategies (the differential suite locksteps all three).
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure the engine declaratively: `EngineConfig::with_parallel_commit(true)` \
-                (which also validates that a parallel drain exists)"
-    )]
-    pub fn set_parallel_commit(&mut self, on: bool) {
-        // The silent no-op the config layer validates away: a parallel
-        // commit with no pool to run on.
-        debug_assert!(
-            !on || self.par.is_some(),
-            "set_parallel_commit(true) without a parallel drain is a silent no-op; \
-             World::configure returns ConfigError::ParallelCommitWithoutDrain instead"
-        );
-        self.par_commit = on;
-    }
-
-    /// Is the parallel commit enabled (see [`World::set_parallel_commit`])?
+    /// serial write-back. Below the threshold the configured sequential
+    /// [`CommitStrategy`] is the fallback. Like the in-place seam this is
+    /// gated to `Copy` states; outcomes are bit-identical to both
+    /// sequential strategies (the differential suite locksteps all three).
     pub fn parallel_commit(&self) -> bool {
         self.par_commit
     }

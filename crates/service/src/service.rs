@@ -1,0 +1,445 @@
+//! The [`CoordinationService`]: admission, backpressure, latency.
+//!
+//! One service tick is: **ingest** (poll the transport into the bounded
+//! admission queue) → **admit** (fold eligible requests into the engine's
+//! [`RequestFlags`](sscc_core::RequestFlags) as `RequestIn` flips — the incremental engine turns
+//! each into an `O(footprint)` `invalidate_env_of`, not a rescan) →
+//! **step** the simulation → **complete** (match the step's
+//! [`LedgerEvent::Convened`] events back to in-flight requests and record
+//! their sojourns).
+//!
+//! Latency measurement points (all in ticks — one tick, one step attempt):
+//!
+//! ```text
+//!  arrival ──▶ [admission queue] ──▶ RequestIn(p) set ──▶ ... ──▶ convene
+//!     │                │                   │                        │
+//!     └── sojourn ─────┼───────────────────┼────────────────────────┘
+//!                      └── queue wait ─────┘
+//! ```
+//!
+//! The simulation **must** run an [`OpenLoopPolicy`] (the convenience
+//! constructors do): every other shipped policy re-derives `RequestIn`
+//! each tick and would overwrite the admissions after one step.
+
+use crate::source::{CoordRequest, RequestSource};
+use sscc_core::algo::CommitteeAlgorithm;
+use sscc_core::sim::Sim;
+use sscc_core::status::{CommitteeView, Status};
+use sscc_core::{ConfigError, LedgerEvent, OpenLoopPolicy};
+use sscc_hypergraph::Hypergraph;
+use sscc_metrics::LatencyHistogram;
+use sscc_token::TokenLayer;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// What to do when arrivals outrun the admission queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Stop polling the transport while the queue is full: requests back up
+    /// in the transport (a bounded channel then pushes back on clients —
+    /// the lossless choice, and the default).
+    #[default]
+    Defer,
+    /// Keep polling and drop what does not fit, counting each drop in
+    /// [`ServiceStats::shed`] (the bounded-latency choice).
+    Shed,
+}
+
+/// Service tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Bounded admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Max admissions folded into the engine per tick (batching bound).
+    pub admit_batch: usize,
+    /// Overload behavior when the queue is full.
+    pub overload: OverloadPolicy,
+    /// Record every admission as a `(tick, professor)` pair (replay /
+    /// equivalence testing; off by default — it grows with the run).
+    pub record_admissions: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 1024,
+            admit_batch: usize::MAX,
+            overload: OverloadPolicy::Defer,
+            record_admissions: false,
+        }
+    }
+}
+
+/// Cumulative service counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Requests accepted into the admission queue.
+    pub accepted: u64,
+    /// Requests dropped by [`OverloadPolicy::Shed`].
+    pub shed: u64,
+    /// Requests merged into an already-in-flight request for the same
+    /// professor (served by the same convene; only the first is timed).
+    pub coalesced: u64,
+    /// In-flight requests served by a convene event.
+    pub completed: u64,
+    /// Convene participations with no in-flight request behind them
+    /// (arbitrary-boot debris; zero on a clean boot under open-loop load).
+    pub unsolicited: u64,
+    /// Largest admission-queue depth observed at a tick boundary.
+    pub max_queue_depth: usize,
+    /// Sum of per-tick queue depths (mean = `sum / ticks`).
+    pub queue_depth_sum: u64,
+}
+
+/// Sojourn-distribution summary (units: service ticks).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Median sojourn.
+    pub p50: u64,
+    /// 99th-percentile sojourn.
+    pub p99: u64,
+    /// 99.9th-percentile sojourn.
+    pub p999: u64,
+    /// Mean sojourn.
+    pub mean: f64,
+    /// Largest sojourn.
+    pub max: u64,
+    /// Number of completed (timed) requests.
+    pub completed: u64,
+}
+
+/// A queued request.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    professor: usize,
+    arrived: u64,
+}
+
+/// An admitted request awaiting its convene.
+#[derive(Clone, Copy, Debug)]
+struct InFlight {
+    arrived: u64,
+}
+
+/// The proxy front-end: owns the [`Sim`] and the transport, mediates every
+/// external interaction (see the module docs for the tick pipeline).
+pub struct CoordinationService<C: CommitteeAlgorithm, TL: TokenLayer> {
+    sim: Sim<C, TL>,
+    source: Box<dyn RequestSource>,
+    cfg: ServiceConfig,
+    queue: VecDeque<Pending>,
+    /// Per-professor admitted-but-not-yet-convened request.
+    in_flight: Vec<Option<InFlight>>,
+    in_flight_count: usize,
+    now: u64,
+    stats: ServiceStats,
+    latency: LatencyHistogram,
+    queue_wait: LatencyHistogram,
+    poll_buf: Vec<CoordRequest>,
+    admissions: Vec<(u64, usize)>,
+}
+
+impl<C: CommitteeAlgorithm, TL: TokenLayer> CoordinationService<C, TL> {
+    /// Wrap a simulation. The sim must have been built with an
+    /// [`OpenLoopPolicy`] (see the module docs); use [`cc1_service`] for
+    /// the common case.
+    pub fn new(sim: Sim<C, TL>, source: Box<dyn RequestSource>, cfg: ServiceConfig) -> Self {
+        assert!(cfg.queue_capacity > 0, "zero-capacity admission queue");
+        assert!(cfg.admit_batch > 0, "zero admission batch");
+        let n = sim.h().n();
+        CoordinationService {
+            sim,
+            source,
+            cfg,
+            queue: VecDeque::new(),
+            in_flight: vec![None; n],
+            in_flight_count: 0,
+            now: 0,
+            stats: ServiceStats::default(),
+            latency: LatencyHistogram::new(),
+            queue_wait: LatencyHistogram::new(),
+            poll_buf: Vec::new(),
+            admissions: Vec::new(),
+        }
+    }
+
+    /// One service tick: ingest → admit → step → complete. Returns whether
+    /// the simulation made progress (`false` = stably terminal *and* no
+    /// admission re-enabled it this tick; new arrivals can revive it).
+    pub fn tick(&mut self) -> bool {
+        self.now += 1;
+
+        // Ingest: poll the transport into the bounded queue.
+        let space = self.cfg.queue_capacity - self.queue.len();
+        let budget = match self.cfg.overload {
+            OverloadPolicy::Defer => space,
+            OverloadPolicy::Shed => usize::MAX,
+        };
+        if budget > 0 {
+            self.poll_buf.clear();
+            self.source.poll(self.now, budget, &mut self.poll_buf);
+            for r in self.poll_buf.drain(..) {
+                debug_assert!(r.professor < self.in_flight.len(), "unknown professor");
+                if self.queue.len() < self.cfg.queue_capacity {
+                    self.queue.push_back(Pending {
+                        professor: r.professor,
+                        arrived: self.now,
+                    });
+                    self.stats.accepted += 1;
+                } else {
+                    self.stats.shed += 1;
+                }
+            }
+        }
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
+        self.stats.queue_depth_sum += self.queue.len() as u64;
+
+        // Admit: one rotation over the queue, folding eligible requests
+        // into the environment. Eligible = professor idle (CC1 consumes
+        // `RequestIn` only from `idle`; a flip for a busy professor would
+        // be cleared unconsumed by the next policy tick) and not already
+        // in flight. FIFO order is preserved among the survivors.
+        let mut admitted = 0usize;
+        for _ in 0..self.queue.len() {
+            let pend = self.queue.pop_front().expect("sized loop");
+            let p = pend.professor;
+            if self.in_flight[p].is_some() {
+                self.stats.coalesced += 1;
+                continue;
+            }
+            if admitted < self.cfg.admit_batch
+                && self.sim.world().state(p).cc.status() == Status::Idle
+            {
+                self.sim.flags_mut().set_in(p, true);
+                self.in_flight[p] = Some(InFlight {
+                    arrived: pend.arrived,
+                });
+                self.in_flight_count += 1;
+                self.queue_wait.record(self.now - pend.arrived);
+                if self.cfg.record_admissions {
+                    self.admissions.push((self.now, p));
+                }
+                admitted += 1;
+            } else {
+                self.queue.push_back(pend);
+            }
+        }
+
+        // Step: the admissions drain into `invalidate_env_of` at step
+        // start, so the engine sees them in this very step.
+        let progressed = self.sim.step();
+
+        // Complete: convene events serve their participants' requests.
+        for ev in self.sim.last_events() {
+            if let LedgerEvent::Convened(idx) = *ev {
+                let inst = &self.sim.ledger().instances()[idx];
+                for &p in &inst.participants {
+                    match self.in_flight[p].take() {
+                        Some(fl) => {
+                            self.in_flight_count -= 1;
+                            self.latency.record(self.now - fl.arrived);
+                            self.stats.completed += 1;
+                        }
+                        None => self.stats.unsolicited += 1,
+                    }
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Run `ticks` service ticks.
+    pub fn run(&mut self, ticks: u64) {
+        for _ in 0..ticks {
+            self.tick();
+        }
+    }
+
+    /// Run until the transport is finished and every accepted request has
+    /// been served (or `max_ticks` elapse). Returns `true` when fully
+    /// drained.
+    pub fn run_until_drained(&mut self, max_ticks: u64) -> bool {
+        for _ in 0..max_ticks {
+            if self.drained() {
+                return true;
+            }
+            self.tick();
+        }
+        self.drained()
+    }
+
+    /// Transport finished, queue empty, nothing in flight.
+    pub fn drained(&self) -> bool {
+        self.source.finished() && self.queue.is_empty() && self.in_flight_count == 0
+    }
+
+    /// Service ticks elapsed.
+    pub fn ticks(&self) -> u64 {
+        self.now
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Admitted requests not yet served.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight_count
+    }
+
+    /// The owned simulation (read-only: the service mediates mutation).
+    pub fn sim(&self) -> &Sim<C, TL> {
+        &self.sim
+    }
+
+    /// Summarize the sojourn distribution (`None` before any completion).
+    pub fn latency_summary(&mut self) -> Option<LatencySummary> {
+        if self.latency.is_empty() {
+            return None;
+        }
+        Some(LatencySummary {
+            p50: self.latency.quantile(0.50)?,
+            p99: self.latency.quantile(0.99)?,
+            p999: self.latency.quantile(0.999)?,
+            mean: self.latency.mean(),
+            max: self.latency.max()?,
+            completed: self.stats.completed,
+        })
+    }
+
+    /// Queue-wait (arrival → admission) distribution.
+    pub fn queue_wait(&mut self) -> &mut LatencyHistogram {
+        &mut self.queue_wait
+    }
+
+    /// The admission log (`(tick, professor)` pairs), populated when
+    /// [`ServiceConfig::record_admissions`] is on — the replay surface the
+    /// scripted-equivalence tests drive.
+    pub fn admissions(&self) -> &[(u64, usize)] {
+        &self.admissions
+    }
+}
+
+/// The common case: a CC1 service over the wave-token substrate with the
+/// default daemon, an [`OpenLoopPolicy`] environment, and any registry
+/// `mode`. CC1 is the natural serving algorithm — its professors have a
+/// real `idle` state to accept requests from (the §5 fairness algorithms
+/// assume professors request infinitely often, which is closed-loop by
+/// construction).
+///
+/// # Errors
+/// An unparsable `mode` label or an invalid engine configuration.
+pub fn cc1_service(
+    h: Arc<Hypergraph>,
+    seed: u64,
+    max_disc: u64,
+    mode: &str,
+    source: Box<dyn RequestSource>,
+    cfg: ServiceConfig,
+) -> Result<CoordinationService<sscc_core::Cc1, sscc_token::WaveToken>, ConfigError> {
+    let n = h.n();
+    let tl = sscc_token::WaveToken::new(&h);
+    let sim = Sim::builder(h, sscc_core::Cc1::new(), tl)
+        .seed(seed)
+        .policy(Box::new(OpenLoopPolicy::new(n, max_disc)))
+        .mode(mode)
+        .build()?;
+    Ok(CoordinationService::new(sim, source, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::channel;
+    use crate::traffic::{Arrivals, TrafficGen};
+    use sscc_hypergraph::generators;
+
+    #[test]
+    fn requests_complete_with_latency() {
+        let h = Arc::new(generators::ring(12, 2));
+        let (client, src) = channel();
+        let mut svc = cc1_service(
+            Arc::clone(&h),
+            3,
+            1,
+            "par1",
+            Box::new(src),
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        // A meeting convenes only when *every* member of a committee is
+        // requesting, so request complete (disjoint) committees: the pairs
+        // {0,1}, {4,5}, {8,9} of ring(12, 2).
+        for p in [0, 1, 4, 5, 8, 9] {
+            client.request(p);
+        }
+        drop(client);
+        assert!(svc.run_until_drained(20_000), "all requests served");
+        assert_eq!(svc.stats().completed, 6);
+        assert_eq!(svc.stats().shed, 0);
+        let sum = svc.latency_summary().unwrap();
+        assert!(sum.p50 >= 1 && sum.p99 >= sum.p50 && sum.max >= sum.p999);
+        assert!(svc.sim().monitor().clean());
+    }
+
+    #[test]
+    fn no_traffic_means_no_meetings() {
+        let h = Arc::new(generators::ring(8, 2));
+        let (_client, src) = channel();
+        let mut svc = cc1_service(
+            Arc::clone(&h),
+            1,
+            1,
+            "par1",
+            Box::new(src),
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        svc.run(2_000);
+        assert_eq!(svc.stats().completed, 0);
+        assert_eq!(
+            svc.sim().ledger().convened_count(),
+            0,
+            "open loop: no demand, no meetings"
+        );
+    }
+
+    #[test]
+    fn shed_policy_bounds_the_queue() {
+        let h = Arc::new(generators::ring(16, 2));
+        let gen = TrafficGen::new(&h, 5, Arrivals::Poisson { rate: 8.0 }, 3_000);
+        let cfg = ServiceConfig {
+            queue_capacity: 16,
+            overload: OverloadPolicy::Shed,
+            ..ServiceConfig::default()
+        };
+        let mut svc = cc1_service(Arc::clone(&h), 2, 1, "par1", Box::new(gen), cfg).unwrap();
+        svc.run(3_000);
+        assert!(svc.stats().shed > 0, "overload must shed");
+        assert!(svc.stats().max_queue_depth <= 16);
+        assert!(svc.stats().completed > 0);
+        assert!(svc.sim().monitor().clean());
+    }
+
+    #[test]
+    fn defer_policy_never_sheds() {
+        let h = Arc::new(generators::ring(16, 2));
+        let gen = TrafficGen::new(&h, 5, Arrivals::Poisson { rate: 8.0 }, 1_000);
+        let cfg = ServiceConfig {
+            queue_capacity: 16,
+            overload: OverloadPolicy::Defer,
+            ..ServiceConfig::default()
+        };
+        let mut svc = cc1_service(Arc::clone(&h), 2, 1, "par1", Box::new(gen), cfg).unwrap();
+        svc.run(2_000);
+        assert_eq!(svc.stats().shed, 0, "defer backpressures, never drops");
+        assert!(svc.stats().max_queue_depth <= 16);
+        assert!(svc.stats().completed > 0);
+    }
+}

@@ -1,5 +1,6 @@
 //! The paper's motivating application (§1, [8]): multiparty interactions in
-//! a BIP-style component system, scheduled by committee coordination.
+//! a BIP-style component system, scheduled by committee coordination — now
+//! driven **as a service**.
 //!
 //! A tiny pipeline of components — two producers, a shared bus, two
 //! consumers and a logger — interacts through multiparty rendezvous:
@@ -8,20 +9,23 @@
 //! * `sync_get`  = {bus, consumer_j}            (data delivery)
 //! * `snapshot`  = {bus, logger}                (state observation)
 //!
-//! Each interaction is a committee; each component is a professor. CC2 ∘ TC
-//! schedules the rendezvous: Exclusion = no component in two interactions
-//! at once; Synchronization = an interaction fires only with all parties
-//! ready; Professor Fairness = no component is locked out forever — exactly
-//! the guarantees a distributed code generator needs (§1). The "essential
-//! discussion" phase is where the interaction's data transfer executes; we
-//! replay the ledger to run the payloads.
+//! Each interaction is a committee; each component is a professor. Where
+//! the closed-loop experiments script the request environment, here the
+//! BIP execution engine is an external *client*: it submits join requests
+//! for an interaction's parties over a channel, and a
+//! [`CoordinationService`] owning the long-running CC1 ∘ TC simulation
+//! admits them between steps, schedules the rendezvous and reports each
+//! completion through the meeting ledger. Exclusion = no component in two
+//! interactions at once; Synchronization = an interaction fires only with
+//! all parties ready — exactly the guarantees a distributed code generator
+//! needs (§1).
 //!
 //! ```sh
 //! cargo run --example interaction_engine
 //! ```
 
-use sscc::core::sim::Cc2Sim;
 use sscc::hypergraph::{generators::Named, Hypergraph};
+use sscc::service::{cc1_service, channel, ServiceConfig};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -61,32 +65,70 @@ fn main() {
         );
     }
 
-    // Schedule with CC2: all interactions conflict at the bus, so fairness
-    // is the whole game here (a star topology — the paper notes maximal
-    // concurrency and fairness coexist trivially: at most one meets anyway).
-    let mut sim = Cc2Sim::standard(Arc::clone(&h), 2024, 1);
-    sim.run(30_000);
+    // Stand up the service: it owns the simulation; we only hold a client.
+    let (client, source) = channel();
+    let mut svc = cc1_service(
+        Arc::clone(&h),
+        2024,
+        1,
+        "par1",
+        Box::new(source),
+        ServiceConfig::default(),
+    )
+    .expect("registry mode");
 
-    // Replay the ledger as an interaction log, executing "payloads".
+    // The execution engine's scheduler loop: fire each interaction by
+    // requesting *all* of its parties (a rendezvous convenes only when
+    // every member requests), then serve ticks until the ledger reports
+    // it. Interactions conflict at the bus, so they fire one at a time.
+    let rounds = 40;
     let mut bus_queue: Vec<String> = Vec::new();
     let mut fired = vec![0usize; h.m()];
     let mut delivered = 0usize;
     let mut snapshots = 0usize;
-    for inst in sim.ledger().post_initial_instances() {
-        fired[inst.edge.index()] += 1;
-        match inst.edge.index() {
-            0 => bus_queue.push("A-item".into()),
-            1 => bus_queue.push("B-item".into()),
-            2 | 3 => {
-                if bus_queue.pop().is_some() {
-                    delivered += 1;
-                }
+    let schedule = [0usize, 2, 1, 3, 4]; // put-A, get-X, put-B, get-Y, snapshot
+    for round in 0..rounds {
+        for &i in &schedule {
+            let e = h.edge_ids().nth(i).unwrap();
+            for &party in h.members(e) {
+                client.request(party);
             }
-            _ => snapshots += 1,
+            let before = svc.sim().ledger().convened_count();
+            let mut budget = 10_000;
+            while svc.sim().ledger().convened_count() == before && budget > 0 {
+                svc.tick();
+                budget -= 1;
+            }
+            assert!(budget > 0, "interaction {} starved", interaction_names[i]);
+            fired[i] += 1;
+            // Execute the interaction's "payload" (the essential
+            // discussion of the meeting that just convened).
+            match i {
+                0 => bus_queue.push(format!("A-item-{round}")),
+                1 => bus_queue.push(format!("B-item-{round}")),
+                2 | 3 => {
+                    if bus_queue.pop().is_some() {
+                        delivered += 1;
+                    }
+                }
+                _ => snapshots += 1,
+            }
         }
     }
+    drop(client);
+    assert!(svc.run_until_drained(20_000), "outstanding requests served");
 
-    println!("\nafter {} steps of CC2 ∘ TC scheduling:", sim.steps());
+    let mut stats_line = String::new();
+    if let Some(sum) = svc.latency_summary() {
+        stats_line = format!(
+            "request sojourn: p50 {} / p99 {} / max {} ticks over {} requests",
+            sum.p50, sum.p99, sum.max, sum.completed
+        );
+    }
+    println!(
+        "\nafter {} service ticks of CC1 ∘ TC scheduling:",
+        svc.ticks()
+    );
     for e in h.edge_ids() {
         println!(
             "  {:>8} fired {:>4} times",
@@ -96,13 +138,16 @@ fn main() {
     }
     println!("  items delivered end-to-end: {delivered}");
     println!("  snapshots taken: {snapshots}");
-    println!("  spec clean: {}", sim.monitor().clean());
+    println!("  {stats_line}");
+    println!("  spec clean: {}", svc.sim().monitor().clean());
 
-    assert!(sim.monitor().clean());
+    assert!(svc.sim().monitor().clean());
+    assert_eq!(svc.stats().shed, 0, "defer policy never drops a rendezvous");
     assert!(
-        fired.iter().all(|&f| f > 0),
-        "professor fairness keeps every interaction firing: {fired:?}"
+        fired.iter().all(|&f| f == rounds),
+        "every interaction fired each round: {fired:?}"
     );
-    println!("\n=> every interaction fired infinitely often — the distributed-code-");
-    println!("   generation use case of §1 gets its conflict-free, fair scheduler.");
+    assert_eq!(delivered, 2 * rounds, "every put met its get");
+    println!("\n=> every interaction fired on demand through the service — the");
+    println!("   distributed-code-generation use case of §1, served open-loop.");
 }

@@ -1,0 +1,63 @@
+//! Open-loop serving in five minutes: stand up a [`CoordinationService`],
+//! point a deterministic traffic generator at it, and read the latency
+//! distribution of the answers.
+//!
+//! This is the serving-tier counterpart of `examples/quickstart.rs` (which
+//! drives the closed-loop simulation directly): here nothing scripts the
+//! request environment — external arrivals flow through the service's
+//! admission queue into the engine between steps, and every request is
+//! timed from arrival to the convene event that serves it.
+//!
+//! ```sh
+//! cargo run --release --example open_loop
+//! ```
+
+use sscc::hypergraph::generators;
+use sscc::service::{cc1_service, Arrivals, ServiceConfig, TrafficGen};
+use std::sync::Arc;
+
+fn main() {
+    // 128 professors in a ring of pairwise committees (dining
+    // philosophers), serving Poisson traffic at ~2.5 requests per tick.
+    let h = Arc::new(generators::ring(128, 2));
+    let horizon = 20_000;
+    let traffic = TrafficGen::new(&h, 1, Arrivals::Poisson { rate: 2.5 }, horizon);
+
+    let mut svc = cc1_service(
+        Arc::clone(&h),
+        42,     // simulation seed (daemon tie-breaks)
+        1,      // max_disc: discussion length before leaving
+        "par1", // any ModeRegistry engine mode
+        Box::new(traffic),
+        ServiceConfig::default(), // 1024-deep queue, defer on overload
+    )
+    .expect("registry mode");
+
+    svc.run(horizon + 5_000); // the tail drains after arrivals stop
+
+    let stats = *svc.stats();
+    println!("ring128x2, Poisson(2.5) for {horizon} ticks:");
+    println!("  accepted  {:>7}", stats.accepted);
+    println!("  completed {:>7}", stats.completed);
+    println!(
+        "  coalesced {:>7}  (duplicate requests merged)",
+        stats.coalesced
+    );
+    println!("  meetings  {:>7}", svc.sim().ledger().convened_count());
+    println!(
+        "  queue     {:>7}  max depth ({} shed)",
+        stats.max_queue_depth, stats.shed
+    );
+    if let Some(sum) = svc.latency_summary() {
+        println!(
+            "  sojourn   p50 {} / p99 {} / p99.9 {} / max {} ticks (mean {:.1})",
+            sum.p50, sum.p99, sum.p999, sum.max, sum.mean
+        );
+    }
+    println!("  spec clean: {}", svc.sim().monitor().clean());
+
+    assert!(svc.sim().monitor().clean());
+    assert!(stats.completed > 0);
+    println!("\n=> swap the generator for `sscc::service::channel()` to feed the");
+    println!("   same service from your own threads; see examples/interaction_engine.rs.");
+}

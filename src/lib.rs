@@ -16,6 +16,7 @@
 //! * [`token`] — Property 1 token substrate (`sscc-token`)
 //! * [`core`] — CC1/CC2/CC3, composition, spec monitors (`sscc-core`)
 //! * [`metrics`] — experiment harness (`sscc-metrics`)
+//! * [`service`] — coordination-as-a-service front-end (`sscc-service`)
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for the
 //! system inventory.
@@ -26,4 +27,5 @@ pub use sscc_core as core;
 pub use sscc_hypergraph as hypergraph;
 pub use sscc_metrics as metrics;
 pub use sscc_runtime as runtime;
+pub use sscc_service as service;
 pub use sscc_token as token;
