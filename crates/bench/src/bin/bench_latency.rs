@@ -135,22 +135,36 @@ fn json_escape(s: &str) -> String {
 }
 
 fn record(out_path: &str, quick: bool, modes: &[String]) {
-    // (ring size, service ticks): the ring384 cell is identical between the
+    // (topology, service ticks): the ring384 cell is identical between the
     // quick and full sweeps so CI's quick run joins the committed baseline
-    // on byte-identical trajectories.
-    let sweep: &[(usize, u64)] = if quick {
-        &[(96, 4000), (384, 6000)]
+    // on byte-identical trajectories. The tree/grid/power-law cells serve
+    // the dynamic-topology families at the same scale; cells without a
+    // committed baseline are skipped by the `--compare` join.
+    type Cell = (String, Arc<sscc_hypergraph::Hypergraph>, u64);
+    let cell = |label: &str, h: sscc_hypergraph::Hypergraph, ticks: u64| -> Cell {
+        (label.to_string(), Arc::new(h), ticks)
+    };
+    let sweep: Vec<Cell> = if quick {
+        vec![
+            cell("ring96x2", generators::ring(96, 2), 4000),
+            cell("ring384x2", generators::ring(384, 2), 6000),
+            cell("tree384", generators::tree_pairs(384, 7), 4000),
+            cell("grid16x24", generators::grid_pairs(16, 24), 4000),
+            cell("powerlaw384", generators::power_law(384, 384, 7), 4000),
+        ]
     } else {
-        &[(384, 6000), (1536, 6000)]
+        vec![
+            cell("ring384x2", generators::ring(384, 2), 6000),
+            cell("ring1536x2", generators::ring(1536, 2), 6000),
+        ]
     };
 
     let mut records: Vec<Record> = Vec::new();
-    for &(k, ticks) in sweep {
-        let h = Arc::new(generators::ring(k, 2));
-        let topology = format!("ring{k}x2");
+    for (topology, h, ticks) in &sweep {
+        let ticks = *ticks;
         for mode in modes {
             for (arrival, arrivals) in arrival_sweep(h.n()) {
-                let r = measure(&h, &topology, mode, arrival, arrivals, ticks);
+                let r = measure(h, topology, mode, arrival, arrivals, ticks);
                 eprintln!(
                     " CC1 {topology} {mode:>10} {arrival:<8}: p50 {:>5} p99 {:>5} p99.9 {:>5} ticks, \
                      {} completed, {:>9.0} ticks/s",

@@ -1,4 +1,4 @@
-//! Regenerates every experiment table of EXPERIMENTS.md (E1–E12).
+//! Regenerates every experiment table of EXPERIMENTS.md (E1–E13).
 //!
 //! ```sh
 //! cargo run -p sscc-bench --release --bin experiments           # everything
@@ -65,6 +65,9 @@ fn main() {
     }
     if want("e12") {
         e12_choice_ablation();
+    }
+    if want("e13") {
+        e13_campaigns();
     }
 }
 
@@ -569,6 +572,72 @@ fn e12_choice_ablation() {
     println!(
         "(any deterministic choice is a valid refinement; throughput differences are modest)\n"
     );
+}
+
+/// E13 — sustained-fault and churn campaigns: recovery-time and
+/// safety-window distributions per algorithm × topology family. Snap-
+/// stabilization under fire: every recovery window must record zero
+/// violations, with no reset of the observers across disruptions.
+fn e13_campaigns() {
+    use sscc_metrics::{campaign_table, run_campaign, CampaignConfig, CampaignReport, CampaignRow};
+    println!("## E13 — fault/churn campaigns (snap-stabilization under fire)\n");
+    let topologies: Vec<(String, Arc<Hypergraph>)> = vec![
+        ("tree48".into(), Arc::new(generators::tree_pairs(48, 5))),
+        ("grid6x8".into(), Arc::new(generators::grid_pairs(6, 8))),
+        (
+            "powerlaw48".into(),
+            Arc::new(generators::power_law(48, 48, 9)),
+        ),
+        ("ring24x2".into(), Arc::new(generators::ring(24, 2))),
+    ];
+    let seeds = 10u64;
+    let merge = |reports: Vec<CampaignReport>| {
+        let mut m = CampaignReport::default();
+        for r in reports {
+            m.recovery.extend(r.recovery);
+            m.safety_windows.extend(r.safety_windows);
+            m.unrecovered += r.unrecovered;
+            m.convened += r.convened;
+            m.violations += r.violations;
+            m.faults_injected += r.faults_injected;
+            m.mutations_applied += r.mutations_applied;
+            m.mutations_rejected += r.mutations_rejected;
+        }
+        m
+    };
+    for (churn_every, title) in [
+        (0u64, "sustained transient faults only"),
+        (250u64, "transient faults + topology churn"),
+    ] {
+        println!(
+            "### {title} (fault_every=400, fraction=0.33, churn_every={churn_every}, \
+             {seeds} seeds x 4000 steps, par1, aggregated)\n"
+        );
+        let mut rows = Vec::new();
+        for (name, h) in &topologies {
+            for algo in [AlgoKind::Cc1, AlgoKind::Cc2, AlgoKind::Cc3] {
+                let reports = parallel_map(0..seeds, |seed| {
+                    let cfg = CampaignConfig {
+                        steps: 4_000,
+                        fault_every: 400,
+                        fault_fraction: 0.33,
+                        churn_every,
+                        seed,
+                    };
+                    run_campaign(algo, Arc::clone(h), "par1", &cfg)
+                });
+                rows.push(CampaignRow {
+                    algo: algo.label(),
+                    topology: name.clone(),
+                    report: merge(reports),
+                });
+            }
+        }
+        println!("{}", campaign_table(&rows).render());
+        println!(
+            "(snap-stabilization: the max-safety-window and violations columns must be all-0)\n"
+        );
+    }
 }
 
 /// The sub-corpus small enough for exact bound computation everywhere.

@@ -101,34 +101,50 @@ fn json_escape(s: &str) -> String {
 }
 
 fn record(out_path: &str, quick: bool, modes: &[&'static Mode]) {
-    // (ring size, timed budget): bigger rings get smaller budgets so the
+    // (topology, timed budget): bigger worlds get smaller budgets so the
     // full sweep stays a few minutes. The quick sweep's ring384 cell uses
     // the *same* warmup/budget protocol as the committed baseline, so the
     // CI gate's joined pairs measure identical windows of the trajectory.
-    let sweep: &[(usize, u64)] = if quick {
-        &[(96, 1000), (384, 3000)]
+    // The tree/grid/power-law cells cover the dynamic-topology families at
+    // the same scale; cells absent from the committed baseline are simply
+    // skipped by the `--compare` join, never gated against nothing.
+    type Cell = (String, Arc<sscc_hypergraph::Hypergraph>, u64);
+    let cell = |label: &str, h: sscc_hypergraph::Hypergraph, budget: u64| -> Cell {
+        (label.to_string(), Arc::new(h), budget)
+    };
+    let sweep: Vec<Cell> = if quick {
+        vec![
+            cell("ring96x2", generators::ring(96, 2), 1000),
+            cell("ring384x2", generators::ring(384, 2), 3000),
+            cell("tree384", generators::tree_pairs(384, 7), 1500),
+            cell("grid16x24", generators::grid_pairs(16, 24), 1500),
+            cell("powerlaw384", generators::power_law(384, 384, 7), 1500),
+        ]
     } else {
-        &[(384, 3000), (1536, 2400), (6144, 1000)]
+        vec![
+            cell("ring384x2", generators::ring(384, 2), 3000),
+            cell("ring1536x2", generators::ring(1536, 2), 2400),
+            cell("ring6144x2", generators::ring(6144, 2), 1000),
+        ]
     };
     let warmup = 400;
     let reps = 4;
 
     let mut records: Vec<Record> = Vec::new();
-    for &(k, budget) in sweep {
-        let h = Arc::new(generators::ring(k, 2));
+    for (topology, h, budget) in &sweep {
         for algo in [AlgoKind::Cc1, AlgoKind::Cc2, AlgoKind::Cc3] {
             for mode in modes {
                 let threads = mode.config.threads();
-                let (steps, secs) = measure(algo, &h, mode, warmup, budget, reps);
+                let (steps, secs) = measure(algo, h, mode, warmup, *budget, reps);
                 eprintln!(
-                    "{:>4} ring{k}x2 {:>14} x{threads}: {:>12.0} steps/s",
+                    "{:>4} {topology} {:>14} x{threads}: {:>12.0} steps/s",
                     algo.label(),
                     mode.name,
                     steps as f64 / secs
                 );
                 records.push(Record {
                     algo: algo.label(),
-                    topology: format!("ring{k}x2"),
+                    topology: topology.clone(),
                     n: h.n(),
                     mode: mode.name,
                     threads,
@@ -171,13 +187,12 @@ fn record(out_path: &str, quick: bool, modes: &[&'static Mode]) {
     // `--modes` subset may not have).
     out.push_str("  ],\n  \"speedups\": [\n");
     let mut lines = Vec::new();
-    for &(k, _) in sweep {
+    for (topo, _, _) in &sweep {
         for algo in ["CC1", "CC2", "CC3"] {
-            let topo = format!("ring{k}x2");
             let find = |mode: &str| {
                 records
                     .iter()
-                    .find(|r| r.algo == algo && r.topology == topo && r.mode == mode)
+                    .find(|r| r.algo == algo && &r.topology == topo && r.mode == mode)
                     .map(Record::steps_per_sec)
             };
             let (Some(full), Some(pr1), Some(par1), Some(par2), Some(par4)) = (

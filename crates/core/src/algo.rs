@@ -9,7 +9,7 @@
 
 use crate::oracle::RequestEnv;
 use crate::status::{ActionClass, CommitteeView};
-use sscc_hypergraph::Hypergraph;
+use sscc_hypergraph::{Hypergraph, MutationDelta};
 use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, ProcessState, StateAccess};
 
 /// Projection bit for the committee-visible part of a composed state (the
@@ -101,6 +101,45 @@ pub trait CommitteeAlgorithm: Sync {
         changed: &[(usize, u8)],
     ) {
         let _ = (h, states, changed);
+    }
+
+    /// Sanitize one process's committee state after a topology mutation
+    /// (`h` is the post-mutation graph). The committee state's domain is
+    /// topology-relative (`P_p ∈ E_p ∪ {⊥}`, a cursor into `E_p`), so a
+    /// mutation must translate edge references through
+    /// [`MutationDelta::remap_edge`] and clear any that no longer resolve
+    /// to an incident committee — a pointer into a dissolved committee
+    /// repairs to `⊥`, exactly like transient-fault debris under `Stab1`/
+    /// `Stab2`, just eagerly and deterministically. Returns `true` iff the
+    /// state changed (callers collect these processes for fact repair).
+    fn repair_state(
+        &self,
+        h: &Hypergraph,
+        delta: &MutationDelta,
+        me: usize,
+        st: &mut Self::State,
+    ) -> bool {
+        let _ = (h, delta, me, st);
+        false
+    }
+
+    /// Repair the committee-fact mirror in place after a topology mutation:
+    /// translate the per-edge arrays through
+    /// [`MutationDelta::remap_per_edge`] and recompute the facts of the
+    /// changed committees plus every committee incident to a process whose
+    /// state [`repair_state`](CommitteeAlgorithm::repair_state) altered.
+    /// Returns `true` iff the mirror is again in sync with the committed
+    /// configuration; `false` (the default — no mirror, or the mirror was
+    /// not live) routes the caller onto the full-rebuild path.
+    fn repair_facts<X: StateAccess<Self::State> + ?Sized>(
+        &mut self,
+        h: &Hypergraph,
+        delta: &MutationDelta,
+        states: &X,
+        repaired: &[usize],
+    ) -> bool {
+        let _ = (h, delta, states, repaired);
+        false
     }
 
     /// Execute `a`; returns the next state and whether `ReleaseToken_p` was

@@ -602,6 +602,49 @@ impl<Ch: EdgeChoice> CommitteeAlgorithm for Cc1<Ch> {
         self.facts.touched = touched;
     }
 
+    fn repair_state(
+        &self,
+        h: &Hypergraph,
+        delta: &sscc_hypergraph::MutationDelta,
+        me: usize,
+        st: &mut Cc1State,
+    ) -> bool {
+        let before = *st;
+        st.p =
+            st.p.and_then(|e| delta.remap_edge(e))
+                .filter(|&e| h.is_member(me, e));
+        *st != before
+    }
+
+    fn repair_facts<X: StateAccess<Cc1State> + ?Sized>(
+        &mut self,
+        h: &Hypergraph,
+        delta: &sscc_hypergraph::MutationDelta,
+        states: &X,
+        repaired: &[usize],
+    ) -> bool {
+        if self.facts.bits.len() != delta.old_m() {
+            // The mirror was never built (or is stale for other reasons):
+            // leave it to the caller's full-rebuild path.
+            return false;
+        }
+        delta.remap_per_edge(&mut self.facts.bits, || 0);
+        delta.remap_per_edge(&mut self.facts.max_t, || u32::MAX);
+        self.facts.touched = MarkSet::new(h.m());
+        for e in delta.changed_edges() {
+            self.facts.recompute(h, states, e);
+        }
+        for &p in repaired {
+            for &e in h.incident(p) {
+                self.facts.touched.insert(e.index());
+            }
+        }
+        let mut touched = std::mem::take(&mut self.facts.touched);
+        touched.drain(|ei| self.facts.recompute(h, states, EdgeId(ei as u32)));
+        self.facts.touched = touched;
+        true
+    }
+
     fn priority_action<E: RequestEnv + ?Sized, A: StateAccess<Cc1State> + ?Sized>(
         &self,
         ctx: &Ctx<'_, Cc1State, E, A>,

@@ -766,6 +766,54 @@ impl<Sel: Selector, Ch: EdgeChoice> CommitteeAlgorithm for Cc2<Sel, Ch> {
         self.facts.touched = touched;
     }
 
+    fn repair_state(
+        &self,
+        h: &Hypergraph,
+        delta: &sscc_hypergraph::MutationDelta,
+        me: usize,
+        st: &mut Cc2State,
+    ) -> bool {
+        let before = *st;
+        st.p =
+            st.p.and_then(|e| delta.remap_edge(e))
+                .filter(|&e| h.is_member(me, e));
+        // Normalize the CC3 cursor into the (possibly shrunk) incident
+        // list. The selector already reduces modulo `|E_p|` defensively, so
+        // this only canonicalizes the representation — it never changes
+        // which committee the cursor targets.
+        let inc = h.incident(me).len() as u16;
+        if inc > 0 && st.cursor >= inc {
+            st.cursor %= inc;
+        }
+        *st != before
+    }
+
+    fn repair_facts<X: StateAccess<Cc2State> + ?Sized>(
+        &mut self,
+        h: &Hypergraph,
+        delta: &sscc_hypergraph::MutationDelta,
+        states: &X,
+        repaired: &[usize],
+    ) -> bool {
+        if self.facts.bits.len() != delta.old_m() {
+            return false;
+        }
+        delta.remap_per_edge(&mut self.facts.bits, || 0);
+        self.facts.touched = MarkSet::new(h.m());
+        for e in delta.changed_edges() {
+            self.facts.recompute(h, states, e);
+        }
+        for &p in repaired {
+            for &e in h.incident(p) {
+                self.facts.touched.insert(e.index());
+            }
+        }
+        let mut touched = std::mem::take(&mut self.facts.touched);
+        touched.drain(|ei| self.facts.recompute(h, states, EdgeId(ei as u32)));
+        self.facts.touched = touched;
+        true
+    }
+
     fn committee_visible_changed(&self, old: &Cc2State, new: &Cc2State) -> bool {
         // The CC3 round-robin cursor is consulted only by its own process
         // (the selector's `target`/`acceptable` read `my_state`), so a

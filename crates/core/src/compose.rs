@@ -260,6 +260,29 @@ where
             self.cc.refresh_facts(h, &pc, changed);
         }
     }
+
+    fn repair_after_mutation(
+        &mut self,
+        h: &Hypergraph,
+        delta: &sscc_hypergraph::MutationDelta,
+        states: &mut [Self::State],
+    ) -> bool {
+        // 1. Substrate: fresh tree/tour over the mutated neighbor relation.
+        //    Out-of-range substrate debris is absorbed by its own internal
+        //    stabilization (Property 1.3).
+        self.tl.rebuild(h);
+        // 2. Committee states: remap/clear edge references, deterministic
+        //    per state — every engine mode repairs to the same configuration.
+        let mut repaired = Vec::new();
+        for (p, st) in states.iter_mut().enumerate() {
+            if self.cc.repair_state(h, delta, p, &mut st.cc) {
+                repaired.push(p);
+            }
+        }
+        // 3. Fact mirror: incremental remap + recompute of changed edges.
+        let pc = ProjCc::new(&*states);
+        self.cc.repair_facts(h, delta, &pc, &repaired)
+    }
 }
 
 impl<CS: ArbitraryState, TS: ArbitraryState> ArbitraryState for CcTok<CS, TS> {

@@ -10,7 +10,7 @@
 
 use crate::predicates::edge_meets;
 use crate::status::{ActionClass, CommitteeView};
-use sscc_hypergraph::{EdgeId, Hypergraph};
+use sscc_hypergraph::{EdgeId, Hypergraph, MutationDelta};
 use std::collections::BTreeSet;
 
 /// One meeting of one committee, from convening to termination.
@@ -228,6 +228,93 @@ impl MeetingLedger {
             self.live_sorted.remove(at);
             self.instances[idx].terminated_step = Some(step);
             events.push(LedgerEvent::Terminated(idx));
+        }
+    }
+
+    /// Mark committee `e` as **disrupted** by an external event (topology
+    /// mutation or injected transient fault) and re-synchronize its
+    /// recorded liveness with the configuration — **silently**: no
+    /// [`LedgerEvent`] is produced, so downstream spec monitors run no
+    /// violation checks. Any live instance is closed at `step` regardless
+    /// of whether the committee still meets: its recorded obligations
+    /// (participant set, essential-discussion progress) refer to
+    /// pre-disruption states and would otherwise charge the algorithm with
+    /// phantom violations. If the committee meets in `states`, a fresh
+    /// **pre-initial** instance is opened (`convened_step = None`): it
+    /// "started during the disruption", so it is exempt from the
+    /// snap-stabilization guarantees exactly like meetings inherited from
+    /// `γ_0` (§2.5). Pre-initial convenes do not bump participation
+    /// counters (consistent with [`MeetingLedger::new`]).
+    pub fn resync_edge<S: CommitteeView>(
+        &mut self,
+        h: &Hypergraph,
+        states: &[S],
+        e: EdgeId,
+        step: u64,
+    ) {
+        if let Some(idx) = self.live[e.index()].take() {
+            let at = self.live_sorted.binary_search(&e).expect("was in live set");
+            self.live_sorted.remove(at);
+            self.instances[idx].terminated_step = Some(step);
+        }
+        if edge_meets(h, states, e) {
+            let idx = self.instances.len();
+            self.live[e.index()] = Some(idx);
+            let at = self.live_sorted.partition_point(|&x| x < e);
+            self.live_sorted.insert(at, e);
+            self.instances.push(MeetingInstance {
+                edge: e,
+                convened_step: None,
+                convened_round: 0,
+                terminated_step: None,
+                participants: h.members(e).to_vec(),
+                essential: BTreeSet::new(),
+                left_by: Vec::new(),
+            });
+        }
+    }
+
+    /// Repair the ledger after a topology mutation so its live set again
+    /// mirrors `edge_meets` on the post-mutation graph `h` and the
+    /// post-repair configuration `states`.
+    ///
+    /// - The dissolved committee's live meeting (if any) is silently
+    ///   terminated at `step` — no event, no violation: the meeting was
+    ///   ended by the world, not by a misbehaving process.
+    /// - Edge references are translated through the swap-remove relocation
+    ///   ([`MutationDelta::remap_edge`]); an instance of the dissolved
+    ///   committee keeps its old id as a historical label (it is
+    ///   terminated, so no live lookup ever resolves it).
+    /// - Committees whose membership changed — and the added committee —
+    ///   are re-synced via [`MeetingLedger::resync_edge`]: any that now
+    ///   meet are recorded as pre-initial (spec-exempt).
+    ///
+    /// Participation counters and per-process history survive untouched
+    /// (the process set is fixed under mutation).
+    pub fn apply_mutation<S: CommitteeView>(
+        &mut self,
+        h: &Hypergraph,
+        states: &[S],
+        delta: &MutationDelta,
+        step: u64,
+    ) {
+        if let Some(e) = delta.removed() {
+            if let Some(idx) = self.live[e.index()].take() {
+                self.instances[idx].terminated_step = Some(step);
+            }
+        }
+        delta.remap_per_edge(&mut self.live, || None);
+        for inst in &mut self.instances {
+            if let Some(ne) = delta.remap_edge(inst.edge) {
+                inst.edge = ne;
+            }
+        }
+        self.live_sorted = (0..h.m())
+            .filter(|&ei| self.live[ei].is_some())
+            .map(|ei| EdgeId(ei as u32))
+            .collect();
+        for e in delta.changed_edges() {
+            self.resync_edge(h, states, e, step);
         }
     }
 

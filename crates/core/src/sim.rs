@@ -357,6 +357,102 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         self.policy_stale = true;
     }
 
+    /// Apply a topology mutation mid-run, repairing every maintained
+    /// observer instead of resetting it — participation counters, meeting
+    /// history, violation records and round tracking all survive, which is
+    /// what lets a churn campaign measure recovery across mutations.
+    ///
+    /// Layering: [`World::mutate`] repairs the graph indexes, shard plan,
+    /// per-process states and fact mirrors; this method then repairs the
+    /// facade's own caches — the committee-view mirror, the ledger
+    /// ([`MeetingLedger::apply_mutation`]: the dissolved committee's meeting
+    /// is silently terminated, committees meeting under the new topology
+    /// without a live instance become pre-initial/spec-exempt), the
+    /// monitor's exclusion cache, and the [`PolicyView`] — and schedules one
+    /// full policy tick (the environment did not observe the mutation
+    /// through an executed footprint).
+    ///
+    /// # Errors
+    /// Anything [`Hypergraph::apply_mutation`] rejects (unknown vertex,
+    /// dissolving the last committee of a member, duplicate committee, …);
+    /// the simulation is untouched on error.
+    pub fn mutate(
+        &mut self,
+        mutation: &sscc_hypergraph::WorldMutation,
+    ) -> Result<sscc_hypergraph::MutationDelta, sscc_hypergraph::MutationError> {
+        let delta = self.world.mutate(mutation)?;
+        let step = self.world.steps();
+        // The engine's state repair may have moved or cleared pointers:
+        // refresh the whole committee-view mirror from the repaired
+        // configuration (O(n) copies — mutations are rare events).
+        for (p, v) in self.cc_view.iter_mut().enumerate() {
+            *v = self.world.state(p).cc.clone();
+        }
+        self.ledger
+            .apply_mutation(self.world.h(), &self.cc_view, &delta, step);
+        self.monitor
+            .resync_live_conflicts(self.world.h(), &self.ledger);
+        // Per-edge scratch is dimensioned by |E|.
+        self.touched_mark = MarkSet::new(self.world.h().m());
+        self.refresh_view_from_cc();
+        self.policy_stale = true;
+        self.last_events.clear();
+        Ok(delta)
+    }
+
+    /// Inject a seeded transient fault into a `fraction` of the processes
+    /// **without resetting the observers** — the campaign-grade counterpart
+    /// of [`Sim::world_mut`] + [`Sim::reset_observers`]. Participation
+    /// counters, meeting history and violation records survive, so
+    /// recovery time and safety windows can be measured across repeated
+    /// strikes. Meetings disrupted (or fabricated) by the fault are
+    /// silently re-synced in the ledger: fault-born meetings are recorded
+    /// as pre-initial (they "started during the faults", §2.5 — exempt),
+    /// and fault-killed meetings terminate without violation checks.
+    /// Returns the struck processes.
+    pub fn strike(&mut self, seed: u64, fraction: f64) -> Vec<usize> {
+        let struck = strike_some(&mut self.world, seed, fraction);
+        let step = self.world.steps();
+        // Refresh the whole committee-view mirror, not just the struck
+        // entries: under the full-scan path the mirror is not maintained
+        // per-step, and the ledger resync below reads it for every member
+        // of a touched committee.
+        for (p, v) in self.cc_view.iter_mut().enumerate() {
+            *v = self.world.state(p).cc.clone();
+        }
+        // Only edges incident to a struck process can change meets-status.
+        self.touched_mark.clear();
+        for &p in &struck {
+            for &e in self.world.h().incident(p) {
+                self.touched_mark.insert(e.index());
+            }
+        }
+        let mut touched = std::mem::take(&mut self.touched_mark);
+        touched.drain(|ei| {
+            self.ledger
+                .resync_edge(self.world.h(), &self.cc_view, EdgeId(ei as u32), step);
+        });
+        self.touched_mark = touched;
+        self.monitor
+            .resync_live_conflicts(self.world.h(), &self.ledger);
+        self.refresh_view_from_cc();
+        self.policy_stale = true;
+        self.last_events.clear();
+        struck
+    }
+
+    /// Recompute the whole [`PolicyView`] from the committee-view mirror
+    /// and the ledger's live set (post-disruption resync).
+    fn refresh_view_from_cc(&mut self) {
+        for (p, v) in self.cc_view.iter().enumerate() {
+            self.view.status[p] = v.status();
+            self.view.in_meeting[p] = match v.pointer() {
+                Some(e) => self.world.h().is_member(p, e) && self.ledger.is_live(e),
+                None => false,
+            };
+        }
+    }
+
     /// The meeting ledger.
     pub fn ledger(&self) -> &MeetingLedger {
         &self.ledger

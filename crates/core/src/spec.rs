@@ -244,6 +244,26 @@ impl SpecMonitor {
         }
     }
 
+    /// Rebuild the incremental exclusion cache from the ledger's live set
+    /// after an external disruption (topology mutation or injected fault):
+    /// edge ids may have been remapped and meetings silently created or
+    /// terminated with no [`LedgerEvent`]s to maintain the cache from.
+    /// Records no violations itself — the replay on the next observed step
+    /// reports whatever conflicts survive (structurally none: two
+    /// conflicting committees share a member, and a single pointer can
+    /// only meet one of them).
+    pub fn resync_live_conflicts(&mut self, h: &Hypergraph, ledger: &MeetingLedger) {
+        self.live_conflicts.clear();
+        let live = ledger.live_edge_set();
+        for (i, &a) in live.iter().enumerate() {
+            for &b in &live[i + 1..] {
+                if h.conflicting(a, b) {
+                    self.live_conflicts.push((a, b));
+                }
+            }
+        }
+    }
+
     /// All violations found so far.
     pub fn violations(&self) -> &[Violation] {
         &self.violations

@@ -170,6 +170,125 @@ differential_suite!(differential_cc1_all_engines_agree, Cc1::new(), "CC1");
 differential_suite!(differential_cc2_all_engines_agree, Cc2::new(), "CC2");
 differential_suite!(differential_cc3_all_engines_agree, Cc3::new_cc3(), "CC3");
 
+/// Churn lockstep: every registered engine must stay bit-identical while
+/// the world is bombarded mid-run — seeded topology mutations applied
+/// through [`Sim::mutate`] (incremental index/plan/mirror repair) and
+/// transient faults through [`Sim::strike`] (observer-preserving
+/// injection), interleaved with ordinary steps. Mutation proposals are
+/// drawn per event seed against the reference sim's current graph, so
+/// every twin sees the identical proposal sequence; rejected proposals
+/// must be rejected identically everywhere. This is the correctness bar
+/// of the repair seams: a stale closed-neighborhood cache, shard plan,
+/// fact mirror or ledger entry in any one engine shows up as a lockstep
+/// divergence at the step that reads it.
+macro_rules! churn_differential_suite {
+    ($name:ident, $cc:expr, $algo:literal) => {
+        #[test]
+        fn $name() {
+            use rand::{rngs::StdRng, SeedableRng as _};
+            use sscc_hypergraph::random_mutation;
+            use sscc_runtime::prelude::{CampaignEvent, FaultCampaign};
+            for (topo, h) in topologies() {
+                let n = h.n();
+                for seed in 0..6u64 {
+                    let hh = Arc::clone(&h);
+                    let mk = move || {
+                        Sim::new(
+                            Arc::clone(&hh),
+                            $cc,
+                            WaveToken::new(&hh),
+                            default_daemon(seed, n),
+                            Box::new(EagerPolicy::new(n, 1)),
+                        )
+                    };
+                    let label = format!("{}/{topo}/churn/seed{seed}", $algo);
+                    let mut inc = mk();
+                    inc.enable_trace();
+                    let mut twins = registry_twins(&mk);
+                    let mut campaign = FaultCampaign::new(seed, 60, 45);
+                    for step in 1..=400u64 {
+                        for ev in campaign.poll(step) {
+                            match ev {
+                                CampaignEvent::Strike { seed: fs } => {
+                                    let struck = inc.strike(fs, 0.3);
+                                    for (tag, s) in &mut twins {
+                                        assert_eq!(
+                                            struck,
+                                            s.strike(fs, 0.3),
+                                            "{label}/{tag}: struck sets diverge"
+                                        );
+                                    }
+                                }
+                                CampaignEvent::Churn { seed: cs } => {
+                                    let mut rng = StdRng::seed_from_u64(cs);
+                                    let proposal = random_mutation(inc.h(), &mut rng);
+                                    let want = inc.mutate(&proposal);
+                                    for (tag, s) in &mut twins {
+                                        assert_eq!(
+                                            want,
+                                            s.mutate(&proposal),
+                                            "{label}/{tag}: mutation outcomes diverge"
+                                        );
+                                    }
+                                }
+                            }
+                            for (tag, s) in &twins {
+                                assert_eq!(
+                                    inc.cc_states(),
+                                    s.cc_states(),
+                                    "{label}/{tag}: post-disruption configurations diverge"
+                                );
+                            }
+                        }
+                        let a = inc.step();
+                        for (tag, s) in &mut twins {
+                            let b = s.step();
+                            assert_eq!(a, b, "{label}/{tag}: step {step} progress disagrees");
+                            assert_eq!(
+                                inc.cc_states(),
+                                s.cc_states(),
+                                "{label}/{tag}: step {step} configurations diverge"
+                            );
+                        }
+                    }
+                    for (tag, s) in &twins {
+                        assert_eq!(
+                            inc.trace().unwrap().events(),
+                            s.trace().unwrap().events(),
+                            "{label}/{tag}: executed-action traces"
+                        );
+                        assert_eq!(
+                            inc.ledger().instances(),
+                            s.ledger().instances(),
+                            "{label}/{tag}: ledger instances"
+                        );
+                        assert_eq!(
+                            inc.ledger().participations(),
+                            s.ledger().participations(),
+                            "{label}/{tag}: participation counters"
+                        );
+                        assert_eq!(
+                            inc.monitor().violations(),
+                            s.monitor().violations(),
+                            "{label}/{tag}: monitor verdicts"
+                        );
+                        assert_eq!(inc.rounds(), s.rounds(), "{label}/{tag}: rounds");
+                        assert_eq!(inc.flags(), s.flags(), "{label}/{tag}: request flags");
+                    }
+                }
+            }
+        }
+    };
+}
+
+churn_differential_suite!(differential_cc1_churn_all_engines_agree, Cc1::new(), "CC1");
+churn_differential_suite!(differential_cc2_churn_all_engines_agree, Cc2::new(), "CC2");
+churn_differential_suite!(
+    differential_cc3_churn_all_engines_agree,
+    Cc3::new_cc3(),
+    "CC3"
+);
+
 /// The `Selection::All` fast path (synchronous daemon — no subset `Vec`
 /// round-trip, `WeaklyFair` bypass) must also be trace-identical.
 #[test]

@@ -123,6 +123,180 @@ vl_lockstep!(value_level_cc1_matches_default, Cc1::new(), "CC1");
 vl_lockstep!(value_level_cc2_matches_default, Cc2::new(), "CC2");
 vl_lockstep!(value_level_cc3_matches_default, Cc3::new_cc3(), "CC3");
 
+/// Churn lockstep in the debug build: topology mutations and transient
+/// faults repair the committee fact mirror in place
+/// (`CommitteeAlgorithm::repair_facts`, the value-level `set_state` fast
+/// path) — and every masked evaluation afterwards is cross-checked against
+/// the per-guard reference by the evaluators' `debug_assert_eq!`s, so a
+/// stale mirror entry trips at the exact step that reads it, not as a
+/// downstream divergence.
+macro_rules! vl_churn_lockstep {
+    ($name:ident, $cc:expr, $algo:literal) => {
+        #[test]
+        fn $name() {
+            use rand::{rngs::StdRng, SeedableRng as _};
+            use sscc_hypergraph::random_mutation;
+            use sscc_runtime::prelude::{CampaignEvent, FaultCampaign};
+            for (topo, h) in [
+                ("fig2", Arc::new(generators::fig2())),
+                ("ring6x2", Arc::new(generators::ring(6, 2))),
+                ("tree", Arc::new(generators::tree_pairs(10, 3))),
+            ] {
+                let n = h.n();
+                for seed in 0..4u64 {
+                    let hh = Arc::clone(&h);
+                    let mk = move || {
+                        Sim::new(
+                            Arc::clone(&hh),
+                            $cc,
+                            WaveToken::new(&hh),
+                            default_daemon(seed, n),
+                            Box::new(EagerPolicy::new(n, 1)),
+                        )
+                    };
+                    let label = format!("{}/{topo}/churn/seed{seed}", $algo);
+                    let mut reference = mk();
+                    let mut twins: Vec<(&str, _)> = ["vl", "vl_daemon"]
+                        .into_iter()
+                        .map(|mode| {
+                            let mut s = mk();
+                            s.configure_mode(mode)
+                                .unwrap_or_else(|e| panic!("{mode} must configure: {e}"));
+                            (mode, s)
+                        })
+                        .collect();
+                    let mut campaign = FaultCampaign::new(seed, 50, 35);
+                    for step in 1..=250u64 {
+                        for ev in campaign.poll(step) {
+                            match ev {
+                                CampaignEvent::Strike { seed: fs } => {
+                                    reference.strike(fs, 0.3);
+                                    for (_, s) in &mut twins {
+                                        s.strike(fs, 0.3);
+                                    }
+                                }
+                                CampaignEvent::Churn { seed: cs } => {
+                                    let mut rng = StdRng::seed_from_u64(cs);
+                                    let proposal = random_mutation(reference.h(), &mut rng);
+                                    let want = reference.mutate(&proposal).is_ok();
+                                    for (tag, s) in &mut twins {
+                                        assert_eq!(
+                                            want,
+                                            s.mutate(&proposal).is_ok(),
+                                            "{label}/{tag}: mutation outcomes diverge"
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        let a = reference.step();
+                        for (tag, s) in &mut twins {
+                            let b = s.step();
+                            assert_eq!(a, b, "{label}/{tag}: step {step} progress disagrees");
+                            assert_eq!(
+                                reference.cc_states(),
+                                s.cc_states(),
+                                "{label}/{tag}: step {step} configurations diverge"
+                            );
+                        }
+                    }
+                    for (tag, s) in &twins {
+                        assert_eq!(
+                            reference.monitor().violations(),
+                            s.monitor().violations(),
+                            "{label}/{tag}: monitor verdicts"
+                        );
+                        assert_eq!(
+                            reference.ledger().instances(),
+                            s.ledger().instances(),
+                            "{label}/{tag}: ledger instances"
+                        );
+                    }
+                }
+            }
+        }
+    };
+}
+
+vl_churn_lockstep!(value_level_cc1_churn_matches_default, Cc1::new(), "CC1");
+vl_churn_lockstep!(value_level_cc2_churn_matches_default, Cc2::new(), "CC2");
+vl_churn_lockstep!(value_level_cc3_churn_matches_default, Cc3::new_cc3(), "CC3");
+
+/// Mid-campaign surgery must keep the value-level commit-note lifecycle
+/// honest: every disruption either repairs the mirror **in sync** (the
+/// `set_state` fast path, `repair_after_mutation` with a live mirror) or
+/// marks `notes_stale` for a pre-evaluation rebuild — never leaves a
+/// silently stale mirror. Pinned on the engine's own `notes_stale` flag at
+/// each stage of a fault/churn/reset sequence.
+#[test]
+fn value_level_surgery_marks_notes_stale_mid_campaign() {
+    use rand::{rngs::StdRng, SeedableRng as _};
+    use sscc_hypergraph::random_mutation;
+    let h = Arc::new(generators::ring(8, 2));
+    let n = h.n();
+    let mut sim = Sim::new(
+        Arc::clone(&h),
+        Cc1::new(),
+        WaveToken::new(&h),
+        default_daemon(5, n),
+        Box::new(EagerPolicy::new(n, 1)),
+    );
+    sim.configure_mode("vl").unwrap();
+    assert!(
+        sim.world().notes_stale(),
+        "configuring value-level marks the mirror for a boot rebuild"
+    );
+    // A mutation before the first evaluation finds no live mirror: the
+    // repair must fall back on the stale-notes path, not fake success.
+    sim.mutate(&sscc_hypergraph::WorldMutation::AddCommittee {
+        members: vec![0, 3],
+    })
+    .unwrap();
+    assert!(
+        sim.world().notes_stale(),
+        "no live mirror yet: mutation keeps the rebuild pending"
+    );
+    for _ in 0..40 {
+        sim.step();
+    }
+    assert!(
+        !sim.world().notes_stale(),
+        "stepping rebuilds the mirror and clears the flag"
+    );
+    // Transient fault mid-campaign: the value-level set_state fast path
+    // repairs the mirror per overwrite, keeping it fresh in sync.
+    sim.strike(17, 0.4);
+    assert!(
+        !sim.world().notes_stale(),
+        "fault surgery repairs the live mirror in sync (set_state fast path)"
+    );
+    // Topology churn mid-campaign: repair_after_mutation repairs the live
+    // mirror in place — no full rebuild scheduled.
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut applied = 0;
+    while applied < 3 {
+        let proposal = random_mutation(sim.h(), &mut rng);
+        if sim.mutate(&proposal).is_ok() {
+            applied += 1;
+            assert!(
+                !sim.world().notes_stale(),
+                "churn repairs the live mirror in sync (repair_facts)"
+            );
+        }
+    }
+    for _ in 0..40 {
+        sim.step();
+    }
+    // Wholesale invalidation still routes through the full rebuild.
+    sim.reset_observers();
+    assert!(
+        sim.world().notes_stale(),
+        "observer reset marks the mirror for a full rebuild"
+    );
+    sim.run(200);
+    assert!(sim.monitor().clean(), "{:?}", sim.monitor().violations());
+}
+
 /// State surgery through [`Sim::set_cc_state`] + [`Sim::reset_observers`]
 /// marks the engine's commit notes stale; the next step must rebuild the
 /// mirror before evaluating — pinned here because the debug asserts fire

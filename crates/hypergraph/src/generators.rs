@@ -6,6 +6,7 @@ use crate::hypergraph::Hypergraph;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 
 /// Figure 1(a): `V = {1..6}`, `E = {{1,2},{1,2,3,4},{2,4,5},{3,6},{4,6}}`.
 pub fn fig1() -> Hypergraph {
@@ -145,11 +146,23 @@ pub fn random_uniform(n: usize, m: usize, k: usize, seed: u64) -> Hypergraph {
         committees.push(c);
         start += k - 1;
     }
-    // Fill with random distinct committees.
+    // Fill with random distinct committees (hashed dedup — the linear scan
+    // was quadratic in m and dominated large instances).
+    let mut seen: HashSet<Vec<u32>> = committees
+        .iter()
+        .map(|c| {
+            let mut s = c.clone();
+            s.sort_unstable();
+            s
+        })
+        .collect();
     let mut tries = 0;
     while committees.len() < m {
         tries += 1;
-        assert!(tries < 100_000, "could not place {m} distinct committees");
+        assert!(
+            tries < 100_000 + 10 * m,
+            "could not place {m} distinct committees"
+        );
         let mut c: Vec<u32> = Vec::with_capacity(k);
         while c.len() < k {
             let v = rng.random_range(0..n) as u32;
@@ -159,12 +172,88 @@ pub fn random_uniform(n: usize, m: usize, k: usize, seed: u64) -> Hypergraph {
         }
         let mut sorted = c.clone();
         sorted.sort_unstable();
-        let dup = committees.iter().any(|e| {
-            let mut s = e.clone();
+        if seen.insert(sorted) {
+            committees.push(c);
+        }
+    }
+    let refs: Vec<&[u32]> = committees.iter().map(|c| c.as_slice()).collect();
+    Hypergraph::new(&refs)
+}
+
+/// Random tree of pair committees: `n` professors, `n-1` committees, each
+/// the edge `{parent(v), v}` of a uniformly random recursive tree
+/// (`parent(v)` uniform over `0..v`). The topology family of the
+/// tree-forwarding snap-stabilization line of work; deterministic in
+/// `seed`. Requires `n >= 2`.
+pub fn tree_pairs(n: usize, seed: u64) -> Hypergraph {
+    assert!(n >= 2, "a tree needs >= 2 professors");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let committees: Vec<[u32; 2]> = (1..n)
+        .map(|v| [rng.random_range(0..v) as u32, v as u32])
+        .collect();
+    let refs: Vec<&[u32]> = committees.iter().map(|c| c.as_slice()).collect();
+    Hypergraph::new(&refs)
+}
+
+/// Random connected hypergraph with **power-law committee sizes**: `m`
+/// committees over `n` professors, sizes drawn from `P(s) ∝ s^(-5/2)` on
+/// `2..=max(4, √n)` (heavy tail of small committees, a few large ones — a
+/// stand-in for the skewed group sizes of real coordination workloads).
+/// A Hamiltonian pair backbone guarantees coverage and connectivity, so
+/// `m >= n/1` backbone edges are required: `m >= n`. Deterministic in
+/// `seed`.
+pub fn power_law(n: usize, m: usize, seed: u64) -> Hypergraph {
+    assert!(n >= 2, "need >= 2 professors");
+    assert!(
+        m >= n,
+        "need m >= n: {n} backbone pairs guarantee connectivity"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.shuffle(&mut rng);
+    let mut committees: Vec<Vec<u32>> = (0..n).map(|i| vec![perm[i], perm[(i + 1) % n]]).collect();
+    if n == 2 {
+        committees.truncate(1); // the cycle degenerates to one pair
+    }
+    let mut seen: HashSet<Vec<u32>> = committees
+        .iter()
+        .map(|c| {
+            let mut s = c.clone();
             s.sort_unstable();
-            s == sorted
-        });
-        if !dup {
+            s
+        })
+        .collect();
+    // Discrete power law via inverse-transform on precomputed cumulative
+    // weights s^(-5/2), s in 2..=smax.
+    let smax = 4usize.max((n as f64).sqrt() as usize).min(n);
+    let weights: Vec<f64> = (2..=smax).map(|s| (s as f64).powf(-2.5)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut tries = 0usize;
+    while committees.len() < m {
+        tries += 1;
+        assert!(
+            tries < 100_000 + 10 * m,
+            "could not place {m} distinct committees"
+        );
+        let mut x = rng.random::<f64>() * total;
+        let mut k = 2;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                k = i + 2;
+                break;
+            }
+            x -= w;
+        }
+        let mut c: Vec<u32> = Vec::with_capacity(k);
+        while c.len() < k {
+            let v = rng.random_range(0..n) as u32;
+            if !c.contains(&v) {
+                c.push(v);
+            }
+        }
+        let mut sorted = c.clone();
+        sorted.sort_unstable();
+        if seen.insert(sorted) {
             committees.push(c);
         }
     }
@@ -301,5 +390,47 @@ mod tests {
     #[should_panic]
     fn ring_of_two_rejected() {
         let _ = ring(2, 2);
+    }
+
+    #[test]
+    fn tree_pairs_is_a_tree() {
+        let h = tree_pairs(40, 3);
+        assert_eq!(h.n(), 40);
+        assert_eq!(h.m(), 39, "a tree has n-1 edges");
+        for e in h.edge_ids() {
+            assert_eq!(h.edge_len(e), 2);
+        }
+        assert_eq!(tree_pairs(40, 3), tree_pairs(40, 3), "deterministic");
+        assert_ne!(tree_pairs(40, 3), tree_pairs(40, 4));
+    }
+
+    #[test]
+    fn power_law_sizes_are_skewed() {
+        let h = power_law(64, 100, 11);
+        assert_eq!(h.n(), 64);
+        assert_eq!(h.m(), 100);
+        let sizes: Vec<usize> = h.edge_ids().map(|e| h.edge_len(e)).collect();
+        let pairs = sizes.iter().filter(|&&s| s == 2).count();
+        let big = sizes.iter().filter(|&&s| s > 2).count();
+        assert!(
+            pairs > big,
+            "heavy tail of small committees: {pairs} vs {big}"
+        );
+        assert!(big > 0, "but some larger committees exist");
+        assert_eq!(power_law(64, 100, 11), power_law(64, 100, 11));
+    }
+
+    #[test]
+    fn large_topologies_build() {
+        // The n >= 10^5 bar of the churn/campaign suite: construction must
+        // stay near-linear (the hashed dedup and gather-sort neighbor
+        // build; the old quadratic paths made this size unreachable).
+        let n = 100_000;
+        let t = tree_pairs(n, 1);
+        assert_eq!(t.n(), n);
+        assert_eq!(t.m(), n - 1);
+        let p = power_law(n, n + n / 4, 1);
+        assert_eq!(p.n(), n);
+        assert_eq!(p.m(), n + n / 4);
     }
 }

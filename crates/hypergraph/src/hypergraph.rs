@@ -7,7 +7,7 @@
 
 use crate::ids::{EdgeId, ProcessId};
 use crate::sharding::ShardPlan;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -79,26 +79,27 @@ impl std::error::Error for HypergraphError {}
 /// runtime never allocates.
 pub struct Hypergraph {
     /// Sorted, deduplicated process identifiers; dense index = position.
-    ids: Box<[ProcessId]>,
+    pub(crate) ids: Box<[ProcessId]>,
     /// Edge member lists as sorted dense indices.
-    edges: Box<[Box<[usize]>]>,
+    pub(crate) edges: Box<[Box<[usize]>]>,
     /// For each dense vertex index, the sorted list of incident edges `E_p`.
-    incident: Box<[Box<[EdgeId]>]>,
+    pub(crate) incident: Box<[Box<[EdgeId]>]>,
     /// For each dense vertex index, the sorted neighbor dense indices `N(v)`.
-    neighbors: Box<[Box<[usize]>]>,
+    pub(crate) neighbors: Box<[Box<[usize]>]>,
     /// For each dense vertex index, the sorted *closed* neighborhood
     /// `N[v] = {v} ∪ N(v)` — the dependency footprint of a guard evaluated
     /// at `v` in the locally shared memory model, cached for the runtime's
     /// incremental scheduler.
-    closed_nbhd: Box<[Box<[usize]>]>,
+    pub(crate) closed_nbhd: Box<[Box<[usize]>]>,
     /// Identity table `[0, 1, …, n-1]`; `&identity[v..=v]` is the borrowed
     /// singleton slice `[v]` (allocation-free footprints).
-    identity: Box<[usize]>,
+    pub(crate) identity: Box<[usize]>,
     /// Lazily computed shard plans, keyed by shard count (the runtime's
     /// parallel drain asks for the same plan every refresh — compute once,
     /// share via `Arc`). Excluded from `Clone`/`PartialEq`: a cache, not
-    /// part of the graph's value.
-    plans: parking_lot::Mutex<BTreeMap<usize, Arc<ShardPlan>>>,
+    /// part of the graph's value. [`crate::mutation`] repairs cached
+    /// entries in place after a topology mutation.
+    pub(crate) plans: parking_lot::Mutex<BTreeMap<usize, Arc<ShardPlan>>>,
 }
 
 impl Clone for Hypergraph {
@@ -148,34 +149,42 @@ impl Hypergraph {
                 .expect("member id is in the union of members by construction")
         };
 
+        // Hashed duplicate detection: O(Σ|ε|) instead of the quadratic
+        // pairwise scan (required for the n ≥ 10^5 generator families).
         let mut edges: Vec<Box<[usize]>> = Vec::with_capacity(committees.len());
+        let mut seen: HashMap<Box<[usize]>, usize> = HashMap::with_capacity(committees.len());
         for (k, c) in committees.iter().enumerate() {
-            let set: BTreeSet<usize> = c.iter().map(|&r| dense(r)).collect();
-            if set.len() < 2 {
+            let mut members: Vec<usize> = c.iter().map(|&r| dense(r)).collect();
+            members.sort_unstable();
+            members.dedup();
+            if members.len() < 2 {
                 return Err(HypergraphError::EdgeTooSmall {
                     edge: k,
-                    len: set.len(),
+                    len: members.len(),
                 });
             }
-            let members: Box<[usize]> = set.into_iter().collect();
-            if let Some(prev) = edges.iter().position(|e| **e == *members) {
+            let members: Box<[usize]> = members.into_boxed_slice();
+            if let Some(&prev) = seen.get(&members) {
                 return Err(HypergraphError::DuplicateEdge {
                     first: prev,
                     second: k,
                 });
             }
+            seen.insert(members.clone(), k);
             edges.push(members);
         }
 
         let n = ids.len();
         let mut incident: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
-        let mut nbr_sets: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        // Gather-then-sort neighbor lists (each member pair is pushed twice
+        // and deduplicated in one pass) — no per-vertex tree allocations.
+        let mut nbr_lists: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (k, e) in edges.iter().enumerate() {
             for &v in e.iter() {
                 incident[v].push(EdgeId(k as u32));
                 for &u in e.iter() {
                     if u != v {
-                        nbr_sets[v].insert(u);
+                        nbr_lists[v].push(u);
                     }
                 }
             }
@@ -186,9 +195,13 @@ impl Hypergraph {
             }
         }
 
-        let neighbors: Box<[Box<[usize]>]> = nbr_sets
+        let neighbors: Box<[Box<[usize]>]> = nbr_lists
             .into_iter()
-            .map(|s| s.into_iter().collect::<Box<[usize]>>())
+            .map(|mut s| {
+                s.sort_unstable();
+                s.dedup();
+                s.into_boxed_slice()
+            })
             .collect();
         let closed_nbhd: Box<[Box<[usize]>]> = neighbors
             .iter()

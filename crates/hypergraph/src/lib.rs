@@ -31,11 +31,13 @@ pub mod generators;
 pub mod hypergraph;
 pub mod ids;
 pub mod matching;
+pub mod mutation;
 pub mod network;
 pub mod sharding;
 
 pub use fairness_sets::{AmmFamily, FairnessAnalysis};
 pub use hypergraph::{Hypergraph, HypergraphError};
 pub use ids::{EdgeId, ProcessId};
+pub use mutation::{random_mutation, MutationDelta, MutationError, WorldMutation};
 pub use network::{EulerTour, SpanningTree};
 pub use sharding::ShardPlan;

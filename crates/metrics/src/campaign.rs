@@ -1,0 +1,297 @@
+//! Sustained-fault campaigns: the snap-stabilization stress harness.
+//!
+//! A campaign drives a simulation for a fixed number of steps while a
+//! seeded [`FaultCampaign`] schedule injects **transient faults** (a
+//! fraction of processes overwritten with arbitrary states, §2.5) and
+//! **topology churn** (committee add/remove/join/leave/rewire proposals)
+//! into the running system — without ever resetting the observers, so
+//! meeting history, participation counters and the violation record span
+//! the whole bombardment.
+//!
+//! Two distributions come out:
+//!
+//! * **Recovery time** — for each disruption, the number of steps until
+//!   the next *post-initial* convene (a meeting started by the algorithm
+//!   after the disruption, i.e. covered by the snap-stabilization
+//!   guarantee). A new disruption before recovery restarts the clock.
+//! * **Safety-violation window** — the number of specification violations
+//!   recorded during each such recovery window. Snap-stabilization claims
+//!   these are all **zero**: every task started after the faults satisfies
+//!   the specification; there is no "stabilization period" during which
+//!   the spec may be violated.
+
+use crate::report::Table;
+use crate::runner::{build_sim, AlgoKind, AnySim, Boot, PolicyKind};
+use rand::{rngs::StdRng, SeedableRng as _};
+use sscc_core::LedgerEvent;
+use sscc_hypergraph::{random_mutation, Hypergraph};
+use sscc_runtime::prelude::{CampaignEvent, FaultCampaign};
+use std::sync::Arc;
+
+/// Campaign parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// Campaign length in steps.
+    pub steps: u64,
+    /// Inject a transient fault every this many steps (0 = never).
+    pub fault_every: u64,
+    /// Fraction of processes struck per fault.
+    pub fault_fraction: f64,
+    /// Propose a topology mutation every this many steps (0 = never).
+    pub churn_every: u64,
+    /// Master seed for the fault/churn schedule.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            steps: 4_000,
+            fault_every: 200,
+            fault_fraction: 0.3,
+            churn_every: 0,
+            seed: 7,
+        }
+    }
+}
+
+/// What a campaign measured.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignReport {
+    /// Recovery time of each disruption that recovered (steps from the
+    /// *latest* disruption to the next post-initial convene).
+    pub recovery: Vec<u64>,
+    /// Specification violations recorded inside each recovery window
+    /// (aligned with [`CampaignReport::recovery`]; snap-stabilization
+    /// predicts all zeros).
+    pub safety_windows: Vec<u64>,
+    /// Disruptions still unrecovered when the campaign ended.
+    pub unrecovered: usize,
+    /// Post-initial convenes over the whole campaign.
+    pub convened: usize,
+    /// Total specification violations over the whole campaign.
+    pub violations: usize,
+    /// Transient faults injected.
+    pub faults_injected: usize,
+    /// Topology mutations applied.
+    pub mutations_applied: usize,
+    /// Mutation proposals rejected by validation (skipped, by design).
+    pub mutations_rejected: usize,
+}
+
+impl CampaignReport {
+    /// Largest recovery time observed (0 if none recovered).
+    pub fn max_recovery(&self) -> u64 {
+        self.recovery.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean recovery time (0.0 if none recovered).
+    pub fn mean_recovery(&self) -> f64 {
+        if self.recovery.is_empty() {
+            return 0.0;
+        }
+        self.recovery.iter().sum::<u64>() as f64 / self.recovery.len() as f64
+    }
+
+    /// Largest safety-violation window (snap-stabilization predicts 0).
+    pub fn max_safety_window(&self) -> u64 {
+        self.safety_windows.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Run a sustained-fault campaign against an already-configured simulation.
+///
+/// The caller owns topology, algorithm, engine mode and boot; the campaign
+/// owns the bombardment schedule. Deterministic: the same sim + config
+/// replays the same event sequence (mutation proposals are drawn from each
+/// event's seed against the *current* graph, so lockstep twins evolving
+/// identically see identical proposals).
+pub fn run_campaign_on(sim: &mut AnySim, cfg: &CampaignConfig) -> CampaignReport {
+    let mut campaign = FaultCampaign::new(cfg.seed, cfg.fault_every, cfg.churn_every);
+    let mut report = CampaignReport::default();
+    // Open disruption window: (campaign step it started, violations then).
+    let mut open: Option<(u64, usize)> = None;
+    for step in 1..=cfg.steps {
+        for ev in campaign.poll(step) {
+            match ev {
+                CampaignEvent::Strike { seed } => {
+                    sim.strike(seed, cfg.fault_fraction);
+                    report.faults_injected += 1;
+                }
+                CampaignEvent::Churn { seed } => {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let proposal = random_mutation(sim.h(), &mut rng);
+                    match sim.mutate(&proposal) {
+                        Ok(_) => report.mutations_applied += 1,
+                        Err(_) => report.mutations_rejected += 1,
+                    }
+                }
+            }
+            // Every disruption (re)starts the recovery clock.
+            open = Some((step, sim.monitor().violations().len()));
+        }
+        sim.step();
+        let recovered = sim.last_events().iter().any(|ev| {
+            matches!(ev, LedgerEvent::Convened(idx)
+                if sim.ledger().instances()[*idx].post_initial())
+        });
+        if recovered {
+            if let Some((since, viol_at)) = open.take() {
+                report.recovery.push(step - since);
+                report
+                    .safety_windows
+                    .push((sim.monitor().violations().len() - viol_at) as u64);
+            }
+        }
+    }
+    report.unrecovered = usize::from(open.is_some());
+    report.convened = sim.ledger().convened_count();
+    report.violations = sim.monitor().violations().len();
+    report
+}
+
+/// Build a simulation and run a campaign over it: `kind` on `h` under the
+/// given registry `mode`, eager environment, clean boot.
+///
+/// # Panics
+/// On an unknown/invalid `mode` label.
+pub fn run_campaign(
+    kind: AlgoKind,
+    h: Arc<Hypergraph>,
+    mode: &str,
+    cfg: &CampaignConfig,
+) -> CampaignReport {
+    let mut sim = build_sim(
+        kind,
+        h,
+        cfg.seed ^ 0xdae_5eed,
+        PolicyKind::Eager { max_disc: 1 },
+        Boot::Clean,
+    );
+    sim.configure_mode(mode).expect("valid mode label");
+    run_campaign_on(&mut sim, cfg)
+}
+
+/// One labelled campaign row for the EXPERIMENTS.md table.
+#[derive(Clone, Debug)]
+pub struct CampaignRow {
+    /// Algorithm label.
+    pub algo: &'static str,
+    /// Topology family label.
+    pub topology: String,
+    /// The measured report.
+    pub report: CampaignReport,
+}
+
+/// Render campaign rows as the EXPERIMENTS.md table: recovery-time and
+/// safety-window distributions per (algorithm, topology family).
+pub fn campaign_table(rows: &[CampaignRow]) -> Table {
+    let mut t = Table::new([
+        "algo",
+        "topology",
+        "faults",
+        "mutations",
+        "recovered",
+        "mean rec",
+        "max rec",
+        "max safety win",
+        "convened",
+        "violations",
+    ]);
+    for r in rows {
+        t.row([
+            r.algo.to_string(),
+            r.topology.clone(),
+            r.report.faults_injected.to_string(),
+            r.report.mutations_applied.to_string(),
+            r.report.recovery.len().to_string(),
+            format!("{:.1}", r.report.mean_recovery()),
+            r.report.max_recovery().to_string(),
+            r.report.max_safety_window().to_string(),
+            r.report.convened.to_string(),
+            r.report.violations.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sscc_hypergraph::generators;
+
+    #[test]
+    fn fault_campaign_recovers_with_zero_safety_windows() {
+        let h = Arc::new(generators::ring(12, 3));
+        let cfg = CampaignConfig {
+            steps: 3_000,
+            fault_every: 250,
+            fault_fraction: 0.4,
+            churn_every: 0,
+            seed: 11,
+        };
+        let rep = run_campaign(AlgoKind::Cc1, h, "par1", &cfg);
+        assert!(rep.faults_injected >= 10, "{rep:?}");
+        assert!(!rep.recovery.is_empty(), "meetings resumed: {rep:?}");
+        assert_eq!(rep.max_safety_window(), 0, "snap: {rep:?}");
+        assert_eq!(rep.violations, 0, "{rep:?}");
+    }
+
+    #[test]
+    fn churn_campaign_applies_mutations_and_stays_safe() {
+        let h = Arc::new(generators::ring(12, 3));
+        let cfg = CampaignConfig {
+            steps: 3_000,
+            fault_every: 300,
+            fault_fraction: 0.25,
+            churn_every: 170,
+            seed: 23,
+        };
+        let mut sim = build_sim(
+            AlgoKind::Cc2,
+            h,
+            cfg.seed ^ 0xdae_5eed,
+            PolicyKind::Eager { max_disc: 1 },
+            Boot::Clean,
+        );
+        sim.configure_mode("inplace").unwrap();
+        let rep = run_campaign_on(&mut sim, &cfg);
+        assert!(rep.mutations_applied > 0, "{rep:?}");
+        assert_eq!(
+            rep.violations,
+            0,
+            "{:?}\n{rep:?}",
+            sim.monitor().violations()
+        );
+        assert!(rep.convened > 0, "{rep:?}");
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let h = Arc::new(generators::grid_pairs(4, 4));
+        let cfg = CampaignConfig {
+            steps: 1_500,
+            fault_every: 200,
+            fault_fraction: 0.3,
+            churn_every: 260,
+            seed: 5,
+        };
+        let a = run_campaign(AlgoKind::Cc1, Arc::clone(&h), "par1", &cfg);
+        let b = run_campaign(AlgoKind::Cc1, h, "par1", &cfg);
+        assert_eq!(a.recovery, b.recovery);
+        assert_eq!(a.convened, b.convened);
+        assert_eq!(a.mutations_applied, b.mutations_applied);
+    }
+
+    #[test]
+    fn table_renders_one_row_per_campaign() {
+        let rows = vec![CampaignRow {
+            algo: "CC1",
+            topology: "ring(12,3)".into(),
+            report: CampaignReport::default(),
+        }];
+        let t = campaign_table(&rows);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains("max safety win"));
+    }
+}

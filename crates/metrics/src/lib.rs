@@ -5,6 +5,8 @@
 //! over schedules.
 //!
 //! * [`runner`] — uniform construction of CC1/CC2/CC3 simulations;
+//! * [`campaign`] — sustained-fault/churn campaigns: recovery-time and
+//!   safety-violation-window distributions under bombardment;
 //! * [`sweep`] — deterministic parallel seed sweeps;
 //! * [`degree`] — degree of fair concurrency (Definition 5, Thms 4/5/7/8);
 //! * [`waiting`] — waiting time in rounds (Definition 6, Thm 6);
@@ -16,6 +18,7 @@
 #![deny(deprecated)]
 
 pub mod adversary;
+pub mod campaign;
 pub mod degree;
 pub mod report;
 pub mod runner;
@@ -24,6 +27,9 @@ pub mod throughput;
 pub mod waiting;
 
 pub use adversary::{cc1_starvation_on_fig2, AlternatingAdversary, StarvationOutcome};
+pub use campaign::{
+    campaign_table, run_campaign, run_campaign_on, CampaignConfig, CampaignReport, CampaignRow,
+};
 pub use degree::{degree_row, measure_degree, DegreeConfig, DegreeOutcome, DegreeRow};
 pub use report::{f2, plabel, Table};
 pub use runner::{build_sim, AlgoKind, AnySim, Boot, PolicyKind};

@@ -199,6 +199,30 @@ impl AnySim {
         dispatch!(self, s => s.live_meetings().len())
     }
 
+    /// Ledger events of the most recent step.
+    pub fn last_events(&self) -> &[sscc_core::LedgerEvent] {
+        dispatch!(self, s => s.last_events())
+    }
+
+    /// Inject a seeded transient fault into `fraction` of the processes
+    /// without resetting observers — see `Sim::strike`.
+    pub fn strike(&mut self, seed: u64, fraction: f64) -> Vec<usize> {
+        dispatch!(self, s => s.strike(seed, fraction))
+    }
+
+    /// Apply a topology mutation mid-run with incremental observer repair —
+    /// see `Sim::mutate`.
+    ///
+    /// # Errors
+    /// Anything `Hypergraph::apply_mutation` rejects; the simulation is
+    /// untouched on error.
+    pub fn mutate(
+        &mut self,
+        mutation: &sscc_hypergraph::WorldMutation,
+    ) -> Result<sscc_hypergraph::MutationDelta, sscc_hypergraph::MutationError> {
+        dispatch!(self, s => s.mutate(mutation))
+    }
+
     /// The topology.
     pub fn h(&self) -> &Hypergraph {
         dispatch!(self, s => s.h())

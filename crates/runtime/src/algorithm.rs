@@ -159,6 +159,34 @@ pub trait GuardedAlgorithm: Sync {
     ) {
         let _ = (h, states, changed);
     }
+
+    /// Repair algorithm-held structures and per-process states after a
+    /// topology mutation (`h` is the *post-mutation* graph; `delta`
+    /// describes the edit). Implementations should
+    ///
+    /// 1. rebuild any topology-derived substrate (spanning trees, tours),
+    /// 2. sanitize states referencing committee ids through
+    ///    [`MutationDelta::remap_edge`](sscc_hypergraph::MutationDelta::remap_edge)
+    ///    (a dissolved committee repairs to "no pointer" — churn debris is
+    ///    absorbed exactly like transient-fault debris), and
+    /// 3. repair any commit-note mirror per-edge via
+    ///    [`MutationDelta::remap_per_edge`](sscc_hypergraph::MutationDelta::remap_per_edge),
+    ///    returning `true` iff the notes are again in sync.
+    ///
+    /// Returning `false` (the default — no notes, or not repaired) makes
+    /// the engine fall back on the `notes_stale` lifecycle: the mirror is
+    /// rebuilt from scratch at the next value-level refresh. Either way
+    /// the engine re-marks every guard dirty, because substrate rebuilds
+    /// (a new tour) change guard inputs globally.
+    fn repair_after_mutation(
+        &mut self,
+        h: &Hypergraph,
+        delta: &sscc_hypergraph::MutationDelta,
+        states: &mut [Self::State],
+    ) -> bool {
+        let _ = (h, delta, states);
+        false
+    }
 }
 
 #[cfg(test)]

@@ -520,6 +520,16 @@ impl<A: GuardedAlgorithm> World<A> {
         self.steps
     }
 
+    /// Must the algorithm's commit notes be rebuilt from the full
+    /// configuration before the next guard evaluation? Observability for
+    /// the fault/mutation regression tests: state surgery and topology
+    /// mutations must either repair the notes in sync (value-level
+    /// fast paths, [`GuardedAlgorithm::repair_after_mutation`]) or mark
+    /// them stale here — never leave them silently stale-but-unmarked.
+    pub fn notes_stale(&self) -> bool {
+        self.notes_stale
+    }
+
     /// Force full guard re-evaluation every step (the naive `O(n)` path the
     /// incremental scheduler is differentially tested against) — the
     /// [`EvalPath::FullScan`] arm of [`World::configure`].
@@ -596,6 +606,44 @@ impl<A: GuardedAlgorithm> World<A> {
     pub fn invalidate_all(&mut self) {
         self.sched.mark_all();
         self.notes_stale = true;
+    }
+
+    /// Apply a topology mutation and repair every engine-held cache.
+    ///
+    /// The process set is fixed; only the committee structure changes, so
+    /// per-process engine state (scheduler, scratch) stays dimensionally
+    /// valid. The hypergraph repairs its own indices and memoized shard
+    /// plans incrementally ([`Hypergraph::apply_mutation`]); the engine then
+    ///
+    /// 1. re-fetches the repaired [`ShardPlan`] for the parallel drain,
+    /// 2. lets the algorithm repair its substrate, per-process states and
+    ///    commit-note mirrors
+    ///    ([`GuardedAlgorithm::repair_after_mutation`]) — falling back on
+    ///    the `notes_stale` lifecycle when the mirror was not repaired in
+    ///    sync, and
+    /// 3. marks **every** guard dirty: a substrate rebuild (a new spanning
+    ///    tree / tour) changes guard inputs globally, so incremental
+    ///    dirty-marking would be unsound here. The incrementality of churn
+    ///    lives in the index/plan/mirror repairs, not the re-evaluation.
+    ///
+    /// A rejected mutation ([`sscc_hypergraph::MutationError`]) leaves the
+    /// world untouched.
+    pub fn mutate(
+        &mut self,
+        mutation: &sscc_hypergraph::WorldMutation,
+    ) -> Result<sscc_hypergraph::MutationDelta, sscc_hypergraph::MutationError> {
+        let delta = Arc::make_mut(&mut self.h).apply_mutation(mutation)?;
+        if let Some(par) = &mut self.par {
+            par.plan = self.h.shard_plan(par.threads);
+        }
+        let repaired = self
+            .algo
+            .repair_after_mutation(&self.h, &delta, &mut self.states);
+        if self.value_level && !repaired {
+            self.notes_stale = true;
+        }
+        self.sched.mark_all();
+        Ok(delta)
     }
 
     /// Is value-level invalidation active (see [`EvalPath::ValueLevel`])?

@@ -87,6 +87,87 @@ where
     struck
 }
 
+/// One disruption of a sustained campaign (see [`FaultCampaign`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CampaignEvent {
+    /// Corrupt a seeded random subset of processes (a transient fault —
+    /// drivers route this through [`strike_some`] or a counter-preserving
+    /// equivalent).
+    Strike {
+        /// Seed for the corruption's RNG stream.
+        seed: u64,
+    },
+    /// Propose a seeded topology mutation (drivers draw the proposal from
+    /// [`sscc_hypergraph::random_mutation`] and skip rejected ones — a
+    /// rejection consumes the event but leaves the world untouched).
+    Churn {
+        /// Seed for the proposal's RNG stream.
+        seed: u64,
+    },
+}
+
+/// A seeded schedule of **sustained** disruptions: periodic transient
+/// faults and topology churn interleaved with normal execution.
+///
+/// Stabilization proofs quantify over "the last fault"; campaign runs
+/// instead keep striking — the system never gets the courtesy of a long
+/// quiet suffix. The schedule is deterministic in `(seed, periods)` so the
+/// differential suite can drive every registry engine through an identical
+/// campaign and demand bit-identical observables.
+///
+/// ```
+/// use sscc_runtime::fault::{CampaignEvent, FaultCampaign};
+///
+/// let mut c = FaultCampaign::new(7, 3, 5);
+/// let a: Vec<_> = (0..15).flat_map(|t| c.poll(t)).collect();
+/// let mut c2 = FaultCampaign::new(7, 3, 5);
+/// let b: Vec<_> = (0..15).flat_map(|t| c2.poll(t)).collect();
+/// assert_eq!(a, b); // same seed, same campaign
+/// assert!(a.iter().any(|e| matches!(e, CampaignEvent::Strike { .. })));
+/// assert!(a.iter().any(|e| matches!(e, CampaignEvent::Churn { .. })));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultCampaign {
+    rng: StdRng,
+    fault_every: u64,
+    churn_every: u64,
+}
+
+impl FaultCampaign {
+    /// A campaign striking every `fault_every` steps and proposing a
+    /// mutation every `churn_every` steps (`0` disables that event kind;
+    /// step 0 is never disrupted — the boot configuration is the first
+    /// disruption already).
+    pub fn new(seed: u64, fault_every: u64, churn_every: u64) -> Self {
+        FaultCampaign {
+            rng: StdRng::seed_from_u64(seed ^ 0x00c0_ffee_c0de_f00d),
+            fault_every,
+            churn_every,
+        }
+    }
+
+    /// The disruptions scheduled for step `step`, in a fixed order
+    /// (faults before churn). Must be called with strictly increasing
+    /// steps to keep the seed stream aligned across drivers.
+    pub fn poll(&mut self, step: u64) -> Vec<CampaignEvent> {
+        use rand::Rng as _;
+        let mut events = Vec::new();
+        if step > 0 {
+            if self.fault_every > 0 && step.is_multiple_of(self.fault_every) {
+                events.push(CampaignEvent::Strike {
+                    seed: self.rng.random(),
+                });
+            }
+            if self.churn_every > 0 && step.is_multiple_of(self.churn_every) {
+                events.push(CampaignEvent::Churn {
+                    seed: self.rng.random(),
+                });
+            }
+        }
+        events
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +206,48 @@ mod tests {
         let mut w = World::new(h, MaxProp);
         let struck = strike_some(&mut w, 3, 0.0);
         assert_eq!(struck.len(), 1, "fraction 0 still strikes one process");
+    }
+
+    #[test]
+    fn campaign_schedule_is_deterministic_and_periodic() {
+        let mut c = FaultCampaign::new(11, 4, 6);
+        let events: Vec<(u64, Vec<CampaignEvent>)> = (0..=24).map(|t| (t, c.poll(t))).collect();
+        for (t, evs) in &events {
+            let faults = evs
+                .iter()
+                .filter(|e| matches!(e, CampaignEvent::Strike { .. }))
+                .count();
+            let churns = evs
+                .iter()
+                .filter(|e| matches!(e, CampaignEvent::Churn { .. }))
+                .count();
+            assert_eq!(faults, usize::from(*t > 0 && t % 4 == 0), "step {t}");
+            assert_eq!(churns, usize::from(*t > 0 && t % 6 == 0), "step {t}");
+        }
+        // Step 12 carries both, faults first.
+        let both = &events[12].1;
+        assert!(matches!(
+            both.as_slice(),
+            [CampaignEvent::Strike { .. }, CampaignEvent::Churn { .. }]
+        ));
+        // Replay equality.
+        let mut c2 = FaultCampaign::new(11, 4, 6);
+        let replay: Vec<_> = (0..=24).map(|t| (t, c2.poll(t))).collect();
+        assert_eq!(events, replay);
+        // Different seed, different stream payloads.
+        let mut c3 = FaultCampaign::new(12, 4, 6);
+        let other: Vec<_> = (0..=24).map(|t| (t, c3.poll(t))).collect();
+        assert_ne!(events, other);
+    }
+
+    #[test]
+    fn campaign_zero_period_disables_event_kind() {
+        let mut c = FaultCampaign::new(1, 0, 3);
+        let events: Vec<_> = (0..12).flat_map(|t| c.poll(t)).collect();
+        assert!(events
+            .iter()
+            .all(|e| matches!(e, CampaignEvent::Churn { .. })));
+        assert_eq!(events.len(), 3);
     }
 
     #[test]

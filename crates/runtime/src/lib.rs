@@ -76,7 +76,9 @@ pub mod prelude {
         WeaklyFair,
     };
     pub use crate::engine::{CommitStrategy, StepOutcome, World};
-    pub use crate::fault::{arbitrary_configuration, strike, strike_some, ArbitraryState};
+    pub use crate::fault::{
+        arbitrary_configuration, strike, strike_some, ArbitraryState, CampaignEvent, FaultCampaign,
+    };
     pub use crate::markset::MarkSet;
     pub use crate::pool::WorkerPool;
     pub use crate::rounds::RoundTracker;

@@ -298,6 +298,38 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> CoordinationService<C, TL> {
         &self.sim
     }
 
+    /// Inject a seeded transient fault into `fraction` of the processes of
+    /// the running service — the campaign seam. Forwards to `Sim::strike`
+    /// (observers repaired, not reset: latency history and meeting records
+    /// span the disruption), then re-arms the `RequestIn` flag of every
+    /// in-flight professor the fault left idle: the admitted request is
+    /// still owed a convene, but the flag that carried it into the engine
+    /// may have been consumed or scrambled. Returns the struck processes.
+    pub fn inject_fault(&mut self, seed: u64, fraction: f64) -> Vec<usize> {
+        let struck = self.sim.strike(seed, fraction);
+        for p in 0..self.in_flight.len() {
+            if self.in_flight[p].is_some() && self.sim.world().state(p).cc.status() == Status::Idle
+            {
+                self.sim.flags_mut().set_in(p, true);
+            }
+        }
+        struck
+    }
+
+    /// Apply a topology mutation to the running service — forwards to
+    /// `Sim::mutate` (incremental index/observer repair). The process set
+    /// is fixed under mutation, so admission bookkeeping survives as-is.
+    ///
+    /// # Errors
+    /// Anything `Hypergraph::apply_mutation` rejects; the service is
+    /// untouched on error.
+    pub fn apply_mutation(
+        &mut self,
+        mutation: &sscc_hypergraph::WorldMutation,
+    ) -> Result<sscc_hypergraph::MutationDelta, sscc_hypergraph::MutationError> {
+        self.sim.mutate(mutation)
+    }
+
     /// Summarize the sojourn distribution (`None` before any completion).
     pub fn latency_summary(&mut self) -> Option<LatencySummary> {
         if self.latency.is_empty() {

@@ -241,3 +241,72 @@ proptest! {
         prop_assert!(twin.monitor().clean());
     }
 }
+
+// --------------------------------------------------------------- campaigns
+
+/// Sustained faults and topology churn during a *service-driven* run: the
+/// open-loop proxy keeps serving traffic while a seeded [`FaultCampaign`]
+/// strikes processes and mutates committees between ticks. Safety holds
+/// across every disruption, requests keep completing, and the whole
+/// bombardment — schedule, surgery, admissions — is deterministic in the
+/// seed.
+#[test]
+fn service_survives_fault_and_churn_campaigns() {
+    use rand::{rngs::StdRng, SeedableRng as _};
+    use sscc_hypergraph::random_mutation;
+    use sscc_runtime::prelude::{CampaignEvent, FaultCampaign};
+
+    let run = |seed: u64| {
+        let h = Arc::new(generators::ring(24, 2));
+        let gen = TrafficGen::new(&h, seed, Arrivals::Poisson { rate: 0.4 }, 2_500);
+        let mut svc = cc1_service(
+            h,
+            seed,
+            1,
+            "vl_daemon",
+            Box::new(gen),
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        let mut campaign = FaultCampaign::new(seed, 300, 170);
+        let (mut struck, mut mutated) = (0usize, 0usize);
+        for tick in 1..=3_000u64 {
+            for ev in campaign.poll(tick) {
+                match ev {
+                    CampaignEvent::Strike { seed } => {
+                        svc.inject_fault(seed, 0.3);
+                        struck += 1;
+                    }
+                    CampaignEvent::Churn { seed } => {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let proposal = random_mutation(svc.sim().h(), &mut rng);
+                        if svc.apply_mutation(&proposal).is_ok() {
+                            mutated += 1;
+                        }
+                    }
+                }
+            }
+            svc.tick();
+        }
+        (svc, struck, mutated)
+    };
+    let (mut a, struck, mutated) = run(9);
+    assert!(struck >= 10, "sustained faults: {struck}");
+    assert!(mutated > 0, "churn applied: {mutated}");
+    assert!(
+        a.sim().monitor().clean(),
+        "{:?}",
+        a.sim().monitor().violations()
+    );
+    assert!(
+        a.stats().completed > 0,
+        "requests keep completing under fire"
+    );
+    let (mut b, ..) = run(9);
+    assert_eq!(
+        a.sim().ledger().instances(),
+        b.sim().ledger().instances(),
+        "campaign service runs are deterministic"
+    );
+    assert_eq!(a.latency_summary(), b.latency_summary());
+}

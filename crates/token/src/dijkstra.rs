@@ -187,6 +187,14 @@ impl TokenLayer for TokenRing {
         TokenState { counters }
     }
 
+    fn rebuild(&mut self, h: &Hypergraph) {
+        // Fresh tour over the mutated neighbor relation, same root. States
+        // sized for the old tour are tolerated by `counter_at` (missing
+        // slots read 0) and re-shaped by `release`; the usual K-state
+        // convergence then erases the surplus privileges.
+        *self = TokenRing::with_root(h, self.tour.root());
+    }
+
     fn internal_action_count(&self) -> usize {
         0 // Dijkstra's only action is T itself; stabilization is inherent.
     }

@@ -71,6 +71,18 @@ pub trait TokenLayer: Sync {
         a: ActionId,
     ) -> Self::State;
 
+    /// Rebuild topology-derived substrate structure (spanning trees, Euler
+    /// tours) after a mutation of `h`. The process set is fixed across
+    /// mutations, so per-process substrate *states* keep their shape; any
+    /// that no longer fit the new tour (out-of-range slots, mis-sized
+    /// counter vectors) are transient-fault debris the substrate's own
+    /// stabilization absorbs — exactly the Property 1.3 contract. The
+    /// default is a no-op for substrates that hold no topology-derived
+    /// structure; [`crate::WaveToken`] and [`crate::TokenRing`] override.
+    fn rebuild(&mut self, h: &Hypergraph) {
+        let _ = h;
+    }
+
     /// Did the *neighbor-visible* part of a substrate state change between
     /// `old` and `new`? Used by the composition's value-level invalidation:
     /// when this returns `false`, no other process's `Token`/internal guard

@@ -193,6 +193,15 @@ impl TokenLayer for WaveToken {
         .to_string()
     }
 
+    fn rebuild(&mut self, h: &Hypergraph) {
+        // Same root (vertices survive every mutation), fresh tree and tour
+        // over the mutated neighbor relation. Existing `k`/`fb` values out
+        // of the new tour's range are defensively reduced by `designee` and
+        // erased by the internal stabilization — churn debris behaves like
+        // transient-fault debris.
+        *self = WaveToken::with_root(h, self.tree.root());
+    }
+
     fn changed_visible(&self, old: &WaveState, new: &WaveState) -> bool {
         // `done` is read only by its own process (`is_token` and the
         // `me_ok` conjunct of `cond` look at the local flag; children's

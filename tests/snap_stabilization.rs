@@ -45,6 +45,115 @@ fn e9_spec_holds_from_arbitrary_configurations_all_algorithms() {
     }
 }
 
+/// E9 in campaign form: instead of one arbitrary boot, a **sustained**
+/// bombardment — a seeded transient fault strikes a third of the processes
+/// every few hundred steps for the whole run, with observers preserved
+/// across strikes (no reset). Snap-stabilization, restated for campaigns:
+///
+/// * every post-fault convene is pinned safe — zero violations inside
+///   every recovery window *and* over the whole campaign;
+/// * recovery windows are bounded — meetings resume within a few hundred
+///   steps of every disruption, far below the inter-fault gap.
+///
+/// CC1/CC2/CC3 × tree/grid/power-law × 20 seeds.
+#[test]
+fn e9_sustained_fault_campaigns_stay_safe_and_recover() {
+    use sscc::hypergraph::generators;
+    use sscc::metrics::{run_campaign, CampaignConfig};
+    let topologies = [
+        ("tree18", Arc::new(generators::tree_pairs(18, 5))),
+        ("grid4x4", Arc::new(generators::grid_pairs(4, 4))),
+        ("powerlaw18", Arc::new(generators::power_law(18, 20, 9))),
+    ];
+    for (name, h) in &topologies {
+        for algo in [AlgoKind::Cc1, AlgoKind::Cc2, AlgoKind::Cc3] {
+            let reports = parallel_map(0..20u64, |seed| {
+                let cfg = CampaignConfig {
+                    steps: 3_000,
+                    fault_every: 400,
+                    fault_fraction: 0.33,
+                    churn_every: 0,
+                    seed,
+                };
+                run_campaign(algo, Arc::clone(h), "par1", &cfg)
+            });
+            for (seed, rep) in reports.iter().enumerate() {
+                assert_eq!(
+                    rep.violations, 0,
+                    "{name}/{algo:?}/seed{seed}: a post-fault convene violated the spec: {rep:?}"
+                );
+                assert_eq!(
+                    rep.max_safety_window(),
+                    0,
+                    "{name}/{algo:?}/seed{seed}: nonzero safety window: {rep:?}"
+                );
+                assert!(
+                    rep.faults_injected >= 7,
+                    "{name}/{algo:?}/seed{seed}: campaign too short: {rep:?}"
+                );
+                assert_eq!(
+                    rep.recovery.len() + rep.unrecovered,
+                    rep.faults_injected,
+                    "{name}/{algo:?}/seed{seed}: every disruption is accounted for: {rep:?}"
+                );
+                assert!(
+                    rep.max_recovery() <= 350,
+                    "{name}/{algo:?}/seed{seed}: unbounded recovery window: {rep:?}"
+                );
+                assert!(
+                    rep.convened > 0,
+                    "{name}/{algo:?}/seed{seed}: no progress under bombardment: {rep:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The campaign with topology churn switched on: committees are added,
+/// dissolved, joined, left and rewired mid-run (incremental index/observer
+/// repair, never a rebuild-and-reset) *while* transient faults keep
+/// striking. Safety must hold across every mutation and every fault.
+#[test]
+fn e9_churn_campaigns_stay_safe_across_mutations() {
+    use sscc::hypergraph::generators;
+    use sscc::metrics::{run_campaign, CampaignConfig};
+    let topologies = [
+        ("tree16", Arc::new(generators::tree_pairs(16, 2))),
+        ("grid3x4", Arc::new(generators::grid_pairs(3, 4))),
+        ("powerlaw16", Arc::new(generators::power_law(16, 18, 4))),
+    ];
+    for (name, h) in &topologies {
+        for algo in [AlgoKind::Cc1, AlgoKind::Cc2, AlgoKind::Cc3] {
+            let reports = parallel_map(0..8u64, |seed| {
+                let cfg = CampaignConfig {
+                    steps: 2_500,
+                    fault_every: 350,
+                    fault_fraction: 0.25,
+                    churn_every: 180,
+                    seed: seed.wrapping_mul(0x0bad_5eed).wrapping_add(3),
+                };
+                run_campaign(algo, Arc::clone(h), "par1", &cfg)
+            });
+            let mut any_mutations = 0usize;
+            for (seed, rep) in reports.iter().enumerate() {
+                assert_eq!(
+                    rep.violations, 0,
+                    "{name}/{algo:?}/seed{seed}: spec violated under churn: {rep:?}"
+                );
+                assert!(
+                    rep.convened > 0,
+                    "{name}/{algo:?}/seed{seed}: no progress under churn: {rep:?}"
+                );
+                any_mutations += rep.mutations_applied;
+            }
+            assert!(
+                any_mutations > 0,
+                "{name}/{algo:?}: churn campaigns must actually mutate the topology"
+            );
+        }
+    }
+}
+
 #[test]
 fn e9_exclusion_is_invariant_even_in_corrupted_configurations() {
     // Lemma 1's proof is configuration-independent: two conflicting
