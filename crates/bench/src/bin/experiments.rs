@@ -10,7 +10,7 @@ use sscc_core::{
     choice, Cc1, Cc2, CommitteeAlgorithm, CommitteeView, EagerPolicy, RequestFlags, ScriptedPolicy,
     Status,
 };
-use sscc_hypergraph::{generators, matching, network, EdgeId, Hypergraph};
+use sscc_hypergraph::{generators, matching, network, EdgeId, Hypergraph, MutationBias};
 use sscc_metrics::{
     cc1_starvation_on_fig2, degree_row, f2, parallel_map, throughput_row, waiting_row, AlgoKind,
     Boot, DegreeConfig, PolicyKind, Table,
@@ -623,6 +623,7 @@ fn e13_campaigns() {
                         fault_fraction: 0.33,
                         churn_every,
                         seed,
+                        bias: MutationBias::Balanced,
                     };
                     run_campaign(algo, Arc::clone(h), "par1", &cfg)
                 });

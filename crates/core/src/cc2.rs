@@ -78,6 +78,26 @@ impl CommitteeView for Cc2State {
     }
 }
 
+impl sscc_runtime::wire::StateCodec for Cc2State {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.s.encode(out);
+        self.p.encode(out);
+        self.t.encode(out);
+        self.l.encode(out);
+        self.cursor.encode(out);
+    }
+
+    fn decode(r: &mut sscc_runtime::wire::Reader) -> Option<Self> {
+        Some(Cc2State {
+            s: Status::decode(r)?,
+            p: Option::<EdgeId>::decode(r)?,
+            t: bool::decode(r)?,
+            l: bool::decode(r)?,
+            cursor: u16::decode(r)?,
+        })
+    }
+}
+
 /// Action indices, in code order.
 pub mod action {
     use sscc_runtime::prelude::ActionId;

@@ -17,7 +17,9 @@
 use crate::algo::{CommitteeAlgorithm, PROJ_CC, PROJ_TOK};
 use crate::oracle::RequestEnv;
 use sscc_hypergraph::Hypergraph;
-use sscc_runtime::prelude::{ActionId, ArbitraryState, Ctx, GuardedAlgorithm, Layer, StateAccess};
+use sscc_runtime::prelude::{
+    ActionId, ArbitraryState, Ctx, GuardedAlgorithm, Layer, StateAccess, StateCodec,
+};
 use sscc_token::TokenLayer;
 
 /// Composed per-process state: committee layer + token substrate + the
@@ -33,6 +35,22 @@ pub struct CcTok<CS, TS> {
     pub tok: TS,
     /// Fair-composition turn (A = committee layer, B = substrate internal).
     pub turn: Layer,
+}
+
+impl<CS: StateCodec, TS: StateCodec> StateCodec for CcTok<CS, TS> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.cc.encode(out);
+        self.tok.encode(out);
+        self.turn.encode(out);
+    }
+
+    fn decode(r: &mut sscc_runtime::wire::Reader) -> Option<Self> {
+        Some(CcTok {
+            cc: CS::decode(r)?,
+            tok: TS::decode(r)?,
+            turn: Layer::decode(r)?,
+        })
+    }
 }
 
 /// Zero-copy view of the committee components.

@@ -52,8 +52,8 @@ pub use compose::{CcTok, Composed};
 pub use liveness::{max_participation_gap, FairnessTracker, ProgressWatchdog};
 pub use meetings::{LedgerEvent, MeetingInstance, MeetingLedger};
 pub use oracle::{
-    splitmix64, EagerPolicy, InfiniteMeetingPolicy, OpenLoopPolicy, OraclePolicy, PolicyView,
-    RequestEnv, RequestFlags, ScriptedPolicy, StochasticPolicy,
+    restore_policy, splitmix64, EagerPolicy, InfiniteMeetingPolicy, OpenLoopPolicy, OraclePolicy,
+    PolicyView, RequestEnv, RequestFlags, ScriptedPolicy, StochasticPolicy,
 };
 pub use sim::{default_daemon, Cc1Sim, Cc2Sim, Cc3Sim, Sim, SimBuilder, StopReason};
 pub use spec::{SpecMonitor, Violation};

@@ -11,7 +11,10 @@
 use crate::predicates::edge_meets;
 use crate::status::{ActionClass, CommitteeView};
 use sscc_hypergraph::{EdgeId, Hypergraph, MutationDelta};
+use sscc_runtime::seal::SealCache;
+use sscc_runtime::wire::{self, StateCodec};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// One meeting of one committee, from convening to termination.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -69,6 +72,11 @@ pub struct MeetingLedger {
     participations: Vec<u64>,
     /// Last step at which each process participated in a convene.
     last_participation: Vec<Option<u64>>,
+    /// Online-snapshot support: the wire encoding of the longest
+    /// all-terminated instance prefix, sealed into shared segments.
+    /// Terminated instances are immutable — except when a topology
+    /// mutation remaps historical edge ids, which resets this cache.
+    seal: SealCache,
 }
 
 impl MeetingLedger {
@@ -81,6 +89,7 @@ impl MeetingLedger {
             live_sorted: Vec::new(),
             participations: vec![0; h.n()],
             last_participation: vec![None; h.n()],
+            seal: SealCache::new(),
         };
         for e in h.edge_ids() {
             if edge_meets(h, initial, e) {
@@ -298,6 +307,10 @@ impl MeetingLedger {
         delta: &MutationDelta,
         step: u64,
     ) {
+        // Historical instances get their edge ids remapped below — the
+        // sealed encoding of the "immutable" prefix is stale. Re-seal from
+        // scratch at the next snapshot (mutations are rare next to steps).
+        self.seal.reset();
         if let Some(e) = delta.removed() {
             if let Some(idx) = self.live[e.index()].take() {
                 self.instances[idx].terminated_step = Some(step);
@@ -369,6 +382,202 @@ impl MeetingLedger {
     /// Total number of post-initial convenes.
     pub fn convened_count(&self) -> usize {
         self.post_initial_instances().count()
+    }
+
+    /// Number of per-edge live slots — the `|E|` this ledger is dimensioned
+    /// for (checkpoint restore validates it against the topology).
+    pub fn edge_slots(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of per-process slots — the `n` this ledger is dimensioned for.
+    pub fn process_slots(&self) -> usize {
+        self.participations.len()
+    }
+
+    /// Wire encoding of one instance — the unit [`MeetingLedger::save_state`],
+    /// the seal cache and [`LedgerSnapshot::encode`] must agree on.
+    fn encode_instance(inst: &MeetingInstance, out: &mut Vec<u8>) {
+        inst.edge.encode(out);
+        inst.convened_step.encode(out);
+        wire::put_u64(out, inst.convened_round);
+        inst.terminated_step.encode(out);
+        wire::put_usize_slice(out, &inst.participants);
+        let essential: Vec<usize> = inst.essential.iter().copied().collect();
+        wire::put_usize_slice(out, &essential);
+        wire::put_usize_slice(out, &inst.left_by);
+    }
+
+    /// Wire encoding of everything after the instance list: live slots,
+    /// participation counters, last-participation steps.
+    fn encode_footer(
+        out: &mut Vec<u8>,
+        live: &[Option<usize>],
+        participations: &[u64],
+        last_participation: &[Option<u64>],
+    ) {
+        wire::put_usize(out, live.len());
+        for slot in live {
+            match slot {
+                None => wire::put_u8(out, 0),
+                Some(idx) => {
+                    wire::put_u8(out, 1);
+                    wire::put_usize(out, *idx);
+                }
+            }
+        }
+        wire::put_u64_slice(out, participations);
+        wire::put_opt_u64_slice(out, last_participation);
+    }
+
+    /// Serialize the full meeting history and live set. `live_sorted` is
+    /// derivable (ascending filter of `live`) and not written.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        wire::put_usize(out, self.instances.len());
+        for inst in &self.instances {
+            Self::encode_instance(inst, out);
+        }
+        Self::encode_footer(
+            out,
+            &self.live,
+            &self.participations,
+            &self.last_participation,
+        );
+    }
+
+    /// Capture an **online snapshot** of the ledger: the longest
+    /// all-terminated instance prefix is sealed into shared segments
+    /// (amortized `O(meetings closed since the last capture)`), the live
+    /// tail and the per-process counters are cloned (`O(live)` memcpys) —
+    /// never `O(history)`. [`LedgerSnapshot::encode`] reassembles the
+    /// exact [`MeetingLedger::save_state`] bytes off the critical path.
+    pub fn snapshot(&mut self) -> LedgerSnapshot {
+        // Advance the seal over instances that terminated since last time.
+        // The prefix stops at the first still-live instance: everything
+        // before it is immutable (termination closes an instance for good;
+        // only `apply_mutation` rewrites history, and it resets the seal).
+        let covered = self.seal.covered();
+        let upto = self.instances[covered..]
+            .iter()
+            .take_while(|inst| !inst.live())
+            .count()
+            + covered;
+        let instances = &self.instances;
+        self.seal.extend_to(upto, |buf| {
+            for inst in &instances[covered..upto] {
+                Self::encode_instance(inst, buf);
+            }
+        });
+        LedgerSnapshot {
+            total: self.instances.len(),
+            sealed: self.seal.segments().to_vec(),
+            tail: self.instances[self.seal.covered()..].to_vec(),
+            live: self.live.clone(),
+            participations: self.participations.clone(),
+            last_participation: self.last_participation.clone(),
+        }
+    }
+
+    /// Decode a ledger written by [`MeetingLedger::save_state`], rebuilding
+    /// `live_sorted` and re-validating the live set's invariants (every
+    /// live slot names an un-terminated instance of that very edge).
+    pub fn restore_state(r: &mut wire::Reader) -> Option<Self> {
+        let count = r.usize()?;
+        if count > r.remaining() {
+            return None;
+        }
+        let mut instances = Vec::with_capacity(count);
+        for _ in 0..count {
+            instances.push(MeetingInstance {
+                edge: EdgeId::decode(r)?,
+                convened_step: Option::<u64>::decode(r)?,
+                convened_round: r.u64()?,
+                terminated_step: Option::<u64>::decode(r)?,
+                participants: r.usize_vec()?,
+                essential: r.usize_vec()?.into_iter().collect(),
+                left_by: r.usize_vec()?,
+            });
+        }
+        let m = r.usize()?;
+        if m > r.remaining() {
+            return None;
+        }
+        let mut live = Vec::with_capacity(m);
+        for ei in 0..m {
+            live.push(match r.u8()? {
+                0 => None,
+                1 => {
+                    let idx = r.usize()?;
+                    let inst = instances.get(idx)?;
+                    if inst.edge.index() != ei || inst.terminated_step.is_some() {
+                        return None;
+                    }
+                    Some(idx)
+                }
+                _ => return None,
+            });
+        }
+        let participations = r.u64_vec()?;
+        let last_participation = r.opt_u64_vec()?;
+        if last_participation.len() != participations.len() {
+            return None;
+        }
+        let live_sorted = (0..m)
+            .filter(|&ei| live[ei].is_some())
+            .map(|ei| EdgeId(ei as u32))
+            .collect();
+        Some(MeetingLedger {
+            instances,
+            live,
+            live_sorted,
+            participations,
+            last_participation,
+            seal: SealCache::new(),
+        })
+    }
+}
+
+/// A captured meeting ledger: sealed shared segments for the terminated
+/// history plus owned clones of the live tail and counters. Capture
+/// ([`MeetingLedger::snapshot`]) is `O(live)`; [`LedgerSnapshot::encode`]
+/// produces the exact [`MeetingLedger::save_state`] bytes and is meant
+/// for off-critical-path assembly.
+#[derive(Clone, Debug)]
+pub struct LedgerSnapshot {
+    total: usize,
+    sealed: Vec<Arc<[u8]>>,
+    tail: Vec<MeetingInstance>,
+    live: Vec<Option<usize>>,
+    participations: Vec<u64>,
+    last_participation: Vec<Option<u64>>,
+}
+
+impl LedgerSnapshot {
+    /// Number of instances captured (sealed + tail).
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// No instances captured?
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Append the flat [`MeetingLedger::save_state`] encoding.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_usize(out, self.total);
+        for seg in &self.sealed {
+            out.extend_from_slice(seg);
+        }
+        for inst in &self.tail {
+            MeetingLedger::encode_instance(inst, out);
+        }
+        MeetingLedger::encode_footer(
+            out,
+            &self.live,
+            &self.participations,
+            &self.last_participation,
+        );
     }
 }
 
@@ -451,6 +660,142 @@ mod tests {
         assert_eq!(m.terminated_step, Some(9));
         assert_eq!(m.left_by, vec![h.dense_of(3)]);
         assert!(ledger.live_edges().is_empty());
+    }
+
+    #[test]
+    fn ledger_save_restore_roundtrips() {
+        let h = generators::fig2();
+        let idle = vec![Cc1State::idle(); h.n()];
+        let mut ledger = MeetingLedger::new(&h, &idle);
+        let mut met = idle.clone();
+        met[h.dense_of(3)] = s(Status::Waiting, Some(2));
+        met[h.dense_of(4)] = s(Status::Waiting, Some(2));
+        ledger.observe(&h, &idle, &met, 5, 1, &[]);
+        let mut done = met.clone();
+        done[h.dense_of(3)].s = Status::Done;
+        done[h.dense_of(4)].s = Status::Done;
+        ledger.observe(
+            &h,
+            &met,
+            &done,
+            6,
+            1,
+            &[
+                (h.dense_of(3), ActionClass::Essential),
+                (h.dense_of(4), ActionClass::Essential),
+            ],
+        );
+        let mut blob = Vec::new();
+        ledger.save_state(&mut blob);
+        let twin = MeetingLedger::restore_state(&mut wire::Reader::new(&blob)).unwrap();
+        assert_eq!(twin.instances(), ledger.instances());
+        assert_eq!(twin.live_edges(), ledger.live_edges());
+        assert_eq!(twin.participations(), ledger.participations());
+        assert_eq!(twin.last_participation(h.dense_of(3)), Some(5));
+        for cut in 0..blob.len() {
+            assert!(
+                MeetingLedger::restore_state(&mut wire::Reader::new(&blob[..cut])).is_none(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn ledger_restore_rejects_inconsistent_live_set() {
+        let h = generators::fig2();
+        let mut init = vec![Cc1State::idle(); h.n()];
+        init[h.dense_of(3)] = s(Status::Done, Some(2));
+        init[h.dense_of(4)] = s(Status::Waiting, Some(2));
+        let ledger = MeetingLedger::new(&h, &init);
+        let mut blob = Vec::new();
+        ledger.save_state(&mut blob);
+        // A live slot pointing at an out-of-range instance must be refused.
+        let mut evil = ledger.clone();
+        evil.live[2] = Some(7);
+        let mut bad = Vec::new();
+        evil.save_state(&mut bad);
+        assert!(MeetingLedger::restore_state(&mut wire::Reader::new(&bad)).is_none());
+    }
+
+    #[test]
+    fn snapshot_matches_flat_encoding_across_the_lifecycle() {
+        let h = generators::fig2();
+        let idle = vec![Cc1State::idle(); h.n()];
+        let mut ledger = MeetingLedger::new(&h, &idle);
+        let check = |ledger: &mut MeetingLedger, when: &str| {
+            let snap = ledger.snapshot();
+            let mut from_snap = Vec::new();
+            snap.encode(&mut from_snap);
+            let mut flat = Vec::new();
+            ledger.save_state(&mut flat);
+            assert_eq!(from_snap, flat, "{when}");
+            assert_eq!(snap.len(), ledger.instances().len(), "{when}");
+        };
+        check(&mut ledger, "empty");
+
+        // Convene {3,4}, snapshot while live (instance must land in the
+        // tail, not the seal), terminate, snapshot again (now sealed).
+        let mut met = idle.clone();
+        met[h.dense_of(3)] = s(Status::Waiting, Some(2));
+        met[h.dense_of(4)] = s(Status::Waiting, Some(2));
+        ledger.observe(&h, &idle, &met, 5, 1, &[]);
+        check(&mut ledger, "live meeting");
+        ledger.observe(
+            &h,
+            &met,
+            &idle,
+            9,
+            2,
+            &[(h.dense_of(3), ActionClass::Leave)],
+        );
+        check(&mut ledger, "terminated meeting");
+
+        // Sealed prefix survives further convenes.
+        ledger.observe(&h, &idle, &met, 12, 3, &[]);
+        check(&mut ledger, "second meeting live");
+    }
+
+    #[test]
+    fn mutation_remap_resets_the_seal() {
+        // Meet on the *last* edge of a redundant ring, seal the terminated
+        // instance, then remove edge 0: the swap-remove relocation remaps
+        // the sealed instance's historical edge id, so the next snapshot
+        // must re-encode from scratch — and still match the flat bytes.
+        let mut h = generators::ring(6, 2);
+        let last = EdgeId((h.m() - 1) as u32);
+        let members: Vec<usize> = h.members(last).to_vec();
+        let idle = vec![Cc1State::idle(); h.n()];
+        let mut met = idle.clone();
+        for &p in &members {
+            met[p] = s(Status::Waiting, Some(last.0));
+        }
+        let mut ledger = MeetingLedger::new(&h, &idle);
+        ledger.observe(&h, &idle, &met, 3, 1, &[]);
+        ledger.observe(&h, &met, &idle, 7, 1, &[]);
+        let sealed = ledger.snapshot();
+        assert_eq!(sealed.len(), 1);
+
+        let mutation = sscc_hypergraph::WorldMutation::RemoveCommittee { edge: EdgeId(0) };
+        let delta = h.apply_mutation(&mutation).unwrap();
+        ledger.apply_mutation(&h, &idle, &delta, 8);
+        assert_eq!(
+            ledger.instances()[0].edge,
+            EdgeId(0),
+            "history remapped through the relocation"
+        );
+        let snap = ledger.snapshot();
+        let mut from_snap = Vec::new();
+        snap.encode(&mut from_snap);
+        let mut flat = Vec::new();
+        ledger.save_state(&mut flat);
+        assert_eq!(from_snap, flat, "post-remap snapshot re-encodes history");
+
+        // The pre-mutation snapshot still decodes to the pre-mutation
+        // ledger (shared segments are immutable).
+        let mut old = Vec::new();
+        sealed.encode(&mut old);
+        let twin = MeetingLedger::restore_state(&mut wire::Reader::new(&old)).unwrap();
+        assert_eq!(twin.instances()[0].edge, last);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! (the mutable decision logic, fed the post-step statuses).
 
 use crate::status::Status;
+use sscc_runtime::wire;
 
 /// The environment interface the algorithms read during guard evaluation.
 ///
@@ -61,6 +62,11 @@ impl RequestFlags {
         }
     }
 
+    /// Number of processes these flags are dimensioned for.
+    pub fn processes(&self) -> usize {
+        self.r_in.len()
+    }
+
     /// Set `RequestIn(p)`.
     pub fn set_in(&mut self, p: usize, v: bool) {
         if self.r_in[p] != v {
@@ -81,6 +87,38 @@ impl RequestFlags {
     /// drain. Returns how many there were.
     pub fn drain_changed(&mut self, f: impl FnMut(usize)) -> usize {
         self.changed.drain(f)
+    }
+
+    /// Serialize the flags *including* the undrained change set (in
+    /// insertion order): at a step boundary the policy's latest flips have
+    /// not been drained yet, and a restore must replay them into the next
+    /// step exactly as the uninterrupted run would.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        wire::put_bool_slice(out, &self.r_in);
+        wire::put_bool_slice(out, &self.r_out);
+        wire::put_usize_slice(out, self.changed.as_slice());
+    }
+
+    /// Decode flags previously written by [`RequestFlags::save_state`].
+    pub fn restore_state(r: &mut wire::Reader) -> Option<Self> {
+        let r_in = r.bool_vec()?;
+        let r_out = r.bool_vec()?;
+        if r_out.len() != r_in.len() {
+            return None;
+        }
+        let flipped = r.usize_vec()?;
+        let mut changed = sscc_runtime::prelude::MarkSet::new(r_in.len());
+        for p in flipped {
+            if p >= r_in.len() {
+                return None;
+            }
+            changed.insert(p);
+        }
+        Some(RequestFlags {
+            r_in,
+            r_out,
+            changed,
+        })
     }
 }
 
@@ -139,6 +177,54 @@ pub trait OraclePolicy {
     fn quiescence_horizon(&self) -> u64 {
         1
     }
+
+    /// Serialize the policy's full decision state — a type tag followed by
+    /// every timer, counter and latch — so [`restore_policy`] can rebuild a
+    /// policy whose future flag trajectory is bit-identical. Returns `false`
+    /// when this policy is not persistable (the default: custom policies
+    /// keep working, checkpointing just refuses cleanly instead of
+    /// corrupting).
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        let _ = out;
+        false
+    }
+}
+
+/// [`EagerPolicy`] type tag in a policy blob.
+const TAG_EAGER: u8 = 1;
+/// [`InfiniteMeetingPolicy`] type tag.
+const TAG_INFINITE: u8 = 2;
+/// [`StochasticPolicy`] type tag.
+const TAG_STOCHASTIC: u8 = 3;
+/// [`ScriptedPolicy`] type tag.
+const TAG_SCRIPTED: u8 = 4;
+/// [`OpenLoopPolicy`] type tag.
+const TAG_OPENLOOP: u8 = 5;
+
+/// Rebuild a boxed policy from a blob written by
+/// [`OraclePolicy::save_state`]. `None` on an unknown tag, truncation,
+/// internal inconsistency, or trailing garbage.
+pub fn restore_policy(bytes: &[u8]) -> Option<Box<dyn OraclePolicy>> {
+    let mut r = wire::Reader::new(bytes);
+    let pol: Box<dyn OraclePolicy> = match r.u8()? {
+        TAG_EAGER => Box::new(EagerPolicy::read_fields(&mut r)?),
+        TAG_INFINITE => Box::new(InfiniteMeetingPolicy),
+        TAG_STOCHASTIC => Box::new(StochasticPolicy::read_fields(&mut r)?),
+        TAG_SCRIPTED => {
+            let in_mask = r.bool_vec()?;
+            let eager = EagerPolicy::read_fields(&mut r)?;
+            if in_mask.len() != eager.armed.len() {
+                return None;
+            }
+            Box::new(ScriptedPolicy { in_mask, eager })
+        }
+        TAG_OPENLOOP => Box::new(OpenLoopPolicy::read_fields(&mut r)?),
+        _ => return None,
+    };
+    if !r.is_empty() {
+        return None;
+    }
+    Some(pol)
 }
 
 /// Everyone always requests in; a professor requests out after sitting
@@ -178,6 +264,39 @@ impl EagerPolicy {
             self.armed[p] = true;
             self.pending.push(p);
         }
+    }
+
+    /// Write every field (no tag — [`ScriptedPolicy`] embeds the same
+    /// payload). `pending` keeps its worklist order: `swap_remove`
+    /// scheduling makes the order observable through draw-free policies
+    /// only via flag *insertion* order, which downstream delta consumers
+    /// see.
+    fn write_fields(&self, out: &mut Vec<u8>) {
+        wire::put_u64(out, self.max_disc);
+        wire::put_opt_u64_slice(out, &self.done_since);
+        wire::put_u64(out, self.now);
+        wire::put_usize_slice(out, &self.pending);
+        wire::put_bool_slice(out, &self.armed);
+    }
+
+    /// Decode the payload written by [`EagerPolicy::write_fields`].
+    fn read_fields(r: &mut wire::Reader) -> Option<Self> {
+        let max_disc = r.u64()?;
+        let done_since = r.opt_u64_vec()?;
+        let now = r.u64()?;
+        let pending = r.usize_vec()?;
+        let armed = r.bool_vec()?;
+        let n = done_since.len();
+        if armed.len() != n || pending.iter().any(|&p| p >= n) {
+            return None;
+        }
+        Some(EagerPolicy {
+            max_disc,
+            done_since,
+            now,
+            pending,
+            armed,
+        })
     }
 
     /// Fire every armed timer that is due, clearing it from the worklist
@@ -256,6 +375,12 @@ impl OraclePolicy for EagerPolicy {
     fn quiescence_horizon(&self) -> u64 {
         self.max_disc + 2
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        wire::put_u8(out, TAG_EAGER);
+        self.write_fields(out);
+        true
+    }
 }
 
 /// The infinite-meeting artefact of Definitions 2 and 5: participants of a
@@ -283,6 +408,12 @@ impl OraclePolicy for InfiniteMeetingPolicy {
             flags.set_in(p, true);
             flags.set_out(p, view.status[p] == Status::Done && !view.in_meeting[p]);
         }
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        // Memoryless: the tag is the whole state.
+        wire::put_u8(out, TAG_INFINITE);
+        true
     }
 }
 
@@ -455,6 +586,84 @@ impl StochasticPolicy {
             }
         }
     }
+
+    /// Write every field. `p_in` travels as its IEEE-754 bit pattern, so
+    /// the restored geometric draws replay the identical stream.
+    fn write_fields(&self, out: &mut Vec<u8>) {
+        wire::put_u64(out, self.seed);
+        wire::put_u64(out, self.p_in.to_bits());
+        wire::put_u64(out, self.out_lo);
+        wire::put_u64(out, self.out_hi);
+        wire::put_bool_slice(out, &self.wants_in);
+        wire::put_u64_slice(out, &self.counter);
+        wire::put_opt_u64_slice(out, &self.in_fire_at);
+        wire::put_usize(out, self.done_since.len());
+        for d in &self.done_since {
+            match d {
+                None => wire::put_u8(out, 0),
+                Some((entered, delay)) => {
+                    wire::put_u8(out, 1);
+                    wire::put_u64(out, *entered);
+                    wire::put_u64(out, *delay);
+                }
+            }
+        }
+        wire::put_u64(out, self.now);
+        wire::put_usize_slice(out, &self.pending);
+        wire::put_bool_slice(out, &self.armed);
+    }
+
+    /// Decode the payload written by [`StochasticPolicy::write_fields`],
+    /// re-validating the constructor's invariants.
+    fn read_fields(r: &mut wire::Reader) -> Option<Self> {
+        let seed = r.u64()?;
+        let p_in = f64::from_bits(r.u64()?);
+        let out_lo = r.u64()?;
+        let out_hi = r.u64()?;
+        if !(0.0..=1.0).contains(&p_in) || out_lo >= out_hi {
+            return None;
+        }
+        let wants_in = r.bool_vec()?;
+        let counter = r.u64_vec()?;
+        let in_fire_at = r.opt_u64_vec()?;
+        let m = r.usize()?;
+        if m > r.remaining() {
+            return None;
+        }
+        let mut done_since = Vec::with_capacity(m);
+        for _ in 0..m {
+            done_since.push(match r.u8()? {
+                0 => None,
+                1 => Some((r.u64()?, r.u64()?)),
+                _ => return None,
+            });
+        }
+        let now = r.u64()?;
+        let pending = r.usize_vec()?;
+        let armed = r.bool_vec()?;
+        let n = wants_in.len();
+        if counter.len() != n
+            || in_fire_at.len() != n
+            || done_since.len() != n
+            || armed.len() != n
+            || pending.iter().any(|&p| p >= n)
+        {
+            return None;
+        }
+        Some(StochasticPolicy {
+            seed,
+            p_in,
+            out_lo,
+            out_hi,
+            wants_in,
+            counter,
+            in_fire_at,
+            done_since,
+            now,
+            pending,
+            armed,
+        })
+    }
 }
 
 impl OraclePolicy for StochasticPolicy {
@@ -482,6 +691,12 @@ impl OraclePolicy for StochasticPolicy {
 
     fn quiescence_horizon(&self) -> u64 {
         self.out_hi + 2
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        wire::put_u8(out, TAG_STOCHASTIC);
+        self.write_fields(out);
+        true
     }
 }
 
@@ -526,6 +741,13 @@ impl OraclePolicy for ScriptedPolicy {
 
     fn quiescence_horizon(&self) -> u64 {
         self.eager.quiescence_horizon()
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        wire::put_u8(out, TAG_SCRIPTED);
+        wire::put_bool_slice(out, &self.in_mask);
+        self.eager.write_fields(out);
+        true
     }
 }
 
@@ -631,6 +853,29 @@ impl OpenLoopPolicy {
             }
         }
     }
+
+    /// Decode the payload written by this policy's
+    /// [`OraclePolicy::save_state`].
+    fn read_fields(r: &mut wire::Reader) -> Option<Self> {
+        let max_disc = r.u64()?;
+        let done_since = r.opt_u64_vec()?;
+        let now = r.u64()?;
+        let pending = r.usize_vec()?;
+        let armed = r.bool_vec()?;
+        let primed = r.bool()?;
+        let n = done_since.len();
+        if armed.len() != n || pending.iter().any(|&p| p >= n) {
+            return None;
+        }
+        Some(OpenLoopPolicy {
+            max_disc,
+            done_since,
+            now,
+            pending,
+            armed,
+            primed,
+        })
+    }
 }
 
 impl OraclePolicy for OpenLoopPolicy {
@@ -663,6 +908,17 @@ impl OraclePolicy for OpenLoopPolicy {
 
     fn quiescence_horizon(&self) -> u64 {
         self.max_disc + 2
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        wire::put_u8(out, TAG_OPENLOOP);
+        wire::put_u64(out, self.max_disc);
+        wire::put_opt_u64_slice(out, &self.done_since);
+        wire::put_u64(out, self.now);
+        wire::put_usize_slice(out, &self.pending);
+        wire::put_bool_slice(out, &self.armed);
+        wire::put_bool(out, self.primed);
+        true
     }
 }
 
@@ -928,6 +1184,117 @@ mod tests {
             assert_eq!(fa, fb, "default delta tick is the full tick");
         }
         assert_eq!(a.0, b.0);
+    }
+
+    /// Snapshot a policy mid-trajectory, restore it through the tag
+    /// dispatcher, and check the restored twin's future flag trajectory is
+    /// identical to the original's.
+    fn assert_save_restore_resumes(mk: impl Fn() -> Box<dyn OraclePolicy>, label: &str) {
+        use rand::rngs::StdRng;
+        use rand::{Rng as _, SeedableRng as _};
+        let n = 7;
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let mut pol = mk();
+        let mut flags = RequestFlags::new(n);
+        let mut v = view(vec![Status::Idle; n], vec![false; n]);
+        let stir = |v: &mut PolicyView, rng: &mut StdRng| {
+            for _ in 0..rng.random_range(0..4usize) {
+                let p = rng.random_range(0..n);
+                v.status[p] = match rng.random_range(0..4u8) {
+                    0 => Status::Idle,
+                    1 => Status::Looking,
+                    2 => Status::Waiting,
+                    _ => Status::Done,
+                };
+                v.in_meeting[p] = rng.random_bool(0.5);
+            }
+        };
+        for _ in 0..25 {
+            stir(&mut v, &mut rng);
+            pol.update(&mut flags, &v);
+        }
+        let mut blob = Vec::new();
+        assert!(pol.save_state(&mut blob), "{label}: persistable");
+        let mut flag_blob = Vec::new();
+        flags.save_state(&mut flag_blob);
+        let mut twin = restore_policy(&blob).expect(label);
+        let mut twin_flags =
+            RequestFlags::restore_state(&mut wire::Reader::new(&flag_blob)).expect(label);
+        assert_eq!(flags, twin_flags, "{label}: flags roundtrip");
+        for tick in 0..60 {
+            stir(&mut v, &mut rng);
+            pol.update(&mut flags, &v);
+            twin.update(&mut twin_flags, &v);
+            for p in 0..n {
+                assert_eq!(
+                    (flags.request_in(p), flags.request_out(p)),
+                    (twin_flags.request_in(p), twin_flags.request_out(p)),
+                    "{label}: tick {tick} p{p}"
+                );
+            }
+        }
+        // Truncated blobs are rejected, never panics.
+        for cut in 0..blob.len() {
+            assert!(restore_policy(&blob[..cut]).is_none(), "{label}: cut {cut}");
+        }
+    }
+
+    #[test]
+    fn eager_save_restore_resumes() {
+        assert_save_restore_resumes(|| Box::new(EagerPolicy::new(7, 2)), "eager");
+    }
+
+    #[test]
+    fn infinite_save_restore_resumes() {
+        assert_save_restore_resumes(|| Box::new(InfiniteMeetingPolicy), "infinite");
+    }
+
+    #[test]
+    fn stochastic_save_restore_resumes() {
+        assert_save_restore_resumes(
+            || Box::new(StochasticPolicy::new(7, 99, 0.4, 1..5)),
+            "stochastic",
+        );
+    }
+
+    #[test]
+    fn scripted_save_restore_resumes() {
+        assert_save_restore_resumes(
+            || {
+                Box::new(ScriptedPolicy::new(
+                    vec![true, false, true, true, false, true, false],
+                    1,
+                ))
+            },
+            "scripted",
+        );
+    }
+
+    #[test]
+    fn open_loop_save_restore_resumes() {
+        assert_save_restore_resumes(|| Box::new(OpenLoopPolicy::new(7, 2)), "open-loop");
+    }
+
+    #[test]
+    fn restore_rejects_unknown_tag_and_trailing_garbage() {
+        assert!(restore_policy(&[]).is_none());
+        assert!(restore_policy(&[200]).is_none(), "unknown tag");
+        let mut blob = Vec::new();
+        assert!(InfiniteMeetingPolicy.save_state(&mut blob));
+        assert!(restore_policy(&blob).is_some());
+        blob.push(0);
+        assert!(restore_policy(&blob).is_none(), "trailing garbage");
+    }
+
+    #[test]
+    fn default_save_state_refuses() {
+        struct Custom;
+        impl OraclePolicy for Custom {
+            fn update(&mut self, _flags: &mut RequestFlags, _view: &PolicyView) {}
+        }
+        let mut out = Vec::new();
+        assert!(!Custom.save_state(&mut out));
+        assert!(out.is_empty());
     }
 
     #[test]

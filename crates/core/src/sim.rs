@@ -99,6 +99,9 @@ pub struct Sim<C: CommitteeAlgorithm, TL: TokenLayer> {
     flag_changed: MarkSet,
     /// Ledger events of the most recent step (see [`Sim::last_events`]).
     last_events: Vec<LedgerEvent>,
+    /// The engine configuration in force (recorded by [`Sim::configure`];
+    /// checkpoints carry it so a restore rebuilds the same mode).
+    cfg: EngineConfig,
 }
 
 impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
@@ -212,6 +215,7 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
             recheck: MarkSet::new(n),
             flag_changed: MarkSet::new(n),
             last_events: Vec::new(),
+            cfg: EngineConfig::default(),
         }
     }
 
@@ -275,7 +279,14 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         wcfg.incremental_daemon = false;
         self.world.configure(&wcfg)?;
         self.daemon.set_incremental_view(cfg.incremental_daemon);
+        self.cfg = *cfg;
         Ok(())
+    }
+
+    /// The engine configuration in force (the last one [`Sim::configure`]
+    /// accepted; the default `"par1"` config when never configured).
+    pub fn config(&self) -> EngineConfig {
+        self.cfg
     }
 
     /// [`Sim::configure`] with a mode label — any [`ModeRegistry`] name or
@@ -775,6 +786,272 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     pub fn live_meetings(&self) -> Vec<sscc_hypergraph::EdgeId> {
         self.ledger.live_edges()
     }
+
+    /// Serialize the complete simulation at a step boundary: configuration,
+    /// per-process states, daemon RNG/fairness state, policy timers,
+    /// request flags (with undrained flips), ledger, monitor, round
+    /// tracker, pending invalidations and the optional trace. A [`Sim`]
+    /// rebuilt from this blob by [`Sim::restore`] produces the
+    /// **bit-identical** continuation of this run.
+    ///
+    /// Returns `false` — writing nothing — when the daemon or policy is a
+    /// custom type that does not implement persistence (see
+    /// [`Daemon::save_state`] / [`OraclePolicy::save_state`]).
+    ///
+    /// The topology is *not* written: it has its own codec in the persist
+    /// layer, and the service checkpoint container pairs the two blobs.
+    pub fn save_state(&self, out: &mut Vec<u8>) -> bool
+    where
+        C::State: StateCodec,
+        TL::State: StateCodec,
+    {
+        use sscc_runtime::wire;
+        let mut daemon_blob = Vec::new();
+        if !self.daemon.save_state(&mut daemon_blob) {
+            return false;
+        }
+        let mut policy_blob = Vec::new();
+        if !self.policy.save_state(&mut policy_blob) {
+            return false;
+        }
+        wire::put_str(out, &self.cfg.to_string());
+        wire::put_usize(out, self.world.states().len());
+        for s in self.world.states() {
+            s.encode(out);
+        }
+        wire::put_u64(out, self.world.steps());
+        wire::put_bool_slice(out, &self.world.observation_snapshot());
+        wire::put_bool(out, self.world.notes_stale());
+        wire::put_bool(out, self.policy_stale);
+        wire::put_usize_slice(out, self.flag_changed.as_slice());
+        self.flags.save_state(out);
+        self.rounds.save_state(out);
+        self.ledger.save_state(out);
+        self.monitor.save_state(out);
+        wire::put_bytes(out, &daemon_blob);
+        wire::put_bytes(out, &policy_blob);
+        encode_ledger_events(&self.last_events, out);
+        match &self.trace {
+            None => wire::put_bool(out, false),
+            Some(t) => {
+                wire::put_bool(out, true);
+                t.save_state(out);
+            }
+        }
+        true
+    }
+
+    /// Capture an **online snapshot** at a step boundary: `O(live state)`,
+    /// never `O(history)`. Mutable state (per-process states, flags,
+    /// counters, live meetings) is cloned — mostly flat `memcpy`s — while
+    /// the terminated meeting history and the recorded trace are
+    /// *referenced* through sealed shared segments maintained by the
+    /// ledger and trace (amortized `O(new entries)` per capture). The wire
+    /// encoding — [`Snapshot::to_bytes`], bit-identical to
+    /// [`Sim::save_state`] — is deferred off the engine's critical path.
+    ///
+    /// Returns `None` under the same conditions as [`Sim::save_state`]
+    /// (a daemon or policy without persistence support).
+    pub fn snapshot(&mut self) -> Option<Snapshot<C, TL>>
+    where
+        C::State: Copy,
+        TL::State: Copy,
+    {
+        let mut daemon_blob = Vec::new();
+        if !self.daemon.save_state(&mut daemon_blob) {
+            return None;
+        }
+        let mut policy_blob = Vec::new();
+        if !self.policy.save_state(&mut policy_blob) {
+            return None;
+        }
+        Some(Snapshot {
+            cfg: self.cfg.to_string(),
+            states: sscc_runtime::seal::memcpy_vec(self.world.states()),
+            steps: self.world.steps(),
+            observations: self.world.observation_snapshot(),
+            notes_stale: self.world.notes_stale(),
+            policy_stale: self.policy_stale,
+            flag_changed: self.flag_changed.as_slice().to_vec(),
+            flags: self.flags.clone(),
+            rounds: self.rounds.clone(),
+            ledger: self.ledger.snapshot(),
+            monitor: self.monitor.clone(),
+            daemon_blob,
+            policy_blob,
+            last_events: self.last_events.clone(),
+            trace: self.trace.as_mut().map(Trace::snapshot),
+        })
+    }
+
+    /// Rebuild a simulation from a [`Sim::save_state`] blob over topology
+    /// `h` (the graph as it was *at snapshot time* — after any mutations)
+    /// and fresh algorithm instances. `None` on truncation, corruption, or
+    /// a blob whose dimensions disagree with `h`.
+    ///
+    /// The restored sim skips the constructor's priming policy tick (the
+    /// blob carries the already-primed flags) and re-enters the exact
+    /// engine mode through [`Sim::configure`]; commit notes and guard
+    /// caches are recomputed from the restored states, and the daemon's
+    /// observation mirror is re-seeded from the blob so the first
+    /// incremental drain feeds it the same deltas the uninterrupted run
+    /// would have.
+    pub fn restore(h: Arc<Hypergraph>, cc: C, tl: TL, bytes: &[u8]) -> Option<Self>
+    where
+        C::State: Copy + StateCodec,
+        TL::State: Copy + StateCodec,
+    {
+        use sscc_runtime::wire;
+        let n = h.n();
+        let m = h.m();
+        let mut r = wire::Reader::new(bytes);
+        let cfg: EngineConfig = r.str()?.parse().ok()?;
+        let count = r.usize()?;
+        if count != n || count > r.remaining() {
+            return None;
+        }
+        let mut states = Vec::with_capacity(count);
+        for _ in 0..count {
+            states.push(crate::compose::CcTok::<C::State, TL::State>::decode(
+                &mut r,
+            )?);
+        }
+        let steps = r.u64()?;
+        let obs = r.bool_vec()?;
+        if obs.len() != n {
+            return None;
+        }
+        // `notes_stale` travels for observability; the rebuilt world always
+        // recomputes its commit notes from the restored states (the
+        // recomputation is a pure function of the configuration, so the
+        // continuation is unaffected).
+        let _notes_stale = r.bool()?;
+        let policy_stale = r.bool()?;
+        let flagged = r.usize_vec()?;
+        if flagged.iter().any(|&p| p >= n) {
+            return None;
+        }
+        let flags = RequestFlags::restore_state(&mut r)?;
+        if flags.processes() != n {
+            return None;
+        }
+        let rounds = RoundTracker::restore_state(&mut r)?;
+        let ledger = MeetingLedger::restore_state(&mut r)?;
+        if ledger.edge_slots() != m || ledger.process_slots() != n {
+            return None;
+        }
+        let monitor = SpecMonitor::restore_state(&mut r)?;
+        let daemon = restore_daemon(r.bytes()?)?;
+        let policy = crate::oracle::restore_policy(r.bytes()?)?;
+        let ev_count = r.usize()?;
+        if ev_count > r.remaining() {
+            return None;
+        }
+        let mut last_events = Vec::with_capacity(ev_count);
+        for _ in 0..ev_count {
+            let tag = r.u8()?;
+            let idx = r.usize()?;
+            if idx >= ledger.instances().len() {
+                return None;
+            }
+            last_events.push(match tag {
+                0 => LedgerEvent::Convened(idx),
+                1 => LedgerEvent::Terminated(idx),
+                _ => return None,
+            });
+        }
+        let trace = if r.bool()? {
+            Some(Trace::restore_state(&mut r)?)
+        } else {
+            None
+        };
+        if !r.is_empty() {
+            return None;
+        }
+
+        let world = World::with_states(h, Composed::new(cc, tl), states);
+        let cc_view: Vec<C::State> = world.states().iter().map(|s| s.cc).collect();
+        let view = PolicyView {
+            status: vec![Status::Idle; n],
+            in_meeting: vec![false; n],
+        };
+        let mut sim = Sim {
+            world,
+            daemon,
+            policy,
+            flags,
+            rounds,
+            ledger,
+            monitor,
+            trace,
+            naive: false,
+            delta_policies: true,
+            policy_stale,
+            out: StepOutcome::default(),
+            cc_view,
+            view,
+            executed_procs: Vec::new(),
+            executed_cc: Vec::new(),
+            touched_edges: Vec::new(),
+            touched_mark: MarkSet::new(m),
+            recheck: MarkSet::new(n),
+            flag_changed: MarkSet::new(n),
+            last_events,
+            cfg: EngineConfig::default(),
+        };
+        sim.refresh_view_from_cc();
+        sim.configure(&cfg).ok()?;
+        sim.world.restore_observation(&obs);
+        sim.world.set_step_count(steps);
+        for p in flagged {
+            sim.flag_changed.insert(p);
+        }
+        Some(sim)
+    }
+
+    /// Live migration: swap the engine configuration **mid-run** without
+    /// resetting any observer — participation counters, meeting history,
+    /// violation records, round tracking, policy timers and the daemon's
+    /// fairness state all survive. The committee mirror and policy view
+    /// are refreshed wholesale from the committed configuration (the
+    /// full-scan path does not maintain them per-step), and the next
+    /// policy tick is a full resynchronizing one.
+    ///
+    /// Migrating *into* an `incremental_daemon` mode zeroes the daemon's
+    /// observation mirror, so the first drain under the new mode primes it
+    /// with the complete enabled set.
+    ///
+    /// # Errors
+    /// Anything [`EngineConfig::validate`] rejects; the simulation is
+    /// untouched on error.
+    pub fn migrate(&mut self, cfg: &EngineConfig) -> Result<(), ConfigError>
+    where
+        C::State: Copy,
+        TL::State: Copy,
+    {
+        let was_inc = self.cfg.incremental_daemon;
+        self.configure(cfg)?;
+        for (p, v) in self.cc_view.iter_mut().enumerate() {
+            *v = self.world.state(p).cc;
+        }
+        self.refresh_view_from_cc();
+        self.policy_stale = true;
+        if cfg.incremental_daemon && !was_inc {
+            let n = self.world.h().n();
+            self.world.restore_observation(&vec![false; n]);
+        }
+        Ok(())
+    }
+
+    /// [`Sim::migrate`] with a mode label — any [`ModeRegistry`] name or
+    /// compositional config string.
+    pub fn migrate_mode(&mut self, mode: &str) -> Result<(), ConfigError>
+    where
+        C::State: Copy,
+        TL::State: Copy,
+    {
+        self.migrate(&mode.parse()?)
+    }
 }
 
 /// Declarative [`Sim`] construction — see [`Sim::builder`].
@@ -896,6 +1173,111 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> SimBuilder<C, TL> {
 pub fn default_daemon(seed: u64, n: usize) -> Box<dyn Daemon> {
     Box::new(WeaklyFair::new(DistributedRandom::new(seed, 0.5), 4 * n))
 }
+
+/// The `last_events` wire encoding shared by [`Sim::save_state`] and
+/// [`Snapshot::encode`].
+fn encode_ledger_events(events: &[LedgerEvent], out: &mut Vec<u8>) {
+    use sscc_runtime::wire;
+    wire::put_usize(out, events.len());
+    for ev in events {
+        match ev {
+            LedgerEvent::Convened(idx) => {
+                wire::put_u8(out, 0);
+                wire::put_usize(out, *idx);
+            }
+            LedgerEvent::Terminated(idx) => {
+                wire::put_u8(out, 1);
+                wire::put_usize(out, *idx);
+            }
+        }
+    }
+}
+
+/// An online snapshot of a [`Sim`], captured by [`Sim::snapshot`] in
+/// `O(live state)`: owned clones of the mutable state plus sealed shared
+/// segments referencing the immutable meeting/trace history. Encoding to
+/// the flat [`Sim::save_state`] wire format happens here — off the
+/// engine's critical path — and is **bit-identical** to what
+/// [`Sim::save_state`] would have written at the capture step, so
+/// [`Sim::restore`] (and the persist layer's checkpoint container) accept
+/// either interchangeably.
+pub struct Snapshot<C: CommitteeAlgorithm, TL: TokenLayer> {
+    cfg: String,
+    states: Vec<crate::compose::CcTok<C::State, TL::State>>,
+    steps: u64,
+    observations: Vec<bool>,
+    notes_stale: bool,
+    policy_stale: bool,
+    flag_changed: Vec<usize>,
+    flags: RequestFlags,
+    rounds: RoundTracker,
+    ledger: crate::meetings::LedgerSnapshot,
+    monitor: SpecMonitor,
+    daemon_blob: Vec<u8>,
+    policy_blob: Vec<u8>,
+    last_events: Vec<LedgerEvent>,
+    trace: Option<TraceSnapshot>,
+}
+
+impl<C: CommitteeAlgorithm, TL: TokenLayer> Snapshot<C, TL> {
+    /// Step count at capture.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Append the flat [`Sim::save_state`] encoding.
+    pub fn encode(&self, out: &mut Vec<u8>)
+    where
+        C::State: StateCodec,
+        TL::State: StateCodec,
+    {
+        use sscc_runtime::wire;
+        wire::put_str(out, &self.cfg);
+        wire::put_usize(out, self.states.len());
+        for s in &self.states {
+            s.encode(out);
+        }
+        wire::put_u64(out, self.steps);
+        wire::put_bool_slice(out, &self.observations);
+        wire::put_bool(out, self.notes_stale);
+        wire::put_bool(out, self.policy_stale);
+        wire::put_usize_slice(out, &self.flag_changed);
+        self.flags.save_state(out);
+        self.rounds.save_state(out);
+        self.ledger.encode(out);
+        self.monitor.save_state(out);
+        wire::put_bytes(out, &self.daemon_blob);
+        wire::put_bytes(out, &self.policy_blob);
+        encode_ledger_events(&self.last_events, out);
+        match &self.trace {
+            None => wire::put_bool(out, false),
+            Some(t) => {
+                wire::put_bool(out, true);
+                t.encode(out);
+            }
+        }
+    }
+
+    /// The flat [`Sim::save_state`] blob, assembled from the captured
+    /// pieces (a `memcpy` per sealed history segment plus the encoding of
+    /// the live state).
+    pub fn to_bytes(&self) -> Vec<u8>
+    where
+        C::State: StateCodec,
+        TL::State: StateCodec,
+    {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// Online snapshot of the standard CC1 ∘ TC stack.
+pub type Cc1Snapshot = Snapshot<crate::cc1::Cc1, sscc_token::WaveToken>;
+/// Online snapshot of the standard CC2 ∘ TC stack.
+pub type Cc2Snapshot = Snapshot<crate::cc2::Cc2, sscc_token::WaveToken>;
+/// Online snapshot of the standard CC3 ∘ TC stack.
+pub type Cc3Snapshot = Snapshot<crate::cc2::Cc3, sscc_token::WaveToken>;
 
 /// Pre-composed simulation type for CC1 over the wave-token substrate.
 pub type Cc1Sim = Sim<crate::cc1::Cc1, sscc_token::WaveToken>;
@@ -1075,5 +1457,213 @@ mod tests {
         let mut sim = Cc1Sim::standard(Arc::clone(&h), 9, 1);
         let (_, ok) = sim.run_until(5000, |s| s.ledger().convened_count() >= 1);
         assert!(ok, "a first meeting convenes within the budget");
+    }
+
+    /// Step both sims in lockstep, asserting full observable equality after
+    /// every step.
+    fn assert_lockstep<C, TL>(a: &mut Sim<C, TL>, b: &mut Sim<C, TL>, steps: u64, label: &str)
+    where
+        C: CommitteeAlgorithm,
+        TL: TokenLayer,
+        C::State: std::fmt::Debug + PartialEq,
+        TL::State: std::fmt::Debug + PartialEq,
+    {
+        for i in 0..steps {
+            let ra = a.step();
+            let rb = b.step();
+            assert_eq!(ra, rb, "{label}: step() at {i}");
+            assert_eq!(
+                a.world().states(),
+                b.world().states(),
+                "{label}: states {i}"
+            );
+            assert_eq!(a.flags(), b.flags(), "{label}: flags {i}");
+            assert_eq!(a.steps(), b.steps(), "{label}: steps {i}");
+            assert_eq!(a.rounds(), b.rounds(), "{label}: rounds {i}");
+            assert_eq!(a.live_meetings(), b.live_meetings(), "{label}: live {i}");
+            assert_eq!(a.last_events(), b.last_events(), "{label}: events {i}");
+            if !ra {
+                break;
+            }
+        }
+        assert_eq!(
+            a.ledger().instances(),
+            b.ledger().instances(),
+            "{label}: ledger"
+        );
+        assert_eq!(
+            a.monitor().violations(),
+            b.monitor().violations(),
+            "{label}: monitor"
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identical() {
+        let h = Arc::new(generators::fig2());
+        let mut sim = Cc1Sim::standard(Arc::clone(&h), 42, 1);
+        sim.enable_trace();
+        sim.run(300);
+        let mut blob = Vec::new();
+        assert!(sim.save_state(&mut blob), "default stack is persistable");
+        let mut twin = Cc1Sim::restore(
+            Arc::clone(&h),
+            crate::cc1::Cc1::new(),
+            sscc_token::WaveToken::new(&h),
+            &blob,
+        )
+        .expect("restore");
+        assert_eq!(twin.steps(), sim.steps());
+        assert_eq!(
+            twin.trace().unwrap().events(),
+            sim.trace().unwrap().events(),
+            "trace survives the checkpoint"
+        );
+        assert_eq!(twin.config().to_string(), sim.config().to_string());
+        assert_lockstep(&mut sim, &mut twin, 400, "fig2/par1");
+        // Corrupted blobs are rejected, never panic.
+        for cut in (0..blob.len()).step_by(37) {
+            assert!(
+                Cc1Sim::restore(
+                    Arc::clone(&h),
+                    crate::cc1::Cc1::new(),
+                    sscc_token::WaveToken::new(&h),
+                    &blob[..cut]
+                )
+                .is_none(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_after_mutations_and_strikes() {
+        use rand::SeedableRng as _;
+        // A churny prefix: topology mutations and a mid-run strike, then a
+        // snapshot while the repair flags (`policy_stale`, stale commit
+        // notes) are still pending — the restored twin must continue
+        // bit-identically on the *mutated* topology.
+        let h = Arc::new(generators::ring(8, 3));
+        let mut sim = Cc2Sim::standard(Arc::clone(&h), 11, 1);
+        sim.configure_mode("daemon").unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        sim.run(120);
+        for _ in 0..4 {
+            let mu = sscc_hypergraph::random_mutation(sim.h(), &mut rng);
+            let _ = sim.mutate(&mu);
+            sim.run(61);
+        }
+        sim.strike(5, 0.4);
+        let mut blob = Vec::new();
+        assert!(sim.save_state(&mut blob));
+        let h_now = sim.world().h_arc();
+        let mut twin = Cc2Sim::restore(
+            Arc::clone(&h_now),
+            crate::cc2::Cc2::new(),
+            sscc_token::WaveToken::new(&h_now),
+            &blob,
+        )
+        .expect("restore on mutated topology");
+        assert_lockstep(&mut sim, &mut twin, 500, "ring8/daemon/churn");
+    }
+
+    #[test]
+    fn migrate_preserves_observer_history() {
+        let h = Arc::new(generators::ring(6, 2));
+        let mut sim = Cc1Sim::standard(Arc::clone(&h), 3, 1);
+        sim.configure_mode("seq").unwrap();
+        sim.run(600);
+        let convened = sim.ledger().convened_count();
+        let rounds = sim.rounds();
+        let participations = sim.ledger().participations().to_vec();
+        assert!(convened > 0, "history to preserve");
+
+        sim.migrate_mode("poolcommit").unwrap();
+        assert!(
+            sim.ledger()
+                .participations()
+                .iter()
+                .zip(&participations)
+                .all(|(a, b)| a >= b),
+            "participation counters survive migration"
+        );
+        sim.run(600);
+        assert!(sim.ledger().convened_count() > convened, "progress resumes");
+        assert!(sim.rounds() >= rounds, "round history survives");
+        assert!(sim.monitor().clean(), "{:?}", sim.monitor().violations());
+
+        // Hop again: pooled → value-level with an incremental daemon view.
+        let before = sim.ledger().convened_count();
+        sim.migrate_mode("daemon").unwrap();
+        sim.run(600);
+        assert!(sim.ledger().convened_count() > before);
+        assert!(sim.monitor().clean(), "{:?}", sim.monitor().violations());
+    }
+
+    #[test]
+    fn online_snapshot_encodes_the_save_state_bytes() {
+        use rand::SeedableRng as _;
+        // The online snapshot must assemble *exactly* the flat `save_state`
+        // blob at every capture point — including while meetings are live,
+        // after topology mutations remapped sealed history (seal reset),
+        // and after strikes — so `restore` accepts either interchangeably.
+        let h = Arc::new(generators::ring(8, 3));
+        let mut sim = Cc2Sim::standard(Arc::clone(&h), 23, 1);
+        sim.configure_mode("daemon").unwrap();
+        sim.enable_trace();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut captures = 0usize;
+        for phase in 0..6 {
+            sim.run(83);
+            match phase {
+                2 | 4 => {
+                    let mu = sscc_hypergraph::random_mutation(sim.h(), &mut rng);
+                    let _ = sim.mutate(&mu);
+                }
+                3 => {
+                    sim.strike(4, 0.4);
+                }
+                _ => {}
+            }
+            let mut flat = Vec::new();
+            assert!(sim.save_state(&mut flat));
+            let snap = sim.snapshot().expect("default stack snapshots");
+            assert_eq!(snap.steps(), sim.steps());
+            assert_eq!(snap.to_bytes(), flat, "phase {phase}");
+            captures += 1;
+            // A snapshot is restorable exactly like a flat checkpoint.
+            if phase == 5 {
+                let h_now = sim.world().h_arc();
+                let mut twin = Cc2Sim::restore(
+                    Arc::clone(&h_now),
+                    crate::cc2::Cc2::new(),
+                    sscc_token::WaveToken::new(&h_now),
+                    &snap.to_bytes(),
+                )
+                .expect("restore from snapshot bytes");
+                assert_lockstep(&mut sim, &mut twin, 300, "ring8/daemon/snapshot");
+            }
+        }
+        assert_eq!(captures, 6);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_topology() {
+        let h = Arc::new(generators::fig2());
+        let mut sim = Cc1Sim::standard(Arc::clone(&h), 1, 1);
+        sim.run(50);
+        let mut blob = Vec::new();
+        assert!(sim.save_state(&mut blob));
+        let other = Arc::new(generators::ring(9, 2));
+        assert!(
+            Cc1Sim::restore(
+                Arc::clone(&other),
+                crate::cc1::Cc1::new(),
+                sscc_token::WaveToken::new(&other),
+                &blob
+            )
+            .is_none(),
+            "dimension mismatch must fail closed"
+        );
     }
 }

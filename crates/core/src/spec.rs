@@ -11,6 +11,7 @@
 use crate::meetings::{LedgerEvent, MeetingLedger};
 use crate::status::{CommitteeView, Status};
 use sscc_hypergraph::{EdgeId, Hypergraph};
+use sscc_runtime::wire::{self, StateCodec};
 
 /// A specification violation, with enough context to debug it.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -264,6 +265,99 @@ impl SpecMonitor {
         }
     }
 
+    /// Serialize the violation log and the incremental exclusion cache.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        wire::put_usize(out, self.violations.len());
+        for v in &self.violations {
+            match v {
+                Violation::Exclusion { step, a, b } => {
+                    wire::put_u8(out, 0);
+                    wire::put_u64(out, *step);
+                    a.encode(out);
+                    b.encode(out);
+                }
+                Violation::Synchronization {
+                    step,
+                    edge,
+                    member,
+                    status,
+                } => {
+                    wire::put_u8(out, 1);
+                    wire::put_u64(out, *step);
+                    edge.encode(out);
+                    wire::put_usize(out, *member);
+                    status.encode(out);
+                }
+                Violation::EssentialSkipped {
+                    step,
+                    edge,
+                    missing,
+                } => {
+                    wire::put_u8(out, 2);
+                    wire::put_u64(out, *step);
+                    edge.encode(out);
+                    wire::put_usize_slice(out, missing);
+                }
+                Violation::InvoluntaryTermination { step, edge } => {
+                    wire::put_u8(out, 3);
+                    wire::put_u64(out, *step);
+                    edge.encode(out);
+                }
+            }
+        }
+        wire::put_usize(out, self.live_conflicts.len());
+        for (a, b) in &self.live_conflicts {
+            a.encode(out);
+            b.encode(out);
+        }
+    }
+
+    /// Decode a monitor written by [`SpecMonitor::save_state`].
+    pub fn restore_state(r: &mut wire::Reader) -> Option<Self> {
+        let count = r.usize()?;
+        if count > r.remaining() {
+            return None;
+        }
+        let mut violations = Vec::with_capacity(count);
+        for _ in 0..count {
+            violations.push(match r.u8()? {
+                0 => Violation::Exclusion {
+                    step: r.u64()?,
+                    a: EdgeId::decode(r)?,
+                    b: EdgeId::decode(r)?,
+                },
+                1 => Violation::Synchronization {
+                    step: r.u64()?,
+                    edge: EdgeId::decode(r)?,
+                    member: r.usize()?,
+                    status: Status::decode(r)?,
+                },
+                2 => Violation::EssentialSkipped {
+                    step: r.u64()?,
+                    edge: EdgeId::decode(r)?,
+                    missing: r.usize_vec()?,
+                },
+                3 => Violation::InvoluntaryTermination {
+                    step: r.u64()?,
+                    edge: EdgeId::decode(r)?,
+                },
+                _ => return None,
+            });
+        }
+        let pairs = r.usize()?;
+        if pairs > r.remaining() {
+            return None;
+        }
+        let mut live_conflicts = Vec::with_capacity(pairs);
+        for _ in 0..pairs {
+            live_conflicts.push((EdgeId::decode(r)?, EdgeId::decode(r)?));
+        }
+        Some(SpecMonitor {
+            violations,
+            live_conflicts,
+        })
+    }
+
     /// All violations found so far.
     pub fn violations(&self) -> &[Violation] {
         &self.violations
@@ -383,6 +477,35 @@ mod tests {
         );
         mon.observe(&h, &after, 1, &ledger, &ev);
         assert!(mon.clean());
+    }
+
+    #[test]
+    fn monitor_save_restore_roundtrips() {
+        let h = generators::fig2();
+        let idle = vec![Cc1State::idle(); h.n()];
+        let mut ledger = MeetingLedger::new(&h, &idle);
+        let mut post = idle.clone();
+        post[h.dense_of(3)] = s(Status::Waiting, Some(2));
+        post[h.dense_of(4)] = s(Status::Done, Some(2));
+        let events = ledger.observe(&h, &idle, &post, 3, 0, &events_scratch());
+        let mut mon = SpecMonitor::new();
+        mon.observe_incremental(&h, &post, 3, &ledger, &events);
+        assert!(!mon.clean());
+        let mut blob = Vec::new();
+        mon.save_state(&mut blob);
+        let twin = SpecMonitor::restore_state(&mut wire::Reader::new(&blob)).unwrap();
+        assert_eq!(twin.violations(), mon.violations());
+        assert_eq!(twin.live_conflicts, mon.live_conflicts);
+        for cut in 0..blob.len() {
+            assert!(
+                SpecMonitor::restore_state(&mut wire::Reader::new(&blob[..cut])).is_none(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    fn events_scratch() -> Vec<(usize, ActionClass)> {
+        Vec::new()
     }
 
     #[test]

@@ -30,6 +30,30 @@ impl Status {
     }
 }
 
+impl sscc_runtime::wire::StateCodec for Status {
+    fn encode(&self, out: &mut Vec<u8>) {
+        sscc_runtime::wire::put_u8(
+            out,
+            match self {
+                Status::Idle => 0,
+                Status::Looking => 1,
+                Status::Waiting => 2,
+                Status::Done => 3,
+            },
+        );
+    }
+
+    fn decode(r: &mut sscc_runtime::wire::Reader) -> Option<Self> {
+        Some(match r.u8()? {
+            0 => Status::Idle,
+            1 => Status::Looking,
+            2 => Status::Waiting,
+            3 => Status::Done,
+            _ => return None,
+        })
+    }
+}
+
 /// Uniform read-only view of a committee-algorithm state, implemented by
 /// both CC1 and CC2/CC3 states so monitors, ledgers and reports can treat
 /// them alike.

@@ -289,6 +289,98 @@ churn_differential_suite!(
     "CC3"
 );
 
+/// Checkpoint/restore lockstep: for **every registered engine mode**,
+/// freezing a mid-run simulation to bytes (`Sim::save_state`) and
+/// rehydrating it (`Sim::restore`) must continue bit-identically with the
+/// uninterrupted original — same step progress, configurations, flags,
+/// traces, ledger and monitor for the rest of the run. One differential
+/// row per registry mode; a mode whose scheduler, pool or guard cache
+/// holds state the snapshot misses diverges at the first step that reads
+/// it.
+macro_rules! checkpoint_differential_suite {
+    ($name:ident, $cc:expr, $algo:literal) => {
+        #[test]
+        fn $name() {
+            let h = Arc::new(generators::fig2());
+            let n = h.n();
+            for mode in ModeRegistry::all() {
+                for seed in [3u64, 17] {
+                    let label = format!("{}/{}/seed{seed}", $algo, mode.name);
+                    let mut sim = Sim::new(
+                        Arc::clone(&h),
+                        $cc,
+                        WaveToken::new(&h),
+                        default_daemon(seed, n),
+                        Box::new(EagerPolicy::new(n, 1)),
+                    );
+                    sim.configure(&mode.config.forced_fanout())
+                        .unwrap_or_else(|e| panic!("{label}: configure: {e}"));
+                    sim.enable_trace();
+                    sim.run(250);
+                    let mut blob = Vec::new();
+                    assert!(sim.save_state(&mut blob), "{label}: checkpoint");
+                    let mut twin = Sim::restore(Arc::clone(&h), $cc, WaveToken::new(&h), &blob)
+                        .unwrap_or_else(|| panic!("{label}: restore"));
+                    assert_eq!(sim.steps(), twin.steps(), "{label}: restored cursor");
+                    for step in 0..250u64 {
+                        let a = sim.step();
+                        let b = twin.step();
+                        assert_eq!(a, b, "{label}: step {step} progress disagrees");
+                        assert_eq!(
+                            sim.cc_states(),
+                            twin.cc_states(),
+                            "{label}: step {step} configurations diverge"
+                        );
+                        assert_eq!(
+                            sim.flags(),
+                            twin.flags(),
+                            "{label}: step {step} request flags diverge"
+                        );
+                    }
+                    assert_eq!(sim.steps(), twin.steps(), "{label}: step counts");
+                    assert_eq!(sim.rounds(), twin.rounds(), "{label}: round counts");
+                    assert_eq!(
+                        sim.trace().unwrap().events(),
+                        twin.trace().unwrap().events(),
+                        "{label}: executed-action traces"
+                    );
+                    assert_eq!(
+                        sim.ledger().instances(),
+                        twin.ledger().instances(),
+                        "{label}: ledger instances"
+                    );
+                    assert_eq!(
+                        sim.ledger().participations(),
+                        twin.ledger().participations(),
+                        "{label}: participation counters"
+                    );
+                    assert_eq!(
+                        sim.monitor().violations(),
+                        twin.monitor().violations(),
+                        "{label}: monitor verdicts"
+                    );
+                }
+            }
+        }
+    };
+}
+
+checkpoint_differential_suite!(
+    differential_cc1_checkpoint_restore_all_modes,
+    Cc1::new(),
+    "CC1"
+);
+checkpoint_differential_suite!(
+    differential_cc2_checkpoint_restore_all_modes,
+    Cc2::new(),
+    "CC2"
+);
+checkpoint_differential_suite!(
+    differential_cc3_checkpoint_restore_all_modes,
+    Cc3::new_cc3(),
+    "CC3"
+);
+
 /// The `Selection::All` fast path (synchronous daemon — no subset `Vec`
 /// round-trip, `WeaklyFair` bypass) must also be trace-identical.
 #[test]

@@ -38,6 +38,9 @@ pub mod sharding;
 pub use fairness_sets::{AmmFamily, FairnessAnalysis};
 pub use hypergraph::{Hypergraph, HypergraphError};
 pub use ids::{EdgeId, ProcessId};
-pub use mutation::{random_mutation, MutationDelta, MutationError, WorldMutation};
+pub use mutation::{
+    random_mutation, random_mutation_with_bias, MutationBias, MutationDelta, MutationError,
+    WorldMutation,
+};
 pub use network::{EulerTour, SpanningTree};
 pub use sharding::ShardPlan;

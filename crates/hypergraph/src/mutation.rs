@@ -566,6 +566,27 @@ impl Hypergraph {
     }
 }
 
+/// Directional pressure on [`random_mutation_with_bias`] proposals.
+///
+/// Fault campaigns use this to stress specific structural regimes: a
+/// grow-only campaign drives committee counts (and guard fan-out) up, a
+/// shrink-only campaign starves the topology toward its connectivity and
+/// isolation floors — both regimes exercise repair paths a balanced walk
+/// rarely lingers in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MutationBias {
+    /// All five mutation kinds, uniformly (the historical behavior).
+    #[default]
+    Balanced,
+    /// Only structure-adding proposals: `AddCommittee` and `Join`.
+    GrowOnly,
+    /// Only structure-removing proposals: `RemoveCommittee` and `Leave`.
+    /// Validation still rejects proposals that would isolate a process or
+    /// disconnect the network, so a shrink-only campaign saturates at the
+    /// structural floor rather than destroying the graph.
+    ShrinkOnly,
+}
+
 /// Propose a seeded pseudo-random mutation against the current graph. The
 /// proposal is *plausible*, not guaranteed valid — drivers apply it and
 /// skip on `Err`, which keeps generation `O(1)`-ish and deterministic in
@@ -573,13 +594,30 @@ impl Hypergraph {
 /// same graph under the same rng stream therefore see the same mutation
 /// sequence.
 pub fn random_mutation(h: &Hypergraph, rng: &mut StdRng) -> WorldMutation {
+    random_mutation_with_bias(h, rng, MutationBias::Balanced)
+}
+
+/// [`random_mutation`] restricted by a [`MutationBias`]. The edge draw
+/// always happens first so differently-biased campaigns sharing a seed
+/// stay aligned on the same rng stream prefix per proposal.
+pub fn random_mutation_with_bias(
+    h: &Hypergraph,
+    rng: &mut StdRng,
+    bias: MutationBias,
+) -> WorldMutation {
     let raw_of = |v: usize| h.id(v).value();
     let random_members = |rng: &mut StdRng| -> Vec<u32> {
         let k = rng.random_range(2..=4usize.min(h.n()));
         (0..k).map(|_| raw_of(rng.random_range(0..h.n()))).collect()
     };
     let edge = EdgeId(rng.random_range(0..h.m()) as u32);
-    match rng.random_range(0..5u32) {
+    let kind = match bias {
+        MutationBias::Balanced => rng.random_range(0..5u32),
+        // Remap a binary draw onto the grow/shrink variant pair.
+        MutationBias::GrowOnly => [0, 2][rng.random_range(0..2usize)],
+        MutationBias::ShrinkOnly => [1, 3][rng.random_range(0..2usize)],
+    };
+    match kind {
         0 => WorldMutation::AddCommittee {
             members: random_members(rng),
         },
@@ -828,6 +866,55 @@ mod tests {
             }
         }
         assert_eq!(d.changed_edges().count(), 0, "a removal recomputes nothing");
+    }
+
+    #[test]
+    fn biased_mutations_only_propose_their_variants() {
+        let h = generators::random_uniform(12, 9, 3, 3);
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..200 {
+            let grow = random_mutation_with_bias(&h, &mut rng, MutationBias::GrowOnly);
+            assert!(
+                matches!(
+                    grow,
+                    WorldMutation::AddCommittee { .. } | WorldMutation::Join { .. }
+                ),
+                "{grow:?}"
+            );
+            let shrink = random_mutation_with_bias(&h, &mut rng, MutationBias::ShrinkOnly);
+            assert!(
+                matches!(
+                    shrink,
+                    WorldMutation::RemoveCommittee { .. } | WorldMutation::Leave { .. }
+                ),
+                "{shrink:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shrink_only_campaign_saturates_instead_of_destroying() {
+        let mut h = generators::random_uniform(10, 12, 3, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..400 {
+            let m = random_mutation_with_bias(&h, &mut rng, MutationBias::ShrinkOnly);
+            let _ = h.apply_mutation(&m);
+        }
+        assert_repaired(&h);
+        assert!(h.m() >= 1, "validation keeps a connected floor");
+    }
+
+    #[test]
+    fn balanced_bias_matches_unbiased_stream() {
+        let h = generators::fig1();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(
+                random_mutation(&h, &mut a),
+                random_mutation_with_bias(&h, &mut b, MutationBias::Balanced)
+            );
+        }
     }
 
     #[test]

@@ -28,11 +28,12 @@ pub mod waiting;
 
 pub use adversary::{cc1_starvation_on_fig2, AlternatingAdversary, StarvationOutcome};
 pub use campaign::{
-    campaign_table, run_campaign, run_campaign_on, CampaignConfig, CampaignReport, CampaignRow,
+    campaign_table, finalize_campaign, run_campaign, run_campaign_chunk, run_campaign_on,
+    CampaignConfig, CampaignProgress, CampaignReport, CampaignRow,
 };
 pub use degree::{degree_row, measure_degree, DegreeConfig, DegreeOutcome, DegreeRow};
 pub use report::{f2, plabel, Table};
-pub use runner::{build_sim, AlgoKind, AnySim, Boot, PolicyKind};
+pub use runner::{build_sim, restore_sim, AlgoKind, AnySim, AnySnapshot, Boot, PolicyKind};
 // The shared configuration layer, re-exported so bench/experiment code
 // needs a single import for modes and configs.
 pub use sscc_core::{
@@ -40,4 +41,6 @@ pub use sscc_core::{
 };
 pub use sweep::{parallel_fold, parallel_map};
 pub use throughput::{measure_throughput, throughput_row, ThroughputOutcome, ThroughputRow};
-pub use waiting::{measure_waiting, waiting_row, LatencyHistogram, WaitingOutcome, WaitingRow};
+pub use waiting::{
+    measure_waiting, waiting_row, LatencyHistogram, LatencySnapshot, WaitingOutcome, WaitingRow,
+};

@@ -1,7 +1,9 @@
 //! Uniform construction and driving of the three algorithm variants, so the
 //! experiment code (and the bench binary) can sweep over algorithms as data.
 
-use sscc_core::sim::{default_daemon, Cc1Sim, Cc2Sim, Cc3Sim, StopReason};
+use sscc_core::sim::{
+    default_daemon, Cc1Sim, Cc1Snapshot, Cc2Sim, Cc2Snapshot, Cc3Sim, Cc3Snapshot, StopReason,
+};
 use sscc_core::{
     Cc1, Cc2, Cc3, ConfigError, EagerPolicy, EngineConfig, InfiniteMeetingPolicy, MeetingLedger,
     OraclePolicy, Sim, SpecMonitor, StochasticPolicy,
@@ -227,6 +229,86 @@ impl AnySim {
     pub fn h(&self) -> &Hypergraph {
         dispatch!(self, s => s.h())
     }
+
+    /// The topology as a shared handle — the graph *as currently mutated*
+    /// (a mid-run `mutate` may have detached the sim's graph from the
+    /// caller's original `Arc`).
+    pub fn h_arc(&self) -> Arc<Hypergraph> {
+        dispatch!(self, s => s.world().h_arc())
+    }
+
+    /// Which algorithm variant this is.
+    pub fn kind(&self) -> AlgoKind {
+        match self {
+            AnySim::Cc1(_) => AlgoKind::Cc1,
+            AnySim::Cc2(_) => AlgoKind::Cc2,
+            AnySim::Cc3(_) => AlgoKind::Cc3,
+        }
+    }
+
+    /// Freeze the simulation into a flat blob — see `Sim::save_state`.
+    /// `false` when the daemon or policy has no persistence support.
+    pub fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        dispatch!(self, s => s.save_state(out))
+    }
+
+    /// Capture an **online snapshot** in `O(live state)` — see
+    /// `Sim::snapshot`. Encoding to the flat [`AnySim::save_state`] blob
+    /// is deferred to [`AnySnapshot::to_bytes`], off the tick loop's
+    /// critical path. `None` when the daemon or policy has no
+    /// persistence support.
+    pub fn snapshot(&mut self) -> Option<AnySnapshot> {
+        Some(match self {
+            AnySim::Cc1(s) => AnySnapshot::Cc1(Box::new(s.snapshot()?)),
+            AnySim::Cc2(s) => AnySnapshot::Cc2(Box::new(s.snapshot()?)),
+            AnySim::Cc3(s) => AnySnapshot::Cc3(Box::new(s.snapshot()?)),
+        })
+    }
+}
+
+/// A type-erased online snapshot from [`AnySim::snapshot`].
+pub enum AnySnapshot {
+    /// Snapshot of a CC1 stack.
+    Cc1(Box<Cc1Snapshot>),
+    /// Snapshot of a CC2 stack.
+    Cc2(Box<Cc2Snapshot>),
+    /// Snapshot of a CC3 stack.
+    Cc3(Box<Cc3Snapshot>),
+}
+
+impl AnySnapshot {
+    /// Step count at capture.
+    pub fn steps(&self) -> u64 {
+        match self {
+            AnySnapshot::Cc1(s) => s.steps(),
+            AnySnapshot::Cc2(s) => s.steps(),
+            AnySnapshot::Cc3(s) => s.steps(),
+        }
+    }
+
+    /// Assemble the flat blob — bit-identical to what
+    /// [`AnySim::save_state`] wrote at the capture step, so
+    /// [`restore_sim`] accepts it unchanged.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            AnySnapshot::Cc1(s) => s.to_bytes(),
+            AnySnapshot::Cc2(s) => s.to_bytes(),
+            AnySnapshot::Cc3(s) => s.to_bytes(),
+        }
+    }
+}
+
+/// Rebuild a type-erased simulation from an [`AnySim::save_state`] blob
+/// over topology `h` (the graph as it was at snapshot time — use
+/// [`AnySim::h_arc`] when capturing after mutations). `None` on corrupt or
+/// mismatched input — see `Sim::restore`.
+pub fn restore_sim(kind: AlgoKind, h: Arc<Hypergraph>, bytes: &[u8]) -> Option<AnySim> {
+    let ring = WaveToken::new(&h);
+    Some(match kind {
+        AlgoKind::Cc1 => AnySim::Cc1(Box::new(Sim::restore(h, Cc1::new(), ring, bytes)?)),
+        AlgoKind::Cc2 => AnySim::Cc2(Box::new(Sim::restore(h, Cc2::new(), ring, bytes)?)),
+        AlgoKind::Cc3 => AnySim::Cc3(Box::new(Sim::restore(h, Cc3::new_cc3(), ring, bytes)?)),
+    })
 }
 
 #[cfg(test)]

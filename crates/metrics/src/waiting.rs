@@ -81,10 +81,14 @@ pub fn measure_waiting(
 /// sort-on-query cost are negligible, and the quantiles are *exact* —
 /// important because the CI latency gate rides them, so bucketing error
 /// would either hide regressions or flag phantom ones.
+///
+/// Recording and querying are split: [`LatencyHistogram::record`] is the
+/// `&mut` append path, every query takes `&self` (so a service can expose
+/// read-only stats). One-off queries sort a scratch copy; batch several
+/// through a [`LatencySnapshot`], which sorts once.
 #[derive(Clone, Debug, Default)]
 pub struct LatencyHistogram {
     samples: Vec<u64>,
-    sorted: bool,
 }
 
 impl LatencyHistogram {
@@ -96,7 +100,6 @@ impl LatencyHistogram {
     /// Record one observation (any unit; the service layer records steps).
     pub fn record(&mut self, v: u64) {
         self.samples.push(v);
-        self.sorted = false;
     }
 
     /// Number of recorded observations.
@@ -113,17 +116,11 @@ impl LatencyHistogram {
     /// least `q × len` observations are ≤ `v`. `q` is clamped to `[0, 1]`;
     /// `quantile(0.5)` is the median, `quantile(1.0)` the maximum. Returns
     /// `None` on an empty histogram.
-    pub fn quantile(&mut self, q: f64) -> Option<u64> {
-        if self.samples.is_empty() {
-            return None;
-        }
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
-        let n = self.samples.len();
-        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
-        Some(self.samples[rank - 1])
+    ///
+    /// Sorts a scratch copy — `O(len log len)` per call. Use
+    /// [`LatencyHistogram::snapshot`] when querying several quantiles.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.snapshot().quantile(q)
     }
 
     /// Arithmetic mean of the observations (0.0 when empty).
@@ -137,6 +134,68 @@ impl LatencyHistogram {
     /// Largest observation.
     pub fn max(&self) -> Option<u64> {
         self.samples.iter().copied().max()
+    }
+
+    /// The raw observations, in recording order — the persistence seam
+    /// (checkpointed services serialize these and rebuild with
+    /// [`LatencyHistogram::from_samples`]).
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Rebuild a histogram from previously recorded observations.
+    pub fn from_samples(samples: Vec<u64>) -> Self {
+        LatencyHistogram { samples }
+    }
+
+    /// Finalize the current contents into an immutable, sorted view. The
+    /// histogram keeps recording independently afterwards.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        LatencySnapshot { sorted }
+    }
+}
+
+/// An immutable, sorted view of a [`LatencyHistogram`] at one instant:
+/// every query is `O(1)` (quantiles index the pre-sorted samples).
+#[derive(Clone, Debug, Default)]
+pub struct LatencySnapshot {
+    sorted: Vec<u64>,
+}
+
+impl LatencySnapshot {
+    /// Number of observations in the snapshot.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// No observations?
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Nearest-rank quantile (see [`LatencyHistogram::quantile`]).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let n = self.sorted.len();
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.sorted[rank - 1])
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().map(|&v| v as f64).sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<u64> {
+        self.sorted.last().copied()
     }
 }
 
@@ -220,6 +279,22 @@ mod tests {
         // Recording after a query keeps results exact.
         h.record(11);
         assert_eq!(h.quantile(1.0), Some(11));
+    }
+
+    #[test]
+    fn snapshot_is_a_frozen_view() {
+        let mut h = LatencyHistogram::new();
+        for v in [4u64, 2, 8, 6] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        h.record(100); // does not retroactively appear in the snapshot
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap.quantile(0.5), Some(4));
+        assert_eq!(snap.max(), Some(8));
+        assert!((snap.mean() - 5.0).abs() < 1e-9);
+        assert_eq!(h.max(), Some(100));
+        assert!(LatencySnapshot::default().quantile(0.5).is_none());
     }
 
     #[test]

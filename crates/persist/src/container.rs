@@ -1,0 +1,358 @@
+//! The durable checkpoint container.
+//!
+//! Layout (all little-endian, lengths LEB128):
+//!
+//! ```text
+//! magic    8 bytes   b"SSCCKPT\0"
+//! version  u16       FORMAT_VERSION
+//! checksum u64       FNV-1a 64 over the payload bytes
+//! payload:
+//!   algo      str    algorithm label ("cc1" | "cc2" | "cc3" | custom)
+//!   topology  bytes  `topology::encode_topology` blob
+//!   sim       bytes  `Sim::save_state` blob (includes the EngineConfig
+//!                    label, per-process states, observers, daemon + policy)
+//! ```
+//!
+//! Decoding is strict: bad magic, unknown version, checksum mismatch,
+//! truncation and trailing garbage are all distinct, reportable errors —
+//! a half-written checkpoint file fails closed instead of restoring a
+//! subtly wrong world.
+
+use crate::fnv1a64;
+use crate::topology::{decode_topology, encode_topology};
+use sscc_core::sim::{Cc1Sim, Cc2Sim, Cc3Sim, Sim};
+use sscc_core::CommitteeAlgorithm;
+use sscc_hypergraph::Hypergraph;
+use sscc_runtime::wire::{self, Reader, StateCodec};
+use sscc_token::TokenLayer;
+use std::fmt;
+use std::sync::Arc;
+
+/// Magic prefix of every checkpoint artifact.
+pub const MAGIC: [u8; 8] = *b"SSCCKPT\0";
+
+/// Current container format version. Bump on any layout change; decoders
+/// reject versions they do not understand rather than guessing.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Why a checkpoint failed to decode or restore.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The artifact does not start with [`MAGIC`] — not a checkpoint.
+    BadMagic,
+    /// The artifact declares a format version this build cannot read.
+    UnsupportedVersion(u16),
+    /// The payload checksum does not match the header.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the payload as read.
+        actual: u64,
+    },
+    /// The artifact ended early or a length field overran the buffer.
+    Truncated,
+    /// Structurally valid container, but the topology blob does not
+    /// describe a valid committee hypergraph.
+    BadTopology,
+    /// Structurally valid container, but the sim blob is inconsistent
+    /// (corrupt, or restored against the wrong algorithm pair).
+    BadSimState,
+    /// The caller asked for a typed restore (`restore_cc1` & co.) but the
+    /// checkpoint was captured from a different algorithm.
+    AlgoMismatch {
+        /// Label stored in the checkpoint.
+        found: String,
+        /// Label the typed restore expected.
+        expected: &'static str,
+    },
+    /// Filesystem error while reading or writing the artifact.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint format version {v}")
+            }
+            CheckpointError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: header {expected:#018x}, payload {actual:#018x}"
+            ),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated or malformed"),
+            CheckpointError::BadTopology => write!(f, "checkpoint topology is invalid"),
+            CheckpointError::BadSimState => write!(f, "checkpoint sim state is inconsistent"),
+            CheckpointError::AlgoMismatch { found, expected } => {
+                write!(f, "checkpoint holds a {found:?} run, expected {expected:?}")
+            }
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// A decoded (or freshly captured) checkpoint: the paired topology and sim
+/// blobs plus the algorithm label, independent of any byte container.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    algo: String,
+    topology: Vec<u8>,
+    sim: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Freeze a running sim. `None` when the sim's daemon or policy is a
+    /// custom type without persistence support.
+    ///
+    /// `algo` is a free-form label stored alongside the blobs; the typed
+    /// restore helpers ([`Checkpoint::restore_cc1`] & co.) check it, the
+    /// generic [`Checkpoint::restore`] ignores it.
+    pub fn capture<C, TL>(algo: &str, sim: &Sim<C, TL>) -> Option<Self>
+    where
+        C: CommitteeAlgorithm,
+        TL: TokenLayer,
+        C::State: StateCodec,
+        TL::State: StateCodec,
+    {
+        let mut sim_blob = Vec::new();
+        if !sim.save_state(&mut sim_blob) {
+            return None;
+        }
+        let mut topology = Vec::new();
+        encode_topology(sim.h(), &mut topology);
+        Some(Checkpoint {
+            algo: algo.to_string(),
+            topology,
+            sim: sim_blob,
+        })
+    }
+
+    /// [`Checkpoint::capture`] with the label the typed helpers expect.
+    pub fn capture_cc1(sim: &Cc1Sim) -> Option<Self> {
+        Self::capture("cc1", sim)
+    }
+
+    /// [`Checkpoint::capture`] with the label the typed helpers expect.
+    pub fn capture_cc2(sim: &Cc2Sim) -> Option<Self> {
+        Self::capture("cc2", sim)
+    }
+
+    /// [`Checkpoint::capture`] with the label the typed helpers expect.
+    pub fn capture_cc3(sim: &Cc3Sim) -> Option<Self> {
+        Self::capture("cc3", sim)
+    }
+
+    /// The algorithm label recorded at capture time.
+    pub fn algo(&self) -> &str {
+        &self.algo
+    }
+
+    /// Decode the topology the checkpoint was taken on.
+    pub fn topology(&self) -> Result<Hypergraph, CheckpointError> {
+        let mut r = Reader::new(&self.topology);
+        let h = decode_topology(&mut r).ok_or(CheckpointError::BadTopology)?;
+        if r.is_empty() {
+            Ok(h)
+        } else {
+            Err(CheckpointError::BadTopology)
+        }
+    }
+
+    /// Thaw into a running sim. The algorithm instances are built by the
+    /// callbacks once the stored topology is decoded (token layers need
+    /// the graph to dimension themselves).
+    pub fn restore<C, TL>(
+        &self,
+        make_cc: impl FnOnce(&Hypergraph) -> C,
+        make_tl: impl FnOnce(&Hypergraph) -> TL,
+    ) -> Result<Sim<C, TL>, CheckpointError>
+    where
+        C: CommitteeAlgorithm,
+        TL: TokenLayer,
+        C::State: Copy + StateCodec,
+        TL::State: Copy + StateCodec,
+    {
+        let h = Arc::new(self.topology()?);
+        let cc = make_cc(&h);
+        let tl = make_tl(&h);
+        Sim::restore(Arc::clone(&h), cc, tl, &self.sim).ok_or(CheckpointError::BadSimState)
+    }
+
+    fn check_algo(&self, expected: &'static str) -> Result<(), CheckpointError> {
+        if self.algo == expected {
+            Ok(())
+        } else {
+            Err(CheckpointError::AlgoMismatch {
+                found: self.algo.clone(),
+                expected,
+            })
+        }
+    }
+
+    /// Typed restore for the standard CC1 ∘ TC stack.
+    pub fn restore_cc1(&self) -> Result<Cc1Sim, CheckpointError> {
+        self.check_algo("cc1")?;
+        self.restore(|_| sscc_core::Cc1::new(), sscc_token::WaveToken::new)
+    }
+
+    /// Typed restore for the standard CC2 ∘ TC stack.
+    pub fn restore_cc2(&self) -> Result<Cc2Sim, CheckpointError> {
+        self.check_algo("cc2")?;
+        self.restore(|_| sscc_core::Cc2::new(), sscc_token::WaveToken::new)
+    }
+
+    /// Typed restore for the standard CC3 ∘ TC stack.
+    pub fn restore_cc3(&self) -> Result<Cc3Sim, CheckpointError> {
+        self.check_algo("cc3")?;
+        self.restore(|_| sscc_core::Cc3::new_cc3(), sscc_token::WaveToken::new)
+    }
+
+    /// Serialize to the durable container format (magic, version, FNV-1a 64
+    /// checksum, payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(self.topology.len() + self.sim.len() + 16);
+        wire::put_str(&mut payload, &self.algo);
+        wire::put_bytes(&mut payload, &self.topology);
+        wire::put_bytes(&mut payload, &self.sim);
+
+        let mut out = Vec::with_capacity(payload.len() + 18);
+        out.extend_from_slice(&MAGIC);
+        wire::put_u16(&mut out, FORMAT_VERSION);
+        wire::put_u64(&mut out, fnv1a64(&payload));
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Parse and verify a container produced by [`Checkpoint::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.take(MAGIC.len()).ok_or(CheckpointError::Truncated)?;
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u16().ok_or(CheckpointError::Truncated)?;
+        if version != FORMAT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let expected = r.u64().ok_or(CheckpointError::Truncated)?;
+        let payload = r.take(r.remaining()).expect("remaining take");
+        let actual = fnv1a64(payload);
+        if actual != expected {
+            return Err(CheckpointError::ChecksumMismatch { expected, actual });
+        }
+        let mut p = Reader::new(payload);
+        let algo = p.str().ok_or(CheckpointError::Truncated)?.to_string();
+        let topology = p.bytes().ok_or(CheckpointError::Truncated)?.to_vec();
+        let sim = p.bytes().ok_or(CheckpointError::Truncated)?.to_vec();
+        if !p.is_empty() {
+            return Err(CheckpointError::Truncated);
+        }
+        Ok(Checkpoint {
+            algo,
+            topology,
+            sim,
+        })
+    }
+
+    /// Atomically-ish write the container to `path` (write to a sibling
+    /// temp file, then rename): a crash mid-write leaves either the old
+    /// checkpoint or none, never a torn one.
+    pub fn save_file(&self, path: &std::path::Path) -> Result<(), CheckpointError> {
+        let tmp = path.with_extension("ckpt.tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and verify a container from `path`.
+    pub fn load_file(path: &std::path::Path) -> Result<Self, CheckpointError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sscc_hypergraph::generators;
+
+    fn sample() -> (Arc<Hypergraph>, Cc1Sim) {
+        let h = Arc::new(generators::fig2());
+        let mut sim = Cc1Sim::standard(Arc::clone(&h), 5, 1);
+        sim.run(200);
+        (h, sim)
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        let (_, sim) = sample();
+        let ckpt = Checkpoint::capture_cc1(&sim).unwrap();
+        let bytes = ckpt.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.algo(), "cc1");
+        let twin = back.restore_cc1().unwrap();
+        assert_eq!(twin.steps(), sim.steps());
+    }
+
+    #[test]
+    fn every_corruption_fails_closed() {
+        let (_, sim) = sample();
+        let bytes = Checkpoint::capture_cc1(&sim).unwrap().to_bytes();
+        // Bad magic.
+        let mut b = bytes.clone();
+        b[0] ^= 0xff;
+        assert!(matches!(
+            Checkpoint::from_bytes(&b),
+            Err(CheckpointError::BadMagic)
+        ));
+        // Unknown version.
+        let mut b = bytes.clone();
+        b[8] = 0xfe;
+        assert!(matches!(
+            Checkpoint::from_bytes(&b),
+            Err(CheckpointError::UnsupportedVersion(_))
+        ));
+        // One-bit payload flip → checksum mismatch.
+        let mut b = bytes.clone();
+        let last = b.len() - 1;
+        b[last] ^= 0x01;
+        assert!(matches!(
+            Checkpoint::from_bytes(&b),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+        // Truncations anywhere in the header region.
+        for cut in 0..18.min(bytes.len()) {
+            assert!(Checkpoint::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn typed_restore_checks_the_label() {
+        let (_, sim) = sample();
+        let ckpt = Checkpoint::capture_cc1(&sim).unwrap();
+        assert!(matches!(
+            ckpt.restore_cc2(),
+            Err(CheckpointError::AlgoMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (_, sim) = sample();
+        let ckpt = Checkpoint::capture_cc1(&sim).unwrap();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("sscc-persist-test-{}.ckpt", std::process::id()));
+        ckpt.save_file(&path).unwrap();
+        let back = Checkpoint::load_file(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back, ckpt);
+    }
+}

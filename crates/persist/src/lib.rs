@@ -1,0 +1,87 @@
+//! # sscc-persist
+//!
+//! Crash-recoverable checkpoints and deterministic replay for the SSCC
+//! coordination stack.
+//!
+//! The core crate knows how to freeze a running [`sscc_core::Sim`] into a
+//! flat byte blob ([`sscc_core::Sim::save_state`]) and thaw it into a
+//! bit-identical continuation ([`sscc_core::Sim::restore`]). This crate
+//! supplies everything around that seam:
+//!
+//! * [`topology`] — a codec for [`sscc_hypergraph::Hypergraph`], so a
+//!   checkpoint taken *after* dynamic mutations still carries the exact
+//!   world it was taken on;
+//! * [`container`] — the versioned, checksummed [`Checkpoint`] file format
+//!   pairing the topology blob, the engine configuration and the sim blob;
+//! * [`steptrace`] — a delta-compressed recording of executed actions
+//!   ([`StepTrace`]) small enough to ship alongside a checkpoint;
+//! * [`replay`] — a driver that re-executes a restored sim and verifies it
+//!   reproduces a recorded trace event for event, turning "it crashed at
+//!   step 48 231" into a debuggable, repeatable run.
+//!
+//! Everything is hand-rolled little-endian + LEB128 on top of
+//! [`sscc_runtime::wire`]; no serialization dependency, no unsafe, and every
+//! decoder is total — corrupt input yields an error, never a panic.
+//!
+//! ```
+//! use sscc_core::sim::Cc1Sim;
+//! use sscc_hypergraph::generators;
+//! use sscc_persist::Checkpoint;
+//! use std::sync::Arc;
+//!
+//! let h = Arc::new(generators::fig2());
+//! let mut sim = Cc1Sim::standard(Arc::clone(&h), 7, 1);
+//! sim.run(500);
+//!
+//! let ckpt = Checkpoint::capture_cc1(&sim).unwrap();
+//! let bytes = ckpt.to_bytes();                    // durable artifact
+//!
+//! let back = Checkpoint::from_bytes(&bytes).unwrap();
+//! let mut twin = back.restore_cc1().unwrap();     // fresh process, same run
+//! assert_eq!(twin.steps(), sim.steps());
+//! sim.run(500);
+//! twin.run(500);
+//! assert_eq!(sim.ledger().instances(), twin.ledger().instances());
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod container;
+pub mod replay;
+pub mod steptrace;
+pub mod topology;
+
+pub use container::{Checkpoint, CheckpointError, FORMAT_VERSION};
+pub use replay::{replay_trace, ReplayError, ReplayReport};
+pub use steptrace::{StepTrace, TraceDecodeError};
+pub use topology::{decode_topology, encode_topology};
+
+/// FNV-1a 64-bit checksum — the integrity primitive for every durable
+/// artifact in this crate. Not cryptographic; it guards against truncation,
+/// bit rot and torn writes, which is what a checkpoint needs.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fnv1a64;
+
+    #[test]
+    fn fnv_vectors() {
+        // Reference vectors for FNV-1a 64.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fnv_is_order_sensitive() {
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Deterministic replay.
+//!
+//! The whole stack — daemon, policy, engine scheduling — is deterministic
+//! given a seed, so a restored checkpoint re-executes the *exact* run it
+//! was cut from. The replay driver makes that checkable: re-run a restored
+//! sim and compare every executed action against a [`StepTrace`] recorded
+//! by the original process. A divergence pinpoints the first differing
+//! event — the debugging workflow for "the service crashed at step N".
+
+use crate::steptrace::StepTrace;
+use sscc_core::sim::Sim;
+use sscc_core::CommitteeAlgorithm;
+use sscc_runtime::prelude::TraceEvent;
+use sscc_token::TokenLayer;
+use std::fmt;
+
+/// A successful replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Steps executed by the driver.
+    pub steps_replayed: u64,
+    /// Events compared (and matched) against the recording.
+    pub events_matched: usize,
+}
+
+/// Why a replay failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The recording starts before the sim's current step — restore an
+    /// earlier checkpoint (or slice the trace with [`StepTrace::since`]).
+    TraceBeginsInThePast {
+        /// The sim's step counter at replay start.
+        sim_step: u64,
+        /// First recorded step.
+        first_recorded: u64,
+    },
+    /// The sim reached a terminal configuration before covering the
+    /// recording.
+    TerminatedEarly {
+        /// Step at which the sim went terminal.
+        at_step: u64,
+    },
+    /// The re-execution produced a different event sequence.
+    Diverged {
+        /// Index (within the compared window) of the first mismatch.
+        index: usize,
+        /// What the recording holds, if the replay ran short.
+        expected: Option<TraceEvent>,
+        /// What the replay produced, if it ran long.
+        got: Option<TraceEvent>,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::TraceBeginsInThePast {
+                sim_step,
+                first_recorded,
+            } => write!(
+                f,
+                "recording starts at step {first_recorded}, sim is already at {sim_step}"
+            ),
+            ReplayError::TerminatedEarly { at_step } => {
+                write!(
+                    f,
+                    "sim terminated at step {at_step} before covering the recording"
+                )
+            }
+            ReplayError::Diverged {
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "replay diverged at event {index}: expected {expected:?}, got {got:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Re-execute `sim` until it covers `recording`, verifying every executed
+/// action against it.
+///
+/// `sim` is typically fresh from [`Checkpoint::restore`](crate::Checkpoint::restore)
+/// [`crate::Checkpoint::restore`]; only the part of the recording at or
+/// after the sim's current step is compared (events before it are expected
+/// to live in the sim's own restored trace already). Tracing is enabled on
+/// the sim if it is not.
+pub fn replay_trace<C, TL>(
+    sim: &mut Sim<C, TL>,
+    recording: &StepTrace,
+) -> Result<ReplayReport, ReplayError>
+where
+    C: CommitteeAlgorithm,
+    TL: TokenLayer,
+{
+    let base = sim.steps();
+    if let Some(first) = recording.events().first() {
+        if first.step < base {
+            return Err(ReplayError::TraceBeginsInThePast {
+                sim_step: base,
+                first_recorded: first.step,
+            });
+        }
+    }
+    let Some(target) = recording.last_step() else {
+        return Ok(ReplayReport {
+            steps_replayed: 0,
+            events_matched: 0,
+        });
+    };
+    sim.enable_trace();
+    let mut steps_replayed = 0u64;
+    while sim.steps() <= target {
+        if !sim.step() {
+            return Err(ReplayError::TerminatedEarly {
+                at_step: sim.steps(),
+            });
+        }
+        steps_replayed += 1;
+    }
+    let got: Vec<TraceEvent> = sim
+        .trace()
+        .expect("tracing enabled above")
+        .events()
+        .iter()
+        .filter(|e| e.step >= base && e.step <= target)
+        .copied()
+        .collect();
+    let expected = recording.events();
+    for (i, pair) in expected
+        .iter()
+        .map(Some)
+        .chain(std::iter::repeat(None))
+        .zip(got.iter().map(Some).chain(std::iter::repeat(None)))
+        .take(expected.len().max(got.len()))
+        .enumerate()
+    {
+        match pair {
+            (Some(e), Some(g)) if e == g => continue,
+            (e, g) => {
+                return Err(ReplayError::Diverged {
+                    index: i,
+                    expected: e.copied(),
+                    got: g.copied(),
+                })
+            }
+        }
+    }
+    Ok(ReplayReport {
+        steps_replayed,
+        events_matched: expected.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Checkpoint;
+    use sscc_core::sim::Cc1Sim;
+    use sscc_hypergraph::generators;
+    use std::sync::Arc;
+
+    #[test]
+    fn restored_sim_replays_the_original_recording() {
+        let h = Arc::new(generators::fig2());
+        let mut sim = Cc1Sim::standard(Arc::clone(&h), 21, 1);
+        sim.enable_trace();
+        sim.run(250);
+        let ckpt = Checkpoint::capture_cc1(&sim).unwrap();
+        let cut = sim.steps();
+
+        // The "original process" runs on and records what it did.
+        sim.run(300);
+        let recording = StepTrace::from_trace(sim.trace().unwrap()).since(cut);
+        assert!(!recording.is_empty());
+
+        // A fresh process restores the checkpoint and replays.
+        let mut twin = ckpt.restore_cc1().unwrap();
+        let report = replay_trace(&mut twin, &recording).unwrap();
+        assert_eq!(report.events_matched, recording.len());
+        assert!(report.steps_replayed > 0);
+    }
+
+    #[test]
+    fn replay_survives_the_wire_format() {
+        let h = Arc::new(generators::ring(8, 2));
+        let mut sim = Cc1Sim::standard(Arc::clone(&h), 4, 2);
+        sim.enable_trace();
+        sim.run(150);
+        let ckpt_bytes = Checkpoint::capture_cc1(&sim).unwrap().to_bytes();
+        let cut = sim.steps();
+        sim.run(200);
+        let trace_bytes = StepTrace::from_trace(sim.trace().unwrap())
+            .since(cut)
+            .to_bytes();
+
+        let mut twin = Checkpoint::from_bytes(&ckpt_bytes)
+            .unwrap()
+            .restore_cc1()
+            .unwrap();
+        let recording = StepTrace::from_bytes(&trace_bytes).unwrap();
+        replay_trace(&mut twin, &recording).unwrap();
+    }
+
+    #[test]
+    fn a_tampered_recording_is_caught_as_divergence() {
+        let h = Arc::new(generators::fig2());
+        let mut sim = Cc1Sim::standard(Arc::clone(&h), 9, 1);
+        sim.enable_trace();
+        sim.run(100);
+        let ckpt = Checkpoint::capture_cc1(&sim).unwrap();
+        let cut = sim.steps();
+        sim.run(150);
+        let mut events = StepTrace::from_trace(sim.trace().unwrap())
+            .since(cut)
+            .events()
+            .to_vec();
+        assert!(!events.is_empty());
+        let mid = events.len() / 2;
+        events[mid].process = (events[mid].process + 1) % h.n();
+        let tampered = StepTrace::from_events(events);
+
+        let mut twin = ckpt.restore_cc1().unwrap();
+        match replay_trace(&mut twin, &tampered) {
+            Err(ReplayError::Diverged { index, .. }) => assert_eq!(index, mid),
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_recordings_are_rejected() {
+        let h = Arc::new(generators::fig2());
+        let mut sim = Cc1Sim::standard(Arc::clone(&h), 9, 1);
+        sim.enable_trace();
+        sim.run(100);
+        let full = StepTrace::from_trace(sim.trace().unwrap());
+        assert!(matches!(
+            replay_trace(&mut sim, &full),
+            Err(ReplayError::TraceBeginsInThePast { .. })
+        ));
+    }
+}

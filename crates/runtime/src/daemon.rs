@@ -100,6 +100,17 @@ pub trait Daemon {
     fn set_incremental_view(&mut self, on: bool) {
         let _ = on;
     }
+
+    /// Serialize the daemon's complete scheduling state — tag byte plus
+    /// payload — so [`restore_daemon`] can rebuild a daemon continuing the
+    /// *exact* selection stream (RNG words, ages, deadline queues and all).
+    /// Must only be called at a step boundary (per-step scratch is not
+    /// captured). Returns `false`, leaving `out` untouched, when the daemon
+    /// is not persistable — the default for custom daemons.
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        let _ = out;
+        false
+    }
 }
 
 /// The synchronous daemon: every enabled process moves every step.
@@ -118,6 +129,11 @@ impl Daemon for Synchronous {
         } else {
             Selection::All
         }
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        crate::wire::put_u8(out, TAG_SYNCHRONOUS);
+        true
     }
 }
 
@@ -152,6 +168,12 @@ impl Daemon for Central {
         let i = self.rng.random_range(0..enabled.len());
         // A singleton is trivially ascending and deduplicated.
         Selection::Sorted(vec![enabled[i]])
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        crate::wire::put_u8(out, TAG_CENTRAL);
+        put_rng(out, &self.rng);
+        true
     }
 }
 
@@ -201,6 +223,13 @@ impl Daemon for DistributedRandom {
         // A filter of the ascending enabled slice stays ascending (and the
         // fallback singleton trivially is).
         Selection::Sorted(picked)
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        crate::wire::put_u8(out, TAG_DISTRIBUTED);
+        put_rng(out, &self.rng);
+        crate::wire::put_u64(out, self.p.to_bits());
+        true
     }
 }
 
@@ -533,6 +562,10 @@ impl<D: Daemon> Daemon for WeaklyFair<D> {
         self.set_incremental(on);
         self.inner.set_incremental_view(on);
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        write_wf_wrapper(self, out)
+    }
 }
 
 /// A scripted (adversarial) daemon: replays a fixed schedule of selections,
@@ -572,6 +605,15 @@ impl Daemon for Scripted {
         }
         enabled.to_vec()
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        crate::wire::put_u8(out, TAG_SCRIPTED);
+        crate::wire::put_usize(out, self.script.len());
+        for sel in &self.script {
+            crate::wire::put_usize_slice(out, sel);
+        }
+        true
+    }
 }
 
 /// Round-robin central daemon: deterministically activates the enabled
@@ -603,6 +645,222 @@ impl Daemon for RoundRobin {
         };
         self.last = next;
         Selection::Sorted(vec![next])
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        crate::wire::put_u8(out, TAG_ROUND_ROBIN);
+        crate::wire::put_usize(out, self.last);
+        true
+    }
+}
+
+// --- Persistence -------------------------------------------------------
+//
+// Closed-world daemon serialization: each shipped daemon writes a tag byte
+// plus its full state, and `restore_daemon` rebuilds the matching concrete
+// type behind a fresh `Box<dyn Daemon>`. `WeaklyFair<D>` recursively saves
+// its inner daemon's bytes and restore re-monomorphizes from the inner tag
+// (one wrapper level deep — a `WeaklyFair<WeaklyFair<_>>` is not
+// persistable, and nothing in the workspace builds one).
+
+const TAG_SYNCHRONOUS: u8 = 1;
+const TAG_CENTRAL: u8 = 2;
+const TAG_DISTRIBUTED: u8 = 3;
+const TAG_ROUND_ROBIN: u8 = 4;
+const TAG_SCRIPTED: u8 = 5;
+const TAG_WEAKLY_FAIR: u8 = 6;
+
+fn put_rng(out: &mut Vec<u8>, rng: &StdRng) {
+    for w in rng.state() {
+        crate::wire::put_u64(out, w);
+    }
+}
+
+fn read_rng(r: &mut crate::wire::Reader) -> Option<StdRng> {
+    let mut s = [0u64; 4];
+    for w in &mut s {
+        *w = r.u64()?;
+    }
+    Some(StdRng::from_state(s))
+}
+
+/// Shared shape of a serialized [`WeaklyFair`] wrapper, independent of the
+/// inner daemon's type.
+struct WfState {
+    bound: usize,
+    ages: Vec<(usize, usize)>,
+    incremental: bool,
+    now: u64,
+    global_break: u64,
+    member: Vec<bool>,
+    enabled_at: Vec<u64>,
+    break_at: Vec<u64>,
+    has_token: Vec<bool>,
+    tokens: Vec<(u64, usize)>,
+}
+
+impl WfState {
+    fn read(r: &mut crate::wire::Reader) -> Option<Self> {
+        let bound = r.usize()?;
+        let n_ages = r.usize()?;
+        if n_ages > r.remaining() / 16 {
+            return None;
+        }
+        let ages = (0..n_ages)
+            .map(|_| Some((r.usize()?, r.usize()?)))
+            .collect::<Option<Vec<_>>>()?;
+        let incremental = r.bool()?;
+        let now = r.u64()?;
+        let global_break = r.u64()?;
+        let member = r.bool_vec()?;
+        let enabled_at = r.u64_vec()?;
+        let break_at = r.u64_vec()?;
+        let has_token = r.bool_vec()?;
+        if enabled_at.len() != member.len()
+            || break_at.len() != member.len()
+            || has_token.len() != member.len()
+        {
+            return None;
+        }
+        let n_tokens = r.usize()?;
+        if n_tokens > r.remaining() / 16 {
+            return None;
+        }
+        let tokens = (0..n_tokens)
+            .map(|_| Some((r.u64()?, r.usize()?)))
+            .collect::<Option<Vec<_>>>()?;
+        Some(WfState {
+            bound,
+            ages,
+            incremental,
+            now,
+            global_break,
+            member,
+            enabled_at,
+            break_at,
+            has_token,
+            tokens,
+        })
+    }
+
+    fn rebuild<D: Daemon>(self, inner: D) -> WeaklyFair<D> {
+        let mut wf = WeaklyFair::new(inner, self.bound);
+        if let Some(n) = self.ages.iter().map(|&(p, _)| p + 1).max() {
+            wf.reserve(n);
+        }
+        for (p, a) in self.ages {
+            wf.age[p] = a;
+            wf.nonzero.push(p);
+        }
+        wf.incremental = self.incremental;
+        wf.now = self.now;
+        wf.global_break = self.global_break;
+        wf.member = self.member;
+        wf.enabled_at = self.enabled_at;
+        wf.break_at = self.break_at;
+        wf.has_token = self.has_token;
+        wf.tokens = self.tokens.into_iter().map(Reverse).collect();
+        wf
+    }
+}
+
+/// Write the complete state of a supported daemon and answer whether it
+/// succeeded — the shared body behind each concrete `save_state` override.
+fn write_wf_wrapper<D: Daemon>(wf: &WeaklyFair<D>, out: &mut Vec<u8>) -> bool {
+    use crate::wire::{
+        put_bool, put_bool_slice, put_bytes, put_u64, put_u64_slice, put_u8, put_usize,
+    };
+    let mut inner = Vec::new();
+    if !wf.inner.save_state(&mut inner) {
+        return false;
+    }
+    put_u8(out, TAG_WEAKLY_FAIR);
+    put_usize(out, wf.bound);
+    // Rescan-mode ages, sparse: only nonzero entries exist. Sorted by
+    // process so the encoding is a pure function of the logical state (the
+    // nonzero list's order is unobservable).
+    let mut ages: Vec<(usize, usize)> = wf.nonzero.iter().map(|&p| (p, wf.age[p])).collect();
+    ages.sort_unstable();
+    put_usize(out, ages.len());
+    for (p, a) in ages {
+        put_usize(out, p);
+        put_usize(out, a);
+    }
+    // Incremental-mode bookkeeping. Per-step scratch (`in_picked`,
+    // `in_enabled`, `forced`) is empty at step boundaries and skipped.
+    put_bool(out, wf.incremental);
+    put_u64(out, wf.now);
+    put_u64(out, wf.global_break);
+    put_bool_slice(out, &wf.member);
+    put_u64_slice(out, &wf.enabled_at);
+    put_u64_slice(out, &wf.break_at);
+    put_bool_slice(out, &wf.has_token);
+    // The deadline queue as a sorted multiset: heap-internal layout is
+    // irrelevant (pops are fully ordered by `(deadline, p)`).
+    let mut tokens: Vec<(u64, usize)> = wf.tokens.iter().map(|&Reverse(t)| t).collect();
+    tokens.sort_unstable();
+    put_usize(out, tokens.len());
+    for (deadline, p) in tokens {
+        put_u64(out, deadline);
+        put_usize(out, p);
+    }
+    put_bytes(out, &inner);
+    true
+}
+
+/// Rebuild a daemon serialized by [`Daemon::save_state`]. Closed world:
+/// only the daemons shipped by this module restore (a custom daemon that
+/// overrides `save_state` cannot be rebuilt here and checkpointing should
+/// keep returning `false` for it). `None` on truncated, corrupted, or
+/// unknown-tag input.
+pub fn restore_daemon(bytes: &[u8]) -> Option<Box<dyn Daemon>> {
+    let mut r = crate::wire::Reader::new(bytes);
+    let d = read_daemon(&mut r)?;
+    r.is_empty().then_some(d)
+}
+
+fn read_daemon(r: &mut crate::wire::Reader) -> Option<Box<dyn Daemon>> {
+    match r.u8()? {
+        TAG_SYNCHRONOUS => Some(Box::new(Synchronous)),
+        TAG_CENTRAL => Some(Box::new(Central { rng: read_rng(r)? })),
+        TAG_DISTRIBUTED => {
+            let rng = read_rng(r)?;
+            let p = f64::from_bits(r.u64()?);
+            (p > 0.0 && p <= 1.0).then(|| Box::new(DistributedRandom { rng, p }) as _)
+        }
+        TAG_ROUND_ROBIN => Some(Box::new(RoundRobin { last: r.usize()? })),
+        TAG_SCRIPTED => {
+            let n = r.usize()?;
+            if n > r.remaining() {
+                return None;
+            }
+            let script = (0..n).map(|_| r.usize_vec()).collect::<Option<Vec<_>>>()?;
+            Some(Box::new(Scripted::new(script)))
+        }
+        TAG_WEAKLY_FAIR => {
+            let st = WfState::read(r)?;
+            let mut inner = crate::wire::Reader::new(r.bytes()?);
+            let d: Box<dyn Daemon> = match inner.u8()? {
+                TAG_SYNCHRONOUS => Box::new(st.rebuild(Synchronous)),
+                TAG_CENTRAL => Box::new(st.rebuild(Central {
+                    rng: read_rng(&mut inner)?,
+                })),
+                TAG_DISTRIBUTED => {
+                    let rng = read_rng(&mut inner)?;
+                    let p = f64::from_bits(inner.u64()?);
+                    if !(p > 0.0 && p <= 1.0) {
+                        return None;
+                    }
+                    Box::new(st.rebuild(DistributedRandom { rng, p }))
+                }
+                TAG_ROUND_ROBIN => Box::new(st.rebuild(RoundRobin {
+                    last: inner.usize()?,
+                })),
+                _ => return None,
+            };
+            inner.is_empty().then_some(d)
+        }
+        _ => None,
     }
 }
 
@@ -774,5 +1032,93 @@ mod tests {
         assert_eq!(d.select(&[0, 5, 9]), vec![5], "first index > 0... is 5");
         assert_eq!(d.select(&[0, 5, 9]), vec![9]);
         assert_eq!(d.select(&[0, 5, 9]), vec![0], "wraps past the max");
+    }
+
+    /// Drive a daemon mid-stream, save it, and check the restored daemon
+    /// continues the *exact* selection stream the original would have.
+    fn assert_save_restore_continues(mut d: Box<dyn Daemon>, label: &str) {
+        let enabled: Vec<usize> = (0..12).collect();
+        for _ in 0..10 {
+            d.select(&enabled);
+        }
+        let mut bytes = Vec::new();
+        assert!(d.save_state(&mut bytes), "{label}: must be persistable");
+        let mut twin = restore_daemon(&bytes).unwrap_or_else(|| panic!("{label}: restore"));
+        for step in 0..25 {
+            assert_eq!(
+                d.select(&enabled),
+                twin.select(&enabled),
+                "{label}: selections diverge at post-restore step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn save_restore_continues_selection_stream() {
+        assert_save_restore_continues(Box::new(Synchronous), "synchronous");
+        assert_save_restore_continues(Box::new(Central::new(7)), "central");
+        assert_save_restore_continues(Box::new(DistributedRandom::new(3, 0.4)), "distributed");
+        assert_save_restore_continues(Box::new(RoundRobin::default()), "round-robin");
+        assert_save_restore_continues(
+            Box::new(Scripted::new((0..20).map(|i| vec![i % 12, (i + 3) % 12]))),
+            "scripted",
+        );
+        assert_save_restore_continues(
+            Box::new(WeaklyFair::new(DistributedRandom::new(11, 0.2), 4)),
+            "weakly-fair(distributed)",
+        );
+        assert_save_restore_continues(
+            Box::new(WeaklyFair::new(Central::new(5), 2)),
+            "weakly-fair(central)",
+        );
+    }
+
+    #[test]
+    fn save_restore_incremental_weakly_fair() {
+        // The incremental (delta-fed) mode carries the deadline queue and
+        // timestamps across the checkpoint.
+        let enabled: Vec<usize> = (0..8).collect();
+        let mut d = WeaklyFair::new(Central::new(9), 3);
+        d.set_incremental(true);
+        d.observe_delta(&enabled, &[]);
+        for _ in 0..7 {
+            d.select(&enabled);
+        }
+        let mut bytes = Vec::new();
+        assert!(d.save_state(&mut bytes));
+        let mut twin = restore_daemon(&bytes).unwrap();
+        assert!(twin.wants_view(), "incremental flag survives");
+        for step in 0..20 {
+            d.observe_delta(&[], &[]);
+            twin.observe_delta(&[], &[]);
+            assert_eq!(d.select(&enabled), twin.select(&enabled), "step {step}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        assert!(restore_daemon(&[]).is_none(), "empty");
+        assert!(restore_daemon(&[0xff]).is_none(), "unknown tag");
+        let mut bytes = Vec::new();
+        assert!(Central::new(1).save_state(&mut bytes));
+        assert!(
+            restore_daemon(&bytes[..bytes.len() - 1]).is_none(),
+            "truncated"
+        );
+        bytes.push(0);
+        assert!(restore_daemon(&bytes).is_none(), "trailing bytes");
+    }
+
+    #[test]
+    fn custom_daemons_are_not_persistable_by_default() {
+        struct Custom;
+        impl Daemon for Custom {
+            fn select(&mut self, enabled: &[usize]) -> Vec<usize> {
+                enabled.to_vec()
+            }
+        }
+        let mut out = vec![1, 2, 3];
+        assert!(!Custom.save_state(&mut out));
+        assert_eq!(out, vec![1, 2, 3], "default leaves the buffer untouched");
     }
 }

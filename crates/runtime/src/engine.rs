@@ -530,6 +530,30 @@ impl<A: GuardedAlgorithm> World<A> {
         self.notes_stale
     }
 
+    /// Persistence seam: the scheduler's enabled-observation mirror, one
+    /// flag per process (was `p` enabled at the last view-delta drain?).
+    /// Captured at a step boundary and restored with
+    /// [`World::restore_observation`], it makes a rebuilt world's first
+    /// view-delta drain empty instead of reporting every enabled process
+    /// as newly enabled — the property that lets incremental daemons
+    /// resume bit-identically.
+    pub fn observation_snapshot(&self) -> Vec<bool> {
+        self.sched.obs.clone()
+    }
+
+    /// Persistence seam: restore the observation mirror captured by
+    /// [`World::observation_snapshot`]. Only meaningful on a freshly
+    /// rebuilt world (before its first step); panics on a length mismatch.
+    pub fn restore_observation(&mut self, obs: &[bool]) {
+        assert_eq!(obs.len(), self.sched.obs.len(), "observation length");
+        self.sched.obs.copy_from_slice(obs);
+    }
+
+    /// Persistence seam: restore the step counter of a checkpointed run.
+    pub fn set_step_count(&mut self, steps: u64) {
+        self.steps = steps;
+    }
+
     /// Force full guard re-evaluation every step (the naive `O(n)` path the
     /// incremental scheduler is differentially tested against) — the
     /// [`EvalPath::FullScan`] arm of [`World::configure`].

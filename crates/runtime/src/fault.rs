@@ -12,7 +12,7 @@ use crate::algorithm::GuardedAlgorithm;
 use crate::engine::World;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sscc_hypergraph::Hypergraph;
+use sscc_hypergraph::{Hypergraph, MutationBias};
 
 /// States that can be sampled uniformly from their whole domain.
 ///
@@ -131,19 +131,74 @@ pub struct FaultCampaign {
     rng: StdRng,
     fault_every: u64,
     churn_every: u64,
+    bias: MutationBias,
 }
 
 impl FaultCampaign {
     /// A campaign striking every `fault_every` steps and proposing a
     /// mutation every `churn_every` steps (`0` disables that event kind;
     /// step 0 is never disrupted — the boot configuration is the first
-    /// disruption already).
+    /// disruption already). Churn proposals are unbiased; see
+    /// [`FaultCampaign::with_bias`].
     pub fn new(seed: u64, fault_every: u64, churn_every: u64) -> Self {
         FaultCampaign {
             rng: StdRng::seed_from_u64(seed ^ 0x00c0_ffee_c0de_f00d),
             fault_every,
             churn_every,
+            bias: MutationBias::Balanced,
         }
+    }
+
+    /// Restrict the campaign's churn proposals to one structural direction.
+    /// Drivers honor this by drawing Churn-event proposals through
+    /// [`sscc_hypergraph::random_mutation_with_bias`] with
+    /// [`FaultCampaign::bias`].
+    pub fn with_bias(mut self, bias: MutationBias) -> Self {
+        self.bias = bias;
+        self
+    }
+
+    /// The mutation bias drivers must apply to this campaign's churn.
+    pub fn bias(&self) -> MutationBias {
+        self.bias
+    }
+
+    /// Persistence seam: serialize the campaign mid-run (rng stream
+    /// position, periods, bias) so a restored run polls the exact same
+    /// event schedule the uninterrupted campaign would have produced.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        crate::wire::put_u64_slice(out, &self.rng.state());
+        crate::wire::put_u64(out, self.fault_every);
+        crate::wire::put_u64(out, self.churn_every);
+        crate::wire::put_u8(
+            out,
+            match self.bias {
+                MutationBias::Balanced => 0,
+                MutationBias::GrowOnly => 1,
+                MutationBias::ShrinkOnly => 2,
+            },
+        );
+    }
+
+    /// Rebuild a campaign serialized by [`FaultCampaign::save_state`];
+    /// `None` on truncated or corrupted input.
+    pub fn restore_state(r: &mut crate::wire::Reader) -> Option<Self> {
+        let words = r.u64_vec()?;
+        let state: [u64; 4] = words.try_into().ok()?;
+        let fault_every = r.u64()?;
+        let churn_every = r.u64()?;
+        let bias = match r.u8()? {
+            0 => MutationBias::Balanced,
+            1 => MutationBias::GrowOnly,
+            2 => MutationBias::ShrinkOnly,
+            _ => return None,
+        };
+        Some(FaultCampaign {
+            rng: StdRng::from_state(state),
+            fault_every,
+            churn_every,
+            bias,
+        })
     }
 
     /// The disruptions scheduled for step `step`, in a fixed order
@@ -248,6 +303,30 @@ mod tests {
             .iter()
             .all(|e| matches!(e, CampaignEvent::Churn { .. })));
         assert_eq!(events.len(), 3);
+    }
+
+    #[test]
+    fn campaign_bias_defaults_balanced_and_is_carried() {
+        let c = FaultCampaign::new(3, 2, 2);
+        assert_eq!(c.bias(), MutationBias::Balanced);
+        let c = c.with_bias(MutationBias::GrowOnly);
+        assert_eq!(c.bias(), MutationBias::GrowOnly);
+    }
+
+    #[test]
+    fn campaign_save_restore_continues_the_schedule() {
+        let mut c = FaultCampaign::new(17, 3, 5).with_bias(MutationBias::ShrinkOnly);
+        let prefix: Vec<_> = (0..10).flat_map(|t| c.poll(t)).collect();
+        assert!(!prefix.is_empty());
+        let mut bytes = Vec::new();
+        c.save_state(&mut bytes);
+        let mut twin = FaultCampaign::restore_state(&mut crate::wire::Reader::new(&bytes)).unwrap();
+        assert_eq!(twin.bias(), MutationBias::ShrinkOnly);
+        for t in 10..40 {
+            assert_eq!(c.poll(t), twin.poll(t), "step {t}");
+        }
+        // Corrupted input is rejected, not mis-parsed.
+        assert!(FaultCampaign::restore_state(&mut crate::wire::Reader::new(&bytes[..9])).is_none());
     }
 
     #[test]

@@ -63,7 +63,9 @@ pub mod fault;
 pub mod markset;
 pub mod pool;
 pub mod rounds;
+pub mod seal;
 pub mod trace;
+pub mod wire;
 
 /// One-line import for downstream crates and examples.
 pub mod prelude {
@@ -72,8 +74,8 @@ pub mod prelude {
     pub use crate::config::{ConfigError, Drain, EngineConfig, EvalPath, Mode, ModeRegistry};
     pub use crate::ctx::{Ctx, DynCtx, SliceAccess, StateAccess};
     pub use crate::daemon::{
-        Central, Daemon, DistributedRandom, RoundRobin, Scripted, Selection, Synchronous,
-        WeaklyFair,
+        restore_daemon, Central, Daemon, DistributedRandom, RoundRobin, Scripted, Selection,
+        Synchronous, WeaklyFair,
     };
     pub use crate::engine::{CommitStrategy, StepOutcome, World};
     pub use crate::fault::{
@@ -82,5 +84,8 @@ pub mod prelude {
     pub use crate::markset::MarkSet;
     pub use crate::pool::WorkerPool;
     pub use crate::rounds::RoundTracker;
-    pub use crate::trace::{Trace, TraceEvent};
+    pub use crate::seal::SealCache;
+    pub use crate::trace::{Trace, TraceEvent, TraceSnapshot};
+    pub use crate::wire::StateCodec;
+    pub use sscc_hypergraph::MutationBias;
 }

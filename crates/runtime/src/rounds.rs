@@ -88,6 +88,23 @@ impl RoundTracker {
             self.pending.extend_from_slice(enabled);
         }
     }
+
+    /// Persistence seam: serialize the tracker's complete state.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        crate::wire::put_usize_slice(out, &self.pending);
+        crate::wire::put_u64(out, self.rounds);
+        crate::wire::put_bool(out, self.started);
+    }
+
+    /// Rebuild a tracker serialized by [`RoundTracker::save_state`];
+    /// `None` on truncated or corrupted input.
+    pub fn restore_state(r: &mut crate::wire::Reader) -> Option<Self> {
+        Some(RoundTracker {
+            pending: r.usize_vec()?,
+            rounds: r.u64()?,
+            started: r.bool()?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +154,29 @@ mod tests {
         rt.record_executed(&[0, 1, 2]);
         rt.begin_step(&[0, 1, 2]);
         assert_eq!(rt.rounds(), 2);
+    }
+
+    #[test]
+    fn save_restore_roundtrips_mid_round() {
+        let mut rt = RoundTracker::new();
+        rt.begin_step(&[0, 1, 2, 3]);
+        rt.record_executed(&[1, 3]);
+        let mut bytes = Vec::new();
+        rt.save_state(&mut bytes);
+        let mut twin = RoundTracker::restore_state(&mut crate::wire::Reader::new(&bytes)).unwrap();
+        assert_eq!(twin.rounds(), rt.rounds());
+        assert_eq!(
+            twin.pending().collect::<Vec<_>>(),
+            rt.pending().collect::<Vec<_>>()
+        );
+        // Both trackers close the round at the same future step.
+        for t in [&mut rt, &mut twin] {
+            t.begin_step(&[0, 2]);
+            t.record_executed(&[0, 2]);
+            t.begin_step(&[0, 2]);
+        }
+        assert_eq!(rt.rounds(), twin.rounds());
+        assert_eq!(rt.rounds(), 1);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Sealed-segment caches: the mechanism behind **online snapshots**.
+//!
+//! Observers like the meeting ledger and the execution trace grow
+//! append-mostly histories: past entries become immutable while a small
+//! live tail keeps changing. Serializing such a history from scratch on
+//! every checkpoint costs `O(history)` — unacceptable inside a service
+//! tick loop whose steps are microseconds.
+//!
+//! A [`SealCache`] keeps the wire encoding of the immutable prefix as a
+//! list of shared, immutable segments (`Arc<[u8]>`). Extending the seal
+//! encodes only the entries that became immutable since the last capture;
+//! a snapshot then *references* the segments (an `Arc` clone each) instead
+//! of copying or re-encoding them. Assembling the full flat blob — a
+//! `memcpy` per segment — happens in `to_bytes`, off the engine's critical
+//! path.
+//!
+//! The owner is responsible for *invalidating* the cache ([`SealCache::reset`])
+//! whenever a supposedly-immutable entry is rewritten in place (the ledger
+//! does this when a topology mutation remaps historical edge ids).
+
+use std::sync::Arc;
+
+/// The encoded immutable prefix of a growing sequence, in order, as
+/// shared segments. `covered` counts the *entries* (not bytes) sealed so
+/// far; the caller provides the entry encoding.
+#[derive(Clone, Debug, Default)]
+pub struct SealCache {
+    covered: usize,
+    segments: Vec<Arc<[u8]>>,
+}
+
+impl SealCache {
+    /// An empty cache (nothing sealed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many entries the sealed segments encode.
+    pub fn covered(&self) -> usize {
+        self.covered
+    }
+
+    /// The sealed segments, oldest first. Concatenated, they are exactly
+    /// the wire encoding of entries `0..covered()`.
+    pub fn segments(&self) -> &[Arc<[u8]>] {
+        &self.segments
+    }
+
+    /// Total sealed bytes.
+    pub fn bytes(&self) -> usize {
+        self.segments.iter().map(|s| s.len()).sum()
+    }
+
+    /// Drop everything sealed (entries were rewritten in place; the next
+    /// seal re-encodes from entry 0).
+    pub fn reset(&mut self) {
+        self.covered = 0;
+        self.segments.clear();
+    }
+
+    /// Seal entries `covered()..upto`: `encode` must append exactly their
+    /// wire encoding to the buffer it is given. No-op when `upto` is not
+    /// ahead of the seal.
+    pub fn extend_to(&mut self, upto: usize, encode: impl FnOnce(&mut Vec<u8>)) {
+        if upto <= self.covered {
+            return;
+        }
+        let mut buf = Vec::new();
+        encode(&mut buf);
+        if !buf.is_empty() {
+            self.segments.push(Arc::from(buf.into_boxed_slice()));
+        }
+        self.covered = upto;
+    }
+}
+
+/// Bulk-copy a slice into a fresh `Vec` through the guaranteed `memcpy`
+/// path. The generic `to_vec` / `extend_from_slice` lower to an
+/// elementwise clone loop for the engine's composed state types under
+/// the current toolchain — an order of magnitude slower than `memcpy`
+/// at snapshot cadence (~10 µs vs ~1 µs for 1536 × 32 B states) — so
+/// the capture path copies explicitly.
+pub fn memcpy_vec<T: Copy>(src: &[T]) -> Vec<T> {
+    let mut v = Vec::with_capacity(src.len());
+    // SAFETY: `T: Copy`, the allocation holds `src.len()` elements, and
+    // `copy_nonoverlapping` initializes every one of them before the
+    // length is set.
+    unsafe {
+        std::ptr::copy_nonoverlapping(src.as_ptr(), v.as_mut_ptr(), src.len());
+        v.set_len(src.len());
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire;
+
+    #[test]
+    fn sealing_accumulates_segments_in_order() {
+        let data: Vec<u64> = (0..100).map(|i| i * 7).collect();
+        let mut seal = SealCache::new();
+        let mut flat = Vec::new();
+        for &x in &data {
+            wire::put_u64(&mut flat, x);
+        }
+        // Seal in three uneven waves.
+        for upto in [13usize, 13, 61, 100] {
+            let covered = seal.covered();
+            seal.extend_to(upto, |buf| {
+                for &x in &data[covered..upto] {
+                    wire::put_u64(buf, x);
+                }
+            });
+        }
+        assert_eq!(seal.covered(), 100);
+        let joined: Vec<u8> = seal
+            .segments()
+            .iter()
+            .flat_map(|s| s.iter().copied())
+            .collect();
+        assert_eq!(joined, flat, "segments concatenate to the flat encoding");
+        assert_eq!(seal.bytes(), flat.len());
+    }
+
+    #[test]
+    fn reset_drops_everything() {
+        let mut seal = SealCache::new();
+        seal.extend_to(5, |buf| buf.extend_from_slice(b"hello"));
+        assert_eq!(seal.covered(), 5);
+        assert_eq!(seal.bytes(), 5);
+        seal.reset();
+        assert_eq!(seal.covered(), 0);
+        assert!(seal.segments().is_empty());
+    }
+
+    #[test]
+    fn memcpy_vec_is_a_faithful_copy() {
+        let src: Vec<(u32, bool)> = (0..257).map(|i| (i * 3, i % 2 == 0)).collect();
+        assert_eq!(memcpy_vec(&src), src);
+        let empty: Vec<u64> = Vec::new();
+        assert!(memcpy_vec(&empty).is_empty());
+    }
+
+    #[test]
+    fn empty_extension_adds_no_segment() {
+        let mut seal = SealCache::new();
+        seal.extend_to(3, |_| {});
+        assert_eq!(seal.covered(), 3);
+        assert!(seal.segments().is_empty(), "no zero-length segments");
+    }
+}

@@ -1,0 +1,411 @@
+//! Hand-rolled byte (de)serialization primitives for the persistence
+//! subsystem.
+//!
+//! The build environment has no serde, so every checkpointable type writes
+//! itself through these little-endian helpers (the binary twin of
+//! `bench_json.rs`'s hand-rolled JSON). Readers are total: every decode
+//! returns `Option` and a truncated or corrupted buffer surfaces as `None`,
+//! never a panic — checkpoints come from disk and disks lie.
+
+use sscc_hypergraph::EdgeId;
+
+/// Append a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a `u16` (little-endian).
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u32` (little-endian).
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` (little-endian).
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `bool` as one byte.
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+/// Append a `usize` as a `u64`.
+pub fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+/// Append an LEB128 varint (the compressed integer encoding the step-trace
+/// recorder uses for selected-set and flag-flip deltas).
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a length-prefixed byte blob.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_usize(out, bytes.len());
+    out.extend_from_slice(bytes);
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// Append a length-prefixed `usize` slice.
+pub fn put_usize_slice(out: &mut Vec<u8>, v: &[usize]) {
+    put_usize(out, v.len());
+    for &x in v {
+        put_usize(out, x);
+    }
+}
+
+/// Append a length-prefixed `bool` slice.
+pub fn put_bool_slice(out: &mut Vec<u8>, v: &[bool]) {
+    put_usize(out, v.len());
+    for &b in v {
+        put_bool(out, b);
+    }
+}
+
+/// Append a length-prefixed `u64` slice.
+pub fn put_u64_slice(out: &mut Vec<u8>, v: &[u64]) {
+    put_usize(out, v.len());
+    for &x in v {
+        put_u64(out, x);
+    }
+}
+
+/// Append a length-prefixed `Option<u64>` slice (policy timer vectors).
+pub fn put_opt_u64_slice(out: &mut Vec<u8>, v: &[Option<u64>]) {
+    put_usize(out, v.len());
+    for x in v {
+        x.encode(out);
+    }
+}
+
+/// A bounds-checked cursor over a byte buffer; every read is total.
+#[derive(Clone, Copy, Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Has every byte been consumed?
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Take the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// Read a `bool` (rejecting anything but 0/1).
+    pub fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Read a `usize` (stored as `u64`; rejects values over `usize::MAX`).
+    pub fn usize(&mut self) -> Option<usize> {
+        usize::try_from(self.u64()?).ok()
+    }
+
+    /// Read an LEB128 varint.
+    pub fn varint(&mut self) -> Option<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 64 {
+                return None;
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Some(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read a length-prefixed byte blob.
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Option<&'a str> {
+        std::str::from_utf8(self.bytes()?).ok()
+    }
+
+    /// Read a length-prefixed `usize` slice.
+    pub fn usize_vec(&mut self) -> Option<Vec<usize>> {
+        let n = self.usize()?;
+        if n > self.remaining() / 8 {
+            return None;
+        }
+        (0..n).map(|_| self.usize()).collect()
+    }
+
+    /// Read a length-prefixed `bool` slice.
+    pub fn bool_vec(&mut self) -> Option<Vec<bool>> {
+        let n = self.usize()?;
+        if n > self.remaining() {
+            return None;
+        }
+        (0..n).map(|_| self.bool()).collect()
+    }
+
+    /// Read a length-prefixed `u64` slice.
+    pub fn u64_vec(&mut self) -> Option<Vec<u64>> {
+        let n = self.usize()?;
+        if n > self.remaining() / 8 {
+            return None;
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    /// Read a length-prefixed `Option<u64>` slice.
+    pub fn opt_u64_vec(&mut self) -> Option<Vec<Option<u64>>> {
+        let n = self.usize()?;
+        if n > self.remaining() {
+            return None;
+        }
+        (0..n).map(|_| Option::<u64>::decode(self)).collect()
+    }
+}
+
+/// Per-process state (de)serialization, implemented by each layer crate for
+/// its own state struct so the checkpoint writer stays generic over the
+/// composed algorithm. Encodings must be fixed given the value — a decode
+/// of an encode is the identical state, bit for bit.
+pub trait StateCodec: Sized {
+    /// Append this state to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decode one state; `None` on truncated/invalid input.
+    fn decode(r: &mut Reader) -> Option<Self>;
+}
+
+impl StateCodec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_bool(out, *self);
+    }
+    fn decode(r: &mut Reader) -> Option<Self> {
+        r.bool()
+    }
+}
+
+impl StateCodec for u16 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u16(out, *self);
+    }
+    fn decode(r: &mut Reader) -> Option<Self> {
+        r.u16()
+    }
+}
+
+impl StateCodec for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, *self);
+    }
+    fn decode(r: &mut Reader) -> Option<Self> {
+        r.u32()
+    }
+}
+
+impl StateCodec for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, *self);
+    }
+    fn decode(r: &mut Reader) -> Option<Self> {
+        r.u64()
+    }
+}
+
+impl StateCodec for crate::compose::Layer {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u8(out, matches!(self, crate::compose::Layer::B).into());
+    }
+    fn decode(r: &mut Reader) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(crate::compose::Layer::A),
+            1 => Some(crate::compose::Layer::B),
+            _ => None,
+        }
+    }
+}
+
+impl StateCodec for EdgeId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.0);
+    }
+    fn decode(r: &mut Reader) -> Option<Self> {
+        Some(EdgeId(r.u32()?))
+    }
+}
+
+impl<T: StateCodec> StateCodec for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => put_u8(out, 0),
+            Some(v) => {
+                put_u8(out, 1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(None),
+            1 => Some(Some(T::decode(r)?)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 7);
+        put_u16(&mut out, 300);
+        put_u32(&mut out, 70_000);
+        put_u64(&mut out, u64::MAX - 1);
+        put_bool(&mut out, true);
+        put_usize(&mut out, 123);
+        put_str(&mut out, "checkpoint");
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.u16(), Some(300));
+        assert_eq!(r.u32(), Some(70_000));
+        assert_eq!(r.u64(), Some(u64::MAX - 1));
+        assert_eq!(r.bool(), Some(true));
+        assert_eq!(r.usize(), Some(123));
+        assert_eq!(r.str(), Some("checkpoint"));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn slices_roundtrip() {
+        let mut out = Vec::new();
+        put_usize_slice(&mut out, &[3, 1, 4, 1, 5]);
+        put_bool_slice(&mut out, &[true, false, true]);
+        put_u64_slice(&mut out, &[9, 8]);
+        put_bytes(&mut out, b"\x00\xff");
+        let mut r = Reader::new(&out);
+        assert_eq!(r.usize_vec(), Some(vec![3, 1, 4, 1, 5]));
+        assert_eq!(r.bool_vec(), Some(vec![true, false, true]));
+        assert_eq!(r.u64_vec(), Some(vec![9, 8]));
+        assert_eq!(r.bytes(), Some(&b"\x00\xff"[..]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn varint_roundtrips() {
+        let mut out = Vec::new();
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            put_varint(&mut out, v);
+        }
+        let mut r = Reader::new(&out);
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            assert_eq!(r.varint(), Some(v));
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_none_not_panic() {
+        let mut out = Vec::new();
+        put_u64(&mut out, 5);
+        let mut r = Reader::new(&out[..4]);
+        assert_eq!(r.u64(), None);
+        let mut r2 = Reader::new(&[0x80u8; 12]);
+        assert_eq!(r2.varint(), None, "unterminated varint");
+        let mut r3 = Reader::new(&[2u8]);
+        assert_eq!(r3.bool(), None, "bools are strictly 0/1");
+    }
+
+    #[test]
+    fn state_codec_roundtrips() {
+        use crate::compose::Layer;
+        let mut out = Vec::new();
+        Layer::A.encode(&mut out);
+        Layer::B.encode(&mut out);
+        Some(EdgeId(4)).encode(&mut out);
+        Option::<EdgeId>::None.encode(&mut out);
+        true.encode(&mut out);
+        7u32.encode(&mut out);
+        let mut r = Reader::new(&out);
+        assert_eq!(Layer::decode(&mut r), Some(Layer::A));
+        assert_eq!(Layer::decode(&mut r), Some(Layer::B));
+        assert_eq!(Option::<EdgeId>::decode(&mut r), Some(Some(EdgeId(4))));
+        assert_eq!(Option::<EdgeId>::decode(&mut r), Some(None));
+        assert_eq!(bool::decode(&mut r), Some(true));
+        assert_eq!(u32::decode(&mut r), Some(7));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn bogus_lengths_are_rejected() {
+        // A length prefix claiming more elements than bytes remain must
+        // fail fast instead of attempting a huge allocation.
+        let mut out = Vec::new();
+        put_usize(&mut out, usize::MAX);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.usize_vec(), None);
+    }
+}

@@ -48,7 +48,8 @@ pub mod source;
 pub mod traffic;
 
 pub use service::{
-    cc1_service, CoordinationService, LatencySummary, OverloadPolicy, ServiceConfig, ServiceStats,
+    cc1_service, cc1_service_restore, ChurnConfig, CoordinationService, LatencySummary,
+    OverloadPolicy, ServiceConfig, ServiceStats, SERVICE_CHECKPOINT_VERSION, SERVICE_MAGIC,
 };
 pub use source::{channel, ChannelSource, CoordRequest, RequestClient, RequestSource};
 pub use traffic::{Arrivals, TrafficGen};

@@ -22,12 +22,15 @@
 //! each tick and would overwrite the admissions after one step.
 
 use crate::source::{CoordRequest, RequestSource};
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
 use sscc_core::algo::CommitteeAlgorithm;
 use sscc_core::sim::Sim;
 use sscc_core::status::{CommitteeView, Status};
-use sscc_core::{ConfigError, LedgerEvent, OpenLoopPolicy};
-use sscc_hypergraph::Hypergraph;
+use sscc_core::{splitmix64, ConfigError, LedgerEvent, OpenLoopPolicy};
+use sscc_hypergraph::{random_mutation_with_bias, Hypergraph, MutationBias};
 use sscc_metrics::LatencyHistogram;
+use sscc_runtime::wire::{self, Reader, StateCodec};
 use sscc_token::TokenLayer;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -45,6 +48,35 @@ pub enum OverloadPolicy {
     Shed,
 }
 
+/// Magic prefix of a [`CoordinationService::checkpoint`] blob.
+pub const SERVICE_MAGIC: [u8; 8] = *b"SSCCSRV\0";
+
+/// Layout version of the service checkpoint blob. Bump on change; restore
+/// rejects versions it does not understand.
+pub const SERVICE_CHECKPOINT_VERSION: u16 = 1;
+
+/// Scheduled topology churn: every `period` ticks the service proposes one
+/// seeded pseudo-random [`WorldMutation`](sscc_hypergraph::WorldMutation)
+/// against its own world (the "members come and go while requests are in
+/// flight" regime). Proposals the graph rejects (isolation, disconnection,
+/// duplicates) are counted and skipped — the structural invariants hold by
+/// construction.
+///
+/// The proposal stream is **counter-based**: mutation `k` is drawn from a
+/// fresh rng seeded by `(seed, k)`, never from a long-lived rng. Same
+/// config, same world evolution → same proposals, regardless of when stats
+/// are read or checkpoints are taken — and a restored service continues
+/// the exact stream from its persisted counter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnConfig {
+    /// Ticks between proposals (≥ 1).
+    pub period: u64,
+    /// Seed of the proposal stream.
+    pub seed: u64,
+    /// Structural regime restriction.
+    pub bias: MutationBias,
+}
+
 /// Service tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServiceConfig {
@@ -57,6 +89,8 @@ pub struct ServiceConfig {
     /// Record every admission as a `(tick, professor)` pair (replay /
     /// equivalence testing; off by default — it grows with the run).
     pub record_admissions: bool,
+    /// Scheduled topology churn (off by default).
+    pub churn: Option<ChurnConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -66,12 +100,13 @@ impl Default for ServiceConfig {
             admit_batch: usize::MAX,
             overload: OverloadPolicy::Defer,
             record_admissions: false,
+            churn: None,
         }
     }
 }
 
 /// Cumulative service counters.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Requests accepted into the admission queue.
     pub accepted: u64,
@@ -89,6 +124,10 @@ pub struct ServiceStats {
     pub max_queue_depth: usize,
     /// Sum of per-tick queue depths (mean = `sum / ticks`).
     pub queue_depth_sum: u64,
+    /// Churn proposals the graph accepted.
+    pub churn_applied: u64,
+    /// Churn proposals the graph rejected (invariant-preserving skips).
+    pub churn_rejected: u64,
 }
 
 /// Sojourn-distribution summary (units: service ticks).
@@ -137,6 +176,8 @@ pub struct CoordinationService<C: CommitteeAlgorithm, TL: TokenLayer> {
     queue_wait: LatencyHistogram,
     poll_buf: Vec<CoordRequest>,
     admissions: Vec<(u64, usize)>,
+    /// Churn proposals drawn so far (the counter of the proposal stream).
+    churn_events: u64,
 }
 
 impl<C: CommitteeAlgorithm, TL: TokenLayer> CoordinationService<C, TL> {
@@ -160,6 +201,7 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> CoordinationService<C, TL> {
             queue_wait: LatencyHistogram::new(),
             poll_buf: Vec::new(),
             admissions: Vec::new(),
+            churn_events: 0,
         }
     }
 
@@ -168,6 +210,23 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> CoordinationService<C, TL> {
     /// admission re-enabled it this tick; new arrivals can revive it).
     pub fn tick(&mut self) -> bool {
         self.now += 1;
+
+        // Churn: scheduled topology mutation, before ingest so arrivals of
+        // this tick already see the mutated world.
+        if let Some(churn) = self.cfg.churn {
+            if churn.period > 0 && self.now.is_multiple_of(churn.period) {
+                let k = self.churn_events;
+                self.churn_events += 1;
+                let mut rng = StdRng::seed_from_u64(splitmix64(
+                    churn.seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ));
+                let mu = random_mutation_with_bias(self.sim.h(), &mut rng, churn.bias);
+                match self.sim.mutate(&mu) {
+                    Ok(_) => self.stats.churn_applied += 1,
+                    Err(_) => self.stats.churn_rejected += 1,
+                }
+            }
+        }
 
         // Ingest: poll the transport into the bounded queue.
         let space = self.cfg.queue_capacity - self.queue.len();
@@ -331,23 +390,42 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> CoordinationService<C, TL> {
     }
 
     /// Summarize the sojourn distribution (`None` before any completion).
-    pub fn latency_summary(&mut self) -> Option<LatencySummary> {
-        if self.latency.is_empty() {
+    /// Read-only: finalization happens on a snapshot of the histogram, so
+    /// stats can be exported from a running (or checkpointed) service.
+    pub fn latency_summary(&self) -> Option<LatencySummary> {
+        let snap = self.latency.snapshot();
+        if snap.is_empty() {
             return None;
         }
         Some(LatencySummary {
-            p50: self.latency.quantile(0.50)?,
-            p99: self.latency.quantile(0.99)?,
-            p999: self.latency.quantile(0.999)?,
-            mean: self.latency.mean(),
-            max: self.latency.max()?,
+            p50: snap.quantile(0.50)?,
+            p99: snap.quantile(0.99)?,
+            p999: snap.quantile(0.999)?,
+            mean: snap.mean(),
+            max: snap.max()?,
             completed: self.stats.completed,
         })
     }
 
     /// Queue-wait (arrival → admission) distribution.
-    pub fn queue_wait(&mut self) -> &mut LatencyHistogram {
-        &mut self.queue_wait
+    pub fn queue_wait(&self) -> &LatencyHistogram {
+        &self.queue_wait
+    }
+
+    /// Summarize the queue-wait distribution (`None` before any admission).
+    pub fn queue_wait_summary(&self) -> Option<LatencySummary> {
+        let snap = self.queue_wait.snapshot();
+        if snap.is_empty() {
+            return None;
+        }
+        Some(LatencySummary {
+            p50: snap.quantile(0.50)?,
+            p99: snap.quantile(0.99)?,
+            p999: snap.quantile(0.999)?,
+            mean: snap.mean(),
+            max: snap.max()?,
+            completed: snap.len() as u64,
+        })
     }
 
     /// The admission log (`(tick, professor)` pairs), populated when
@@ -355,6 +433,285 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> CoordinationService<C, TL> {
     /// scripted-equivalence tests drive.
     pub fn admissions(&self) -> &[(u64, usize)] {
         &self.admissions
+    }
+
+    /// Freeze the whole service — engine, topology, admission queue,
+    /// in-flight table, stats, latency samples, churn counter and the
+    /// transport — into one versioned, checksummed blob. A service
+    /// restored from it ([`CoordinationService::restore_with`]) continues
+    /// **bit-identically**: same admissions, same convenes, same latency
+    /// samples as the uninterrupted original.
+    ///
+    /// `None` when any layer refuses to persist: a custom daemon/policy
+    /// without codec support, or a live transport (e.g.
+    /// [`ChannelSource`](crate::ChannelSource)) — the deterministic
+    /// [`TrafficGen`](crate::TrafficGen) persists fine.
+    pub fn checkpoint(&self) -> Option<Vec<u8>>
+    where
+        C::State: StateCodec,
+        TL::State: StateCodec,
+    {
+        let mut source_blob = Vec::new();
+        if !self.source.save_state(&mut source_blob) {
+            return None;
+        }
+        let mut sim_blob = Vec::new();
+        if !self.sim.save_state(&mut sim_blob) {
+            return None;
+        }
+        let mut p = Vec::new();
+        let mut topo = Vec::new();
+        sscc_persist::encode_topology(self.sim.h(), &mut topo);
+        wire::put_bytes(&mut p, &topo);
+        wire::put_bytes(&mut p, &sim_blob);
+        // Config.
+        wire::put_usize(&mut p, self.cfg.queue_capacity);
+        wire::put_usize(&mut p, self.cfg.admit_batch);
+        wire::put_u8(
+            &mut p,
+            match self.cfg.overload {
+                OverloadPolicy::Defer => 0,
+                OverloadPolicy::Shed => 1,
+            },
+        );
+        wire::put_bool(&mut p, self.cfg.record_admissions);
+        match self.cfg.churn {
+            None => wire::put_bool(&mut p, false),
+            Some(ch) => {
+                wire::put_bool(&mut p, true);
+                wire::put_u64(&mut p, ch.period);
+                wire::put_u64(&mut p, ch.seed);
+                wire::put_u8(
+                    &mut p,
+                    match ch.bias {
+                        MutationBias::Balanced => 0,
+                        MutationBias::GrowOnly => 1,
+                        MutationBias::ShrinkOnly => 2,
+                    },
+                );
+            }
+        }
+        // Queue and in-flight table.
+        wire::put_usize(&mut p, self.queue.len());
+        for pend in &self.queue {
+            wire::put_usize(&mut p, pend.professor);
+            wire::put_u64(&mut p, pend.arrived);
+        }
+        wire::put_usize(&mut p, self.in_flight.len());
+        for fl in &self.in_flight {
+            match fl {
+                None => wire::put_bool(&mut p, false),
+                Some(f) => {
+                    wire::put_bool(&mut p, true);
+                    wire::put_u64(&mut p, f.arrived);
+                }
+            }
+        }
+        wire::put_u64(&mut p, self.now);
+        // Stats.
+        wire::put_u64(&mut p, self.stats.accepted);
+        wire::put_u64(&mut p, self.stats.shed);
+        wire::put_u64(&mut p, self.stats.coalesced);
+        wire::put_u64(&mut p, self.stats.completed);
+        wire::put_u64(&mut p, self.stats.unsolicited);
+        wire::put_usize(&mut p, self.stats.max_queue_depth);
+        wire::put_u64(&mut p, self.stats.queue_depth_sum);
+        wire::put_u64(&mut p, self.stats.churn_applied);
+        wire::put_u64(&mut p, self.stats.churn_rejected);
+        // Histograms (raw samples — summaries are derived on demand).
+        wire::put_u64_slice(&mut p, self.latency.samples());
+        wire::put_u64_slice(&mut p, self.queue_wait.samples());
+        // Admission log.
+        wire::put_usize(&mut p, self.admissions.len());
+        for &(t, pr) in &self.admissions {
+            wire::put_u64(&mut p, t);
+            wire::put_usize(&mut p, pr);
+        }
+        wire::put_u64(&mut p, self.churn_events);
+        wire::put_bytes(&mut p, &source_blob);
+
+        let mut out = Vec::with_capacity(p.len() + 18);
+        out.extend_from_slice(&SERVICE_MAGIC);
+        wire::put_u16(&mut out, SERVICE_CHECKPOINT_VERSION);
+        wire::put_u64(&mut out, sscc_persist::fnv1a64(&p));
+        out.extend_from_slice(&p);
+        Some(out)
+    }
+
+    /// Thaw a [`CoordinationService::checkpoint`] blob. The topology
+    /// travels inside the blob (post-mutation, exact dense indices);
+    /// `make_cc`/`make_tl` build fresh algorithm instances over it, and
+    /// `source` must be a freshly constructed transport of the same
+    /// configuration as the original (its mutable state is restored from
+    /// the blob through [`RequestSource::restore_state`]).
+    ///
+    /// `None` on truncation, corruption, checksum or version mismatch, or
+    /// a transport that refuses the embedded state.
+    pub fn restore_with(
+        make_cc: impl FnOnce(&Hypergraph) -> C,
+        make_tl: impl FnOnce(&Hypergraph) -> TL,
+        mut source: Box<dyn RequestSource>,
+        bytes: &[u8],
+    ) -> Option<Self>
+    where
+        C::State: Copy + StateCodec,
+        TL::State: Copy + StateCodec,
+    {
+        let mut r = Reader::new(bytes);
+        if r.take(SERVICE_MAGIC.len())? != SERVICE_MAGIC {
+            return None;
+        }
+        if r.u16()? != SERVICE_CHECKPOINT_VERSION {
+            return None;
+        }
+        let checksum = r.u64()?;
+        let payload = r.take(r.remaining())?;
+        if sscc_persist::fnv1a64(payload) != checksum {
+            return None;
+        }
+        let mut r = Reader::new(payload);
+        let mut topo = Reader::new(r.bytes()?);
+        let h = Arc::new(sscc_persist::decode_topology(&mut topo)?);
+        if !topo.is_empty() {
+            return None;
+        }
+        let n = h.n();
+        let cc = make_cc(&h);
+        let tl = make_tl(&h);
+        let sim = Sim::restore(Arc::clone(&h), cc, tl, r.bytes()?)?;
+        let queue_capacity = r.usize()?;
+        let admit_batch = r.usize()?;
+        let overload = match r.u8()? {
+            0 => OverloadPolicy::Defer,
+            1 => OverloadPolicy::Shed,
+            _ => return None,
+        };
+        let record_admissions = r.bool()?;
+        let churn = if r.bool()? {
+            Some(ChurnConfig {
+                period: r.u64()?,
+                seed: r.u64()?,
+                bias: match r.u8()? {
+                    0 => MutationBias::Balanced,
+                    1 => MutationBias::GrowOnly,
+                    2 => MutationBias::ShrinkOnly,
+                    _ => return None,
+                },
+            })
+        } else {
+            None
+        };
+        if queue_capacity == 0 || admit_batch == 0 {
+            return None;
+        }
+        let qlen = r.usize()?;
+        if qlen > queue_capacity || qlen > r.remaining() {
+            return None;
+        }
+        let mut queue = VecDeque::with_capacity(qlen);
+        for _ in 0..qlen {
+            let professor = r.usize()?;
+            if professor >= n {
+                return None;
+            }
+            queue.push_back(Pending {
+                professor,
+                arrived: r.u64()?,
+            });
+        }
+        let iflen = r.usize()?;
+        if iflen != n {
+            return None;
+        }
+        let mut in_flight = Vec::with_capacity(n);
+        let mut in_flight_count = 0usize;
+        for _ in 0..n {
+            if r.bool()? {
+                in_flight.push(Some(InFlight { arrived: r.u64()? }));
+                in_flight_count += 1;
+            } else {
+                in_flight.push(None);
+            }
+        }
+        let now = r.u64()?;
+        let stats = ServiceStats {
+            accepted: r.u64()?,
+            shed: r.u64()?,
+            coalesced: r.u64()?,
+            completed: r.u64()?,
+            unsolicited: r.u64()?,
+            max_queue_depth: r.usize()?,
+            queue_depth_sum: r.u64()?,
+            churn_applied: r.u64()?,
+            churn_rejected: r.u64()?,
+        };
+        let latency = LatencyHistogram::from_samples(r.u64_vec()?);
+        let queue_wait = LatencyHistogram::from_samples(r.u64_vec()?);
+        let alen = r.usize()?;
+        if alen > r.remaining() {
+            return None;
+        }
+        let mut admissions = Vec::with_capacity(alen);
+        for _ in 0..alen {
+            let t = r.u64()?;
+            let pr = r.usize()?;
+            if pr >= n {
+                return None;
+            }
+            admissions.push((t, pr));
+        }
+        let churn_events = r.u64()?;
+        if !source.restore_state(r.bytes()?) {
+            return None;
+        }
+        if !r.is_empty() {
+            return None;
+        }
+        Some(CoordinationService {
+            sim,
+            source,
+            cfg: ServiceConfig {
+                queue_capacity,
+                admit_batch,
+                overload,
+                record_admissions,
+                churn,
+            },
+            queue,
+            in_flight,
+            in_flight_count,
+            now,
+            stats,
+            latency,
+            queue_wait,
+            poll_buf: Vec::new(),
+            admissions,
+            churn_events,
+        })
+    }
+
+    /// Run `ticks` ticks, handing a fresh checkpoint blob to `sink` every
+    /// `every` ticks — the crash/restore drill loop (and the shape a
+    /// checkpoint-to-disk ops loop takes, via
+    /// [`CoordinationService::checkpoint`] + `std::fs`).
+    pub fn run_with_checkpoints(
+        &mut self,
+        ticks: u64,
+        every: u64,
+        mut sink: impl FnMut(u64, Vec<u8>),
+    ) where
+        C::State: StateCodec,
+        TL::State: StateCodec,
+    {
+        assert!(every > 0, "zero checkpoint period");
+        for _ in 0..ticks {
+            self.tick();
+            if self.now.is_multiple_of(every) {
+                if let Some(blob) = self.checkpoint() {
+                    sink(self.now, blob);
+                }
+            }
+        }
     }
 }
 
@@ -383,6 +740,22 @@ pub fn cc1_service(
         .mode(mode)
         .build()?;
     Ok(CoordinationService::new(sim, source, cfg))
+}
+
+/// Thaw a [`CoordinationService::checkpoint`] taken from a [`cc1_service`].
+/// `source` must be a freshly constructed transport of the same
+/// configuration as the crashed service's (see
+/// [`CoordinationService::restore_with`]).
+pub fn cc1_service_restore(
+    source: Box<dyn RequestSource>,
+    bytes: &[u8],
+) -> Option<CoordinationService<sscc_core::Cc1, sscc_token::WaveToken>> {
+    CoordinationService::restore_with(
+        |_| sscc_core::Cc1::new(),
+        sscc_token::WaveToken::new,
+        source,
+        bytes,
+    )
 }
 
 #[cfg(test)]
@@ -457,6 +830,133 @@ mod tests {
         assert!(svc.stats().max_queue_depth <= 16);
         assert!(svc.stats().completed > 0);
         assert!(svc.sim().monitor().clean());
+    }
+
+    #[test]
+    fn churny_workload_mutates_and_stays_clean() {
+        let h = Arc::new(generators::ring(16, 2));
+        let gen = TrafficGen::new(&h, 5, Arrivals::Poisson { rate: 1.0 }, 2_000);
+        let cfg = ServiceConfig {
+            churn: Some(ChurnConfig {
+                period: 50,
+                seed: 3,
+                bias: MutationBias::Balanced,
+            }),
+            ..ServiceConfig::default()
+        };
+        let mut svc = cc1_service(Arc::clone(&h), 2, 1, "par1", Box::new(gen), cfg).unwrap();
+        svc.run(2_000);
+        let s = svc.stats();
+        assert_eq!(
+            s.churn_applied + s.churn_rejected,
+            2_000 / 50,
+            "one proposal per period"
+        );
+        assert!(s.churn_applied > 0, "some proposals land");
+        assert!(s.completed > 0, "service keeps serving through churn");
+        assert!(svc.sim().monitor().clean());
+    }
+
+    #[test]
+    fn grow_only_churn_never_shrinks() {
+        let h = Arc::new(generators::ring(12, 2));
+        let m0 = h.m();
+        let gen = TrafficGen::new(&h, 5, Arrivals::Poisson { rate: 0.5 }, 1_000);
+        let cfg = ServiceConfig {
+            churn: Some(ChurnConfig {
+                period: 25,
+                seed: 11,
+                bias: MutationBias::GrowOnly,
+            }),
+            ..ServiceConfig::default()
+        };
+        let mut svc = cc1_service(Arc::clone(&h), 4, 1, "par1", Box::new(gen), cfg).unwrap();
+        svc.run(1_000);
+        assert!(svc.stats().churn_applied > 0);
+        assert!(svc.sim().h().m() >= m0, "grow-only bias never removes");
+    }
+
+    #[test]
+    fn crash_restore_drill_is_bit_identical() {
+        let h = Arc::new(generators::ring(16, 2));
+        let traffic =
+            |h: &Hypergraph| TrafficGen::new(h, 9, Arrivals::Poisson { rate: 2.0 }, 2_000);
+        let cfg = ServiceConfig {
+            record_admissions: true,
+            churn: Some(ChurnConfig {
+                period: 97,
+                seed: 5,
+                bias: MutationBias::Balanced,
+            }),
+            ..ServiceConfig::default()
+        };
+
+        // Reference: the uninterrupted run.
+        let mut reference =
+            cc1_service(Arc::clone(&h), 8, 1, "par1", Box::new(traffic(&h)), cfg).unwrap();
+        reference.run(3_000);
+
+        // Drill: run, checkpoint, "crash", restore in a fresh stack, finish.
+        let mut svc =
+            cc1_service(Arc::clone(&h), 8, 1, "par1", Box::new(traffic(&h)), cfg).unwrap();
+        svc.run(1_234);
+        let blob = svc.checkpoint().expect("whole stack persists");
+        drop(svc); // the crash
+        let mut revived =
+            cc1_service_restore(Box::new(traffic(&h)), &blob).expect("restore from blob");
+        revived.run(3_000 - 1_234);
+
+        assert_eq!(revived.ticks(), reference.ticks());
+        assert_eq!(revived.stats(), reference.stats());
+        assert_eq!(revived.admissions(), reference.admissions());
+        assert_eq!(revived.latency_summary(), reference.latency_summary());
+        assert_eq!(revived.queue_wait_summary(), reference.queue_wait_summary());
+        assert_eq!(
+            revived.sim().ledger().instances(),
+            reference.sim().ledger().instances()
+        );
+        assert_eq!(
+            revived.sim().monitor().violations(),
+            reference.sim().monitor().violations()
+        );
+        assert_eq!(revived.sim().steps(), reference.sim().steps());
+        assert_eq!(
+            revived.sim().h(),
+            reference.sim().h(),
+            "churned topology travels"
+        );
+
+        // Corrupt blobs fail closed.
+        let mut bad = blob.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        assert!(cc1_service_restore(Box::new(traffic(&h)), &bad).is_none());
+        for cut in (0..blob.len()).step_by(61) {
+            assert!(
+                cc1_service_restore(Box::new(traffic(&h)), &blob[..cut]).is_none(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn live_transports_refuse_to_checkpoint() {
+        let h = Arc::new(generators::ring(8, 2));
+        let (_client, src) = channel();
+        let mut svc = cc1_service(
+            Arc::clone(&h),
+            1,
+            1,
+            "par1",
+            Box::new(src),
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        svc.run(10);
+        assert!(
+            svc.checkpoint().is_none(),
+            "an mpsc transport has no serialized form"
+        );
     }
 
     #[test]

@@ -40,6 +40,23 @@ pub trait RequestSource {
     fn finished(&self) -> bool {
         false
     }
+
+    /// Append this source's mutable state to `out` for a service
+    /// checkpoint. Default: `false` — "this transport is not persistable"
+    /// (a live socket or channel has no meaningful serialized form; the
+    /// deterministic generators in [`crate::traffic`] override both hooks).
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        let _ = out;
+        false
+    }
+
+    /// Restore state captured by [`RequestSource::save_state`] into a
+    /// freshly constructed source *of the same configuration*. Default:
+    /// `false` — not persistable.
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let _ = bytes;
+        false
+    }
 }
 
 /// In-process transport: an unbounded mpsc receiver, polled

@@ -156,8 +156,8 @@ fn run_service(
 
 #[test]
 fn service_runs_are_deterministic() {
-    let mut a = run_service(5, "par1", false);
-    let mut b = run_service(5, "par1", false);
+    let a = run_service(5, "par1", false);
+    let b = run_service(5, "par1", false);
     assert_eq!(
         a.sim().ledger().instances(),
         b.sim().ledger().instances(),
@@ -173,9 +173,9 @@ fn service_runs_are_deterministic() {
 fn engine_mode_does_not_change_the_served_trajectory() {
     // The registry modes are trajectory-equivalent; the service on top
     // must preserve that (same admissions, same meetings, same sojourns).
-    let mut base = run_service(5, "par1", false);
+    let base = run_service(5, "par1", false);
     for mode in ["incremental", "vl_daemon", "poolcommit"] {
-        let mut other = run_service(5, mode, false);
+        let other = run_service(5, mode, false);
         assert_eq!(
             base.sim().ledger().instances(),
             other.sim().ledger().instances(),
@@ -290,7 +290,7 @@ fn service_survives_fault_and_churn_campaigns() {
         }
         (svc, struck, mutated)
     };
-    let (mut a, struck, mutated) = run(9);
+    let (a, struck, mutated) = run(9);
     assert!(struck >= 10, "sustained faults: {struck}");
     assert!(mutated > 0, "churn applied: {mutated}");
     assert!(
@@ -302,7 +302,7 @@ fn service_survives_fault_and_churn_campaigns() {
         a.stats().completed > 0,
         "requests keep completing under fire"
     );
-    let (mut b, ..) = run(9);
+    let (b, ..) = run(9);
     assert_eq!(
         a.sim().ledger().instances(),
         b.sim().ledger().instances(),

@@ -56,6 +56,22 @@ pub struct WaveState {
     pub done: bool,
 }
 
+impl sscc_runtime::wire::StateCodec for WaveState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.k.encode(out);
+        self.fb.encode(out);
+        self.done.encode(out);
+    }
+
+    fn decode(r: &mut sscc_runtime::wire::Reader) -> Option<Self> {
+        Some(WaveState {
+            k: u32::decode(r)?,
+            fb: u32::decode(r)?,
+            done: bool::decode(r)?,
+        })
+    }
+}
+
 /// The rooted wave-token substrate. Owns the static tree and tour.
 pub struct WaveToken {
     tree: SpanningTree,

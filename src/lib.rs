@@ -15,6 +15,7 @@
 //! * [`runtime`] — guarded actions, daemons, rounds, faults (`sscc-runtime`)
 //! * [`token`] — Property 1 token substrate (`sscc-token`)
 //! * [`core`] — CC1/CC2/CC3, composition, spec monitors (`sscc-core`)
+//! * [`persist`] — checkpoint containers, step traces, replay (`sscc-persist`)
 //! * [`metrics`] — experiment harness (`sscc-metrics`)
 //! * [`service`] — coordination-as-a-service front-end (`sscc-service`)
 //!
@@ -26,6 +27,7 @@
 pub use sscc_core as core;
 pub use sscc_hypergraph as hypergraph;
 pub use sscc_metrics as metrics;
+pub use sscc_persist as persist;
 pub use sscc_runtime as runtime;
 pub use sscc_service as service;
 pub use sscc_token as token;

@@ -74,6 +74,7 @@ fn e9_sustained_fault_campaigns_stay_safe_and_recover() {
                     fault_fraction: 0.33,
                     churn_every: 0,
                     seed,
+                    bias: sscc::hypergraph::MutationBias::Balanced,
                 };
                 run_campaign(algo, Arc::clone(h), "par1", &cfg)
             });
@@ -131,6 +132,7 @@ fn e9_churn_campaigns_stay_safe_across_mutations() {
                     fault_fraction: 0.25,
                     churn_every: 180,
                     seed: seed.wrapping_mul(0x0bad_5eed).wrapping_add(3),
+                    bias: sscc::hypergraph::MutationBias::Balanced,
                 };
                 run_campaign(algo, Arc::clone(h), "par1", &cfg)
             });

@@ -171,6 +171,25 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state words (a persistence seam: a
+        /// generator rebuilt with [`StdRng::from_state`] continues the
+        /// exact stream this one would have produced).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from raw state words previously obtained
+        /// with [`StdRng::state`]. The all-zero state is a fixed point of
+        /// xoshiro and is remapped the same way seeding does.
+        pub fn from_state(mut s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                s[0] = 0x9E3779B97F4A7C15;
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
