@@ -47,6 +47,12 @@ struct Record {
     threads: usize,
     steps: u64,
     secs: f64,
+    /// Message volume of the distributed tier across the measured window,
+    /// `(frames per step, boundary bytes per step)` — `None` for every
+    /// shared-memory mode. The gate's `--compare` join ignores the extra
+    /// columns (the parser skips unknown fields), so recording them cannot
+    /// perturb the throughput gate.
+    messages: Option<(f64, f64)>,
 }
 
 impl Record {
@@ -65,9 +71,10 @@ fn measure(
     warmup: u64,
     budget: u64,
     reps: usize,
-) -> (u64, f64) {
+) -> (u64, f64, Option<(f64, f64)>) {
     let mut best = f64::INFINITY;
     let mut steps_done = 0;
+    let mut messages = None;
     for _ in 0..reps {
         let mut sim = build_sim(
             algo,
@@ -83,6 +90,9 @@ fn measure(
                 break;
             }
         }
+        // Message counters are diffed across exactly the timed window, so
+        // the recorded per-step volume matches the throughput measurement.
+        let pre = sim.dist_stats();
         let start = Instant::now();
         let mut done = 0;
         for _ in 0..budget {
@@ -95,9 +105,16 @@ fn measure(
         if secs < best {
             best = secs;
             steps_done = done;
+            messages = sim.dist_stats().zip(pre).map(|(post, pre)| {
+                let steps = (post.steps - pre.steps).max(1) as f64;
+                (
+                    (post.frames - pre.frames) as f64 / steps,
+                    (post.bytes - pre.bytes) as f64 / steps,
+                )
+            });
         }
     }
-    (steps_done, best)
+    (steps_done, best, messages)
 }
 
 fn json_escape(s: &str) -> String {
@@ -139,9 +156,12 @@ fn record(out_path: &str, quick: bool, modes: &[&'static Mode]) {
         for algo in [AlgoKind::Cc1, AlgoKind::Cc2, AlgoKind::Cc3] {
             for mode in modes {
                 let threads = mode.config.threads();
-                let (steps, secs) = measure(algo, h, mode, warmup, *budget, reps);
+                let (steps, secs, messages) = measure(algo, h, mode, warmup, *budget, reps);
+                let msg_note = messages.map_or(String::new(), |(frames, bytes)| {
+                    format!("  ({frames:.2} frames/step, {bytes:.0} B/step)")
+                });
                 eprintln!(
-                    "{:>4} {topology} {:>14} x{threads}: {:>12.0} steps/s",
+                    "{:>4} {topology} {:>14} x{threads}: {:>12.0} steps/s{msg_note}",
                     algo.label(),
                     mode.name,
                     steps as f64 / secs
@@ -154,6 +174,7 @@ fn record(out_path: &str, quick: bool, modes: &[&'static Mode]) {
                     threads,
                     steps,
                     secs,
+                    messages,
                 });
             }
         }
@@ -173,7 +194,7 @@ fn record(out_path: &str, quick: bool, modes: &[&'static Mode]) {
     for (i, r) in records.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"algo\": \"{}\", \"topology\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"threads\": {}, \"steps\": {}, \"secs\": {:.6}, \"steps_per_sec\": {:.1}}}",
+            "    {{\"algo\": \"{}\", \"topology\": \"{}\", \"n\": {}, \"mode\": \"{}\", \"threads\": {}, \"steps\": {}, \"secs\": {:.6}, \"steps_per_sec\": {:.1}",
             json_escape(r.algo),
             json_escape(&r.topology),
             r.n,
@@ -183,6 +204,15 @@ fn record(out_path: &str, quick: bool, modes: &[&'static Mode]) {
             r.secs,
             r.steps_per_sec()
         );
+        // Distributed modes carry their message-volume columns; the gate's
+        // comparison parser ignores fields it does not know.
+        if let Some((frames, bytes)) = r.messages {
+            let _ = write!(
+                out,
+                ", \"msgs_per_step\": {frames:.3}, \"boundary_bytes_per_step\": {bytes:.1}"
+            );
+        }
+        out.push('}');
         out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
     // Speedup summary per (algo, topology): the headline numbers are the

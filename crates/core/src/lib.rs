@@ -57,6 +57,7 @@ pub use oracle::{
 };
 pub use sim::{default_daemon, Cc1Sim, Cc2Sim, Cc3Sim, Sim, SimBuilder, StopReason};
 pub use spec::{SpecMonitor, Violation};
+pub use sscc_dist::{BoundaryTransport, DistDrive, DistEngine, MessageStats};
 pub use status::{ActionClass, CommitteeView, Status};
 // The configuration layer (one source of truth for engine variants) lives
 // in the runtime crate; re-exported here so facade users need one import.

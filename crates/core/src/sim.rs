@@ -12,6 +12,7 @@ use crate::oracle::{OraclePolicy, PolicyView, RequestFlags};
 use crate::predicates;
 use crate::spec::SpecMonitor;
 use crate::status::{ActionClass, CommitteeView, Status};
+use sscc_dist::{DistDrive, DistEngine, MessageStats};
 use sscc_hypergraph::{EdgeId, Hypergraph};
 use sscc_runtime::prelude::*;
 use sscc_token::TokenLayer;
@@ -102,6 +103,12 @@ pub struct Sim<C: CommitteeAlgorithm, TL: TokenLayer> {
     /// The engine configuration in force (recorded by [`Sim::configure`];
     /// checkpoints carry it so a restore rebuilds the same mode).
     cfg: EngineConfig,
+    /// The message-passing tier, when a [`Drain::Distributed`] mode is in
+    /// force: shard actors exchanging serialized boundary frames, driven
+    /// through the [`DistDrive`] seam. `None` under every shared-memory
+    /// drain. The world stays the single source of truth — the actors
+    /// mirror committed states back into it each step.
+    dist: Option<Box<dyn DistDrive<Composed<C, TL>>>>,
 }
 
 impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
@@ -216,6 +223,7 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
             flag_changed: MarkSet::new(n),
             last_events: Vec::new(),
             cfg: EngineConfig::default(),
+            dist: None,
         }
     }
 
@@ -237,11 +245,20 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     /// that silently no-op'ed under the old setters fails closed here.
     pub fn configure(&mut self, cfg: &EngineConfig) -> Result<(), ConfigError>
     where
-        C::State: Copy,
-        TL::State: Copy,
+        C: 'static,
+        TL: 'static,
+        C::State: Copy + StateCodec,
+        TL::State: Copy + StateCodec,
     {
         cfg.validate()?;
         let mut wcfg = *cfg;
+        // The distributed drain lives *above* the engine: the world keeps
+        // its plain sequential scheduler (the shard actors drive it through
+        // the state-mirror seam), and the actor/transport tier is built
+        // below, once the world accepted the rest of the configuration.
+        if cfg.distributed() {
+            wcfg.drain = Drain::Sequential;
+        }
         match cfg.eval {
             EvalPath::FullScan => {
                 self.naive = true;
@@ -279,6 +296,14 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         wcfg.incremental_daemon = false;
         self.world.configure(&wcfg)?;
         self.daemon.set_incremental_view(cfg.incremental_daemon);
+        self.dist = match cfg.drain {
+            Drain::Distributed { shards } => Some(Box::new(DistEngine::new(
+                &self.world,
+                shards,
+                cfg.trusted_daemon,
+            ))),
+            _ => None,
+        };
         self.cfg = *cfg;
         Ok(())
     }
@@ -293,10 +318,20 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     /// compositional config string (`"poolcommit"`, `"par2+trusted"`, …).
     pub fn configure_mode(&mut self, mode: &str) -> Result<(), ConfigError>
     where
-        C::State: Copy,
-        TL::State: Copy,
+        C: 'static,
+        TL: 'static,
+        C::State: Copy + StateCodec,
+        TL::State: Copy + StateCodec,
     {
         self.configure(&mode.parse()?)
+    }
+
+    /// Message-volume counters of the distributed tier — `Some` only under
+    /// a [`Drain::Distributed`] mode. Cumulative since the mode was
+    /// configured; the bench harness diffs across its measured phase for
+    /// per-step frame/byte columns.
+    pub fn dist_stats(&self) -> Option<MessageStats> {
+        self.dist.as_ref().map(|d| d.stats())
     }
 
     /// Record a full action trace (off by default; memory grows with run
@@ -346,6 +381,11 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         };
         self.cc_view = initial_cc;
         self.world.invalidate_all();
+        // Surgery went through the world behind the shard actors' backs:
+        // re-seed their local views from the committed configuration.
+        if let Some(d) = self.dist.as_deref_mut() {
+            d.resync(&self.world);
+        }
         self.policy_stale = true;
         self.last_events.clear();
     }
@@ -366,6 +406,10 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         // The policy did not observe this mutation through an executed
         // footprint: force one full resynchronizing tick.
         self.policy_stale = true;
+        // Same for the shard actors: the write bypassed the step protocol.
+        if let Some(d) = self.dist.as_deref_mut() {
+            d.resync(&self.world);
+        }
     }
 
     /// Apply a topology mutation mid-run, repairing every maintained
@@ -386,11 +430,21 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     /// # Errors
     /// Anything [`Hypergraph::apply_mutation`] rejects (unknown vertex,
     /// dissolving the last committee of a member, duplicate committee, …);
-    /// the simulation is untouched on error.
+    /// the simulation is untouched on error. A **distributed** sim fails
+    /// closed with [`MutationError::EngineRejected`]: the shard plan *is*
+    /// the actor placement, so topology churn would have to re-shard the
+    /// live tier — rebuild the sim on the mutated topology instead.
+    ///
+    /// [`MutationError::EngineRejected`]: sscc_hypergraph::MutationError::EngineRejected
     pub fn mutate(
         &mut self,
         mutation: &sscc_hypergraph::WorldMutation,
     ) -> Result<sscc_hypergraph::MutationDelta, sscc_hypergraph::MutationError> {
+        if self.dist.is_some() {
+            return Err(sscc_hypergraph::MutationError::EngineRejected {
+                engine: "distributed",
+            });
+        }
         let delta = self.world.mutate(mutation)?;
         let step = self.world.steps();
         // The engine's state repair may have moved or cleared pointers:
@@ -421,7 +475,20 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     /// as pre-initial (they "started during the faults", §2.5 — exempt),
     /// and fault-killed meetings terminate without violation checks.
     /// Returns the struck processes.
-    pub fn strike(&mut self, seed: u64, fraction: f64) -> Vec<usize> {
+    ///
+    /// # Errors
+    /// A **distributed** sim fails closed with
+    /// [`ConfigError::DistributedUnsupported`]: the shard actors own the
+    /// live sub-configurations, so mid-run state surgery from outside the
+    /// step protocol would desynchronize them — boot a distributed sim
+    /// from an arbitrary (struck) configuration instead
+    /// ([`SimBuilder::arbitrary`]).
+    pub fn strike(&mut self, seed: u64, fraction: f64) -> Result<Vec<usize>, ConfigError> {
+        if self.dist.is_some() {
+            return Err(ConfigError::DistributedUnsupported(
+                "mid-run transient-fault surgery (boot from an arbitrary configuration instead)",
+            ));
+        }
         let struck = strike_some(&mut self.world, seed, fraction);
         let step = self.world.steps();
         // Refresh the whole committee-view mirror, not just the struck
@@ -449,7 +516,7 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         self.refresh_view_from_cc();
         self.policy_stale = true;
         self.last_events.clear();
-        struck
+        Ok(struck)
     }
 
     /// Recompute the whole [`PolicyView`] from the committee-view mirror
@@ -545,14 +612,27 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
         // re-derives (and a full tick would overwrite) exactly them.
         {
             let world = &mut self.world;
+            let dist = &mut self.dist;
             let flagged = &mut self.flag_changed;
             self.flags.drain_changed(|p| {
                 world.invalidate_env_of(p);
+                if let Some(d) = dist.as_deref_mut() {
+                    d.invalidate_env_of(p);
+                }
                 flagged.insert(p);
             });
         }
-        self.world
-            .step_into(&mut *self.daemon, &self.flags, &mut self.out);
+        match self.dist.as_deref_mut() {
+            Some(d) => d.step_into(
+                &mut self.world,
+                &mut *self.daemon,
+                &self.flags,
+                &mut self.out,
+            ),
+            None => self
+                .world
+                .step_into(&mut *self.daemon, &self.flags, &mut self.out),
+        }
         self.rounds.begin_step(&self.out.enabled);
         if self.out.terminal() {
             // Let the environment tick: e.g. a meeting of all-done members
@@ -569,9 +649,13 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
                 self.flag_changed = flagged;
                 self.flag_changed.clear();
                 let world = &mut self.world;
+                let dist = &mut self.dist;
                 let flagged = &mut self.flag_changed;
                 self.flags.drain_changed(|p| {
                     world.invalidate_env_of(p);
+                    if let Some(d) = dist.as_deref_mut() {
+                        d.invalidate_env_of(p);
+                    }
                     flagged.insert(p);
                 });
                 if !world.enabled_now(&self.flags).is_empty() {
@@ -898,6 +982,8 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     /// would have.
     pub fn restore(h: Arc<Hypergraph>, cc: C, tl: TL, bytes: &[u8]) -> Option<Self>
     where
+        C: 'static,
+        TL: 'static,
         C::State: Copy + StateCodec,
         TL::State: Copy + StateCodec,
     {
@@ -998,11 +1084,18 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
             flag_changed: MarkSet::new(n),
             last_events,
             cfg: EngineConfig::default(),
+            dist: None,
         };
         sim.refresh_view_from_cc();
         sim.configure(&cfg).ok()?;
         sim.world.restore_observation(&obs);
         sim.world.set_step_count(steps);
+        // A distributed mode was rebuilt by `configure` from the restored
+        // states already; re-seed once more so its observation mirror picks
+        // up the restored daemon view as well.
+        if let Some(d) = sim.dist.as_deref_mut() {
+            d.resync(&sim.world);
+        }
         for p in flagged {
             sim.flag_changed.insert(p);
         }
@@ -1026,8 +1119,10 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     /// untouched on error.
     pub fn migrate(&mut self, cfg: &EngineConfig) -> Result<(), ConfigError>
     where
-        C::State: Copy,
-        TL::State: Copy,
+        C: 'static,
+        TL: 'static,
+        C::State: Copy + StateCodec,
+        TL::State: Copy + StateCodec,
     {
         let was_inc = self.cfg.incremental_daemon;
         self.configure(cfg)?;
@@ -1047,8 +1142,10 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> Sim<C, TL> {
     /// compositional config string.
     pub fn migrate_mode(&mut self, mode: &str) -> Result<(), ConfigError>
     where
-        C::State: Copy,
-        TL::State: Copy,
+        C: 'static,
+        TL: 'static,
+        C::State: Copy + StateCodec,
+        TL::State: Copy + StateCodec,
     {
         self.migrate(&mode.parse()?)
     }
@@ -1141,8 +1238,10 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> SimBuilder<C, TL> {
     /// no-op'ed under the legacy setter surface fail closed here.
     pub fn build(self) -> Result<Sim<C, TL>, ConfigError>
     where
-        C::State: Copy,
-        TL::State: Copy,
+        C: 'static,
+        TL: 'static,
+        C::State: Copy + StateCodec,
+        TL::State: Copy + StateCodec,
     {
         let cfg = match &self.mode {
             Some(label) => label.parse()?,
@@ -1553,7 +1652,7 @@ mod tests {
             let _ = sim.mutate(&mu);
             sim.run(61);
         }
-        sim.strike(5, 0.4);
+        sim.strike(5, 0.4).unwrap();
         let mut blob = Vec::new();
         assert!(sim.save_state(&mut blob));
         let h_now = sim.world().h_arc();
@@ -1621,7 +1720,7 @@ mod tests {
                     let _ = sim.mutate(&mu);
                 }
                 3 => {
-                    sim.strike(4, 0.4);
+                    sim.strike(4, 0.4).unwrap();
                 }
                 _ => {}
             }

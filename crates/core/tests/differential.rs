@@ -44,10 +44,10 @@ const REFERENCE_MODE: &str = "par1";
 /// One twin per non-reference registry mode, fan-out forced, traced.
 fn registry_twins<C, TL>(mk: &impl Fn() -> Sim<C, TL>) -> Vec<(&'static str, Sim<C, TL>)>
 where
-    C: CommitteeAlgorithm,
-    C::State: Copy,
-    TL: TokenLayer,
-    TL::State: Copy,
+    C: CommitteeAlgorithm + 'static,
+    C::State: Copy + sscc_runtime::prelude::StateCodec,
+    TL: TokenLayer + 'static,
+    TL::State: Copy + sscc_runtime::prelude::StateCodec,
 {
     ModeRegistry::all()
         .iter()
@@ -67,10 +67,10 @@ where
 /// observable agrees, stepwise and at the end.
 fn assert_equivalent<C, TL>(mk: impl Fn() -> Sim<C, TL>, budget: u64, label: &str)
 where
-    C: CommitteeAlgorithm,
-    C::State: Copy,
-    TL: TokenLayer,
-    TL::State: Copy,
+    C: CommitteeAlgorithm + 'static,
+    C::State: Copy + sscc_runtime::prelude::StateCodec,
+    TL: TokenLayer + 'static,
+    TL::State: Copy + sscc_runtime::prelude::StateCodec,
 {
     let mut inc = mk();
     inc.enable_trace();
@@ -205,16 +205,25 @@ macro_rules! churn_differential_suite {
                     let mut inc = mk();
                     inc.enable_trace();
                     let mut twins = registry_twins(&mk);
+                    // Distributed modes fail mid-run surgery closed by
+                    // contract (`Sim::strike`/`Sim::mutate` reject them), so
+                    // they cannot ride the churn campaign; the plain and
+                    // checkpoint differential rows still cover them.
+                    twins.retain(|(_, s)| !s.config().distributed());
                     let mut campaign = FaultCampaign::new(seed, 60, 45);
                     for step in 1..=400u64 {
                         for ev in campaign.poll(step) {
                             match ev {
                                 CampaignEvent::Strike { seed: fs } => {
-                                    let struck = inc.strike(fs, 0.3);
+                                    let struck = inc
+                                        .strike(fs, 0.3)
+                                        .unwrap_or_else(|e| panic!("{label}: strike: {e}"));
                                     for (tag, s) in &mut twins {
                                         assert_eq!(
                                             struck,
-                                            s.strike(fs, 0.3),
+                                            s.strike(fs, 0.3).unwrap_or_else(|e| panic!(
+                                                "{label}/{tag}: strike: {e}"
+                                            )),
                                             "{label}/{tag}: struck sets diverge"
                                         );
                                     }
@@ -522,9 +531,162 @@ fn lockstep_engine_count_matches_registry() {
         "one lockstep engine per registered mode, no more, no fewer"
     );
     assert!(
-        ModeRegistry::all().len() >= 12,
-        "the differential bar never shrinks below PR 4's 12 engines"
+        ModeRegistry::all().len() >= 21,
+        "the differential bar never shrinks below PR 10's 21 engines"
     );
+}
+
+/// Mid-run surgery on a distributed sim fails closed: the shard actors own
+/// the live sub-configurations, so `Sim::strike` and `Sim::mutate` must
+/// reject rather than desynchronize them. Cheap — runs in the build-test
+/// job too (no `differential_` prefix).
+#[test]
+fn distributed_sim_rejects_midrun_surgery() {
+    use sscc_core::ConfigError;
+    use sscc_hypergraph::{MutationError, WorldMutation};
+    let h = Arc::new(generators::fig1());
+    let n = h.n();
+    let mut sim = Sim::new(
+        Arc::clone(&h),
+        Cc1::new(),
+        WaveToken::new(&h),
+        default_daemon(1, n),
+        Box::new(EagerPolicy::new(n, 1)),
+    );
+    sim.configure_mode("dist2").unwrap();
+    sim.run(50);
+    assert!(matches!(
+        sim.strike(7, 0.3),
+        Err(ConfigError::DistributedUnsupported(_))
+    ));
+    assert!(matches!(
+        sim.mutate(&WorldMutation::RemoveCommittee {
+            edge: sscc_hypergraph::EdgeId(0)
+        }),
+        Err(MutationError::EngineRejected {
+            engine: "distributed"
+        })
+    ));
+    // An arbitrary (struck) boot is the supported way in: the fault lands
+    // before the actors are built.
+    let mut sim = Sim::builder(Arc::clone(&h), Cc1::new(), WaveToken::new(&h))
+        .seed(1)
+        .arbitrary(9)
+        .mode("dist4")
+        .build()
+        .unwrap();
+    sim.run(50);
+}
+
+/// Focused distributed lockstep, debug-runnable: the message-passing tier
+/// (`dist2`/`dist4`) against the sequential engine on every algorithm.
+/// Small enough for CI's `dist-smoke` job to run in a debug build, where
+/// the frame-causality `debug_assert`s (step tags, per-channel sequence
+/// numbers) are live; the release differential job covers the full
+/// seed × topology matrix through the registry.
+#[test]
+fn differential_dist_boundary_exchange_agrees() {
+    fn dist_rows<C, TL>(mk: impl Fn() -> Sim<C, TL>, budget: u64, label: &str)
+    where
+        C: CommitteeAlgorithm + 'static,
+        C::State: Copy + sscc_runtime::prelude::StateCodec,
+        TL: TokenLayer + 'static,
+        TL::State: Copy + sscc_runtime::prelude::StateCodec,
+    {
+        let mut reference = mk();
+        reference.configure_mode("incremental").unwrap();
+        reference.enable_trace();
+        let mut twins: Vec<(&str, Sim<C, TL>)> = ["dist2", "dist4"]
+            .into_iter()
+            .map(|mode| {
+                let mut s = mk();
+                s.configure_mode(mode)
+                    .unwrap_or_else(|e| panic!("{mode} must configure: {e}"));
+                s.enable_trace();
+                (mode, s)
+            })
+            .collect();
+        for step in 0..budget {
+            let a = reference.step();
+            for (tag, s) in &mut twins {
+                let b = s.step();
+                assert_eq!(a, b, "{label}/{tag}: step {step} progress disagrees");
+                assert_eq!(
+                    reference.cc_states(),
+                    s.cc_states(),
+                    "{label}/{tag}: step {step} configurations diverge"
+                );
+            }
+            if !a {
+                break;
+            }
+        }
+        for (tag, s) in &twins {
+            assert_eq!(
+                reference.trace().unwrap().events(),
+                s.trace().unwrap().events(),
+                "{label}/{tag}: executed-action traces"
+            );
+            assert_eq!(reference.rounds(), s.rounds(), "{label}/{tag}: rounds");
+            assert_eq!(
+                reference.ledger().instances(),
+                s.ledger().instances(),
+                "{label}/{tag}: ledger instances"
+            );
+            assert_eq!(
+                reference.monitor().violations(),
+                s.monitor().violations(),
+                "{label}/{tag}: monitor verdicts"
+            );
+            assert_eq!(reference.flags(), s.flags(), "{label}/{tag}: request flags");
+        }
+    }
+    for (topo, h) in topologies() {
+        for seed in 0..4u64 {
+            for arbitrary in [false, true] {
+                let hh = Arc::clone(&h);
+                let mk = move || {
+                    let b = Sim::builder(Arc::clone(&hh), Cc1::new(), WaveToken::new(&hh))
+                        .seed(seed)
+                        .max_disc(1);
+                    let b = if arbitrary { b.arbitrary(seed) } else { b };
+                    b.build().unwrap()
+                };
+                dist_rows(
+                    mk,
+                    300,
+                    &format!(
+                        "CC1/{topo}/{}/seed{seed}",
+                        if arbitrary { "arb" } else { "clean" }
+                    ),
+                );
+            }
+            let hh = Arc::clone(&h);
+            dist_rows(
+                move || {
+                    Sim::builder(Arc::clone(&hh), Cc2::new(), WaveToken::new(&hh))
+                        .seed(seed)
+                        .max_disc(1)
+                        .build()
+                        .unwrap()
+                },
+                300,
+                &format!("CC2/{topo}/clean/seed{seed}"),
+            );
+            let hh = Arc::clone(&h);
+            dist_rows(
+                move || {
+                    Sim::builder(Arc::clone(&hh), Cc3::new_cc3(), WaveToken::new(&hh))
+                        .seed(seed)
+                        .max_disc(1)
+                        .build()
+                        .unwrap()
+                },
+                300,
+                &format!("CC3/{topo}/clean/seed{seed}"),
+            );
+        }
+    }
 }
 
 /// The terminal/quiescence-horizon path must agree too: a scripted

@@ -19,10 +19,10 @@ use std::sync::Arc;
 /// identical configurations and observables at every step.
 fn assert_vl_matches<C, TL>(mk: impl Fn() -> Sim<C, TL>, budget: u64, label: &str)
 where
-    C: CommitteeAlgorithm,
-    C::State: Copy,
-    TL: TokenLayer,
-    TL::State: Copy,
+    C: CommitteeAlgorithm + 'static,
+    C::State: Copy + sscc_runtime::prelude::StateCodec,
+    TL: TokenLayer + 'static,
+    TL::State: Copy + sscc_runtime::prelude::StateCodec,
 {
     let mut reference = mk();
     reference.enable_trace();
@@ -170,9 +170,9 @@ macro_rules! vl_churn_lockstep {
                         for ev in campaign.poll(step) {
                             match ev {
                                 CampaignEvent::Strike { seed: fs } => {
-                                    reference.strike(fs, 0.3);
+                                    reference.strike(fs, 0.3).unwrap();
                                     for (_, s) in &mut twins {
-                                        s.strike(fs, 0.3);
+                                        s.strike(fs, 0.3).unwrap();
                                     }
                                 }
                                 CampaignEvent::Churn { seed: cs } => {
@@ -265,7 +265,7 @@ fn value_level_surgery_marks_notes_stale_mid_campaign() {
     );
     // Transient fault mid-campaign: the value-level set_state fast path
     // repairs the mirror per overwrite, keeping it fresh in sync.
-    sim.strike(17, 0.4);
+    sim.strike(17, 0.4).unwrap();
     assert!(
         !sim.world().notes_stale(),
         "fault surgery repairs the live mirror in sync (set_state fast path)"

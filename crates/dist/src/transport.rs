@@ -1,0 +1,90 @@
+//! The boundary transport seam: how serialized frames travel between
+//! shard actors.
+//!
+//! The engine only ever talks to [`BoundaryTransport`], so the delivery
+//! substrate is swappable: the in-process [`ChannelTransport`] ships now
+//! (one mpsc channel per receiving shard), and a socket backend slots in
+//! later behind the same three methods without touching the engine or the
+//! frame format. The contract is deliberately weak — per-channel FIFO, no
+//! global ordering — because that is all a real network gives; the causal
+//! metadata in the frames (step tags, per-channel sequence numbers) is
+//! what turns weak delivery back into step-boundary consistency.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// Delivery substrate for serialized boundary frames.
+///
+/// Contract: frames sent on one `(sender, receiver)` channel arrive in
+/// send order (per-channel FIFO); nothing is promised across channels.
+/// Every frame sent before a [`BoundaryTransport::drain_into`] call is
+/// visible to that call (the in-process transport is synchronous; a socket
+/// backend would block the coordinator's phase barrier on delivery).
+pub trait BoundaryTransport {
+    /// Number of shard endpoints.
+    fn shards(&self) -> usize;
+
+    /// Enqueue one serialized frame for shard `to`.
+    fn send(&mut self, to: usize, frame: Vec<u8>);
+
+    /// Move every pending frame addressed to `shard` into `out` (cleared
+    /// first), in arrival order.
+    fn drain_into(&mut self, shard: usize, out: &mut Vec<Vec<u8>>);
+}
+
+/// The in-process transport: one `std::sync::mpsc` channel per receiving
+/// shard. Deterministic — the coordinator drives actors in shard order, so
+/// arrival order is a pure function of the step protocol.
+pub struct ChannelTransport {
+    txs: Vec<Sender<Vec<u8>>>,
+    rxs: Vec<Receiver<Vec<u8>>>,
+}
+
+impl ChannelTransport {
+    /// A transport connecting `shards` endpoints.
+    pub fn new(shards: usize) -> Self {
+        let (txs, rxs) = (0..shards).map(|_| channel()).unzip();
+        ChannelTransport { txs, rxs }
+    }
+}
+
+impl BoundaryTransport for ChannelTransport {
+    fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn send(&mut self, to: usize, frame: Vec<u8>) {
+        self.txs[to]
+            .send(frame)
+            .expect("the transport owns both channel ends; the receiver cannot be dropped");
+    }
+
+    fn drain_into(&mut self, shard: usize, out: &mut Vec<Vec<u8>>) {
+        out.clear();
+        while let Ok(frame) = self.rxs[shard].try_recv() {
+            out.push(frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_channel_fifo_and_isolation() {
+        let mut t = ChannelTransport::new(3);
+        assert_eq!(t.shards(), 3);
+        t.send(1, vec![1]);
+        t.send(2, vec![9]);
+        t.send(1, vec![2]);
+        let mut got = Vec::new();
+        t.drain_into(1, &mut got);
+        assert_eq!(got, vec![vec![1], vec![2]], "FIFO, only shard 1's frames");
+        t.drain_into(1, &mut got);
+        assert!(got.is_empty(), "drain consumes");
+        t.drain_into(2, &mut got);
+        assert_eq!(got, vec![vec![9]]);
+        t.drain_into(0, &mut got);
+        assert!(got.is_empty());
+    }
+}

@@ -119,6 +119,15 @@ pub enum MutationError {
     /// The mutation would disconnect the underlying communication network
     /// (the token-circulation substrate requires connectivity).
     WouldDisconnect,
+    /// The layer driving the world refused to apply the (otherwise valid)
+    /// mutation: its engine cannot repair the derived structures the edit
+    /// invalidates. Raised before the graph is touched — e.g. a distributed
+    /// sim, whose shard actors' ownership map is keyed to the topology,
+    /// fails closed instead of corrupting shard-local state.
+    EngineRejected {
+        /// Which engine refused, for diagnostics.
+        engine: &'static str,
+    },
 }
 
 impl fmt::Display for MutationError {
@@ -139,6 +148,12 @@ impl fmt::Display for MutationError {
             }
             MutationError::WouldDisconnect => {
                 write!(f, "mutation would disconnect the communication network")
+            }
+            MutationError::EngineRejected { engine } => {
+                write!(
+                    f,
+                    "the {engine} engine cannot repair this mutation and failed closed"
+                )
             }
         }
     }

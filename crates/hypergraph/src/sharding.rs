@@ -119,6 +119,61 @@ impl ShardPlan {
         }
     }
 
+    /// The **boundary** of shard `s`: its members whose closed hyperedge
+    /// neighborhood `N[v]` overlaps another shard, ascending by dense
+    /// index. These are exactly the processes whose state a distributed
+    /// shard actor must publish to its peers when it changes — every other
+    /// member's state is invisible outside the shard.
+    pub fn boundary_of(&self, h: &Hypergraph, s: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .members(s)
+            .iter()
+            .copied()
+            .filter(|&v| {
+                h.closed_neighborhood(v)
+                    .iter()
+                    .any(|&u| self.shard_of[u] != s as u32)
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The **interior** of shard `s`: its members whose closed neighborhood
+    /// lies entirely inside the shard, ascending by dense index. Disjoint
+    /// complement of [`ShardPlan::boundary_of`] within the shard.
+    pub fn interior_of(&self, h: &Hypergraph, s: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .members(s)
+            .iter()
+            .copied()
+            .filter(|&v| {
+                h.closed_neighborhood(v)
+                    .iter()
+                    .all(|&u| self.shard_of[u] == s as u32)
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The **frontier** of shard `s`: the out-of-shard processes read by
+    /// some member's guard (the union of the members' closed neighborhoods
+    /// minus the shard itself), ascending by dense index. A distributed
+    /// shard actor keeps *ghost* copies of exactly these states, refreshed
+    /// by its peers' boundary frames.
+    pub fn frontier_of(&self, h: &Hypergraph, s: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.n()];
+        for &v in self.members(s) {
+            for &u in h.closed_neighborhood(v) {
+                if self.shard_of[u] != s as u32 {
+                    seen[u] = true;
+                }
+            }
+        }
+        (0..self.n()).filter(|&u| seen[u]).collect()
+    }
+
     /// Fraction of vertices whose closed neighborhood (their guard
     /// footprint) crosses into another shard. `0.0` means the shards'
     /// footprints are perfectly disjoint; sparse topologies cut along the
@@ -199,6 +254,74 @@ mod tests {
     fn plan_is_deterministic() {
         let h = generators::random_uniform(40, 30, 3, 5);
         assert_eq!(ShardPlan::new(&h, 4), ShardPlan::new(&h, 4));
+    }
+
+    #[test]
+    fn boundary_union_interior_is_the_shard() {
+        for h in [
+            generators::fig1(),
+            generators::fig2(),
+            generators::ring(24, 2),
+            generators::random_uniform(40, 30, 3, 5),
+        ] {
+            for k in [2usize, 3, 4] {
+                let plan = ShardPlan::new(&h, k);
+                for s in 0..plan.shards() {
+                    let boundary = plan.boundary_of(&h, s);
+                    let interior = plan.interior_of(&h, s);
+                    // Disjoint, and together exactly the shard's members.
+                    let mut both: Vec<usize> =
+                        boundary.iter().chain(interior.iter()).copied().collect();
+                    both.sort_unstable();
+                    both.dedup();
+                    assert_eq!(both.len(), boundary.len() + interior.len(), "disjoint");
+                    let mut members: Vec<usize> = plan.members(s).to_vec();
+                    members.sort_unstable();
+                    assert_eq!(both, members, "boundary ∪ interior = shard {s}");
+                    // Boundary = members with out-of-shard footprint overlap.
+                    for &v in plan.members(s) {
+                        let crosses = h
+                            .closed_neighborhood(v)
+                            .iter()
+                            .any(|&u| plan.shard_of(u) != s);
+                        assert_eq!(boundary.binary_search(&v).is_ok(), crosses);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_is_outside_ghost_set() {
+        let h = generators::random_uniform(40, 30, 3, 5);
+        let plan = ShardPlan::new(&h, 4);
+        for s in 0..plan.shards() {
+            let frontier = plan.frontier_of(&h, s);
+            assert!(frontier.windows(2).all(|w| w[0] < w[1]), "ascending");
+            // Frontier is disjoint from the shard, and is exactly the union
+            // of the members' closed neighborhoods minus the shard.
+            let mut expect: Vec<usize> = plan
+                .members(s)
+                .iter()
+                .flat_map(|&v| h.closed_neighborhood(v).iter().copied())
+                .filter(|&u| plan.shard_of(u) != s)
+                .collect();
+            expect.sort_unstable();
+            expect.dedup();
+            assert_eq!(frontier, expect);
+            assert!(frontier.iter().all(|&u| plan.shard_of(u) != s));
+            // Every frontier vertex of s is a boundary vertex of its own
+            // shard — its state crosses, so its owner must publish it.
+            for &u in &frontier {
+                let owner = plan.shard_of(u);
+                assert!(plan.boundary_of(&h, owner).binary_search(&u).is_ok());
+            }
+        }
+        // One shard: nothing crosses.
+        let one = ShardPlan::new(&h, 1);
+        assert!(one.frontier_of(&h, 0).is_empty());
+        assert!(one.boundary_of(&h, 0).is_empty());
+        assert_eq!(one.interior_of(&h, 0).len(), h.n());
     }
 
     #[test]

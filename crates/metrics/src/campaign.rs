@@ -200,8 +200,11 @@ pub fn run_campaign_chunk(
         for ev in progress.campaign.poll(step) {
             match ev {
                 CampaignEvent::Strike { seed } => {
-                    sim.strike(seed, cfg.fault_fraction);
-                    progress.report.faults_injected += 1;
+                    // A distributed sim fails mid-run surgery closed; the
+                    // campaign skips the injection rather than aborting.
+                    if sim.strike(seed, cfg.fault_fraction).is_ok() {
+                        progress.report.faults_injected += 1;
+                    }
                 }
                 CampaignEvent::Churn { seed } => {
                     let mut rng = StdRng::seed_from_u64(seed);

@@ -208,8 +208,21 @@ impl AnySim {
 
     /// Inject a seeded transient fault into `fraction` of the processes
     /// without resetting observers — see `Sim::strike`.
-    pub fn strike(&mut self, seed: u64, fraction: f64) -> Vec<usize> {
+    ///
+    /// # Errors
+    /// A distributed sim fails closed — see `Sim::strike`.
+    pub fn strike(
+        &mut self,
+        seed: u64,
+        fraction: f64,
+    ) -> Result<Vec<usize>, sscc_core::ConfigError> {
         dispatch!(self, s => s.strike(seed, fraction))
+    }
+
+    /// Message-volume counters of the distributed tier — `Some` only under
+    /// a `Drain::Distributed` mode; see `Sim::dist_stats`.
+    pub fn dist_stats(&self) -> Option<sscc_core::MessageStats> {
+        dispatch!(self, s => s.dist_stats())
     }
 
     /// Apply a topology mutation mid-run with incremental observer repair —

@@ -175,8 +175,8 @@ impl Checkpoint {
         make_tl: impl FnOnce(&Hypergraph) -> TL,
     ) -> Result<Sim<C, TL>, CheckpointError>
     where
-        C: CommitteeAlgorithm,
-        TL: TokenLayer,
+        C: CommitteeAlgorithm + 'static,
+        TL: TokenLayer + 'static,
         C::State: Copy + StateCodec,
         TL::State: Copy + StateCodec,
     {

@@ -51,7 +51,7 @@ fn apply(sim: &mut Cc2Sim, op: &Op) {
             sim.run(*k);
         }
         Op::Strike(seed) => {
-            sim.strike(*seed, 0.35);
+            sim.strike(*seed, 0.35).unwrap();
         }
         Op::Churn(seed) => {
             let mut rng = StdRng::seed_from_u64(*seed);

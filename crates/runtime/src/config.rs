@@ -102,6 +102,19 @@ pub enum Drain {
         /// the pool — differential tests use that on tiny topologies.
         min_batch: usize,
     },
+    /// The message-passing tier: the topology is cut into `shards`
+    /// contiguous [`ShardPlan`](sscc_hypergraph::ShardPlan) shards, each
+    /// run by an independent actor that owns the sub-configuration for its
+    /// processes and exchanges serialized boundary-state frames (with
+    /// per-shard logical-clock metadata) over a
+    /// [`BoundaryTransport`](crate::engine::World) channel seam. Engine
+    /// dispatch lives above the bare [`World`](crate::engine::World) — a
+    /// `World::configure` with this drain fails closed with
+    /// [`ConfigError::DistributedOutsideSim`]; apply through `Sim`/`AnySim`.
+    Distributed {
+        /// Shard-actor count (≥ 2; `1` is spelled [`Drain::Sequential`]).
+        shards: usize,
+    },
 }
 
 impl Drain {
@@ -122,10 +135,17 @@ impl Drain {
         }
     }
 
-    /// Worker threads this drain runs on (`1` when sequential).
+    /// A distributed drain over `shards` shard actors.
+    pub const fn distributed(shards: usize) -> Self {
+        Drain::Distributed { shards }
+    }
+
+    /// Worker threads this drain runs on (`1` when sequential). The
+    /// distributed drain's actors are cooperatively scheduled on the
+    /// stepping thread in v1, so it reports `1` as well.
     pub const fn threads(self) -> usize {
         match self {
-            Drain::Sequential => 1,
+            Drain::Sequential | Drain::Distributed { .. } => 1,
             Drain::Parallel { threads, .. } => threads,
         }
     }
@@ -252,6 +272,11 @@ impl EngineConfig {
         self.drain.threads()
     }
 
+    /// Is this the distributed (message-passing) drain?
+    pub const fn distributed(&self) -> bool {
+        matches!(self.drain, Drain::Distributed { .. })
+    }
+
     /// Check the configuration for coherence. Every rejected combination
     /// was a *silent no-op or silent override* under the old setter
     /// surface; here they fail closed with a description of the conflict.
@@ -259,6 +284,33 @@ impl EngineConfig {
         if let Drain::Parallel { threads, .. } = self.drain {
             if threads < 2 {
                 return Err(ConfigError::DegenerateDrain(threads));
+            }
+        }
+        if let Drain::Distributed { shards } = self.drain {
+            if shards < 2 {
+                return Err(ConfigError::DistributedUnsupported(
+                    "fewer than two shard actors (a one-shard tier is the sequential drain)",
+                ));
+            }
+            if self.parallel_commit {
+                return Err(ConfigError::DistributedUnsupported(
+                    "parallel_commit (v1 shard actors commit their sub-configuration locally)",
+                ));
+            }
+            if self.eval == EvalPath::ValueLevel {
+                return Err(ConfigError::DistributedUnsupported(
+                    "value-level invalidation (v1 scope: actors track topological footprints)",
+                ));
+            }
+            if self.commit == CommitStrategy::InPlace {
+                return Err(ConfigError::DistributedUnsupported(
+                    "in-place commit (the shard actors own the live configuration)",
+                ));
+            }
+            if self.incremental_daemon {
+                return Err(ConfigError::DistributedUnsupported(
+                    "incremental daemon view (v1 scope: the coordinator rescans merged deltas)",
+                ));
             }
         }
         if self.parallel_commit && matches!(self.drain, Drain::Sequential) {
@@ -300,6 +352,16 @@ pub enum ConfigError {
     /// (`Sim`/`AnySim`, or `Daemon::set_incremental_view` directly) can
     /// configure its view.
     DaemonViewOutsideWorld,
+    /// [`Drain::Distributed`] composed with a feature the v1
+    /// message-passing tier does not support (parallel commit, value-level
+    /// invalidation, in-place commit, incremental daemon view), or a
+    /// degenerate shard count. The payload names the offending feature.
+    DistributedUnsupported(&'static str),
+    /// [`Drain::Distributed`] applied to a bare
+    /// [`World`](crate::engine::World): the shard actors, the boundary
+    /// transport and the coordinator live above the engine, so only the
+    /// owning layer (`Sim`/`AnySim`) can run the distributed drain.
+    DistributedOutsideSim,
     /// A mode label / config string that does not parse.
     Parse(String),
 }
@@ -330,6 +392,14 @@ impl fmt::Display for ConfigError {
                 f,
                 "incremental_daemon configures the daemon object, which a bare World does \
                  not own; apply through Sim/AnySim or Daemon::set_incremental_view"
+            ),
+            ConfigError::DistributedUnsupported(what) => {
+                write!(f, "the distributed drain cannot be composed with {what}")
+            }
+            ConfigError::DistributedOutsideSim => write!(
+                f,
+                "the distributed drain's shard actors and boundary transport live above the \
+                 engine; apply through Sim/AnySim, not a bare World"
             ),
             ConfigError::Parse(what) => write!(f, "unknown engine mode or config token: {what}"),
         }
@@ -362,6 +432,9 @@ impl fmt::Display for EngineConfig {
                 parts.push(format!("par{threads}b{min_batch}"));
             }
         }
+        if let Drain::Distributed { shards } = self.drain {
+            parts.push(format!("dist{shards}"));
+        }
         if self.commit == CommitStrategy::InPlace {
             parts.push("inplace".into());
         }
@@ -389,7 +462,8 @@ impl FromStr for EngineConfig {
     /// string (`"par2+inplace+trusted"`). Tokens: `full_scan`,
     /// `incremental`/`pr1`/`reference`, `vl`/`value` (value-level
     /// invalidation), `par1`, `parN`/`parNbM` (drain with
-    /// optional per-thread min batch), `inplace`, `buffered`, `parcommit`,
+    /// optional per-thread min batch), `distN` (distributed drain over N
+    /// shard actors), `inplace`, `buffered`, `parcommit`,
     /// `trusted`, `daemon_view`/`daemon_inc`, plus the composite historical
     /// labels `daemon`, `pool`, `poolcommit`. Parsing does **not**
     /// validate — call [`EngineConfig::validate`] (the `configure` entry
@@ -431,6 +505,12 @@ impl FromStr for EngineConfig {
                     cfg.parallel_commit = true;
                     cfg.trusted_daemon = true;
                     cfg.incremental_daemon = true;
+                }
+                t if t.starts_with("dist") => {
+                    let shards: usize = t[4..]
+                        .parse()
+                        .map_err(|_| ConfigError::Parse(t.to_string()))?;
+                    cfg.drain = Drain::Distributed { shards };
                 }
                 t if t.starts_with("par") => {
                     let rest = &t[3..];
@@ -485,10 +565,10 @@ pub struct Mode {
 pub struct ModeRegistry;
 
 /// The registry table. Order is presentation order (bench records, mode
-/// listings): the baseline BENCH sweep first (the nine historical modes
-/// plus the two value-level ones), then the differential-only
-/// compositions.
-static MODES: [Mode; 19] = [
+/// listings): the baseline BENCH sweep first (the nine historical modes,
+/// the two value-level ones, and the two distributed message-passing
+/// tiers), then the differential-only compositions.
+static MODES: [Mode; 21] = [
     Mode {
         name: "full_scan",
         summary: "legacy O(n) engine: every guard re-evaluated, whole-view observers (reference)",
@@ -567,6 +647,18 @@ static MODES: [Mode; 19] = [
             .with_commit(CommitStrategy::InPlace)
             .with_trusted_daemon(true)
             .with_incremental_daemon(true),
+        baseline: true,
+    },
+    Mode {
+        name: "dist2",
+        summary: "message-passing tier: 2 shard actors exchanging causal boundary frames",
+        config: BASE.with_drain(Drain::distributed(2)),
+        baseline: true,
+    },
+    Mode {
+        name: "dist4",
+        summary: "message-passing tier: 4 shard actors exchanging causal boundary frames",
+        config: BASE.with_drain(Drain::distributed(4)),
         baseline: true,
     },
     Mode {
@@ -694,6 +786,49 @@ mod tests {
                 .validate(),
             Err(ConfigError::ComposedBaseline("incremental"))
         );
+    }
+
+    #[test]
+    fn distributed_combos_fail_closed() {
+        let dist = BASE.with_drain(Drain::distributed(2));
+        assert!(dist.validate().is_ok());
+        assert!(dist.with_trusted_daemon(true).validate().is_ok());
+        for bad in [
+            BASE.with_drain(Drain::distributed(1)),
+            dist.with_parallel_commit(true),
+            dist.with_eval(EvalPath::ValueLevel),
+            dist.with_commit(CommitStrategy::InPlace),
+            dist.with_incremental_daemon(true),
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(ConfigError::DistributedUnsupported(_))),
+                "{bad:?}"
+            );
+        }
+        // Composing a reference baseline with the distributed drain is the
+        // pre-existing composed-baseline rejection, not a dist-specific one.
+        assert_eq!(
+            EngineConfig::full_scan()
+                .with_drain(Drain::distributed(2))
+                .validate(),
+            Err(ConfigError::ComposedBaseline("full_scan"))
+        );
+    }
+
+    #[test]
+    fn distributed_labels_roundtrip() {
+        assert_eq!(ModeRegistry::get("dist2").unwrap().config.threads(), 1);
+        for label in ["dist2", "dist4", "dist3", "dist2+trusted"] {
+            let cfg: EngineConfig = label.parse().unwrap();
+            assert!(cfg.distributed());
+            let again: EngineConfig = cfg.to_string().parse().unwrap();
+            assert_eq!(cfg, again, "{label}");
+        }
+        assert_eq!(
+            "dist2".parse::<EngineConfig>().unwrap().drain,
+            Drain::distributed(2)
+        );
+        assert!("distx".parse::<EngineConfig>().is_err());
     }
 
     #[test]

@@ -1192,11 +1192,13 @@ where
     /// ```
     ///
     /// # Errors
-    /// Anything [`EngineConfig::validate`] rejects, plus the two knobs a
+    /// Anything [`EngineConfig::validate`] rejects, plus the three knobs a
     /// bare `World` cannot apply: [`EvalPath::Reference`] (the reference
     /// evaluator lives inside the *algorithm* — apply through the `Sim`
-    /// layer) and `incremental_daemon` (the daemon object is owned by the
-    /// caller — use `Daemon::set_incremental_view` or the `Sim` layer).
+    /// layer), `incremental_daemon` (the daemon object is owned by the
+    /// caller — use `Daemon::set_incremental_view` or the `Sim` layer),
+    /// and [`Drain::Distributed`] (the shard actors and their boundary
+    /// transport live above the engine — apply through `Sim`/`AnySim`).
     /// Like the setter seam, `configure` is restricted to `Copy` states so
     /// [`CommitStrategy::InPlace`] stays compile-time gated.
     pub fn configure(&mut self, cfg: &EngineConfig) -> Result<(), ConfigError> {
@@ -1207,13 +1209,19 @@ where
         if cfg.incremental_daemon {
             return Err(ConfigError::DaemonViewOutsideWorld);
         }
+        if matches!(cfg.drain, Drain::Distributed { .. }) {
+            return Err(ConfigError::DistributedOutsideSim);
+        }
         self.apply_full_scan(cfg.eval == EvalPath::FullScan);
         self.value_level = cfg.eval == EvalPath::ValueLevel;
         // Any commit notes must be rebuilt against the current
         // configuration before the next evaluation reads them.
         self.notes_stale = true;
         match cfg.drain {
-            Drain::Sequential => self.apply_parallel(1, DEFAULT_MIN_PARALLEL_BATCH),
+            // Distributed is rejected above; unreachable here.
+            Drain::Sequential | Drain::Distributed { .. } => {
+                self.apply_parallel(1, DEFAULT_MIN_PARALLEL_BATCH)
+            }
             Drain::Parallel { threads, min_batch } => self.apply_parallel(threads, min_batch),
         }
         self.commit = cfg.commit;

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 use sscc_runtime::prelude::*;
 
 /// Deterministic enumeration of the whole configuration space (valid and
-/// invalid): 4 eval paths × 7 drains × 2 commits × 2³ flags = 448 configs.
+/// invalid): 4 eval paths × 9 drains × 2 commits × 2³ flags = 576 configs.
 fn config_space() -> Vec<EngineConfig> {
     let evals = [
         EvalPath::FullScan,
@@ -30,6 +30,8 @@ fn config_space() -> Vec<EngineConfig> {
             threads: 2,
             min_batch: 7,
         },
+        Drain::distributed(2),
+        Drain::distributed(4),
     ];
     let commits = [CommitStrategy::Buffered, CommitStrategy::InPlace];
     let mut all = Vec::new();
@@ -112,7 +114,7 @@ proptest! {
     /// and parsing is total (Ok or Err, never a panic) on arbitrary
     /// `+`-joined token soup.
     #[test]
-    fn sampled_configs_roundtrip(ix in 0usize..448, seed in 0u64..1000) {
+    fn sampled_configs_roundtrip(ix in 0usize..576, seed in 0u64..1000) {
         let space = config_space();
         let cfg = space[ix % space.len()];
         match cfg.validate() {

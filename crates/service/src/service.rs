@@ -364,15 +364,22 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> CoordinationService<C, TL> {
     /// in-flight professor the fault left idle: the admitted request is
     /// still owed a convene, but the flag that carried it into the engine
     /// may have been consumed or scrambled. Returns the struck processes.
-    pub fn inject_fault(&mut self, seed: u64, fraction: f64) -> Vec<usize> {
-        let struck = self.sim.strike(seed, fraction);
+    ///
+    /// # Errors
+    /// A distributed sim fails closed — see `Sim::strike`.
+    pub fn inject_fault(
+        &mut self,
+        seed: u64,
+        fraction: f64,
+    ) -> Result<Vec<usize>, sscc_core::ConfigError> {
+        let struck = self.sim.strike(seed, fraction)?;
         for p in 0..self.in_flight.len() {
             if self.in_flight[p].is_some() && self.sim.world().state(p).cc.status() == Status::Idle
             {
                 self.sim.flags_mut().set_in(p, true);
             }
         }
-        struck
+        Ok(struck)
     }
 
     /// Apply a topology mutation to the running service — forwards to
@@ -554,6 +561,8 @@ impl<C: CommitteeAlgorithm, TL: TokenLayer> CoordinationService<C, TL> {
         bytes: &[u8],
     ) -> Option<Self>
     where
+        C: 'static,
+        TL: 'static,
         C::State: Copy + StateCodec,
         TL::State: Copy + StateCodec,
     {

@@ -274,7 +274,7 @@ fn service_survives_fault_and_churn_campaigns() {
             for ev in campaign.poll(tick) {
                 match ev {
                     CampaignEvent::Strike { seed } => {
-                        svc.inject_fault(seed, 0.3);
+                        svc.inject_fault(seed, 0.3).unwrap();
                         struck += 1;
                     }
                     CampaignEvent::Churn { seed } => {
